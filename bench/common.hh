@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Shared harness helpers for the per-table/per-figure benchmark
+ * binaries. Each binary builds the relevant workloads, applies the
+ * pass stack under study, simulates, and prints the paper's rows with
+ * the expected qualitative shape alongside.
+ */
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "cost/cost_model.hh"
+#include "support/logging.hh"
+#include "support/strings.hh"
+#include "support/table.hh"
+#include "uopt/passes.hh"
+#include "workloads/driver.hh"
+#include "workloads/workload.hh"
+
+namespace muir::bench
+{
+
+/** One configured, simulated, and synthesized design point. */
+struct Design
+{
+    workloads::Workload workload;
+    std::unique_ptr<uir::Accelerator> accel;
+    workloads::RunResult run;
+    cost::SynthesisReport synth;
+
+    /** Wall time at the achieved FPGA clock, microseconds. */
+    double timeUs() const { return run.cycles / synth.fpgaMhz; }
+};
+
+/** Build + lower + transform + simulate + synthesize one design. */
+inline Design
+makeDesign(const std::string &workload_name,
+           const std::function<void(uopt::PassManager &)> &configure =
+               {})
+{
+    Design d;
+    d.workload = workloads::buildWorkload(workload_name);
+    d.accel = workloads::lowerBaseline(d.workload);
+    if (configure) {
+        uopt::PassManager pm;
+        configure(pm);
+        pm.run(*d.accel);
+    }
+    d.run = workloads::runOn(d.workload, *d.accel);
+    if (!d.run.check.empty())
+        muir_fatal("%s: functional check failed: %s",
+                   workload_name.c_str(), d.run.check.c_str());
+    double activity =
+        d.run.cycles
+            ? std::min(1.0, double(d.run.firings) /
+                                (double(d.run.cycles) *
+                                 std::max(1u, d.accel->numNodes()) * 0.1))
+            : 0.3;
+    d.synth = cost::synthesize(*d.accel, activity);
+    return d;
+}
+
+/** Format a ratio like "0.62x". */
+inline std::string
+ratio(double v)
+{
+    return fmt("%.2fx", v);
+}
+
+/** Quiet the µopt pass chatter for clean bench output. */
+struct QuietLogs
+{
+    QuietLogs() { setVerbose(false); }
+};
+
+} // namespace muir::bench

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Framework microbenchmarks (google-benchmark): throughput of the
+ * toolchain itself — IR construction, Stage 1+2 lowering, μopt pass
+ * application, functional execution, and cycle-level scheduling.
+ * These gate the "playground" claim of §5: the loop from idea to
+ * measured accelerator must be seconds, not hours.
+ */
+#include <benchmark/benchmark.h>
+
+#include "frontend/lower.hh"
+#include "rtl/chisel.hh"
+#include "rtl/firrtl.hh"
+#include "sim/exec.hh"
+#include "sim/timing.hh"
+#include "support/logging.hh"
+#include "uopt/passes.hh"
+#include "workloads/driver.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace muir;
+
+void
+BM_BuildWorkloadIr(benchmark::State &state)
+{
+    setVerbose(false);
+    for (auto _ : state) {
+        auto w = workloads::buildWorkload("gemm");
+        benchmark::DoNotOptimize(w.module->numInsts());
+    }
+}
+BENCHMARK(BM_BuildWorkloadIr);
+
+void
+BM_LowerToUir(benchmark::State &state)
+{
+    setVerbose(false);
+    auto w = workloads::buildWorkload("gemm");
+    for (auto _ : state) {
+        auto accel = workloads::lowerBaseline(w);
+        benchmark::DoNotOptimize(accel->numNodes());
+    }
+}
+BENCHMARK(BM_LowerToUir);
+
+void
+BM_OpFusionPass(benchmark::State &state)
+{
+    setVerbose(false);
+    auto w = workloads::buildWorkload("rgb2yuv");
+    for (auto _ : state) {
+        state.PauseTiming();
+        auto accel = workloads::lowerBaseline(w);
+        state.ResumeTiming();
+        uopt::OpFusionPass pass;
+        pass.run(*accel);
+        benchmark::DoNotOptimize(accel->numNodes());
+    }
+}
+BENCHMARK(BM_OpFusionPass);
+
+void
+BM_FunctionalExecution(benchmark::State &state)
+{
+    setVerbose(false);
+    auto w = workloads::buildWorkload("gemm");
+    auto accel = workloads::lowerBaseline(w);
+    for (auto _ : state) {
+        ir::MemoryImage mem(*w.module);
+        w.bind(mem);
+        auto outs = sim::execFunctional(*accel, mem);
+        benchmark::DoNotOptimize(outs.size());
+    }
+    state.SetItemsProcessed(state.iterations() * 24 * 24 * 24);
+}
+BENCHMARK(BM_FunctionalExecution);
+
+void
+BM_CycleSimulation(benchmark::State &state)
+{
+    setVerbose(false);
+    auto w = workloads::buildWorkload("gemm");
+    auto accel = workloads::lowerBaseline(w);
+    ir::MemoryImage mem(*w.module);
+    w.bind(mem);
+    sim::UirExecutor exec(*accel, mem);
+    exec.run({});
+    for (auto _ : state) {
+        auto timing = sim::scheduleDdg(*accel, exec.ddg());
+        benchmark::DoNotOptimize(timing.cycles);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            exec.ddg().numEvents());
+}
+BENCHMARK(BM_CycleSimulation);
+
+void
+BM_ChiselEmission(benchmark::State &state)
+{
+    setVerbose(false);
+    auto w = workloads::buildWorkload("gemm");
+    auto accel = workloads::lowerBaseline(w);
+    for (auto _ : state) {
+        std::string text = rtl::emitChisel(*accel);
+        benchmark::DoNotOptimize(text.size());
+    }
+}
+BENCHMARK(BM_ChiselEmission);
+
+void
+BM_FirrtlElaboration(benchmark::State &state)
+{
+    setVerbose(false);
+    auto w = workloads::buildWorkload("gemm");
+    auto accel = workloads::lowerBaseline(w);
+    for (auto _ : state) {
+        auto circuit = rtl::lowerToFirrtl(*accel);
+        benchmark::DoNotOptimize(circuit.numNodes());
+    }
+}
+BENCHMARK(BM_FirrtlElaboration);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Table 2 — "Synthesizing Baseline μIR on Arria10 FPGA": per-workload
+ * baseline (no μopt passes) synthesis estimates. FPGA MHz / mW / ALMs
+ * / Regs / DSPs plus ASIC area (10^-3 mm^2) / mW / GHz.
+ */
+#include "common.hh"
+
+using namespace muir;
+using namespace muir::bench;
+
+int
+main()
+{
+    QuietLogs quiet;
+    AsciiTable table({"Bench", "Suite", "MHz", "mW", "ALMs", "Reg.",
+                      "DSP", "area", "asic mW", "GHz"});
+    std::string last_suite;
+    for (const auto &name : workloads::workloadNames()) {
+        Design d = makeDesign(name);
+        std::string suite =
+            workloads::suiteName(d.workload.suite);
+        if (!last_suite.empty() && suite != last_suite)
+            table.addSeparator();
+        last_suite = suite;
+        table.addRow({
+            d.workload.name + (d.workload.usesTensor
+                                   ? "[T]"
+                                   : (d.workload.usesFp ? "^F" : "")),
+            suite,
+            fmt("%.0f", d.synth.fpgaMhz),
+            fmt("%.0f", d.synth.fpgaMw),
+            fmt("%.0f", d.synth.alms),
+            fmt("%.0f", d.synth.regs),
+            fmt("%u", d.synth.dsps),
+            fmt("%.1f", d.synth.asicKum2),
+            fmt("%.0f", d.synth.asicMw),
+            fmt("%.2f", d.synth.asicGhz),
+        });
+    }
+    std::printf("%s", table
+                          .render("Table 2: baseline µIR accelerators "
+                                  "(FPGA Arria10-class | ASIC 28nm-class)"
+                                  " — paper shape: 200-500MHz FPGA, "
+                                  "1.66-2.5GHz ASIC, Cilk lowest MHz")
+                          .c_str());
+    return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Quickstart: the full μIR flow on a SAXPY kernel in ~80 lines.
+ *
+ *   1. Express the program with the IRBuilder (the front-end stand-in
+ *      for the paper's LLVM/Tapir bindings).
+ *   2. Lower it to a baseline μIR accelerator graph (Algorithm 1).
+ *   3. Apply μopt passes.
+ *   4. Simulate cycle-level behaviour and check the results.
+ *   5. Emit the Chisel RTL.
+ *
+ * Build & run:  ./build/examples/quickstart
+ */
+#include <cstdio>
+
+#include "frontend/lower.hh"
+#include "ir/builder.hh"
+#include "ir/verifier.hh"
+#include "rtl/chisel.hh"
+#include "sim/simulator.hh"
+#include "support/logging.hh"
+#include "uir/printer.hh"
+#include "uopt/passes.hh"
+
+using namespace muir;
+
+int
+main()
+{
+    setVerbose(false);
+    constexpr int kN = 64;
+
+    // --- 1. Behaviour: y[i] = 2.5f * x[i] + y[i].
+    ir::Module m("quickstart");
+    auto *gx = m.addGlobal("x", ir::Type::f32(), kN);
+    auto *gy = m.addGlobal("y", ir::Type::f32(), kN);
+    ir::Function *fn = m.addFunction("saxpy", ir::Type::voidTy());
+    ir::IRBuilder b(m);
+    b.setInsertPoint(fn->addBlock("entry"));
+    ir::ForLoop loop(b, "i", b.i32(0), b.i32(kN), b.i32(1));
+    ir::Value *xi = b.load(b.gep(gx, loop.iv()), "xi");
+    ir::Value *yi = b.load(b.gep(gy, loop.iv()), "yi");
+    b.store(b.fadd(b.fmul(b.f32(2.5), xi), yi, "r"),
+            b.gep(gy, loop.iv()));
+    loop.finish();
+    b.ret();
+    ir::verifyOrDie(m);
+
+    // --- 2. Lower to the baseline accelerator.
+    auto accel = frontend::lowerToUir(m, "saxpy");
+    std::printf("=== Baseline µIR graph ===\n%s\n",
+                uir::printAccelerator(*accel).c_str());
+
+    // --- 3. Optimize: queue, localize memory, fuse.
+    uopt::PassManager pm;
+    pm.add(std::make_unique<uopt::TaskQueuingPass>());
+    pm.add(std::make_unique<uopt::MemoryLocalizationPass>());
+    pm.add(std::make_unique<uopt::OpFusionPass>());
+    pm.run(*accel);
+
+    // --- 4. Simulate.
+    ir::MemoryImage mem(m);
+    std::vector<float> xs(kN), ys(kN);
+    for (int i = 0; i < kN; ++i) {
+        xs[i] = 0.25f * i;
+        ys[i] = 1.0f;
+    }
+    mem.writeFloats(gx, xs);
+    mem.writeFloats(gy, ys);
+    auto result = sim::simulate(*accel, mem);
+    auto out = mem.readFloats(gy);
+    bool ok = true;
+    for (int i = 0; i < kN; ++i)
+        if (out[i] != 2.5f * xs[i] + 1.0f)
+            ok = false;
+    std::printf("=== Simulation ===\ncycles = %llu, firings = %llu, "
+                "results %s\n\n",
+                (unsigned long long)result.cycles,
+                (unsigned long long)result.firings,
+                ok ? "CORRECT" : "WRONG");
+
+    // --- 5. Emit Chisel RTL.
+    std::printf("=== Generated Chisel (excerpt) ===\n%.1200s...\n",
+                rtl::emitChisel(*accel).c_str());
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,204 @@
+#include "baselines/arm_a9.hh"
+
+#include <algorithm>
+
+#include "ir/interp.hh"
+#include "support/logging.hh"
+
+namespace muir::baselines
+{
+
+using namespace ir;
+
+namespace
+{
+
+/** Scalar-equivalent (instruction count, unit latency) of one op. */
+struct OpProfile
+{
+    unsigned insts = 1;
+    unsigned latency = 1;
+    bool isMem = false;
+    unsigned memAccesses = 0;
+};
+
+OpProfile
+profileOf(Op op)
+{
+    switch (op) {
+      case Op::Mul:
+        return {1, 3};
+      case Op::SDiv: case Op::SRem:
+        return {1, 12};
+      case Op::FAdd: case Op::FSub: case Op::FMul:
+        return {1, 4}; // VFP/NEON pipelined.
+      case Op::FDiv:
+        return {1, 15};
+      case Op::FExp:
+        return {12, 18}; // libm polynomial.
+      case Op::FSqrt:
+        return {1, 14};
+      case Op::Load:
+        return {1, 0, true, 1};
+      case Op::Store:
+        return {1, 1, true, 1};
+      // Tensor intrinsics expand to scalar loops on the CPU.
+      case Op::TLoad: case Op::TStore:
+        return {4, 0, true, 4};
+      case Op::TMul:
+        return {12, 4}; // 8 muls + 4 adds on a 2x2 tile.
+      case Op::TAdd: case Op::TSub:
+        return {4, 4};
+      case Op::TRelu:
+        return {4, 1};
+      case Op::Phi:
+        return {0, 0}; // Register renaming makes phis free.
+      case Op::Br: case Op::CondBr: case Op::Detach: case Op::Reattach:
+      case Op::Sync: case Op::Ret:
+        return {1, 1};
+      default:
+        return {1, 1};
+    }
+}
+
+/** Tiny L1 model with LRU sets. */
+class L1Cache
+{
+  public:
+    explicit L1Cache(const ArmOptions &opts)
+        : lineBytes_(opts.lineBytes), ways_(opts.cacheWays)
+    {
+        unsigned lines = opts.cacheKb * 1024 / opts.lineBytes;
+        sets_ = std::max(1u, lines / std::max(1u, ways_));
+        tags_.assign(sets_, {});
+    }
+
+    bool
+    access(uint64_t addr)
+    {
+        uint64_t line = addr / lineBytes_;
+        auto &set = tags_[line % sets_];
+        auto it = std::find(set.begin(), set.end(), line);
+        if (it != set.end()) {
+            set.erase(it);
+            set.insert(set.begin(), line);
+            return true;
+        }
+        set.insert(set.begin(), line);
+        if (set.size() > ways_)
+            set.pop_back();
+        return false;
+    }
+
+  private:
+    unsigned lineBytes_;
+    unsigned ways_;
+    unsigned sets_;
+    std::vector<std::vector<uint64_t>> tags_;
+};
+
+/** The trace-driven dual-issue OoO scheduler. */
+class ArmScheduler
+{
+  public:
+    explicit ArmScheduler(const ArmOptions &opts)
+        : opts_(opts), cache_(opts)
+    {
+    }
+
+    void
+    onInst(const Instruction &inst, uint64_t addr)
+    {
+        OpProfile prof = profileOf(inst.op());
+        if (prof.insts == 0)
+            return;
+
+        // Operand readiness from the last dynamic writer.
+        uint64_t ready = 0;
+        for (const Value *operand : inst.operands()) {
+            auto it = writers_.find(operand);
+            if (it != writers_.end())
+                ready = std::max(ready, it->second);
+        }
+
+        uint64_t finish = ready;
+        for (unsigned k = 0; k < prof.insts; ++k) {
+            // Dual issue: at most issueWidth instructions per cycle.
+            if (issuedThisCycle_ >= opts_.issueWidth) {
+                ++cycle_;
+                issuedThisCycle_ = 0;
+            }
+            uint64_t issue = std::max(cycle_, ready);
+            // Scheduling window: issue stalls until the oldest
+            // outstanding instruction completes once the window fills.
+            while (inflight_.size() >= opts_.windowSize) {
+                issue = std::max(issue, inflight_.front());
+                inflight_.erase(inflight_.begin());
+            }
+            if (issue > cycle_) {
+                cycle_ = issue;
+                issuedThisCycle_ = 0;
+            }
+            ++issuedThisCycle_;
+            ++instructions_;
+
+            unsigned lat = prof.latency;
+            if (prof.isMem && k < prof.memAccesses) {
+                bool hit = cache_.access(addr + k * 4);
+                lat += hit ? opts_.hitLatency : opts_.missLatency;
+            }
+            finish = std::max(finish, issue + lat);
+            inflight_.push_back(finish);
+        }
+        if (inst.op() == Op::CondBr)
+            cycle_ += opts_.branchCost;
+
+        writers_[&inst] = finish;
+        lastFinish_ = std::max(lastFinish_, finish);
+    }
+
+    uint64_t cycles() const { return std::max(cycle_, lastFinish_); }
+    uint64_t instructions() const { return instructions_; }
+
+  private:
+    ArmOptions opts_;
+    L1Cache cache_;
+    std::map<const Value *, uint64_t> writers_;
+    std::vector<uint64_t> inflight_;
+    uint64_t cycle_ = 0;
+    uint64_t lastFinish_ = 0;
+    uint64_t instructions_ = 0;
+    unsigned issuedThisCycle_ = 0;
+};
+
+} // namespace
+
+ArmResult
+runOnArm(const ir::Module &module, const std::string &kernel,
+         const std::map<std::string, std::vector<float>> &float_inputs,
+         const std::map<std::string, std::vector<int32_t>> &int_inputs,
+         const ArmOptions &opts)
+{
+    const Function *fn = module.function(kernel);
+    muir_assert(fn != nullptr, "ARM: kernel %s not found", kernel.c_str());
+
+    Interpreter interp(module);
+    for (const auto &[name, data] : float_inputs)
+        interp.memory().writeFloats(module.global(name), data);
+    for (const auto &[name, data] : int_inputs)
+        interp.memory().writeInts(module.global(name), data);
+
+    ArmScheduler sched(opts);
+    interp.setTraceSink([&](const Instruction &inst, uint64_t addr) {
+        sched.onInst(inst, addr);
+    });
+    interp.run(*fn, {});
+
+    ArmResult result;
+    result.cycles = sched.cycles();
+    result.instructions = sched.instructions();
+    result.ghz = opts.ghz;
+    return result;
+}
+
+} // namespace muir::baselines

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * ARM Cortex-A9-class CPU model (the Fig. 18 comparator): dual-issue
+ * out-of-order core at 1 GHz, driven by the interpreter's dynamic
+ * instruction trace. Models issue-width limits, a bounded scheduling
+ * window, operand dependences, unit latencies, and an L1 data cache.
+ * Tensor intrinsics in the trace are expanded into their scalar
+ * equivalents (the CPU has no tensor function unit — §6.6: "CPU
+ * pipeline limits compute density").
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/module.hh"
+
+namespace muir::baselines
+{
+
+/** CPU configuration (defaults model a 1 GHz dual-issue A9). */
+struct ArmOptions
+{
+    unsigned issueWidth = 2;
+    unsigned windowSize = 40;
+    double ghz = 1.0;
+    /** L1 D-cache geometry. */
+    unsigned cacheKb = 32;
+    unsigned cacheWays = 4;
+    unsigned lineBytes = 32;
+    unsigned hitLatency = 4;
+    unsigned missLatency = 60;
+    /** Front-end cost of a taken branch. */
+    unsigned branchCost = 1;
+};
+
+/** Result of one modeled CPU run. */
+struct ArmResult
+{
+    uint64_t cycles = 0;
+    uint64_t instructions = 0;
+    double ghz = 1.0;
+    double ipc() const
+    {
+        return cycles ? double(instructions) / double(cycles) : 0;
+    }
+    double timeUs() const { return cycles / (ghz * 1000.0); }
+};
+
+/**
+ * Execute the kernel on the modeled CPU: interprets the module with
+ * the given inputs and schedules the dynamic trace.
+ */
+ArmResult runOnArm(const ir::Module &module, const std::string &kernel,
+                   const std::map<std::string, std::vector<float>>
+                       &float_inputs,
+                   const std::map<std::string, std::vector<int32_t>>
+                       &int_inputs,
+                   const ArmOptions &opts = {});
+
+} // namespace muir::baselines

@@ -1,0 +1,207 @@
+#include "baselines/hls_model.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "ir/analysis/cfg.hh"
+#include "ir/analysis/dominators.hh"
+#include "ir/analysis/loop_info.hh"
+#include "ir/interp.hh"
+#include "support/logging.hh"
+#include "uir/delay_model.hh"
+
+namespace muir::baselines
+{
+
+using namespace ir;
+
+namespace
+{
+
+/** Cycle latency of one op in the static schedule. */
+unsigned
+opCycles(Op op, const HlsOptions &opts)
+{
+    if (op == Op::Load || op == Op::TLoad)
+        return opts.streamBuffers ? 1 : opts.memLatency;
+    if (op == Op::Store || op == Op::TStore)
+        return 1;
+    if (op == Op::Phi || isTerminatorOp(op))
+        return 0;
+    if (!isComputeOp(op))
+        return 1;
+    return static_cast<unsigned>(
+        std::ceil(uir::opDelayUnits(op) - 1e-9));
+}
+
+/**
+ * Critical-path latency (in cycles) of one iteration's body: longest
+ * def-use chain through the blocks of the loop (its own blocks only).
+ */
+unsigned
+bodyLatency(const std::vector<BasicBlock *> &blocks,
+            const HlsOptions &opts)
+{
+    std::map<const Instruction *, unsigned> depth;
+    unsigned best = 1;
+    // Blocks arrive in function order; defs precede uses for our
+    // canonical loops, and phi cycles are cut (depth 0 at first use).
+    for (BasicBlock *bb : blocks) {
+        for (const auto &inst : bb->insts()) {
+            unsigned in_depth = 0;
+            for (const Value *operand : inst->operands()) {
+                auto *def = dynamic_cast<const Instruction *>(operand);
+                if (def == nullptr)
+                    continue;
+                auto it = depth.find(def);
+                if (it != depth.end())
+                    in_depth = std::max(in_depth, it->second);
+            }
+            unsigned d = in_depth + opCycles(inst->op(), opts);
+            depth[inst.get()] = d;
+            best = std::max(best, d);
+        }
+    }
+    return best;
+}
+
+/** Loop-carried recurrence length: phi -> ... -> phi.next chain. */
+unsigned
+recurrenceII(const Loop &loop, const HlsOptions &opts)
+{
+    unsigned ii = 1;
+    for (const auto &inst : loop.header->insts()) {
+        if (inst->op() != Op::Phi)
+            break;
+        // Depth of the latch incoming value computed within the loop.
+        for (unsigned k = 0; k < inst->numIncoming(); ++k) {
+            if (!loop.contains(inst->incomingBlock(k)))
+                continue;
+            // Walk the def chain from the incoming value back to the
+            // phi, accumulating latency (bounded depth).
+            unsigned chain = 0;
+            const Value *v = inst->incomingValue(k);
+            for (unsigned steps = 0; steps < 64; ++steps) {
+                auto *def = dynamic_cast<const Instruction *>(v);
+                if (def == nullptr || def == inst.get())
+                    break;
+                chain += opCycles(def->op(), opts);
+                // Follow the operand on the longest path
+                // heuristically: the first instruction operand.
+                const Value *next = nullptr;
+                for (const Value *operand : def->operands()) {
+                    if (dynamic_cast<const Instruction *>(operand)) {
+                        next = operand;
+                        break;
+                    }
+                }
+                if (next == nullptr)
+                    break;
+                v = next;
+            }
+            ii = std::max(ii, std::max(1u, chain));
+        }
+    }
+    return ii;
+}
+
+/** Memory ops in the loop's own blocks. */
+unsigned
+memOpsIn(const std::vector<BasicBlock *> &blocks)
+{
+    unsigned n = 0;
+    for (BasicBlock *bb : blocks)
+        for (const auto &inst : bb->insts())
+            if (isMemoryOp(inst->op()))
+                ++n;
+    return n;
+}
+
+} // namespace
+
+HlsResult
+scheduleHls(const Module &module, const std::string &kernel,
+            const std::map<std::string, std::vector<float>> &float_inputs,
+            const std::map<std::string, std::vector<int32_t>> &int_inputs,
+            double uir_mhz, const HlsOptions &opts)
+{
+    const Function *fn = module.function(kernel);
+    muir_assert(fn != nullptr, "HLS: kernel %s not found", kernel.c_str());
+
+    // Measure dynamic trip counts by interpreting the program on the
+    // real inputs (the schedule is static; the counts are not).
+    Interpreter interp(module);
+    for (const auto &[name, data] : float_inputs)
+        interp.memory().writeFloats(module.global(name), data);
+    for (const auto &[name, data] : int_inputs)
+        interp.memory().writeInts(module.global(name), data);
+    interp.run(*fn, {});
+    const auto &counts = interp.blockCounts();
+    auto entries = [&](const BasicBlock *bb) -> uint64_t {
+        auto it = counts.find(bb);
+        return it == counts.end() ? 0 : it->second;
+    };
+
+    Cfg cfg(*fn);
+    DominatorTree dt(cfg);
+    LoopInfo li(cfg, dt);
+
+    // Schedule loops innermost-out. Innermost loops pipeline with
+    // II = max(recurrence, memory-port pressure); outer loops run
+    // their own body plus children serially per iteration.
+    std::map<const Loop *, uint64_t> loop_cycles;
+    auto loops = li.allLoops();
+    for (auto it = loops.rbegin(); it != loops.rend(); ++it) {
+        Loop *loop = *it;
+        auto own = loop->ownBlocks();
+        uint64_t iters = entries(loop->header);
+        // Header entries = iterations + one exit test per invocation.
+        uint64_t invocations = 1;
+        for (BasicBlock *pred : loop->header->predecessors())
+            if (!loop->contains(pred))
+                invocations = std::max<uint64_t>(1, entries(pred));
+        uint64_t body_iters = iters > invocations ? iters - invocations
+                                                  : 0;
+
+        unsigned latency = bodyLatency(own, opts);
+        uint64_t child_time = 0;
+        for (Loop *sub : loop->subloops)
+            child_time += loop_cycles.at(sub);
+
+        // Stream buffers give each streamed array a dedicated FIFO
+        // port, effectively doubling the memory parallelism.
+        unsigned ports = opts.streamBuffers ? opts.memPorts * 2
+                                            : opts.memPorts;
+        uint64_t cycles;
+        if (loop->subloops.empty()) {
+            unsigned ii = std::max<unsigned>(
+                recurrenceII(*loop, opts),
+                (memOpsIn(own) + ports - 1) / ports);
+            ii = std::max(1u, ii);
+            cycles = body_iters * ii +
+                     invocations * (latency + opts.fsmOverhead);
+        } else {
+            // Serialized nested execution: no cross-iteration overlap.
+            cycles = body_iters * (latency + opts.fsmOverhead) +
+                     child_time + invocations * opts.fsmOverhead;
+        }
+        loop_cycles[loop] = cycles;
+    }
+
+    // Top level: straight-line blocks plus top-level loops.
+    std::vector<BasicBlock *> top_blocks;
+    for (BasicBlock *bb : cfg.rpo())
+        if (li.loopFor(bb) == nullptr)
+            top_blocks.push_back(bb);
+    uint64_t total = bodyLatency(top_blocks, opts) + opts.fsmOverhead;
+    for (Loop *loop : li.topLevel())
+        total += loop_cycles.at(loop);
+
+    HlsResult result;
+    result.cycles = total;
+    result.mhz = uir_mhz / opts.clockPenalty;
+    return result;
+}
+
+} // namespace muir::baselines

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Commercial-HLS execution model (the Fig. 9 comparator, standing in
+ * for LegUp / Intel HLS). HLS lowers loops to statically scheduled
+ * circuits coordinated by a central FSM (§2.1): innermost loops are
+ * modulo-scheduled with an initiation interval bounded by memory
+ * ports and loop-carried recurrences, nested loops execute serially
+ * (the paper: "HLS serialize the nested loop executions"), and every
+ * region transition pays FSM overhead. Optionally models the
+ * stream-buffer optimization HLS applies to streaming kernels (FFT,
+ * DENSE), which the paper could not disable.
+ */
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "ir/module.hh"
+
+namespace muir::baselines
+{
+
+/** Configuration of the modeled HLS tool. */
+struct HlsOptions
+{
+    /** Simultaneous memory ports of the generated datapath. */
+    unsigned memPorts = 2;
+    /** Statically scheduled on-chip RAM access latency. */
+    unsigned memLatency = 3;
+    /** With stream buffers the tool hides the RAM latency. */
+    bool streamBuffers = false;
+    /** FSM state-transition overhead entering/leaving each region. */
+    unsigned fsmOverhead = 3;
+    /** Clock penalty relative to a dataflow design (the paper reports
+     *  μIR clocks ~20% above HLS for the same program). */
+    double clockPenalty = 1.2;
+};
+
+/** Result of statically scheduling one kernel. */
+struct HlsResult
+{
+    uint64_t cycles = 0;
+    /** Achieved clock in MHz (derived from the μIR clock / penalty). */
+    double mhz = 0;
+    /** cycles / mhz, microseconds. */
+    double timeUs() const { return mhz > 0 ? cycles / mhz : 0; }
+};
+
+/**
+ * Statically schedule kernel and predict its HLS execution time.
+ * Dynamic trip counts are measured by interpreting the module (the
+ * same inputs must be pre-bound by the caller via the returned
+ * interpreter — see scheduleHls overload below).
+ *
+ * @param uir_mhz The μIR design's achieved clock (from the cost
+ *        model); the HLS clock is uir_mhz / clockPenalty.
+ */
+HlsResult scheduleHls(const ir::Module &module, const std::string &kernel,
+                      const std::map<std::string, std::vector<float>>
+                          &float_inputs,
+                      const std::map<std::string, std::vector<int32_t>>
+                          &int_inputs,
+                      double uir_mhz, const HlsOptions &opts = {});
+
+} // namespace muir::baselines

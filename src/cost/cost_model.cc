@@ -1,0 +1,242 @@
+#include "cost/cost_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hh"
+#include "uir/delay_model.hh"
+
+namespace muir::cost
+{
+
+namespace
+{
+
+/** ALM cost of one compute opcode. */
+double
+opAlms(ir::Op op)
+{
+    using ir::Op;
+    switch (op) {
+      case Op::And: case Op::Or: case Op::Xor:
+      case Op::Trunc: case Op::ZExt: case Op::SExt:
+        return 10;
+      case Op::Shl: case Op::LShr: case Op::AShr:
+      case Op::Select:
+        return 18;
+      case Op::Add: case Op::Sub: case Op::GEP:
+      case Op::ICmpEq: case Op::ICmpNe: case Op::ICmpSlt:
+      case Op::ICmpSle: case Op::ICmpSgt: case Op::ICmpSge:
+        return 32;
+      case Op::Mul:
+        return 48; // Plus a DSP block.
+      case Op::SDiv: case Op::SRem:
+        return 420;
+      case Op::FAdd: case Op::FSub:
+        return 380; // Soft-logic hardfloat adder.
+      case Op::FMul:
+        return 160; // Plus a DSP block.
+      case Op::FDiv:
+        return 640;
+      case Op::FExp:
+        return 820; // Polynomial/table unit, logic only.
+      case Op::FSqrt:
+        return 540;
+      case Op::FCmpOeq: case Op::FCmpOlt: case Op::FCmpOle:
+      case Op::FCmpOgt: case Op::FCmpOge:
+        return 70;
+      case Op::SIToFP: case Op::FPToSI:
+        return 90;
+      case Op::TMul:
+        return 260; // Reduction tree control; muls sit in DSPs.
+      case Op::TAdd: case Op::TSub:
+        return 220;
+      case Op::TRelu:
+        return 60;
+      default:
+        return 24;
+    }
+}
+
+/** DSP blocks of one compute opcode. */
+unsigned
+opDsps(ir::Op op)
+{
+    using ir::Op;
+    switch (op) {
+      case Op::Mul:
+      case Op::FMul:
+        return 1;
+      case Op::TMul:
+        return 8; // Figure 14: 2x2 reduction-tree multiplier array.
+      case Op::TAdd: case Op::TSub:
+        return 2;
+      case Op::TRelu:
+        return 4; // Wide comparator lanes packed into DSPs.
+      default:
+        return 0;
+    }
+}
+
+/** 28 nm standard-cell area factor relative to ALMs. */
+constexpr double kUm2PerAlm = 7.2;
+/** DSP block equivalent area. */
+constexpr double kUm2PerDsp = 900.0;
+
+} // namespace
+
+NodeCost
+nodeCost(const uir::Node &node)
+{
+    NodeCost c;
+    unsigned flit = std::max(1u, node.hwType().flitBits());
+    // Every node pays its output handshake register + valid/ready.
+    double handshake_regs = flit + 2;
+    double handshake_alms = 14;
+
+    switch (node.kind()) {
+      case uir::NodeKind::Compute:
+        c.alms = opAlms(node.op()) + handshake_alms;
+        c.dsps = opDsps(node.op());
+        break;
+      case uir::NodeKind::Fused: {
+        // One handshake for the cluster; internal ops share routing,
+        // so logic packs about 10% denser than standalone units.
+        double sum = 0;
+        for (const auto &mop : node.microOps()) {
+            sum += opAlms(mop.op);
+            c.dsps += opDsps(mop.op);
+        }
+        c.alms = sum * 0.9 + handshake_alms;
+        break;
+      }
+      case uir::NodeKind::Load:
+      case uir::NodeKind::Store:
+        // Databox: type conversion, coalescing, shift/mask (§3.4).
+        c.alms = 130 + 22.0 * node.accessWords() + handshake_alms;
+        break;
+      case uir::NodeKind::LoopControl:
+        c.alms = 90 + 26.0 * node.numCarried() + handshake_alms;
+        handshake_regs += 32.0 * (1 + node.numCarried());
+        break;
+      case uir::NodeKind::ChildCall:
+        c.alms = 64 + handshake_alms;
+        break;
+      case uir::NodeKind::SyncNode:
+        c.alms = 40 + handshake_alms;
+        break;
+      case uir::NodeKind::LiveIn:
+      case uir::NodeKind::LiveOut:
+        c.alms = 18 + handshake_alms;
+        break;
+      case uir::NodeKind::ConstNode:
+      case uir::NodeKind::GlobalAddr:
+        c.alms = 2;
+        handshake_regs = 0;
+        break;
+    }
+    c.regs = handshake_regs + c.alms * 0.9;
+    c.asicUm2 = c.alms * kUm2PerAlm + c.dsps * kUm2PerDsp;
+    return c;
+}
+
+NodeCost
+structureCost(const uir::Structure &s)
+{
+    NodeCost c;
+    switch (s.kind()) {
+      case uir::StructureKind::Scratchpad:
+        c.alms = 90.0 * s.banks() + 40.0 * s.banks() * s.portsPerBank() +
+                 25.0 * s.wideWords();
+        break;
+      case uir::StructureKind::Cache:
+        c.alms = 650 + 160.0 * s.banks() + 3.0 * s.sizeKb();
+        break;
+      case uir::StructureKind::Dram:
+        c.alms = 420; // AXI port logic.
+        break;
+    }
+    c.regs = c.alms * 1.2;
+    c.asicUm2 = c.alms * kUm2PerAlm;
+    return c;
+}
+
+SynthesisReport
+synthesize(const uir::Accelerator &accel, double activity)
+{
+    SynthesisReport r;
+    bool has_fp = false, has_exp = false, has_tensor = false;
+    bool has_queues = false;
+    double worst_stage = 0.4; // Control-path floor.
+
+    for (const auto &task : accel.tasks()) {
+        if (task->decoupled() || task->kind() == uir::TaskKind::Spawn)
+            has_queues = true;
+        // Task queue / dispatch logic.
+        double queue_alms =
+            40.0 + 18.0 * task->queueDepth() + 60.0 * task->numTiles();
+        r.alms += queue_alms * (task->numTiles());
+        r.regs += queue_alms;
+        for (const auto &node : task->nodes()) {
+            NodeCost c = nodeCost(*node);
+            // Execution tiling replicates the whole datapath.
+            unsigned copies = std::max(1u, task->numTiles());
+            r.alms += c.alms * copies;
+            r.regs += c.regs * copies;
+            r.dsps += c.dsps * copies;
+            r.asicKum2 += c.asicUm2 * copies / 1000.0;
+
+            if (node->kind() == uir::NodeKind::Compute) {
+                if (node->op() == ir::Op::FExp)
+                    has_exp = true;
+                double d = uir::opDelayUnits(node->op());
+                if (d >= 3.0 && d < 12.0 && node->irType().isFloat())
+                    has_fp = true;
+                // Per-stage delay: internally pipelined units split
+                // their delay across ceil(delay) stages.
+                worst_stage = std::max(
+                    worst_stage, d / std::max(1.0, std::ceil(d)));
+            } else if (node->kind() == uir::NodeKind::Fused) {
+                worst_stage =
+                    std::max(worst_stage, uir::fusedDelayUnits(*node));
+            }
+            if (node->irType().isTensor())
+                has_tensor = true;
+        }
+    }
+    for (const auto &s : accel.structures()) {
+        NodeCost c = structureCost(*s);
+        r.alms += c.alms;
+        r.regs += c.regs;
+        r.asicKum2 += c.asicUm2 / 1000.0;
+    }
+
+    // --- Frequency. Base fabric limit, derated by the worst stage,
+    // FP macros, Cilk queue/dispatch logic, and routing pressure.
+    double fmax = 520.0 / std::max(1.0, worst_stage);
+    if (has_fp)
+        fmax = std::min(fmax, 415.0);
+    if (has_queues)
+        fmax = std::min(fmax, 320.0);
+    fmax -= 2.2 * std::sqrt(r.alms / 100.0); // Routing pressure.
+    r.fpgaMhz = std::max(150.0, fmax);
+
+    double ghz = 2.5;
+    if (has_exp)
+        ghz = 2.0;
+    else if (has_fp)
+        ghz = 1.66;
+    if (has_queues && !has_tensor)
+        ghz = std::min(ghz, 2.5);
+    r.asicGhz = ghz;
+
+    // --- Power: static + activity-scaled dynamic.
+    activity = std::clamp(activity, 0.0, 1.0);
+    r.fpgaMw = 330.0 + 0.055 * r.alms + 0.022 * r.regs + 6.0 * r.dsps;
+    r.fpgaMw *= (0.75 + 0.8 * activity);
+    r.asicMw = 2.0 + 0.5 * r.asicKum2 * (r.asicGhz / 2.5);
+    r.asicMw *= (0.6 + 1.1 * activity);
+    return r;
+}
+
+} // namespace muir::cost

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Analytical synthesis cost model standing in for Quartus (Arria 10)
+ * and Synopsys DC (UMC 28 nm). Component-additive: each μIR node and
+ * structure contributes FPGA ALMs/registers/DSPs and ASIC area, and
+ * the achievable clock comes from the worst per-stage combinational
+ * delay plus the paper's observed penalties (FP macro cap, Cilk
+ * task-queue logic on the critical path, routing pressure with size).
+ * Calibrated to the *ranges* of Table 2; absolute numbers are
+ * explicitly out of scope for this reproduction (see DESIGN.md).
+ */
+#pragma once
+
+#include "support/stats.hh"
+#include "uir/accelerator.hh"
+
+namespace muir::cost
+{
+
+/** Resource/area/timing/power estimate for one accelerator. */
+struct SynthesisReport
+{
+    /** @name FPGA (Arria 10 class) @{ */
+    double fpgaMhz = 0;
+    double fpgaMw = 0;
+    double alms = 0;
+    double regs = 0;
+    unsigned dsps = 0;
+    /** @} */
+
+    /** @name ASIC (28 nm class) @{ */
+    double asicGhz = 0;
+    double asicMw = 0;
+    /** Area in 10^-3 mm^2 (the unit of Table 2's area column). */
+    double asicKum2 = 0;
+    /** @} */
+};
+
+/** Per-node FPGA resource estimate. */
+struct NodeCost
+{
+    double alms = 0;
+    double regs = 0;
+    unsigned dsps = 0;
+    double asicUm2 = 0;
+};
+
+/** Resource estimate for a single dataflow node. */
+NodeCost nodeCost(const uir::Node &node);
+
+/** Resource estimate for a hardware structure. */
+NodeCost structureCost(const uir::Structure &structure);
+
+/**
+ * Full synthesis estimate.
+ * @param activity Optional utilization in [0,1] (dynamic firings per
+ *        cycle per node, from simulation) scaling dynamic power.
+ */
+SynthesisReport synthesize(const uir::Accelerator &accel,
+                           double activity = 0.3);
+
+} // namespace muir::cost

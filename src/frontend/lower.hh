@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The μIR front end (§3.6, Algorithm 1): translate a compiler-IR
+ * program into a hierarchical μIR accelerator graph.
+ *
+ * Stage 1 partitions the program-dependence graph into task regions:
+ * the root, every natural loop (loops are self-scheduling asynchronous
+ * tasks, §3.5), every Tapir detach region (Cilk spawn), and every
+ * called function. Stage 2 lowers each region's basic blocks into a
+ * hyperblock: forward control flow becomes dataflow predication,
+ * canonical loop headers become LoopControl nodes, and memory ops are
+ * connected to the global memory (the baseline shared L1).
+ *
+ * Canonical-form requirements (the IRBuilder's ForLoop guarantees
+ * them; LLVM's loop canonicalization provides the same guarantees in
+ * the paper's flow): counted loops with a single latch containing only
+ * the induction increment, loop values escaping only through header
+ * phis, and a single ret per function.
+ */
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "ir/module.hh"
+#include "uir/accelerator.hh"
+
+namespace muir::frontend
+{
+
+/** Options controlling baseline accelerator construction. */
+struct LowerOptions
+{
+    /** Name for the generated accelerator (defaults to kernel name). */
+    std::string name;
+    /** Baseline L1 size in KB (paper: 64 KB, §6.4). */
+    unsigned cacheSizeKb = 64;
+    /** Baseline DRAM/AXI latency in cycles. */
+    unsigned dramLatency = 80;
+    /**
+     * Give local arrays a single *shared* scratchpad at baseline
+     * instead of routing them through the L1 — the paper's baseline
+     * for Cilk accelerators ("a shared scratchpad for local accesses
+     * and an L1 cache for all global accesses", §6.4). Pass 3 later
+     * splits it per space.
+     */
+    bool sharedScratchpad = false;
+    /** Arrays above this size stay behind the cache even when
+     *  sharedScratchpad is set. */
+    unsigned scratchpadMaxKb = 32;
+};
+
+/**
+ * Lower kernel (a function of module) and everything it reaches into a
+ * μIR accelerator. The returned graph holds a pointer to module, which
+ * must outlive it.
+ */
+std::unique_ptr<uir::Accelerator> lowerToUir(const ir::Module &module,
+                                             const std::string &kernel,
+                                             const LowerOptions &opts = {});
+
+} // namespace muir::frontend

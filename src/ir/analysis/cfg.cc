@@ -1,0 +1,87 @@
+#include "ir/analysis/cfg.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "support/logging.hh"
+
+namespace muir::ir
+{
+
+namespace
+{
+
+void
+postOrder(BasicBlock *bb, std::set<BasicBlock *> &visited,
+          std::vector<BasicBlock *> &order)
+{
+    if (!visited.insert(bb).second)
+        return;
+    for (BasicBlock *succ : bb->successors())
+        postOrder(succ, visited, order);
+    order.push_back(bb);
+}
+
+} // namespace
+
+Cfg::Cfg(const Function &fn) : fn_(&fn)
+{
+    std::set<BasicBlock *> visited;
+    std::vector<BasicBlock *> post;
+    postOrder(fn.entry(), visited, post);
+    rpo_.assign(post.rbegin(), post.rend());
+    for (unsigned i = 0; i < rpo_.size(); ++i)
+        rpoIndex_[rpo_[i]] = i;
+    for (BasicBlock *bb : rpo_)
+        preds_[bb]; // Ensure every reachable block has an entry.
+    for (BasicBlock *bb : rpo_)
+        for (BasicBlock *succ : bb->successors())
+            preds_[succ].push_back(bb);
+}
+
+unsigned
+Cfg::rpoIndex(const BasicBlock *bb) const
+{
+    auto it = rpoIndex_.find(bb);
+    muir_assert(it != rpoIndex_.end(), "block %s unreachable",
+                bb->name().c_str());
+    return it->second;
+}
+
+const std::vector<BasicBlock *> &
+Cfg::preds(const BasicBlock *bb) const
+{
+    static const std::vector<BasicBlock *> empty;
+    auto it = preds_.find(bb);
+    return it == preds_.end() ? empty : it->second;
+}
+
+bool
+Cfg::reachable(const BasicBlock *bb) const
+{
+    return rpoIndex_.count(bb) > 0;
+}
+
+std::vector<BasicBlock *>
+detachRegion(const Instruction &detach)
+{
+    muir_assert(detach.op() == Op::Detach, "not a detach");
+    BasicBlock *entry = detach.successor(0);
+    BasicBlock *continuation = detach.successor(1);
+
+    std::vector<BasicBlock *> region;
+    std::set<BasicBlock *> visited;
+    std::vector<BasicBlock *> stack{entry};
+    while (!stack.empty()) {
+        BasicBlock *bb = stack.back();
+        stack.pop_back();
+        if (bb == continuation || !visited.insert(bb).second)
+            continue;
+        region.push_back(bb);
+        for (BasicBlock *succ : bb->successors())
+            stack.push_back(succ);
+    }
+    return region;
+}
+
+} // namespace muir::ir

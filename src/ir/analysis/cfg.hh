@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Control-flow-graph utilities: reverse-post-order, predecessor maps,
+ * and Tapir detach-region discovery.
+ */
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "ir/function.hh"
+
+namespace muir::ir
+{
+
+/** Cached CFG facts for one function. */
+class Cfg
+{
+  public:
+    explicit Cfg(const Function &fn);
+
+    const Function &function() const { return *fn_; }
+
+    /** Blocks in reverse post order from the entry. */
+    const std::vector<BasicBlock *> &rpo() const { return rpo_; }
+
+    /** RPO index of a block (entry = 0). */
+    unsigned rpoIndex(const BasicBlock *bb) const;
+
+    /** Predecessors (computed once, unlike BasicBlock::predecessors). */
+    const std::vector<BasicBlock *> &preds(const BasicBlock *bb) const;
+
+    /** @return true if bb is reachable from the entry. */
+    bool reachable(const BasicBlock *bb) const;
+
+  private:
+    const Function *fn_;
+    std::vector<BasicBlock *> rpo_;
+    std::map<const BasicBlock *, unsigned> rpoIndex_;
+    std::map<const BasicBlock *, std::vector<BasicBlock *>> preds_;
+};
+
+/**
+ * The blocks of a detached (spawned) region: everything reachable from
+ * the detach's first successor without passing through the reattach
+ * continuation. The region always terminates in reattach(continuation).
+ */
+std::vector<BasicBlock *> detachRegion(const Instruction &detach);
+
+} // namespace muir::ir

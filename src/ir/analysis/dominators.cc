@@ -1,0 +1,70 @@
+#include "ir/analysis/dominators.hh"
+
+#include "support/logging.hh"
+
+namespace muir::ir
+{
+
+DominatorTree::DominatorTree(const Cfg &cfg) : cfg_(&cfg)
+{
+    const auto &rpo = cfg.rpo();
+    if (rpo.empty())
+        return;
+    BasicBlock *entry = rpo.front();
+    idom_[entry] = entry; // Temporarily self, cleared at the end.
+
+    auto intersect = [&](BasicBlock *a, BasicBlock *b) {
+        while (a != b) {
+            while (cfg.rpoIndex(a) > cfg.rpoIndex(b))
+                a = idom_.at(a);
+            while (cfg.rpoIndex(b) > cfg.rpoIndex(a))
+                b = idom_.at(b);
+        }
+        return a;
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (size_t i = 1; i < rpo.size(); ++i) {
+            BasicBlock *bb = rpo[i];
+            BasicBlock *new_idom = nullptr;
+            for (BasicBlock *pred : cfg.preds(bb)) {
+                if (!idom_.count(pred))
+                    continue; // Not yet processed.
+                new_idom = new_idom ? intersect(new_idom, pred) : pred;
+            }
+            muir_assert(new_idom != nullptr, "block %s has no processed "
+                        "predecessor", bb->name().c_str());
+            auto it = idom_.find(bb);
+            if (it == idom_.end() || it->second != new_idom) {
+                idom_[bb] = new_idom;
+                changed = true;
+            }
+        }
+    }
+    idom_[entry] = nullptr;
+}
+
+BasicBlock *
+DominatorTree::idom(const BasicBlock *bb) const
+{
+    auto it = idom_.find(bb);
+    muir_assert(it != idom_.end(), "idom of unreachable block %s",
+                bb->name().c_str());
+    return it->second;
+}
+
+bool
+DominatorTree::dominates(const BasicBlock *a, const BasicBlock *b) const
+{
+    const BasicBlock *runner = b;
+    while (runner != nullptr) {
+        if (runner == a)
+            return true;
+        runner = idom(runner);
+    }
+    return false;
+}
+
+} // namespace muir::ir

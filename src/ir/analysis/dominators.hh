@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Dominator tree via the Cooper-Harvey-Kennedy iterative algorithm.
+ */
+#pragma once
+
+#include <map>
+
+#include "ir/analysis/cfg.hh"
+
+namespace muir::ir
+{
+
+/** Immediate-dominator tree for one function. */
+class DominatorTree
+{
+  public:
+    explicit DominatorTree(const Cfg &cfg);
+
+    /** Immediate dominator; nullptr for the entry block. */
+    BasicBlock *idom(const BasicBlock *bb) const;
+
+    /** @return true if a dominates b (reflexive). */
+    bool dominates(const BasicBlock *a, const BasicBlock *b) const;
+
+  private:
+    const Cfg *cfg_;
+    std::map<const BasicBlock *, BasicBlock *> idom_;
+};
+
+} // namespace muir::ir

@@ -1,0 +1,124 @@
+#include "ir/analysis/loop_info.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace muir::ir
+{
+
+std::vector<BasicBlock *>
+Loop::ownBlocks() const
+{
+    std::vector<BasicBlock *> own;
+    for (BasicBlock *bb : blocks) {
+        bool in_sub = false;
+        for (const Loop *sub : subloops)
+            if (sub->contains(bb))
+                in_sub = true;
+        if (!in_sub)
+            own.push_back(bb);
+    }
+    return own;
+}
+
+LoopInfo::LoopInfo(const Cfg &cfg, const DominatorTree &dt)
+{
+    // Find back edges (tail -> header where header dominates tail), in
+    // RPO so outer loops are discovered before inner ones.
+    std::map<BasicBlock *, Loop *> header_loop;
+    for (BasicBlock *bb : cfg.rpo()) {
+        for (BasicBlock *succ : bb->successors()) {
+            if (!dt.dominates(succ, bb))
+                continue;
+            // bb -> succ is a back edge; succ is a loop header.
+            Loop *loop = nullptr;
+            auto it = header_loop.find(succ);
+            if (it != header_loop.end()) {
+                loop = it->second;
+            } else {
+                loops_.push_back(std::make_unique<Loop>());
+                loop = loops_.back().get();
+                loop->header = succ;
+                header_loop[succ] = loop;
+            }
+            loop->latches.push_back(bb);
+            // Grow the loop body: reverse reachability from the latch
+            // to the header.
+            std::vector<BasicBlock *> stack{bb};
+            loop->blocks.insert(succ);
+            while (!stack.empty()) {
+                BasicBlock *cur = stack.back();
+                stack.pop_back();
+                if (!loop->blocks.insert(cur).second)
+                    continue;
+                for (BasicBlock *pred : cfg.preds(cur))
+                    stack.push_back(pred);
+            }
+        }
+    }
+
+    // Establish nesting: loop A is a child of the smallest loop B != A
+    // that contains A's header.
+    for (auto &loop : loops_) {
+        Loop *best = nullptr;
+        for (auto &other : loops_) {
+            if (other.get() == loop.get())
+                continue;
+            if (!other->contains(loop->header))
+                continue;
+            if (!best || other->blocks.size() < best->blocks.size())
+                best = other.get();
+        }
+        loop->parent = best;
+        if (best)
+            best->subloops.push_back(loop.get());
+        else
+            topLevel_.push_back(loop.get());
+    }
+
+    // Innermost-loop map.
+    for (auto &loop : loops_) {
+        for (BasicBlock *bb : loop->blocks) {
+            auto it = innermost_.find(bb);
+            if (it == innermost_.end() ||
+                loop->blocks.size() < it->second->blocks.size()) {
+                innermost_[bb] = loop.get();
+            }
+        }
+    }
+
+    // Deterministic order: by header RPO index.
+    auto by_rpo = [&](Loop *a, Loop *b) {
+        return cfg.rpoIndex(a->header) < cfg.rpoIndex(b->header);
+    };
+    std::sort(topLevel_.begin(), topLevel_.end(), by_rpo);
+    for (auto &loop : loops_)
+        std::sort(loop->subloops.begin(), loop->subloops.end(), by_rpo);
+}
+
+std::vector<Loop *>
+LoopInfo::allLoops() const
+{
+    std::vector<Loop *> all;
+    std::vector<Loop *> stack(topLevel_.rbegin(), topLevel_.rend());
+    while (!stack.empty()) {
+        Loop *loop = stack.back();
+        stack.pop_back();
+        all.push_back(loop);
+        for (auto it = loop->subloops.rbegin(); it != loop->subloops.rend();
+             ++it) {
+            stack.push_back(*it);
+        }
+    }
+    return all;
+}
+
+Loop *
+LoopInfo::loopFor(const BasicBlock *bb) const
+{
+    auto it = innermost_.find(bb);
+    return it == innermost_.end() ? nullptr : it->second;
+}
+
+} // namespace muir::ir

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Natural-loop discovery on the dominator tree. Loops become μIR task
+ * blocks in Stage 1 of the front end (each nested loop is its own
+ * asynchronously scheduled task, §3.5).
+ */
+#pragma once
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "ir/analysis/dominators.hh"
+
+namespace muir::ir
+{
+
+/** One natural loop: header + body blocks + nesting links. */
+struct Loop
+{
+    BasicBlock *header = nullptr;
+    /** All blocks of the loop, including subloop blocks. */
+    std::set<BasicBlock *> blocks;
+    /** Blocks branching back to the header. */
+    std::vector<BasicBlock *> latches;
+    Loop *parent = nullptr;
+    std::vector<Loop *> subloops;
+
+    /** Nesting depth; top-level loops have depth 1. */
+    unsigned depth() const
+    {
+        unsigned d = 1;
+        for (Loop *p = parent; p; p = p->parent)
+            ++d;
+        return d;
+    }
+
+    bool contains(const BasicBlock *bb) const
+    {
+        return blocks.count(const_cast<BasicBlock *>(bb)) > 0;
+    }
+
+    /** Blocks belonging to this loop but to no subloop. */
+    std::vector<BasicBlock *> ownBlocks() const;
+};
+
+/** All natural loops of a function. */
+class LoopInfo
+{
+  public:
+    LoopInfo(const Cfg &cfg, const DominatorTree &dt);
+
+    /** Outermost loops in program order. */
+    const std::vector<Loop *> &topLevel() const { return topLevel_; }
+
+    /** All loops, outer before inner. */
+    std::vector<Loop *> allLoops() const;
+
+    /** Innermost loop containing bb, or nullptr. */
+    Loop *loopFor(const BasicBlock *bb) const;
+
+  private:
+    std::vector<std::unique_ptr<Loop>> loops_;
+    std::vector<Loop *> topLevel_;
+    std::map<const BasicBlock *, Loop *> innermost_;
+};
+
+} // namespace muir::ir

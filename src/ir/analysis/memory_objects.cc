@@ -1,0 +1,106 @@
+#include "ir/analysis/memory_objects.hh"
+
+#include "support/logging.hh"
+
+namespace muir::ir
+{
+
+MemoryObjects::MemoryObjects(const Function &fn)
+{
+    // Resolution is demand-driven; pre-warm the memo with every pointer
+    // used by a memory op so spaceForAccess is O(1) afterwards.
+    for (const auto &bb : fn.blocks()) {
+        for (const auto &inst : bb->insts()) {
+            if (!isMemoryOp(inst->op()))
+                continue;
+            unsigned ptr_idx = (inst->op() == Op::Store ||
+                                inst->op() == Op::TStore)
+                                   ? 1
+                                   : 0;
+            std::map<const Value *, const GlobalArray *> in_flight;
+            resolve(inst->operand(ptr_idx), in_flight, 0);
+        }
+    }
+}
+
+const GlobalArray *
+MemoryObjects::resolve(const Value *pointer,
+                       std::map<const Value *, const GlobalArray *> &memo,
+                       unsigned depth) const
+{
+    auto it = memo_.find(pointer);
+    if (it != memo_.end())
+        return it->second;
+    if (depth > 64 || memo.count(pointer))
+        return nullptr; // Cycle (phi) — treat conservatively.
+    memo[pointer] = nullptr;
+
+    const GlobalArray *result = nullptr;
+    if (auto *g = dynamic_cast<const GlobalArray *>(pointer)) {
+        result = g;
+    } else if (auto *inst = dynamic_cast<const Instruction *>(pointer)) {
+        switch (inst->op()) {
+          case Op::GEP:
+            result = resolve(inst->operand(0), memo, depth + 1);
+            break;
+          case Op::Select: {
+            const GlobalArray *a = resolve(inst->operand(1), memo,
+                                           depth + 1);
+            const GlobalArray *b = resolve(inst->operand(2), memo,
+                                           depth + 1);
+            result = (a == b) ? a : nullptr;
+            break;
+          }
+          case Op::Phi: {
+            const GlobalArray *common = nullptr;
+            bool first = true;
+            for (unsigned i = 0; i < inst->numIncoming(); ++i) {
+                const GlobalArray *g2 = resolve(inst->incomingValue(i),
+                                                memo, depth + 1);
+                if (first) {
+                    common = g2;
+                    first = false;
+                } else if (g2 != common) {
+                    common = nullptr;
+                }
+            }
+            result = common;
+            break;
+          }
+          default:
+            result = nullptr;
+        }
+    }
+    memo_[pointer] = result;
+    return result;
+}
+
+const GlobalArray *
+MemoryObjects::objectFor(const Value *pointer) const
+{
+    auto it = memo_.find(pointer);
+    if (it != memo_.end())
+        return it->second;
+    std::map<const Value *, const GlobalArray *> in_flight;
+    return resolve(pointer, in_flight, 0);
+}
+
+unsigned
+MemoryObjects::spaceFor(const Value *pointer) const
+{
+    const GlobalArray *g = objectFor(pointer);
+    return g ? g->spaceId() : kGlobalSpace;
+}
+
+unsigned
+MemoryObjects::spaceForAccess(const Instruction &mem_op) const
+{
+    muir_assert(isMemoryOp(mem_op.op()), "not a memory op");
+    unsigned ptr_idx = (mem_op.op() == Op::Store ||
+                        mem_op.op() == Op::TStore)
+                           ? 1
+                           : 0;
+    return spaceFor(mem_op.operand(ptr_idx));
+}
+
+} // namespace muir::ir

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Memory-object (points-to) analysis. Every pointer in our IR is
+ * derived from a GlobalArray through GEP/select/phi chains, so each
+ * memory operation maps to a unique memory-space id — exactly the
+ * LLVMPointsto() helper the paper's Algorithm 2 (scratchpad banking)
+ * invokes. Pointers that cannot be resolved to a single object map to
+ * space 0 (global/DRAM).
+ */
+#pragma once
+
+#include <map>
+
+#include "ir/module.hh"
+
+namespace muir::ir
+{
+
+/** Space id for "unknown / global memory" (behind the cache). */
+inline constexpr unsigned kGlobalSpace = 0;
+
+/** Points-to facts for one function. */
+class MemoryObjects
+{
+  public:
+    explicit MemoryObjects(const Function &fn);
+
+    /**
+     * The memory object a pointer value refers to, or nullptr when
+     * unresolvable (then space is kGlobalSpace).
+     */
+    const GlobalArray *objectFor(const Value *pointer) const;
+
+    /** Memory-space id for a pointer value. */
+    unsigned spaceFor(const Value *pointer) const;
+
+    /** Memory-space id accessed by a Load/Store/TLoad/TStore. */
+    unsigned spaceForAccess(const Instruction &mem_op) const;
+
+  private:
+    const GlobalArray *resolve(const Value *pointer,
+                               std::map<const Value *,
+                                        const GlobalArray *> &memo,
+                               unsigned depth) const;
+
+    mutable std::map<const Value *, const GlobalArray *> memo_;
+};
+
+} // namespace muir::ir

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Basic blocks: ordered instruction sequences ending in a terminator.
+ */
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/instruction.hh"
+
+namespace muir::ir
+{
+
+class Function;
+
+/** A straight-line instruction sequence with a single terminator. */
+class BasicBlock
+{
+  public:
+    BasicBlock(std::string name, Function *parent)
+        : name_(std::move(name)), parent_(parent)
+    {
+    }
+
+    BasicBlock(const BasicBlock &) = delete;
+    BasicBlock &operator=(const BasicBlock &) = delete;
+
+    const std::string &name() const { return name_; }
+    Function *parent() const { return parent_; }
+
+    /** Append an instruction, transferring ownership. */
+    Instruction *append(std::unique_ptr<Instruction> inst);
+
+    /**
+     * Insert a phi after any existing leading phis. Unlike append this
+     * is legal on a terminated block, so loop builders can add carried
+     * values after the header's compare/branch exist.
+     */
+    Instruction *insertPhi(std::unique_ptr<Instruction> inst);
+
+    /**
+     * Insert an instruction immediately before the terminator (legal
+     * only on terminated blocks) — used by behaviour-level transforms
+     * such as loop unrolling to extend an existing body.
+     */
+    Instruction *insertBeforeTerminator(std::unique_ptr<Instruction> inst);
+
+    /** Instructions in program order. */
+    const std::vector<std::unique_ptr<Instruction>> &insts() const
+    {
+        return insts_;
+    }
+
+    bool empty() const { return insts_.empty(); }
+
+    /** The terminator, or nullptr if the block is still open. */
+    Instruction *terminator() const;
+
+    /** Successor blocks (from the terminator). */
+    std::vector<BasicBlock *> successors() const;
+
+    /** Predecessor blocks, recomputed by scanning the function. */
+    std::vector<BasicBlock *> predecessors() const;
+
+  private:
+    std::string name_;
+    Function *parent_;
+    std::vector<std::unique_ptr<Instruction>> insts_;
+};
+
+} // namespace muir::ir

@@ -1,0 +1,397 @@
+#include "ir/builder.hh"
+
+#include "support/logging.hh"
+#include "support/strings.hh"
+
+namespace muir::ir
+{
+
+Instruction *
+IRBuilder::insert(Op op, Type type, const std::string &name)
+{
+    muir_assert(bb_ != nullptr, "no insertion point set");
+    auto inst = std::make_unique<Instruction>(op, std::move(type),
+                                              nextName(name));
+    return bb_->append(std::move(inst));
+}
+
+std::string
+IRBuilder::nextName(const std::string &hint)
+{
+    if (!hint.empty())
+        return hint;
+    return fmt("t%u", nameCounter_++);
+}
+
+Value *
+IRBuilder::binary(Op op, Value *lhs, Value *rhs, const std::string &name)
+{
+    muir_assert(lhs->type() == rhs->type(),
+                "binary op %s type mismatch: %s vs %s", opName(op),
+                lhs->type().str().c_str(), rhs->type().str().c_str());
+    Type result = isCompareOp(op) ? Type::i1() : lhs->type();
+    Instruction *inst = insert(op, result, name);
+    inst->addOperand(lhs);
+    inst->addOperand(rhs);
+    return inst;
+}
+
+#define MUIR_BINOP(method, opcode)                                           \
+    Value *IRBuilder::method(Value *l, Value *r, const std::string &n)       \
+    {                                                                        \
+        return binary(Op::opcode, l, r, n);                                  \
+    }
+
+MUIR_BINOP(add, Add)
+MUIR_BINOP(sub, Sub)
+MUIR_BINOP(mul, Mul)
+MUIR_BINOP(sdiv, SDiv)
+MUIR_BINOP(srem, SRem)
+MUIR_BINOP(andOp, And)
+MUIR_BINOP(orOp, Or)
+MUIR_BINOP(xorOp, Xor)
+MUIR_BINOP(shl, Shl)
+MUIR_BINOP(lshr, LShr)
+MUIR_BINOP(ashr, AShr)
+MUIR_BINOP(fadd, FAdd)
+MUIR_BINOP(fsub, FSub)
+MUIR_BINOP(fmul, FMul)
+MUIR_BINOP(fdiv, FDiv)
+#undef MUIR_BINOP
+
+Value *
+IRBuilder::fexp(Value *v, const std::string &n)
+{
+    muir_assert(v->type().isFloat(), "fexp on non-float");
+    Instruction *inst = insert(Op::FExp, Type::f32(), n);
+    inst->addOperand(v);
+    return inst;
+}
+
+Value *
+IRBuilder::fsqrt(Value *v, const std::string &n)
+{
+    muir_assert(v->type().isFloat(), "fsqrt on non-float");
+    Instruction *inst = insert(Op::FSqrt, Type::f32(), n);
+    inst->addOperand(v);
+    return inst;
+}
+
+Value *
+IRBuilder::icmp(Op op, Value *l, Value *r, const std::string &n)
+{
+    muir_assert(l->type().isInt() || l->type().isPtr(),
+                "icmp on non-integer");
+    return binary(op, l, r, n);
+}
+
+Value *
+IRBuilder::fcmp(Op op, Value *l, Value *r, const std::string &n)
+{
+    muir_assert(l->type().isFloat(), "fcmp on non-float");
+    return binary(op, l, r, n);
+}
+
+Value *
+IRBuilder::select(Value *cond, Value *t, Value *f, const std::string &n)
+{
+    muir_assert(cond->type().isBool(), "select condition must be i1");
+    muir_assert(t->type() == f->type(), "select arm type mismatch");
+    Instruction *inst = insert(Op::Select, t->type(), n);
+    inst->addOperand(cond);
+    inst->addOperand(t);
+    inst->addOperand(f);
+    return inst;
+}
+
+Value *
+IRBuilder::zext(Value *v, Type to, const std::string &n)
+{
+    Instruction *inst = insert(Op::ZExt, std::move(to), n);
+    inst->addOperand(v);
+    return inst;
+}
+
+Value *
+IRBuilder::sext(Value *v, Type to, const std::string &n)
+{
+    Instruction *inst = insert(Op::SExt, std::move(to), n);
+    inst->addOperand(v);
+    return inst;
+}
+
+Value *
+IRBuilder::trunc(Value *v, Type to, const std::string &n)
+{
+    Instruction *inst = insert(Op::Trunc, std::move(to), n);
+    inst->addOperand(v);
+    return inst;
+}
+
+Value *
+IRBuilder::sitofp(Value *v, const std::string &n)
+{
+    muir_assert(v->type().isInt(), "sitofp on non-integer");
+    Instruction *inst = insert(Op::SIToFP, Type::f32(), n);
+    inst->addOperand(v);
+    return inst;
+}
+
+Value *
+IRBuilder::fptosi(Value *v, Type to, const std::string &n)
+{
+    muir_assert(v->type().isFloat(), "fptosi on non-float");
+    Instruction *inst = insert(Op::FPToSI, std::move(to), n);
+    inst->addOperand(v);
+    return inst;
+}
+
+Value *
+IRBuilder::gep(Value *base, Value *index, const std::string &n)
+{
+    muir_assert(base->type().isPtr(), "gep base must be a pointer, got %s",
+                base->type().str().c_str());
+    muir_assert(index->type().isInt(), "gep index must be an integer");
+    Instruction *inst = insert(Op::GEP, base->type(), n);
+    inst->addOperand(base);
+    inst->addOperand(index);
+    return inst;
+}
+
+Value *
+IRBuilder::load(Value *ptr, const std::string &n)
+{
+    muir_assert(ptr->type().isPtr(), "load from non-pointer");
+    muir_assert(ptr->type().pointee().isScalar(),
+                "use tload for tensor loads");
+    Instruction *inst = insert(Op::Load, ptr->type().pointee(), n);
+    inst->addOperand(ptr);
+    return inst;
+}
+
+Instruction *
+IRBuilder::store(Value *value, Value *ptr)
+{
+    muir_assert(ptr->type().isPtr(), "store to non-pointer");
+    muir_assert(value->type() == ptr->type().pointee(),
+                "store type mismatch: %s into %s*",
+                value->type().str().c_str(),
+                ptr->type().pointee().str().c_str());
+    Instruction *inst = insert(Op::Store, Type::voidTy(), "");
+    inst->addOperand(value);
+    inst->addOperand(ptr);
+    return inst;
+}
+
+Value *
+IRBuilder::tload(Value *ptr, const std::string &n)
+{
+    muir_assert(ptr->type().isPtr() && ptr->type().pointee().isTensor(),
+                "tload from non-tensor pointer");
+    Instruction *inst = insert(Op::TLoad, ptr->type().pointee(), n);
+    inst->addOperand(ptr);
+    return inst;
+}
+
+Instruction *
+IRBuilder::tstore(Value *value, Value *ptr)
+{
+    muir_assert(value->type().isTensor(), "tstore of non-tensor");
+    muir_assert(ptr->type().isPtr() &&
+                    ptr->type().pointee() == value->type(),
+                "tstore type mismatch");
+    Instruction *inst = insert(Op::TStore, Type::voidTy(), "");
+    inst->addOperand(value);
+    inst->addOperand(ptr);
+    return inst;
+}
+
+Value *
+IRBuilder::tmul(Value *l, Value *r, const std::string &n)
+{
+    return binary(Op::TMul, l, r, n);
+}
+
+Value *
+IRBuilder::tadd(Value *l, Value *r, const std::string &n)
+{
+    return binary(Op::TAdd, l, r, n);
+}
+
+Value *
+IRBuilder::tsub(Value *l, Value *r, const std::string &n)
+{
+    return binary(Op::TSub, l, r, n);
+}
+
+Value *
+IRBuilder::trelu(Value *v, const std::string &n)
+{
+    muir_assert(v->type().isTensor(), "trelu on non-tensor");
+    Instruction *inst = insert(Op::TRelu, v->type(), n);
+    inst->addOperand(v);
+    return inst;
+}
+
+Instruction *
+IRBuilder::br(BasicBlock *target)
+{
+    Instruction *inst = insert(Op::Br, Type::voidTy(), "");
+    inst->addBlockOperand(target);
+    return inst;
+}
+
+Instruction *
+IRBuilder::condBr(Value *cond, BasicBlock *t, BasicBlock *f)
+{
+    muir_assert(cond->type().isBool(), "condbr condition must be i1");
+    Instruction *inst = insert(Op::CondBr, Type::voidTy(), "");
+    inst->addOperand(cond);
+    inst->addBlockOperand(t);
+    inst->addBlockOperand(f);
+    return inst;
+}
+
+Instruction *
+IRBuilder::ret(Value *value)
+{
+    Instruction *inst = insert(Op::Ret, Type::voidTy(), "");
+    if (value)
+        inst->addOperand(value);
+    return inst;
+}
+
+Instruction *
+IRBuilder::phi(Type type, const std::string &n)
+{
+    return insert(Op::Phi, std::move(type), n);
+}
+
+Value *
+IRBuilder::call(Function *callee, const std::vector<Value *> &args,
+                const std::string &n)
+{
+    muir_assert(callee != nullptr, "call of null function");
+    muir_assert(args.size() == callee->numArgs(),
+                "call of %s: %zu args, expected %u",
+                callee->name().c_str(), args.size(), callee->numArgs());
+    Instruction *inst = insert(Op::Call, callee->returnType(), n);
+    for (unsigned i = 0; i < args.size(); ++i) {
+        muir_assert(args[i]->type() == callee->arg(i)->type(),
+                    "call of %s: arg %u type mismatch",
+                    callee->name().c_str(), i);
+        inst->addOperand(args[i]);
+    }
+    inst->setCallee(callee);
+    return inst;
+}
+
+Instruction *
+IRBuilder::detach(BasicBlock *detached, BasicBlock *continuation)
+{
+    Instruction *inst = insert(Op::Detach, Type::voidTy(), "");
+    inst->addBlockOperand(detached);
+    inst->addBlockOperand(continuation);
+    return inst;
+}
+
+Instruction *
+IRBuilder::reattach(BasicBlock *continuation)
+{
+    Instruction *inst = insert(Op::Reattach, Type::voidTy(), "");
+    inst->addBlockOperand(continuation);
+    return inst;
+}
+
+Instruction *
+IRBuilder::sync(BasicBlock *next)
+{
+    Instruction *inst = insert(Op::Sync, Type::voidTy(), "");
+    inst->addBlockOperand(next);
+    return inst;
+}
+
+ForLoop::ForLoop(IRBuilder &b, const std::string &name, Value *begin,
+                 Value *end, Value *step, bool parallel)
+    : b_(b), parallel_(parallel), step_(step)
+{
+    Function *fn = b.insertBlock()->parent();
+    preheader_ = b.insertBlock();
+    header_ = fn->addBlock(name + ".header");
+    BasicBlock *body_entry = nullptr;
+    if (parallel_) {
+        BasicBlock *spawn = fn->addBlock(name + ".spawn");
+        body_ = fn->addBlock(name + ".body");
+        latch_ = fn->addBlock(name + ".latch");
+        body_entry = spawn;
+        // spawn: detach(body, latch) — body runs concurrently with the
+        // next iteration, exactly Tapir's cilk_for lowering.
+        b.setInsertPoint(spawn);
+        b.detach(body_, latch_);
+    } else {
+        body_ = fn->addBlock(name + ".body");
+        latch_ = fn->addBlock(name + ".latch");
+        body_entry = body_;
+    }
+    exit_ = fn->addBlock(name + ".exit");
+
+    b.setInsertPoint(preheader_);
+    b.br(header_);
+
+    b.setInsertPoint(header_);
+    iv_ = b.phi(begin->type(), name);
+    iv_->addIncoming(begin, preheader_);
+    Value *cond = b.icmp(Op::ICmpSlt, iv_, end, name + ".cond");
+    b.condBr(cond, body_entry, exit_);
+
+    b.setInsertPoint(body_);
+}
+
+Instruction *
+ForLoop::addCarried(Value *init, const std::string &name)
+{
+    muir_assert(!parallel_, "carried values in a parallel loop are a race");
+    muir_assert(!finished_, "addCarried after finish");
+    auto inst = std::make_unique<Instruction>(Op::Phi, init->type(), name);
+    Instruction *phi = header_->insertPhi(std::move(inst));
+    phi->addIncoming(init, preheader_);
+    return phi;
+}
+
+void
+ForLoop::setCarriedNext(Instruction *phi, Value *next)
+{
+    muir_assert(!finished_, "setCarriedNext after finish");
+    carried_.emplace_back(phi, next);
+}
+
+void
+ForLoop::finish()
+{
+    muir_assert(!finished_, "loop already finished");
+    finished_ = true;
+    // Close the body with reattach (parallel) or a jump to the latch.
+    if (parallel_) {
+        b_.reattach(latch_);
+    } else {
+        b_.br(latch_);
+    }
+    // Latch: iv += step, back edge.
+    b_.setInsertPoint(latch_);
+    Value *next_iv = b_.add(iv_, step_, iv_->name() + ".next");
+    iv_->addIncoming(next_iv, latch_);
+    for (auto &[phi, next] : carried_)
+        phi->addIncoming(next, latch_);
+    b_.br(header_);
+    // Exit: parallel loops sync before continuing.
+    b_.setInsertPoint(exit_);
+    if (parallel_) {
+        Function *fn = exit_->parent();
+        BasicBlock *after = fn->addBlock(exit_->name() + ".synced");
+        b_.sync(after);
+        b_.setInsertPoint(after);
+        exit_ = after;
+    }
+}
+
+} // namespace muir::ir

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * IRBuilder: the construction API workloads use to express programs
+ * (standing in for the paper's LLVM/Tapir front end), plus a ForLoop
+ * helper that builds canonical counted loops — serial or Cilk-style
+ * parallel (detach/reattach/sync) — with loop-carried values.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/module.hh"
+
+namespace muir::ir
+{
+
+/** Builds instructions at an insertion point, with type checking. */
+class IRBuilder
+{
+  public:
+    explicit IRBuilder(Module &module) : module_(module) {}
+
+    Module &module() { return module_; }
+
+    /** @name Insertion point @{ */
+    void setInsertPoint(BasicBlock *bb) { bb_ = bb; }
+    BasicBlock *insertBlock() const { return bb_; }
+    /** @} */
+
+    /** @name Integer / FP arithmetic @{ */
+    Value *binary(Op op, Value *lhs, Value *rhs, const std::string &name);
+    Value *add(Value *l, Value *r, const std::string &n = "");
+    Value *sub(Value *l, Value *r, const std::string &n = "");
+    Value *mul(Value *l, Value *r, const std::string &n = "");
+    Value *sdiv(Value *l, Value *r, const std::string &n = "");
+    Value *srem(Value *l, Value *r, const std::string &n = "");
+    Value *andOp(Value *l, Value *r, const std::string &n = "");
+    Value *orOp(Value *l, Value *r, const std::string &n = "");
+    Value *xorOp(Value *l, Value *r, const std::string &n = "");
+    Value *shl(Value *l, Value *r, const std::string &n = "");
+    Value *lshr(Value *l, Value *r, const std::string &n = "");
+    Value *ashr(Value *l, Value *r, const std::string &n = "");
+    Value *fadd(Value *l, Value *r, const std::string &n = "");
+    Value *fsub(Value *l, Value *r, const std::string &n = "");
+    Value *fmul(Value *l, Value *r, const std::string &n = "");
+    Value *fdiv(Value *l, Value *r, const std::string &n = "");
+    Value *fexp(Value *v, const std::string &n = "");
+    Value *fsqrt(Value *v, const std::string &n = "");
+    /** @} */
+
+    /** @name Compares (result i1) @{ */
+    Value *icmp(Op op, Value *l, Value *r, const std::string &n = "");
+    Value *fcmp(Op op, Value *l, Value *r, const std::string &n = "");
+    /** @} */
+
+    /** @name Casts and select @{ */
+    Value *select(Value *cond, Value *t, Value *f, const std::string &n = "");
+    Value *zext(Value *v, Type to, const std::string &n = "");
+    Value *sext(Value *v, Type to, const std::string &n = "");
+    Value *trunc(Value *v, Type to, const std::string &n = "");
+    Value *sitofp(Value *v, const std::string &n = "");
+    Value *fptosi(Value *v, Type to, const std::string &n = "");
+    /** @} */
+
+    /** @name Memory @{ */
+    /** Element-granular address: &base[index]. */
+    Value *gep(Value *base, Value *index, const std::string &n = "");
+    Value *load(Value *ptr, const std::string &n = "");
+    Instruction *store(Value *value, Value *ptr);
+    /** @} */
+
+    /** @name Tensor2D intrinsics @{ */
+    Value *tload(Value *ptr, const std::string &n = "");
+    Instruction *tstore(Value *value, Value *ptr);
+    Value *tmul(Value *l, Value *r, const std::string &n = "");
+    Value *tadd(Value *l, Value *r, const std::string &n = "");
+    Value *tsub(Value *l, Value *r, const std::string &n = "");
+    Value *trelu(Value *v, const std::string &n = "");
+    /** @} */
+
+    /** @name Control flow @{ */
+    Instruction *br(BasicBlock *target);
+    Instruction *condBr(Value *cond, BasicBlock *t, BasicBlock *f);
+    Instruction *ret(Value *value = nullptr);
+    Instruction *phi(Type type, const std::string &n = "");
+    Value *call(Function *callee, const std::vector<Value *> &args,
+                const std::string &n = "");
+    /** @} */
+
+    /** @name Tapir parallel control flow @{ */
+    Instruction *detach(BasicBlock *detached, BasicBlock *continuation);
+    Instruction *reattach(BasicBlock *continuation);
+    Instruction *sync(BasicBlock *next);
+    /** @} */
+
+    /** @name Constant shorthands @{ */
+    Constant *i32(int32_t v) { return module_.constI32(v); }
+    Constant *i64(int64_t v) { return module_.constI64(v); }
+    Constant *boolean(bool v) { return module_.constBool(v); }
+    Constant *f32(double v) { return module_.constF32(v); }
+    /** @} */
+
+  private:
+    Instruction *insert(Op op, Type type, const std::string &name);
+    std::string nextName(const std::string &hint);
+
+    Module &module_;
+    BasicBlock *bb_ = nullptr;
+    unsigned nameCounter_ = 0;
+};
+
+/**
+ * Canonical counted loop builder: for (iv = begin; iv < end; iv += step).
+ *
+ * Construction emits preheader branch, header (phi + compare + condbr)
+ * and positions the builder in the body block. Loop-carried values can
+ * be registered with addCarried()/setCarriedNext() (serial loops only).
+ * finish() closes the latch/back-edge and moves the builder to the exit
+ * block. Parallel loops wrap the body in detach/reattach and emit a
+ * sync on exit, matching Tapir's lowering of cilk_for.
+ */
+class ForLoop
+{
+  public:
+    ForLoop(IRBuilder &b, const std::string &name, Value *begin, Value *end,
+            Value *step, bool parallel = false);
+
+    /** The induction variable (valid inside the body). */
+    Value *iv() const { return iv_; }
+
+    /** Register a loop-carried value initialized to init. */
+    Instruction *addCarried(Value *init, const std::string &name);
+
+    /** Set the next-iteration value of a carried phi. */
+    void setCarriedNext(Instruction *phi, Value *next);
+
+    /** Close the loop; the builder continues in the exit block. */
+    void finish();
+
+    BasicBlock *header() const { return header_; }
+    BasicBlock *body() const { return body_; }
+    BasicBlock *exit() const { return exit_; }
+
+  private:
+    IRBuilder &b_;
+    bool parallel_;
+    bool finished_ = false;
+    Value *step_;
+    Instruction *iv_ = nullptr;
+    BasicBlock *preheader_ = nullptr;
+    BasicBlock *header_ = nullptr;
+    BasicBlock *body_ = nullptr;
+    BasicBlock *latch_ = nullptr;
+    BasicBlock *exit_ = nullptr;
+    std::vector<std::pair<Instruction *, Value *>> carried_;
+};
+
+} // namespace muir::ir

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Implementations for BasicBlock, Function and Module.
+ */
+#include <algorithm>
+
+#include "ir/basic_block.hh"
+#include "ir/function.hh"
+#include "ir/module.hh"
+#include "support/logging.hh"
+
+namespace muir::ir
+{
+
+Instruction *
+BasicBlock::append(std::unique_ptr<Instruction> inst)
+{
+    muir_assert(terminator() == nullptr,
+                "appending to terminated block %s", name_.c_str());
+    inst->setParent(this);
+    insts_.push_back(std::move(inst));
+    return insts_.back().get();
+}
+
+Instruction *
+BasicBlock::insertPhi(std::unique_ptr<Instruction> inst)
+{
+    muir_assert(inst->op() == Op::Phi, "insertPhi of non-phi");
+    inst->setParent(this);
+    auto it = insts_.begin();
+    while (it != insts_.end() && (*it)->op() == Op::Phi)
+        ++it;
+    it = insts_.insert(it, std::move(inst));
+    return it->get();
+}
+
+Instruction *
+BasicBlock::insertBeforeTerminator(std::unique_ptr<Instruction> inst)
+{
+    muir_assert(terminator() != nullptr,
+                "insertBeforeTerminator on open block %s", name_.c_str());
+    inst->setParent(this);
+    auto it = insts_.insert(insts_.end() - 1, std::move(inst));
+    return it->get();
+}
+
+Instruction *
+BasicBlock::terminator() const
+{
+    if (insts_.empty())
+        return nullptr;
+    Instruction *last = insts_.back().get();
+    return last->isTerminator() ? last : nullptr;
+}
+
+std::vector<BasicBlock *>
+BasicBlock::successors() const
+{
+    Instruction *term = terminator();
+    if (!term)
+        return {};
+    return term->blockOperands();
+}
+
+std::vector<BasicBlock *>
+BasicBlock::predecessors() const
+{
+    std::vector<BasicBlock *> preds;
+    for (const auto &bb : parent_->blocks()) {
+        auto succs = bb->successors();
+        if (std::find(succs.begin(), succs.end(), this) != succs.end())
+            preds.push_back(bb.get());
+    }
+    return preds;
+}
+
+Function::~Function()
+{
+    for (const auto &bb : blocks_)
+        for (const auto &inst : bb->insts())
+            inst->dropOperands();
+}
+
+Argument *
+Function::addArg(Type type, std::string name)
+{
+    args_.push_back(std::make_unique<Argument>(std::move(type),
+                                               std::move(name),
+                                               args_.size()));
+    return args_.back().get();
+}
+
+Argument *
+Function::arg(unsigned i) const
+{
+    muir_assert(i < args_.size(), "arg index %u out of range in %s", i,
+                name_.c_str());
+    return args_[i].get();
+}
+
+BasicBlock *
+Function::addBlock(std::string name)
+{
+    blocks_.push_back(std::make_unique<BasicBlock>(std::move(name), this));
+    return blocks_.back().get();
+}
+
+BasicBlock *
+Function::entry() const
+{
+    muir_assert(!blocks_.empty(), "function %s has no blocks",
+                name_.c_str());
+    return blocks_.front().get();
+}
+
+unsigned
+Function::numInsts() const
+{
+    unsigned n = 0;
+    for (const auto &bb : blocks_)
+        n += bb->insts().size();
+    return n;
+}
+
+Function *
+Module::addFunction(std::string name, Type return_type)
+{
+    muir_assert(function(name) == nullptr, "duplicate function %s",
+                name.c_str());
+    functions_.push_back(std::make_unique<Function>(std::move(name),
+                                                    std::move(return_type),
+                                                    this));
+    return functions_.back().get();
+}
+
+Function *
+Module::function(const std::string &name) const
+{
+    for (const auto &f : functions_)
+        if (f->name() == name)
+            return f.get();
+    return nullptr;
+}
+
+GlobalArray *
+Module::addGlobal(std::string name, Type elem_type, uint64_t num_elems)
+{
+    muir_assert(global(name) == nullptr, "duplicate global %s",
+                name.c_str());
+    unsigned space_id = globals_.size() + 1; // Space 0 is reserved: DRAM.
+    globals_.push_back(std::make_unique<GlobalArray>(
+        elem_type, num_elems, std::move(name), space_id));
+    return globals_.back().get();
+}
+
+GlobalArray *
+Module::global(const std::string &name) const
+{
+    for (const auto &g : globals_)
+        if (g->name() == name)
+            return g.get();
+    return nullptr;
+}
+
+Constant *
+Module::constInt(Type type, int64_t value)
+{
+    auto key = std::make_pair(type.bits(), value);
+    auto it = intConstants_.find(key);
+    if (it != intConstants_.end())
+        return it->second;
+    constants_.push_back(std::make_unique<Constant>(type, value));
+    Constant *c = constants_.back().get();
+    intConstants_[key] = c;
+    return c;
+}
+
+Constant *
+Module::constF32(double value)
+{
+    auto it = fpConstants_.find(value);
+    if (it != fpConstants_.end())
+        return it->second;
+    constants_.push_back(std::make_unique<Constant>(Type::f32(), value));
+    Constant *c = constants_.back().get();
+    fpConstants_[value] = c;
+    return c;
+}
+
+unsigned
+Module::numInsts() const
+{
+    unsigned n = 0;
+    for (const auto &f : functions_)
+        n += f->numInsts();
+    return n;
+}
+
+} // namespace muir::ir

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Functions: argument lists plus an owned list of basic blocks, the
+ * first of which is the entry block.
+ */
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/basic_block.hh"
+#include "ir/value.hh"
+
+namespace muir::ir
+{
+
+class Module;
+
+/** A function definition. */
+class Function
+{
+  public:
+    Function(std::string name, Type return_type, Module *parent)
+        : name_(std::move(name)), returnType_(std::move(return_type)),
+          parent_(parent)
+    {
+    }
+
+    Function(const Function &) = delete;
+    Function &operator=(const Function &) = delete;
+
+    /**
+     * Severs every def-use edge before members are destroyed, so
+     * instruction destruction order (and the module's constant pool
+     * lifetime) cannot leave dangling user-list entries.
+     */
+    ~Function();
+
+    const std::string &name() const { return name_; }
+    const Type &returnType() const { return returnType_; }
+    Module *parent() const { return parent_; }
+
+    /** Append a formal parameter. */
+    Argument *addArg(Type type, std::string name);
+
+    const std::vector<std::unique_ptr<Argument>> &args() const
+    {
+        return args_;
+    }
+    Argument *arg(unsigned i) const;
+    unsigned numArgs() const { return args_.size(); }
+
+    /** Create and append a basic block. */
+    BasicBlock *addBlock(std::string name);
+
+    const std::vector<std::unique_ptr<BasicBlock>> &blocks() const
+    {
+        return blocks_;
+    }
+    BasicBlock *entry() const;
+
+    /** Total instruction count (for stats/tests). */
+    unsigned numInsts() const;
+
+  private:
+    std::string name_;
+    Type returnType_;
+    Module *parent_;
+    std::vector<std::unique_ptr<Argument>> args_;
+    std::vector<std::unique_ptr<BasicBlock>> blocks_;
+};
+
+} // namespace muir::ir

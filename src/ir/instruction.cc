@@ -1,0 +1,212 @@
+#include "ir/instruction.hh"
+
+#include "support/logging.hh"
+
+namespace muir::ir
+{
+
+const char *
+opName(Op op)
+{
+    switch (op) {
+      case Op::Add: return "add";
+      case Op::Sub: return "sub";
+      case Op::Mul: return "mul";
+      case Op::SDiv: return "sdiv";
+      case Op::SRem: return "srem";
+      case Op::And: return "and";
+      case Op::Or: return "or";
+      case Op::Xor: return "xor";
+      case Op::Shl: return "shl";
+      case Op::LShr: return "lshr";
+      case Op::AShr: return "ashr";
+      case Op::FAdd: return "fadd";
+      case Op::FSub: return "fsub";
+      case Op::FMul: return "fmul";
+      case Op::FDiv: return "fdiv";
+      case Op::FExp: return "fexp";
+      case Op::FSqrt: return "fsqrt";
+      case Op::ICmpEq: return "icmp.eq";
+      case Op::ICmpNe: return "icmp.ne";
+      case Op::ICmpSlt: return "icmp.slt";
+      case Op::ICmpSle: return "icmp.sle";
+      case Op::ICmpSgt: return "icmp.sgt";
+      case Op::ICmpSge: return "icmp.sge";
+      case Op::FCmpOeq: return "fcmp.oeq";
+      case Op::FCmpOlt: return "fcmp.olt";
+      case Op::FCmpOle: return "fcmp.ole";
+      case Op::FCmpOgt: return "fcmp.ogt";
+      case Op::FCmpOge: return "fcmp.oge";
+      case Op::Select: return "select";
+      case Op::Trunc: return "trunc";
+      case Op::ZExt: return "zext";
+      case Op::SExt: return "sext";
+      case Op::SIToFP: return "sitofp";
+      case Op::FPToSI: return "fptosi";
+      case Op::GEP: return "gep";
+      case Op::Load: return "load";
+      case Op::Store: return "store";
+      case Op::Br: return "br";
+      case Op::CondBr: return "condbr";
+      case Op::Ret: return "ret";
+      case Op::Detach: return "detach";
+      case Op::Reattach: return "reattach";
+      case Op::Sync: return "sync";
+      case Op::Phi: return "phi";
+      case Op::Call: return "call";
+      case Op::TLoad: return "tload";
+      case Op::TStore: return "tstore";
+      case Op::TMul: return "tmul";
+      case Op::TAdd: return "tadd";
+      case Op::TSub: return "tsub";
+      case Op::TRelu: return "trelu";
+    }
+    return "?";
+}
+
+bool
+isTerminatorOp(Op op)
+{
+    switch (op) {
+      case Op::Br:
+      case Op::CondBr:
+      case Op::Ret:
+      case Op::Detach:
+      case Op::Reattach:
+      case Op::Sync:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isComputeOp(Op op)
+{
+    switch (op) {
+      case Op::Add: case Op::Sub: case Op::Mul: case Op::SDiv:
+      case Op::SRem: case Op::And: case Op::Or: case Op::Xor:
+      case Op::Shl: case Op::LShr: case Op::AShr:
+      case Op::FAdd: case Op::FSub: case Op::FMul: case Op::FDiv:
+      case Op::FExp: case Op::FSqrt:
+      case Op::ICmpEq: case Op::ICmpNe: case Op::ICmpSlt: case Op::ICmpSle:
+      case Op::ICmpSgt: case Op::ICmpSge:
+      case Op::FCmpOeq: case Op::FCmpOlt: case Op::FCmpOle:
+      case Op::FCmpOgt: case Op::FCmpOge:
+      case Op::Select: case Op::Trunc: case Op::ZExt: case Op::SExt:
+      case Op::SIToFP: case Op::FPToSI: case Op::GEP:
+      case Op::TMul: case Op::TAdd: case Op::TSub: case Op::TRelu:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isMemoryOp(Op op)
+{
+    return op == Op::Load || op == Op::Store || op == Op::TLoad ||
+           op == Op::TStore;
+}
+
+bool
+isTensorOp(Op op)
+{
+    switch (op) {
+      case Op::TLoad: case Op::TStore: case Op::TMul: case Op::TAdd:
+      case Op::TSub: case Op::TRelu:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isCompareOp(Op op)
+{
+    switch (op) {
+      case Op::ICmpEq: case Op::ICmpNe: case Op::ICmpSlt: case Op::ICmpSle:
+      case Op::ICmpSgt: case Op::ICmpSge:
+      case Op::FCmpOeq: case Op::FCmpOlt: case Op::FCmpOle:
+      case Op::FCmpOgt: case Op::FCmpOge:
+        return true;
+      default:
+        return false;
+    }
+}
+
+Instruction::~Instruction()
+{
+    dropOperands();
+}
+
+Value *
+Instruction::operand(unsigned i) const
+{
+    muir_assert(i < operands_.size(), "operand index %u out of range", i);
+    return operands_[i];
+}
+
+void
+Instruction::addOperand(Value *v)
+{
+    muir_assert(v != nullptr, "null operand");
+    operands_.push_back(v);
+    v->addUser(this);
+}
+
+void
+Instruction::setOperand(unsigned i, Value *v)
+{
+    muir_assert(i < operands_.size(), "operand index %u out of range", i);
+    muir_assert(v != nullptr, "null operand");
+    operands_[i]->removeUser(this);
+    operands_[i] = v;
+    v->addUser(this);
+}
+
+void
+Instruction::replaceOperand(Value *from, Value *to)
+{
+    for (unsigned i = 0; i < operands_.size(); ++i) {
+        if (operands_[i] == from) {
+            operands_[i]->removeUser(this);
+            operands_[i] = to;
+            to->addUser(this);
+        }
+    }
+}
+
+void
+Instruction::dropOperands()
+{
+    for (Value *v : operands_)
+        v->removeUser(this);
+    operands_.clear();
+}
+
+BasicBlock *
+Instruction::blockOperand(unsigned i) const
+{
+    muir_assert(i < blockOperands_.size(), "block operand %u out of range",
+                i);
+    return blockOperands_[i];
+}
+
+void
+Instruction::setBlockOperand(unsigned i, BasicBlock *bb)
+{
+    muir_assert(i < blockOperands_.size(), "block operand %u out of range",
+                i);
+    blockOperands_[i] = bb;
+}
+
+void
+Instruction::addIncoming(Value *v, BasicBlock *bb)
+{
+    muir_assert(op_ == Op::Phi, "addIncoming on non-phi");
+    addOperand(v);
+    addBlockOperand(bb);
+}
+
+} // namespace muir::ir

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Instructions of the mini compiler IR. The opcode set covers the
+ * LLVM subset the paper's front end lowers (integer/FP arithmetic,
+ * compares, select, casts, GEP-style addressing, loads/stores), the
+ * Tapir parallel constructs (detach/reattach/sync) used for Cilk
+ * programs, and the Tensor2D intrinsics of §6.3.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/value.hh"
+
+namespace muir::ir
+{
+
+class BasicBlock;
+class Function;
+
+/** Every operation the IR can express. */
+enum class Op
+{
+    // Integer arithmetic / logic.
+    Add, Sub, Mul, SDiv, SRem, And, Or, Xor, Shl, LShr, AShr,
+    // Floating point arithmetic and math intrinsics.
+    FAdd, FSub, FMul, FDiv, FExp, FSqrt,
+    // Integer compares (produce i1).
+    ICmpEq, ICmpNe, ICmpSlt, ICmpSle, ICmpSgt, ICmpSge,
+    // Float compares (produce i1).
+    FCmpOeq, FCmpOlt, FCmpOle, FCmpOgt, FCmpOge,
+    // Data movement / casts.
+    Select, Trunc, ZExt, SExt, SIToFP, FPToSI,
+    // Memory: GEP computes base + index (element-granular) addressing.
+    GEP, Load, Store,
+    // Control flow (terminators).
+    Br, CondBr, Ret,
+    // Tapir parallel control flow (terminators).
+    Detach, Reattach, Sync,
+    // SSA merge and calls.
+    Phi, Call,
+    // Tensor2D intrinsics (higher-order ops, §6.3).
+    TLoad, TStore, TMul, TAdd, TSub, TRelu,
+};
+
+/** @return the mnemonic, e.g. "fadd". */
+const char *opName(Op op);
+
+/** @return true for Br/CondBr/Ret/Detach/Reattach/Sync. */
+bool isTerminatorOp(Op op);
+
+/** @return true for integer/FP arithmetic, compares, casts and select. */
+bool isComputeOp(Op op);
+
+/** @return true for Load/Store/TLoad/TStore. */
+bool isMemoryOp(Op op);
+
+/** @return true for the Tensor2D intrinsics. */
+bool isTensorOp(Op op);
+
+/** @return true for compares producing i1. */
+bool isCompareOp(Op op);
+
+/**
+ * An SSA instruction. Owns nothing; operands are non-owning Value
+ * pointers with def-use chains kept consistent through the mutators.
+ * Successor blocks (for terminators) and phi incoming blocks live in
+ * a parallel block-operand list.
+ */
+class Instruction : public Value
+{
+  public:
+    Instruction(Op op, Type type, std::string name)
+        : Value(VKind::Instruction, std::move(type), std::move(name)),
+          op_(op)
+    {
+    }
+    ~Instruction() override;
+
+    Op op() const { return op_; }
+    BasicBlock *parent() const { return parent_; }
+    void setParent(BasicBlock *bb) { parent_ = bb; }
+
+    /** @name Operands @{ */
+    const std::vector<Value *> &operands() const { return operands_; }
+    Value *operand(unsigned i) const;
+    unsigned numOperands() const { return operands_.size(); }
+    void addOperand(Value *v);
+    void setOperand(unsigned i, Value *v);
+    /** Replace every occurrence of from with to in the operand list. */
+    void replaceOperand(Value *from, Value *to);
+    /** Drop all operands (used when erasing instructions). */
+    void dropOperands();
+    /** @} */
+
+    /** @name Block operands: successors, or phi incoming blocks @{ */
+    const std::vector<BasicBlock *> &blockOperands() const
+    {
+        return blockOperands_;
+    }
+    BasicBlock *blockOperand(unsigned i) const;
+    void addBlockOperand(BasicBlock *bb) { blockOperands_.push_back(bb); }
+    void setBlockOperand(unsigned i, BasicBlock *bb);
+    /** @} */
+
+    /** Direct callee for Call instructions. */
+    Function *callee() const { return callee_; }
+    void setCallee(Function *f) { callee_ = f; }
+
+    bool isTerminator() const { return isTerminatorOp(op_); }
+
+    /** @name Phi helpers @{ */
+    unsigned numIncoming() const { return operands_.size(); }
+    Value *incomingValue(unsigned i) const { return operand(i); }
+    BasicBlock *incomingBlock(unsigned i) const { return blockOperand(i); }
+    void addIncoming(Value *v, BasicBlock *bb);
+    /** @} */
+
+    /** @name Terminator successor helpers @{ */
+    unsigned numSuccessors() const { return blockOperands_.size(); }
+    BasicBlock *successor(unsigned i) const { return blockOperand(i); }
+    /** @} */
+
+  private:
+    Op op_;
+    BasicBlock *parent_ = nullptr;
+    std::vector<Value *> operands_;
+    std::vector<BasicBlock *> blockOperands_;
+    Function *callee_ = nullptr;
+};
+
+} // namespace muir::ir

@@ -1,0 +1,400 @@
+#include "ir/interp.hh"
+
+#include <cmath>
+#include <cstring>
+
+#include "ir/analysis/memory_objects.hh"
+#include "ir/op_eval.hh"
+#include "ir/printer.hh"
+#include "support/logging.hh"
+
+namespace muir::ir
+{
+
+RuntimeValue
+RuntimeValue::makeInt(int64_t v)
+{
+    RuntimeValue rv;
+    rv.kind = Kind::Int;
+    rv.i = v;
+    return rv;
+}
+
+RuntimeValue
+RuntimeValue::makeFloat(double v)
+{
+    RuntimeValue rv;
+    rv.kind = Kind::Float;
+    rv.f = v;
+    return rv;
+}
+
+RuntimeValue
+RuntimeValue::makePtr(uint64_t addr)
+{
+    RuntimeValue rv;
+    rv.kind = Kind::Ptr;
+    rv.ptr = addr;
+    return rv;
+}
+
+RuntimeValue
+RuntimeValue::makeTensor(unsigned rows, unsigned cols,
+                         std::vector<float> data)
+{
+    muir_assert(data.size() == size_t(rows) * cols, "tensor size mismatch");
+    RuntimeValue rv;
+    rv.kind = Kind::Tensor;
+    rv.rows = rows;
+    rv.cols = cols;
+    rv.tensor = std::make_shared<std::vector<float>>(std::move(data));
+    return rv;
+}
+
+int64_t
+RuntimeValue::asInt() const
+{
+    muir_assert(kind == Kind::Int, "not an int value");
+    return i;
+}
+
+double
+RuntimeValue::asFloat() const
+{
+    muir_assert(kind == Kind::Float, "not a float value");
+    return f;
+}
+
+uint64_t
+RuntimeValue::asPtr() const
+{
+    muir_assert(kind == Kind::Ptr, "not a pointer value");
+    return ptr;
+}
+
+namespace
+{
+/** Globals start above the null page so address 0 stays invalid. */
+constexpr uint64_t kHeapBase = 0x1000;
+} // namespace
+
+MemoryImage::MemoryImage(const Module &module)
+{
+    uint64_t cursor = kHeapBase;
+    for (const auto &g : module.globals()) {
+        cursor = (cursor + 63) & ~uint64_t(63);
+        bases_[g.get()] = cursor;
+        ranges_.push_back({cursor, cursor + g->sizeBytes(), g->spaceId()});
+        cursor += g->sizeBytes();
+    }
+    bytes_.assign(cursor, 0);
+}
+
+uint64_t
+MemoryImage::baseOf(const GlobalArray *g) const
+{
+    auto it = bases_.find(g);
+    muir_assert(it != bases_.end(), "global %s not in image",
+                g->name().c_str());
+    return it->second;
+}
+
+unsigned
+MemoryImage::spaceOf(uint64_t addr) const
+{
+    for (const Range &r : ranges_)
+        if (addr >= r.start && addr < r.end)
+            return r.space;
+    return kGlobalSpace;
+}
+
+void
+MemoryImage::checkRange(uint64_t addr, unsigned bytes) const
+{
+    muir_assert(addr >= kHeapBase && addr + bytes <= bytes_.size(),
+                "out-of-bounds access at 0x%llx (%u bytes)",
+                static_cast<unsigned long long>(addr), bytes);
+}
+
+int64_t
+MemoryImage::loadInt(uint64_t addr, unsigned bytes) const
+{
+    checkRange(addr, bytes);
+    int64_t value = 0;
+    std::memcpy(&value, bytes_.data() + addr, bytes);
+    // Sign extend from the stored width.
+    unsigned shift = 64 - bytes * 8;
+    return shift ? (value << shift) >> shift : value;
+}
+
+void
+MemoryImage::storeInt(uint64_t addr, unsigned bytes, int64_t value)
+{
+    checkRange(addr, bytes);
+    std::memcpy(bytes_.data() + addr, &value, bytes);
+}
+
+float
+MemoryImage::loadFloat(uint64_t addr) const
+{
+    checkRange(addr, 4);
+    float value = 0;
+    std::memcpy(&value, bytes_.data() + addr, 4);
+    return value;
+}
+
+void
+MemoryImage::storeFloat(uint64_t addr, float value)
+{
+    checkRange(addr, 4);
+    std::memcpy(bytes_.data() + addr, &value, 4);
+}
+
+void
+MemoryImage::writeFloats(const GlobalArray *g, const std::vector<float> &data)
+{
+    muir_assert(data.size() * 4 <= g->sizeBytes(),
+                "writing %zu floats into %s (%llu bytes)", data.size(),
+                g->name().c_str(),
+                static_cast<unsigned long long>(g->sizeBytes()));
+    uint64_t base = baseOf(g);
+    for (size_t k = 0; k < data.size(); ++k)
+        storeFloat(base + k * 4, data[k]);
+}
+
+std::vector<float>
+MemoryImage::readFloats(const GlobalArray *g) const
+{
+    uint64_t base = baseOf(g);
+    size_t n = g->sizeBytes() / 4;
+    std::vector<float> out(n);
+    for (size_t k = 0; k < n; ++k)
+        out[k] = loadFloat(base + k * 4);
+    return out;
+}
+
+void
+MemoryImage::writeInts(const GlobalArray *g, const std::vector<int32_t> &data)
+{
+    muir_assert(data.size() * 4 <= g->sizeBytes(), "writeInts overflow");
+    uint64_t base = baseOf(g);
+    for (size_t k = 0; k < data.size(); ++k)
+        storeInt(base + k * 4, 4, data[k]);
+}
+
+std::vector<int32_t>
+MemoryImage::readInts(const GlobalArray *g) const
+{
+    uint64_t base = baseOf(g);
+    size_t n = g->sizeBytes() / 4;
+    std::vector<int32_t> out(n);
+    for (size_t k = 0; k < n; ++k)
+        out[k] = static_cast<int32_t>(loadInt(base + k * 4, 4));
+    return out;
+}
+
+Interpreter::Interpreter(const Module &module)
+    : module_(module), memory_(module)
+{
+}
+
+RuntimeValue
+Interpreter::eval(const Value *v, const Frame &frame) const
+{
+    if (auto *c = dynamic_cast<const Constant *>(v)) {
+        if (c->isFloatConstant())
+            return RuntimeValue::makeFloat(c->fpValue());
+        return RuntimeValue::makeInt(c->intValue());
+    }
+    if (auto *g = dynamic_cast<const GlobalArray *>(v))
+        return RuntimeValue::makePtr(memory_.baseOf(g));
+    auto it = frame.find(v);
+    muir_assert(it != frame.end(), "evaluating undefined value %%%s",
+                v->name().c_str());
+    return it->second;
+}
+
+uint64_t
+Interpreter::gepAddr(const Instruction &inst, const Frame &frame) const
+{
+    uint64_t base = eval(inst.operand(0), frame).asPtr();
+    int64_t index = eval(inst.operand(1), frame).asInt();
+    unsigned elem = inst.type().pointee().sizeBytes();
+    return base + static_cast<uint64_t>(index) * elem;
+}
+
+RuntimeValue
+Interpreter::run(const Function &fn, const std::vector<RuntimeValue> &args)
+{
+    muir_assert(args.size() == fn.numArgs(), "run(%s): bad arg count",
+                fn.name().c_str());
+    muir_assert(++callDepth_ < 512, "call depth exceeded (recursion?)");
+
+    Frame frame;
+    for (unsigned i = 0; i < fn.numArgs(); ++i)
+        frame[fn.arg(i)] = args[i];
+
+    const BasicBlock *bb = fn.entry();
+    const BasicBlock *prev = nullptr;
+    RuntimeValue result;
+
+    // Detach continuations pending in this frame (serial elision runs
+    // the spawned region first, then resumes at the continuation).
+    std::vector<const BasicBlock *> pending;
+
+    while (bb != nullptr) {
+        ++blockCounts_[bb];
+        // Two-phase phi evaluation: all phis read prev-block state.
+        std::vector<std::pair<const Instruction *, RuntimeValue>> phi_vals;
+        for (const auto &inst : bb->insts()) {
+            if (inst->op() != Op::Phi)
+                break;
+            bool found = false;
+            for (unsigned k = 0; k < inst->numIncoming(); ++k) {
+                if (inst->incomingBlock(k) == prev) {
+                    phi_vals.emplace_back(inst.get(),
+                                          eval(inst->incomingValue(k),
+                                               frame));
+                    found = true;
+                    break;
+                }
+            }
+            muir_assert(found, "phi %%%s: no incoming for pred %s",
+                        inst->name().c_str(),
+                        prev ? prev->name().c_str() : "<entry>");
+        }
+        for (auto &[phi, value] : phi_vals)
+            frame[phi] = value;
+
+        const BasicBlock *next = nullptr;
+        for (const auto &inst_ptr : bb->insts()) {
+            const Instruction &inst = *inst_ptr;
+            if (inst.op() == Op::Phi) {
+                ++dynInsts_;
+                if (sink_)
+                    sink_(inst, 0);
+                continue;
+            }
+            ++dynInsts_;
+
+            switch (inst.op()) {
+              case Op::Br:
+                next = inst.successor(0);
+                break;
+              case Op::CondBr:
+                next = eval(inst.operand(0), frame).asInt()
+                           ? inst.successor(0)
+                           : inst.successor(1);
+                break;
+              case Op::Detach:
+                // Serial elision: run the spawned region now, resume at
+                // the continuation when its reattach fires.
+                pending.push_back(inst.successor(1));
+                next = inst.successor(0);
+                break;
+              case Op::Reattach:
+                muir_assert(!pending.empty(), "reattach without detach");
+                muir_assert(pending.back() == inst.successor(0),
+                            "mismatched reattach target");
+                next = pending.back();
+                pending.pop_back();
+                break;
+              case Op::Sync:
+                next = inst.successor(0);
+                break;
+              case Op::Ret:
+                if (inst.numOperands())
+                    result = eval(inst.operand(0), frame);
+                if (sink_)
+                    sink_(inst, 0);
+                --callDepth_;
+                return result;
+              default:
+                frame[&inst] = evalInst(inst, frame);
+                continue; // evalInst already traced memory ops.
+            }
+            if (sink_)
+                sink_(inst, 0);
+            if (next)
+                break;
+        }
+        prev = bb;
+        bb = next;
+    }
+    muir_panic("function %s fell off the end", fn.name().c_str());
+}
+
+RuntimeValue
+Interpreter::evalInst(const Instruction &inst, Frame &frame)
+{
+    if (sink_ && !isMemoryOp(inst.op()))
+        sink_(inst, 0);
+
+    // Pure compute ops share their semantics with the μIR executor.
+    if (isComputeOp(inst.op()) && inst.op() != Op::GEP) {
+        std::vector<RuntimeValue> operands;
+        operands.reserve(inst.numOperands());
+        for (const Value *v : inst.operands())
+            operands.push_back(eval(v, frame));
+        return applyPureOp(inst.op(), operands, inst.type());
+    }
+
+    switch (inst.op()) {
+      case Op::GEP:
+        return RuntimeValue::makePtr(gepAddr(inst, frame));
+      case Op::Load: {
+        uint64_t addr = eval(inst.operand(0), frame).asPtr();
+        if (sink_)
+            sink_(inst, addr);
+        if (inst.type().isFloat())
+            return RuntimeValue::makeFloat(memory_.loadFloat(addr));
+        return RuntimeValue::makeInt(
+            memory_.loadInt(addr, inst.type().sizeBytes()));
+      }
+      case Op::Store: {
+        RuntimeValue v = eval(inst.operand(0), frame);
+        uint64_t addr = eval(inst.operand(1), frame).asPtr();
+        if (sink_)
+            sink_(inst, addr);
+        if (v.kind == RuntimeValue::Kind::Float)
+            memory_.storeFloat(addr, static_cast<float>(v.f));
+        else
+            memory_.storeInt(addr, inst.operand(0)->type().sizeBytes(),
+                             v.i);
+        return RuntimeValue();
+      }
+      case Op::TLoad: {
+        uint64_t addr = eval(inst.operand(0), frame).asPtr();
+        if (sink_)
+            sink_(inst, addr);
+        const Type &t = inst.type();
+        std::vector<float> data(t.tensorElems());
+        for (unsigned k = 0; k < t.tensorElems(); ++k)
+            data[k] = memory_.loadFloat(addr + k * 4);
+        return RuntimeValue::makeTensor(t.rows(), t.cols(),
+                                        std::move(data));
+      }
+      case Op::TStore: {
+        RuntimeValue v = eval(inst.operand(0), frame);
+        uint64_t addr = eval(inst.operand(1), frame).asPtr();
+        if (sink_)
+            sink_(inst, addr);
+        for (size_t k = 0; k < v.tensor->size(); ++k)
+            memory_.storeFloat(addr + k * 4, (*v.tensor)[k]);
+        return RuntimeValue();
+      }
+
+      case Op::Call: {
+        std::vector<RuntimeValue> args;
+        for (const Value *operand : inst.operands())
+            args.push_back(eval(operand, frame));
+        return run(*inst.callee(), args);
+      }
+
+      default:
+        muir_panic("evalInst: unhandled op %s (%s)", opName(inst.op()),
+                   printInst(inst).c_str());
+    }
+}
+
+} // namespace muir::ir

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Functional interpreter for the mini compiler IR. Provides the golden
+ * reference each workload is validated against, and feeds the dynamic
+ * instruction stream consumed by the ARM-A9 baseline model. Parallel
+ * constructs run with serial-elision semantics (detach executes the
+ * spawned region inline), which Cilk guarantees is a valid execution.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "ir/module.hh"
+
+namespace muir::ir
+{
+
+/** A runtime value: integer, float, pointer (address), or tensor. */
+struct RuntimeValue
+{
+    enum class Kind { Int, Float, Ptr, Tensor };
+
+    Kind kind = Kind::Int;
+    int64_t i = 0;
+    double f = 0.0;
+    uint64_t ptr = 0;
+    unsigned rows = 0, cols = 0;
+    std::shared_ptr<std::vector<float>> tensor;
+
+    static RuntimeValue makeInt(int64_t v);
+    static RuntimeValue makeFloat(double v);
+    static RuntimeValue makePtr(uint64_t addr);
+    static RuntimeValue makeTensor(unsigned rows, unsigned cols,
+                                   std::vector<float> data);
+
+    int64_t asInt() const;
+    double asFloat() const;
+    uint64_t asPtr() const;
+};
+
+/**
+ * Flat byte-addressable memory image with the module's globals
+ * allocated at fixed, 64-byte-aligned addresses. Tracks which global
+ * (memory space) each address falls into.
+ */
+class MemoryImage
+{
+  public:
+    explicit MemoryImage(const Module &module);
+
+    /** Base address of a global array. */
+    uint64_t baseOf(const GlobalArray *g) const;
+
+    /** Memory-space id owning an address (kGlobalSpace if none). */
+    unsigned spaceOf(uint64_t addr) const;
+
+    /** @name Typed accessors @{ */
+    int64_t loadInt(uint64_t addr, unsigned bytes) const;
+    void storeInt(uint64_t addr, unsigned bytes, int64_t value);
+    float loadFloat(uint64_t addr) const;
+    void storeFloat(uint64_t addr, float value);
+    /** @} */
+
+    /** @name Whole-array convenience for binding inputs/outputs @{ */
+    void writeFloats(const GlobalArray *g, const std::vector<float> &data);
+    std::vector<float> readFloats(const GlobalArray *g) const;
+    void writeInts(const GlobalArray *g, const std::vector<int32_t> &data);
+    std::vector<int32_t> readInts(const GlobalArray *g) const;
+    /** @} */
+
+    uint64_t sizeBytes() const { return bytes_.size(); }
+
+  private:
+    void checkRange(uint64_t addr, unsigned bytes) const;
+
+    std::vector<uint8_t> bytes_;
+    std::map<const GlobalArray *, uint64_t> bases_;
+    /** Sorted (start, end, space) ranges. */
+    struct Range { uint64_t start, end; unsigned space; };
+    std::vector<Range> ranges_;
+};
+
+/**
+ * Observer of the dynamic instruction stream (one call per executed
+ * instruction, in serial-elision order). addr is 0 for non-memory ops.
+ */
+using TraceSink =
+    std::function<void(const Instruction &, uint64_t addr)>;
+
+/** The interpreter. One instance may run many functions sequentially. */
+class Interpreter
+{
+  public:
+    explicit Interpreter(const Module &module);
+
+    MemoryImage &memory() { return memory_; }
+    const MemoryImage &memory() const { return memory_; }
+
+    /** Install (or clear) a dynamic-trace observer. */
+    void setTraceSink(TraceSink sink) { sink_ = std::move(sink); }
+
+    /** Execute a function to completion. */
+    RuntimeValue run(const Function &fn,
+                     const std::vector<RuntimeValue> &args);
+
+    /** Total dynamic instructions executed so far. */
+    uint64_t dynamicInstCount() const { return dynInsts_; }
+
+    /** Times each basic block was entered (for static schedulers). */
+    const std::map<const BasicBlock *, uint64_t> &blockCounts() const
+    {
+        return blockCounts_;
+    }
+
+  private:
+    using Frame = std::map<const Value *, RuntimeValue>;
+
+    RuntimeValue eval(const Value *v, const Frame &frame) const;
+    RuntimeValue evalInst(const Instruction &inst, Frame &frame);
+    uint64_t gepAddr(const Instruction &inst, const Frame &frame) const;
+
+    const Module &module_;
+    MemoryImage memory_;
+    TraceSink sink_;
+    uint64_t dynInsts_ = 0;
+    unsigned callDepth_ = 0;
+    std::map<const BasicBlock *, uint64_t> blockCounts_;
+};
+
+} // namespace muir::ir

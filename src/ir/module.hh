@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Modules: the top-level IR container. A module owns functions,
+ * deduplicated constants, and global arrays. Each global array is a
+ * distinct memory object; its index doubles as the memory-space id the
+ * points-to analysis reports (the LLVMPointsto() of Algorithm 2).
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/function.hh"
+
+namespace muir::ir
+{
+
+/**
+ * A statically allocated global array. Workloads bind input data to
+ * globals before interpretation; the address is assigned by the
+ * interpreter's memory allocator.
+ */
+class GlobalArray : public Value
+{
+  public:
+    GlobalArray(Type elem_type, uint64_t num_elems, std::string name,
+                unsigned space_id)
+        : Value(VKind::Argument, Type::ptrTo(elem_type), std::move(name)),
+          elemType_(elem_type), numElems_(num_elems), spaceId_(space_id)
+    {
+    }
+
+    const Type &elemType() const { return elemType_; }
+    uint64_t numElems() const { return numElems_; }
+    uint64_t sizeBytes() const { return numElems_ * elemType_.sizeBytes(); }
+
+    /** Memory-space / memory-object id (unique per global). */
+    unsigned spaceId() const { return spaceId_; }
+
+  private:
+    Type elemType_;
+    uint64_t numElems_;
+    unsigned spaceId_;
+};
+
+/** The top-level IR container. */
+class Module
+{
+  public:
+    explicit Module(std::string name) : name_(std::move(name)) {}
+
+    Module(const Module &) = delete;
+    Module &operator=(const Module &) = delete;
+
+    const std::string &name() const { return name_; }
+
+    /** Create and register a function. */
+    Function *addFunction(std::string name, Type return_type);
+
+    /** Look up a function by name; nullptr if absent. */
+    Function *function(const std::string &name) const;
+
+    const std::vector<std::unique_ptr<Function>> &functions() const
+    {
+        return functions_;
+    }
+
+    /** Create a global array (a new memory object / space). */
+    GlobalArray *addGlobal(std::string name, Type elem_type,
+                           uint64_t num_elems);
+
+    GlobalArray *global(const std::string &name) const;
+
+    const std::vector<std::unique_ptr<GlobalArray>> &globals() const
+    {
+        return globals_;
+    }
+
+    /** @name Deduplicated constants @{ */
+    Constant *constInt(Type type, int64_t value);
+    Constant *constI32(int32_t value) { return constInt(Type::i32(), value); }
+    Constant *constI64(int64_t value) { return constInt(Type::i64(), value); }
+    Constant *constBool(bool value) { return constInt(Type::i1(), value); }
+    Constant *constF32(double value);
+    /** @} */
+
+    /** Total instruction count across all functions. */
+    unsigned numInsts() const;
+
+  private:
+    std::string name_;
+    std::vector<std::unique_ptr<GlobalArray>> globals_;
+    std::vector<std::unique_ptr<Constant>> constants_;
+    std::map<std::pair<unsigned, int64_t>, Constant *> intConstants_;
+    std::map<double, Constant *> fpConstants_;
+    // Functions are declared last so they are destroyed first: their
+    // destructor severs def-use edges into globals/constants above.
+    std::vector<std::unique_ptr<Function>> functions_;
+};
+
+} // namespace muir::ir

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Side-effect-free opcode semantics, shared by the compiler-IR
+ * interpreter and the μIR functional executor so both levels compute
+ * identical values (the "passes preserve behaviour" property depends
+ * on this single source of truth).
+ */
+#pragma once
+
+#include <vector>
+
+#include "ir/instruction.hh"
+#include "ir/interp.hh"
+
+namespace muir::ir
+{
+
+/**
+ * Apply a pure (non-memory, non-control) op to evaluated operands.
+ * Covers integer/FP arithmetic, compares, casts, select, and the
+ * tensor compute intrinsics. result_type is needed by width-sensitive
+ * casts (trunc/zext).
+ */
+RuntimeValue applyPureOp(Op op, const std::vector<RuntimeValue> &operands,
+                         const Type &result_type);
+
+} // namespace muir::ir

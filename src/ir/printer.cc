@@ -1,0 +1,89 @@
+#include "ir/printer.hh"
+
+#include <sstream>
+
+#include "support/strings.hh"
+
+namespace muir::ir
+{
+
+namespace
+{
+
+std::string
+valueRef(const Value *v)
+{
+    if (auto *c = dynamic_cast<const Constant *>(v))
+        return c->str();
+    return "%" + v->name();
+}
+
+} // namespace
+
+std::string
+printInst(const Instruction &inst)
+{
+    std::ostringstream os;
+    if (!inst.type().isVoid())
+        os << "%" << inst.name() << " = ";
+    os << opName(inst.op());
+    if (!inst.type().isVoid())
+        os << " " << inst.type().str();
+
+    if (inst.op() == Op::Phi) {
+        for (unsigned i = 0; i < inst.numIncoming(); ++i) {
+            os << (i ? ", " : " ");
+            os << "[" << valueRef(inst.incomingValue(i)) << ", %"
+               << inst.incomingBlock(i)->name() << "]";
+        }
+        return os.str();
+    }
+    if (inst.op() == Op::Call)
+        os << " @" << inst.callee()->name();
+
+    for (unsigned i = 0; i < inst.numOperands(); ++i)
+        os << (i ? ", " : " ") << valueRef(inst.operand(i));
+    for (unsigned i = 0; i < inst.blockOperands().size(); ++i) {
+        os << ((i || inst.numOperands()) ? ", " : " ");
+        os << "%" << inst.blockOperand(i)->name();
+    }
+    return os.str();
+}
+
+std::string
+printFunction(const Function &fn)
+{
+    std::ostringstream os;
+    os << "func @" << fn.name() << "(";
+    bool first = true;
+    for (const auto &arg : fn.args()) {
+        if (!first)
+            os << ", ";
+        os << arg->type().str() << " %" << arg->name();
+        first = false;
+    }
+    os << ") -> " << fn.returnType().str() << " {\n";
+    for (const auto &bb : fn.blocks()) {
+        os << bb->name() << ":\n";
+        for (const auto &inst : bb->insts())
+            os << "    " << printInst(*inst) << "\n";
+    }
+    os << "}\n";
+    return os.str();
+}
+
+std::string
+printModule(const Module &module)
+{
+    std::ostringstream os;
+    os << "module @" << module.name() << "\n";
+    for (const auto &g : module.globals()) {
+        os << "global @" << g->name() << " : " << g->elemType().str() << " x "
+           << g->numElems() << "  (space " << g->spaceId() << ")\n";
+    }
+    for (const auto &fn : module.functions())
+        os << "\n" << printFunction(*fn);
+    return os.str();
+}
+
+} // namespace muir::ir

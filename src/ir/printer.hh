@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Text rendering of the mini compiler IR (LLVM-flavoured syntax), for
+ * debugging and golden-file tests.
+ */
+#pragma once
+
+#include <string>
+
+#include "ir/module.hh"
+
+namespace muir::ir
+{
+
+/** Render one instruction, e.g. "%sum = fadd f32 %a, %b". */
+std::string printInst(const Instruction &inst);
+
+/** Render a whole function. */
+std::string printFunction(const Function &fn);
+
+/** Render a whole module, globals first. */
+std::string printModule(const Module &module);
+
+} // namespace muir::ir

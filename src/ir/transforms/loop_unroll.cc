@@ -1,0 +1,237 @@
+#include "ir/transforms/loop_unroll.hh"
+
+#include <map>
+#include <vector>
+
+#include "ir/analysis/cfg.hh"
+#include "ir/analysis/dominators.hh"
+#include "ir/analysis/loop_info.hh"
+#include "ir/module.hh"
+#include "support/logging.hh"
+
+namespace muir::ir
+{
+
+namespace
+{
+
+/** Canonical-loop facts extracted before the transform. */
+struct Canonical
+{
+    Instruction *ivPhi = nullptr;
+    Instruction *cmp = nullptr;
+    Instruction *ivNext = nullptr; // add(iv, step) in the latch.
+    std::vector<Instruction *> carried;
+    BasicBlock *preheader = nullptr;
+    BasicBlock *body = nullptr;
+    BasicBlock *latch = nullptr;
+    int64_t begin = 0, end = 0, step = 0;
+};
+
+const Constant *
+asIntConst(const Value *v)
+{
+    auto *c = dynamic_cast<const Constant *>(v);
+    return (c && !c->isFloatConstant()) ? c : nullptr;
+}
+
+Value *
+incomingFrom(const Instruction *phi, const BasicBlock *bb)
+{
+    for (unsigned i = 0; i < phi->numIncoming(); ++i)
+        if (phi->incomingBlock(i) == bb)
+            return phi->incomingValue(i);
+    return nullptr;
+}
+
+/** Match the canonical shape the IRBuilder's ForLoop produces. */
+bool
+matchCanonical(Loop &loop, Canonical &out)
+{
+    BasicBlock *header = loop.header;
+    if (loop.latches.size() != 1)
+        return false;
+    out.latch = loop.latches[0];
+
+    Instruction *term = header->terminator();
+    if (!term || term->op() != Op::CondBr)
+        return false;
+    auto *cmp = dynamic_cast<Instruction *>(term->operand(0));
+    if (!cmp || cmp->op() != Op::ICmpSlt)
+        return false;
+    out.cmp = cmp;
+    out.body = term->successor(0);
+    if (out.body == out.latch || !loop.contains(out.body))
+        return false;
+    // Single-block body: body branches straight to the latch.
+    auto succs = out.body->successors();
+    if (succs.size() != 1 || succs[0] != out.latch)
+        return false;
+
+    for (BasicBlock *pred : header->predecessors()) {
+        if (pred == out.latch)
+            continue;
+        if (out.preheader != nullptr)
+            return false;
+        out.preheader = pred;
+    }
+    if (!out.preheader)
+        return false;
+
+    for (const auto &inst : header->insts()) {
+        if (inst->op() != Op::Phi)
+            break;
+        if (cmp->operand(0) == inst.get())
+            out.ivPhi = inst.get();
+        else
+            out.carried.push_back(inst.get());
+    }
+    if (!out.ivPhi)
+        return false;
+
+    auto *iv_next =
+        dynamic_cast<Instruction *>(incomingFrom(out.ivPhi, out.latch));
+    if (!iv_next || iv_next->op() != Op::Add ||
+        iv_next->parent() != out.latch)
+        return false;
+    out.ivNext = iv_next;
+
+    const Value *step = iv_next->operand(0) == out.ivPhi
+                            ? iv_next->operand(1)
+                            : iv_next->operand(0);
+    const Constant *begin_c =
+        asIntConst(incomingFrom(out.ivPhi, out.preheader));
+    const Constant *end_c = asIntConst(cmp->operand(1));
+    const Constant *step_c = asIntConst(step);
+    if (!begin_c || !end_c || !step_c || step_c->intValue() <= 0)
+        return false;
+    out.begin = begin_c->intValue();
+    out.end = end_c->intValue();
+    out.step = step_c->intValue();
+
+    // Carried next-values must be defined in the body (or be the phi
+    // itself / loop-invariant), so cloning can chain them. A next
+    // value living in the header or latch cannot be chained.
+    for (Instruction *phi : out.carried) {
+        Value *next = incomingFrom(phi, out.latch);
+        if (auto *def = dynamic_cast<Instruction *>(next)) {
+            bool in_body = def->parent() == out.body;
+            bool invariant = !loop.contains(def->parent());
+            if (def != phi && !in_body && !invariant)
+                return false;
+        }
+    }
+    return true;
+}
+
+/** Clone the body factor-1 more times, chaining iv and carried uses. */
+void
+unrollOne(Function &fn, const Canonical &c, unsigned factor)
+{
+    Module &m = *fn.parent();
+    BasicBlock *body = c.body;
+
+    // Current mapping for iv / carried values per replica.
+    std::map<const Value *, Value *> current;
+    // Snapshot of the original body (excluding the terminator).
+    std::vector<Instruction *> original;
+    for (const auto &inst : body->insts())
+        if (!inst->isTerminator())
+            original.push_back(inst.get());
+
+    // next-value producers of carried phis (pre-unroll).
+    std::map<const Instruction *, Value *> next_of;
+    for (Instruction *phi : c.carried)
+        next_of[phi] = incomingFrom(phi, c.latch);
+    Value *iv_step_type_zero = nullptr;
+    (void)iv_step_type_zero;
+
+    std::map<const Value *, Value *> carried_now;
+    for (Instruction *phi : c.carried) {
+        Value *next = next_of[phi];
+        carried_now[phi] = next; // Value after replica 0.
+    }
+
+    for (unsigned k = 1; k < factor; ++k) {
+        std::map<const Value *, Value *> clone_map;
+        // iv for this replica: iv + k*step.
+        auto iv_off = std::make_unique<Instruction>(
+            Op::Add, c.ivPhi->type(),
+            c.ivPhi->name() + ".u" + std::to_string(k));
+        Instruction *iv_k = body->insertBeforeTerminator(std::move(iv_off));
+        iv_k->addOperand(c.ivPhi);
+        iv_k->addOperand(m.constInt(c.ivPhi->type(), c.step * k));
+        clone_map[c.ivPhi] = iv_k;
+        // Carried phis read the running chained value.
+        for (Instruction *phi : c.carried)
+            clone_map[phi] = carried_now[phi];
+
+        auto resolve = [&](Value *v) -> Value * {
+            auto it = clone_map.find(v);
+            return it == clone_map.end() ? v : it->second;
+        };
+
+        for (Instruction *inst : original) {
+            auto clone = std::make_unique<Instruction>(
+                inst->op(), inst->type(),
+                inst->name().empty()
+                    ? ""
+                    : inst->name() + ".u" + std::to_string(k));
+            Instruction *cl = body->insertBeforeTerminator(
+                std::move(clone));
+            for (Value *operand : inst->operands())
+                cl->addOperand(resolve(operand));
+            cl->setCallee(inst->callee());
+            clone_map[inst] = cl;
+        }
+        // Advance the carried chain through this replica.
+        for (Instruction *phi : c.carried) {
+            Value *next = next_of[phi];
+            carried_now[phi] = resolve(next);
+        }
+    }
+
+    // Retarget the latch: iv += step*factor; carried phis take the
+    // final replica's values.
+    unsigned step_idx = c.ivNext->operand(0) == c.ivPhi ? 1 : 0;
+    c.ivNext->setOperand(step_idx, m.constInt(c.ivPhi->type(),
+                                              c.step * factor));
+    for (Instruction *phi : c.carried) {
+        for (unsigned i = 0; i < phi->numIncoming(); ++i)
+            if (phi->incomingBlock(i) == c.latch)
+                phi->setOperand(i, carried_now[phi]);
+    }
+}
+
+} // namespace
+
+unsigned
+unrollLoops(Function &fn, const UnrollOptions &opts)
+{
+    if (opts.factor <= 1)
+        return 0;
+    Cfg cfg(fn);
+    DominatorTree dt(cfg);
+    LoopInfo li(cfg, dt);
+
+    unsigned unrolled = 0;
+    for (Loop *loop : li.allLoops()) {
+        if (!loop->subloops.empty())
+            continue; // Innermost only.
+        Canonical c;
+        if (!matchCanonical(*loop, c))
+            continue;
+        int64_t trips = c.step > 0 ? (c.end - c.begin + c.step - 1) / c.step
+                                   : 0;
+        if (trips <= 0 || trips % opts.factor != 0)
+            continue;
+        unsigned body_size = c.body->insts().size();
+        if (body_size > opts.maxBodyInsts)
+            continue;
+        unrollOne(fn, c, opts.factor);
+        ++unrolled;
+    }
+    return unrolled;
+}
+
+} // namespace muir::ir

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Behaviour-level loop unrolling. The paper's front end deliberately
+ * accepts software programs so that compiler transformations can
+ * expose hardware opportunity ("we would like to leverage software
+ * transformations such as loop unrolling", §2.2); after unrolling, the
+ * μIR lowering turns the replicated body into parallel function units
+ * — exactly the HLS interpretation of unrolling (§2.1), but decoupled
+ * from the microarchitecture passes that follow.
+ */
+#pragma once
+
+#include "ir/function.hh"
+
+namespace muir::ir
+{
+
+/** Unrolling constraints/options. */
+struct UnrollOptions
+{
+    /** Replication factor (1 = no-op). */
+    unsigned factor = 2;
+    /** Only unroll bodies up to this many instructions. */
+    unsigned maxBodyInsts = 48;
+};
+
+/**
+ * Unroll innermost canonical counted loops of fn by opts.factor.
+ * A loop qualifies when: it is innermost; its bounds and step are
+ * integer constants; its trip count divides the factor evenly; its
+ * body is a single basic block (plus the canonical latch); and the
+ * body is within the size limit. Loop-carried values are chained
+ * through the replicated bodies; the induction update becomes
+ * step x factor, preserving the canonical form the μIR front end
+ * pattern-matches.
+ *
+ * @return the number of loops unrolled.
+ */
+unsigned unrollLoops(Function &fn, const UnrollOptions &opts = {});
+
+} // namespace muir::ir

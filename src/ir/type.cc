@@ -1,0 +1,120 @@
+#include "ir/type.hh"
+
+#include "support/logging.hh"
+#include "support/strings.hh"
+
+namespace muir::ir
+{
+
+Type
+Type::intTy(unsigned bits)
+{
+    muir_assert(bits == 1 || bits == 8 || bits == 16 || bits == 32 ||
+                    bits == 64,
+                "unsupported integer width %u", bits);
+    Type t;
+    t.kind_ = Kind::Int;
+    t.bits_ = bits;
+    return t;
+}
+
+Type
+Type::f32()
+{
+    Type t;
+    t.kind_ = Kind::Float;
+    t.bits_ = 32;
+    return t;
+}
+
+Type
+Type::tensor(unsigned rows, unsigned cols, bool elem_float)
+{
+    muir_assert(rows > 0 && cols > 0, "empty tensor shape %ux%u", rows, cols);
+    Type t;
+    t.kind_ = Kind::Tensor;
+    t.rows_ = rows;
+    t.cols_ = cols;
+    t.elemFloat_ = elem_float;
+    t.bits_ = 32;
+    return t;
+}
+
+Type
+Type::ptrTo(const Type &pointee)
+{
+    muir_assert(!pointee.isVoid() && !pointee.isPtr(),
+                "pointer to %s not supported", pointee.str().c_str());
+    Type t;
+    t.kind_ = Kind::Ptr;
+    t.bits_ = 64;
+    t.pointee_ = std::make_shared<Type>(pointee);
+    return t;
+}
+
+const Type &
+Type::pointee() const
+{
+    muir_assert(isPtr() && pointee_, "pointee() on non-pointer %s",
+                str().c_str());
+    return *pointee_;
+}
+
+unsigned
+Type::sizeBytes() const
+{
+    switch (kind_) {
+      case Kind::Void:
+        return 0;
+      case Kind::Int:
+        return bits_ <= 8 ? 1 : bits_ / 8;
+      case Kind::Float:
+        return 4;
+      case Kind::Ptr:
+        return 8;
+      case Kind::Tensor:
+        return rows_ * cols_ * 4;
+    }
+    return 0;
+}
+
+bool
+Type::operator==(const Type &other) const
+{
+    if (kind_ != other.kind_)
+        return false;
+    switch (kind_) {
+      case Kind::Void:
+        return true;
+      case Kind::Int:
+      case Kind::Float:
+        return bits_ == other.bits_;
+      case Kind::Ptr:
+        return pointee() == other.pointee();
+      case Kind::Tensor:
+        return rows_ == other.rows_ && cols_ == other.cols_ &&
+               elemFloat_ == other.elemFloat_;
+    }
+    return false;
+}
+
+std::string
+Type::str() const
+{
+    switch (kind_) {
+      case Kind::Void:
+        return "void";
+      case Kind::Int:
+        return fmt("i%u", bits_);
+      case Kind::Float:
+        return "f32";
+      case Kind::Ptr:
+        return pointee().str() + "*";
+      case Kind::Tensor:
+        return fmt("tensor<%ux%ux%s>", rows_, cols_,
+                   elemFloat_ ? "f32" : "i32");
+    }
+    return "?";
+}
+
+} // namespace muir::ir

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Value-semantic type system for the mini compiler IR. Mirrors the
+ * subset of LLVM types the paper's front end consumes: integers, f32,
+ * pointers (each pointing into a named memory object), and 2-D tensors
+ * (the Tensor2D intrinsic type of §3.3/§6.3).
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace muir::ir
+{
+
+/** An IR type. Cheap to copy; pointers share their pointee node. */
+class Type
+{
+  public:
+    enum class Kind { Void, Int, Float, Ptr, Tensor };
+
+    Type() : kind_(Kind::Void) {}
+
+    /** @name Factories @{ */
+    static Type voidTy() { return Type(); }
+    static Type intTy(unsigned bits);
+    static Type i1() { return intTy(1); }
+    static Type i8() { return intTy(8); }
+    static Type i32() { return intTy(32); }
+    static Type i64() { return intTy(64); }
+    static Type f32();
+    /** A rows x cols tensor of f32 (elem_float) or i32 elements. */
+    static Type tensor(unsigned rows, unsigned cols, bool elem_float = true);
+    static Type ptrTo(const Type &pointee);
+    /** @} */
+
+    Kind kind() const { return kind_; }
+    bool isVoid() const { return kind_ == Kind::Void; }
+    bool isInt() const { return kind_ == Kind::Int; }
+    bool isBool() const { return isInt() && bits_ == 1; }
+    bool isFloat() const { return kind_ == Kind::Float; }
+    bool isPtr() const { return kind_ == Kind::Ptr; }
+    bool isTensor() const { return kind_ == Kind::Tensor; }
+    bool isScalar() const { return isInt() || isFloat(); }
+
+    /** Bit width for Int/Float types. */
+    unsigned bits() const { return bits_; }
+    /** Tensor shape. */
+    unsigned rows() const { return rows_; }
+    unsigned cols() const { return cols_; }
+    /** Tensor element count. */
+    unsigned tensorElems() const { return rows_ * cols_; }
+    /** Whether tensor elements are floating point. */
+    bool tensorElemFloat() const { return elemFloat_; }
+
+    /** The pointed-to type; only valid for pointers. */
+    const Type &pointee() const;
+
+    /** Storage footprint in bytes (tensors are dense row-major). */
+    unsigned sizeBytes() const;
+
+    bool operator==(const Type &other) const;
+    bool operator!=(const Type &other) const { return !(*this == other); }
+
+    /** Human-readable spelling, e.g. "i32", "f32*", "tensor<2x2xf32>". */
+    std::string str() const;
+
+  private:
+    Kind kind_;
+    unsigned bits_ = 0;
+    unsigned rows_ = 0;
+    unsigned cols_ = 0;
+    bool elemFloat_ = true;
+    std::shared_ptr<Type> pointee_;
+};
+
+} // namespace muir::ir

@@ -1,0 +1,38 @@
+#include "ir/value.hh"
+
+#include <algorithm>
+
+#include "ir/instruction.hh"
+#include "support/logging.hh"
+#include "support/strings.hh"
+
+namespace muir::ir
+{
+
+void
+Value::replaceAllUsesWith(Value *replacement)
+{
+    muir_assert(replacement != this, "RAUW with self");
+    // Copy: replaceOperand mutates users_.
+    std::vector<Instruction *> users_copy = users_;
+    for (Instruction *user : users_copy)
+        user->replaceOperand(this, replacement);
+}
+
+void
+Value::removeUser(Instruction *user)
+{
+    auto it = std::find(users_.begin(), users_.end(), user);
+    muir_assert(it != users_.end(), "removing non-user");
+    users_.erase(it);
+}
+
+std::string
+Constant::str() const
+{
+    if (isFloat_)
+        return fmt("%g", fpValue_);
+    return fmt("%lld", static_cast<long long>(intValue_));
+}
+
+} // namespace muir::ir

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Value hierarchy of the mini compiler IR: everything an instruction
+ * can consume is a Value — function arguments, constants, or the
+ * results of other instructions. Def-use chains are maintained so the
+ * verifier and front end can walk users.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/type.hh"
+
+namespace muir::ir
+{
+
+class Instruction;
+
+/** Base class of everything usable as an instruction operand. */
+class Value
+{
+  public:
+    enum class VKind { Argument, Constant, Instruction };
+
+    Value(VKind vkind, Type type, std::string name)
+        : vkind_(vkind), type_(std::move(type)), name_(std::move(name))
+    {
+    }
+    virtual ~Value() = default;
+
+    Value(const Value &) = delete;
+    Value &operator=(const Value &) = delete;
+
+    VKind valueKind() const { return vkind_; }
+    const Type &type() const { return type_; }
+    const std::string &name() const { return name_; }
+    void setName(std::string name) { name_ = std::move(name); }
+
+    /** Instructions currently using this value as an operand. */
+    const std::vector<Instruction *> &users() const { return users_; }
+
+    /** Redirect every use of this value to replacement. */
+    void replaceAllUsesWith(Value *replacement);
+
+    /** @name Def-use maintenance (called by Instruction only) @{ */
+    void addUser(Instruction *user) { users_.push_back(user); }
+    void removeUser(Instruction *user);
+    /** @} */
+
+  private:
+    VKind vkind_;
+    Type type_;
+    std::string name_;
+    std::vector<Instruction *> users_;
+};
+
+/** A formal parameter of a Function. */
+class Argument : public Value
+{
+  public:
+    Argument(Type type, std::string name, unsigned index)
+        : Value(VKind::Argument, std::move(type), std::move(name)),
+          index_(index)
+    {
+    }
+
+    /** Position in the function's parameter list. */
+    unsigned index() const { return index_; }
+
+  private:
+    unsigned index_;
+};
+
+/** An integer or floating-point literal. */
+class Constant : public Value
+{
+  public:
+    /** Integer constant of the given type. */
+    Constant(Type type, int64_t value)
+        : Value(VKind::Constant, std::move(type), ""), intValue_(value)
+    {
+    }
+
+    /** f32 constant. */
+    Constant(Type type, double value)
+        : Value(VKind::Constant, std::move(type), ""), fpValue_(value),
+          isFloat_(true)
+    {
+    }
+
+    bool isFloatConstant() const { return isFloat_; }
+    int64_t intValue() const { return intValue_; }
+    double fpValue() const { return fpValue_; }
+
+    /** Printable literal, e.g. "42" or "3.5f". */
+    std::string str() const;
+
+  private:
+    int64_t intValue_ = 0;
+    double fpValue_ = 0.0;
+    bool isFloat_ = false;
+};
+
+} // namespace muir::ir

@@ -1,0 +1,125 @@
+#include "ir/verifier.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "ir/printer.hh"
+#include "support/logging.hh"
+#include "support/strings.hh"
+
+namespace muir::ir
+{
+
+namespace
+{
+
+void
+verifyFunction(const Function &fn, std::vector<std::string> &errors)
+{
+    auto err = [&](const std::string &msg) {
+        errors.push_back(fmt("%s: %s", fn.name().c_str(), msg.c_str()));
+    };
+
+    if (fn.blocks().empty()) {
+        err("function has no blocks");
+        return;
+    }
+
+    std::set<const Value *> defined;
+    for (const auto &arg : fn.args())
+        defined.insert(arg.get());
+
+    // Collect all instruction results first: we check dominance only
+    // loosely (defined somewhere in the function) — full SSA dominance
+    // is implied by construction through IRBuilder.
+    for (const auto &bb : fn.blocks())
+        for (const auto &inst : bb->insts())
+            defined.insert(inst.get());
+
+    for (const auto &bb : fn.blocks()) {
+        const auto &insts = bb->insts();
+        if (insts.empty() || !insts.back()->isTerminator()) {
+            err(fmt("block %s lacks a terminator", bb->name().c_str()));
+            continue;
+        }
+        bool seen_nonphi = false;
+        for (size_t i = 0; i < insts.size(); ++i) {
+            const Instruction &inst = *insts[i];
+            if (inst.isTerminator() && i + 1 != insts.size())
+                err(fmt("terminator %s mid-block in %s",
+                        opName(inst.op()), bb->name().c_str()));
+            if (inst.op() == Op::Phi) {
+                if (seen_nonphi)
+                    err(fmt("phi %%%s after non-phi in %s",
+                            inst.name().c_str(), bb->name().c_str()));
+            } else {
+                seen_nonphi = true;
+            }
+            for (const Value *operand : inst.operands()) {
+                if (operand->valueKind() == Value::VKind::Instruction &&
+                    !defined.count(operand)) {
+                    err(fmt("use of undefined value in %s",
+                            printInst(inst).c_str()));
+                }
+            }
+            if (inst.op() == Op::Phi) {
+                auto preds = bb->predecessors();
+                if (inst.numIncoming() != preds.size()) {
+                    err(fmt("phi %%%s has %u incoming, block %s has %zu "
+                            "preds",
+                            inst.name().c_str(), inst.numIncoming(),
+                            bb->name().c_str(), preds.size()));
+                }
+                for (unsigned k = 0; k < inst.numIncoming(); ++k) {
+                    BasicBlock *in = inst.incomingBlock(k);
+                    if (std::find(preds.begin(), preds.end(), in) ==
+                        preds.end()) {
+                        err(fmt("phi %%%s incoming from non-pred %s",
+                                inst.name().c_str(), in->name().c_str()));
+                    }
+                    if (inst.incomingValue(k)->type() != inst.type())
+                        err(fmt("phi %%%s incoming type mismatch",
+                                inst.name().c_str()));
+                }
+            }
+            if (inst.op() == Op::Ret) {
+                if (fn.returnType().isVoid()) {
+                    if (inst.numOperands() != 0)
+                        err("ret with value in void function");
+                } else if (inst.numOperands() != 1 ||
+                           inst.operand(0)->type() != fn.returnType()) {
+                    err("ret value/type mismatch");
+                }
+            }
+            if (inst.op() == Op::CondBr &&
+                !inst.operand(0)->type().isBool())
+                err("condbr condition is not i1");
+            if (inst.op() == Op::Detach && inst.numSuccessors() != 2)
+                err("detach needs (detached, continue) successors");
+            if (inst.op() == Op::Call && inst.callee() == nullptr)
+                err("call without callee");
+        }
+    }
+}
+
+} // namespace
+
+std::vector<std::string>
+verify(const Module &module)
+{
+    std::vector<std::string> errors;
+    for (const auto &fn : module.functions())
+        verifyFunction(*fn, errors);
+    return errors;
+}
+
+void
+verifyOrDie(const Module &module)
+{
+    auto errors = verify(module);
+    if (!errors.empty())
+        muir_panic("IR verification failed:\n  %s",
+                   join(errors, "\n  ").c_str());
+}
+
+} // namespace muir::ir

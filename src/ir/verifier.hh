@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Structural well-formedness checks for the mini compiler IR.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/module.hh"
+
+namespace muir::ir
+{
+
+/**
+ * Verify a module; returns a list of human-readable violations, empty
+ * when the module is well-formed. Checked invariants: every block has
+ * exactly one terminator (at the end only); phis appear before
+ * non-phis and have one incoming per predecessor; operand/def types
+ * line up; detach blocks have matching reattach regions; rets match
+ * the function return type.
+ */
+std::vector<std::string> verify(const Module &module);
+
+/** Verify and panic on the first violation (for tests/tools). */
+void verifyOrDie(const Module &module);
+
+} // namespace muir::ir

@@ -1,0 +1,197 @@
+#include "rtl/chisel.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "support/strings.hh"
+
+namespace muir::rtl
+{
+
+using uir::Node;
+using uir::NodeKind;
+using uir::Task;
+
+namespace
+{
+
+std::string
+componentFor(const Node &node)
+{
+    switch (node.kind()) {
+      case NodeKind::Compute:
+        return fmt("new ComputeNode(opCode = \"%s\")(%s)",
+                   ir::opName(node.op()), node.hwType().str().c_str());
+      case NodeKind::Fused: {
+        std::vector<std::string> ops;
+        for (const auto &mop : node.microOps())
+            ops.push_back(ir::opName(mop.op));
+        return fmt("new FusedComputeNode(opCodes = Seq(\"%s\"))(%s)",
+                   join(ops, "\", \"").c_str(),
+                   node.hwType().str().c_str());
+      }
+      case NodeKind::Load:
+        return fmt("new Load(%s)", node.hwType().str().c_str());
+      case NodeKind::Store:
+        return "new Store()";
+      case NodeKind::LiveIn:
+        return fmt("new LiveIn(%u)(%s)", node.liveIndex(),
+                   node.hwType().str().c_str());
+      case NodeKind::LiveOut:
+        return fmt("new LiveOut(%u)(%s)", node.liveIndex(),
+                   node.hwType().str().c_str());
+      case NodeKind::ConstNode:
+        if (node.constIsFloat())
+            return fmt("new ConstNode(%gf)", node.constFp());
+        return fmt("new ConstNode(%lld.U)",
+                   static_cast<long long>(node.constInt()));
+      case NodeKind::GlobalAddr:
+        return fmt("new SegmentBase(\"%s\")",
+                   node.global()->name().c_str());
+      case NodeKind::LoopControl:
+        return fmt("new LoopControl(carried = %u, stages = %u)",
+                   node.numCarried(), node.ctrlStages());
+      case NodeKind::ChildCall:
+        return fmt("new TaskDispatch(\"%s\", spawn = %s)",
+                   node.callee()->name().c_str(),
+                   node.isSpawn() ? "true" : "false");
+      case NodeKind::SyncNode:
+        return "new SyncJoin()";
+    }
+    return "new UnknownNode()";
+}
+
+std::string
+sanitize(std::string name)
+{
+    for (char &c : name)
+        if (!std::isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    return name;
+}
+
+} // namespace
+
+std::string
+emitTaskModule(const Task &task)
+{
+    std::ostringstream os;
+    os << "class " << sanitize(task.name())
+       << " extends TaskModule(tiles = " << task.numTiles()
+       << ", queueDepth = " << task.queueDepth() << ") {\n";
+    os << "    /*------- Dataflow specification -------*/\n";
+    for (const auto &n : task.nodes()) {
+        os << "    val " << sanitize(n->name()) << " = "
+           << componentFor(*n) << "\n";
+    }
+    os << "\n    /*------- Connections (latency-insensitive) -------*/\n";
+    for (const auto &n : task.nodes()) {
+        for (unsigned i = 0; i < n->numInputs(); ++i) {
+            const auto &ref = n->input(i);
+            os << "    " << sanitize(n->name()) << ".io.In(" << i
+               << ") <> " << sanitize(ref.node->name()) << ".io.Out("
+               << ref.out << ")\n";
+        }
+        if (n->guard().valid()) {
+            os << "    " << sanitize(n->name()) << ".io.enable <> "
+               << sanitize(n->guard().node->name()) << ".io.Out("
+               << n->guard().out << ")\n";
+        }
+    }
+    // Junction multiplexing the task's memory operations (§3.4).
+    auto mem_ops = task.memOps();
+    if (!mem_ops.empty()) {
+        os << "\n    /*------------ Junctions --------------*/\n";
+        os << "    val mem_junc = new Junction(R = "
+           << task.junctionReadPorts() << ", W = "
+           << task.junctionWritePorts() << ")\n";
+        unsigned r = 0, w = 0;
+        for (const Node *op : mem_ops) {
+            if (op->kind() == NodeKind::Load) {
+                os << "    mem_junc.io.Read(" << r++ << ") <==> "
+                   << sanitize(op->name()) << ".io.Mem\n";
+            } else {
+                os << "    mem_junc.io.Write(" << w++ << ") <==> "
+                   << sanitize(op->name()) << ".io.Mem\n";
+            }
+        }
+    }
+    os << "}\n";
+    return os.str();
+}
+
+std::string
+emitChisel(const uir::Accelerator &accel)
+{
+    std::ostringstream os;
+    os << "// Auto-generated from the µIR graph \"" << accel.name()
+       << "\" — do not edit.\n";
+    os << "package muir.generated\n\nimport muir.lib._\n\n";
+
+    for (const auto &task : accel.tasks())
+        os << emitTaskModule(*task) << "\n";
+
+    os << "class Accelerator(val p: Parameters) extends architecture {\n";
+    os << "    /*------------ Task Blocks -------------*/\n";
+    for (const auto &task : accel.tasks()) {
+        os << "    val task_" << sanitize(task->name()) << " = new "
+           << sanitize(task->name()) << "()\n";
+    }
+    os << "\n    /*------------ Structures -------------*/\n";
+    for (const auto &s : accel.structures()) {
+        switch (s->kind()) {
+          case uir::StructureKind::Scratchpad:
+            os << "    val hw_" << sanitize(s->name())
+               << " = new Scratchpad(sizeKB = " << s->sizeKb()
+               << ", banks = " << s->banks() << ", ports = "
+               << s->portsPerBank() << ", wide = " << s->wideWords()
+               << ")\n";
+            break;
+          case uir::StructureKind::Cache:
+            os << "    val hw_" << sanitize(s->name())
+               << " = new Cache(sizeKB = " << s->sizeKb() << ", banks = "
+               << s->banks() << ", ways = " << s->ways() << ")\n";
+            break;
+          case uir::StructureKind::Dram:
+            os << "    val hw_" << sanitize(s->name())
+               << " = new AxiPort()\n";
+            break;
+        }
+    }
+    os << "\n    /*--------- Task <||> connections ---------*/\n";
+    for (const auto &task : accel.tasks()) {
+        for (const Node *call : task->childCalls()) {
+            os << "    task_" << sanitize(call->callee()->name())
+               << ".io.task <||> task_" << sanitize(task->name())
+               << ".io." << sanitize(call->name()) << "\n";
+        }
+    }
+    os << "\n    /*--------- Memory <==> connections ---------*/\n";
+    for (const auto &task : accel.tasks()) {
+        if (task->memOps().empty())
+            continue;
+        // Each referenced structure gets a port from this task.
+        std::vector<const uir::Structure *> used;
+        for (const Node *op : task->memOps()) {
+            const uir::Structure *s =
+                accel.structureForSpace(op->memSpace());
+            if (std::find(used.begin(), used.end(), s) == used.end())
+                used.push_back(s);
+        }
+        for (const uir::Structure *s : used) {
+            os << "    hw_" << sanitize(s->name()) << ".io.Mem <==> task_"
+               << sanitize(task->name()) << ".io.Mem\n";
+        }
+    }
+    os << "\n    /*--------- AXI backing ---------*/\n";
+    for (const auto &s : accel.structures()) {
+        if (s->kind() == uir::StructureKind::Cache)
+            os << "    io.Mem.port(0) <==> hw_" << sanitize(s->name())
+               << ".io.AXI\n";
+    }
+    os << "}\n";
+    return os.str();
+}
+
+} // namespace muir::rtl

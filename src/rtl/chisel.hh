@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Chisel backend (Stage 3, Figure 3): lowers a μIR graph to modular
+ * Chisel RTL text built from the component library — the same shape
+ * as the paper's Figure 4 (whole-accelerator) and Figure 6 (task
+ * dataflow) listings. The emitted code is a faithful structural
+ * mirror of the graph; every node instantiates a library component
+ * and every connection uses the <>, <||> (task) or <==> (memory)
+ * interface operators.
+ */
+#pragma once
+
+#include <string>
+
+#include "uir/accelerator.hh"
+
+namespace muir::rtl
+{
+
+/** Emit the whole accelerator as one Chisel source file. */
+std::string emitChisel(const uir::Accelerator &accel);
+
+/** Emit one task block's TaskModule class (Figure 6). */
+std::string emitTaskModule(const uir::Task &task);
+
+} // namespace muir::rtl

@@ -1,0 +1,268 @@
+#include "rtl/firrtl.hh"
+
+#include "support/strings.hh"
+
+namespace muir::rtl
+{
+
+using uir::Node;
+using uir::NodeKind;
+
+namespace
+{
+
+/** Builder helper maintaining the flattened name space. */
+class Elaborator
+{
+  public:
+    explicit Elaborator(FirrtlCircuit &circuit) : c_(circuit) {}
+
+    void
+    node(const std::string &name)
+    {
+        c_.nodes.insert(name);
+    }
+
+    void
+    edge(const std::string &from, const std::string &to)
+    {
+        c_.edges.emplace(from, to);
+    }
+
+    /** A primitive with the standard handshake: op + output register
+     *  + valid/ready gates, chained together. */
+    void
+    handshaked(const std::string &base)
+    {
+        node(base + "/op");
+        node(base + "/outreg");
+        node(base + "/valid");
+        node(base + "/ready");
+        edge(base + "/op", base + "/outreg");
+        edge(base + "/valid", base + "/outreg");
+        edge(base + "/ready", base + "/valid");
+    }
+
+  private:
+    FirrtlCircuit &c_;
+};
+
+std::string
+nodePath(const uir::Task &task, const Node &n, unsigned tile)
+{
+    return fmt("%s/t%u/%s", task.name().c_str(), tile,
+               n.name().c_str());
+}
+
+void
+elaborateNode(Elaborator &e, const uir::Task &task, const Node &n,
+              unsigned tile)
+{
+    std::string base = nodePath(task, n, tile);
+    switch (n.kind()) {
+      case NodeKind::Compute:
+        e.handshaked(base);
+        // Input join tree: one ready/valid join per operand.
+        for (unsigned i = 0; i < n.numInputs(); ++i) {
+            e.node(fmt("%s/join%u", base.c_str(), i));
+            e.edge(fmt("%s/join%u", base.c_str(), i), base + "/op");
+        }
+        break;
+      case NodeKind::Fused:
+        e.handshaked(base);
+        for (size_t k = 0; k < n.microOps().size(); ++k) {
+            e.node(fmt("%s/uop%zu", base.c_str(), k));
+            e.edge(fmt("%s/uop%zu", base.c_str(), k), base + "/op");
+        }
+        for (unsigned i = 0; i < n.numInputs(); ++i) {
+            e.node(fmt("%s/join%u", base.c_str(), i));
+            e.edge(fmt("%s/join%u", base.c_str(), i), base + "/op");
+        }
+        break;
+      case NodeKind::Load:
+      case NodeKind::Store: {
+        // Databox (§3.4): address gen, word splitter, coalescer,
+        // shifter/masker, request and response queues.
+        e.handshaked(base);
+        for (const char *part :
+             {"addrgen", "split", "coalesce", "shift", "reqq", "respq"})
+            e.node(fmt("%s/%s", base.c_str(), part));
+        e.edge(base + "/addrgen", base + "/split");
+        e.edge(base + "/split", base + "/reqq");
+        e.edge(base + "/respq", base + "/coalesce");
+        e.edge(base + "/coalesce", base + "/shift");
+        e.edge(base + "/shift", base + "/op");
+        // Wide databoxes replicate the word lanes.
+        for (unsigned wmax = n.accessWords(), w2 = 1; w2 < wmax; ++w2) {
+            e.node(fmt("%s/lane%u", base.c_str(), w2));
+            e.edge(fmt("%s/lane%u", base.c_str(), w2),
+                   base + "/coalesce");
+        }
+        break;
+      }
+      case NodeKind::LoopControl: {
+        // Buffer -> phi -> incr -> cmp -> br pipeline (Pass 5) with
+        // the re-timed variants folding stages together.
+        unsigned stages = n.ctrlStages();
+        std::string prev;
+        for (unsigned s = 0; s < stages; ++s) {
+            std::string st = fmt("%s/stage%u", base.c_str(), s);
+            e.node(st);
+            if (!prev.empty())
+                e.edge(prev, st);
+            prev = st;
+        }
+        e.edge(prev, base + "/backedge");
+        e.node(base + "/backedge");
+        for (unsigned k = 0; k < n.numCarried(); ++k) {
+            e.node(fmt("%s/carried%u", base.c_str(), k));
+            e.node(fmt("%s/carriedmux%u", base.c_str(), k));
+            e.edge(fmt("%s/carriedmux%u", base.c_str(), k),
+                   fmt("%s/carried%u", base.c_str(), k));
+        }
+        break;
+      }
+      case NodeKind::ChildCall: {
+        e.handshaked(base);
+        // Task-queue stages on the <||> interface.
+        unsigned depth = n.callee()->queueDepth();
+        std::string prev = base + "/op";
+        for (unsigned q = 0; q < depth; ++q) {
+            std::string st = fmt("%s/queue%u", base.c_str(), q);
+            e.node(st);
+            e.edge(prev, st);
+            prev = st;
+        }
+        // Dispatch crossbar: one port per callee tile.
+        for (unsigned t = 0; t < n.callee()->numTiles(); ++t) {
+            e.node(fmt("%s/xbar%u", base.c_str(), t));
+            e.edge(prev, fmt("%s/xbar%u", base.c_str(), t));
+        }
+        break;
+      }
+      case NodeKind::SyncNode:
+        e.handshaked(base);
+        e.node(base + "/counter");
+        e.edge(base + "/counter", base + "/op");
+        break;
+      case NodeKind::LiveIn:
+      case NodeKind::LiveOut:
+        e.handshaked(base);
+        break;
+      case NodeKind::ConstNode:
+      case NodeKind::GlobalAddr:
+        e.node(base + "/literal");
+        break;
+    }
+}
+
+std::string
+outputPort(const uir::Task &task, const Node &n, unsigned tile)
+{
+    std::string base = nodePath(task, n, tile);
+    if (n.kind() == NodeKind::ConstNode || n.kind() == NodeKind::GlobalAddr)
+        return base + "/literal";
+    if (n.kind() == NodeKind::LoopControl)
+        return base + "/backedge";
+    return base + "/outreg";
+}
+
+} // namespace
+
+FirrtlCircuit
+lowerToFirrtl(const uir::Accelerator &accel)
+{
+    FirrtlCircuit circuit;
+    Elaborator e(circuit);
+
+    for (const auto &task : accel.tasks()) {
+        // Execution tiling physically replicates the datapath.
+        for (unsigned tile = 0; tile < std::max(1u, task->numTiles());
+             ++tile) {
+            for (const auto &n : task->nodes())
+                elaborateNode(e, *task, *n, tile);
+            // Dataflow wires.
+            for (const auto &n : task->nodes()) {
+                std::string base = nodePath(*task, *n, tile);
+                for (unsigned i = 0; i < n->numInputs(); ++i) {
+                    e.edge(outputPort(*task, *n->input(i).node, tile),
+                           base + (n->kind() == NodeKind::Compute ||
+                                           n->kind() == NodeKind::Fused
+                                       ? fmt("/join%u", i)
+                                       : "/op"));
+                }
+                if (n->guard().valid())
+                    e.edge(outputPort(*task, *n->guard().node, tile),
+                           base + "/valid");
+            }
+            // Junction tree multiplexing the memory ops (§3.4).
+            auto mem_ops = task->memOps();
+            if (!mem_ops.empty()) {
+                std::string junc = fmt("%s/t%u/junction",
+                                       task->name().c_str(), tile);
+                for (unsigned p = 0; p < task->junctionReadPorts(); ++p)
+                    e.node(fmt("%s/r%u", junc.c_str(), p));
+                for (unsigned p = 0; p < task->junctionWritePorts(); ++p)
+                    e.node(fmt("%s/w%u", junc.c_str(), p));
+                for (const Node *op : mem_ops) {
+                    std::string base = nodePath(*task, *op, tile);
+                    const uir::Structure *s =
+                        accel.structureForSpace(op->memSpace());
+                    bool is_load = op->kind() == NodeKind::Load;
+                    std::string port =
+                        fmt("%s/%s0", junc.c_str(), is_load ? "r" : "w");
+                    e.edge(base + "/reqq", port);
+                    e.edge(port, fmt("structure/%s/arb",
+                                     s->name().c_str()));
+                }
+            }
+        }
+    }
+
+    // Hardware structures: arbiter + per-bank RAM macros + port muxes.
+    for (const auto &s : accel.structures()) {
+        std::string base = "structure/" + s->name();
+        e.node(base + "/arb");
+        for (unsigned b = 0; b < s->banks(); ++b) {
+            e.node(fmt("%s/bank%u/ram", base.c_str(), b));
+            e.edge(base + "/arb", fmt("%s/bank%u/ram", base.c_str(), b));
+            for (unsigned p = 0; p < s->portsPerBank(); ++p) {
+                e.node(fmt("%s/bank%u/port%u", base.c_str(), b, p));
+                e.edge(fmt("%s/bank%u/port%u", base.c_str(), b, p),
+                       fmt("%s/bank%u/ram", base.c_str(), b));
+            }
+        }
+        if (s->kind() == uir::StructureKind::Cache) {
+            for (const char *part : {"tags", "mshr", "fill", "evict"})
+                e.node(fmt("%s/%s", base.c_str(), part));
+            e.edge(base + "/tags", base + "/fill");
+            e.edge(base + "/fill", base + "/evict");
+        }
+        if (s->wideWords() > 1) {
+            for (unsigned w = 0; w < s->wideWords(); ++w)
+                e.node(fmt("%s/wide%u", base.c_str(), w));
+        }
+    }
+    return circuit;
+}
+
+CircuitDelta
+diffCircuits(const FirrtlCircuit &before, const FirrtlCircuit &after)
+{
+    CircuitDelta delta;
+    for (const auto &n : before.nodes)
+        if (!after.nodes.count(n))
+            ++delta.nodesChanged;
+    for (const auto &n : after.nodes)
+        if (!before.nodes.count(n))
+            ++delta.nodesChanged;
+    for (const auto &ed : before.edges)
+        if (!after.edges.count(ed))
+            ++delta.edgesChanged;
+    for (const auto &ed : after.edges)
+        if (!before.edges.count(ed))
+            ++delta.edgesChanged;
+    return delta;
+}
+
+} // namespace muir::rtl

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * FIRRTL-level circuit graph (the Table 4 comparator). μIR nodes
+ * expand into the primitive circuit elements FIRRTL would hold after
+ * Chisel elaboration: operators, pipeline/handshake registers,
+ * ready/valid join trees, queue stages, crossbar muxes, RAM macros.
+ * Elements carry stable hierarchical names so two elaborations of the
+ * same design can be diffed — quantifying how many circuit-level
+ * nodes/edges a microarchitecture change touches when expressed at
+ * the FIRRTL level instead of on the μIR graph (§7).
+ */
+#pragma once
+
+#include <set>
+#include <string>
+#include <utility>
+
+#include "uir/accelerator.hh"
+
+namespace muir::rtl
+{
+
+/** A flattened circuit: named elements and named directed wires. */
+struct FirrtlCircuit
+{
+    std::set<std::string> nodes;
+    std::set<std::pair<std::string, std::string>> edges;
+
+    unsigned numNodes() const { return nodes.size(); }
+    unsigned numEdges() const { return edges.size(); }
+};
+
+/** Elaborate the accelerator down to circuit level. */
+FirrtlCircuit lowerToFirrtl(const uir::Accelerator &accel);
+
+/** Nodes/edges present in exactly one of the two circuits. */
+struct CircuitDelta
+{
+    unsigned nodesChanged = 0;
+    unsigned edgesChanged = 0;
+};
+
+/** Symmetric difference between two elaborations. */
+CircuitDelta diffCircuits(const FirrtlCircuit &before,
+                          const FirrtlCircuit &after);
+
+} // namespace muir::rtl

@@ -1,0 +1,208 @@
+#include "rtl/verilog.hh"
+
+#include <cctype>
+#include <sstream>
+
+#include "support/strings.hh"
+
+namespace muir::rtl
+{
+
+using uir::Node;
+using uir::NodeKind;
+using uir::Task;
+
+namespace
+{
+
+std::string
+ident(std::string name)
+{
+    for (char &c : name)
+        if (!std::isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    if (!name.empty() && std::isdigit(static_cast<unsigned char>(name[0])))
+        name = "n" + name;
+    return name;
+}
+
+unsigned
+widthOf(const Node &n)
+{
+    unsigned bits = n.hwType().flitBits();
+    return bits ? bits : 1;
+}
+
+/** Declare the handshake net bundle for one node output. */
+void
+declareNets(std::ostringstream &os, const Node &n)
+{
+    for (unsigned o = 0; o < n.numOutputs(); ++o) {
+        unsigned bits = widthOf(n);
+        os << fmt("    wire [%u:0] %s_out%u_data;\n", bits - 1,
+                  ident(n.name()).c_str(), o);
+        os << fmt("    wire %s_out%u_valid;\n", ident(n.name()).c_str(),
+                  o);
+        os << fmt("    wire %s_out%u_ready;\n", ident(n.name()).c_str(),
+                  o);
+    }
+}
+
+std::string
+primitiveFor(const Node &n)
+{
+    switch (n.kind()) {
+      case NodeKind::Compute:
+        return fmt("muir_compute #(.OP(\"%s\"), .WIDTH(%u), .INS(%u))",
+                   ir::opName(n.op()), widthOf(n), n.numInputs());
+      case NodeKind::Fused:
+        return fmt("muir_fused #(.UOPS(%zu), .WIDTH(%u), .INS(%u))",
+                   n.microOps().size(), widthOf(n), n.numInputs());
+      case NodeKind::Load:
+        return fmt("muir_databox #(.STORE(0), .WORDS(%u), .WIDTH(%u))",
+                   n.accessWords(), widthOf(n));
+      case NodeKind::Store:
+        return fmt("muir_databox #(.STORE(1), .WORDS(%u), .WIDTH(32))",
+                   n.accessWords());
+      case NodeKind::LiveIn:
+        return fmt("muir_livein #(.INDEX(%u), .WIDTH(%u))",
+                   n.liveIndex(), widthOf(n));
+      case NodeKind::LiveOut:
+        return fmt("muir_liveout #(.INDEX(%u), .WIDTH(%u))",
+                   n.liveIndex(), widthOf(n));
+      case NodeKind::ConstNode:
+        if (n.constIsFloat())
+            return fmt("muir_const #(.FVALUE(%g), .WIDTH(32))",
+                       n.constFp());
+        return fmt("muir_const #(.VALUE(%lld), .WIDTH(%u))",
+                   static_cast<long long>(n.constInt()), widthOf(n));
+      case NodeKind::GlobalAddr:
+        return fmt("muir_segbase #(.SEGMENT(\"%s\"))",
+                   n.global()->name().c_str());
+      case NodeKind::LoopControl:
+        return fmt("muir_loopctrl #(.CARRIED(%u), .STAGES(%u))",
+                   n.numCarried(), n.ctrlStages());
+      case NodeKind::ChildCall:
+        return fmt("muir_dispatch #(.SPAWN(%u), .QDEPTH(%u), "
+                   ".TILES(%u))",
+                   n.isSpawn() ? 1 : 0, n.callee()->queueDepth(),
+                   n.callee()->numTiles());
+      case NodeKind::SyncNode:
+        return "muir_sync";
+    }
+    return "muir_unknown";
+}
+
+} // namespace
+
+std::string
+emitVerilogTask(const Task &task)
+{
+    std::ostringstream os;
+    std::string mod = "task_" + ident(task.name());
+    os << "module " << mod << " (\n";
+    os << "    input  wire clock,\n    input  wire reset,\n";
+    os << "    // <||> task interface\n";
+    os << "    input  wire task_valid,\n    output wire task_ready,\n";
+    os << "    output wire done_valid,\n    input  wire done_ready,\n";
+    os << "    // <==> memory junction (R=" << task.junctionReadPorts()
+       << ", W=" << task.junctionWritePorts() << ")\n";
+    os << "    output wire [63:0] mem_req_addr,\n";
+    os << "    output wire mem_req_valid,\n";
+    os << "    input  wire mem_req_ready,\n";
+    os << "    input  wire [511:0] mem_resp_data,\n";
+    os << "    input  wire mem_resp_valid\n";
+    os << ");\n";
+
+    for (const auto &n : task.nodes())
+        declareNets(os, *n);
+    os << "\n";
+
+    for (const auto &n : task.nodes()) {
+        std::string name = ident(n->name());
+        os << "    " << primitiveFor(*n) << " u_" << name << " (\n";
+        os << "        .clock(clock), .reset(reset)";
+        for (unsigned i = 0; i < n->numInputs(); ++i) {
+            const auto &ref = n->input(i);
+            std::string src =
+                fmt("%s_out%u", ident(ref.node->name()).c_str(), ref.out);
+            os << fmt(",\n        .in%u_data(%s_data), "
+                      ".in%u_valid(%s_valid), .in%u_ready(%s_ready)",
+                      i, src.c_str(), i, src.c_str(), i, src.c_str());
+        }
+        if (n->guard().valid()) {
+            std::string g = fmt("%s_out%u",
+                                ident(n->guard().node->name()).c_str(),
+                                n->guard().out);
+            os << fmt(",\n        .enable(%s_data[0])", g.c_str());
+        }
+        for (unsigned o = 0; o < n->numOutputs(); ++o) {
+            os << fmt(",\n        .out%u_data(%s_out%u_data), "
+                      ".out%u_valid(%s_out%u_valid), "
+                      ".out%u_ready(%s_out%u_ready)",
+                      o, name.c_str(), o, o, name.c_str(), o, o,
+                      name.c_str(), o);
+        }
+        os << "\n    );\n";
+    }
+    os << "endmodule\n";
+    return os.str();
+}
+
+std::string
+emitVerilog(const uir::Accelerator &accel)
+{
+    std::ostringstream os;
+    os << "// Auto-generated structural Verilog for \"" << accel.name()
+       << "\" (µIR backend).\n";
+    os << "// Primitive library: rtl/lib/muir_primitives.v\n\n";
+    for (const auto &task : accel.tasks())
+        os << emitVerilogTask(*task) << "\n";
+
+    os << "module accelerator_top (\n";
+    os << "    input  wire clock,\n    input  wire reset,\n";
+    os << "    output wire done,\n";
+    os << "    // AXI master to DRAM\n";
+    os << "    output wire [63:0] axi_araddr,\n";
+    os << "    input  wire [511:0] axi_rdata\n";
+    os << ");\n";
+    for (const auto &s : accel.structures()) {
+        std::string name = ident(s->name());
+        switch (s->kind()) {
+          case uir::StructureKind::Scratchpad:
+            os << fmt("    muir_scratchpad #(.KB(%u), .BANKS(%u), "
+                      ".PORTS(%u), .WIDE(%u)) u_%s (.clock(clock), "
+                      ".reset(reset));\n",
+                      s->sizeKb(), s->banks(), s->portsPerBank(),
+                      s->wideWords(), name.c_str());
+            break;
+          case uir::StructureKind::Cache:
+            os << fmt("    muir_cache #(.KB(%u), .BANKS(%u), .WAYS(%u), "
+                      ".LINE(%u)) u_%s (.clock(clock), "
+                      ".reset(reset));\n",
+                      s->sizeKb(), s->banks(), s->ways(), s->lineBytes(),
+                      name.c_str());
+            break;
+          case uir::StructureKind::Dram:
+            os << fmt("    muir_axi_port u_%s (.clock(clock), "
+                      ".reset(reset), .araddr(axi_araddr), "
+                      ".rdata(axi_rdata));\n",
+                      name.c_str());
+            break;
+        }
+    }
+    for (const auto &task : accel.tasks()) {
+        for (unsigned tile = 0; tile < std::max(1u, task->numTiles());
+             ++tile) {
+            os << fmt("    task_%s u_%s_t%u (.clock(clock), "
+                      ".reset(reset));\n",
+                      ident(task->name()).c_str(),
+                      ident(task->name()).c_str(), tile);
+        }
+    }
+    os << "    assign done = 1'b1; // Root sync raises done.\n";
+    os << "endmodule\n";
+    return os.str();
+}
+
+} // namespace muir::rtl

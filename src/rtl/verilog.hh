@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Structural Verilog backend: the final lowering stage (what Chisel
+ * elaboration would hand to Quartus / Design Compiler). Each μIR node
+ * becomes an instance of a primitive from the component library
+ * (muir_compute, muir_databox, muir_loopctrl, ...), wired through
+ * explicit ready/valid/data handshake nets; tasks become modules and
+ * the accelerator a top-level that instantiates tasks and memory
+ * structures.
+ */
+#pragma once
+
+#include <string>
+
+#include "uir/accelerator.hh"
+
+namespace muir::rtl
+{
+
+/** Emit the whole accelerator as one synthesizable-style .v file. */
+std::string emitVerilog(const uir::Accelerator &accel);
+
+/** Emit one task block's module. */
+std::string emitVerilogTask(const uir::Task &task);
+
+} // namespace muir::rtl

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Dynamic dependence graph: the record of one functional execution of
+ * a μIR accelerator. One event per dynamic node firing, with data,
+ * loop-carried, spawn/sync, and memory (RAW/WAW/WAR) dependencies.
+ * The timing scheduler replays it under structural constraints.
+ *
+ * Invariant: every dependency references an earlier event id, so a
+ * single linear pass in id order is a valid topological schedule.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "uir/accelerator.hh"
+
+namespace muir::sim
+{
+
+/** Sentinel for "no event". */
+inline constexpr uint64_t kNoEvent = ~uint64_t(0);
+
+/** One dynamic task invocation. */
+struct Invocation
+{
+    const uir::Task *task = nullptr;
+    /** Invocation sequence number within the task (for tile RR). */
+    uint64_t seqInTask = 0;
+    /** First event of the invocation (gated by queue backpressure). */
+    uint64_t entryEvent = kNoEvent;
+};
+
+/** One dynamic node firing. */
+struct DynEvent
+{
+    /** Static node; nullptr for synthetic completion events. */
+    const uir::Node *node = nullptr;
+    /** Index into Ddg::invocations. */
+    uint32_t invocation = 0;
+    /** Memory access descriptor (isLoad/isStore only). */
+    uint64_t addr = 0;
+    uint16_t words = 0;
+    bool isLoad = false;
+    bool isStore = false;
+    /** True for the first event of its invocation. */
+    bool isEntry = false;
+    /** Synthetic invocation-completion marker. */
+    bool isCompletion = false;
+    /** For ChildCall dispatch events: the created invocation. */
+    uint32_t calleeInv = ~uint32_t(0);
+    /** Dependencies: earlier event ids. */
+    std::vector<uint64_t> deps;
+};
+
+/** The whole execution record. */
+class Ddg
+{
+  public:
+    /** Begin a new invocation of a task; returns its index. */
+    uint32_t beginInvocation(const uir::Task *task);
+
+    /** Append an event; returns its id. */
+    uint64_t addEvent(DynEvent event);
+
+    const std::vector<DynEvent> &events() const { return events_; }
+    const std::vector<Invocation> &invocations() const
+    {
+        return invocations_;
+    }
+    uint64_t numEvents() const { return events_.size(); }
+
+  private:
+    std::vector<DynEvent> events_;
+    std::vector<Invocation> invocations_;
+    std::map<const uir::Task *, uint64_t> seqCounters_;
+};
+
+} // namespace muir::sim

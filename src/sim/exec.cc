@@ -1,0 +1,588 @@
+#include "sim/exec.hh"
+
+#include <algorithm>
+
+#include "ir/op_eval.hh"
+#include "support/logging.hh"
+
+namespace muir::sim
+{
+
+using ir::RuntimeValue;
+using uir::Node;
+using uir::NodeKind;
+using uir::Task;
+
+uint32_t
+Ddg::beginInvocation(const uir::Task *task)
+{
+    Invocation inv;
+    inv.task = task;
+    inv.seqInTask = seqCounters_[task]++;
+    invocations_.push_back(inv);
+    return static_cast<uint32_t>(invocations_.size() - 1);
+}
+
+uint64_t
+Ddg::addEvent(DynEvent event)
+{
+    uint64_t id = events_.size();
+    Invocation &inv = invocations_.at(event.invocation);
+    if (inv.entryEvent == kNoEvent && !event.isCompletion) {
+        inv.entryEvent = id;
+        event.isEntry = true;
+    }
+    events_.push_back(std::move(event));
+    return id;
+}
+
+UirExecutor::UirExecutor(const uir::Accelerator &accel,
+                         ir::MemoryImage &mem, bool record_ddg)
+    : accel_(accel), mem_(mem), record_(record_ddg)
+{
+}
+
+const std::vector<Node *> &
+UirExecutor::orderOf(const Task &task)
+{
+    auto it = orders_.find(&task);
+    if (it == orders_.end())
+        it = orders_.emplace(&task, task.executionOrder()).first;
+    return it->second;
+}
+
+RuntimeValue
+UirExecutor::zeroOf(const ir::Type &type)
+{
+    switch (type.kind()) {
+      case ir::Type::Kind::Float:
+        return RuntimeValue::makeFloat(0.0);
+      case ir::Type::Kind::Ptr:
+        return RuntimeValue::makePtr(0);
+      case ir::Type::Kind::Tensor:
+        return RuntimeValue::makeTensor(
+            type.rows(), type.cols(),
+            std::vector<float>(type.tensorElems(), 0.0f));
+      default:
+        return RuntimeValue::makeInt(0);
+    }
+}
+
+RuntimeValue
+UirExecutor::valueOf(Ctx &ctx, const Node::PortRef &ref)
+{
+    const auto &slots = ctx.vals.at(ref.node->id());
+    muir_assert(ref.out < slots.size(),
+                "value of %s output %u not computed",
+                ref.node->name().c_str(), ref.out);
+    return slots[ref.out];
+}
+
+uint64_t
+UirExecutor::eventOf(Ctx &ctx, const Node::PortRef &ref)
+{
+    // Carried outputs of the loop control have their own per-iteration
+    // latch events (see invoke()'s loop driver).
+    if (ref.node->kind() == NodeKind::LoopControl && ref.out > 0 &&
+        ref.out - 1 < ctx.lcCarried.size())
+        return ctx.lcCarried[ref.out - 1];
+    return ctx.evs.at(ref.node->id());
+}
+
+bool
+UirExecutor::guardOn(Ctx &ctx, const Node &node)
+{
+    if (!node.guard().valid())
+        return true;
+    return valueOf(ctx, node.guard()).asInt() != 0;
+}
+
+uint64_t
+UirExecutor::emit(Ctx &ctx, const Node *node, std::vector<uint64_t> deps)
+{
+    if (!record_)
+        return kNoEvent;
+    DynEvent ev;
+    ev.node = node;
+    ev.invocation = ctx.inv;
+    // Drop missing deps and duplicates (cheap linear dedupe: deps are
+    // tiny).
+    for (uint64_t d : deps) {
+        if (d == kNoEvent)
+            continue;
+        if (std::find(ev.deps.begin(), ev.deps.end(), d) != ev.deps.end())
+            continue;
+        ev.deps.push_back(d);
+    }
+    return ddg_.addEvent(std::move(ev));
+}
+
+std::vector<RuntimeValue>
+UirExecutor::run(const std::vector<RuntimeValue> &args)
+{
+    InvocationResult result = invoke(*accel_.root(), args, kNoEvent);
+    return result.liveOutValues;
+}
+
+UirExecutor::InvocationResult
+UirExecutor::invoke(const Task &task, const std::vector<RuntimeValue> &args,
+                    uint64_t dispatch_event)
+{
+    muir_assert(++depth_ < 256, "task invocation depth exceeded");
+    muir_assert(args.size() == task.liveIns().size(),
+                "task %s: %zu args for %zu live-ins", task.name().c_str(),
+                args.size(), task.liveIns().size());
+
+    Ctx ctx;
+    ctx.task = &task;
+    ctx.inv = record_ ? ddg_.beginInvocation(&task) : 0;
+    uint64_t my_seq =
+        record_ ? ddg_.invocations()[ctx.inv].seqInTask : 0;
+    unsigned max_id = 0;
+    for (const auto &n : task.nodes())
+        max_id = std::max(max_id, n->id());
+    ctx.vals.assign(max_id + 1, {});
+    ctx.evs.assign(max_id + 1, kNoEvent);
+
+    const auto &order = orderOf(task);
+
+    // Interface and constant nodes evaluate once per invocation.
+    for (const Node *n : order) {
+        switch (n->kind()) {
+          case NodeKind::LiveIn:
+            ctx.vals[n->id()] = {args[n->liveIndex()]};
+            ctx.evs[n->id()] = emit(ctx, n, {dispatch_event});
+            ++firings_;
+            break;
+          case NodeKind::ConstNode:
+            ctx.vals[n->id()] = {n->constIsFloat()
+                                     ? RuntimeValue::makeFloat(n->constFp())
+                                     : RuntimeValue::makeInt(n->constInt())};
+            break;
+          case NodeKind::GlobalAddr:
+            ctx.vals[n->id()] = {
+                RuntimeValue::makePtr(mem_.baseOf(n->global()))};
+            break;
+          default:
+            break;
+        }
+    }
+    if (Node *lc = task.loopControl()) {
+        // ---- Loop task: run iterations (§3.5). ----
+        unsigned carried = lc->numCarried();
+        int64_t iv = valueOf(ctx, lc->input(0)).asInt();
+        int64_t end = valueOf(ctx, lc->input(1)).asInt();
+        int64_t step = valueOf(ctx, lc->input(2)).asInt();
+        muir_assert(step > 0, "loop %s: non-positive step",
+                    task.name().c_str());
+
+        std::vector<RuntimeValue> carried_vals;
+        // Events producing the carried value consumed next iteration:
+        // the init producers initially, then the body's next-values.
+        std::vector<uint64_t> carried_srcs;
+        std::vector<uint64_t> seed_deps{dispatch_event,
+                                        eventOf(ctx, lc->input(0)),
+                                        eventOf(ctx, lc->input(1)),
+                                        eventOf(ctx, lc->input(2))};
+        for (unsigned k = 0; k < carried; ++k) {
+            carried_vals.push_back(valueOf(ctx, lc->input(3 + k)));
+            carried_srcs.push_back(eventOf(ctx, lc->input(3 + k)));
+        }
+
+        // Per-tile loop-control occupancy: the tile's φ/iv register set
+        // holds one loop instance, so invocation s must wait for
+        // invocation s - numTiles to hand off its loop control (at its
+        // last iteration issue).
+        uint64_t prev_lc_event = kNoEvent;
+        if (record_) {
+            unsigned tiles = std::max(1u, task.numTiles());
+            auto &exits = loopExits_[&task];
+            if (my_seq >= tiles)
+                seed_deps.push_back(exits.at(my_seq - tiles));
+        }
+        uint64_t last_iter_lc = kNoEvent;
+        while (iv < end) {
+            // LoopControl fires: iv advances along the control-only
+            // recurrence (prev control event), NOT the carried chain.
+            std::vector<uint64_t> lc_deps = seed_deps;
+            lc_deps.push_back(prev_lc_event);
+            uint64_t lc_event = emit(ctx, lc, std::move(lc_deps));
+            ++firings_;
+            seed_deps.clear();
+
+            // Carried-value latches: value k becomes available when
+            // the control fires AND its previous producer finished.
+            ctx.lcCarried.assign(carried, kNoEvent);
+            for (unsigned k = 0; k < carried; ++k) {
+                if (!record_)
+                    continue;
+                DynEvent latch;
+                latch.invocation = ctx.inv;
+                latch.isCompletion = true; // Pure register: 0 latency.
+                if (lc_event != kNoEvent)
+                    latch.deps.push_back(lc_event);
+                if (carried_srcs[k] != kNoEvent &&
+                    carried_srcs[k] != lc_event)
+                    latch.deps.push_back(carried_srcs[k]);
+                ctx.lcCarried[k] = ddg_.addEvent(std::move(latch));
+            }
+
+            std::vector<RuntimeValue> lc_outs;
+            lc_outs.push_back(RuntimeValue::makeInt(iv));
+            for (unsigned k = 0; k < carried; ++k)
+                lc_outs.push_back(carried_vals[k]);
+            ctx.vals[lc->id()] = std::move(lc_outs);
+            ctx.evs[lc->id()] = lc_event;
+
+            evalBody(ctx, order);
+
+            // Read back the carried next values for the next iteration.
+            for (unsigned k = 0; k < carried; ++k) {
+                const Node::PortRef &next = lc->input(3 + carried + k);
+                carried_vals[k] = valueOf(ctx, next);
+                carried_srcs[k] = eventOf(ctx, next);
+            }
+            last_iter_lc = lc_event;
+            prev_lc_event = lc_event;
+            iv += step;
+        }
+
+        // Final (failing) bound check: makes exit values available.
+        std::vector<uint64_t> exit_deps = seed_deps;
+        exit_deps.push_back(prev_lc_event);
+        for (uint64_t e : carried_srcs)
+            exit_deps.push_back(e);
+        uint64_t exit_event = emit(ctx, lc, std::move(exit_deps));
+        ++firings_;
+        ctx.tail.push_back(exit_event);
+        if (record_) {
+            auto &exits = loopExits_[&task];
+            muir_assert(exits.size() == my_seq,
+                        "loop invocation order violated");
+            // Hand-off point for the next invocation on this tile: the
+            // last iteration's control issue (the failing check shares
+            // the drain with the successor).
+            exits.push_back(last_iter_lc != kNoEvent ? last_iter_lc
+                                                     : exit_event);
+        }
+        ctx.lcCarried.clear();
+        std::vector<RuntimeValue> final_outs;
+        final_outs.push_back(RuntimeValue::makeInt(iv));
+        for (unsigned k = 0; k < carried; ++k)
+            final_outs.push_back(carried_vals[k]);
+        ctx.vals[lc->id()] = std::move(final_outs);
+        ctx.evs[lc->id()] = exit_event;
+
+        // Live-outs (escaping carried values / iv).
+        for (const Node *n : order) {
+            if (n->kind() == NodeKind::LiveOut)
+                evalNode(ctx, *n);
+        }
+    } else {
+        // ---- Plain task: single pass over the dataflow. ----
+        evalBody(ctx, order);
+        for (const Node *n : order)
+            if (n->kind() == NodeKind::LiveOut)
+                evalNode(ctx, *n);
+    }
+
+    InvocationResult result;
+    for (Node *out : task.liveOuts()) {
+        result.liveOutValues.push_back(valueOf(ctx, {out, 0}));
+        result.liveOutEvents.push_back(ctx.evs[out->id()]);
+        ctx.tail.push_back(ctx.evs[out->id()]);
+    }
+    // Synthetic completion event covering the whole invocation subtree.
+    if (record_) {
+        DynEvent done;
+        done.invocation = ctx.inv;
+        done.isCompletion = true;
+        std::sort(ctx.tail.begin(), ctx.tail.end());
+        ctx.tail.erase(std::unique(ctx.tail.begin(), ctx.tail.end()),
+                       ctx.tail.end());
+        for (uint64_t e : ctx.tail)
+            if (e != kNoEvent)
+                done.deps.push_back(e);
+        if (done.deps.empty() && dispatch_event != kNoEvent)
+            done.deps.push_back(dispatch_event);
+        result.completionEvent = ddg_.addEvent(std::move(done));
+        completions_[&task].push_back(result.completionEvent);
+    }
+    result.outstanding = std::move(ctx.outstanding);
+    --depth_;
+    return result;
+}
+
+void
+UirExecutor::evalBody(Ctx &ctx, const std::vector<Node *> &order)
+{
+    for (const Node *n : order) {
+        switch (n->kind()) {
+          case NodeKind::LiveIn:
+          case NodeKind::LiveOut:
+          case NodeKind::ConstNode:
+          case NodeKind::GlobalAddr:
+          case NodeKind::LoopControl:
+            continue; // Handled by invoke().
+          default:
+            evalNode(ctx, *n);
+        }
+    }
+}
+
+void
+UirExecutor::evalNode(Ctx &ctx, const Node &node)
+{
+    ++firings_;
+    std::vector<uint64_t> deps;
+    deps.reserve(node.numInputs() + 1);
+    for (const auto &ref : node.inputs())
+        deps.push_back(eventOf(ctx, ref));
+    if (node.guard().valid())
+        deps.push_back(eventOf(ctx, node.guard()));
+
+    switch (node.kind()) {
+      case NodeKind::Compute: {
+        RuntimeValue result;
+        if (node.op() == ir::Op::GEP) {
+            uint64_t base = valueOf(ctx, node.input(0)).asPtr();
+            int64_t index = valueOf(ctx, node.input(1)).asInt();
+            unsigned elem = node.irType().pointee().sizeBytes();
+            result = RuntimeValue::makePtr(
+                base + static_cast<uint64_t>(index) * elem);
+        } else {
+            std::vector<RuntimeValue> operands;
+            operands.reserve(node.numInputs());
+            for (const auto &ref : node.inputs())
+                operands.push_back(valueOf(ctx, ref));
+            result = ir::applyPureOp(node.op(), operands, node.irType());
+        }
+        ctx.vals[node.id()] = {std::move(result)};
+        ctx.evs[node.id()] = emit(ctx, &node, std::move(deps));
+        return;
+      }
+      case NodeKind::Fused: {
+        std::vector<RuntimeValue> ext;
+        ext.reserve(node.numInputs());
+        for (const auto &ref : node.inputs())
+            ext.push_back(valueOf(ctx, ref));
+        std::vector<RuntimeValue> internal;
+        internal.reserve(node.microOps().size());
+        for (const auto &mop : node.microOps()) {
+            std::vector<RuntimeValue> operands;
+            operands.reserve(mop.srcs.size());
+            for (int src : mop.srcs) {
+                if (src < 0)
+                    operands.push_back(ext.at(-src - 1));
+                else
+                    operands.push_back(internal.at(src));
+            }
+            if (mop.op == ir::Op::GEP) {
+                uint64_t base = operands.at(0).asPtr();
+                int64_t index = operands.at(1).asInt();
+                unsigned elem = mop.type.pointee().sizeBytes();
+                internal.push_back(RuntimeValue::makePtr(
+                    base + static_cast<uint64_t>(index) * elem));
+            } else {
+                internal.push_back(
+                    ir::applyPureOp(mop.op, operands, mop.type));
+            }
+        }
+        ctx.vals[node.id()] = {internal.back()};
+        ctx.evs[node.id()] = emit(ctx, &node, std::move(deps));
+        return;
+      }
+      case NodeKind::Load: {
+        if (!guardOn(ctx, node)) {
+            // Predicated off: fire for flow control, poison the output.
+            ctx.vals[node.id()] = {zeroOf(node.irType())};
+            ctx.evs[node.id()] = emit(ctx, &node, std::move(deps));
+            return;
+        }
+        uint64_t addr = valueOf(ctx, node.input(0)).asPtr();
+        unsigned words = node.accessWords();
+        if (record_) {
+            for (unsigned w = 0; w < words; ++w) {
+                auto it = lastStore_.find((addr & ~uint64_t(3)) + w * 4);
+                if (it != lastStore_.end())
+                    deps.push_back(it->second);
+            }
+        }
+        RuntimeValue v;
+        const ir::Type &t = node.irType();
+        if (t.isTensor()) {
+            std::vector<float> data(t.tensorElems());
+            for (unsigned k = 0; k < t.tensorElems(); ++k)
+                data[k] = mem_.loadFloat(addr + k * 4);
+            v = RuntimeValue::makeTensor(t.rows(), t.cols(),
+                                         std::move(data));
+        } else if (t.isFloat()) {
+            v = RuntimeValue::makeFloat(mem_.loadFloat(addr));
+        } else {
+            v = RuntimeValue::makeInt(mem_.loadInt(addr, t.sizeBytes()));
+        }
+        ctx.vals[node.id()] = {std::move(v)};
+        if (record_) {
+            DynEvent ev;
+            ev.node = &node;
+            ev.invocation = ctx.inv;
+            ev.addr = addr;
+            ev.words = static_cast<uint16_t>(words);
+            ev.isLoad = true;
+            for (uint64_t d : deps)
+                if (d != kNoEvent)
+                    ev.deps.push_back(d);
+            uint64_t id = ddg_.addEvent(std::move(ev));
+            ctx.evs[node.id()] = id;
+            for (unsigned w = 0; w < words; ++w)
+                readersSince_[(addr & ~uint64_t(3)) + w * 4].push_back(id);
+        }
+        return;
+      }
+      case NodeKind::Store: {
+        if (!guardOn(ctx, node)) {
+            ctx.evs[node.id()] = emit(ctx, &node, std::move(deps));
+            ctx.vals[node.id()] = {RuntimeValue::makeInt(0)};
+            return;
+        }
+        RuntimeValue value = valueOf(ctx, node.input(0));
+        uint64_t addr = valueOf(ctx, node.input(1)).asPtr();
+        unsigned words = node.accessWords();
+        if (record_) {
+            for (unsigned w = 0; w < words; ++w) {
+                uint64_t word = (addr & ~uint64_t(3)) + w * 4;
+                auto sit = lastStore_.find(word);
+                if (sit != lastStore_.end())
+                    deps.push_back(sit->second); // WAW
+                auto rit = readersSince_.find(word);
+                if (rit != readersSince_.end()) {
+                    for (uint64_t r : rit->second)
+                        deps.push_back(r); // WAR
+                }
+            }
+        }
+        const ir::Type &t = node.input(0).node->outputType(
+            node.input(0).out);
+        if (value.kind == RuntimeValue::Kind::Tensor) {
+            for (size_t k = 0; k < value.tensor->size(); ++k)
+                mem_.storeFloat(addr + k * 4, (*value.tensor)[k]);
+        } else if (value.kind == RuntimeValue::Kind::Float) {
+            mem_.storeFloat(addr, static_cast<float>(value.f));
+        } else {
+            mem_.storeInt(addr, t.sizeBytes(), value.i);
+        }
+        if (record_) {
+            DynEvent ev;
+            ev.node = &node;
+            ev.invocation = ctx.inv;
+            ev.addr = addr;
+            ev.words = static_cast<uint16_t>(words);
+            ev.isStore = true;
+            for (uint64_t d : deps)
+                if (d != kNoEvent &&
+                    std::find(ev.deps.begin(), ev.deps.end(), d) ==
+                        ev.deps.end())
+                    ev.deps.push_back(d);
+            uint64_t id = ddg_.addEvent(std::move(ev));
+            ctx.evs[node.id()] = id;
+            ctx.tail.push_back(id);
+            for (unsigned w = 0; w < words; ++w) {
+                uint64_t word = (addr & ~uint64_t(3)) + w * 4;
+                lastStore_[word] = id;
+                readersSince_[word].clear();
+            }
+        }
+        ctx.vals[node.id()] = {RuntimeValue::makeInt(0)};
+        return;
+      }
+      case NodeKind::ChildCall: {
+        unsigned outs = node.numOutputs();
+        if (!guardOn(ctx, node)) {
+            std::vector<RuntimeValue> zeros;
+            for (unsigned k = 0; k < outs; ++k)
+                zeros.push_back(zeroOf(node.outputType(k)));
+            ctx.vals[node.id()] = std::move(zeros);
+            ctx.evs[node.id()] = emit(ctx, &node, std::move(deps));
+            return;
+        }
+        // Dispatch event first so the child's entry can depend on it.
+        uint64_t dispatch = kNoEvent;
+        if (record_) {
+            DynEvent ev;
+            ev.node = &node;
+            ev.invocation = ctx.inv;
+            // Task-queue backpressure (§4 Pass 1/2): at most
+            // queueDepth x tiles invocations of the callee in flight;
+            // dispatch stalls on the completion of the invocation that
+            // frees a queue slot.
+            const uir::Task *callee = node.callee();
+            auto &done = completions_[callee];
+            uint64_t window =
+                uint64_t(std::max(1u, callee->queueDepth())) *
+                std::max(1u, callee->numTiles());
+            uint64_t child_seq = done.size();
+            if (child_seq >= window)
+                deps.push_back(done[child_seq - window]);
+            for (uint64_t d : deps)
+                if (d != kNoEvent &&
+                    std::find(ev.deps.begin(), ev.deps.end(), d) ==
+                        ev.deps.end())
+                    ev.deps.push_back(d);
+            ev.calleeInv =
+                static_cast<uint32_t>(ddg_.invocations().size());
+            dispatch = ddg_.addEvent(std::move(ev));
+        }
+        std::vector<RuntimeValue> args;
+        args.reserve(node.numInputs());
+        for (const auto &ref : node.inputs())
+            args.push_back(valueOf(ctx, ref));
+        InvocationResult child = invoke(*node.callee(), args, dispatch);
+
+        if (node.isSpawn()) {
+            ctx.vals[node.id()] = {RuntimeValue::makeInt(1)};
+            ctx.evs[node.id()] = dispatch;
+            ctx.outstanding.push_back(child.completionEvent);
+            for (uint64_t e : child.outstanding)
+                ctx.outstanding.push_back(e);
+        } else {
+            std::vector<RuntimeValue> outs_vals;
+            if (node.callee()->liveOuts().empty()) {
+                outs_vals.push_back(RuntimeValue::makeInt(1));
+                ctx.evs[node.id()] = child.completionEvent;
+            } else {
+                outs_vals = child.liveOutValues;
+                // Consumers key off the call node's single event slot;
+                // use the completion so all outputs are ready. (Finer
+                // per-output events cost little accuracy here because
+                // live-outs complete together at loop exit.)
+                ctx.evs[node.id()] = child.completionEvent;
+            }
+            ctx.vals[node.id()] = std::move(outs_vals);
+            ctx.tail.push_back(child.completionEvent);
+            for (uint64_t e : child.outstanding)
+                ctx.outstanding.push_back(e);
+        }
+        return;
+      }
+      case NodeKind::SyncNode: {
+        for (uint64_t e : ctx.outstanding)
+            deps.push_back(e);
+        ctx.outstanding.clear();
+        ctx.vals[node.id()] = {RuntimeValue::makeInt(1)};
+        uint64_t id = emit(ctx, &node, std::move(deps));
+        ctx.evs[node.id()] = id;
+        ctx.tail.push_back(id);
+        return;
+      }
+      case NodeKind::LiveOut: {
+        ctx.vals[node.id()] = {valueOf(ctx, node.input(0))};
+        ctx.evs[node.id()] = emit(ctx, &node, std::move(deps));
+        return;
+      }
+      default:
+        muir_panic("evalNode: unexpected kind %s on %s",
+                   nodeKindName(node.kind()), node.name().c_str());
+    }
+}
+
+} // namespace muir::sim

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Functional execution of a μIR accelerator graph.
+ *
+ * Executes the graph with serial-elision semantics, computing real
+ * values against a MemoryImage (validating that μopt transformations
+ * preserve behaviour) while recording the dynamic dependence graph the
+ * timing scheduler replays: data edges, loop-carried edges, spawn and
+ * sync edges, and per-word memory RAW/WAW/WAR edges.
+ */
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/interp.hh"
+#include "sim/ddg.hh"
+
+namespace muir::sim
+{
+
+/** Executes one accelerator over one memory image. */
+class UirExecutor
+{
+  public:
+    /**
+     * @param accel The (possibly transformed) accelerator graph.
+     * @param mem   The memory image holding global arrays; mutated.
+     * @param record_ddg Disable to run function-only (faster).
+     */
+    UirExecutor(const uir::Accelerator &accel, ir::MemoryImage &mem,
+                bool record_ddg = true);
+
+    /** Run the root task to completion; returns its live-out values. */
+    std::vector<ir::RuntimeValue>
+    run(const std::vector<ir::RuntimeValue> &args = {});
+
+    const Ddg &ddg() const { return ddg_; }
+
+    /** Dynamic node firings executed. */
+    uint64_t firings() const { return firings_; }
+
+  private:
+    struct InvocationResult
+    {
+        std::vector<ir::RuntimeValue> liveOutValues;
+        std::vector<uint64_t> liveOutEvents;
+        /** Synthetic completion event (covers the whole subtree). */
+        uint64_t completionEvent = kNoEvent;
+        /** Spawn completions awaiting a sync in the parent. */
+        std::vector<uint64_t> outstanding;
+    };
+
+    /** Per-invocation evaluation state. */
+    struct Ctx
+    {
+        const uir::Task *task = nullptr;
+        uint32_t inv = 0;
+        /** Values per node id per output port. */
+        std::vector<std::vector<ir::RuntimeValue>> vals;
+        /** Event per node id (kNoEvent until fired). */
+        std::vector<uint64_t> evs;
+        /** Events a completion must wait for (stores, children, ...). */
+        std::vector<uint64_t> tail;
+        std::vector<uint64_t> outstanding;
+        /**
+         * Per-iteration carried-value latch events (one per carried
+         * value of the loop control). Kept separate from the control
+         * event so consumers of the induction variable do not
+         * serialize behind the carried-value recurrence — only the
+         * true acc -> acc chain does (§3.5 loop-carried buffering).
+         */
+        std::vector<uint64_t> lcCarried;
+    };
+
+    InvocationResult invoke(const uir::Task &task,
+                            const std::vector<ir::RuntimeValue> &args,
+                            uint64_t dispatch_event);
+
+    void evalNode(Ctx &ctx, const uir::Node &node);
+    void evalBody(Ctx &ctx, const std::vector<uir::Node *> &order);
+
+    ir::RuntimeValue valueOf(Ctx &ctx, const uir::Node::PortRef &ref);
+    uint64_t eventOf(Ctx &ctx, const uir::Node::PortRef &ref);
+    bool guardOn(Ctx &ctx, const uir::Node &node);
+    uint64_t emit(Ctx &ctx, const uir::Node *node,
+                  std::vector<uint64_t> deps);
+
+    /** Cached topological orders per task. */
+    const std::vector<uir::Node *> &orderOf(const uir::Task &task);
+
+    static ir::RuntimeValue zeroOf(const ir::Type &type);
+
+    const uir::Accelerator &accel_;
+    ir::MemoryImage &mem_;
+    bool record_;
+    Ddg ddg_;
+    uint64_t firings_ = 0;
+    unsigned depth_ = 0;
+    std::unordered_map<const uir::Task *, std::vector<uir::Node *>>
+        orders_;
+    /** Completion events per task, indexed by invocation seq — used to
+     *  add task-queue backpressure edges on dispatch. */
+    std::unordered_map<const uir::Task *, std::vector<uint64_t>>
+        completions_;
+    /** Final LoopControl event per loop-task invocation seq — used to
+     *  add per-tile loop-control occupancy edges. */
+    std::unordered_map<const uir::Task *, std::vector<uint64_t>>
+        loopExits_;
+    /** Per-word (4-byte) memory dependence state. */
+    std::unordered_map<uint64_t, uint64_t> lastStore_;
+    std::unordered_map<uint64_t, std::vector<uint64_t>> readersSince_;
+};
+
+} // namespace muir::sim

@@ -1,0 +1,28 @@
+#include "sim/simulator.hh"
+
+namespace muir::sim
+{
+
+SimResult
+simulate(const uir::Accelerator &accel, ir::MemoryImage &mem,
+         const std::vector<ir::RuntimeValue> &args)
+{
+    UirExecutor exec(accel, mem, /*record_ddg=*/true);
+    SimResult result;
+    result.outputs = exec.run(args);
+    result.firings = exec.firings();
+    TimingResult timing = scheduleDdg(accel, exec.ddg());
+    result.cycles = timing.cycles;
+    result.stats = std::move(timing.stats);
+    return result;
+}
+
+std::vector<ir::RuntimeValue>
+execFunctional(const uir::Accelerator &accel, ir::MemoryImage &mem,
+               const std::vector<ir::RuntimeValue> &args)
+{
+    UirExecutor exec(accel, mem, /*record_ddg=*/false);
+    return exec.run(args);
+}
+
+} // namespace muir::sim

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Simulation façade: functional execution + cycle-level timing in one
+ * call. This is the measurement harness standing in for the paper's
+ * FPGA runs — cycle counts preserve μIR's execution model (§3.1), and
+ * time = cycles / achieved clock from the cost model.
+ */
+#pragma once
+
+#include "sim/exec.hh"
+#include "sim/timing.hh"
+
+namespace muir::sim
+{
+
+/** Combined functional + timing result. */
+struct SimResult
+{
+    /** Live-out values of the root task. */
+    std::vector<ir::RuntimeValue> outputs;
+    /** Total execution cycles. */
+    uint64_t cycles = 0;
+    /** Dynamic node firings (functional activity, for power). */
+    uint64_t firings = 0;
+    /** Dynamic events + contention counters. */
+    StatSet stats;
+};
+
+/**
+ * Execute the accelerator on a memory image (mutated in place) and
+ * schedule the resulting DDG.
+ */
+SimResult simulate(const uir::Accelerator &accel, ir::MemoryImage &mem,
+                   const std::vector<ir::RuntimeValue> &args = {});
+
+/** Functional-only run (no DDG, no timing) — for fast golden checks. */
+std::vector<ir::RuntimeValue>
+execFunctional(const uir::Accelerator &accel, ir::MemoryImage &mem,
+               const std::vector<ir::RuntimeValue> &args = {});
+
+} // namespace muir::sim

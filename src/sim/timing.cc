@@ -1,0 +1,269 @@
+#include "sim/timing.hh"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+
+#include "support/logging.hh"
+#include "uir/delay_model.hh"
+
+namespace muir::sim
+{
+
+namespace
+{
+
+/** Set-associative LRU tag array simulated over real addresses. */
+class CacheTags
+{
+  public:
+    CacheTags(const uir::Structure &s)
+        : lineBytes_(s.lineBytes()), ways_(s.ways())
+    {
+        unsigned lines = std::max(1u, s.sizeKb() * 1024 / s.lineBytes());
+        sets_ = std::max(1u, lines / std::max(1u, s.ways()));
+        tags_.assign(sets_, {});
+    }
+
+    /** @return true on hit; updates LRU/allocates on miss. */
+    bool
+    access(uint64_t addr)
+    {
+        uint64_t line = addr / lineBytes_;
+        auto &set = tags_[line % sets_];
+        auto it = std::find(set.begin(), set.end(), line);
+        if (it != set.end()) {
+            set.erase(it);
+            set.insert(set.begin(), line);
+            return true;
+        }
+        set.insert(set.begin(), line);
+        if (set.size() > ways_)
+            set.pop_back();
+        return false;
+    }
+
+    unsigned lineBytes() const { return lineBytes_; }
+
+  private:
+    unsigned lineBytes_;
+    unsigned ways_;
+    unsigned sets_;
+    std::vector<std::vector<uint64_t>> tags_;
+};
+
+/** Per-structure arbitration and tag state. */
+struct StructState
+{
+    const uir::Structure *s = nullptr;
+    /** [bank][port] next-free cycle. */
+    std::vector<std::vector<uint64_t>> bankPortFree;
+    std::unique_ptr<CacheTags> tags;
+
+    explicit StructState(const uir::Structure &structure) : s(&structure)
+    {
+        bankPortFree.assign(structure.banks(),
+                            std::vector<uint64_t>(structure.portsPerBank(),
+                                                  0));
+        if (structure.kind() == uir::StructureKind::Cache)
+            tags = std::make_unique<CacheTags>(structure);
+    }
+};
+
+/** Junction port state for one (task, tile). */
+struct JunctionState
+{
+    std::vector<uint64_t> readFree;
+    std::vector<uint64_t> writeFree;
+};
+
+
+uint64_t
+claimPort(std::vector<uint64_t> &ports, uint64_t ready, uint64_t busy)
+{
+    auto it = std::min_element(ports.begin(), ports.end());
+    uint64_t start = std::max(ready, *it);
+    *it = start + busy;
+    return start;
+}
+
+} // namespace
+
+TimingResult
+scheduleDdg(const uir::Accelerator &accel, const Ddg &ddg,
+            std::vector<TimingTraceRow> *trace)
+{
+    TimingResult result;
+    const auto &events = ddg.events();
+    const auto &invocations = ddg.invocations();
+
+    // Reverse adjacency so finish times propagate to dependents.
+    std::vector<uint32_t> pending(events.size(), 0);
+    std::vector<uint32_t> edge_start(events.size() + 1, 0);
+    for (const auto &e : events)
+        for (uint64_t d : e.deps)
+            ++edge_start[d + 1];
+    for (size_t i = 1; i < edge_start.size(); ++i)
+        edge_start[i] += edge_start[i - 1];
+    std::vector<uint64_t> dependents(edge_start.back());
+    {
+        std::vector<uint32_t> cursor(edge_start.begin(),
+                                     edge_start.end() - 1);
+        for (uint64_t id = 0; id < events.size(); ++id) {
+            for (uint64_t d : events[id].deps) {
+                muir_assert(d < id, "DDG dep not earlier than event");
+                dependents[cursor[d]++] = id;
+            }
+            pending[id] = events[id].deps.size();
+        }
+    }
+
+    std::vector<uint64_t> finish(events.size(), 0);
+    std::vector<uint64_t> readyAt(events.size(), 0);
+
+    // Structural resource state.
+    std::unordered_map<const uir::Structure *, StructState> structs;
+    for (const auto &s : accel.structures())
+        structs.emplace(s.get(), StructState(*s));
+    std::unordered_map<const uir::Node *, std::vector<uint64_t>> nodeFree;
+    std::map<std::pair<const uir::Task *, unsigned>, JunctionState>
+        junctions;
+    uint64_t dramFree = 0;
+    const uir::Structure *dram = nullptr;
+    for (const auto &s : accel.structures())
+        if (s->kind() == uir::StructureKind::Dram)
+            dram = s.get();
+
+    // Discrete-event processing in (ready-time, id) order: resources
+    // arbitrate between requests in the order they become ready, the
+    // way hardware round-robin arbitration would.
+    using QEntry = std::pair<uint64_t, uint64_t>; // (ready, id)
+    std::priority_queue<QEntry, std::vector<QEntry>, std::greater<>>
+        queue;
+    for (uint64_t id = 0; id < events.size(); ++id)
+        if (pending[id] == 0)
+            queue.emplace(0, id);
+
+    uint64_t processed = 0;
+    while (!queue.empty()) {
+        auto [ready, id] = queue.top();
+        queue.pop();
+        const DynEvent &e = events[id];
+        ++processed;
+
+        uint64_t end_time;
+        uint64_t started = ready;
+        if (e.isCompletion) {
+            end_time = ready;
+        } else {
+            const uir::Node *node = e.node;
+            const uir::Task *task = node->parent();
+            unsigned tiles = std::max(1u, task->numTiles());
+            unsigned tile = static_cast<unsigned>(
+                invocations[e.invocation].seqInTask % tiles);
+
+            // In-order initiation per static node per tile.
+            auto &nf = nodeFree[node];
+            if (nf.size() < tiles)
+                nf.resize(tiles, 0);
+            uint64_t start = std::max(ready, nf[tile]);
+
+            uint64_t latency = uir::nodeLatency(*node);
+
+            if (e.isLoad || e.isStore) {
+                // Junction arbitration (task-side R/W ports, §3.4).
+                JunctionState &j = junctions[{task, tile}];
+                if (j.readFree.empty()) {
+                    j.readFree.assign(
+                        std::max(1u, task->junctionReadPorts()), 0);
+                    j.writeFree.assign(
+                        std::max(1u, task->junctionWritePorts()), 0);
+                }
+                uint64_t pre = start;
+                start = claimPort(e.isLoad ? j.readFree : j.writeFree,
+                                  start, 1);
+                result.stats.inc("junction.wait_cycles", start - pre);
+
+                // Structure access.
+                uir::Structure *s =
+                    accel.structureForSpace(node->memSpace());
+                StructState &ss = structs.at(s);
+                unsigned wide = std::max(1u, s->wideWords());
+                unsigned beats =
+                    (std::max<unsigned>(1, e.words) + wide - 1) / wide;
+                unsigned bank_idx;
+                if (s->kind() == uir::StructureKind::Cache)
+                    bank_idx = static_cast<unsigned>(
+                        (e.addr / s->lineBytes()) % s->banks());
+                else
+                    bank_idx = static_cast<unsigned>(
+                        (e.addr / 4 / wide) % s->banks());
+                pre = start;
+                start = claimPort(ss.bankPortFree[bank_idx], start,
+                                  beats);
+                result.stats.inc("bank.wait_cycles", start - pre);
+
+                uint64_t access = s->latency() + beats - 1;
+                if (ss.tags) {
+                    bool hit = ss.tags->access(e.addr);
+                    // Multi-word accesses may straddle a line.
+                    if (e.words > 1 &&
+                        (e.addr / s->lineBytes()) !=
+                            ((e.addr + e.words * 4 - 1) /
+                             s->lineBytes()))
+                        hit &= ss.tags->access(e.addr + e.words * 4 - 1);
+                    if (hit) {
+                        result.stats.inc("cache.hits");
+                    } else {
+                        result.stats.inc("cache.misses");
+                        double bpc = dram ? dram->bytesPerCycle()
+                                          : s->bytesPerCycle();
+                        uint64_t xfer = static_cast<uint64_t>(
+                            s->lineBytes() / std::max(1.0, bpc));
+                        uint64_t dram_start =
+                            std::max(start + access, dramFree);
+                        dramFree = dram_start + xfer;
+                        access = (dram_start - start) + s->missLatency();
+                    }
+                } else {
+                    result.stats.inc("scratchpad.accesses");
+                }
+                latency += access;
+            }
+
+            nf[tile] = start + uir::nodeInitiationInterval(*node);
+            end_time = start + latency;
+            started = start;
+            result.stats.inc("events");
+            // Per-task stall attribution: time spent waiting on
+            // structural resources after operands were ready.
+            if (start > ready)
+                result.stats.inc("task." + task->name() +
+                                     ".stall_cycles",
+                                 start - ready);
+            result.stats.inc("task." + task->name() + ".events");
+        }
+
+        if (trace)
+            trace->push_back(
+                {id, e.node, e.invocation, ready, started, end_time});
+        finish[id] = end_time;
+        result.cycles = std::max(result.cycles, end_time);
+        for (uint32_t k = edge_start[id]; k < edge_start[id + 1]; ++k) {
+            uint64_t dep_id = dependents[k];
+            readyAt[dep_id] = std::max(readyAt[dep_id], end_time);
+            if (--pending[dep_id] == 0)
+                queue.emplace(readyAt[dep_id], dep_id);
+        }
+    }
+    muir_assert(processed == events.size(),
+                "timing: %llu of %zu events scheduled",
+                static_cast<unsigned long long>(processed),
+                events.size());
+    result.stats.set("invocations", invocations.size());
+    return result;
+}
+
+} // namespace muir::sim

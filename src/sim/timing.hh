@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Cycle-level timing replay of a dynamic dependence graph under the
+ * accelerator's structural constraints: per-node latency/II with
+ * in-order initiation per execution tile, round-robin tile assignment,
+ * bounded task queues (backpressure on dispatch), junction port
+ * arbitration (§3.4), banked scratchpads, a real set-associative cache
+ * with LRU tags simulated over actual addresses, and DRAM
+ * latency/bandwidth behind the cache.
+ */
+#pragma once
+
+#include "sim/ddg.hh"
+#include "support/stats.hh"
+
+namespace muir::sim
+{
+
+/** Timing results and activity counters. */
+struct TimingResult
+{
+    /** Total execution cycles (finish time of the last event). */
+    uint64_t cycles = 0;
+    /** Activity and contention counters (global and per task). */
+    StatSet stats;
+};
+
+/** One scheduled event, for timeline dumps / waveform-style views. */
+struct TimingTraceRow
+{
+    uint64_t event = 0;
+    const uir::Node *node = nullptr; // nullptr = completion marker.
+    uint32_t invocation = 0;
+    uint64_t ready = 0;
+    uint64_t start = 0;
+    uint64_t finish = 0;
+};
+
+/**
+ * Schedule every event of the DDG; returns total cycles + stats.
+ * @param trace Optional: filled with one row per scheduled event, in
+ *        processing order (by start time), for timeline inspection.
+ */
+TimingResult scheduleDdg(const uir::Accelerator &accel, const Ddg &ddg,
+                         std::vector<TimingTraceRow> *trace = nullptr);
+
+} // namespace muir::sim

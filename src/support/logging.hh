@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Status-message and error-reporting helpers, following the gem5
+ * convention: panic() for internal invariant violations (a muir bug),
+ * fatal() for user errors (bad configuration or input), warn()/inform()
+ * for non-fatal diagnostics.
+ */
+#pragma once
+
+#include <string>
+
+#include "support/strings.hh"
+
+namespace muir
+{
+
+/** Abort with a message; use for "should never happen" internal bugs. */
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+
+/** Exit(1) with a message; use for user-caused unrecoverable errors. */
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+
+/** Print a warning to stderr. */
+void warnImpl(const std::string &msg);
+
+/** Print an informational message to stderr. */
+void informImpl(const std::string &msg);
+
+/** Enable/disable inform() output (benches silence it). */
+void setVerbose(bool verbose);
+
+/** @return whether inform() output is enabled. */
+bool verbose();
+
+} // namespace muir
+
+#define muir_panic(...) \
+    ::muir::panicImpl(__FILE__, __LINE__, ::muir::fmt(__VA_ARGS__))
+#define muir_fatal(...) \
+    ::muir::fatalImpl(__FILE__, __LINE__, ::muir::fmt(__VA_ARGS__))
+#define muir_warn(...) ::muir::warnImpl(::muir::fmt(__VA_ARGS__))
+#define muir_inform(...) ::muir::informImpl(::muir::fmt(__VA_ARGS__))
+
+/** Assert an internal invariant, with a formatted explanation. */
+#define muir_assert(cond, ...)                                               \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::muir::panicImpl(__FILE__, __LINE__,                            \
+                std::string("assertion failed: " #cond " — ") +              \
+                    ::muir::fmt(__VA_ARGS__));                               \
+        }                                                                    \
+    } while (0)

@@ -1,0 +1,49 @@
+#include "support/stats.hh"
+
+#include <sstream>
+
+namespace muir
+{
+
+void
+StatSet::inc(const std::string &name, uint64_t amount)
+{
+    counters_[name] += amount;
+}
+
+void
+StatSet::set(const std::string &name, uint64_t value)
+{
+    counters_[name] = value;
+}
+
+uint64_t
+StatSet::get(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+bool
+StatSet::has(const std::string &name) const
+{
+    return counters_.count(name) > 0;
+}
+
+void
+StatSet::merge(const StatSet &other)
+{
+    for (const auto &[name, value] : other.counters_)
+        counters_[name] += value;
+}
+
+std::string
+StatSet::dump() const
+{
+    std::ostringstream os;
+    for (const auto &[name, value] : counters_)
+        os << name << " = " << value << "\n";
+    return os.str();
+}
+
+} // namespace muir

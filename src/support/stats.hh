@@ -1,0 +1,45 @@
+/**
+ * @file
+ * A lightweight named-statistics registry. Simulator components and
+ * μopt passes register scalar counters so that tests and benches can
+ * inspect structural activity (stalls, conflicts, fired nodes, ...).
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace muir
+{
+
+/** A named bag of integer counters with formatted dumping. */
+class StatSet
+{
+  public:
+    /** Increment (creating if absent) a counter. */
+    void inc(const std::string &name, uint64_t amount = 1);
+
+    /** Set a counter to an absolute value. */
+    void set(const std::string &name, uint64_t value);
+
+    /** Read a counter; absent counters read as zero. */
+    uint64_t get(const std::string &name) const;
+
+    /** @return true if the counter has been written. */
+    bool has(const std::string &name) const;
+
+    /** Merge another stat set into this one (summing counters). */
+    void merge(const StatSet &other);
+
+    /** All counters, sorted by name. */
+    const std::map<std::string, uint64_t> &all() const { return counters_; }
+
+    /** Render as "name = value" lines. */
+    std::string dump() const;
+
+  private:
+    std::map<std::string, uint64_t> counters_;
+};
+
+} // namespace muir

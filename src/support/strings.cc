@@ -1,0 +1,85 @@
+#include "support/strings.hh"
+
+#include <cstring>
+
+namespace muir
+{
+
+std::string
+fmtv(const char *format, va_list args)
+{
+    va_list args_copy;
+    va_copy(args_copy, args);
+    int needed = std::vsnprintf(nullptr, 0, format, args_copy);
+    va_end(args_copy);
+    if (needed < 0)
+        return std::string(format);
+    std::string out(static_cast<size_t>(needed), '\0');
+    std::vsnprintf(out.data(), out.size() + 1, format, args);
+    return out;
+}
+
+std::string
+fmt(const char *format, ...)
+{
+    va_list args;
+    va_start(args, format);
+    std::string out = fmtv(format, args);
+    va_end(args);
+    return out;
+}
+
+std::vector<std::string>
+split(const std::string &text, char delim)
+{
+    std::vector<std::string> parts;
+    std::string current;
+    for (char c : text) {
+        if (c == delim) {
+            parts.push_back(current);
+            current.clear();
+        } else {
+            current.push_back(c);
+        }
+    }
+    parts.push_back(current);
+    return parts;
+}
+
+std::string
+replaceAll(std::string text, const std::string &from, const std::string &to)
+{
+    if (from.empty())
+        return text;
+    size_t pos = 0;
+    while ((pos = text.find(from, pos)) != std::string::npos) {
+        text.replace(pos, from.size(), to);
+        pos += to.size();
+    }
+    return text;
+}
+
+bool
+startsWith(const std::string &text, const std::string &prefix)
+{
+    return text.size() >= prefix.size() &&
+           std::memcmp(text.data(), prefix.data(), prefix.size()) == 0;
+}
+
+std::string
+padLeft(const std::string &s, size_t width)
+{
+    if (s.size() >= width)
+        return s;
+    return std::string(width - s.size(), ' ') + s;
+}
+
+std::string
+padRight(const std::string &s, size_t width)
+{
+    if (s.size() >= width)
+        return s;
+    return s + std::string(width - s.size(), ' ');
+}
+
+} // namespace muir

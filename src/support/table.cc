@@ -1,0 +1,70 @@
+#include "support/table.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/logging.hh"
+#include "support/strings.hh"
+
+namespace muir
+{
+
+AsciiTable::AsciiTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+AsciiTable::addRow(std::vector<std::string> row)
+{
+    muir_assert(row.size() == headers_.size(),
+                "table row arity %zu != header arity %zu", row.size(),
+                headers_.size());
+    rows_.push_back(std::move(row));
+}
+
+void
+AsciiTable::addSeparator()
+{
+    rows_.emplace_back();
+}
+
+std::string
+AsciiTable::render(const std::string &title) const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    size_t total = 1;
+    for (size_t w : widths)
+        total += w + 3;
+
+    std::ostringstream os;
+    if (!title.empty()) {
+        os << std::string(total, '=') << "\n";
+        os << title << "\n";
+    }
+    os << std::string(total, '=') << "\n";
+    os << "|";
+    for (size_t c = 0; c < headers_.size(); ++c)
+        os << " " << padRight(headers_[c], widths[c]) << " |";
+    os << "\n" << std::string(total, '-') << "\n";
+    for (const auto &row : rows_) {
+        if (row.empty()) {
+            os << std::string(total, '-') << "\n";
+            continue;
+        }
+        os << "|";
+        for (size_t c = 0; c < row.size(); ++c)
+            os << " " << padLeft(row[c], widths[c]) << " |";
+        os << "\n";
+    }
+    os << std::string(total, '=') << "\n";
+    return os.str();
+}
+
+} // namespace muir

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * ASCII table printer used by the benchmark harnesses to render the
+ * paper's tables and figure series as aligned rows.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace muir
+{
+
+/**
+ * A simple column-aligned ASCII table. Columns are sized to fit the
+ * widest cell; numeric cells should be pre-formatted by the caller.
+ */
+class AsciiTable
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit AsciiTable(std::vector<std::string> headers);
+
+    /** Append a data row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Append a horizontal separator row. */
+    void addSeparator();
+
+    /** Render the table to a string, with an optional title banner. */
+    std::string render(const std::string &title = "") const;
+
+  private:
+    std::vector<std::string> headers_;
+    /** Empty vector encodes a separator row. */
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace muir

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The whole-accelerator circuit (§3.2): a structural, concurrent graph
+ * of task blocks, hardware structures, and connections. This is the
+ * object μopt passes transform and the Chisel backend lowers.
+ */
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "uir/structure.hh"
+#include "uir/task.hh"
+
+namespace muir::uir
+{
+
+/** The top-level μIR graph. */
+class Accelerator
+{
+  public:
+    Accelerator(std::string name, const ir::Module *source)
+        : name_(std::move(name)), source_(source)
+    {
+    }
+
+    Accelerator(const Accelerator &) = delete;
+    Accelerator &operator=(const Accelerator &) = delete;
+
+    const std::string &name() const { return name_; }
+
+    /** The program this accelerator implements (owned by the caller;
+     *  must outlive the accelerator). */
+    const ir::Module *source() const { return source_; }
+
+    /** @name Tasks @{ */
+    Task *addTask(TaskKind kind, std::string name, Task *parent);
+    const std::vector<std::unique_ptr<Task>> &tasks() const
+    {
+        return tasks_;
+    }
+    Task *root() const;
+    /** Mark the root task (the front end creates children first). */
+    void setRoot(Task *t) { root_ = t; }
+    Task *taskByName(const std::string &name) const;
+    /** @} */
+
+    /** @name Hardware structures @{ */
+    Structure *addStructure(StructureKind kind, std::string name);
+    void removeStructure(Structure *s);
+    const std::vector<std::unique_ptr<Structure>> &structures() const
+    {
+        return structures_;
+    }
+    Structure *structureByName(const std::string &name) const;
+    /**
+     * The structure serving a memory space: the one explicitly listing
+     * it, else the structure serving space 0 (the shared L1 cache in
+     * the baseline). Exactly one structure may list a given space.
+     */
+    Structure *structureForSpace(unsigned space) const;
+    /** @} */
+
+    /** @name Whole-graph statistics (Table 4) @{ */
+    unsigned numNodes() const;
+    unsigned numEdges() const;
+    /** @} */
+
+  private:
+    std::string name_;
+    const ir::Module *source_;
+    std::vector<std::unique_ptr<Task>> tasks_;
+    std::vector<std::unique_ptr<Structure>> structures_;
+    Task *root_ = nullptr;
+    unsigned nextStructureId_ = 0;
+};
+
+} // namespace muir::uir

@@ -1,0 +1,90 @@
+#include "uir/analysis.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "uir/delay_model.hh"
+
+namespace muir::uir
+{
+
+namespace
+{
+
+/** Effective per-firing latency including a nominal memory access. */
+unsigned
+effectiveLatency(const Node &n)
+{
+    unsigned lat = nodeLatency(n);
+    if (n.kind() == NodeKind::Load || n.kind() == NodeKind::Store)
+        lat += 2; // Nominal on-chip access; the simulator refines this.
+    if (n.kind() == NodeKind::ChildCall)
+        lat += 4; // Dispatch + child pipeline head.
+    return lat;
+}
+
+} // namespace
+
+unsigned
+pipelineDepthCycles(const Task &task)
+{
+    std::map<const Node *, unsigned> depth;
+    unsigned best = 1;
+    for (const Node *n : task.topoOrder()) {
+        unsigned in_depth = 0;
+        unsigned limit = n->numInputs();
+        if (n->kind() == NodeKind::LoopControl)
+            limit = 3 + n->numCarried(); // Forward edges only.
+        for (unsigned i = 0; i < limit; ++i) {
+            auto it = depth.find(n->input(i).node);
+            if (it != depth.end())
+                in_depth = std::max(in_depth, it->second);
+        }
+        if (n->guard().valid()) {
+            auto it = depth.find(n->guard().node);
+            if (it != depth.end())
+                in_depth = std::max(in_depth, it->second);
+        }
+        unsigned d = in_depth + effectiveLatency(*n);
+        depth[n] = d;
+        best = std::max(best, d);
+    }
+    return best;
+}
+
+unsigned
+recurrenceIiCycles(const Task &task)
+{
+    const Node *lc = task.loopControl();
+    if (lc == nullptr)
+        return 1;
+    unsigned ii = lc->ctrlStages();
+
+    // Longest carried chain: walk back from each next-value producer
+    // toward the loop control, accumulating latency.
+    for (unsigned k = 0; k < lc->numCarried(); ++k) {
+        const Node::PortRef &next = lc->input(3 + lc->numCarried() + k);
+        unsigned chain = 0;
+        const Node *cur = next.node;
+        for (unsigned steps = 0; steps < 64 && cur != nullptr; ++steps) {
+            if (cur == lc)
+                break;
+            chain += effectiveLatency(*cur);
+            // Follow the first input that is not a constant/global —
+            // a heuristic spine of the recurrence.
+            const Node *nxt = nullptr;
+            for (const auto &ref : cur->inputs()) {
+                if (ref.node->kind() == NodeKind::ConstNode ||
+                    ref.node->kind() == NodeKind::GlobalAddr)
+                    continue;
+                nxt = ref.node;
+                break;
+            }
+            cur = nxt;
+        }
+        ii = std::max(ii, chain);
+    }
+    return std::max(1u, ii);
+}
+
+} // namespace muir::uir

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Static analyses over μIR task dataflows, used by μopt passes to make
+ * quantitative decisions: per-task pipeline depth (critical path in
+ * cycles, using the shared delay model) and iteration-interval lower
+ * bounds from loop recurrences. §4 Pass 1 motivates this: "the tensor
+ * block has higher latency and we require more decoupling".
+ */
+#pragma once
+
+#include "uir/task.hh"
+
+namespace muir::uir
+{
+
+/**
+ * Critical-path latency of one invocation through the task's forward
+ * dataflow, in cycles (node latencies from the delay model; memory
+ * nodes counted at their transit latency plus a nominal access).
+ */
+unsigned pipelineDepthCycles(const Task &task);
+
+/**
+ * Lower bound on the task's iteration initiation interval: the loop
+ * control recurrence and the longest carried-value chain (for loop
+ * tasks); 1 for plain tasks.
+ */
+unsigned recurrenceIiCycles(const Task &task);
+
+} // namespace muir::uir

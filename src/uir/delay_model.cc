@@ -1,0 +1,127 @@
+#include "uir/delay_model.hh"
+
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace muir::uir
+{
+
+double
+opDelayUnits(ir::Op op)
+{
+    using ir::Op;
+    switch (op) {
+      // Cheap logic: a fraction of a cycle, prime fusion candidates.
+      case Op::And: case Op::Or: case Op::Xor:
+      case Op::Shl: case Op::LShr: case Op::AShr:
+      case Op::Trunc: case Op::ZExt: case Op::SExt:
+      case Op::Select:
+        return 0.15;
+      // Integer add/sub/compare: about half a cycle at target clock.
+      case Op::Add: case Op::Sub:
+      case Op::ICmpEq: case Op::ICmpNe: case Op::ICmpSlt:
+      case Op::ICmpSle: case Op::ICmpSgt: case Op::ICmpSge:
+      case Op::GEP:
+        return 0.45;
+      // Integer multiply: DSP block, ~2 cycles pipelined.
+      case Op::Mul:
+        return 2.0;
+      case Op::SDiv: case Op::SRem:
+        return 12.0;
+      // FP units (internally pipelined hardfloat/IP cores).
+      case Op::FAdd: case Op::FSub:
+        return 4.0;
+      case Op::FMul:
+        return 4.0;
+      case Op::FDiv:
+        return 12.0;
+      case Op::FExp:
+        return 16.0;
+      case Op::FSqrt:
+        return 12.0;
+      case Op::FCmpOeq: case Op::FCmpOlt: case Op::FCmpOle:
+      case Op::FCmpOgt: case Op::FCmpOge:
+        return 1.0;
+      case Op::SIToFP: case Op::FPToSI:
+        return 2.0;
+      // Tensor function units: reduction-tree implementations (§6.3,
+      // Figure 14) — wide but shallow.
+      case Op::TMul:
+        return 6.0;
+      case Op::TAdd: case Op::TSub:
+        return 4.0;
+      case Op::TRelu:
+        return 1.0;
+      default:
+        muir_panic("opDelayUnits: %s has no delay (not a compute op)",
+                   ir::opName(op));
+    }
+}
+
+double
+fusedDelayUnits(const Node &node)
+{
+    muir_assert(node.kind() == NodeKind::Fused, "not a fused node");
+    double total = 0.0;
+    for (const auto &mop : node.microOps())
+        total += opDelayUnits(mop.op);
+    return total;
+}
+
+unsigned
+nodeLatency(const Node &node)
+{
+    switch (node.kind()) {
+      case NodeKind::Compute:
+        // Combinational stage(s) + the output handshake register.
+        return static_cast<unsigned>(
+                   std::ceil(opDelayUnits(node.op()) - 1e-9)) +
+               1;
+      case NodeKind::Fused:
+        // One handshake for the whole cluster; the fusion pass keeps
+        // the internal delay within the period budget.
+        return static_cast<unsigned>(
+                   std::ceil(fusedDelayUnits(node) - 1e-9)) +
+               1;
+      case NodeKind::Load:
+      case NodeKind::Store:
+        return 1; // Transit latency; the memory system adds access time.
+      case NodeKind::LiveIn:
+      case NodeKind::LiveOut:
+        return 1; // Interface buffer.
+      case NodeKind::ConstNode:
+      case NodeKind::GlobalAddr:
+        return 0;
+      case NodeKind::LoopControl:
+        return node.ctrlStages();
+      case NodeKind::ChildCall:
+        return 1; // Dispatch into the child's task queue.
+      case NodeKind::SyncNode:
+        return 1;
+    }
+    return 1;
+}
+
+unsigned
+nodeInitiationInterval(const Node &node)
+{
+    switch (node.kind()) {
+      case NodeKind::Compute:
+        switch (node.op()) {
+          case ir::Op::SDiv:
+          case ir::Op::SRem:
+          case ir::Op::FDiv:
+          case ir::Op::FSqrt:
+            return 8; // Iterative units, not fully pipelined.
+          case ir::Op::FExp:
+            return 4;
+          default:
+            return 1;
+        }
+      default:
+        return 1;
+    }
+}
+
+} // namespace muir::uir

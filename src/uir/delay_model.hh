@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Shared hardware timing model: per-op combinational delay (in
+ * fractions of a nominal clock period), per-node pipeline latency and
+ * initiation interval. Used by the cycle-level simulator (event
+ * latencies), the op-fusion pass (delay budget so fusion never lowers
+ * the clock, §6.1), and the synthesis cost model (critical path →
+ * achievable frequency).
+ *
+ * The baseline dataflow pays one pipeline-register/handshake cycle at
+ * every node boundary (§3.3: nodes handshake via ready/valid on every
+ * edge); fused nodes pay it once for the whole cluster.
+ */
+#pragma once
+
+#include "uir/node.hh"
+
+namespace muir::uir
+{
+
+/**
+ * Combinational delay of one op as a fraction of the nominal clock
+ * period (1.0 = a full cycle at the target frequency). Multi-cycle
+ * units (FP, div) report > 1.0.
+ */
+double opDelayUnits(ir::Op op);
+
+/** Pipeline latency in cycles of one node, including the handshake
+ *  register at its output. Memory/child-call nodes report only their
+ *  local (transit) latency — the memory system adds the rest. */
+unsigned nodeLatency(const Node &node);
+
+/** Initiation interval in cycles (how often the unit accepts). */
+unsigned nodeInitiationInterval(const Node &node);
+
+/** Total combinational delay of a fused node's micro-ops. */
+double fusedDelayUnits(const Node &node);
+
+} // namespace muir::uir

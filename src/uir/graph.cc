@@ -1,0 +1,576 @@
+/**
+ * @file
+ * Implementations for Node, Task, and Accelerator.
+ *
+ * LoopControl input layout (fixed contract used across front end,
+ * executor, and passes): inputs[0]=begin, [1]=end, [2]=step,
+ * [3 .. 3+C) = carried initial values, [3+C .. 3+2C) = carried
+ * next-iteration values (loop back edges). Outputs: out 0 = induction
+ * variable, out k+1 = carried value k.
+ */
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <set>
+
+#include "support/logging.hh"
+#include "support/strings.hh"
+#include "uir/accelerator.hh"
+
+namespace muir::uir
+{
+
+const char *
+nodeKindName(NodeKind kind)
+{
+    switch (kind) {
+      case NodeKind::Compute: return "compute";
+      case NodeKind::Fused: return "fused";
+      case NodeKind::Load: return "load";
+      case NodeKind::Store: return "store";
+      case NodeKind::LiveIn: return "livein";
+      case NodeKind::LiveOut: return "liveout";
+      case NodeKind::ConstNode: return "const";
+      case NodeKind::GlobalAddr: return "globaladdr";
+      case NodeKind::LoopControl: return "loopctrl";
+      case NodeKind::ChildCall: return "childcall";
+      case NodeKind::SyncNode: return "sync";
+    }
+    return "?";
+}
+
+const char *
+structureKindName(StructureKind kind)
+{
+    switch (kind) {
+      case StructureKind::Scratchpad: return "scratchpad";
+      case StructureKind::Cache: return "cache";
+      case StructureKind::Dram: return "dram";
+    }
+    return "?";
+}
+
+const char *
+taskKindName(TaskKind kind)
+{
+    switch (kind) {
+      case TaskKind::Root: return "root";
+      case TaskKind::Loop: return "loop";
+      case TaskKind::Spawn: return "spawn";
+      case TaskKind::Func: return "func";
+    }
+    return "?";
+}
+
+const Node::PortRef &
+Node::input(unsigned i) const
+{
+    muir_assert(i < inputs_.size(), "node %s: input %u out of range",
+                name_.c_str(), i);
+    return inputs_[i];
+}
+
+void
+Node::addInput(Node *producer, unsigned out)
+{
+    muir_assert(producer != nullptr, "null producer");
+    muir_assert(out < producer->numOutputs(),
+                "node %s: producer %s has no output %u", name_.c_str(),
+                producer->name().c_str(), out);
+    inputs_.push_back({producer, out});
+    producer->addUser(this);
+}
+
+void
+Node::rewireInput(unsigned i, Node *producer, unsigned out)
+{
+    muir_assert(i < inputs_.size(), "rewire: input %u out of range", i);
+    inputs_[i].node->removeUser(this);
+    inputs_[i] = {producer, out};
+    producer->addUser(this);
+}
+
+void
+Node::setGuard(Node *pred_node, unsigned out)
+{
+    if (guard_.valid())
+        guard_.node->removeUser(this);
+    guard_ = {pred_node, out};
+    if (pred_node)
+        pred_node->addUser(this);
+}
+
+unsigned
+Node::accessWords() const
+{
+    muir_assert(kind_ == NodeKind::Load || kind_ == NodeKind::Store,
+                "accessWords on non-memory node");
+    // Stores carry the stored value's type; loads carry the result's.
+    return hwType().isNone() ? 1 : hwType().words();
+}
+
+unsigned
+Node::numOutputs() const
+{
+    switch (kind_) {
+      case NodeKind::LoopControl:
+        return 1 + numCarried_;
+      case NodeKind::ChildCall:
+        if (spawn_)
+            return 1; // Completion token only.
+        return std::max<unsigned>(1, callee_->liveOuts().size());
+      case NodeKind::Store:
+      case NodeKind::LiveOut:
+      case NodeKind::SyncNode:
+        return 1; // Completion token.
+      default:
+        return 1;
+    }
+}
+
+ir::Type
+Node::outputType(unsigned i) const
+{
+    switch (kind_) {
+      case NodeKind::LoopControl:
+        if (i == 0)
+            return type_; // Induction variable.
+        muir_assert(i <= numCarried_, "loopctrl output %u out of range", i);
+        {
+            const PortRef &init = input(3 + (i - 1));
+            return init.node->outputType(init.out);
+        }
+      case NodeKind::ChildCall:
+        if (spawn_ || callee_->liveOuts().empty())
+            return ir::Type::i1(); // Completion token.
+        muir_assert(i < callee_->liveOuts().size(),
+                    "childcall output %u out of range", i);
+        return callee_->liveOuts()[i]->irType();
+      default:
+        muir_assert(i == 0, "node %s has one output", name_.c_str());
+        return type_;
+    }
+}
+
+void
+Node::removeUser(Node *user)
+{
+    auto it = std::find(users_.begin(), users_.end(), user);
+    muir_assert(it != users_.end(), "removeUser: %s is not a user of %s",
+                user->name().c_str(), name_.c_str());
+    users_.erase(it);
+}
+
+void
+Node::clearInputs()
+{
+    for (const PortRef &ref : inputs_)
+        ref.node->removeUser(this);
+    inputs_.clear();
+    if (guard_.valid()) {
+        guard_.node->removeUser(this);
+        guard_ = PortRef();
+    }
+}
+
+Node *
+Task::addNode(NodeKind kind, std::string name)
+{
+    nodes_.push_back(std::make_unique<Node>(nextNodeId_++, kind,
+                                            std::move(name), this));
+    Node *n = nodes_.back().get();
+    if (kind == NodeKind::LoopControl) {
+        muir_assert(loopControl_ == nullptr,
+                    "task %s already has a loop control", name_.c_str());
+        loopControl_ = n;
+    }
+    return n;
+}
+
+Node *
+Task::addCompute(ir::Op op, ir::Type type, std::string name)
+{
+    Node *n = addNode(NodeKind::Compute, std::move(name));
+    n->setOp(op);
+    n->setIrType(std::move(type));
+    return n;
+}
+
+Node *
+Task::addConstInt(ir::Type type, int64_t value)
+{
+    Node *n = addNode(NodeKind::ConstNode, fmt("c%lld",
+                                               static_cast<long long>(value)));
+    n->setIrType(std::move(type));
+    n->setConstInt(value);
+    return n;
+}
+
+Node *
+Task::addConstFp(double value)
+{
+    Node *n = addNode(NodeKind::ConstNode, fmt("cf%g", value));
+    n->setIrType(ir::Type::f32());
+    n->setConstFp(value);
+    return n;
+}
+
+Node *
+Task::addGlobalAddr(const ir::GlobalArray *g)
+{
+    Node *n = addNode(NodeKind::GlobalAddr, "addr_" + g->name());
+    n->setIrType(g->type());
+    n->setGlobal(g);
+    return n;
+}
+
+Node *
+Task::addLoad(ir::Type type, unsigned space, std::string name)
+{
+    Node *n = addNode(NodeKind::Load, std::move(name));
+    n->setIrType(std::move(type));
+    n->setMemSpace(space);
+    return n;
+}
+
+Node *
+Task::addStore(unsigned space, std::string name)
+{
+    Node *n = addNode(NodeKind::Store, std::move(name));
+    n->setIrType(ir::Type::voidTy());
+    n->setMemSpace(space);
+    return n;
+}
+
+Node *
+Task::addLiveIn(ir::Type type, std::string name)
+{
+    Node *n = addNode(NodeKind::LiveIn, std::move(name));
+    n->setIrType(std::move(type));
+    n->setLiveIndex(liveIns_.size());
+    liveIns_.push_back(n);
+    return n;
+}
+
+Node *
+Task::addLiveOut(ir::Type type, std::string name)
+{
+    Node *n = addNode(NodeKind::LiveOut, std::move(name));
+    n->setIrType(std::move(type));
+    n->setLiveIndex(liveOuts_.size());
+    liveOuts_.push_back(n);
+    return n;
+}
+
+Node *
+Task::addChildCall(Task *callee, bool spawn, std::string name)
+{
+    muir_assert(callee != nullptr, "childcall of null task");
+    Node *n = addNode(NodeKind::ChildCall, std::move(name));
+    n->setCallee(callee);
+    n->setSpawn(spawn);
+    n->setIrType(ir::Type::i1());
+    return n;
+}
+
+void
+Task::removeNode(Node *node)
+{
+    muir_assert(node->users().empty(), "removing node %s with users",
+                node->name().c_str());
+    node->clearInputs();
+    if (loopControl_ == node)
+        loopControl_ = nullptr;
+    auto it = std::find_if(nodes_.begin(), nodes_.end(),
+                           [&](const auto &p) { return p.get() == node; });
+    muir_assert(it != nodes_.end(), "node %s not in task %s",
+                node->name().c_str(), name_.c_str());
+    nodes_.erase(it);
+}
+
+unsigned
+Task::numEdges() const
+{
+    unsigned edges = 0;
+    for (const auto &n : nodes_) {
+        edges += n->numInputs();
+        if (n->guard().valid())
+            ++edges;
+    }
+    return edges;
+}
+
+std::vector<Task *>
+Task::childTasks() const
+{
+    std::vector<Task *> children;
+    for (const auto &n : nodes_)
+        if (n->kind() == NodeKind::ChildCall)
+            children.push_back(n->callee());
+    return children;
+}
+
+std::vector<Node *>
+Task::childCalls() const
+{
+    std::vector<Node *> calls;
+    for (const auto &n : nodes_)
+        if (n->kind() == NodeKind::ChildCall)
+            calls.push_back(n.get());
+    return calls;
+}
+
+std::vector<Node *>
+Task::memOps() const
+{
+    std::vector<Node *> ops;
+    for (const auto &n : nodes_)
+        if (n->kind() == NodeKind::Load || n->kind() == NodeKind::Store)
+            ops.push_back(n.get());
+    return ops;
+}
+
+std::vector<Node *>
+Task::topoOrder() const
+{
+    // Kahn's algorithm with a min-id priority queue. Loop back edges
+    // (the carried-next inputs of LoopControl) are excluded from the
+    // dependence count. Taking the smallest ready id preserves node
+    // creation order — which is program order — so side-effecting
+    // nodes with no dataflow edge between them (e.g. two sequential
+    // loop dispatches communicating through memory) still execute in
+    // the order the program wrote them during functional replay.
+    std::map<const Node *, unsigned> pending;
+    auto forwardInputs = [&](const Node *n) {
+        unsigned count = n->numInputs();
+        if (n->kind() == NodeKind::LoopControl)
+            count = 3 + n->numCarried(); // Exclude next-value slots.
+        return count + (n->guard().valid() ? 1 : 0);
+    };
+    auto by_id_desc = [](const Node *a, const Node *b) {
+        return a->id() > b->id();
+    };
+    std::priority_queue<Node *, std::vector<Node *>,
+                        decltype(by_id_desc)>
+        ready(by_id_desc);
+    for (const auto &n : nodes_) {
+        unsigned deps = forwardInputs(n.get());
+        pending[n.get()] = deps;
+        if (deps == 0)
+            ready.push(n.get());
+    }
+    std::vector<Node *> order;
+    order.reserve(nodes_.size());
+    while (!ready.empty()) {
+        Node *n = ready.top();
+        ready.pop();
+        order.push_back(n);
+        // users() lists one entry per edge; visit each user once.
+        std::vector<Node *> unique_users;
+        for (Node *user : n->users())
+            if (std::find(unique_users.begin(), unique_users.end(), user) ==
+                unique_users.end())
+                unique_users.push_back(user);
+        for (Node *user : unique_users) {
+            // Does this edge count as a forward dependence for user?
+            unsigned forward = 0;
+            unsigned limit = user->numInputs();
+            if (user->kind() == NodeKind::LoopControl)
+                limit = 3 + user->numCarried();
+            for (unsigned i = 0; i < limit; ++i)
+                if (user->input(i).node == n)
+                    ++forward;
+            if (user->guard().valid() && user->guard().node == n)
+                ++forward;
+            if (forward == 0)
+                continue;
+            auto it = pending.find(user);
+            muir_assert(it != pending.end() && it->second >= forward,
+                        "topo: bookkeeping error at %s",
+                        user->name().c_str());
+            it->second -= forward;
+            if (it->second == 0)
+                ready.push(user);
+        }
+    }
+    muir_assert(order.size() == nodes_.size(),
+                "task %s dataflow has a combinational cycle "
+                "(%zu of %zu ordered)",
+                name_.c_str(), order.size(), nodes_.size());
+    return order;
+}
+
+std::vector<Node *>
+Task::executionOrder() const
+{
+    // Depth-first post-order from every node, visiting side-effecting
+    // roots in id order; dependencies are pulled in first, so the
+    // result is topological and effects stay in program order.
+    std::vector<Node *> order;
+    order.reserve(nodes_.size());
+    std::set<const Node *> visited;
+
+    auto forwardLimit = [](const Node *n) {
+        if (n->kind() == NodeKind::LoopControl)
+            return 3u + n->numCarried();
+        return n->numInputs();
+    };
+
+    // Iterative DFS (graphs can be deep after long chains).
+    auto visit = [&](Node *root) {
+        if (visited.count(root))
+            return;
+        std::vector<std::pair<Node *, unsigned>> stack{{root, 0}};
+        while (!stack.empty()) {
+            auto &[n, next_dep] = stack.back();
+            if (visited.count(n)) {
+                stack.pop_back();
+                continue;
+            }
+            unsigned limit = forwardLimit(n);
+            unsigned total = limit + (n->guard().valid() ? 1 : 0);
+            if (next_dep < total) {
+                Node *dep = next_dep < limit
+                                ? n->input(next_dep).node
+                                : n->guard().node;
+                ++next_dep;
+                if (!visited.count(dep))
+                    stack.emplace_back(dep, 0);
+                continue;
+            }
+            visited.insert(n);
+            order.push_back(n);
+            stack.pop_back();
+        }
+    };
+
+    std::vector<Node *> by_id;
+    for (const auto &n : nodes_)
+        by_id.push_back(n.get());
+    std::sort(by_id.begin(), by_id.end(),
+              [](const Node *a, const Node *b) {
+                  return a->id() < b->id();
+              });
+    for (Node *n : by_id) {
+        switch (n->kind()) {
+          case NodeKind::Load:
+          case NodeKind::Store:
+          case NodeKind::ChildCall:
+          case NodeKind::SyncNode:
+            visit(n);
+            break;
+          default:
+            break;
+        }
+    }
+    for (Node *n : by_id)
+        visit(n);
+    muir_assert(order.size() == nodes_.size(),
+                "executionOrder: %zu of %zu nodes ordered", order.size(),
+                nodes_.size());
+    return order;
+}
+
+Task *
+Accelerator::addTask(TaskKind kind, std::string name, Task *parent)
+{
+    tasks_.push_back(std::make_unique<Task>(tasks_.size(), kind,
+                                            std::move(name), this));
+    Task *t = tasks_.back().get();
+    t->setParentTask(parent);
+    return t;
+}
+
+Task *
+Accelerator::root() const
+{
+    if (root_ != nullptr)
+        return root_;
+    muir_assert(!tasks_.empty(), "accelerator %s has no tasks",
+                name_.c_str());
+    return tasks_.front().get();
+}
+
+Task *
+Accelerator::taskByName(const std::string &name) const
+{
+    for (const auto &t : tasks_)
+        if (t->name() == name)
+            return t.get();
+    return nullptr;
+}
+
+Structure *
+Accelerator::addStructure(StructureKind kind, std::string name)
+{
+    structures_.push_back(std::make_unique<Structure>(nextStructureId_++,
+                                                      kind,
+                                                      std::move(name)));
+    return structures_.back().get();
+}
+
+void
+Accelerator::removeStructure(Structure *s)
+{
+    auto it = std::find_if(structures_.begin(), structures_.end(),
+                           [&](const auto &p) { return p.get() == s; });
+    muir_assert(it != structures_.end(), "structure not in accelerator");
+    structures_.erase(it);
+}
+
+Structure *
+Accelerator::structureByName(const std::string &name) const
+{
+    for (const auto &s : structures_)
+        if (s->name() == name)
+            return s.get();
+    return nullptr;
+}
+
+Structure *
+Accelerator::structureForSpace(unsigned space) const
+{
+    Structure *fallback = nullptr;
+    Structure *match = nullptr;
+    for (const auto &s : structures_) {
+        if (s->kind() == StructureKind::Dram)
+            continue;
+        if (s->serves(space)) {
+            muir_assert(match == nullptr,
+                        "space %u served by two structures (%s, %s)",
+                        space, match->name().c_str(), s->name().c_str());
+            match = s.get();
+        }
+        if (s->serves(0))
+            fallback = s.get();
+    }
+    if (match)
+        return match;
+    muir_assert(fallback != nullptr,
+                "no structure serves space %u and no default (space-0) "
+                "structure exists", space);
+    return fallback;
+}
+
+unsigned
+Accelerator::numNodes() const
+{
+    unsigned n = 0;
+    for (const auto &t : tasks_)
+        n += t->numNodes();
+    return n;
+}
+
+unsigned
+Accelerator::numEdges() const
+{
+    unsigned edges = 0;
+    for (const auto &t : tasks_) {
+        edges += t->numEdges();
+        // Inter-task (<||>) connections: one per child call.
+        edges += t->childCalls().size();
+    }
+    return edges;
+}
+
+} // namespace muir::uir

@@ -1,0 +1,87 @@
+#include "uir/hwtype.hh"
+
+#include "support/logging.hh"
+#include "support/strings.hh"
+
+namespace muir::uir
+{
+
+HwType
+HwType::scalarInt(unsigned bits)
+{
+    HwType t;
+    t.base_ = Base::Int;
+    t.bits_ = bits;
+    return t;
+}
+
+HwType
+HwType::scalarFloat()
+{
+    HwType t;
+    t.base_ = Base::Float;
+    t.bits_ = 32;
+    return t;
+}
+
+HwType
+HwType::tensor2d(unsigned rows, unsigned cols)
+{
+    HwType t;
+    t.base_ = Base::Tensor;
+    t.bits_ = 32;
+    t.rows_ = rows;
+    t.cols_ = cols;
+    return t;
+}
+
+HwType
+HwType::fromIr(const ir::Type &type)
+{
+    switch (type.kind()) {
+      case ir::Type::Kind::Void:
+        return none();
+      case ir::Type::Kind::Int:
+        return scalarInt(type.bits());
+      case ir::Type::Kind::Float:
+        return scalarFloat();
+      case ir::Type::Kind::Ptr:
+        return addr();
+      case ir::Type::Kind::Tensor:
+        return tensor2d(type.rows(), type.cols());
+    }
+    muir_panic("fromIr: bad type kind");
+}
+
+unsigned
+HwType::words() const
+{
+    switch (base_) {
+      case Base::None:
+        return 0;
+      case Base::Int:
+      case Base::Float:
+        return (bits_ + 31) / 32;
+      case Base::Tensor:
+        return rows_ * cols_;
+    }
+    return 0;
+}
+
+std::string
+HwType::str() const
+{
+    switch (base_) {
+      case Base::None:
+        return "none";
+      case Base::Int:
+        return fmt("UInt<%u>", bits_);
+      case Base::Float:
+        return "Float32";
+      case Base::Tensor:
+        return fmt("Tensor2D<%ux%u>", rows_, cols_);
+    }
+    return "?";
+}
+
+} // namespace muir::uir

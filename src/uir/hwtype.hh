@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Hardware-level types for μIR ports and connections. μIR edges are
+ * "polymorphic" (§3.3): the designer specifies node data types and RTL
+ * generation infers physical wire widths and flit sizes from them —
+ * flitBits() is that inference.
+ */
+#pragma once
+
+#include <string>
+
+#include "ir/type.hh"
+
+namespace muir::uir
+{
+
+/** The type carried by a μIR port/connection. */
+class HwType
+{
+  public:
+    enum class Base { None, Int, Float, Tensor };
+
+    HwType() = default;
+
+    static HwType none() { return HwType(); }
+    static HwType scalarInt(unsigned bits);
+    static HwType scalarFloat();
+    static HwType tensor2d(unsigned rows, unsigned cols);
+    /** Addresses are 64-bit integers at the hardware level. */
+    static HwType addr() { return scalarInt(64); }
+    /** Predicates are single wires. */
+    static HwType pred() { return scalarInt(1); }
+
+    /** Derive from a compiler-IR type (pointers become addresses). */
+    static HwType fromIr(const ir::Type &type);
+
+    Base base() const { return base_; }
+    bool isNone() const { return base_ == Base::None; }
+    bool isTensor() const { return base_ == Base::Tensor; }
+    bool isFloat() const { return base_ == Base::Float; }
+    unsigned bits() const { return bits_; }
+    unsigned rows() const { return rows_; }
+    unsigned cols() const { return cols_; }
+
+    /** Words (32-bit) moved per token — 1 for scalars, R*C for tensors. */
+    unsigned words() const;
+
+    /** Physical wire width of a connection carrying this type. */
+    unsigned flitBits() const { return words() * 32 < bits_ ? bits_
+                                                            : words() * 32; }
+
+    bool operator==(const HwType &o) const
+    {
+        return base_ == o.base_ && bits_ == o.bits_ && rows_ == o.rows_ &&
+               cols_ == o.cols_;
+    }
+    bool operator!=(const HwType &o) const { return !(*this == o); }
+
+    std::string str() const;
+
+  private:
+    Base base_ = Base::None;
+    unsigned bits_ = 0;
+    unsigned rows_ = 0;
+    unsigned cols_ = 0;
+};
+
+} // namespace muir::uir

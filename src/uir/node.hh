@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Dataflow nodes of a μIR task block (§3.3). A node intuitively
+ * represents a function unit allocated to implement an operation; it
+ * can be single-cycle combinational, multi-cycle internally pipelined,
+ * or a non-deterministic-latency transit point (loads/stores and child
+ * task calls). Connections are polymorphic 1-1 producer→consumer
+ * edges; physical widths are inferred from node types at RTL time.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/instruction.hh"
+#include "ir/module.hh"
+#include "uir/hwtype.hh"
+
+namespace muir::uir
+{
+
+class Task;
+class Structure;
+
+/** The structural role a node plays in the dataflow. */
+enum class NodeKind
+{
+    /** A single operation implemented by a dedicated function unit. */
+    Compute,
+    /** Several fused operations sharing one unit (Pass 5, §6.1). */
+    Fused,
+    /** Memory transit points routed through a junction (§3.4). */
+    Load, Store,
+    /** Task argument entry / result exit ports. */
+    LiveIn, LiveOut,
+    /** A literal driven onto the dataflow. */
+    ConstNode,
+    /** The resolved base address of a global array. */
+    GlobalAddr,
+    /** Iteration sequencing + loop-carried registers (§3.5). */
+    LoopControl,
+    /** Invocation of a child task (variable-latency transit, §3.5). */
+    ChildCall,
+    /** Join point waiting for all spawned children (Cilk sync). */
+    SyncNode,
+};
+
+/** @return printable kind name. */
+const char *nodeKindName(NodeKind kind);
+
+/**
+ * One μIR dataflow node. Owned by its Task; edges are non-owning
+ * pointers kept consistent through addInput/rewireInput.
+ */
+class Node
+{
+  public:
+    /** A reference to one output port of a producer node. */
+    struct PortRef
+    {
+        Node *node = nullptr;
+        unsigned out = 0;
+        bool valid() const { return node != nullptr; }
+    };
+
+    /**
+     * One constituent operation of a Fused node. srcs entries >= 0
+     * index earlier micro-ops; entry -(k+1) references external
+     * input k of the fused node.
+     */
+    struct MicroOp
+    {
+        ir::Op op;
+        std::vector<int> srcs;
+        ir::Type type;
+    };
+
+    Node(unsigned id, NodeKind kind, std::string name, Task *parent)
+        : id_(id), kind_(kind), name_(std::move(name)), parent_(parent)
+    {
+    }
+
+    Node(const Node &) = delete;
+    Node &operator=(const Node &) = delete;
+
+    unsigned id() const { return id_; }
+    NodeKind kind() const { return kind_; }
+    const std::string &name() const { return name_; }
+    void setName(std::string name) { name_ = std::move(name); }
+    Task *parent() const { return parent_; }
+
+    /** @name Result type @{ */
+    const ir::Type &irType() const { return type_; }
+    void setIrType(ir::Type t) { type_ = std::move(t); }
+    HwType hwType() const { return HwType::fromIr(type_); }
+    /** @} */
+
+    /** @name Compute configuration @{ */
+    ir::Op op() const { return op_; }
+    void setOp(ir::Op op) { op_ = op; }
+    /** @} */
+
+    /** @name Edges @{ */
+    const std::vector<PortRef> &inputs() const { return inputs_; }
+    const PortRef &input(unsigned i) const;
+    unsigned numInputs() const { return inputs_.size(); }
+    void addInput(Node *producer, unsigned out = 0);
+    /** Redirect input i to a new producer port. */
+    void rewireInput(unsigned i, Node *producer, unsigned out = 0);
+    /** Consumers of any output of this node. */
+    const std::vector<Node *> &users() const { return users_; }
+    /** @} */
+
+    /** @name Predicated execution (§3.5 dataflow predication) @{ */
+    const PortRef &guard() const { return guard_; }
+    void setGuard(Node *pred_node, unsigned out = 0);
+    /** @} */
+
+    /** @name Constants / global addresses @{ */
+    int64_t constInt() const { return constInt_; }
+    double constFp() const { return constFp_; }
+    bool constIsFloat() const { return constIsFloat_; }
+    void setConstInt(int64_t v) { constInt_ = v; constIsFloat_ = false; }
+    void setConstFp(double v) { constFp_ = v; constIsFloat_ = true; }
+    const ir::GlobalArray *global() const { return global_; }
+    void setGlobal(const ir::GlobalArray *g) { global_ = g; }
+    /** @} */
+
+    /** @name Memory nodes @{ */
+    unsigned memSpace() const { return memSpace_; }
+    void setMemSpace(unsigned space) { memSpace_ = space; }
+    /** Words transferred per access (tensor databox width, §3.4). */
+    unsigned accessWords() const;
+    /** @} */
+
+    /** @name Child-task invocation @{ */
+    Task *callee() const { return callee_; }
+    void setCallee(Task *t) { callee_ = t; }
+    /** Spawned (asynchronous) vs called (result awaited). */
+    bool isSpawn() const { return spawn_; }
+    void setSpawn(bool s) { spawn_ = s; }
+    /** @} */
+
+    /** @name Live-in / live-out @{ */
+    unsigned liveIndex() const { return liveIndex_; }
+    void setLiveIndex(unsigned i) { liveIndex_ = i; }
+    /** @} */
+
+    /** @name LoopControl configuration @{ */
+    unsigned numCarried() const { return numCarried_; }
+    void setNumCarried(unsigned n) { numCarried_ = n; }
+    /**
+     * Pipeline stages of the loop-control recurrence. The baseline
+     * dataflow is Buffer→φ→i++→cmp→br = 5 stages (§4 Pass 5); op
+     * fusion re-times this to 2.
+     */
+    unsigned ctrlStages() const { return ctrlStages_; }
+    void setCtrlStages(unsigned s) { ctrlStages_ = s; }
+    /** @} */
+
+    /** @name Fused nodes @{ */
+    const std::vector<MicroOp> &microOps() const { return microOps_; }
+    std::vector<MicroOp> &microOps() { return microOps_; }
+    /** @} */
+
+    /** Number of output ports (LoopControl: 1 + carried; others 1). */
+    unsigned numOutputs() const;
+
+    /** Result type of output port i. */
+    ir::Type outputType(unsigned i) const;
+
+    /** @name Used by Task during graph surgery @{ */
+    void addUser(Node *user) { users_.push_back(user); }
+    void removeUser(Node *user);
+    void clearInputs();
+    /** @} */
+
+  private:
+    unsigned id_;
+    NodeKind kind_;
+    std::string name_;
+    Task *parent_;
+    ir::Type type_;
+    ir::Op op_ = ir::Op::Add;
+    std::vector<PortRef> inputs_;
+    std::vector<Node *> users_;
+    PortRef guard_;
+    int64_t constInt_ = 0;
+    double constFp_ = 0.0;
+    bool constIsFloat_ = false;
+    const ir::GlobalArray *global_ = nullptr;
+    unsigned memSpace_ = 0;
+    Task *callee_ = nullptr;
+    bool spawn_ = false;
+    unsigned liveIndex_ = 0;
+    unsigned numCarried_ = 0;
+    unsigned ctrlStages_ = 5;
+    std::vector<MicroOp> microOps_;
+};
+
+} // namespace muir::uir

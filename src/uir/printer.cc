@@ -1,0 +1,147 @@
+#include "uir/printer.hh"
+
+#include <sstream>
+
+#include "support/strings.hh"
+
+namespace muir::uir
+{
+
+std::string
+printNode(const Node &node)
+{
+    std::ostringstream os;
+    os << "%" << node.name() << " = " << nodeKindName(node.kind());
+    switch (node.kind()) {
+      case NodeKind::Compute:
+        os << "." << ir::opName(node.op());
+        break;
+      case NodeKind::Fused: {
+        os << "{";
+        bool first = true;
+        for (const auto &mop : node.microOps()) {
+            os << (first ? "" : "+") << ir::opName(mop.op);
+            first = false;
+        }
+        os << "}";
+        break;
+      }
+      case NodeKind::Load:
+      case NodeKind::Store:
+        os << " @space" << node.memSpace();
+        break;
+      case NodeKind::ConstNode:
+        if (node.constIsFloat())
+            os << " " << node.constFp();
+        else
+            os << " " << node.constInt();
+        break;
+      case NodeKind::GlobalAddr:
+        os << " @" << node.global()->name();
+        break;
+      case NodeKind::ChildCall:
+        os << (node.isSpawn() ? " spawn " : " call ")
+           << node.callee()->name();
+        break;
+      case NodeKind::LoopControl:
+        os << " carried=" << node.numCarried() << " stages="
+           << node.ctrlStages();
+        break;
+      default:
+        break;
+    }
+    if (!node.irType().isVoid())
+        os << " : " << node.hwType().str();
+    if (!node.inputs().empty()) {
+        os << " (";
+        bool first = true;
+        for (const auto &ref : node.inputs()) {
+            os << (first ? "" : ", ") << "%" << ref.node->name();
+            if (ref.node->numOutputs() > 1)
+                os << "#" << ref.out;
+            first = false;
+        }
+        os << ")";
+    }
+    if (node.guard().valid())
+        os << " if %" << node.guard().node->name();
+    return os.str();
+}
+
+std::string
+printTask(const Task &task)
+{
+    std::ostringstream os;
+    os << "task " << task.name() << " [" << taskKindName(task.kind())
+       << "] tiles=" << task.numTiles() << " queue=" << task.queueDepth()
+       << (task.decoupled() ? " decoupled" : "") << " junction=R"
+       << task.junctionReadPorts() << "/W" << task.junctionWritePorts()
+       << " {\n";
+    for (const auto &n : task.nodes())
+        os << "    " << printNode(*n) << "\n";
+    os << "}\n";
+    return os.str();
+}
+
+std::string
+printAccelerator(const Accelerator &accel)
+{
+    std::ostringstream os;
+    os << "accelerator " << accel.name() << "\n";
+    for (const auto &s : accel.structures()) {
+        os << "structure " << s->name() << " ["
+           << structureKindName(s->kind()) << "] banks=" << s->banks()
+           << " ports=" << s->portsPerBank() << " wide=" << s->wideWords()
+           << " lat=" << s->latency();
+        if (s->kind() == StructureKind::Cache)
+            os << " size=" << s->sizeKb() << "KB ways=" << s->ways();
+        if (!s->spaces().empty())
+            os << " spaces={" << join(s->spaces(), ",") << "}";
+        os << "\n";
+    }
+    for (const auto &t : accel.tasks())
+        os << "\n" << printTask(*t);
+    return os.str();
+}
+
+std::string
+toDot(const Accelerator &accel)
+{
+    std::ostringstream os;
+    os << "digraph \"" << accel.name() << "\" {\n";
+    os << "  rankdir=TB;\n  node [shape=box, fontsize=10];\n";
+    for (const auto &t : accel.tasks()) {
+        os << "  subgraph cluster_" << t->id() << " {\n";
+        os << "    label=\"" << t->name() << " (x" << t->numTiles()
+           << ")\";\n";
+        for (const auto &n : t->nodes()) {
+            os << "    n" << t->id() << "_" << n->id() << " [label=\""
+               << n->name() << "\\n" << nodeKindName(n->kind())
+               << "\"];\n";
+        }
+        for (const auto &n : t->nodes()) {
+            for (const auto &ref : n->inputs())
+                os << "    n" << t->id() << "_" << ref.node->id()
+                   << " -> n" << t->id() << "_" << n->id() << ";\n";
+            if (n->guard().valid())
+                os << "    n" << t->id() << "_" << n->guard().node->id()
+                   << " -> n" << t->id() << "_" << n->id()
+                   << " [style=dashed];\n";
+        }
+        os << "  }\n";
+    }
+    // Inter-task spawn edges.
+    for (const auto &t : accel.tasks()) {
+        for (const Node *call : t->childCalls()) {
+            os << "  n" << t->id() << "_" << call->id() << " -> n"
+               << call->callee()->id() << "_"
+               << call->callee()->nodes().front()->id()
+               << " [color=blue, lhead=cluster_"
+               << call->callee()->id() << "];\n";
+        }
+    }
+    os << "}\n";
+    return os.str();
+}
+
+} // namespace muir::uir

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Text and Graphviz renderings of μIR graphs for debugging, docs, and
+ * golden tests.
+ */
+#pragma once
+
+#include <string>
+
+#include "uir/accelerator.hh"
+
+namespace muir::uir
+{
+
+/** One-line description of a node. */
+std::string printNode(const Node &node);
+
+/** Multi-line description of one task's dataflow. */
+std::string printTask(const Task &task);
+
+/** Whole-accelerator dump: structures, then tasks in id order. */
+std::string printAccelerator(const Accelerator &accel);
+
+/** Graphviz dot of the whole accelerator (tasks as clusters). */
+std::string toDot(const Accelerator &accel);
+
+} // namespace muir::uir

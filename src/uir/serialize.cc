@@ -1,0 +1,440 @@
+#include "uir/serialize.hh"
+
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "support/logging.hh"
+#include "support/strings.hh"
+
+namespace muir::uir
+{
+
+namespace
+{
+
+// ---------------------------------------------------------------- types
+
+std::string
+typeStr(const ir::Type &t)
+{
+    switch (t.kind()) {
+      case ir::Type::Kind::Void:
+        return "void";
+      case ir::Type::Kind::Int:
+        return fmt("i%u", t.bits());
+      case ir::Type::Kind::Float:
+        return "f32";
+      case ir::Type::Kind::Ptr:
+        return "ptr:" + typeStr(t.pointee());
+      case ir::Type::Kind::Tensor:
+        return fmt("t:%ux%ux%c", t.rows(), t.cols(),
+                   t.tensorElemFloat() ? 'f' : 'i');
+    }
+    return "void";
+}
+
+ir::Type
+parseType(const std::string &s)
+{
+    if (s == "void")
+        return ir::Type::voidTy();
+    if (s == "f32")
+        return ir::Type::f32();
+    if (s[0] == 'i')
+        return ir::Type::intTy(std::atoi(s.c_str() + 1));
+    if (startsWith(s, "ptr:"))
+        return ir::Type::ptrTo(parseType(s.substr(4)));
+    if (startsWith(s, "t:")) {
+        unsigned r = 0, c = 0;
+        char f = 'f';
+        if (std::sscanf(s.c_str(), "t:%ux%ux%c", &r, &c, &f) != 3)
+            muir_fatal("bad tensor type '%s'", s.c_str());
+        return ir::Type::tensor(r, c, f == 'f');
+    }
+    muir_fatal("bad type '%s'", s.c_str());
+}
+
+// ------------------------------------------------------- key=value lines
+
+/** Split "key=value" tokens of one line (values cannot hold spaces). */
+std::map<std::string, std::string>
+fields(const std::vector<std::string> &tokens, size_t from)
+{
+    std::map<std::string, std::string> out;
+    for (size_t i = from; i < tokens.size(); ++i) {
+        auto eq = tokens[i].find('=');
+        if (eq == std::string::npos)
+            continue;
+        out[tokens[i].substr(0, eq)] = tokens[i].substr(eq + 1);
+    }
+    return out;
+}
+
+std::vector<std::string>
+tokenize(const std::string &line)
+{
+    std::vector<std::string> tokens;
+    std::istringstream is(line);
+    std::string tok;
+    while (is >> tok)
+        tokens.push_back(tok);
+    return tokens;
+}
+
+const std::string &
+need(const std::map<std::string, std::string> &kv, const char *key,
+     const std::string &line)
+{
+    auto it = kv.find(key);
+    if (it == kv.end())
+        muir_fatal("serialize: missing '%s' in: %s", key, line.c_str());
+    return it->second;
+}
+
+// -------------------------------------------------------------- emitters
+
+void
+emitStructure(std::ostringstream &os, const Structure &s)
+{
+    os << "structure " << s.name() << " kind="
+       << structureKindName(s.kind()) << " banks=" << s.banks()
+       << " ports=" << s.portsPerBank() << " wide=" << s.wideWords()
+       << " lat=" << s.latency() << " size=" << s.sizeKb() << " ways="
+       << s.ways() << " line=" << s.lineBytes() << " miss="
+       << s.missLatency() << " bpc=" << s.bytesPerCycle();
+    if (!s.spaces().empty())
+        os << " spaces=" << join(s.spaces(), ",");
+    os << "\n";
+}
+
+void
+emitNode(std::ostringstream &os, const Node &n,
+         const std::map<const Node *, unsigned> &seq)
+{
+    os << "  node " << seq.at(&n) << " name=" << n.name() << " kind="
+       << nodeKindName(n.kind()) << " type=" << typeStr(n.irType());
+    switch (n.kind()) {
+      case NodeKind::Compute:
+        os << " op=" << ir::opName(n.op());
+        break;
+      case NodeKind::Fused: {
+        std::vector<std::string> uops;
+        for (const auto &mop : n.microOps()) {
+            uops.push_back(fmt("%s~%s~%s", ir::opName(mop.op),
+                               typeStr(mop.type).c_str(),
+                               join(mop.srcs, ".").c_str()));
+        }
+        os << " uops=" << join(uops, "|");
+        break;
+      }
+      case NodeKind::ConstNode:
+        if (n.constIsFloat())
+            os << " fval=" << fmt("%.17g", n.constFp());
+        else
+            os << " ival=" << n.constInt();
+        break;
+      case NodeKind::GlobalAddr:
+        os << " global=" << n.global()->name();
+        break;
+      case NodeKind::Load:
+      case NodeKind::Store:
+        os << " space=" << n.memSpace();
+        break;
+      case NodeKind::LoopControl:
+        os << " carried=" << n.numCarried() << " stages="
+           << n.ctrlStages();
+        break;
+      case NodeKind::ChildCall:
+        os << " callee=" << n.callee()->name() << " spawn="
+           << (n.isSpawn() ? 1 : 0);
+        break;
+      default:
+        break;
+    }
+    if (!n.inputs().empty()) {
+        std::vector<std::string> ins;
+        for (const auto &ref : n.inputs())
+            ins.push_back(fmt("%u:%u", seq.at(ref.node), ref.out));
+        os << " in=" << join(ins, ",");
+    }
+    if (n.guard().valid())
+        os << " guard=" << seq.at(n.guard().node) << ":"
+           << n.guard().out;
+    os << "\n";
+}
+
+} // namespace
+
+std::string
+serialize(const Accelerator &accel)
+{
+    std::ostringstream os;
+    os << "# µIR graph (textual checkpoint)\n";
+    os << "accelerator " << accel.name() << "\n";
+    for (const auto &s : accel.structures())
+        emitStructure(os, *s);
+    // Declare all tasks before node bodies so callee references always
+    // resolve.
+    for (const auto &t : accel.tasks()) {
+        os << "task " << t->name() << " kind=" << taskKindName(t->kind())
+           << " tiles=" << t->numTiles() << " queue=" << t->queueDepth()
+           << " decoupled=" << (t->decoupled() ? 1 : 0) << " jr="
+           << t->junctionReadPorts() << " jw="
+           << t->junctionWritePorts();
+        if (t->parentTask())
+            os << " parent=" << t->parentTask()->name();
+        os << "\n";
+    }
+    for (const auto &t : accel.tasks()) {
+        os << "body " << t->name() << "\n";
+        // Normalized sequential ids (raw ids may have gaps after
+        // passes delete nodes), so a reload re-serializes identically.
+        std::map<const Node *, unsigned> seq;
+        for (const auto &n : t->nodes())
+            seq.emplace(n.get(), unsigned(seq.size()));
+        for (const auto &n : t->nodes())
+            emitNode(os, *n, seq);
+        os << "end\n";
+    }
+    os << "root " << accel.root()->name() << "\n";
+    return os.str();
+}
+
+std::unique_ptr<Accelerator>
+deserialize(const std::string &text, const ir::Module *source)
+{
+    std::unique_ptr<Accelerator> accel;
+    Task *body_task = nullptr;
+    std::map<const Task *, std::map<unsigned, Node *>> node_by_id;
+    // Deferred edges: (task, consumer, slot-or-guard, producer id, out).
+    struct Edge
+    {
+        Task *task;
+        Node *consumer;
+        bool is_guard;
+        unsigned producer_id;
+        unsigned out;
+    };
+    std::vector<Edge> edges;
+    // Parent tasks may be declared after their children (the front end
+    // creates children first); resolve at the end.
+    std::vector<std::pair<Task *, std::string>> parent_fixups;
+
+    std::istringstream is(text);
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        auto tokens = tokenize(line);
+        if (tokens.empty())
+            continue;
+        const std::string &head = tokens[0];
+
+        if (head == "accelerator") {
+            muir_assert(tokens.size() >= 2, "bad accelerator line");
+            accel = std::make_unique<Accelerator>(tokens[1], source);
+        } else if (head == "structure") {
+            muir_assert(accel && tokens.size() >= 2, "structure before "
+                        "accelerator");
+            auto kv = fields(tokens, 2);
+            const std::string &kind_s = need(kv, "kind", line);
+            StructureKind kind = StructureKind::Scratchpad;
+            if (kind_s == "cache")
+                kind = StructureKind::Cache;
+            else if (kind_s == "dram")
+                kind = StructureKind::Dram;
+            Structure *s = accel->addStructure(kind, tokens[1]);
+            s->setBanks(std::atoi(need(kv, "banks", line).c_str()));
+            s->setPortsPerBank(
+                std::atoi(need(kv, "ports", line).c_str()));
+            s->setWideWords(std::atoi(need(kv, "wide", line).c_str()));
+            s->setLatency(std::atoi(need(kv, "lat", line).c_str()));
+            s->setSizeKb(std::atoi(need(kv, "size", line).c_str()));
+            s->setWays(std::atoi(need(kv, "ways", line).c_str()));
+            s->setLineBytes(std::atoi(need(kv, "line", line).c_str()));
+            s->setMissLatency(std::atoi(need(kv, "miss", line).c_str()));
+            s->setBytesPerCycle(std::atof(need(kv, "bpc", line).c_str()));
+            if (kv.count("spaces"))
+                for (const auto &sp : split(kv["spaces"], ','))
+                    s->addSpace(std::atoi(sp.c_str()));
+        } else if (head == "task") {
+            muir_assert(accel && tokens.size() >= 2, "task before "
+                        "accelerator");
+            auto kv = fields(tokens, 2);
+            const std::string &kind_s = need(kv, "kind", line);
+            TaskKind kind = TaskKind::Root;
+            if (kind_s == "loop")
+                kind = TaskKind::Loop;
+            else if (kind_s == "spawn")
+                kind = TaskKind::Spawn;
+            else if (kind_s == "func")
+                kind = TaskKind::Func;
+            Task *t = accel->addTask(kind, tokens[1], nullptr);
+            if (kv.count("parent"))
+                parent_fixups.emplace_back(t, kv["parent"]);
+            t->setNumTiles(std::atoi(need(kv, "tiles", line).c_str()));
+            t->setQueueDepth(std::atoi(need(kv, "queue", line).c_str()));
+            t->setDecoupled(need(kv, "decoupled", line) == "1");
+            t->setJunctionPorts(std::atoi(need(kv, "jr", line).c_str()),
+                                std::atoi(need(kv, "jw", line).c_str()));
+        } else if (head == "body") {
+            muir_assert(accel && tokens.size() >= 2, "bad body line");
+            body_task = accel->taskByName(tokens[1]);
+            muir_assert(body_task != nullptr, "body for unknown task %s",
+                        tokens[1].c_str());
+        } else if (head == "node") {
+            muir_assert(body_task != nullptr, "node outside body");
+            muir_assert(tokens.size() >= 2, "bad node line");
+            unsigned orig_id = std::atoi(tokens[1].c_str());
+            auto kv = fields(tokens, 2);
+            const std::string &kind_s = need(kv, "kind", line);
+            const std::string &name = need(kv, "name", line);
+            ir::Type type = parseType(need(kv, "type", line));
+
+            Node *n = nullptr;
+            if (kind_s == "compute") {
+                // Resolve the opcode by name.
+                ir::Op op = ir::Op::Add;
+                bool found = false;
+                for (int o = 0; o <= int(ir::Op::TRelu); ++o) {
+                    if (need(kv, "op", line) ==
+                        ir::opName(static_cast<ir::Op>(o))) {
+                        op = static_cast<ir::Op>(o);
+                        found = true;
+                        break;
+                    }
+                }
+                muir_assert(found, "unknown op '%s'",
+                            need(kv, "op", line).c_str());
+                n = body_task->addCompute(op, type, name);
+            } else if (kind_s == "fused") {
+                n = body_task->addNode(NodeKind::Fused, name);
+                n->setIrType(type);
+                for (const auto &uop_s :
+                     split(need(kv, "uops", line), '|')) {
+                    auto parts = split(uop_s, '~');
+                    muir_assert(parts.size() == 3, "bad uop '%s'",
+                                uop_s.c_str());
+                    Node::MicroOp mop;
+                    bool found = false;
+                    for (int o = 0; o <= int(ir::Op::TRelu); ++o) {
+                        if (parts[0] ==
+                            ir::opName(static_cast<ir::Op>(o))) {
+                            mop.op = static_cast<ir::Op>(o);
+                            found = true;
+                            break;
+                        }
+                    }
+                    muir_assert(found, "unknown uop '%s'",
+                                parts[0].c_str());
+                    mop.type = parseType(parts[1]);
+                    if (!parts[2].empty())
+                        for (const auto &src : split(parts[2], '.'))
+                            mop.srcs.push_back(std::atoi(src.c_str()));
+                    n->microOps().push_back(std::move(mop));
+                }
+            } else if (kind_s == "const") {
+                if (kv.count("fval"))
+                    n = body_task->addConstFp(std::atof(
+                        kv["fval"].c_str()));
+                else
+                    n = body_task->addConstInt(
+                        type, std::atoll(need(kv, "ival", line).c_str()));
+                n->setName(name);
+            } else if (kind_s == "globaladdr") {
+                muir_assert(source != nullptr,
+                            "globaladdr needs a source module");
+                const ir::GlobalArray *g =
+                    source->global(need(kv, "global", line));
+                muir_assert(g != nullptr, "unknown global '%s'",
+                            need(kv, "global", line).c_str());
+                n = body_task->addGlobalAddr(g);
+                n->setName(name);
+            } else if (kind_s == "load") {
+                n = body_task->addLoad(
+                    type, std::atoi(need(kv, "space", line).c_str()),
+                    name);
+            } else if (kind_s == "store") {
+                n = body_task->addStore(
+                    std::atoi(need(kv, "space", line).c_str()), name);
+            } else if (kind_s == "livein") {
+                n = body_task->addLiveIn(type, name);
+            } else if (kind_s == "liveout") {
+                n = body_task->addLiveOut(type, name);
+            } else if (kind_s == "loopctrl") {
+                n = body_task->addNode(NodeKind::LoopControl, name);
+                n->setIrType(type);
+                n->setNumCarried(
+                    std::atoi(need(kv, "carried", line).c_str()));
+                n->setCtrlStages(
+                    std::atoi(need(kv, "stages", line).c_str()));
+            } else if (kind_s == "childcall") {
+                Task *callee =
+                    accel->taskByName(need(kv, "callee", line));
+                muir_assert(callee != nullptr, "unknown callee '%s'",
+                            need(kv, "callee", line).c_str());
+                n = body_task->addChildCall(
+                    callee, need(kv, "spawn", line) == "1", name);
+            } else if (kind_s == "sync") {
+                n = body_task->addNode(NodeKind::SyncNode, name);
+                n->setIrType(type);
+            } else {
+                muir_fatal("unknown node kind '%s'", kind_s.c_str());
+            }
+            node_by_id[body_task][orig_id] = n;
+
+            if (kv.count("in")) {
+                for (const auto &ref_s : split(kv["in"], ',')) {
+                    auto rc = split(ref_s, ':');
+                    muir_assert(rc.size() == 2, "bad input ref '%s'",
+                                ref_s.c_str());
+                    edges.push_back({body_task, n, false,
+                                     unsigned(std::atoi(rc[0].c_str())),
+                                     unsigned(std::atoi(rc[1].c_str()))});
+                }
+            }
+            if (kv.count("guard")) {
+                auto rc = split(kv["guard"], ':');
+                muir_assert(rc.size() == 2, "bad guard ref");
+                edges.push_back({body_task, n, true,
+                                 unsigned(std::atoi(rc[0].c_str())),
+                                 unsigned(std::atoi(rc[1].c_str()))});
+            }
+        } else if (head == "end") {
+            body_task = nullptr;
+        } else if (head == "root") {
+            muir_assert(accel && tokens.size() >= 2, "bad root line");
+            Task *root = accel->taskByName(tokens[1]);
+            muir_assert(root != nullptr, "unknown root '%s'",
+                        tokens[1].c_str());
+            accel->setRoot(root);
+        } else {
+            muir_fatal("serialize: unknown directive '%s'", head.c_str());
+        }
+    }
+    muir_assert(accel != nullptr, "no accelerator in input");
+
+    for (auto &[task, parent_name] : parent_fixups) {
+        Task *parent = accel->taskByName(parent_name);
+        muir_assert(parent != nullptr, "unknown parent task '%s'",
+                    parent_name.c_str());
+        task->setParentTask(parent);
+    }
+
+    // Wire deferred edges (producers may appear after consumers only
+    // for loop back edges, which is why edges are deferred wholesale).
+    for (const Edge &e : edges) {
+        auto &ids = node_by_id[e.task];
+        auto it = ids.find(e.producer_id);
+        muir_assert(it != ids.end(), "dangling node ref %u in task %s",
+                    e.producer_id, e.task->name().c_str());
+        if (e.is_guard)
+            e.consumer->setGuard(it->second, e.out);
+        else
+            e.consumer->addInput(it->second, e.out);
+    }
+    return accel;
+}
+
+} // namespace muir::uir

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Textual serialization of μIR graphs. A deterministic, line-oriented
+ * format that round-trips every structural fact the simulator, passes,
+ * and backends consume — so optimized designs can be checkpointed to
+ * disk, diffed in review, and reloaded without re-running the front
+ * end or the pass pipeline.
+ *
+ * Format sketch (one entity per line, `#` comments allowed):
+ *
+ *   accelerator gemm
+ *   structure l1 kind=cache banks=1 ports=1 wide=1 lat=2 size=64
+ *             ways=4 line=64 miss=80 spaces=0
+ *   task gemm.mm.k kind=loop tiles=1 queue=2 decoupled=0 jr=2 jw=1
+ *     node loop kind=loopctrl type=i32 carried=1 stages=5 \
+ *          in=c0:0,c24:0,c1:0,cf0:0,fma:0
+ *   root gemm
+ *
+ * Node references are by name within the task; names are made unique
+ * at serialization time. GlobalAddr nodes reference the source
+ * module's arrays by name, so deserialization needs the same module.
+ */
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "uir/accelerator.hh"
+
+namespace muir::uir
+{
+
+/** Serialize the whole graph to the textual format. */
+std::string serialize(const Accelerator &accel);
+
+/**
+ * Parse a serialized graph. Global-array references resolve against
+ * source (which must outlive the result). Fatal on malformed input.
+ */
+std::unique_ptr<Accelerator> deserialize(const std::string &text,
+                                         const ir::Module *source);
+
+} // namespace muir::uir

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Hardware structures (§3.2): elements with no software representation
+ * — scratchpads (DMA-managed local RAM), caches (hardware-managed,
+ * coherent with DRAM over AXI), and the DRAM/AXI port itself. The
+ * memory model is a partitioned global address space: scratchpad
+ * spaces are incoherent with each other but coherent with DRAM.
+ */
+#pragma once
+
+#include <set>
+#include <string>
+
+namespace muir::uir
+{
+
+/** What a structure is lowered to. */
+enum class StructureKind { Scratchpad, Cache, Dram };
+
+/** @return printable kind name. */
+const char *structureKindName(StructureKind kind);
+
+/**
+ * One hardware structure. All parameters the μopt passes tune live
+ * here: bank count (Pass 4), ports, access shape (tensorization widens
+ * wideWords), and the set of memory spaces the structure serves
+ * (memory localization moves spaces between structures).
+ */
+class Structure
+{
+  public:
+    Structure(unsigned id, StructureKind kind, std::string name)
+        : id_(id), kind_(kind), name_(std::move(name))
+    {
+        if (kind == StructureKind::Cache) {
+            latency_ = 2;
+        } else if (kind == StructureKind::Dram) {
+            latency_ = 80;
+        } else {
+            latency_ = 1;
+        }
+    }
+
+    Structure(const Structure &) = delete;
+    Structure &operator=(const Structure &) = delete;
+
+    unsigned id() const { return id_; }
+    StructureKind kind() const { return kind_; }
+    const std::string &name() const { return name_; }
+
+    /** @name Banking and ports (tuned by μopt) @{ */
+    unsigned banks() const { return banks_; }
+    void setBanks(unsigned b) { banks_ = b; }
+    unsigned portsPerBank() const { return portsPerBank_; }
+    void setPortsPerBank(unsigned p) { portsPerBank_ = p; }
+    /** Words a single port moves per access (wide tensor reads). */
+    unsigned wideWords() const { return wideWords_; }
+    void setWideWords(unsigned w) { wideWords_ = w; }
+    /** @} */
+
+    /** @name Timing @{ */
+    unsigned latency() const { return latency_; }
+    void setLatency(unsigned l) { latency_ = l; }
+    /** @} */
+
+    /** @name Capacity / cache geometry @{ */
+    unsigned sizeKb() const { return sizeKb_; }
+    void setSizeKb(unsigned kb) { sizeKb_ = kb; }
+    unsigned ways() const { return ways_; }
+    void setWays(unsigned w) { ways_ = w; }
+    unsigned lineBytes() const { return lineBytes_; }
+    void setLineBytes(unsigned b) { lineBytes_ = b; }
+    /** @} */
+
+    /** @name DRAM backing @{ */
+    unsigned missLatency() const { return missLatency_; }
+    void setMissLatency(unsigned l) { missLatency_ = l; }
+    double bytesPerCycle() const { return bytesPerCycle_; }
+    void setBytesPerCycle(double b) { bytesPerCycle_ = b; }
+    /** @} */
+
+    /** @name Memory spaces served @{ */
+    const std::set<unsigned> &spaces() const { return spaces_; }
+    void addSpace(unsigned space) { spaces_.insert(space); }
+    void removeSpace(unsigned space) { spaces_.erase(space); }
+    bool serves(unsigned space) const { return spaces_.count(space) > 0; }
+    /** @} */
+
+  private:
+    unsigned id_;
+    StructureKind kind_;
+    std::string name_;
+    unsigned banks_ = 1;
+    unsigned portsPerBank_ = 1;
+    unsigned wideWords_ = 1;
+    unsigned latency_;
+    unsigned sizeKb_ = 64;
+    unsigned ways_ = 4;
+    unsigned lineBytes_ = 64;
+    unsigned missLatency_ = 80;
+    double bytesPerCycle_ = 8.0;
+    std::set<unsigned> spaces_;
+};
+
+} // namespace muir::uir

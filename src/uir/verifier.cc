@@ -1,0 +1,182 @@
+#include "uir/verifier.hh"
+
+#include <set>
+
+#include "support/logging.hh"
+#include "support/strings.hh"
+
+namespace muir::uir
+{
+
+namespace
+{
+
+void
+verifyTask(const Accelerator &accel, const Task &task,
+           std::vector<std::string> &errors)
+{
+    auto err = [&](const std::string &msg) {
+        errors.push_back(fmt("task %s: %s", task.name().c_str(),
+                             msg.c_str()));
+    };
+
+    std::set<const Node *> owned;
+    for (const auto &n : task.nodes())
+        owned.insert(n.get());
+
+    unsigned live_in_seen = 0, live_out_seen = 0;
+    for (const auto &n : task.nodes()) {
+        // Every input must come from a node of the same task.
+        for (const auto &ref : n->inputs()) {
+            if (!owned.count(ref.node))
+                err(fmt("node %s has a cross-task input from %s",
+                        n->name().c_str(), ref.node->name().c_str()));
+            if (ref.out >= ref.node->numOutputs())
+                err(fmt("node %s reads missing output %u of %s",
+                        n->name().c_str(), ref.out,
+                        ref.node->name().c_str()));
+        }
+        if (n->guard().valid() && !owned.count(n->guard().node))
+            err(fmt("node %s has a cross-task guard", n->name().c_str()));
+
+        switch (n->kind()) {
+          case NodeKind::Compute:
+            if (n->numInputs() == 0)
+                err(fmt("compute node %s has no inputs",
+                        n->name().c_str()));
+            break;
+          case NodeKind::Fused:
+            if (n->microOps().empty())
+                err(fmt("fused node %s has no micro-ops",
+                        n->name().c_str()));
+            for (const auto &mop : n->microOps())
+                for (int src : mop.srcs)
+                    if (src < 0 &&
+                        unsigned(-src - 1) >= n->numInputs())
+                        err(fmt("fused node %s micro-op reads missing "
+                                "external input", n->name().c_str()));
+            break;
+          case NodeKind::Load:
+            if (n->numInputs() != 1)
+                err(fmt("load %s needs exactly 1 input (addr), has %u",
+                        n->name().c_str(), n->numInputs()));
+            break;
+          case NodeKind::Store:
+            if (n->numInputs() != 2)
+                err(fmt("store %s needs (value, addr) inputs, has %u",
+                        n->name().c_str(), n->numInputs()));
+            break;
+          case NodeKind::LiveIn:
+            ++live_in_seen;
+            if (n->numInputs() != 0)
+                err(fmt("livein %s has inputs", n->name().c_str()));
+            break;
+          case NodeKind::LiveOut:
+            ++live_out_seen;
+            if (n->numInputs() != 1)
+                err(fmt("liveout %s needs exactly 1 input",
+                        n->name().c_str()));
+            break;
+          case NodeKind::LoopControl: {
+            unsigned expect = 3 + 2 * n->numCarried();
+            if (n->numInputs() != expect)
+                err(fmt("loopctrl %s has %u inputs, expected %u",
+                        n->name().c_str(), n->numInputs(), expect));
+            if (task.loopControl() != n.get())
+                err("loop control node not registered on task");
+            break;
+          }
+          case NodeKind::ChildCall: {
+            if (n->callee() == nullptr) {
+                err(fmt("childcall %s has no callee", n->name().c_str()));
+                break;
+            }
+            bool known = false;
+            for (const auto &t : accel.tasks())
+                if (t.get() == n->callee())
+                    known = true;
+            if (!known)
+                err(fmt("childcall %s targets a foreign task",
+                        n->name().c_str()));
+            unsigned expect = n->callee()->liveIns().size();
+            if (n->numInputs() != expect)
+                err(fmt("childcall %s passes %u args, callee %s takes %u",
+                        n->name().c_str(), n->numInputs(),
+                        n->callee()->name().c_str(), expect));
+            break;
+          }
+          case NodeKind::ConstNode:
+          case NodeKind::GlobalAddr:
+            if (n->numInputs() != 0)
+                err(fmt("%s node %s has inputs", nodeKindName(n->kind()),
+                        n->name().c_str()));
+            break;
+          case NodeKind::SyncNode:
+            break;
+        }
+
+        // Memory nodes must resolve to a structure.
+        if (n->kind() == NodeKind::Load || n->kind() == NodeKind::Store) {
+            Structure *s = accel.structureForSpace(n->memSpace());
+            if (s == nullptr)
+                err(fmt("memory node %s space %u unserved",
+                        n->name().c_str(), n->memSpace()));
+        }
+    }
+
+    if (live_in_seen != task.liveIns().size())
+        err("live-in list out of sync with nodes");
+    if (live_out_seen != task.liveOuts().size())
+        err("live-out list out of sync with nodes");
+
+    // Acyclicity of the forward dataflow (topoOrder panics internally;
+    // surface as an error instead for the verifier).
+    std::set<const Node *> seen;
+    // A cheap check: every node reachable in topo order.
+    // topoOrder() muir_asserts on cycles, so only call it when the
+    // graph looks structurally sound so far.
+    if (errors.empty()) {
+        auto order = task.topoOrder();
+        for (const Node *n : order)
+            seen.insert(n);
+        if (seen.size() != task.nodes().size())
+            err("dataflow not a DAG after removing loop back edges");
+    }
+}
+
+} // namespace
+
+std::vector<std::string>
+verify(const Accelerator &accel)
+{
+    std::vector<std::string> errors;
+    if (accel.tasks().empty()) {
+        errors.push_back("accelerator has no tasks");
+        return errors;
+    }
+    // Exactly one structure may claim each space.
+    std::map<unsigned, std::string> space_owner;
+    for (const auto &s : accel.structures()) {
+        for (unsigned space : s->spaces()) {
+            auto [it, inserted] = space_owner.emplace(space, s->name());
+            if (!inserted)
+                errors.push_back(fmt("space %u owned by both %s and %s",
+                                     space, it->second.c_str(),
+                                     s->name().c_str()));
+        }
+    }
+    for (const auto &t : accel.tasks())
+        verifyTask(accel, *t, errors);
+    return errors;
+}
+
+void
+verifyOrDie(const Accelerator &accel)
+{
+    auto errors = verify(accel);
+    if (!errors.empty())
+        muir_panic("μIR verification failed:\n  %s",
+                   join(errors, "\n  ").c_str());
+}
+
+} // namespace muir::uir

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Structural well-formedness checks for μIR graphs. μopt runs these
+ * after every pass: latency-insensitive interfaces guarantee that any
+ * graph passing these checks composes correctly (§1, Composability).
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "uir/accelerator.hh"
+
+namespace muir::uir
+{
+
+/** Verify; returns human-readable violations (empty = well-formed). */
+std::vector<std::string> verify(const Accelerator &accel);
+
+/** Verify and panic on violation. */
+void verifyOrDie(const Accelerator &accel);
+
+} // namespace muir::uir

@@ -1,0 +1,32 @@
+#include "uopt/passes.hh"
+
+namespace muir::uopt
+{
+
+void
+BankingPass::run(uir::Accelerator &accel)
+{
+    changes_ = StatSet();
+    for (const auto &s : accel.structures()) {
+        bool eligible =
+            (s->kind() == uir::StructureKind::Scratchpad &&
+             scratchpads_) ||
+            (s->kind() == uir::StructureKind::Cache && caches_);
+        if (!eligible || s->banks() == banks_)
+            continue;
+        unsigned before = s->banks();
+        s->setBanks(banks_);
+        // Each added bank is a RAM macro plus its routing into the
+        // junction tree (request + response edges).
+        if (banks_ > before) {
+            notedNodes(banks_ - before);
+            notedEdges(2 * (banks_ - before));
+        } else {
+            notedNodes(before - banks_);
+            notedEdges(2 * (before - banks_));
+        }
+        changes_.inc("structures.rebanked");
+    }
+}
+
+} // namespace muir::uopt

@@ -1,0 +1,42 @@
+#include "uopt/passes.hh"
+
+namespace muir::uopt
+{
+
+void
+ExecutionTilingPass::run(uir::Accelerator &accel)
+{
+    changes_ = StatSet();
+    for (const auto &task : accel.tasks()) {
+        bool eligible = task->kind() == uir::TaskKind::Spawn ||
+                        (!spawnOnly_ &&
+                         task->kind() == uir::TaskKind::Loop);
+        if (!eligible || task->numTiles() >= tiles_)
+            continue;
+        // Replicating a task block replicates the whole block —
+        // including the nested-loop tasks enclosed in it (§3.5: each
+        // nested loop is encapsulated within the block it serves).
+        std::vector<uir::Task *> subtree{task.get()};
+        for (size_t i = 0; i < subtree.size(); ++i)
+            for (uir::Task *child : subtree[i]->childTasks())
+                subtree.push_back(child);
+        for (uir::Task *t : subtree) {
+            if (t->numTiles() >= tiles_)
+                continue;
+            t->setNumTiles(tiles_);
+            // Keep the feeding queue at least as deep as the tile
+            // count so the dispatcher can keep every tile busy.
+            if (t->queueDepth() < tiles_)
+                t->setQueueDepth(tiles_);
+        }
+        // Replicating the block: one node (the task block) changes,
+        // plus the dispatch crossbar edges (task in, result out,
+        // memory request/response), as in Table 4's "Execution Tile
+        // 1 to 2" column.
+        notedNodes(1);
+        notedEdges(4);
+        changes_.inc("tasks.tiled");
+    }
+}
+
+} // namespace muir::uopt

@@ -1,0 +1,94 @@
+#include <map>
+#include <vector>
+
+#include "ir/analysis/memory_objects.hh"
+#include "support/logging.hh"
+#include "support/strings.hh"
+#include "uopt/passes.hh"
+
+namespace muir::uopt
+{
+
+void
+MemoryLocalizationPass::run(uir::Accelerator &accel)
+{
+    changes_ = StatSet();
+
+    // --- Analysis (Algorithm 2, getMemoryAccess): group memory ops by
+    // the memory space the points-to analysis assigned them.
+    std::map<unsigned, std::vector<uir::Node *>> groups;
+    for (const auto &task : accel.tasks())
+        for (uir::Node *op : task->memOps())
+            groups[op->memSpace()].push_back(op);
+
+    const ir::Module *module = accel.source();
+    muir_assert(module != nullptr, "localization needs source module");
+
+    // --- Transformation (Algorithm 2, scratchpadBanking first half):
+    // create one scratchpad per localizable space and re-route its
+    // memory ops (op.connect(Mem)) by claiming the space.
+    // Snapshot initial ownership: the shared-scratchpad split must be
+    // decided before this loop starts mutating space assignments.
+    std::map<unsigned, uir::Structure *> initial_owner;
+    std::map<const uir::Structure *, size_t> initial_width;
+    for (auto &[space, ops] : groups) {
+        if (space == ir::kGlobalSpace)
+            continue;
+        uir::Structure *owner = accel.structureForSpace(space);
+        initial_owner[space] = owner;
+        initial_width[owner] = owner->spaces().size();
+    }
+
+    std::vector<uir::Structure *> drained;
+    for (auto &[space, ops] : groups) {
+        if (space == ir::kGlobalSpace)
+            continue; // Unresolved pointers stay behind the cache.
+        uir::Structure *current = initial_owner.at(space);
+        // A space already alone in its own scratchpad is localized; a
+        // space sharing a scratchpad with others (the Cilk baseline's
+        // spad_shared) is split out, relieving port contention.
+        if (current->kind() == uir::StructureKind::Scratchpad &&
+            initial_width.at(current) <= 1)
+            continue;
+
+        // Find the backing array to size the scratchpad.
+        const ir::GlobalArray *array = nullptr;
+        for (const auto &g : module->globals())
+            if (g->spaceId() == space)
+                array = g.get();
+        muir_assert(array != nullptr, "space %u has no backing global",
+                    space);
+        unsigned kb = static_cast<unsigned>(
+            (array->sizeBytes() + 1023) / 1024);
+        if (kb > maxKb_) {
+            changes_.inc("spaces.kept_in_cache");
+            continue;
+        }
+
+        uir::Structure *spad = accel.addStructure(
+            uir::StructureKind::Scratchpad, "spad_" + array->name());
+        spad->setSizeKb(std::max(1u, kb));
+        spad->setLatency(1);
+        spad->setPortsPerBank(1);
+        spad->addSpace(space);
+        if (current->kind() == uir::StructureKind::Scratchpad) {
+            current->removeSpace(space);
+            if (current->spaces().empty())
+                drained.push_back(current);
+        }
+
+        // Structure node added; every memory op in the group re-routes
+        // over the new junction connection.
+        notedNodes(1);
+        notedEdges(ops.size());
+        changes_.inc("scratchpads.created");
+        changes_.inc("memops.rerouted", ops.size());
+    }
+    for (uir::Structure *s : drained) {
+        accel.removeStructure(s);
+        notedNodes(1);
+        changes_.inc("scratchpads.removed");
+    }
+}
+
+} // namespace muir::uopt

@@ -1,0 +1,246 @@
+#include <algorithm>
+#include <set>
+
+#include "support/logging.hh"
+#include "uir/delay_model.hh"
+#include "uopt/passes.hh"
+
+namespace muir::uopt
+{
+
+namespace
+{
+
+/** Ops worth fusing: cheap, fully pipelined compute. */
+bool
+fusibleOp(ir::Op op)
+{
+    if (!ir::isComputeOp(op))
+        return false;
+    switch (op) {
+      // Iterative / long-latency units keep their own stations.
+      case ir::Op::SDiv: case ir::Op::SRem: case ir::Op::FDiv:
+      case ir::Op::FExp: case ir::Op::FSqrt:
+        return false;
+      default:
+        return true;
+    }
+}
+
+/** Unique users of a node (users() has one entry per edge). */
+std::vector<uir::Node *>
+uniqueUsers(const uir::Node &node)
+{
+    std::vector<uir::Node *> out;
+    for (uir::Node *u : node.users())
+        if (std::find(out.begin(), out.end(), u) == out.end())
+            out.push_back(u);
+    return out;
+}
+
+} // namespace
+
+void
+OpFusionPass::run(uir::Accelerator &accel)
+{
+    changes_ = StatSet();
+    for (const auto &task : accel.tasks()) {
+        // --- Loop-control re-timing: fuse Buffer→φ→i++→cmp→br into a
+        // two-stage recurrence (§4 Pass 5).
+        if (uir::Node *lc = task->loopControl()) {
+            if (lc->ctrlStages() > ctrlStages_) {
+                lc->setCtrlStages(ctrlStages_);
+                notedNodes(1);
+                changes_.inc("loops.retimed");
+            }
+        }
+
+        // --- Pipeline balancing: duplicate cheap multi-consumer ops
+        // so each consumer owns a private copy that can fuse into its
+        // chain (recomputing a sub-cycle op is cheaper than routing
+        // it). This is the "auto balance" half of §6.1.
+        {
+            std::vector<uir::Node *> snapshot;
+            for (const auto &n : task->nodes())
+                snapshot.push_back(n.get());
+            for (uir::Node *n : snapshot) {
+                if (n->kind() != uir::NodeKind::Compute ||
+                    !fusibleOp(n->op()) ||
+                    uir::opDelayUnits(n->op()) > 0.5)
+                    continue;
+                auto users = uniqueUsers(*n);
+                if (users.size() < 2 || users.size() > 4)
+                    continue;
+                // Keep the original for the first user; clone for the
+                // rest.
+                for (size_t u = 1; u < users.size(); ++u) {
+                    uir::Node *copy = task->addCompute(
+                        n->op(), n->irType(),
+                        n->name() + "_dup" + std::to_string(u));
+                    for (const auto &ref : n->inputs())
+                        copy->addInput(ref.node, ref.out);
+                    uir::Node *user = users[u];
+                    for (unsigned i = 0; i < user->numInputs(); ++i)
+                        if (user->input(i).node == n)
+                            user->rewireInput(i, copy, 0);
+                    if (user->guard().valid() &&
+                        user->guard().node == n)
+                        user->setGuard(copy, 0);
+                    notedNodes(1);
+                    notedEdges(1 + n->numInputs());
+                    changes_.inc("ops.duplicated");
+                }
+            }
+        }
+
+        // --- Greedy chain fusion over the dataflow (Figure 10).
+        std::set<const uir::Node *> consumed;
+        // Snapshot: fusion mutates the node list.
+        std::vector<uir::Node *> order = task->topoOrder();
+        for (uir::Node *head : order) {
+            if (consumed.count(head))
+                continue;
+            if (head->kind() != uir::NodeKind::Compute ||
+                !fusibleOp(head->op()))
+                continue;
+            double delay = uir::opDelayUnits(head->op());
+            if (delay > budget_)
+                continue;
+
+            std::vector<uir::Node *> chain{head};
+            uir::Node *cur = head;
+            while (true) {
+                auto users = uniqueUsers(*cur);
+                if (users.size() != 1)
+                    break;
+                uir::Node *next = users[0];
+                if (next->parent() != task.get() ||
+                    next->kind() != uir::NodeKind::Compute ||
+                    !fusibleOp(next->op()) || consumed.count(next))
+                    break;
+                // Never fuse across a guard edge: the predicate must
+                // stay observable by the guarded node.
+                if (next->guard().valid() && next->guard().node == cur)
+                    break;
+                double d = uir::opDelayUnits(next->op());
+                if (delay + d > budget_)
+                    break;
+                delay += d;
+                chain.push_back(next);
+                cur = next;
+            }
+            if (chain.size() < 2)
+                continue;
+
+            // Build the fused node.
+            uir::Node *fused = task->addNode(uir::NodeKind::Fused,
+                                             "fuse_" + head->name());
+            fused->setIrType(chain.back()->irType());
+            std::vector<uir::Node::PortRef> ext;
+            auto extIndex = [&](const uir::Node::PortRef &ref) {
+                for (size_t k = 0; k < ext.size(); ++k)
+                    if (ext[k].node == ref.node && ext[k].out == ref.out)
+                        return int(k);
+                ext.push_back(ref);
+                return int(ext.size() - 1);
+            };
+            auto chainIndex = [&](const uir::Node *n) {
+                for (size_t k = 0; k < chain.size(); ++k)
+                    if (chain[k] == n)
+                        return int(k);
+                return -1;
+            };
+            unsigned internal_edges = 0;
+            for (uir::Node *member : chain) {
+                muir_assert(!member->guard().valid(),
+                            "fusing a guarded compute node");
+                uir::Node::MicroOp mop;
+                mop.op = member->op();
+                mop.type = member->irType();
+                for (const auto &ref : member->inputs()) {
+                    int ci = chainIndex(ref.node);
+                    if (ci >= 0) {
+                        mop.srcs.push_back(ci);
+                        ++internal_edges;
+                    } else {
+                        mop.srcs.push_back(-(extIndex(ref) + 1));
+                    }
+                }
+                fused->microOps().push_back(std::move(mop));
+            }
+            for (const auto &ref : ext)
+                fused->addInput(ref.node, ref.out);
+
+            // Rewire consumers of the chain sink to the fused node.
+            uir::Node *sink = chain.back();
+            unsigned rewired = 0;
+            std::vector<uir::Node *> sink_users = uniqueUsers(*sink);
+            for (uir::Node *user : sink_users) {
+                for (unsigned i = 0; i < user->numInputs(); ++i) {
+                    if (user->input(i).node == sink) {
+                        user->rewireInput(i, fused, 0);
+                        ++rewired;
+                    }
+                }
+                if (user->guard().valid() && user->guard().node == sink) {
+                    user->setGuard(fused, 0);
+                    ++rewired;
+                }
+            }
+            // Remove the dead chain, sink first.
+            for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+                consumed.insert(*it);
+                task->removeNode(*it);
+            }
+            consumed.insert(fused);
+
+            notedNodes(chain.size() + 1);
+            notedEdges(internal_edges + rewired + ext.size());
+            changes_.inc("chains.fused");
+            changes_.inc("ops.fused", chain.size());
+        }
+    }
+}
+
+void
+TensorWideningPass::run(uir::Accelerator &accel)
+{
+    changes_ = StatSet();
+    // Widen every structure serving a space accessed with tensor-wide
+    // memory operations, so a tile moves in one beat (§6.3: "operand
+    // networks are all widened to implicitly transfer all the elements
+    // of the Tensor2D at one time").
+    std::map<uir::Structure *, unsigned> widest;
+    std::map<uir::Task *, unsigned> tensor_tasks;
+    for (const auto &task : accel.tasks()) {
+        for (uir::Node *op : task->memOps()) {
+            unsigned words = op->accessWords();
+            if (words <= 1)
+                continue;
+            uir::Structure *s = accel.structureForSpace(op->memSpace());
+            widest[s] = std::max(widest[s], words);
+            tensor_tasks[task.get()] =
+                std::max(tensor_tasks[task.get()], words);
+        }
+    }
+    for (auto &[s, words] : widest) {
+        if (s->wideWords() >= words)
+            continue;
+        s->setWideWords(words);
+        notedNodes(1); // The databox/RAM macro is re-shaped.
+        notedEdges(2); // Request/response paths widen.
+        changes_.inc("structures.widened");
+    }
+    // Tensor task junctions grow extra ports so wide loads of several
+    // operand tiles can issue in the same cycle.
+    for (auto &[task, words] : tensor_tasks) {
+        (void)words;
+        if (task->junctionReadPorts() >= 4)
+            continue;
+        task->setJunctionPorts(4, 2);
+        notedEdges(3);
+        changes_.inc("junctions.widened");
+    }
+}
+
+} // namespace muir::uopt

@@ -1,0 +1,46 @@
+#include "uopt/pass.hh"
+
+#include "support/logging.hh"
+#include "support/strings.hh"
+#include "uir/verifier.hh"
+
+namespace muir::uopt
+{
+
+Pass *
+PassManager::add(std::unique_ptr<Pass> pass)
+{
+    passes_.push_back(std::move(pass));
+    return passes_.back().get();
+}
+
+void
+PassManager::run(uir::Accelerator &accel)
+{
+    for (const auto &pass : passes_) {
+        pass->run(accel);
+        auto errors = uir::verify(accel);
+        if (!errors.empty()) {
+            muir_panic("graph invalid after pass %s:\n  %s",
+                       pass->name().c_str(),
+                       join(errors, "\n  ").c_str());
+        }
+        muir_inform("µopt: %s (%llu nodes, %llu edges changed)",
+                    pass->name().c_str(),
+                    static_cast<unsigned long long>(
+                        pass->changes().get("nodes.changed")),
+                    static_cast<unsigned long long>(
+                        pass->changes().get("edges.changed")));
+    }
+}
+
+StatSet
+PassManager::totalChanges() const
+{
+    StatSet total;
+    for (const auto &pass : passes_)
+        total.merge(pass->changes());
+    return total;
+}
+
+} // namespace muir::uopt

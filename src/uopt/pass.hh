@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The μopt pass framework (§4): microarchitecture optimizations are
+ * iterative transformations of the μIR graph. Passes record how many
+ * graph nodes/edges they touched — the conciseness metric Table 4
+ * compares against FIRRTL-level rewrites.
+ */
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/stats.hh"
+#include "uir/accelerator.hh"
+
+namespace muir::uopt
+{
+
+/** Base class of all μopt passes. */
+class Pass
+{
+  public:
+    virtual ~Pass() = default;
+
+    /** Short pass name, e.g. "op-fusion". */
+    virtual std::string name() const = 0;
+
+    /** Transform the accelerator graph in place. */
+    virtual void run(uir::Accelerator &accel) = 0;
+
+    /**
+     * Change counters recorded by the last run: at least
+     * "nodes.changed" and "edges.changed" (Table 4's ΔNode/ΔEdge),
+     * plus pass-specific counters.
+     */
+    const StatSet &changes() const { return changes_; }
+
+  protected:
+    /** Record graph-surgery activity. */
+    void notedNodes(uint64_t n) { changes_.inc("nodes.changed", n); }
+    void notedEdges(uint64_t n) { changes_.inc("edges.changed", n); }
+
+    StatSet changes_;
+};
+
+/**
+ * Runs a pass pipeline, verifying the graph after every pass — the
+ * latency-insensitive composition guarantee (§1) means a verified
+ * graph stays functionally correct under any pass order.
+ */
+class PassManager
+{
+  public:
+    /** Append a pass; returns it for configuration chaining. */
+    Pass *add(std::unique_ptr<Pass> pass);
+
+    /** Run all passes in order. Panics if verification fails. */
+    void run(uir::Accelerator &accel);
+
+    const std::vector<std::unique_ptr<Pass>> &passes() const
+    {
+        return passes_;
+    }
+
+    /** Aggregate change stats across all passes. */
+    StatSet totalChanges() const;
+
+  private:
+    std::vector<std::unique_ptr<Pass>> passes_;
+};
+
+} // namespace muir::uopt

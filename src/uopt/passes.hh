@@ -1,0 +1,136 @@
+/**
+ * @file
+ * The paper's μopt optimization passes (§4, Figure 8):
+ *
+ *   Pass 1  TaskQueuingPass        — decouple <||> interfaces with
+ *                                    deeper task queues (§4 Pass 1)
+ *   Pass 2  ExecutionTilingPass    — replicate task execution units
+ *                                    (§4 Pass 2, §6.2)
+ *   Pass 3  MemoryLocalizationPass — per-space local scratchpads
+ *                                    (§4 Pass 3, Algorithm 2, §6.4)
+ *   Pass 4  BankingPass            — scratchpad / cache banking
+ *                                    (§4 Pass 4, §6.4)
+ *   Pass 5  OpFusionPass           — auto-pipelining + op fusion,
+ *                                    incl. loop-control re-timing
+ *                                    (§4 Pass 5, §6.1, Figure 10)
+ *   —       TensorWideningPass     — widen memory/databox paths to
+ *                                    move whole Tensor2D operands per
+ *                                    beat (§6.3)
+ */
+#pragma once
+
+#include "uopt/pass.hh"
+
+namespace muir::uopt
+{
+
+/**
+ * Pass 1: decouple parent/child task interfaces with FIFO queues.
+ * With depth = 0 ("auto") each task's queue is sized from analysis:
+ * enough entries to cover its own pipeline depth at the parent's
+ * dispatch rate — the §4 rationale that higher-latency blocks need
+ * more decoupling.
+ */
+class TaskQueuingPass : public Pass
+{
+  public:
+    explicit TaskQueuingPass(unsigned depth = 8) : depth_(depth) {}
+    std::string name() const override { return "task-queuing"; }
+    void run(uir::Accelerator &accel) override;
+
+  private:
+    unsigned depth_;
+};
+
+/** Pass 2: replicate execution tiles of spawned (Cilk) task blocks. */
+class ExecutionTilingPass : public Pass
+{
+  public:
+    explicit ExecutionTilingPass(unsigned tiles = 4,
+                                 bool spawn_only = true)
+        : tiles_(tiles), spawnOnly_(spawn_only)
+    {
+    }
+    std::string name() const override { return "execution-tiling"; }
+    void run(uir::Accelerator &accel) override;
+
+  private:
+    unsigned tiles_;
+    bool spawnOnly_;
+};
+
+/**
+ * Pass 3 (Algorithm 2, analysis + transformation): group memory ops
+ * by their memory space and give each streamed space a local
+ * scratchpad instead of the shared L1.
+ */
+class MemoryLocalizationPass : public Pass
+{
+  public:
+    /** Spaces whose backing array exceeds max_kb stay in the cache. */
+    explicit MemoryLocalizationPass(unsigned max_kb = 16)
+        : maxKb_(max_kb)
+    {
+    }
+    std::string name() const override { return "memory-localization"; }
+    void run(uir::Accelerator &accel) override;
+
+  private:
+    unsigned maxKb_;
+};
+
+/** Pass 4: set the bank count of scratchpads and/or the L1 cache. */
+class BankingPass : public Pass
+{
+  public:
+    BankingPass(unsigned banks, bool bank_scratchpads = true,
+                bool bank_caches = true)
+        : banks_(banks), scratchpads_(bank_scratchpads),
+          caches_(bank_caches)
+    {
+    }
+    std::string name() const override { return "banking"; }
+    void run(uir::Accelerator &accel) override;
+
+  private:
+    unsigned banks_;
+    bool scratchpads_;
+    bool caches_;
+};
+
+/**
+ * Pass 5: greedy auto-pipelining / op fusion (Figure 10). Fuses
+ * single-consumer chains of compute nodes whose combined combinational
+ * delay stays within the clock-period budget (so the fused design
+ * never loses frequency), and re-times loop-control recurrences from
+ * the baseline 5 stages (Buffer→φ→i++→cmp→br) down to fused 2.
+ */
+class OpFusionPass : public Pass
+{
+  public:
+    explicit OpFusionPass(double delay_budget = 1.0,
+                          unsigned fused_ctrl_stages = 2)
+        : budget_(delay_budget), ctrlStages_(fused_ctrl_stages)
+    {
+    }
+    std::string name() const override { return "op-fusion"; }
+    void run(uir::Accelerator &accel) override;
+
+  private:
+    double budget_;
+    unsigned ctrlStages_;
+};
+
+/**
+ * Tensor higher-order ops enablement (§6.3): widens the databox and
+ * memory structures serving Tensor2D spaces so a whole tile moves per
+ * beat, and widens the junctions of tensor tasks.
+ */
+class TensorWideningPass : public Pass
+{
+  public:
+    std::string name() const override { return "tensor-widening"; }
+    void run(uir::Accelerator &accel) override;
+};
+
+} // namespace muir::uopt

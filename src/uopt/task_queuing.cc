@@ -1,0 +1,38 @@
+#include <algorithm>
+
+#include "uir/analysis.hh"
+#include "uopt/passes.hh"
+
+namespace muir::uopt
+{
+
+void
+TaskQueuingPass::run(uir::Accelerator &accel)
+{
+    changes_ = StatSet();
+    for (const auto &task : accel.tasks()) {
+        if (task->parentTask() == nullptr)
+            continue; // The root has no <||> interface.
+        unsigned depth = depth_;
+        if (depth == 0) {
+            // Auto mode: cover the task's own latency at the parent's
+            // best-case dispatch rate, so the parent never stalls on a
+            // full queue while the child is merely deep, not slow.
+            unsigned latency = uir::pipelineDepthCycles(*task);
+            unsigned rate = std::max(
+                1u, uir::recurrenceIiCycles(*task->parentTask()));
+            depth = std::clamp(latency / rate, 2u, 32u);
+            changes_.inc("queues.auto_sized");
+        }
+        if (task->decoupled() && task->queueDepth() >= depth)
+            continue;
+        task->setDecoupled(true);
+        task->setQueueDepth(depth);
+        // One FIFO inserted on the inter-task connection.
+        notedNodes(1);
+        notedEdges(2); // Severed edge re-attached through the queue.
+        changes_.inc("queues.inserted");
+    }
+}
+
+} // namespace muir::uopt

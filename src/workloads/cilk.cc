@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Cilk workloads (Table 2, middle group): FIB, M-SORT, SAXPY, STENCIL,
+ * IMG-SCALE. All use Tapir spawn parallelism (parallel ForLoops); FIB
+ * and M-SORT follow the paper's recursion-to-iteration conversion
+ * (§3.5: "We use LLVM to convert recursion to an iterative pattern").
+ */
+#include <algorithm>
+
+#include "ir/builder.hh"
+#include "ir/verifier.hh"
+#include "workloads/workload.hh"
+
+namespace muir::workloads
+{
+
+using namespace ir;
+
+Workload
+buildSaxpy()
+{
+    constexpr int kN = 256;
+    constexpr float kA = 2.5f;
+    Workload w;
+    w.name = "saxpy";
+    w.suite = Suite::Cilk;
+    w.usesFp = true;
+    w.usesSpawn = true;
+    w.kernel = "saxpy";
+    w.module = std::make_unique<Module>("saxpy");
+    Module &m = *w.module;
+    auto *gx = m.addGlobal("x", Type::f32(), kN);
+    auto *gy = m.addGlobal("y", Type::f32(), kN);
+    Function *fn = m.addFunction("saxpy", Type::voidTy());
+    IRBuilder b(m);
+    b.setInsertPoint(fn->addBlock("entry"));
+    ForLoop loop(b, "i", b.i32(0), b.i32(kN), b.i32(1),
+                 /*parallel=*/true);
+    Value *xi = b.load(b.gep(gx, loop.iv()), "xi");
+    Value *yi = b.load(b.gep(gy, loop.iv()), "yi");
+    b.store(b.fadd(b.fmul(b.f32(kA), xi), yi, "r"),
+            b.gep(gy, loop.iv()));
+    loop.finish();
+    b.ret();
+    verifyOrDie(m);
+
+    uint64_t seed = 0x5a;
+    std::vector<float> xs(kN), ys(kN);
+    for (int i = 0; i < kN; ++i) {
+        xs[i] = prandFloat(seed, -2.0f, 2.0f);
+        ys[i] = prandFloat(seed, -2.0f, 2.0f);
+    }
+    w.floatInputs["x"] = xs;
+    w.floatInputs["y"] = ys;
+    std::vector<float> want(kN);
+    for (int i = 0; i < kN; ++i)
+        want[i] = kA * xs[i] + ys[i];
+    w.floatExpected["y"] = want;
+    return w;
+}
+
+Workload
+buildStencil()
+{
+    // 5-point stencil over the interior; rows processed in parallel
+    // (each spawned row task contains a serial column loop).
+    constexpr int kH = 24, kW = 24;
+    constexpr float kC0 = 0.6f, kC1 = 0.1f;
+    Workload w;
+    w.name = "stencil";
+    w.suite = Suite::Cilk;
+    w.usesFp = true;
+    w.usesSpawn = true;
+    w.kernel = "stencil";
+    w.module = std::make_unique<Module>("stencil");
+    Module &m = *w.module;
+    auto *gin = m.addGlobal("in", Type::f32(), kH * kW);
+    auto *gout = m.addGlobal("out", Type::f32(), kH * kW);
+    Function *fn = m.addFunction("stencil", Type::voidTy());
+    IRBuilder b(m);
+    b.setInsertPoint(fn->addBlock("entry"));
+    ForLoop li(b, "row", b.i32(1), b.i32(kH - 1), b.i32(1),
+               /*parallel=*/true);
+    ForLoop lj(b, "col", b.i32(1), b.i32(kW - 1), b.i32(1));
+    Value *idx = b.add(b.mul(li.iv(), b.i32(kW)), lj.iv(), "idx");
+    Value *c = b.load(b.gep(gin, idx), "c");
+    Value *n = b.load(b.gep(gin, b.sub(idx, b.i32(kW))), "n");
+    Value *s = b.load(b.gep(gin, b.add(idx, b.i32(kW))), "s");
+    Value *e = b.load(b.gep(gin, b.add(idx, b.i32(1))), "e");
+    Value *wv = b.load(b.gep(gin, b.sub(idx, b.i32(1))), "w");
+    Value *ring = b.fadd(b.fadd(n, s), b.fadd(e, wv), "ring");
+    Value *r = b.fadd(b.fmul(b.f32(kC0), c),
+                      b.fmul(b.f32(kC1), ring), "r");
+    b.store(r, b.gep(gout, idx));
+    lj.finish();
+    li.finish();
+    b.ret();
+    verifyOrDie(m);
+
+    uint64_t seed = 0x57e;
+    std::vector<float> in(kH * kW);
+    for (auto &x : in)
+        x = prandFloat(seed, 0.0f, 1.0f);
+    w.floatInputs["in"] = in;
+    std::vector<float> out(kH * kW, 0.0f);
+    for (int i = 1; i < kH - 1; ++i) {
+        for (int j = 1; j < kW - 1; ++j) {
+            int idx2 = i * kW + j;
+            float ring = (in[idx2 - kW] + in[idx2 + kW]) +
+                         (in[idx2 + 1] + in[idx2 - 1]);
+            out[idx2] = kC0 * in[idx2] + kC1 * ring;
+        }
+    }
+    w.floatExpected["out"] = out;
+    return w;
+}
+
+Workload
+buildImgScale()
+{
+    // 2x nearest-neighbour downscale with brightness adjustment
+    // (integer pixels), parallel over output rows.
+    constexpr int kIn = 32, kOut = 16;
+    constexpr int kBright = 180; // Q8 fixed point (~0.7).
+    Workload w;
+    w.name = "img_scale";
+    w.suite = Suite::Cilk;
+    w.usesSpawn = true;
+    w.kernel = "img_scale";
+    w.module = std::make_unique<Module>("img_scale");
+    Module &m = *w.module;
+    auto *gin = m.addGlobal("in", Type::i32(), kIn * kIn);
+    auto *gout = m.addGlobal("out", Type::i32(), kOut * kOut);
+    Function *fn = m.addFunction("img_scale", Type::voidTy());
+    IRBuilder b(m);
+    b.setInsertPoint(fn->addBlock("entry"));
+    ForLoop ly(b, "y", b.i32(0), b.i32(kOut), b.i32(1),
+               /*parallel=*/true);
+    ForLoop lx(b, "x", b.i32(0), b.i32(kOut), b.i32(1));
+    Value *src_idx = b.add(b.mul(b.mul(ly.iv(), b.i32(2)), b.i32(kIn)),
+                           b.mul(lx.iv(), b.i32(2)), "sidx");
+    Value *pix = b.load(b.gep(gin, src_idx), "pix");
+    Value *scaled = b.ashr(b.mul(pix, b.i32(kBright)), b.i32(8),
+                           "scaled");
+    b.store(scaled,
+            b.gep(gout, b.add(b.mul(ly.iv(), b.i32(kOut)), lx.iv())));
+    lx.finish();
+    ly.finish();
+    b.ret();
+    verifyOrDie(m);
+
+    uint64_t seed = 0x1396;
+    std::vector<int32_t> in(kIn * kIn);
+    for (auto &x : in)
+        x = prandInt(seed, 0, 256);
+    w.intInputs["in"] = in;
+    std::vector<int32_t> out(kOut * kOut);
+    for (int y = 0; y < kOut; ++y)
+        for (int x = 0; x < kOut; ++x)
+            out[y * kOut + x] =
+                (in[(2 * y) * kIn + 2 * x] * kBright) >> 8;
+    w.intExpected["out"] = out;
+    return w;
+}
+
+Workload
+buildFib()
+{
+    // fib(k[i]) for a batch of queries; each query is a spawned task
+    // running the iterative (recursion-converted) fib loop.
+    constexpr int kTasks = 16;
+    Workload w;
+    w.name = "fib";
+    w.suite = Suite::Cilk;
+    w.usesSpawn = true;
+    w.kernel = "fib";
+    w.module = std::make_unique<Module>("fib");
+    Module &m = *w.module;
+    auto *gk = m.addGlobal("k", Type::i32(), kTasks);
+    auto *gout = m.addGlobal("out", Type::i32(), kTasks);
+    Function *fn = m.addFunction("fib", Type::voidTy());
+    IRBuilder b(m);
+    b.setInsertPoint(fn->addBlock("entry"));
+    ForLoop li(b, "q", b.i32(0), b.i32(kTasks), b.i32(1),
+               /*parallel=*/true);
+    Value *kv = b.load(b.gep(gk, li.iv()), "kv");
+    ForLoop lt(b, "t", b.i32(0), kv, b.i32(1));
+    Instruction *fa = lt.addCarried(b.i32(0), "fa");
+    Instruction *fb = lt.addCarried(b.i32(1), "fb");
+    lt.setCarriedNext(fa, fb);
+    lt.setCarriedNext(fb, b.add(fa, fb, "fn"));
+    lt.finish();
+    b.store(fa, b.gep(gout, li.iv()));
+    li.finish();
+    b.ret();
+    verifyOrDie(m);
+
+    uint64_t seed = 0xf1b;
+    std::vector<int32_t> ks(kTasks);
+    for (auto &x : ks)
+        x = prandInt(seed, 10, 16); // fib(10..15).
+    w.intInputs["k"] = ks;
+    std::vector<int32_t> out(kTasks);
+    for (int i = 0; i < kTasks; ++i) {
+        int64_t a = 0, bb = 1;
+        for (int t = 0; t < ks[i]; ++t) {
+            int64_t next = a + bb;
+            a = bb;
+            bb = next;
+        }
+        out[i] = static_cast<int32_t>(a);
+    }
+    w.intExpected["out"] = out;
+    return w;
+}
+
+Workload
+buildMsort()
+{
+    // Bottom-up iterative merge sort (recursion converted): serial
+    // loop over pass widths, parallel merge of block pairs into tmp,
+    // parallel copy-back. The merge loop is branch-free (selects with
+    // clamped indices), matching dataflow predication.
+    constexpr int kN = 64;
+    constexpr int kLogN = 6;
+    Workload w;
+    w.name = "msort";
+    w.suite = Suite::Cilk;
+    w.usesSpawn = true;
+    w.kernel = "msort";
+    w.module = std::make_unique<Module>("msort");
+    Module &m = *w.module;
+    auto *ga = m.addGlobal("a", Type::i32(), kN);
+    auto *gtmp = m.addGlobal("tmp", Type::i32(), kN);
+    Function *fn = m.addFunction("msort", Type::voidTy());
+    IRBuilder b(m);
+    b.setInsertPoint(fn->addBlock("entry"));
+
+    ForLoop ls(b, "pass", b.i32(0), b.i32(kLogN), b.i32(1));
+    Value *width = b.shl(b.i32(1), ls.iv(), "width");
+    Value *span = b.shl(width, b.i32(1), "span");
+    Value *nblocks = b.lshr(b.i32(kN), b.add(ls.iv(), b.i32(1)),
+                            "nblocks");
+    {
+        ForLoop lb(b, "blk", b.i32(0), nblocks, b.i32(1),
+                   /*parallel=*/true);
+        Value *lo = b.mul(lb.iv(), span, "lo");
+        Value *mid = b.add(lo, width, "mid");
+        Value *hi = b.add(lo, span, "hi");
+        ForLoop lk(b, "k", b.i32(0), span, b.i32(1));
+        Instruction *pi = lk.addCarried(lo, "pi");
+        Instruction *pj = lk.addCarried(mid, "pj");
+        // Clamp indices so speculative loads stay in bounds.
+        Value *ci = b.select(b.icmp(Op::ICmpSlt, pi, mid), pi,
+                             b.sub(mid, b.i32(1)), "ci");
+        Value *cj = b.select(b.icmp(Op::ICmpSlt, pj, hi), pj,
+                             b.sub(hi, b.i32(1)), "cj");
+        Value *ai = b.load(b.gep(ga, ci), "ai");
+        Value *aj = b.load(b.gep(ga, cj), "aj");
+        Value *i_ok = b.icmp(Op::ICmpSlt, pi, mid, "i_ok");
+        Value *j_done = b.icmp(Op::ICmpSge, pj, hi, "j_done");
+        Value *le = b.icmp(Op::ICmpSle, ai, aj, "le");
+        Value *take_i =
+            b.andOp(i_ok, b.orOp(j_done, le, "jd_le"), "take_i");
+        Value *v = b.select(take_i, ai, aj, "v");
+        b.store(v, b.gep(gtmp, b.add(lo, lk.iv())));
+        lk.setCarriedNext(pi, b.select(take_i, b.add(pi, b.i32(1)), pi,
+                                       "pi.n"));
+        lk.setCarriedNext(pj, b.select(take_i, pj, b.add(pj, b.i32(1)),
+                                       "pj.n"));
+        lk.finish();
+        lb.finish();
+    }
+    {
+        ForLoop lc(b, "copy", b.i32(0), b.i32(kN), b.i32(1),
+                   /*parallel=*/true);
+        b.store(b.load(b.gep(gtmp, lc.iv()), "t"), b.gep(ga, lc.iv()));
+        lc.finish();
+    }
+    ls.finish();
+    b.ret();
+    verifyOrDie(m);
+
+    uint64_t seed = 0x3507;
+    std::vector<int32_t> a(kN);
+    for (auto &x : a)
+        x = prandInt(seed, -1000, 1000);
+    w.intInputs["a"] = a;
+    std::vector<int32_t> sorted = a;
+    std::sort(sorted.begin(), sorted.end());
+    w.intExpected["a"] = sorted;
+    return w;
+}
+
+} // namespace muir::workloads

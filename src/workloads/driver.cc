@@ -1,0 +1,38 @@
+#include "workloads/driver.hh"
+
+namespace muir::workloads
+{
+
+frontend::LowerOptions
+baselineOptions(const Workload &w)
+{
+    frontend::LowerOptions opts;
+    opts.name = w.name;
+    // Cilk programs declare their working arrays as local buffers, so
+    // the paper's baseline places them in a shared scratchpad; the
+    // other suites address global arrays through the L1 (§6.4).
+    opts.sharedScratchpad = (w.suite == Suite::Cilk);
+    return opts;
+}
+
+std::unique_ptr<uir::Accelerator>
+lowerBaseline(const Workload &w)
+{
+    return frontend::lowerToUir(*w.module, w.kernel, baselineOptions(w));
+}
+
+RunResult
+runOn(const Workload &w, const uir::Accelerator &accel)
+{
+    ir::MemoryImage mem(*w.module);
+    w.bind(mem);
+    sim::SimResult sim = sim::simulate(accel, mem);
+    RunResult result;
+    result.cycles = sim.cycles;
+    result.firings = sim.firings;
+    result.check = w.check(mem);
+    result.stats = std::move(sim.stats);
+    return result;
+}
+
+} // namespace muir::workloads

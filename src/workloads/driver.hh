@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Shared experiment driver: lowers a workload to its baseline
+ * accelerator with the paper's suite-appropriate memory configuration
+ * (Cilk local arrays in a shared scratchpad, everything else behind
+ * the shared L1, §6.4), and runs accelerators over bound inputs with
+ * golden checking.
+ */
+#pragma once
+
+#include <memory>
+
+#include "frontend/lower.hh"
+#include "sim/simulator.hh"
+#include "workloads/workload.hh"
+
+namespace muir::workloads
+{
+
+/** The lowering options Table 2's baselines use for this workload. */
+frontend::LowerOptions baselineOptions(const Workload &w);
+
+/** Lower the workload's kernel to its baseline μIR accelerator. */
+std::unique_ptr<uir::Accelerator> lowerBaseline(const Workload &w);
+
+/** Outcome of one simulated run. */
+struct RunResult
+{
+    uint64_t cycles = 0;
+    uint64_t firings = 0;
+    /** Empty when outputs matched the golden reference. */
+    std::string check;
+    StatSet stats;
+};
+
+/** Bind inputs, simulate, and check outputs against the golden data. */
+RunResult runOn(const Workload &w, const uir::Accelerator &accel);
+
+} // namespace muir::workloads

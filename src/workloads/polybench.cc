@@ -1,0 +1,438 @@
+/**
+ * @file
+ * Polybench / MachSuite workloads (Table 2, top group): GEMM, COVAR,
+ * FFT, SPMV, 2MM, 3MM — all single-precision floating point, built as
+ * canonical counted loop nests.
+ */
+#include <cmath>
+
+#include "ir/builder.hh"
+#include "ir/verifier.hh"
+#include "workloads/workload.hh"
+
+namespace muir::workloads
+{
+
+using namespace ir;
+
+namespace
+{
+
+/** Emit C[n x p] = A[n x m] * B[m x p] as a triple loop nest. */
+void
+emitMatmul(IRBuilder &b, Value *a, Value *bm, Value *c, int n, int m,
+           int p, const std::string &tag)
+{
+    ForLoop li(b, tag + ".i", b.i32(0), b.i32(n), b.i32(1));
+    ForLoop lj(b, tag + ".j", b.i32(0), b.i32(p), b.i32(1));
+    ForLoop lk(b, tag + ".k", b.i32(0), b.i32(m), b.i32(1));
+    Instruction *acc = lk.addCarried(b.f32(0.0), tag + ".acc");
+    Value *aik = b.load(
+        b.gep(a, b.add(b.mul(li.iv(), b.i32(m)), lk.iv())), tag + ".a");
+    Value *bkj = b.load(
+        b.gep(bm, b.add(b.mul(lk.iv(), b.i32(p)), lj.iv())), tag + ".b");
+    lk.setCarriedNext(acc, b.fadd(acc, b.fmul(aik, bkj), tag + ".fma"));
+    lk.finish();
+    b.store(acc, b.gep(c, b.add(b.mul(li.iv(), b.i32(p)), lj.iv())));
+    lj.finish();
+    li.finish();
+}
+
+/** Reference matmul matching the kernel's accumulate order. */
+std::vector<float>
+refMatmul(const std::vector<float> &a, const std::vector<float> &bm,
+          int n, int m, int p)
+{
+    std::vector<float> c(size_t(n) * p, 0.0f);
+    for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < p; ++j) {
+            float acc = 0.0f;
+            for (int k = 0; k < m; ++k)
+                acc += a[i * m + k] * bm[k * p + j];
+            c[i * p + j] = acc;
+        }
+    }
+    return c;
+}
+
+std::vector<float>
+randomMatrix(uint64_t &seed, size_t elems, float lo = -1.0f,
+             float hi = 1.0f)
+{
+    std::vector<float> v(elems);
+    for (auto &x : v)
+        x = prandFloat(seed, lo, hi);
+    return v;
+}
+
+} // namespace
+
+Workload
+buildGemm()
+{
+    constexpr int kN = 24;
+    Workload w;
+    w.name = "gemm";
+    w.suite = Suite::Polybench;
+    w.usesFp = true;
+    w.kernel = "gemm";
+    w.module = std::make_unique<Module>("gemm");
+    Module &m = *w.module;
+    auto *ga = m.addGlobal("A", Type::f32(), kN * kN);
+    auto *gb = m.addGlobal("B", Type::f32(), kN * kN);
+    auto *gc = m.addGlobal("C", Type::f32(), kN * kN);
+    (void)gc;
+    Function *fn = m.addFunction("gemm", Type::voidTy());
+    IRBuilder b(m);
+    b.setInsertPoint(fn->addBlock("entry"));
+    emitMatmul(b, ga, gb, m.global("C"), kN, kN, kN, "mm");
+    b.ret();
+    verifyOrDie(m);
+
+    uint64_t seed = 0x9e3779b9;
+    w.floatInputs["A"] = randomMatrix(seed, size_t(kN) * kN);
+    w.floatInputs["B"] = randomMatrix(seed, size_t(kN) * kN);
+    w.floatExpected["C"] = refMatmul(w.floatInputs["A"],
+                                     w.floatInputs["B"], kN, kN, kN);
+    return w;
+}
+
+Workload
+buildCovar()
+{
+    // Polybench covariance: column means, mean subtraction, cov matrix.
+    constexpr int kN = 12; // Observations.
+    constexpr int kM = 12; // Variables.
+    Workload w;
+    w.name = "covar";
+    w.suite = Suite::Polybench;
+    w.usesFp = true;
+    w.kernel = "covar";
+    w.module = std::make_unique<Module>("covar");
+    Module &m = *w.module;
+    auto *gd = m.addGlobal("data", Type::f32(), kN * kM);
+    auto *gmean = m.addGlobal("mean", Type::f32(), kM);
+    auto *gcov = m.addGlobal("cov", Type::f32(), kM * kM);
+    Function *fn = m.addFunction("covar", Type::voidTy());
+    IRBuilder b(m);
+    b.setInsertPoint(fn->addBlock("entry"));
+
+    // mean[j] = sum_i data[i][j] / N
+    {
+        ForLoop lj(b, "mean.j", b.i32(0), b.i32(kM), b.i32(1));
+        ForLoop li(b, "mean.i", b.i32(0), b.i32(kN), b.i32(1));
+        Instruction *acc = li.addCarried(b.f32(0.0), "mean.acc");
+        Value *dij = b.load(
+            b.gep(gd, b.add(b.mul(li.iv(), b.i32(kM)), lj.iv())), "d");
+        li.setCarriedNext(acc, b.fadd(acc, dij, "mean.sum"));
+        li.finish();
+        b.store(b.fdiv(acc, b.f32(double(kN))), b.gep(gmean, lj.iv()));
+        lj.finish();
+    }
+    // cov[j1][j2] = sum_i (d[i][j1]-mean[j1])*(d[i][j2]-mean[j2])/(N-1)
+    {
+        ForLoop j1(b, "cov.j1", b.i32(0), b.i32(kM), b.i32(1));
+        ForLoop j2(b, "cov.j2", b.i32(0), b.i32(kM), b.i32(1));
+        ForLoop li(b, "cov.i", b.i32(0), b.i32(kN), b.i32(1));
+        Instruction *acc = li.addCarried(b.f32(0.0), "cov.acc");
+        Value *d1 = b.load(
+            b.gep(gd, b.add(b.mul(li.iv(), b.i32(kM)), j1.iv())), "d1");
+        Value *d2 = b.load(
+            b.gep(gd, b.add(b.mul(li.iv(), b.i32(kM)), j2.iv())), "d2");
+        Value *m1 = b.load(b.gep(gmean, j1.iv()), "m1");
+        Value *m2 = b.load(b.gep(gmean, j2.iv()), "m2");
+        Value *prod = b.fmul(b.fsub(d1, m1), b.fsub(d2, m2), "prod");
+        li.setCarriedNext(acc, b.fadd(acc, prod, "cov.sum"));
+        li.finish();
+        Value *cov = b.fdiv(acc, b.f32(double(kN - 1)), "covv");
+        b.store(cov, b.gep(gcov,
+                           b.add(b.mul(j1.iv(), b.i32(kM)), j2.iv())));
+        j2.finish();
+        j1.finish();
+    }
+    b.ret();
+    verifyOrDie(m);
+
+    uint64_t seed = 0xc0c0aull;
+    w.floatInputs["data"] = randomMatrix(seed, size_t(kN) * kM, 0.0f,
+                                         4.0f);
+    const auto &data = w.floatInputs["data"];
+    std::vector<float> mean(kM, 0.0f);
+    for (int j = 0; j < kM; ++j) {
+        float acc = 0.0f;
+        for (int i = 0; i < kN; ++i)
+            acc += data[i * kM + j];
+        mean[j] = acc / float(kN);
+    }
+    std::vector<float> cov(size_t(kM) * kM, 0.0f);
+    for (int j1 = 0; j1 < kM; ++j1) {
+        for (int j2 = 0; j2 < kM; ++j2) {
+            float acc = 0.0f;
+            for (int i = 0; i < kN; ++i)
+                acc += (data[i * kM + j1] - mean[j1]) *
+                       (data[i * kM + j2] - mean[j2]);
+            cov[j1 * kM + j2] = acc / float(kN - 1);
+        }
+    }
+    w.floatExpected["mean"] = mean;
+    w.floatExpected["cov"] = cov;
+    return w;
+}
+
+Workload
+buildFft()
+{
+    // Iterative radix-2 DIT FFT over separate re/im arrays, with a
+    // precomputed bit-reversal table and twiddle ROM (standard
+    // MachSuite-style formulation).
+    constexpr int kN = 128;
+    constexpr int kLogN = 7;
+    Workload w;
+    w.name = "fft";
+    w.suite = Suite::Polybench;
+    w.usesFp = true;
+    w.kernel = "fft";
+    w.module = std::make_unique<Module>("fft");
+    Module &m = *w.module;
+    auto *gin_re = m.addGlobal("in_re", Type::f32(), kN);
+    auto *gin_im = m.addGlobal("in_im", Type::f32(), kN);
+    auto *gre = m.addGlobal("re", Type::f32(), kN);
+    auto *gim = m.addGlobal("im", Type::f32(), kN);
+    auto *gbrev = m.addGlobal("brev", Type::i32(), kN);
+    auto *gtw_re = m.addGlobal("tw_re", Type::f32(), kN / 2);
+    auto *gtw_im = m.addGlobal("tw_im", Type::f32(), kN / 2);
+    Function *fn = m.addFunction("fft", Type::voidTy());
+    IRBuilder b(m);
+    b.setInsertPoint(fn->addBlock("entry"));
+
+    // Bit-reversal permutation copy.
+    {
+        ForLoop li(b, "brv.i", b.i32(0), b.i32(kN), b.i32(1));
+        Value *src = b.load(b.gep(gbrev, li.iv()), "src");
+        b.store(b.load(b.gep(gin_re, src), "vr"), b.gep(gre, li.iv()));
+        b.store(b.load(b.gep(gin_im, src), "vi"), b.gep(gim, li.iv()));
+        li.finish();
+    }
+    // log2(N) butterfly stages.
+    {
+        ForLoop ls(b, "fft.s", b.i32(0), b.i32(kLogN), b.i32(1));
+        Value *mh = b.shl(b.i32(1), ls.iv(), "mh");        // half span
+        Value *span = b.shl(mh, b.i32(1), "span");         // 2^(s+1)
+        Value *twsh = b.sub(b.i32(kLogN - 1), ls.iv(), "twsh");
+        ForLoop lk(b, "fft.k", b.i32(0), b.i32(kN), span);
+        ForLoop lj(b, "fft.j", b.i32(0), mh, b.i32(1));
+        Value *tw_idx = b.shl(lj.iv(), twsh, "twi");
+        Value *wr = b.load(b.gep(gtw_re, tw_idx), "wr");
+        Value *wi = b.load(b.gep(gtw_im, tw_idx), "wi");
+        Value *top = b.add(lk.iv(), lj.iv(), "top");
+        Value *bot = b.add(top, mh, "bot");
+        Value *ar = b.load(b.gep(gre, top), "ar");
+        Value *ai = b.load(b.gep(gim, top), "ai");
+        Value *br = b.load(b.gep(gre, bot), "br");
+        Value *bi = b.load(b.gep(gim, bot), "bi");
+        // t = w * b (complex).
+        Value *tr = b.fsub(b.fmul(wr, br), b.fmul(wi, bi), "tr");
+        Value *ti = b.fadd(b.fmul(wr, bi), b.fmul(wi, br), "ti");
+        b.store(b.fadd(ar, tr), b.gep(gre, top));
+        b.store(b.fadd(ai, ti), b.gep(gim, top));
+        b.store(b.fsub(ar, tr), b.gep(gre, bot));
+        b.store(b.fsub(ai, ti), b.gep(gim, bot));
+        lj.finish();
+        lk.finish();
+        ls.finish();
+    }
+    b.ret();
+    verifyOrDie(m);
+
+    uint64_t seed = 0xff7;
+    w.floatInputs["in_re"] = randomMatrix(seed, kN);
+    w.floatInputs["in_im"] = randomMatrix(seed, kN);
+    std::vector<int32_t> brev(kN);
+    for (int i = 0; i < kN; ++i) {
+        int r = 0;
+        for (int bit = 0; bit < kLogN; ++bit)
+            if (i & (1 << bit))
+                r |= 1 << (kLogN - 1 - bit);
+        brev[i] = r;
+    }
+    w.intInputs["brev"] = brev;
+    std::vector<float> tw_re(kN / 2), tw_im(kN / 2);
+    for (int i = 0; i < kN / 2; ++i) {
+        double ang = -2.0 * 3.14159265358979323846 * i / kN;
+        tw_re[i] = static_cast<float>(std::cos(ang));
+        tw_im[i] = static_cast<float>(std::sin(ang));
+    }
+    w.floatInputs["tw_re"] = tw_re;
+    w.floatInputs["tw_im"] = tw_im;
+
+    // Reference FFT mirroring the kernel exactly.
+    std::vector<float> re(kN), im(kN);
+    for (int i = 0; i < kN; ++i) {
+        re[i] = w.floatInputs["in_re"][brev[i]];
+        im[i] = w.floatInputs["in_im"][brev[i]];
+    }
+    for (int s = 0; s < kLogN; ++s) {
+        int mh = 1 << s, span = mh << 1;
+        for (int k = 0; k < kN; k += span) {
+            for (int j = 0; j < mh; ++j) {
+                int twi = j << (kLogN - 1 - s);
+                float wr = tw_re[twi], wi = tw_im[twi];
+                int top = k + j, bot = top + mh;
+                float tr = wr * re[bot] - wi * im[bot];
+                float ti = wr * im[bot] + wi * re[bot];
+                float arv = re[top], aiv = im[top];
+                re[top] = arv + tr;
+                im[top] = aiv + ti;
+                re[bot] = arv - tr;
+                im[bot] = aiv - ti;
+            }
+        }
+    }
+    w.floatExpected["re"] = re;
+    w.floatExpected["im"] = im;
+    (void)gre;
+    (void)gim;
+    return w;
+}
+
+Workload
+buildSpmv()
+{
+    // CSR sparse matrix-vector product (MachSuite spmv).
+    constexpr int kRows = 64;
+    constexpr int kNnzPerRow = 8;
+    constexpr int kCols = 64;
+    Workload w;
+    w.name = "spmv";
+    w.suite = Suite::Polybench;
+    w.usesFp = true;
+    w.kernel = "spmv";
+    w.module = std::make_unique<Module>("spmv");
+    Module &m = *w.module;
+    auto *gvals = m.addGlobal("vals", Type::f32(), kRows * kNnzPerRow);
+    auto *gcols = m.addGlobal("cols", Type::i32(), kRows * kNnzPerRow);
+    auto *growp = m.addGlobal("rowp", Type::i32(), kRows + 1);
+    auto *gx = m.addGlobal("x", Type::f32(), kCols);
+    auto *gy = m.addGlobal("y", Type::f32(), kRows);
+    Function *fn = m.addFunction("spmv", Type::voidTy());
+    IRBuilder b(m);
+    b.setInsertPoint(fn->addBlock("entry"));
+    ForLoop li(b, "row", b.i32(0), b.i32(kRows), b.i32(1));
+    Value *lo = b.load(b.gep(growp, li.iv()), "lo");
+    Value *hi = b.load(b.gep(growp, b.add(li.iv(), b.i32(1))), "hi");
+    ForLoop lp(b, "nnz", lo, hi, b.i32(1));
+    Instruction *acc = lp.addCarried(b.f32(0.0), "acc");
+    Value *v = b.load(b.gep(gvals, lp.iv()), "v");
+    Value *col = b.load(b.gep(gcols, lp.iv()), "col");
+    Value *xv = b.load(b.gep(gx, col), "xv");
+    lp.setCarriedNext(acc, b.fadd(acc, b.fmul(v, xv), "fma"));
+    lp.finish();
+    b.store(acc, b.gep(gy, li.iv()));
+    li.finish();
+    b.ret();
+    verifyOrDie(m);
+
+    uint64_t seed = 0x5b11;
+    w.floatInputs["vals"] = randomMatrix(seed, kRows * kNnzPerRow);
+    std::vector<int32_t> cols(kRows * kNnzPerRow), rowp(kRows + 1);
+    for (int i = 0; i <= kRows; ++i)
+        rowp[i] = i * kNnzPerRow;
+    for (auto &c : cols)
+        c = prandInt(seed, 0, kCols);
+    w.intInputs["cols"] = cols;
+    w.intInputs["rowp"] = rowp;
+    w.floatInputs["x"] = randomMatrix(seed, kCols);
+
+    std::vector<float> y(kRows, 0.0f);
+    for (int i = 0; i < kRows; ++i) {
+        float acc = 0.0f;
+        for (int p = rowp[i]; p < rowp[i + 1]; ++p)
+            acc += w.floatInputs["vals"][p] *
+                   w.floatInputs["x"][cols[p]];
+        y[i] = acc;
+    }
+    w.floatExpected["y"] = y;
+    (void)gy;
+    return w;
+}
+
+Workload
+build2mm()
+{
+    constexpr int kN = 14;
+    Workload w;
+    w.name = "2mm";
+    w.suite = Suite::Polybench;
+    w.usesFp = true;
+    w.kernel = "mm2";
+    w.module = std::make_unique<Module>("2mm");
+    Module &m = *w.module;
+    auto *ga = m.addGlobal("A", Type::f32(), kN * kN);
+    auto *gb = m.addGlobal("B", Type::f32(), kN * kN);
+    auto *gc = m.addGlobal("C", Type::f32(), kN * kN);
+    auto *gtmp = m.addGlobal("tmp", Type::f32(), kN * kN);
+    auto *gd = m.addGlobal("D", Type::f32(), kN * kN);
+    Function *fn = m.addFunction("mm2", Type::voidTy());
+    IRBuilder b(m);
+    b.setInsertPoint(fn->addBlock("entry"));
+    emitMatmul(b, ga, gb, gtmp, kN, kN, kN, "mm1");
+    emitMatmul(b, gtmp, gc, gd, kN, kN, kN, "mm2");
+    b.ret();
+    verifyOrDie(m);
+
+    uint64_t seed = 0x2221;
+    w.floatInputs["A"] = randomMatrix(seed, size_t(kN) * kN);
+    w.floatInputs["B"] = randomMatrix(seed, size_t(kN) * kN);
+    w.floatInputs["C"] = randomMatrix(seed, size_t(kN) * kN);
+    auto tmp = refMatmul(w.floatInputs["A"], w.floatInputs["B"], kN, kN,
+                         kN);
+    w.floatExpected["tmp"] = tmp;
+    w.floatExpected["D"] = refMatmul(tmp, w.floatInputs["C"], kN, kN, kN);
+    (void)gd;
+    return w;
+}
+
+Workload
+build3mm()
+{
+    constexpr int kN = 12;
+    Workload w;
+    w.name = "3mm";
+    w.suite = Suite::Polybench;
+    w.usesFp = true;
+    w.kernel = "mm3";
+    w.module = std::make_unique<Module>("3mm");
+    Module &m = *w.module;
+    auto *ga = m.addGlobal("A", Type::f32(), kN * kN);
+    auto *gb = m.addGlobal("B", Type::f32(), kN * kN);
+    auto *gc = m.addGlobal("C", Type::f32(), kN * kN);
+    auto *gd = m.addGlobal("D", Type::f32(), kN * kN);
+    auto *ge = m.addGlobal("E", Type::f32(), kN * kN);
+    auto *gf = m.addGlobal("F", Type::f32(), kN * kN);
+    auto *gg = m.addGlobal("G", Type::f32(), kN * kN);
+    Function *fn = m.addFunction("mm3", Type::voidTy());
+    IRBuilder b(m);
+    b.setInsertPoint(fn->addBlock("entry"));
+    emitMatmul(b, ga, gb, ge, kN, kN, kN, "mm1"); // E = A*B
+    emitMatmul(b, gc, gd, gf, kN, kN, kN, "mm2"); // F = C*D
+    emitMatmul(b, ge, gf, gg, kN, kN, kN, "mm3"); // G = E*F
+    b.ret();
+    verifyOrDie(m);
+
+    uint64_t seed = 0x3331;
+    w.floatInputs["A"] = randomMatrix(seed, size_t(kN) * kN);
+    w.floatInputs["B"] = randomMatrix(seed, size_t(kN) * kN);
+    w.floatInputs["C"] = randomMatrix(seed, size_t(kN) * kN);
+    w.floatInputs["D"] = randomMatrix(seed, size_t(kN) * kN);
+    auto e = refMatmul(w.floatInputs["A"], w.floatInputs["B"], kN, kN,
+                       kN);
+    auto f = refMatmul(w.floatInputs["C"], w.floatInputs["D"], kN, kN,
+                       kN);
+    w.floatExpected["E"] = e;
+    w.floatExpected["F"] = f;
+    w.floatExpected["G"] = refMatmul(e, f, kN, kN, kN);
+    (void)gg;
+    return w;
+}
+
+} // namespace muir::workloads

@@ -1,0 +1,425 @@
+/**
+ * @file
+ * In-house workloads (Table 2, bottom group): the Tensor2D intrinsic
+ * benchmarks RELU[T], 2MM[T] (Figure 13's tiled matmul), CONV[T], plus
+ * the scalar RELU and RGB2YUV kernels used by the cache-banking study
+ * (Table 3).
+ */
+#include <algorithm>
+
+#include "ir/builder.hh"
+#include "support/strings.hh"
+#include "ir/verifier.hh"
+#include "workloads/workload.hh"
+
+namespace muir::workloads
+{
+
+using namespace ir;
+
+namespace
+{
+
+/** Tile shape used throughout §6.3. */
+constexpr unsigned kT = 2;
+
+std::vector<float>
+randomTiles(uint64_t &seed, size_t tiles)
+{
+    std::vector<float> v(tiles * kT * kT);
+    for (auto &x : v)
+        x = prandFloat(seed, -2.0f, 2.0f);
+    return v;
+}
+
+} // namespace
+
+Workload
+buildReluT()
+{
+    constexpr int kTiles = 64;
+    Workload w;
+    w.name = "relu_t";
+    w.suite = Suite::InHouse;
+    w.usesTensor = true;
+    w.kernel = "relu_t";
+    w.module = std::make_unique<Module>("relu_t");
+    Module &m = *w.module;
+    Type tile = Type::tensor(kT, kT);
+    auto *gin = m.addGlobal("in", tile, kTiles);
+    auto *gout = m.addGlobal("out", tile, kTiles);
+    Function *fn = m.addFunction("relu_t", Type::voidTy());
+    IRBuilder b(m);
+    b.setInsertPoint(fn->addBlock("entry"));
+    ForLoop li(b, "i", b.i32(0), b.i32(kTiles), b.i32(1));
+    Value *t = b.tload(b.gep(gin, li.iv()), "t");
+    b.tstore(b.trelu(t, "r"), b.gep(gout, li.iv()));
+    li.finish();
+    b.ret();
+    verifyOrDie(m);
+
+    uint64_t seed = 0x4e1;
+    w.floatInputs["in"] = randomTiles(seed, kTiles);
+    std::vector<float> out = w.floatInputs["in"];
+    for (auto &x : out)
+        x = std::max(0.0f, x);
+    w.floatExpected["out"] = out;
+    return w;
+}
+
+Workload
+build2mmT()
+{
+    // Figure 13: tiled matrix multiply with Tensor2D intrinsics.
+    // C[i][j] += A[i][k] x B[k][j] per 2x2 tile, NTiles x NTiles grid.
+    constexpr int kNT = 4; // 8x8 matrix as 4x4 tiles.
+    Workload w;
+    w.name = "2mm_t";
+    w.suite = Suite::InHouse;
+    w.usesTensor = true;
+    w.kernel = "mm2t";
+    w.module = std::make_unique<Module>("2mm_t");
+    Module &m = *w.module;
+    Type tile = Type::tensor(kT, kT);
+    auto *ga = m.addGlobal("A", tile, kNT * kNT);
+    auto *gb = m.addGlobal("B", tile, kNT * kNT);
+    auto *gc = m.addGlobal("C", tile, kNT * kNT);
+    Function *fn = m.addFunction("mm2t", Type::voidTy());
+    IRBuilder b(m);
+    b.setInsertPoint(fn->addBlock("entry"));
+    ForLoop li(b, "i", b.i32(0), b.i32(kNT), b.i32(1));
+    ForLoop lj(b, "j", b.i32(0), b.i32(kNT), b.i32(1));
+    ForLoop lk(b, "k", b.i32(0), b.i32(kNT), b.i32(1));
+    Value *cptr = b.gep(gc, b.add(b.mul(li.iv(), b.i32(kNT)), lj.iv()),
+                        "cptr");
+    Value *ta = b.tload(
+        b.gep(ga, b.add(b.mul(li.iv(), b.i32(kNT)), lk.iv())), "ta");
+    Value *tb = b.tload(
+        b.gep(gb, b.add(b.mul(lk.iv(), b.i32(kNT)), lj.iv())), "tb");
+    Value *mul = b.tmul(ta, tb, "mul");
+    Value *tc = b.tload(cptr, "tc");
+    b.tstore(b.tadd(tc, mul, "sum"), cptr);
+    lk.finish();
+    lj.finish();
+    li.finish();
+    b.ret();
+    verifyOrDie(m);
+
+    uint64_t seed = 0x22f;
+    w.floatInputs["A"] = randomTiles(seed, kNT * kNT);
+    w.floatInputs["B"] = randomTiles(seed, kNT * kNT);
+    w.floatInputs["C"] =
+        std::vector<float>(size_t(kNT) * kNT * kT * kT, 0.0f);
+
+    // Reference: tile-order accumulation identical to the kernel.
+    auto at = [&](const std::vector<float> &mat, int ti, int tj, int r,
+                  int c) {
+        return mat[(size_t(ti) * kNT + tj) * kT * kT + r * kT + c];
+    };
+    std::vector<float> cm(size_t(kNT) * kNT * kT * kT, 0.0f);
+    for (int i = 0; i < kNT; ++i)
+        for (int j = 0; j < kNT; ++j)
+            for (int k = 0; k < kNT; ++k)
+                for (unsigned r = 0; r < kT; ++r)
+                    for (unsigned c = 0; c < kT; ++c) {
+                        float acc = 0.0f;
+                        for (unsigned x = 0; x < kT; ++x)
+                            acc += at(w.floatInputs["A"], i, k, r, x) *
+                                   at(w.floatInputs["B"], k, j, x, c);
+                        cm[(size_t(i) * kNT + j) * kT * kT + r * kT +
+                           c] += acc;
+                    }
+    w.floatExpected["C"] = cm;
+    return w;
+}
+
+Workload
+buildConvT()
+{
+    // 1-D convolution over tile arrays: out[i] = sum_j w[j] (x) in[i+j]
+    // with elementwise tile products (Figure 2's running example,
+    // upgraded to Tensor2D ops).
+    constexpr int kOut = 24, kW = 4;
+    Workload w;
+    w.name = "conv_t";
+    w.suite = Suite::InHouse;
+    w.usesTensor = true;
+    w.kernel = "conv_t";
+    w.module = std::make_unique<Module>("conv_t");
+    Module &m = *w.module;
+    Type tile = Type::tensor(kT, kT);
+    auto *gin = m.addGlobal("in", tile, kOut + kW);
+    auto *gw = m.addGlobal("w", tile, kW);
+    auto *gzero = m.addGlobal("zero", tile, 1);
+    auto *gout = m.addGlobal("out", tile, kOut);
+    Function *fn = m.addFunction("conv_t", Type::voidTy());
+    IRBuilder b(m);
+    b.setInsertPoint(fn->addBlock("entry"));
+    ForLoop li(b, "i", b.i32(0), b.i32(kOut), b.i32(1));
+    Value *z = b.tload(b.gep(gzero, b.i32(0)), "z");
+    ForLoop lj(b, "j", b.i32(0), b.i32(kW), b.i32(1));
+    Instruction *acc = lj.addCarried(z, "acc");
+    Value *xv = b.tload(b.gep(gin, b.add(li.iv(), lj.iv())), "xv");
+    Value *wv = b.tload(b.gep(gw, lj.iv()), "wv");
+    lj.setCarriedNext(acc, b.tadd(acc, b.tmul(xv, wv, "p"), "acc.n"));
+    lj.finish();
+    b.tstore(acc, b.gep(gout, li.iv()));
+    li.finish();
+    b.ret();
+    verifyOrDie(m);
+
+    uint64_t seed = 0xc0171;
+    w.floatInputs["in"] = randomTiles(seed, kOut + kW);
+    w.floatInputs["w"] = randomTiles(seed, kW);
+    w.floatInputs["zero"] = std::vector<float>(kT * kT, 0.0f);
+
+    auto tileAt = [&](const std::vector<float> &v, int t) {
+        return std::vector<float>(v.begin() + t * kT * kT,
+                                  v.begin() + (t + 1) * kT * kT);
+    };
+    auto matmul22 = [](const std::vector<float> &a,
+                       const std::vector<float> &bm) {
+        std::vector<float> c(kT * kT, 0.0f);
+        for (unsigned r = 0; r < kT; ++r)
+            for (unsigned cc = 0; cc < kT; ++cc)
+                for (unsigned k = 0; k < kT; ++k)
+                    c[r * kT + cc] += a[r * kT + k] * bm[k * kT + cc];
+        return c;
+    };
+    std::vector<float> out;
+    for (int i = 0; i < kOut; ++i) {
+        std::vector<float> acc(kT * kT, 0.0f);
+        for (int j = 0; j < kW; ++j) {
+            auto p = matmul22(tileAt(w.floatInputs["in"], i + j),
+                              tileAt(w.floatInputs["w"], j));
+            for (unsigned e = 0; e < kT * kT; ++e)
+                acc[e] += p[e];
+        }
+        out.insert(out.end(), acc.begin(), acc.end());
+    }
+    w.floatExpected["out"] = out;
+    (void)gout;
+    return w;
+}
+
+Workload
+build2mmTScalar()
+{
+    // Scalar twin of 2MM[T]: the same 8x8 matrix product written with
+    // scalar loops — the Figure 15 baseline.
+    constexpr int kN = 8;
+    Workload w;
+    w.name = "2mm_t_scalar";
+    w.suite = Suite::InHouse;
+    w.usesFp = true;
+    w.kernel = "mm2ts";
+    w.module = std::make_unique<Module>("2mm_t_scalar");
+    Module &m = *w.module;
+    auto *ga = m.addGlobal("A", Type::f32(), kN * kN);
+    auto *gb = m.addGlobal("B", Type::f32(), kN * kN);
+    auto *gc = m.addGlobal("C", Type::f32(), kN * kN);
+    Function *fn = m.addFunction("mm2ts", Type::voidTy());
+    IRBuilder b(m);
+    b.setInsertPoint(fn->addBlock("entry"));
+    ForLoop li(b, "i", b.i32(0), b.i32(kN), b.i32(1));
+    ForLoop lj(b, "j", b.i32(0), b.i32(kN), b.i32(1));
+    ForLoop lk(b, "k", b.i32(0), b.i32(kN), b.i32(1));
+    Instruction *acc = lk.addCarried(b.f32(0.0), "acc");
+    Value *aik = b.load(
+        b.gep(ga, b.add(b.mul(li.iv(), b.i32(kN)), lk.iv())), "a");
+    Value *bkj = b.load(
+        b.gep(gb, b.add(b.mul(lk.iv(), b.i32(kN)), lj.iv())), "b");
+    lk.setCarriedNext(acc, b.fadd(acc, b.fmul(aik, bkj), "fma"));
+    lk.finish();
+    b.store(acc, b.gep(gc, b.add(b.mul(li.iv(), b.i32(kN)), lj.iv())));
+    lj.finish();
+    li.finish();
+    b.ret();
+    verifyOrDie(m);
+
+    uint64_t seed = 0x22f5;
+    std::vector<float> a(kN * kN), bm(kN * kN);
+    for (auto &x : a)
+        x = prandFloat(seed, -2.0f, 2.0f);
+    for (auto &x : bm)
+        x = prandFloat(seed, -2.0f, 2.0f);
+    w.floatInputs["A"] = a;
+    w.floatInputs["B"] = bm;
+    std::vector<float> c(kN * kN, 0.0f);
+    for (int i = 0; i < kN; ++i)
+        for (int j = 0; j < kN; ++j) {
+            float s2 = 0.0f;
+            for (int k = 0; k < kN; ++k)
+                s2 += a[i * kN + k] * bm[k * kN + j];
+            c[i * kN + j] = s2;
+        }
+    w.floatExpected["C"] = c;
+    return w;
+}
+
+Workload
+buildConvTScalar()
+{
+    // Scalar twin of CONV[T]: identical tile math. The 2x2 element
+    // loops are fully unrolled into the j-loop body — the form a
+    // compiler's -O3 produces for fixed tiny trip counts — so the twin
+    // is a fair (well-optimized) scalar baseline.
+    constexpr int kOut = 24, kW = 4;
+    Workload w;
+    w.name = "conv_t_scalar";
+    w.suite = Suite::InHouse;
+    w.usesFp = true;
+    w.kernel = "convts";
+    w.module = std::make_unique<Module>("conv_t_scalar");
+    Module &m = *w.module;
+    auto *gin = m.addGlobal("in", Type::f32(), (kOut + kW) * 4);
+    auto *gw = m.addGlobal("w", Type::f32(), kW * 4);
+    auto *gout = m.addGlobal("out", Type::f32(), kOut * 4);
+    Function *fn = m.addFunction("convts", Type::voidTy());
+    IRBuilder b(m);
+    b.setInsertPoint(fn->addBlock("entry"));
+    // out[i](r,c) = sum_j sum_k in[i+j](r,k) * w[j](k,c), 2x2 tiles.
+    ForLoop li(b, "i", b.i32(0), b.i32(kOut), b.i32(1));
+    ForLoop lj(b, "j", b.i32(0), b.i32(kW), b.i32(1));
+    Instruction *acc[2][2];
+    for (int r = 0; r < 2; ++r)
+        for (int c = 0; c < 2; ++c)
+            acc[r][c] = lj.addCarried(b.f32(0.0),
+                                      fmt("acc%d%d", r, c));
+    Value *in_base = b.mul(b.add(li.iv(), lj.iv()), b.i32(4), "ib");
+    Value *w_base = b.mul(lj.iv(), b.i32(4), "wb");
+    Value *in_e[4], *w_e[4];
+    for (int e = 0; e < 4; ++e) {
+        in_e[e] = b.load(b.gep(gin, b.add(in_base, b.i32(e))),
+                         fmt("ie%d", e));
+        w_e[e] = b.load(b.gep(gw, b.add(w_base, b.i32(e))),
+                        fmt("we%d", e));
+    }
+    // Unrolled 2x2 matmul accumulate.
+    for (int r = 0; r < 2; ++r) {
+        for (int c = 0; c < 2; ++c) {
+            Value *p0 = b.fmul(in_e[r * 2 + 0], w_e[0 * 2 + c]);
+            Value *p1 = b.fmul(in_e[r * 2 + 1], w_e[1 * 2 + c]);
+            lj.setCarriedNext(
+                acc[r][c],
+                b.fadd(acc[r][c], b.fadd(p0, p1),
+                       fmt("n%d%d", r, c)));
+        }
+    }
+    lj.finish();
+    Value *out_base = b.mul(li.iv(), b.i32(4), "ob");
+    for (int r = 0; r < 2; ++r)
+        for (int c = 0; c < 2; ++c)
+            b.store(acc[r][c],
+                    b.gep(gout, b.add(out_base, b.i32(r * 2 + c))));
+    li.finish();
+    b.ret();
+    verifyOrDie(m);
+
+    // Reuse conv_t's data and golden results so the twin computes the
+    // exact same answers.
+    Workload tw = buildConvT();
+    w.floatInputs["in"] = tw.floatInputs["in"];
+    w.floatInputs["w"] = tw.floatInputs["w"];
+    w.floatExpected["out"] = tw.floatExpected["out"];
+    return w;
+}
+
+Workload
+buildRelu()
+{
+    constexpr int kN = 256;
+    Workload w;
+    w.name = "relu";
+    w.suite = Suite::InHouse;
+    w.usesFp = true;
+    w.kernel = "relu";
+    w.module = std::make_unique<Module>("relu");
+    Module &m = *w.module;
+    auto *gx = m.addGlobal("x", Type::f32(), kN);
+    auto *gout = m.addGlobal("out", Type::f32(), kN);
+    Function *fn = m.addFunction("relu", Type::voidTy());
+    IRBuilder b(m);
+    b.setInsertPoint(fn->addBlock("entry"));
+    ForLoop li(b, "i", b.i32(0), b.i32(kN), b.i32(1));
+    Value *xv = b.load(b.gep(gx, li.iv()), "xv");
+    Value *pos = b.fcmp(Op::FCmpOgt, xv, b.f32(0.0), "pos");
+    b.store(b.select(pos, xv, b.f32(0.0), "r"), b.gep(gout, li.iv()));
+    li.finish();
+    b.ret();
+    verifyOrDie(m);
+
+    uint64_t seed = 0x4e10;
+    std::vector<float> x(kN);
+    for (auto &v : x)
+        v = prandFloat(seed, -3.0f, 3.0f);
+    w.floatInputs["x"] = x;
+    std::vector<float> out(kN);
+    for (int i = 0; i < kN; ++i)
+        out[i] = std::max(0.0f, x[i]);
+    w.floatExpected["out"] = out;
+    return w;
+}
+
+Workload
+buildRgb2Yuv()
+{
+    // Integer colour-space conversion (BT.601 fixed point).
+    constexpr int kN = 128;
+    Workload w;
+    w.name = "rgb2yuv";
+    w.suite = Suite::InHouse;
+    w.kernel = "rgb2yuv";
+    w.module = std::make_unique<Module>("rgb2yuv");
+    Module &m = *w.module;
+    auto *gr = m.addGlobal("r", Type::i32(), kN);
+    auto *gg = m.addGlobal("g", Type::i32(), kN);
+    auto *gb = m.addGlobal("b", Type::i32(), kN);
+    auto *gy = m.addGlobal("y", Type::i32(), kN);
+    auto *gu = m.addGlobal("u", Type::i32(), kN);
+    auto *gv = m.addGlobal("v", Type::i32(), kN);
+    Function *fn = m.addFunction("rgb2yuv", Type::voidTy());
+    IRBuilder b(m);
+    b.setInsertPoint(fn->addBlock("entry"));
+    ForLoop li(b, "i", b.i32(0), b.i32(kN), b.i32(1));
+    Value *r = b.load(b.gep(gr, li.iv()), "r");
+    Value *g = b.load(b.gep(gg, li.iv()), "g");
+    Value *bl = b.load(b.gep(gb, li.iv()), "bl");
+    auto weighted = [&](int wr, int wg, int wb, int bias,
+                        const std::string &nm) {
+        Value *s = b.add(b.add(b.mul(r, b.i32(wr)),
+                               b.mul(g, b.i32(wg))),
+                         b.mul(bl, b.i32(wb)), nm + ".s");
+        return b.add(b.ashr(b.add(s, b.i32(128)), b.i32(8)),
+                     b.i32(bias), nm);
+    };
+    b.store(weighted(66, 129, 25, 16, "y"), b.gep(gy, li.iv()));
+    b.store(weighted(-38, -74, 112, 128, "u"), b.gep(gu, li.iv()));
+    b.store(weighted(112, -94, -18, 128, "v"), b.gep(gv, li.iv()));
+    li.finish();
+    b.ret();
+    verifyOrDie(m);
+
+    uint64_t seed = 0x96b;
+    std::vector<int32_t> rv(kN), gv2(kN), bv(kN);
+    for (int i = 0; i < kN; ++i) {
+        rv[i] = prandInt(seed, 0, 256);
+        gv2[i] = prandInt(seed, 0, 256);
+        bv[i] = prandInt(seed, 0, 256);
+    }
+    w.intInputs["r"] = rv;
+    w.intInputs["g"] = gv2;
+    w.intInputs["b"] = bv;
+    std::vector<int32_t> yv(kN), uv(kN), vv(kN);
+    for (int i = 0; i < kN; ++i) {
+        yv[i] = ((66 * rv[i] + 129 * gv2[i] + 25 * bv[i] + 128) >> 8) + 16;
+        uv[i] = ((-38 * rv[i] - 74 * gv2[i] + 112 * bv[i] + 128) >> 8) + 128;
+        vv[i] = ((112 * rv[i] - 94 * gv2[i] - 18 * bv[i] + 128) >> 8) + 128;
+    }
+    w.intExpected["y"] = yv;
+    w.intExpected["u"] = uv;
+    w.intExpected["v"] = vv;
+    return w;
+}
+
+} // namespace muir::workloads

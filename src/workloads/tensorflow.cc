@@ -1,0 +1,201 @@
+/**
+ * @file
+ * TensorFlow-derived workloads (Table 2, third group): CONV (2-D
+ * convolution), DENSE8/DENSE16 (fully connected layers), and
+ * SOFTM8/SOFTM16 (row-wise softmax), all scalar f32 — the baseline
+ * lowering the tensorization pass (§6.3) later upgrades.
+ */
+#include <cmath>
+
+#include "ir/builder.hh"
+#include "ir/verifier.hh"
+#include "workloads/workload.hh"
+
+namespace muir::workloads
+{
+
+using namespace ir;
+
+Workload
+buildConv()
+{
+    // Valid 2-D convolution: 16x16 image, 3x3 kernel -> 14x14 output.
+    constexpr int kImg = 16, kK = 3, kOut = kImg - kK + 1;
+    Workload w;
+    w.name = "conv";
+    w.suite = Suite::Tensorflow;
+    w.usesFp = true;
+    w.kernel = "conv";
+    w.module = std::make_unique<Module>("conv");
+    Module &m = *w.module;
+    auto *gin = m.addGlobal("in", Type::f32(), kImg * kImg);
+    auto *gw = m.addGlobal("w", Type::f32(), kK * kK);
+    auto *gout = m.addGlobal("out", Type::f32(), kOut * kOut);
+    Function *fn = m.addFunction("conv", Type::voidTy());
+    IRBuilder b(m);
+    b.setInsertPoint(fn->addBlock("entry"));
+    ForLoop oy(b, "oy", b.i32(0), b.i32(kOut), b.i32(1));
+    ForLoop ox(b, "ox", b.i32(0), b.i32(kOut), b.i32(1));
+    ForLoop ky(b, "ky", b.i32(0), b.i32(kK), b.i32(1));
+    Instruction *row_acc = ky.addCarried(b.f32(0.0), "racc");
+    ForLoop kx(b, "kx", b.i32(0), b.i32(kK), b.i32(1));
+    Instruction *acc = kx.addCarried(row_acc, "acc");
+    Value *iy = b.add(oy.iv(), ky.iv(), "iy");
+    Value *ix = b.add(ox.iv(), kx.iv(), "ix");
+    Value *pix = b.load(
+        b.gep(gin, b.add(b.mul(iy, b.i32(kImg)), ix)), "pix");
+    Value *wk = b.load(
+        b.gep(gw, b.add(b.mul(ky.iv(), b.i32(kK)), kx.iv())), "wt");
+    kx.setCarriedNext(acc, b.fadd(acc, b.fmul(pix, wk), "fma"));
+    kx.finish();
+    ky.setCarriedNext(row_acc, acc);
+    ky.finish();
+    b.store(row_acc,
+            b.gep(gout, b.add(b.mul(oy.iv(), b.i32(kOut)), ox.iv())));
+    ox.finish();
+    oy.finish();
+    b.ret();
+    verifyOrDie(m);
+
+    uint64_t seed = 0xc09f;
+    std::vector<float> in(kImg * kImg), wt(kK * kK);
+    for (auto &x : in)
+        x = prandFloat(seed, -1.0f, 1.0f);
+    for (auto &x : wt)
+        x = prandFloat(seed, -0.5f, 0.5f);
+    w.floatInputs["in"] = in;
+    w.floatInputs["w"] = wt;
+    std::vector<float> out(kOut * kOut, 0.0f);
+    for (int y = 0; y < kOut; ++y) {
+        for (int x = 0; x < kOut; ++x) {
+            float acc = 0.0f;
+            for (int ky2 = 0; ky2 < kK; ++ky2)
+                for (int kx2 = 0; kx2 < kK; ++kx2)
+                    acc += in[(y + ky2) * kImg + (x + kx2)] *
+                           wt[ky2 * kK + kx2];
+            out[y * kOut + x] = acc;
+        }
+    }
+    w.floatExpected["out"] = out;
+    return w;
+}
+
+Workload
+buildDense(unsigned units)
+{
+    // Fully connected layer: out[u] = sum_j W[u][j]*x[j] + bias[u].
+    constexpr int kIn = 32;
+    Workload w;
+    w.name = units == 8 ? "dense8" : "dense16";
+    w.suite = Suite::Tensorflow;
+    w.usesFp = true;
+    w.kernel = "dense";
+    w.module = std::make_unique<Module>("dense");
+    Module &m = *w.module;
+    auto *gw = m.addGlobal("W", Type::f32(), units * kIn);
+    auto *gx = m.addGlobal("x", Type::f32(), kIn);
+    auto *gbias = m.addGlobal("bias", Type::f32(), units);
+    auto *gout = m.addGlobal("out", Type::f32(), units);
+    Function *fn = m.addFunction("dense", Type::voidTy());
+    IRBuilder b(m);
+    b.setInsertPoint(fn->addBlock("entry"));
+    ForLoop lu(b, "u", b.i32(0), b.i32(int(units)), b.i32(1));
+    ForLoop lj(b, "j", b.i32(0), b.i32(kIn), b.i32(1));
+    Instruction *acc = lj.addCarried(b.f32(0.0), "acc");
+    Value *wij = b.load(
+        b.gep(gw, b.add(b.mul(lu.iv(), b.i32(kIn)), lj.iv())), "wij");
+    Value *xj = b.load(b.gep(gx, lj.iv()), "xj");
+    lj.setCarriedNext(acc, b.fadd(acc, b.fmul(wij, xj), "fma"));
+    lj.finish();
+    Value *biased = b.fadd(acc, b.load(b.gep(gbias, lu.iv()), "bv"),
+                           "biased");
+    b.store(biased, b.gep(gout, lu.iv()));
+    lu.finish();
+    b.ret();
+    verifyOrDie(m);
+
+    uint64_t seed = 0xde45e + units;
+    std::vector<float> wm(units * kIn), x(kIn), bias(units);
+    for (auto &v : wm)
+        v = prandFloat(seed, -1.0f, 1.0f);
+    for (auto &v : x)
+        v = prandFloat(seed, -1.0f, 1.0f);
+    for (auto &v : bias)
+        v = prandFloat(seed, -0.2f, 0.2f);
+    w.floatInputs["W"] = wm;
+    w.floatInputs["x"] = x;
+    w.floatInputs["bias"] = bias;
+    std::vector<float> out(units);
+    for (unsigned u = 0; u < units; ++u) {
+        float acc = 0.0f;
+        for (int j = 0; j < kIn; ++j)
+            acc += wm[u * kIn + j] * x[j];
+        out[u] = acc + bias[u];
+    }
+    w.floatExpected["out"] = out;
+    return w;
+}
+
+Workload
+buildSoftmax(unsigned rows)
+{
+    // Row-wise softmax: e[i] = exp(x[i]); out[i] = e[i]/sum(e).
+    constexpr int kCols = 32;
+    Workload w;
+    w.name = rows == 8 ? "softm8" : "softm16";
+    w.suite = Suite::Tensorflow;
+    w.usesFp = true;
+    w.kernel = "softmax";
+    w.module = std::make_unique<Module>("softmax");
+    Module &m = *w.module;
+    auto *gx = m.addGlobal("x", Type::f32(), rows * kCols);
+    auto *ge = m.addGlobal("e", Type::f32(), rows * kCols);
+    auto *gout = m.addGlobal("out", Type::f32(), rows * kCols);
+    Function *fn = m.addFunction("softmax", Type::voidTy());
+    IRBuilder b(m);
+    b.setInsertPoint(fn->addBlock("entry"));
+    ForLoop lr(b, "r", b.i32(0), b.i32(int(rows)), b.i32(1));
+    Value *base = b.mul(lr.iv(), b.i32(kCols), "base");
+    {
+        ForLoop lc(b, "exp", b.i32(0), b.i32(kCols), b.i32(1));
+        Value *xv = b.load(b.gep(gx, b.add(base, lc.iv())), "xv");
+        b.store(b.fexp(xv, "ev"), b.gep(ge, b.add(base, lc.iv())));
+        lc.finish();
+    }
+    ForLoop lsum(b, "sum", b.i32(0), b.i32(kCols), b.i32(1));
+    Instruction *acc = lsum.addCarried(b.f32(0.0), "acc");
+    Value *ev = b.load(b.gep(ge, b.add(base, lsum.iv())), "ev2");
+    lsum.setCarriedNext(acc, b.fadd(acc, ev, "sum"));
+    lsum.finish();
+    {
+        ForLoop ld(b, "div", b.i32(0), b.i32(kCols), b.i32(1));
+        Value *ev3 = b.load(b.gep(ge, b.add(base, ld.iv())), "ev3");
+        b.store(b.fdiv(ev3, acc, "nrm"),
+                b.gep(gout, b.add(base, ld.iv())));
+        ld.finish();
+    }
+    lr.finish();
+    b.ret();
+    verifyOrDie(m);
+
+    uint64_t seed = 0x50f7 + rows;
+    std::vector<float> x(rows * kCols);
+    for (auto &v : x)
+        v = prandFloat(seed, -2.0f, 2.0f);
+    w.floatInputs["x"] = x;
+    std::vector<float> out(rows * kCols);
+    for (unsigned r = 0; r < rows; ++r) {
+        float sum = 0.0f;
+        std::vector<float> e(kCols);
+        for (int c = 0; c < kCols; ++c) {
+            e[c] = std::exp(x[r * kCols + c]);
+            sum += e[c];
+        }
+        for (int c = 0; c < kCols; ++c)
+            out[r * kCols + c] = e[c] / sum;
+    }
+    w.floatExpected["out"] = out;
+    return w;
+}
+
+} // namespace muir::workloads

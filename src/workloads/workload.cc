@@ -1,0 +1,162 @@
+#include "workloads/workload.hh"
+
+#include <cmath>
+
+#include "support/logging.hh"
+#include "support/strings.hh"
+
+namespace muir::workloads
+{
+
+const char *
+suiteName(Suite suite)
+{
+    switch (suite) {
+      case Suite::Polybench: return "polybench";
+      case Suite::Cilk: return "cilk";
+      case Suite::Tensorflow: return "tensorflow";
+      case Suite::InHouse: return "in-house";
+    }
+    return "?";
+}
+
+float
+prandFloat(uint64_t &state, float lo, float hi)
+{
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    double unit = double(state % 1000003) / 1000003.0;
+    return static_cast<float>(lo + unit * (hi - lo));
+}
+
+int32_t
+prandInt(uint64_t &state, int32_t lo, int32_t hi)
+{
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return lo + static_cast<int32_t>(state % uint64_t(hi - lo));
+}
+
+void
+Workload::bind(ir::MemoryImage &mem) const
+{
+    for (const auto &[gname, data] : floatInputs) {
+        const ir::GlobalArray *g = module->global(gname);
+        muir_assert(g != nullptr, "%s: unknown input global %s",
+                    name.c_str(), gname.c_str());
+        mem.writeFloats(g, data);
+    }
+    for (const auto &[gname, data] : intInputs) {
+        const ir::GlobalArray *g = module->global(gname);
+        muir_assert(g != nullptr, "%s: unknown input global %s",
+                    name.c_str(), gname.c_str());
+        mem.writeInts(g, data);
+    }
+}
+
+std::string
+Workload::check(const ir::MemoryImage &mem, double rel_tol) const
+{
+    for (const auto &[gname, want] : floatExpected) {
+        const ir::GlobalArray *g = module->global(gname);
+        muir_assert(g != nullptr, "%s: unknown output global %s",
+                    name.c_str(), gname.c_str());
+        auto got = mem.readFloats(g);
+        for (size_t i = 0; i < want.size(); ++i) {
+            double diff = std::fabs(double(got[i]) - double(want[i]));
+            double scale = std::max(1.0, std::fabs(double(want[i])));
+            if (diff > rel_tol * scale) {
+                return fmt("%s: %s[%zu] = %g, want %g", name.c_str(),
+                           gname.c_str(), i, got[i], want[i]);
+            }
+        }
+    }
+    for (const auto &[gname, want] : intExpected) {
+        const ir::GlobalArray *g = module->global(gname);
+        muir_assert(g != nullptr, "%s: unknown output global %s",
+                    name.c_str(), gname.c_str());
+        auto got = mem.readInts(g);
+        for (size_t i = 0; i < want.size(); ++i) {
+            if (got[i] != want[i]) {
+                return fmt("%s: %s[%zu] = %d, want %d", name.c_str(),
+                           gname.c_str(), i, got[i], want[i]);
+            }
+        }
+    }
+    return "";
+}
+
+/** @name Builders defined in the per-suite translation units @{ */
+Workload buildGemm();
+Workload buildCovar();
+Workload buildFft();
+Workload buildSpmv();
+Workload build2mm();
+Workload build3mm();
+Workload buildSaxpy();
+Workload buildStencil();
+Workload buildImgScale();
+Workload buildFib();
+Workload buildMsort();
+Workload buildConv();
+Workload buildDense(unsigned units);
+Workload buildSoftmax(unsigned rows);
+Workload buildReluT();
+Workload build2mmT();
+Workload buildConvT();
+Workload build2mmTScalar();
+Workload buildConvTScalar();
+Workload buildRelu();
+Workload buildRgb2Yuv();
+/** @} */
+
+const std::vector<std::string> &
+workloadNames()
+{
+    static const std::vector<std::string> names = {
+        // Polybench / MachSuite
+        "gemm", "covar", "fft", "spmv", "2mm", "3mm",
+        // Cilk
+        "fib", "msort", "saxpy", "stencil", "img_scale",
+        // Tensorflow
+        "conv", "dense8", "dense16", "softm8", "softm16",
+        // In-house
+        "relu_t", "2mm_t", "conv_t", "relu", "rgb2yuv",
+    };
+    return names;
+}
+
+Workload
+buildWorkload(const std::string &name)
+{
+    if (name == "gemm") return buildGemm();
+    if (name == "covar") return buildCovar();
+    if (name == "fft") return buildFft();
+    if (name == "spmv") return buildSpmv();
+    if (name == "2mm") return build2mm();
+    if (name == "3mm") return build3mm();
+    if (name == "saxpy") return buildSaxpy();
+    if (name == "stencil") return buildStencil();
+    if (name == "img_scale") return buildImgScale();
+    if (name == "fib") return buildFib();
+    if (name == "msort") return buildMsort();
+    if (name == "conv") return buildConv();
+    if (name == "dense8") return buildDense(8);
+    if (name == "dense16") return buildDense(16);
+    if (name == "softm8") return buildSoftmax(8);
+    if (name == "softm16") return buildSoftmax(16);
+    if (name == "relu_t") return buildReluT();
+    if (name == "2mm_t") return build2mmT();
+    if (name == "conv_t") return buildConvT();
+    if (name == "relu") return buildRelu();
+    if (name == "rgb2yuv") return buildRgb2Yuv();
+    // Scalar twins of the Tensor2D workloads (Figure 15 baselines);
+    // not part of the Table 2 registry.
+    if (name == "2mm_t_scalar") return build2mmTScalar();
+    if (name == "conv_t_scalar") return buildConvTScalar();
+    muir_fatal("unknown workload %s", name.c_str());
+}
+
+} // namespace muir::workloads

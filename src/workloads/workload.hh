@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The paper's benchmark suite (Table 2): Polybench/MachSuite kernels,
+ * Cilk task-parallel programs, TensorFlow-derived layers, and the
+ * in-house Tensor2D workloads. Each workload carries its program (as a
+ * compiler-IR module built through the IRBuilder front-end stand-in),
+ * deterministic input data, and independently computed golden outputs.
+ */
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/interp.hh"
+#include "ir/module.hh"
+
+namespace muir::workloads
+{
+
+/** Which benchmark suite a workload came from (Table 2 grouping). */
+enum class Suite { Polybench, Cilk, Tensorflow, InHouse };
+
+/** @return printable suite name. */
+const char *suiteName(Suite suite);
+
+/** A benchmark: program + inputs + golden outputs. */
+class Workload
+{
+  public:
+    std::string name;
+    Suite suite = Suite::Polybench;
+    std::unique_ptr<ir::Module> module;
+    /** Kernel function to lower/execute. */
+    std::string kernel;
+    /** Uses floating point (the F superscript in Table 2). */
+    bool usesFp = false;
+    /** Uses Tensor2D intrinsics (the [T] suffix). */
+    bool usesTensor = false;
+    /** Cilk-style task parallel (spawns). */
+    bool usesSpawn = false;
+
+    /** Input data keyed by global-array name. */
+    std::map<std::string, std::vector<float>> floatInputs;
+    std::map<std::string, std::vector<int32_t>> intInputs;
+    /** Golden outputs keyed by global-array name. */
+    std::map<std::string, std::vector<float>> floatExpected;
+    std::map<std::string, std::vector<int32_t>> intExpected;
+
+    /** Write all inputs into a memory image. */
+    void bind(ir::MemoryImage &mem) const;
+
+    /**
+     * Compare outputs in mem against the golden values.
+     * @return empty string on success, else a description of the first
+     *         mismatch.
+     */
+    std::string check(const ir::MemoryImage &mem,
+                      double rel_tol = 1e-3) const;
+};
+
+/** All workload names, in Table 2 order. */
+const std::vector<std::string> &workloadNames();
+
+/** Build one workload by name (fatal on unknown name). */
+Workload buildWorkload(const std::string &name);
+
+/** Deterministic pseudo-random float in [lo, hi). */
+float prandFloat(uint64_t &state, float lo, float hi);
+
+/** Deterministic pseudo-random int in [lo, hi). */
+int32_t prandInt(uint64_t &state, int32_t lo, int32_t hi);
+
+} // namespace muir::workloads

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Cost-model tests: Table 2's ranges and the monotonicity properties
+ * the experiments rely on (frequency penalties, pass effects on area).
+ */
+#include <gtest/gtest.h>
+
+#include "cost/cost_model.hh"
+#include "uopt/passes.hh"
+#include "workloads/driver.hh"
+#include "workloads/workload.hh"
+
+namespace muir::cost
+{
+
+using workloads::buildWorkload;
+using workloads::lowerBaseline;
+
+TEST(CostModel, Table2RangesHoldForAllWorkloads)
+{
+    // Observation 1/2 of §5.1: 200-500 MHz, 500-1200 mW on FPGA;
+    // 1.6-2.5 GHz, 20-150 mW on ASIC (we allow modest slack).
+    for (const auto &name : workloads::workloadNames()) {
+        auto w = buildWorkload(name);
+        auto accel = lowerBaseline(w);
+        SynthesisReport r = synthesize(*accel);
+        EXPECT_GE(r.fpgaMhz, 150.0) << name;
+        EXPECT_LE(r.fpgaMhz, 520.0) << name;
+        EXPECT_GE(r.fpgaMw, 300.0) << name;
+        EXPECT_LE(r.fpgaMw, 2500.0) << name;
+        EXPECT_GE(r.asicGhz, 1.6) << name;
+        EXPECT_LE(r.asicGhz, 2.5) << name;
+        EXPECT_GT(r.alms, 100.0) << name;
+        EXPECT_GT(r.regs, r.alms * 0.5) << name;
+        EXPECT_GT(r.asicKum2, 1.0) << name;
+    }
+}
+
+TEST(CostModel, FpWorkloadsClockLowerThanIntOnAsic)
+{
+    auto gemm = buildWorkload("gemm"); // FP
+    auto rgb = buildWorkload("rgb2yuv"); // Integer
+    auto g = synthesize(*lowerBaseline(gemm));
+    auto r = synthesize(*lowerBaseline(rgb));
+    EXPECT_LT(g.asicGhz, r.asicGhz);
+    EXPECT_DOUBLE_EQ(g.asicGhz, 1.66);
+    EXPECT_DOUBLE_EQ(r.asicGhz, 2.5);
+}
+
+TEST(CostModel, CilkDesignsClockLowerOnFpga)
+{
+    // §5.1: Cilk accelerators reach 200-300 MHz vs 350+ for the rest,
+    // because task queue/dispatch logic sits on the critical path.
+    auto fib = buildWorkload("fib");
+    auto rgb = buildWorkload("rgb2yuv");
+    auto f = synthesize(*lowerBaseline(fib));
+    auto r = synthesize(*lowerBaseline(rgb));
+    EXPECT_LT(f.fpgaMhz, r.fpgaMhz);
+    EXPECT_LE(f.fpgaMhz, 330.0);
+}
+
+TEST(CostModel, TensorWorkloadsUseDsps)
+{
+    auto t = buildWorkload("2mm_t");
+    auto r = synthesize(*lowerBaseline(t));
+    EXPECT_GE(r.dsps, 8u);
+    auto fib = buildWorkload("fib");
+    EXPECT_EQ(synthesize(*lowerBaseline(fib)).dsps, 0u);
+}
+
+TEST(CostModel, TilingGrowsArea)
+{
+    auto w = buildWorkload("stencil");
+    auto accel = lowerBaseline(w);
+    double before = synthesize(*accel).alms;
+    uopt::ExecutionTilingPass(4).run(*accel);
+    double after = synthesize(*accel).alms;
+    EXPECT_GT(after, before * 1.5);
+}
+
+TEST(CostModel, FusionShrinksAreaWithoutFrequencyLoss)
+{
+    auto w = buildWorkload("rgb2yuv");
+    auto accel = lowerBaseline(w);
+    auto before = synthesize(*accel);
+    uopt::OpFusionPass().run(*accel);
+    auto after = synthesize(*accel);
+    EXPECT_LT(after.alms, before.alms);
+    // The fusion budget guarantees the clock does not degrade by more
+    // than routing noise.
+    EXPECT_GT(after.fpgaMhz, before.fpgaMhz * 0.95);
+}
+
+TEST(CostModel, ActivityScalesPower)
+{
+    auto w = buildWorkload("gemm");
+    auto accel = lowerBaseline(w);
+    auto idle = synthesize(*accel, 0.05);
+    auto busy = synthesize(*accel, 0.9);
+    EXPECT_GT(busy.fpgaMw, idle.fpgaMw);
+    EXPECT_GT(busy.asicMw, idle.asicMw);
+}
+
+TEST(CostModel, StructureCostsScaleWithBanks)
+{
+    uir::Accelerator a("t", nullptr);
+    auto *s = a.addStructure(uir::StructureKind::Scratchpad, "s");
+    NodeCost one = structureCost(*s);
+    s->setBanks(4);
+    NodeCost four = structureCost(*s);
+    EXPECT_GT(four.alms, one.alms);
+}
+
+} // namespace muir::cost

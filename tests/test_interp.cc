@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Interpreter tests: arithmetic semantics, memory, loops, parallel
+ * constructs, tensors, calls, and trace generation.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ir/analysis/memory_objects.hh"
+#include "ir/builder.hh"
+#include "ir/interp.hh"
+#include "ir/verifier.hh"
+
+namespace muir::ir
+{
+
+namespace
+{
+
+RuntimeValue
+runFn(Module &m, Function *fn, std::vector<RuntimeValue> args)
+{
+    verifyOrDie(m);
+    Interpreter interp(m);
+    return interp.run(*fn, std::move(args));
+}
+
+} // namespace
+
+TEST(Interp, IntegerArithmetic)
+{
+    Module m("t");
+    Function *fn = m.addFunction("f", Type::i32());
+    Value *a = fn->addArg(Type::i32(), "a");
+    Value *b_arg = fn->addArg(Type::i32(), "b");
+    IRBuilder b(m);
+    b.setInsertPoint(fn->addBlock("entry"));
+    // (a*b - a) / 3 % 5
+    Value *r = b.srem(
+        b.sdiv(b.sub(b.mul(a, b_arg), a), b.i32(3)), b.i32(5));
+    b.ret(r);
+    auto result = runFn(m, fn, {RuntimeValue::makeInt(7),
+                                RuntimeValue::makeInt(10)});
+    EXPECT_EQ(result.asInt(), ((7 * 10 - 7) / 3) % 5);
+}
+
+TEST(Interp, BitwiseAndShifts)
+{
+    Module m("t");
+    Function *fn = m.addFunction("f", Type::i32());
+    Value *a = fn->addArg(Type::i32(), "a");
+    IRBuilder b(m);
+    b.setInsertPoint(fn->addBlock("entry"));
+    Value *r = b.xorOp(b.shl(a, b.i32(2)),
+                       b.andOp(a, b.i32(0xF)));
+    b.ret(r);
+    auto result = runFn(m, fn, {RuntimeValue::makeInt(0b1011)});
+    EXPECT_EQ(result.asInt(), (0b1011 << 2) ^ (0b1011 & 0xF));
+}
+
+TEST(Interp, FloatArithmeticRoundsThroughF32)
+{
+    Module m("t");
+    Function *fn = m.addFunction("f", Type::f32());
+    Value *x = fn->addArg(Type::f32(), "x");
+    IRBuilder b(m);
+    b.setInsertPoint(fn->addBlock("entry"));
+    Value *r = b.fdiv(b.fadd(x, b.f32(1.0)), b.f32(3.0));
+    b.ret(r);
+    auto result = runFn(m, fn, {RuntimeValue::makeFloat(2.0)});
+    EXPECT_FLOAT_EQ(result.asFloat(), 1.0f);
+}
+
+TEST(Interp, ExpAndSqrt)
+{
+    Module m("t");
+    Function *fn = m.addFunction("f", Type::f32());
+    Value *x = fn->addArg(Type::f32(), "x");
+    IRBuilder b(m);
+    b.setInsertPoint(fn->addBlock("entry"));
+    b.ret(b.fsqrt(b.fexp(x)));
+    auto result = runFn(m, fn, {RuntimeValue::makeFloat(2.0)});
+    EXPECT_NEAR(result.asFloat(), std::sqrt(std::exp(2.0f)), 1e-5);
+}
+
+TEST(Interp, SelectAndCompare)
+{
+    Module m("t");
+    Function *fn = m.addFunction("max", Type::i32());
+    Value *a = fn->addArg(Type::i32(), "a");
+    Value *c = fn->addArg(Type::i32(), "c");
+    IRBuilder b(m);
+    b.setInsertPoint(fn->addBlock("entry"));
+    Value *cmp = b.icmp(Op::ICmpSgt, a, c);
+    b.ret(b.select(cmp, a, c));
+    EXPECT_EQ(runFn(m, fn, {RuntimeValue::makeInt(3),
+                            RuntimeValue::makeInt(9)}).asInt(), 9);
+}
+
+TEST(Interp, LoadStoreGlobals)
+{
+    Module m("t");
+    auto *buf = m.addGlobal("buf", Type::i32(), 8);
+    Function *fn = m.addFunction("f", Type::i32());
+    IRBuilder b(m);
+    b.setInsertPoint(fn->addBlock("entry"));
+    b.store(b.i32(41), b.gep(buf, b.i32(3)));
+    Value *v = b.load(b.gep(buf, b.i32(3)), "v");
+    b.ret(b.add(v, b.i32(1)));
+    EXPECT_EQ(runFn(m, fn, {}).asInt(), 42);
+}
+
+TEST(Interp, CountedLoopSum)
+{
+    Module m("t");
+    Function *fn = m.addFunction("sum", Type::i32());
+    IRBuilder b(m);
+    b.setInsertPoint(fn->addBlock("entry"));
+    ForLoop loop(b, "i", b.i32(0), b.i32(100), b.i32(1));
+    Instruction *acc = loop.addCarried(b.i32(0), "acc");
+    loop.setCarriedNext(acc, b.add(acc, loop.iv(), "next"));
+    loop.finish();
+    b.ret(acc);
+    EXPECT_EQ(runFn(m, fn, {}).asInt(), 4950);
+}
+
+TEST(Interp, ParallelForSerialElision)
+{
+    Module m("t");
+    auto *out = m.addGlobal("out", Type::i32(), 16);
+    Function *fn = m.addFunction("pfill", Type::voidTy());
+    IRBuilder b(m);
+    b.setInsertPoint(fn->addBlock("entry"));
+    ForLoop loop(b, "i", b.i32(0), b.i32(16), b.i32(1), /*parallel=*/true);
+    b.store(b.mul(loop.iv(), loop.iv()), b.gep(out, loop.iv()));
+    loop.finish();
+    b.ret();
+    verifyOrDie(m);
+    Interpreter interp(m);
+    interp.run(*fn, {});
+    auto data = interp.memory().readInts(out);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(data[i], i * i);
+}
+
+TEST(Interp, NestedParallelSpawnWithBranches)
+{
+    // parallel_for i: if (i%2==0) out[i]=i else out[i]=-i — the shape
+    // of Figure 4's Cilk example.
+    Module m("t");
+    auto *out = m.addGlobal("out", Type::i32(), 8);
+    Function *fn = m.addFunction("f", Type::voidTy());
+    IRBuilder b(m);
+    b.setInsertPoint(fn->addBlock("entry"));
+    ForLoop loop(b, "i", b.i32(0), b.i32(8), b.i32(1), /*parallel=*/true);
+    BasicBlock *even = fn->addBlock("even");
+    BasicBlock *odd = fn->addBlock("odd");
+    BasicBlock *done = fn->addBlock("done");
+    Value *isEven =
+        b.icmp(Op::ICmpEq, b.srem(loop.iv(), b.i32(2)), b.i32(0));
+    b.condBr(isEven, even, odd);
+    b.setInsertPoint(even);
+    b.store(loop.iv(), b.gep(out, loop.iv()));
+    b.br(done);
+    b.setInsertPoint(odd);
+    b.store(b.sub(b.i32(0), loop.iv()), b.gep(out, loop.iv()));
+    b.br(done);
+    b.setInsertPoint(done);
+    loop.finish();
+    b.ret();
+    verifyOrDie(m);
+    Interpreter interp(m);
+    interp.run(*fn, {});
+    auto data = interp.memory().readInts(out);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(data[i], (i % 2 == 0) ? i : -i);
+}
+
+TEST(Interp, TensorMulMatchesScalarReference)
+{
+    Module m("t");
+    Type t22 = Type::tensor(2, 2);
+    auto *ga = m.addGlobal("A", t22, 1);
+    auto *gb = m.addGlobal("B", t22, 1);
+    auto *gc = m.addGlobal("C", t22, 1);
+    Function *fn = m.addFunction("mm", Type::voidTy());
+    IRBuilder b(m);
+    b.setInsertPoint(fn->addBlock("entry"));
+    Value *ta = b.tload(b.gep(ga, b.i32(0)), "ta");
+    Value *tb = b.tload(b.gep(gb, b.i32(0)), "tb");
+    b.tstore(b.tmul(ta, tb), b.gep(gc, b.i32(0)));
+    b.ret();
+    verifyOrDie(m);
+
+    Interpreter interp(m);
+    interp.memory().writeFloats(ga, {1, 2, 3, 4});
+    interp.memory().writeFloats(gb, {5, 6, 7, 8});
+    interp.run(*fn, {});
+    auto c = interp.memory().readFloats(gc);
+    EXPECT_FLOAT_EQ(c[0], 1 * 5 + 2 * 7);
+    EXPECT_FLOAT_EQ(c[1], 1 * 6 + 2 * 8);
+    EXPECT_FLOAT_EQ(c[2], 3 * 5 + 4 * 7);
+    EXPECT_FLOAT_EQ(c[3], 3 * 6 + 4 * 8);
+}
+
+TEST(Interp, TensorAddAndRelu)
+{
+    Module m("t");
+    Type t22 = Type::tensor(2, 2);
+    auto *ga = m.addGlobal("A", t22, 1);
+    auto *gc = m.addGlobal("C", t22, 1);
+    Function *fn = m.addFunction("f", Type::voidTy());
+    IRBuilder b(m);
+    b.setInsertPoint(fn->addBlock("entry"));
+    Value *ta = b.tload(b.gep(ga, b.i32(0)), "ta");
+    b.tstore(b.trelu(b.tadd(ta, ta)), b.gep(gc, b.i32(0)));
+    b.ret();
+    verifyOrDie(m);
+    Interpreter interp(m);
+    interp.memory().writeFloats(ga, {1, -2, 3, -4});
+    interp.run(*fn, {});
+    auto c = interp.memory().readFloats(gc);
+    EXPECT_FLOAT_EQ(c[0], 2);
+    EXPECT_FLOAT_EQ(c[1], 0);
+    EXPECT_FLOAT_EQ(c[2], 6);
+    EXPECT_FLOAT_EQ(c[3], 0);
+}
+
+TEST(Interp, FunctionCalls)
+{
+    Module m("t");
+    Function *sq = m.addFunction("sq", Type::i32());
+    Value *x = sq->addArg(Type::i32(), "x");
+    IRBuilder b(m);
+    b.setInsertPoint(sq->addBlock("entry"));
+    b.ret(b.mul(x, x));
+
+    Function *fn = m.addFunction("f", Type::i32());
+    Value *a = fn->addArg(Type::i32(), "a");
+    b.setInsertPoint(fn->addBlock("entry"));
+    b.ret(b.call(sq, {b.add(a, b.i32(1))}));
+    EXPECT_EQ(runFn(m, fn, {RuntimeValue::makeInt(4)}).asInt(), 25);
+}
+
+TEST(Interp, TraceSinkSeesMemoryAddresses)
+{
+    Module m("t");
+    auto *buf = m.addGlobal("buf", Type::i32(), 4);
+    Function *fn = m.addFunction("f", Type::voidTy());
+    IRBuilder b(m);
+    b.setInsertPoint(fn->addBlock("entry"));
+    b.store(b.i32(1), b.gep(buf, b.i32(2)));
+    b.ret();
+    verifyOrDie(m);
+
+    Interpreter interp(m);
+    uint64_t store_addr = 0;
+    unsigned count = 0;
+    interp.setTraceSink([&](const Instruction &inst, uint64_t addr) {
+        ++count;
+        if (inst.op() == Op::Store)
+            store_addr = addr;
+    });
+    interp.run(*fn, {});
+    EXPECT_EQ(store_addr, interp.memory().baseOf(buf) + 8);
+    EXPECT_EQ(count, interp.dynamicInstCount());
+    EXPECT_GE(count, 3u); // const/gep/store/ret at minimum.
+}
+
+TEST(Interp, MemoryImageSpaces)
+{
+    Module m("t");
+    auto *a = m.addGlobal("a", Type::f32(), 4);
+    auto *c = m.addGlobal("c", Type::i32(), 4);
+    Interpreter interp(m);
+    const MemoryImage &mem = interp.memory();
+    EXPECT_EQ(mem.spaceOf(mem.baseOf(a)), a->spaceId());
+    EXPECT_EQ(mem.spaceOf(mem.baseOf(c) + 4), c->spaceId());
+    EXPECT_EQ(mem.spaceOf(0x10), kGlobalSpace);
+}
+
+TEST(InterpDeathTest, OutOfBoundsAccessPanics)
+{
+    Module m("t");
+    auto *buf = m.addGlobal("buf", Type::i32(), 2);
+    Function *fn = m.addFunction("f", Type::i32());
+    IRBuilder b(m);
+    b.setInsertPoint(fn->addBlock("entry"));
+    b.ret(b.load(b.gep(buf, b.i32(1000)), "v"));
+    verifyOrDie(m);
+    Interpreter interp(m);
+    EXPECT_DEATH(interp.run(*fn, {}), "out-of-bounds");
+}
+
+} // namespace muir::ir

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Unit tests for the mini compiler IR: types, values, builder,
+ * verifier, printer.
+ */
+#include <gtest/gtest.h>
+
+#include "ir/builder.hh"
+#include "ir/printer.hh"
+#include "ir/verifier.hh"
+#include "support/strings.hh"
+
+using muir::join;
+
+namespace muir::ir
+{
+
+TEST(Type, ScalarProperties)
+{
+    EXPECT_TRUE(Type::i32().isInt());
+    EXPECT_TRUE(Type::i1().isBool());
+    EXPECT_FALSE(Type::i32().isBool());
+    EXPECT_TRUE(Type::f32().isFloat());
+    EXPECT_EQ(Type::i32().sizeBytes(), 4u);
+    EXPECT_EQ(Type::i64().sizeBytes(), 8u);
+    EXPECT_EQ(Type::i1().sizeBytes(), 1u);
+    EXPECT_EQ(Type::f32().sizeBytes(), 4u);
+}
+
+TEST(Type, TensorProperties)
+{
+    Type t = Type::tensor(2, 2);
+    EXPECT_TRUE(t.isTensor());
+    EXPECT_EQ(t.rows(), 2u);
+    EXPECT_EQ(t.tensorElems(), 4u);
+    EXPECT_EQ(t.sizeBytes(), 16u);
+    EXPECT_EQ(t.str(), "tensor<2x2xf32>");
+}
+
+TEST(Type, PointerRoundTrip)
+{
+    Type p = Type::ptrTo(Type::f32());
+    EXPECT_TRUE(p.isPtr());
+    EXPECT_EQ(p.pointee(), Type::f32());
+    EXPECT_EQ(p.str(), "f32*");
+    EXPECT_EQ(p.sizeBytes(), 8u);
+}
+
+TEST(Type, Equality)
+{
+    EXPECT_EQ(Type::i32(), Type::i32());
+    EXPECT_NE(Type::i32(), Type::i64());
+    EXPECT_EQ(Type::ptrTo(Type::i32()), Type::ptrTo(Type::i32()));
+    EXPECT_NE(Type::ptrTo(Type::i32()), Type::ptrTo(Type::f32()));
+    EXPECT_NE(Type::tensor(2, 2), Type::tensor(4, 4));
+}
+
+TEST(Module, ConstantDeduplication)
+{
+    Module m("t");
+    EXPECT_EQ(m.constI32(7), m.constI32(7));
+    EXPECT_NE(m.constI32(7), m.constI32(8));
+    EXPECT_NE(m.constI32(7), m.constI64(7));
+    EXPECT_EQ(m.constF32(1.5), m.constF32(1.5));
+}
+
+TEST(Module, GlobalsGetDistinctSpaces)
+{
+    Module m("t");
+    auto *a = m.addGlobal("a", Type::f32(), 16);
+    auto *b = m.addGlobal("b", Type::f32(), 16);
+    EXPECT_NE(a->spaceId(), b->spaceId());
+    EXPECT_NE(a->spaceId(), 0u); // 0 is reserved for DRAM.
+    EXPECT_EQ(a->sizeBytes(), 64u);
+    EXPECT_EQ(m.global("a"), a);
+    EXPECT_EQ(m.global("nope"), nullptr);
+}
+
+namespace
+{
+
+/** Build: f(a, b) = a*b + a. */
+Function *
+buildSimpleFn(Module &m)
+{
+    Function *fn = m.addFunction("maddself", Type::i32());
+    Value *a = fn->addArg(Type::i32(), "a");
+    Value *b = fn->addArg(Type::i32(), "b");
+    IRBuilder builder(m);
+    builder.setInsertPoint(fn->addBlock("entry"));
+    Value *prod = builder.mul(a, b, "prod");
+    Value *sum = builder.add(prod, a, "sum");
+    builder.ret(sum);
+    return fn;
+}
+
+} // namespace
+
+TEST(Builder, ConstructsWellFormedFunction)
+{
+    Module m("t");
+    Function *fn = buildSimpleFn(m);
+    EXPECT_EQ(fn->numInsts(), 3u);
+    EXPECT_TRUE(verify(m).empty());
+}
+
+TEST(Builder, DefUseChains)
+{
+    Module m("t");
+    Function *fn = buildSimpleFn(m);
+    Value *a = fn->arg(0);
+    // a is used by mul and add.
+    EXPECT_EQ(a->users().size(), 2u);
+}
+
+TEST(Builder, ReplaceAllUsesWith)
+{
+    Module m("t");
+    Function *fn = buildSimpleFn(m);
+    Value *a = fn->arg(0);
+    Value *b = fn->arg(1);
+    a->replaceAllUsesWith(b);
+    EXPECT_TRUE(a->users().empty());
+    EXPECT_EQ(b->users().size(), 3u);
+}
+
+TEST(Builder, ForLoopShape)
+{
+    Module m("t");
+    Function *fn = m.addFunction("loop", Type::voidTy());
+    IRBuilder b(m);
+    b.setInsertPoint(fn->addBlock("entry"));
+    ForLoop loop(b, "i", b.i32(0), b.i32(10), b.i32(1));
+    // Body: no-op.
+    loop.finish();
+    b.ret();
+    EXPECT_TRUE(verify(m).empty());
+    // entry, header, body, latch, exit.
+    EXPECT_EQ(fn->blocks().size(), 5u);
+    EXPECT_EQ(loop.header()->name(), "i.header");
+}
+
+TEST(Builder, ForLoopCarriedValues)
+{
+    Module m("t");
+    Function *fn = m.addFunction("sumloop", Type::i32());
+    IRBuilder b(m);
+    b.setInsertPoint(fn->addBlock("entry"));
+    ForLoop loop(b, "i", b.i32(0), b.i32(10), b.i32(1));
+    Instruction *acc = loop.addCarried(b.i32(0), "acc");
+    Value *next = b.add(acc, loop.iv(), "acc.next");
+    loop.setCarriedNext(acc, next);
+    loop.finish();
+    b.ret(acc);
+    EXPECT_TRUE(verify(m).empty()) << join(verify(m), "\n");
+}
+
+TEST(Builder, ParallelForEmitsTapirOps)
+{
+    Module m("t");
+    Function *fn = m.addFunction("pfor", Type::voidTy());
+    IRBuilder b(m);
+    b.setInsertPoint(fn->addBlock("entry"));
+    ForLoop loop(b, "i", b.i32(0), b.i32(4), b.i32(1),
+                 /*parallel=*/true);
+    loop.finish();
+    b.ret();
+    ASSERT_TRUE(verify(m).empty()) << join(verify(m), "\n");
+    unsigned detaches = 0, reattaches = 0, syncs = 0;
+    for (const auto &bb : fn->blocks()) {
+        for (const auto &inst : bb->insts()) {
+            if (inst->op() == Op::Detach) ++detaches;
+            if (inst->op() == Op::Reattach) ++reattaches;
+            if (inst->op() == Op::Sync) ++syncs;
+        }
+    }
+    EXPECT_EQ(detaches, 1u);
+    EXPECT_EQ(reattaches, 1u);
+    EXPECT_EQ(syncs, 1u);
+}
+
+TEST(Verifier, CatchesMissingTerminator)
+{
+    Module m("t");
+    Function *fn = m.addFunction("bad", Type::voidTy());
+    fn->addBlock("entry"); // No terminator.
+    auto errors = verify(m);
+    ASSERT_FALSE(errors.empty());
+    EXPECT_NE(errors[0].find("terminator"), std::string::npos);
+}
+
+TEST(Verifier, CatchesPhiPredMismatch)
+{
+    Module m("t");
+    Function *fn = m.addFunction("bad", Type::voidTy());
+    IRBuilder b(m);
+    BasicBlock *entry = fn->addBlock("entry");
+    BasicBlock *next = fn->addBlock("next");
+    b.setInsertPoint(entry);
+    b.br(next);
+    b.setInsertPoint(next);
+    Instruction *p = b.phi(Type::i32(), "p");
+    // Phi has zero incoming but the block has one predecessor.
+    b.ret();
+    (void)p;
+    auto errors = verify(m);
+    ASSERT_FALSE(errors.empty());
+    EXPECT_NE(errors[0].find("phi"), std::string::npos);
+}
+
+TEST(Printer, RendersInstructions)
+{
+    Module m("t");
+    buildSimpleFn(m);
+    std::string text = printModule(m);
+    EXPECT_NE(text.find("%prod = mul i32 %a, %b"), std::string::npos);
+    EXPECT_NE(text.find("func @maddself"), std::string::npos);
+}
+
+TEST(Printer, RendersGlobalsWithSpaces)
+{
+    Module m("t");
+    m.addGlobal("weights", Type::f32(), 64);
+    std::string text = printModule(m);
+    EXPECT_NE(text.find("global @weights : f32 x 64"), std::string::npos);
+}
+
+} // namespace muir::ir

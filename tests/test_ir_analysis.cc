@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Tests for CFG, dominator, loop, and memory-object analyses.
+ */
+#include <gtest/gtest.h>
+
+#include "ir/analysis/cfg.hh"
+#include "ir/analysis/dominators.hh"
+#include "ir/analysis/loop_info.hh"
+#include "ir/analysis/memory_objects.hh"
+#include "ir/builder.hh"
+#include "ir/verifier.hh"
+
+namespace muir::ir
+{
+
+namespace
+{
+
+/** A diamond: entry -> (left | right) -> join. */
+struct Diamond
+{
+    Module m{"t"};
+    Function *fn;
+    BasicBlock *entry, *left, *right, *join;
+
+    Diamond()
+    {
+        fn = m.addFunction("diamond", Type::voidTy());
+        Value *c = fn->addArg(Type::i1(), "c");
+        IRBuilder b(m);
+        entry = fn->addBlock("entry");
+        left = fn->addBlock("left");
+        right = fn->addBlock("right");
+        join = fn->addBlock("join");
+        b.setInsertPoint(entry);
+        b.condBr(c, left, right);
+        b.setInsertPoint(left);
+        b.br(join);
+        b.setInsertPoint(right);
+        b.br(join);
+        b.setInsertPoint(join);
+        b.ret();
+    }
+};
+
+/** Doubly nested counted loop writing out[i*M+j] = in[i*M+j]. */
+struct Nest
+{
+    Module m{"t"};
+    Function *fn;
+    GlobalArray *in, *out;
+    Instruction *loadInst = nullptr, *storeInst = nullptr;
+
+    Nest()
+    {
+        in = m.addGlobal("in", Type::f32(), 64);
+        out = m.addGlobal("out", Type::f32(), 64);
+        fn = m.addFunction("nest", Type::voidTy());
+        IRBuilder b(m);
+        b.setInsertPoint(fn->addBlock("entry"));
+        ForLoop i(b, "i", b.i32(0), b.i32(8), b.i32(1));
+        ForLoop j(b, "j", b.i32(0), b.i32(8), b.i32(1));
+        Value *idx = b.add(b.mul(i.iv(), b.i32(8)), j.iv(), "idx");
+        Value *v = b.load(b.gep(in, idx), "v");
+        loadInst = dynamic_cast<Instruction *>(v);
+        storeInst = b.store(v, b.gep(out, idx));
+        j.finish();
+        i.finish();
+        b.ret();
+        verifyOrDie(m);
+    }
+};
+
+} // namespace
+
+TEST(Cfg, RpoStartsAtEntry)
+{
+    Diamond d;
+    Cfg cfg(*d.fn);
+    ASSERT_EQ(cfg.rpo().size(), 4u);
+    EXPECT_EQ(cfg.rpo().front(), d.entry);
+    EXPECT_EQ(cfg.rpoIndex(d.entry), 0u);
+    // Join comes after both arms.
+    EXPECT_GT(cfg.rpoIndex(d.join), cfg.rpoIndex(d.left));
+    EXPECT_GT(cfg.rpoIndex(d.join), cfg.rpoIndex(d.right));
+}
+
+TEST(Cfg, PredsOfJoin)
+{
+    Diamond d;
+    Cfg cfg(*d.fn);
+    auto preds = cfg.preds(d.join);
+    EXPECT_EQ(preds.size(), 2u);
+}
+
+TEST(Cfg, UnreachableBlockExcluded)
+{
+    Diamond d;
+    IRBuilder b(d.m);
+    BasicBlock *island = d.fn->addBlock("island");
+    b.setInsertPoint(island);
+    b.ret();
+    Cfg cfg(*d.fn);
+    EXPECT_FALSE(cfg.reachable(island));
+    EXPECT_TRUE(cfg.reachable(d.join));
+}
+
+TEST(Dominators, DiamondIdoms)
+{
+    Diamond d;
+    Cfg cfg(*d.fn);
+    DominatorTree dt(cfg);
+    EXPECT_EQ(dt.idom(d.entry), nullptr);
+    EXPECT_EQ(dt.idom(d.left), d.entry);
+    EXPECT_EQ(dt.idom(d.right), d.entry);
+    EXPECT_EQ(dt.idom(d.join), d.entry);
+    EXPECT_TRUE(dt.dominates(d.entry, d.join));
+    EXPECT_FALSE(dt.dominates(d.left, d.join));
+    EXPECT_TRUE(dt.dominates(d.join, d.join));
+}
+
+TEST(LoopInfo, FindsNestedLoops)
+{
+    Nest n;
+    Cfg cfg(*n.fn);
+    DominatorTree dt(cfg);
+    LoopInfo li(cfg, dt);
+    ASSERT_EQ(li.topLevel().size(), 1u);
+    Loop *outer = li.topLevel()[0];
+    ASSERT_EQ(outer->subloops.size(), 1u);
+    Loop *inner = outer->subloops[0];
+    EXPECT_EQ(outer->depth(), 1u);
+    EXPECT_EQ(inner->depth(), 2u);
+    EXPECT_EQ(inner->parent, outer);
+    EXPECT_TRUE(outer->contains(inner->header));
+    EXPECT_FALSE(inner->contains(outer->header));
+    EXPECT_EQ(li.allLoops().size(), 2u);
+    // Inner body's innermost loop is the inner loop.
+    EXPECT_EQ(li.loopFor(inner->header), inner);
+}
+
+TEST(LoopInfo, OwnBlocksExcludeSubloops)
+{
+    Nest n;
+    Cfg cfg(*n.fn);
+    DominatorTree dt(cfg);
+    LoopInfo li(cfg, dt);
+    Loop *outer = li.topLevel()[0];
+    Loop *inner = outer->subloops[0];
+    for (BasicBlock *bb : outer->ownBlocks())
+        EXPECT_FALSE(inner->contains(bb));
+}
+
+TEST(MemoryObjects, ResolvesGepChains)
+{
+    Nest n;
+    MemoryObjects mo(*n.fn);
+    EXPECT_EQ(mo.spaceForAccess(*n.loadInst), n.in->spaceId());
+    EXPECT_EQ(mo.spaceForAccess(*n.storeInst), n.out->spaceId());
+}
+
+TEST(MemoryObjects, SelectOfDifferentObjectsIsGlobal)
+{
+    Module m("t");
+    auto *a = m.addGlobal("a", Type::f32(), 8);
+    auto *bg = m.addGlobal("b", Type::f32(), 8);
+    Function *fn = m.addFunction("sel", Type::f32());
+    Value *c = fn->addArg(Type::i1(), "c");
+    IRBuilder b(m);
+    b.setInsertPoint(fn->addBlock("entry"));
+    Value *p = b.select(c, b.gep(a, b.i32(0)), b.gep(bg, b.i32(0)), "p");
+    Value *v = b.load(p, "v");
+    b.ret(v);
+    MemoryObjects mo(*fn);
+    auto *load = dynamic_cast<Instruction *>(v);
+    EXPECT_EQ(mo.spaceForAccess(*load), kGlobalSpace);
+}
+
+TEST(MemoryObjects, SelectOfSameObjectResolves)
+{
+    Module m("t");
+    auto *a = m.addGlobal("a", Type::f32(), 8);
+    Function *fn = m.addFunction("sel", Type::f32());
+    Value *c = fn->addArg(Type::i1(), "c");
+    IRBuilder b(m);
+    b.setInsertPoint(fn->addBlock("entry"));
+    Value *p = b.select(c, b.gep(a, b.i32(0)), b.gep(a, b.i32(4)), "p");
+    Value *v = b.load(p, "v");
+    b.ret(v);
+    MemoryObjects mo(*fn);
+    auto *load = dynamic_cast<Instruction *>(v);
+    EXPECT_EQ(mo.spaceForAccess(*load), a->spaceId());
+}
+
+TEST(DetachRegion, CoversSpawnedBlocksOnly)
+{
+    Module m("t");
+    Function *fn = m.addFunction("spawner", Type::voidTy());
+    IRBuilder b(m);
+    b.setInsertPoint(fn->addBlock("entry"));
+    ForLoop loop(b, "i", b.i32(0), b.i32(4), b.i32(1), /*parallel=*/true);
+    loop.finish();
+    b.ret();
+    verifyOrDie(m);
+
+    const Instruction *detach = nullptr;
+    for (const auto &bb : fn->blocks())
+        for (const auto &inst : bb->insts())
+            if (inst->op() == Op::Detach)
+                detach = inst.get();
+    ASSERT_NE(detach, nullptr);
+    auto region = detachRegion(*detach);
+    ASSERT_EQ(region.size(), 1u);
+    EXPECT_EQ(region[0]->name(), "i.body");
+}
+
+} // namespace muir::ir

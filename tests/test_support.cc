@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Unit tests for the support library: formatting, tables, stats.
+ */
+#include <gtest/gtest.h>
+
+#include "support/stats.hh"
+#include "support/strings.hh"
+#include "support/table.hh"
+
+namespace muir
+{
+
+TEST(Strings, FmtBasic)
+{
+    EXPECT_EQ(fmt("x=%d", 42), "x=42");
+    EXPECT_EQ(fmt("%s/%s", "a", "b"), "a/b");
+    EXPECT_EQ(fmt("%.2f", 1.5), "1.50");
+}
+
+TEST(Strings, FmtLongOutput)
+{
+    std::string big(500, 'z');
+    EXPECT_EQ(fmt("%s!", big.c_str()), big + "!");
+}
+
+TEST(Strings, Join)
+{
+    std::vector<std::string> parts{"a", "b", "c"};
+    EXPECT_EQ(join(parts, ", "), "a, b, c");
+    EXPECT_EQ(join(std::vector<int>{1, 2}, "-"), "1-2");
+    EXPECT_EQ(join(std::vector<int>{}, "-"), "");
+}
+
+TEST(Strings, Split)
+{
+    auto parts = split("a,b,,c", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "");
+    EXPECT_EQ(parts[3], "c");
+}
+
+TEST(Strings, ReplaceAll)
+{
+    EXPECT_EQ(replaceAll("aXbXc", "X", "yy"), "ayybyyc");
+    EXPECT_EQ(replaceAll("none", "X", "y"), "none");
+}
+
+TEST(Strings, StartsWith)
+{
+    EXPECT_TRUE(startsWith("muir::ir", "muir"));
+    EXPECT_FALSE(startsWith("mu", "muir"));
+}
+
+TEST(Strings, Padding)
+{
+    EXPECT_EQ(padLeft("7", 3), "  7");
+    EXPECT_EQ(padRight("ab", 4), "ab  ");
+    EXPECT_EQ(padLeft("long", 2), "long");
+}
+
+TEST(Stats, IncrementAndGet)
+{
+    StatSet s;
+    EXPECT_EQ(s.get("missing"), 0u);
+    s.inc("hits");
+    s.inc("hits", 2);
+    EXPECT_EQ(s.get("hits"), 3u);
+    EXPECT_TRUE(s.has("hits"));
+    EXPECT_FALSE(s.has("missing"));
+}
+
+TEST(Stats, SetOverrides)
+{
+    StatSet s;
+    s.inc("x", 10);
+    s.set("x", 4);
+    EXPECT_EQ(s.get("x"), 4u);
+}
+
+TEST(Stats, Merge)
+{
+    StatSet a, b;
+    a.inc("x", 1);
+    b.inc("x", 2);
+    b.inc("y", 5);
+    a.merge(b);
+    EXPECT_EQ(a.get("x"), 3u);
+    EXPECT_EQ(a.get("y"), 5u);
+}
+
+TEST(Table, RendersAlignedRows)
+{
+    AsciiTable t({"bench", "cycles"});
+    t.addRow({"gemm", "1234"});
+    t.addRow({"fft", "99"});
+    std::string out = t.render("demo");
+    EXPECT_NE(out.find("bench"), std::string::npos);
+    EXPECT_NE(out.find("1234"), std::string::npos);
+    EXPECT_NE(out.find("demo"), std::string::npos);
+}
+
+TEST(TableDeathTest, RowArityMismatch)
+{
+    AsciiTable t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "arity");
+}
+
+} // namespace muir

@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Direct unit tests for the μIR graph module: hardware types, node
+ * construction and edge maintenance, graph surgery, structures,
+ * verifier diagnostics, and the delay model's invariants.
+ */
+#include <gtest/gtest.h>
+
+#include "support/strings.hh"
+#include "uir/accelerator.hh"
+#include "uir/delay_model.hh"
+#include "uir/analysis.hh"
+#include "uir/hwtype.hh"
+#include "uir/verifier.hh"
+
+namespace muir::uir
+{
+
+TEST(HwType, ScalarWidthsAndWords)
+{
+    EXPECT_EQ(HwType::scalarInt(32).bits(), 32u);
+    EXPECT_EQ(HwType::scalarInt(32).words(), 1u);
+    EXPECT_EQ(HwType::scalarInt(64).words(), 2u);
+    EXPECT_EQ(HwType::scalarFloat().words(), 1u);
+    EXPECT_EQ(HwType::pred().bits(), 1u);
+}
+
+TEST(HwType, TensorFlitInference)
+{
+    // §3.3 polymorphism: wire widths are inferred from node types.
+    HwType t = HwType::tensor2d(2, 2);
+    EXPECT_TRUE(t.isTensor());
+    EXPECT_EQ(t.words(), 4u);
+    EXPECT_EQ(t.flitBits(), 128u);
+    EXPECT_EQ(t.str(), "Tensor2D<2x2>");
+}
+
+TEST(HwType, FromIrMapsPointersToAddresses)
+{
+    EXPECT_EQ(HwType::fromIr(ir::Type::ptrTo(ir::Type::f32())).bits(),
+              64u);
+    EXPECT_TRUE(HwType::fromIr(ir::Type::tensor(2, 2)).isTensor());
+    EXPECT_TRUE(HwType::fromIr(ir::Type::voidTy()).isNone());
+}
+
+namespace
+{
+
+/** A minimal hand-built accelerator: root with a tiny dataflow. */
+struct MicroGraph
+{
+    Accelerator accel{"micro", nullptr};
+    Task *task;
+    Node *a, *b, *sum, *out;
+
+    MicroGraph()
+    {
+        auto *dram = accel.addStructure(StructureKind::Dram, "dram");
+        (void)dram;
+        auto *l1 = accel.addStructure(StructureKind::Cache, "l1");
+        l1->addSpace(0);
+        task = accel.addTask(TaskKind::Root, "root", nullptr);
+        accel.setRoot(task);
+        a = task->addLiveIn(ir::Type::i32(), "a");
+        b = task->addLiveIn(ir::Type::i32(), "b");
+        sum = task->addCompute(ir::Op::Add, ir::Type::i32(), "sum");
+        sum->addInput(a);
+        sum->addInput(b);
+        out = task->addLiveOut(ir::Type::i32(), "out");
+        out->addInput(sum);
+    }
+};
+
+} // namespace
+
+TEST(Node, EdgeBookkeeping)
+{
+    MicroGraph g;
+    EXPECT_EQ(g.sum->numInputs(), 2u);
+    EXPECT_EQ(g.a->users().size(), 1u);
+    EXPECT_EQ(g.sum->users().size(), 1u);
+    EXPECT_EQ(g.task->numEdges(), 3u);
+}
+
+TEST(Node, RewireMovesUserLists)
+{
+    MicroGraph g;
+    Node *c = g.task->addConstInt(ir::Type::i32(), 5);
+    g.sum->rewireInput(1, c, 0);
+    EXPECT_TRUE(g.b->users().empty());
+    EXPECT_EQ(c->users().size(), 1u);
+    EXPECT_EQ(g.sum->input(1).node, c);
+}
+
+TEST(Node, GuardCountsAsEdgeAndUser)
+{
+    MicroGraph g;
+    Node *p = g.task->addConstInt(ir::Type::i1(), 1);
+    unsigned edges = g.task->numEdges();
+    g.sum->setGuard(p, 0);
+    EXPECT_EQ(g.task->numEdges(), edges + 1);
+    EXPECT_EQ(p->users().size(), 1u);
+    g.sum->setGuard(nullptr);
+    EXPECT_TRUE(p->users().empty());
+}
+
+TEST(Task, RemoveNodeRejectsLiveUsers)
+{
+    MicroGraph g;
+    EXPECT_DEATH(g.task->removeNode(g.sum), "with users");
+}
+
+TEST(Task, RemoveNodeCleansProducers)
+{
+    MicroGraph g;
+    g.out->clearInputs();
+    g.task->removeNode(g.out);
+    g.task->removeNode(g.sum);
+    EXPECT_TRUE(g.a->users().empty());
+    EXPECT_TRUE(g.b->users().empty());
+}
+
+TEST(Task, TopoOrderRespectsEdges)
+{
+    MicroGraph g;
+    auto order = g.task->topoOrder();
+    auto pos = [&](const Node *n) {
+        return std::find(order.begin(), order.end(), n) - order.begin();
+    };
+    EXPECT_LT(pos(g.a), pos(g.sum));
+    EXPECT_LT(pos(g.b), pos(g.sum));
+    EXPECT_LT(pos(g.sum), pos(g.out));
+}
+
+TEST(Accelerator, StructureForSpaceFallsBackToCache)
+{
+    MicroGraph g;
+    EXPECT_EQ(g.accel.structureForSpace(42)->name(), "l1");
+    auto *spad = g.accel.addStructure(StructureKind::Scratchpad, "sp");
+    spad->addSpace(42);
+    EXPECT_EQ(g.accel.structureForSpace(42), spad);
+    EXPECT_EQ(g.accel.structureForSpace(7)->name(), "l1");
+}
+
+TEST(Accelerator, RemoveStructure)
+{
+    MicroGraph g;
+    auto *spad = g.accel.addStructure(StructureKind::Scratchpad, "sp");
+    size_t before = g.accel.structures().size();
+    g.accel.removeStructure(spad);
+    EXPECT_EQ(g.accel.structures().size(), before - 1);
+    EXPECT_EQ(g.accel.structureByName("sp"), nullptr);
+}
+
+TEST(Verifier, FlagsCrossTaskEdges)
+{
+    MicroGraph g;
+    Task *other = g.accel.addTask(TaskKind::Func, "other", g.task);
+    Node *foreign = other->addConstInt(ir::Type::i32(), 1);
+    Node *bad = g.task->addCompute(ir::Op::Add, ir::Type::i32(), "bad");
+    bad->addInput(foreign);
+    bad->addInput(foreign);
+    auto errors = verify(g.accel);
+    ASSERT_FALSE(errors.empty());
+    EXPECT_NE(join(errors, "\n").find("cross-task"), std::string::npos);
+}
+
+TEST(Verifier, FlagsArityViolations)
+{
+    MicroGraph g;
+    Node *ld = g.task->addLoad(ir::Type::i32(), 0, "ld");
+    (void)ld; // Load with no address input.
+    auto errors = verify(g.accel);
+    ASSERT_FALSE(errors.empty());
+    EXPECT_NE(join(errors, "\n").find("exactly 1 input"),
+              std::string::npos);
+}
+
+TEST(Verifier, FlagsDoublyOwnedSpaces)
+{
+    MicroGraph g;
+    auto *s1 = g.accel.addStructure(StructureKind::Scratchpad, "s1");
+    auto *s2 = g.accel.addStructure(StructureKind::Scratchpad, "s2");
+    s1->addSpace(9);
+    s2->addSpace(9);
+    auto errors = verify(g.accel);
+    ASSERT_FALSE(errors.empty());
+    EXPECT_NE(join(errors, "\n").find("owned by both"),
+              std::string::npos);
+}
+
+TEST(DelayModel, HandshakeMakesEveryNodeAtLeastOneCycle)
+{
+    MicroGraph g;
+    for (const auto &n : g.task->nodes()) {
+        if (n->kind() != NodeKind::ConstNode &&
+            n->kind() != NodeKind::GlobalAddr) {
+            EXPECT_GE(nodeLatency(*n), 1u) << n->name();
+        }
+    }
+}
+
+TEST(DelayModel, IterativeUnitsHaveHighInitiationIntervals)
+{
+    MicroGraph g;
+    Node *div = g.task->addCompute(ir::Op::SDiv, ir::Type::i32(), "d");
+    div->addInput(g.a);
+    div->addInput(g.b);
+    EXPECT_GT(nodeInitiationInterval(*div), 1u);
+    EXPECT_EQ(nodeInitiationInterval(*g.sum), 1u);
+}
+
+TEST(DelayModel, FusedDelaySumsMicroOps)
+{
+    MicroGraph g;
+    Node *fused = g.task->addNode(NodeKind::Fused, "f");
+    fused->setIrType(ir::Type::i32());
+    Node::MicroOp m1{ir::Op::Add, {-1, -2}, ir::Type::i32()};
+    Node::MicroOp m2{ir::Op::Shl, {0, -1}, ir::Type::i32()};
+    fused->microOps() = {m1, m2};
+    fused->addInput(g.a);
+    fused->addInput(g.b);
+    EXPECT_DOUBLE_EQ(fusedDelayUnits(*fused),
+                     opDelayUnits(ir::Op::Add) +
+                         opDelayUnits(ir::Op::Shl));
+}
+
+TEST(Analysis, PipelineDepthFollowsChains)
+{
+    MicroGraph g;
+    unsigned shallow = pipelineDepthCycles(*g.task);
+    // Lengthen the chain with a multiplier: depth must grow by at
+    // least the multiplier's latency.
+    Node *m = g.task->addCompute(ir::Op::Mul, ir::Type::i32(), "m");
+    m->addInput(g.sum);
+    m->addInput(g.a);
+    g.out->rewireInput(0, m, 0);
+    unsigned deep = pipelineDepthCycles(*g.task);
+    EXPECT_GE(deep, shallow + nodeLatency(*m));
+}
+
+TEST(Analysis, RecurrenceIiDefaultsForPlainTasks)
+{
+    MicroGraph g;
+    EXPECT_EQ(recurrenceIiCycles(*g.task), 1u);
+}
+
+TEST(Analysis, RecurrenceIiTracksCtrlStagesAndCarriedChain)
+{
+    Accelerator a("t", nullptr);
+    a.addStructure(StructureKind::Cache, "l1")->addSpace(0);
+    Task *loop = a.addTask(TaskKind::Loop, "loop", nullptr);
+    a.setRoot(loop);
+    Node *c0 = loop->addConstInt(ir::Type::i32(), 0);
+    Node *cN = loop->addConstInt(ir::Type::i32(), 8);
+    Node *c1 = loop->addConstInt(ir::Type::i32(), 1);
+    Node *lc = loop->addNode(NodeKind::LoopControl, "lc");
+    lc->setIrType(ir::Type::i32());
+    lc->setNumCarried(1);
+    lc->addInput(c0);
+    lc->addInput(cN);
+    lc->addInput(c1);
+    lc->addInput(c0); // carried init
+    Node *next = loop->addCompute(ir::Op::FAdd, ir::Type::f32(), "n");
+    next->addInput(lc, 1);
+    next->addInput(lc, 1);
+    lc->addInput(next); // carried next (back edge)
+
+    lc->setCtrlStages(2);
+    // Recurrence = fadd latency (> ctrl stages of 2).
+    EXPECT_GE(recurrenceIiCycles(*loop), nodeLatency(*next));
+    lc->setCtrlStages(12);
+    EXPECT_EQ(recurrenceIiCycles(*loop), 12u);
+}
+
+TEST(Structure, KindDefaultsDifferByLatency)
+{
+    Accelerator a("t", nullptr);
+    EXPECT_EQ(a.addStructure(StructureKind::Scratchpad, "s")->latency(),
+              1u);
+    EXPECT_EQ(a.addStructure(StructureKind::Cache, "c")->latency(), 2u);
+    EXPECT_EQ(a.addStructure(StructureKind::Dram, "d")->latency(), 80u);
+}
+
+} // namespace muir::uir

@@ -1,0 +1,290 @@
+/**
+ * @file
+ * muirc — the μIR command-line driver. Runs the full toolchain on a
+ * built-in workload: lower, optimize with a named pass pipeline,
+ * simulate, synthesize, and emit artifacts.
+ *
+ *   muirc --workload gemm --passes queue,localize,fusion --report
+ *   muirc --workload saxpy --passes tile:4 --emit-chisel out.scala
+ *   muirc --workload fft --emit-dot fft.dot --emit-uir fft.uir
+ *   muirc --list
+ *
+ * Pass pipeline syntax: comma-separated names with optional ":<arg>"
+ * parameters — queue[:depth], tile[:n], localize[:maxkb], bank[:n],
+ * fusion[:budget_x100], tensor.
+ */
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cost/cost_model.hh"
+#include "sim/exec.hh"
+#include "sim/timing.hh"
+#include "ir/transforms/loop_unroll.hh"
+#include "rtl/chisel.hh"
+#include "rtl/firrtl.hh"
+#include "rtl/verilog.hh"
+#include "support/logging.hh"
+#include "support/strings.hh"
+#include "support/table.hh"
+#include "uir/printer.hh"
+#include "uir/serialize.hh"
+#include "uopt/passes.hh"
+#include "workloads/driver.hh"
+#include "workloads/workload.hh"
+
+using namespace muir;
+
+namespace
+{
+
+void
+usage()
+{
+    std::printf(
+        "muirc — µIR accelerator toolchain driver\n\n"
+        "  --workload <name>     built-in workload to compile\n"
+        "  --list                list available workloads\n"
+        "  --unroll <factor>    behaviour-level loop unrolling before lowering\n"
+        "  --passes <p1,p2,...>  µopt pipeline: queue[:depth] tile[:n]\n"
+        "                        localize[:maxkb] bank[:n]\n"
+        "                        fusion[:budget%%] tensor\n"
+        "  --report              print cycles/synthesis report\n"
+        "  --stats               print simulator activity counters\n"
+        "  --emit-chisel <file>  write generated Chisel RTL\n"
+        "  --emit-verilog <file> write structural Verilog\n"
+        "  --emit-dot <file>     write Graphviz of the µIR graph\n"
+        "  --emit-uir <file>     write the textual µIR dump\n"
+        "  --save-graph <file>   checkpoint the (optimized) graph\n"
+        "  --load-graph <file>   load a checkpointed graph instead of\n"
+        "                        lowering (workload still supplies data)\n"
+        "  --trace <file>        write a per-event timeline CSV\n"
+        "  --emit-firrtl-stats   print circuit-level elaboration size\n"
+        "  --quiet               suppress pass progress chatter\n");
+}
+
+bool
+addPass(uopt::PassManager &pm, const std::string &spec)
+{
+    auto parts = split(spec, ':');
+    const std::string &name = parts[0];
+    long arg = parts.size() > 1 ? std::atol(parts[1].c_str()) : -1;
+    if (name == "queue") {
+        pm.add(std::make_unique<uopt::TaskQueuingPass>(
+            arg > 0 ? unsigned(arg) : 8));
+    } else if (name == "tile") {
+        pm.add(std::make_unique<uopt::ExecutionTilingPass>(
+            arg > 0 ? unsigned(arg) : 4));
+    } else if (name == "localize") {
+        pm.add(std::make_unique<uopt::MemoryLocalizationPass>(
+            arg > 0 ? unsigned(arg) : 16));
+    } else if (name == "bank") {
+        pm.add(std::make_unique<uopt::BankingPass>(
+            arg > 0 ? unsigned(arg) : 4));
+    } else if (name == "fusion") {
+        pm.add(std::make_unique<uopt::OpFusionPass>(
+            arg > 0 ? arg / 100.0 : 1.0));
+    } else if (name == "tensor") {
+        pm.add(std::make_unique<uopt::TensorWideningPass>());
+    } else {
+        std::fprintf(stderr, "muirc: unknown pass '%s'\n", name.c_str());
+        return false;
+    }
+    return true;
+}
+
+bool
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "muirc: cannot write %s\n", path.c_str());
+        return false;
+    }
+    out << content;
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string workload, passes, emit_chisel, emit_dot, emit_uir;
+    std::string emit_verilog, save_graph, load_graph, trace_path;
+    unsigned unroll = 1;
+    bool report = false, stats = false, firrtl_stats = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "muirc: %s needs a value\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--workload") {
+            workload = next();
+        } else if (arg == "--passes") {
+            passes = next();
+        } else if (arg == "--unroll") {
+            unroll = std::atoi(next());
+        } else if (arg == "--emit-chisel") {
+            emit_chisel = next();
+        } else if (arg == "--emit-verilog") {
+            emit_verilog = next();
+        } else if (arg == "--emit-dot") {
+            emit_dot = next();
+        } else if (arg == "--emit-uir") {
+            emit_uir = next();
+        } else if (arg == "--save-graph") {
+            save_graph = next();
+        } else if (arg == "--load-graph") {
+            load_graph = next();
+        } else if (arg == "--trace") {
+            trace_path = next();
+        } else if (arg == "--report") {
+            report = true;
+        } else if (arg == "--stats") {
+            stats = true;
+        } else if (arg == "--emit-firrtl-stats") {
+            firrtl_stats = true;
+        } else if (arg == "--quiet") {
+            setVerbose(false);
+        } else if (arg == "--list") {
+            for (const auto &name : workloads::workloadNames()) {
+                auto w = workloads::buildWorkload(name);
+                std::printf("%-10s %-11s %s%s%s\n", name.c_str(),
+                            workloads::suiteName(w.suite),
+                            w.usesFp ? "fp " : "",
+                            w.usesTensor ? "tensor " : "",
+                            w.usesSpawn ? "cilk" : "");
+            }
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            std::fprintf(stderr, "muirc: unknown option %s\n",
+                         arg.c_str());
+            usage();
+            return 2;
+        }
+    }
+
+    if (workload.empty()) {
+        usage();
+        return 2;
+    }
+
+    auto w = workloads::buildWorkload(workload);
+    if (unroll > 1) {
+        ir::UnrollOptions uopts;
+        uopts.factor = unroll;
+        unsigned n = ir::unrollLoops(*w.module->function(w.kernel),
+                                     uopts);
+        muir_inform("unrolled %u loops by %u", n, unroll);
+    }
+    std::unique_ptr<uir::Accelerator> accel;
+    if (!load_graph.empty()) {
+        std::ifstream in(load_graph);
+        if (!in) {
+            std::fprintf(stderr, "muirc: cannot read %s\n",
+                         load_graph.c_str());
+            return 1;
+        }
+        std::stringstream buf;
+        buf << in.rdbuf();
+        accel = uir::deserialize(buf.str(), w.module.get());
+    } else {
+        accel = workloads::lowerBaseline(w);
+    }
+
+    if (!passes.empty()) {
+        uopt::PassManager pm;
+        for (const auto &spec : split(passes, ','))
+            if (!addPass(pm, spec))
+                return 2;
+        pm.run(*accel);
+    }
+
+    if (!trace_path.empty()) {
+        // Trace run: drive the simulator directly so per-event rows
+        // are available.
+        ir::MemoryImage mem(*w.module);
+        w.bind(mem);
+        sim::UirExecutor exec(*accel, mem);
+        exec.run({});
+        std::vector<sim::TimingTraceRow> rows;
+        sim::scheduleDdg(*accel, exec.ddg(), &rows);
+        std::ostringstream csv;
+        csv << "event,node,task,kind,invocation,ready,start,finish\n";
+        for (const auto &r : rows) {
+            csv << r.event << ","
+                << (r.node ? r.node->name() : "<completion>") << ","
+                << (r.node ? r.node->parent()->name() : "") << ","
+                << (r.node ? uir::nodeKindName(r.node->kind()) : "done")
+                << "," << r.invocation << "," << r.ready << ","
+                << r.start << "," << r.finish << "\n";
+        }
+        if (!writeFile(trace_path, csv.str()))
+            return 1;
+    }
+
+    auto run = workloads::runOn(w, *accel);
+    if (!run.check.empty()) {
+        std::fprintf(stderr, "muirc: FUNCTIONAL CHECK FAILED: %s\n",
+                     run.check.c_str());
+        return 1;
+    }
+
+    if (report) {
+        auto synth = cost::synthesize(*accel);
+        AsciiTable t({"metric", "value"});
+        t.addRow({"workload", workload});
+        t.addRow({"tasks", fmt("%zu", accel->tasks().size())});
+        t.addRow({"uir nodes", fmt("%u", accel->numNodes())});
+        t.addRow({"uir edges", fmt("%u", accel->numEdges())});
+        t.addRow({"cycles", fmt("%llu", (unsigned long long)run.cycles)});
+        t.addRow({"fpga MHz", fmt("%.0f", synth.fpgaMhz)});
+        t.addRow({"fpga mW", fmt("%.0f", synth.fpgaMw)});
+        t.addRow({"ALMs", fmt("%.0f", synth.alms)});
+        t.addRow({"regs", fmt("%.0f", synth.regs)});
+        t.addRow({"DSPs", fmt("%u", synth.dsps)});
+        t.addRow({"asic GHz", fmt("%.2f", synth.asicGhz)});
+        t.addRow({"asic area (1e-3 mm2)", fmt("%.1f", synth.asicKum2)});
+        t.addRow({"exec time (us @FPGA)",
+                  fmt("%.2f", run.cycles / synth.fpgaMhz)});
+        std::printf("%s", t.render("muirc report").c_str());
+    }
+    if (stats)
+        std::printf("%s", run.stats.dump().c_str());
+    if (firrtl_stats) {
+        auto circuit = rtl::lowerToFirrtl(*accel);
+        std::printf("firrtl nodes = %u\nfirrtl edges = %u\n",
+                    circuit.numNodes(), circuit.numEdges());
+    }
+    if (!emit_chisel.empty() &&
+        !writeFile(emit_chisel, rtl::emitChisel(*accel)))
+        return 1;
+    if (!emit_verilog.empty() &&
+        !writeFile(emit_verilog, rtl::emitVerilog(*accel)))
+        return 1;
+    if (!emit_dot.empty() && !writeFile(emit_dot, uir::toDot(*accel)))
+        return 1;
+    if (!emit_uir.empty() &&
+        !writeFile(emit_uir, uir::printAccelerator(*accel)))
+        return 1;
+    if (!save_graph.empty() &&
+        !writeFile(save_graph, uir::serialize(*accel)))
+        return 1;
+    if (!report && !stats)
+        std::printf("%s: OK (%llu cycles)\n", workload.c_str(),
+                    (unsigned long long)run.cycles);
+    return 0;
+}
