@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_vs_hls.dir/fig09_vs_hls.cc.o"
+  "CMakeFiles/fig09_vs_hls.dir/fig09_vs_hls.cc.o.d"
+  "fig09_vs_hls"
+  "fig09_vs_hls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_vs_hls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_op_fusion.dir/fig11_op_fusion.cc.o"
+  "CMakeFiles/fig11_op_fusion.dir/fig11_op_fusion.cc.o.d"
+  "fig11_op_fusion"
+  "fig11_op_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_op_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_task_tiling.dir/fig12_task_tiling.cc.o"
+  "CMakeFiles/fig12_task_tiling.dir/fig12_task_tiling.cc.o.d"
+  "fig12_task_tiling"
+  "fig12_task_tiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_task_tiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

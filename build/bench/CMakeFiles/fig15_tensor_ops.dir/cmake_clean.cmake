@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_tensor_ops.dir/fig15_tensor_ops.cc.o"
+  "CMakeFiles/fig15_tensor_ops.dir/fig15_tensor_ops.cc.o.d"
+  "fig15_tensor_ops"
+  "fig15_tensor_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_tensor_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_cache_banking.dir/fig16_cache_banking.cc.o"
+  "CMakeFiles/fig16_cache_banking.dir/fig16_cache_banking.cc.o.d"
+  "fig16_cache_banking"
+  "fig16_cache_banking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_cache_banking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

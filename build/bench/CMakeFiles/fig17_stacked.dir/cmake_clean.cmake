@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_stacked.dir/fig17_stacked.cc.o"
+  "CMakeFiles/fig17_stacked.dir/fig17_stacked.cc.o.d"
+  "fig17_stacked"
+  "fig17_stacked.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_stacked.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_vs_arm.dir/fig18_vs_arm.cc.o"
+  "CMakeFiles/fig18_vs_arm.dir/fig18_vs_arm.cc.o.d"
+  "fig18_vs_arm"
+  "fig18_vs_arm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_vs_arm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/framework_microbench.dir/framework_microbench.cc.o"
+  "CMakeFiles/framework_microbench.dir/framework_microbench.cc.o.d"
+  "framework_microbench"
+  "framework_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/framework_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_baseline_synthesis.dir/table2_baseline_synthesis.cc.o"
+  "CMakeFiles/table2_baseline_synthesis.dir/table2_baseline_synthesis.cc.o.d"
+  "table2_baseline_synthesis"
+  "table2_baseline_synthesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_baseline_synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

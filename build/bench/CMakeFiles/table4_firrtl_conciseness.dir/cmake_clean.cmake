@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_firrtl_conciseness.dir/table4_firrtl_conciseness.cc.o"
+  "CMakeFiles/table4_firrtl_conciseness.dir/table4_firrtl_conciseness.cc.o.d"
+  "table4_firrtl_conciseness"
+  "table4_firrtl_conciseness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_firrtl_conciseness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

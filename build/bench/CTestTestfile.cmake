@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_smoke_fig01_summary "/root/repo/build/bench/fig01_summary")
+set_tests_properties(bench_smoke_fig01_summary PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;33;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_table2_baseline_synthesis "/root/repo/build/bench/table2_baseline_synthesis")
+set_tests_properties(bench_smoke_table2_baseline_synthesis PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;33;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig09_vs_hls "/root/repo/build/bench/fig09_vs_hls")
+set_tests_properties(bench_smoke_fig09_vs_hls PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;33;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig11_op_fusion "/root/repo/build/bench/fig11_op_fusion")
+set_tests_properties(bench_smoke_fig11_op_fusion PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;33;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig12_task_tiling "/root/repo/build/bench/fig12_task_tiling")
+set_tests_properties(bench_smoke_fig12_task_tiling PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;33;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig15_tensor_ops "/root/repo/build/bench/fig15_tensor_ops")
+set_tests_properties(bench_smoke_fig15_tensor_ops PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;33;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig16_cache_banking "/root/repo/build/bench/fig16_cache_banking")
+set_tests_properties(bench_smoke_fig16_cache_banking PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;33;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig17_stacked "/root/repo/build/bench/fig17_stacked")
+set_tests_properties(bench_smoke_fig17_stacked PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;33;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig18_vs_arm "/root/repo/build/bench/fig18_vs_arm")
+set_tests_properties(bench_smoke_fig18_vs_arm PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;33;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_table4_firrtl_conciseness "/root/repo/build/bench/table4_firrtl_conciseness")
+set_tests_properties(bench_smoke_table4_firrtl_conciseness PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;33;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_ablation_sweeps "/root/repo/build/bench/ablation_sweeps")
+set_tests_properties(bench_smoke_ablation_sweeps PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;33;add_test;/root/repo/bench/CMakeLists.txt;0;")

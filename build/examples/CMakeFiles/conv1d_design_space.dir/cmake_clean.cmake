@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conv1d_design_space.dir/conv1d_design_space.cpp.o"
+  "CMakeFiles/conv1d_design_space.dir/conv1d_design_space.cpp.o.d"
+  "conv1d_design_space"
+  "conv1d_design_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conv1d_design_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

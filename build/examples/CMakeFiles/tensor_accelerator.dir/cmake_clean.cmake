@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tensor_accelerator.dir/tensor_accelerator.cpp.o"
+  "CMakeFiles/tensor_accelerator.dir/tensor_accelerator.cpp.o.d"
+  "tensor_accelerator"
+  "tensor_accelerator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tensor_accelerator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

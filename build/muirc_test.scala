@@ -1,0 +1,88 @@
+// Auto-generated from the µIR graph "saxpy" — do not edit.
+package muir.generated
+
+import muir.lib._
+
+class saxpy_i_body_task extends TaskModule(tiles = 2, queueDepth = 2) {
+    /*------- Dataflow specification -------*/
+    val t3 = new ComputeNode(opCode = "gep")(UInt<64>)
+    val addr_x = new SegmentBase("x")
+    val i = new LiveIn(0)(UInt<32>)
+    val xi = new Load(Float32)
+    val t4 = new ComputeNode(opCode = "gep")(UInt<64>)
+    val addr_y = new SegmentBase("y")
+    val yi = new Load(Float32)
+    val t5 = new ComputeNode(opCode = "gep")(UInt<64>)
+    val t6 = new ComputeNode(opCode = "fmul")(Float32)
+    val cf2_5 = new ConstNode(2.5f)
+    val r = new ComputeNode(opCode = "fadd")(Float32)
+    val st11 = new Store()
+
+    /*------- Connections (latency-insensitive) -------*/
+    t3.io.In(0) <> addr_x.io.Out(0)
+    t3.io.In(1) <> i.io.Out(0)
+    xi.io.In(0) <> t3.io.Out(0)
+    t4.io.In(0) <> addr_y.io.Out(0)
+    t4.io.In(1) <> i.io.Out(0)
+    yi.io.In(0) <> t4.io.Out(0)
+    t5.io.In(0) <> addr_y.io.Out(0)
+    t5.io.In(1) <> i.io.Out(0)
+    t6.io.In(0) <> cf2_5.io.Out(0)
+    t6.io.In(1) <> xi.io.Out(0)
+    r.io.In(0) <> t6.io.Out(0)
+    r.io.In(1) <> yi.io.Out(0)
+    st11.io.In(0) <> r.io.Out(0)
+    st11.io.In(1) <> t5.io.Out(0)
+
+    /*------------ Junctions --------------*/
+    val mem_junc = new Junction(R = 2, W = 1)
+    mem_junc.io.Read(0) <==> xi.io.Mem
+    mem_junc.io.Read(1) <==> yi.io.Mem
+    mem_junc.io.Write(0) <==> st11.io.Mem
+}
+
+class saxpy_i_header extends TaskModule(tiles = 1, queueDepth = 2) {
+    /*------- Dataflow specification -------*/
+    val loop = new LoopControl(carried = 0, stages = 5)
+    val c0 = new ConstNode(0.U)
+    val c256 = new ConstNode(256.U)
+    val c1 = new ConstNode(1.U)
+    val call_saxpy_i_body_task = new TaskDispatch("saxpy.i.body.task", spawn = true)
+
+    /*------- Connections (latency-insensitive) -------*/
+    loop.io.In(0) <> c0.io.Out(0)
+    loop.io.In(1) <> c256.io.Out(0)
+    loop.io.In(2) <> c1.io.Out(0)
+    call_saxpy_i_body_task.io.In(0) <> loop.io.Out(0)
+}
+
+class saxpy extends TaskModule(tiles = 1, queueDepth = 2) {
+    /*------- Dataflow specification -------*/
+    val call_saxpy_i_header = new TaskDispatch("saxpy.i.header", spawn = false)
+    val sync1 = new SyncJoin()
+
+    /*------- Connections (latency-insensitive) -------*/
+    sync1.io.In(0) <> call_saxpy_i_header.io.Out(0)
+}
+
+class Accelerator(val p: Parameters) extends architecture {
+    /*------------ Task Blocks -------------*/
+    val task_saxpy_i_body_task = new saxpy_i_body_task()
+    val task_saxpy_i_header = new saxpy_i_header()
+    val task_saxpy = new saxpy()
+
+    /*------------ Structures -------------*/
+    val hw_dram = new AxiPort()
+    val hw_l1 = new Cache(sizeKB = 64, banks = 1, ways = 4)
+    val hw_spad_shared = new Scratchpad(sizeKB = 2, banks = 2, ports = 2, wide = 1)
+
+    /*--------- Task <||> connections ---------*/
+    task_saxpy_i_body_task.io.task <||> task_saxpy_i_header.io.call_saxpy_i_body_task
+    task_saxpy_i_header.io.task <||> task_saxpy.io.call_saxpy_i_header
+
+    /*--------- Memory <==> connections ---------*/
+    hw_spad_shared.io.Mem <==> task_saxpy_i_body_task.io.Mem
+
+    /*--------- AXI backing ---------*/
+    io.Mem.port(0) <==> hw_l1.io.AXI
+}

@@ -1,0 +1,226 @@
+// Auto-generated structural Verilog for "saxpy" (µIR backend).
+// Primitive library: rtl/lib/muir_primitives.v
+
+module task_saxpy_i_body_task (
+    input  wire clock,
+    input  wire reset,
+    // <||> task interface
+    input  wire task_valid,
+    output wire task_ready,
+    output wire done_valid,
+    input  wire done_ready,
+    // <==> memory junction (R=2, W=1)
+    output wire [63:0] mem_req_addr,
+    output wire mem_req_valid,
+    input  wire mem_req_ready,
+    input  wire [511:0] mem_resp_data,
+    input  wire mem_resp_valid
+);
+    wire [63:0] t3_out0_data;
+    wire t3_out0_valid;
+    wire t3_out0_ready;
+    wire [63:0] addr_x_out0_data;
+    wire addr_x_out0_valid;
+    wire addr_x_out0_ready;
+    wire [31:0] i_out0_data;
+    wire i_out0_valid;
+    wire i_out0_ready;
+    wire [31:0] xi_out0_data;
+    wire xi_out0_valid;
+    wire xi_out0_ready;
+    wire [63:0] t4_out0_data;
+    wire t4_out0_valid;
+    wire t4_out0_ready;
+    wire [63:0] addr_y_out0_data;
+    wire addr_y_out0_valid;
+    wire addr_y_out0_ready;
+    wire [31:0] yi_out0_data;
+    wire yi_out0_valid;
+    wire yi_out0_ready;
+    wire [63:0] t5_out0_data;
+    wire t5_out0_valid;
+    wire t5_out0_ready;
+    wire [31:0] t6_out0_data;
+    wire t6_out0_valid;
+    wire t6_out0_ready;
+    wire [31:0] cf2_5_out0_data;
+    wire cf2_5_out0_valid;
+    wire cf2_5_out0_ready;
+    wire [31:0] r_out0_data;
+    wire r_out0_valid;
+    wire r_out0_ready;
+    wire [0:0] st11_out0_data;
+    wire st11_out0_valid;
+    wire st11_out0_ready;
+
+    muir_compute #(.OP("gep"), .WIDTH(64), .INS(2)) u_t3 (
+        .clock(clock), .reset(reset),
+        .in0_data(addr_x_out0_data), .in0_valid(addr_x_out0_valid), .in0_ready(addr_x_out0_ready),
+        .in1_data(i_out0_data), .in1_valid(i_out0_valid), .in1_ready(i_out0_ready),
+        .out0_data(t3_out0_data), .out0_valid(t3_out0_valid), .out0_ready(t3_out0_ready)
+    );
+    muir_segbase #(.SEGMENT("x")) u_addr_x (
+        .clock(clock), .reset(reset),
+        .out0_data(addr_x_out0_data), .out0_valid(addr_x_out0_valid), .out0_ready(addr_x_out0_ready)
+    );
+    muir_livein #(.INDEX(0), .WIDTH(32)) u_i (
+        .clock(clock), .reset(reset),
+        .out0_data(i_out0_data), .out0_valid(i_out0_valid), .out0_ready(i_out0_ready)
+    );
+    muir_databox #(.STORE(0), .WORDS(1), .WIDTH(32)) u_xi (
+        .clock(clock), .reset(reset),
+        .in0_data(t3_out0_data), .in0_valid(t3_out0_valid), .in0_ready(t3_out0_ready),
+        .out0_data(xi_out0_data), .out0_valid(xi_out0_valid), .out0_ready(xi_out0_ready)
+    );
+    muir_compute #(.OP("gep"), .WIDTH(64), .INS(2)) u_t4 (
+        .clock(clock), .reset(reset),
+        .in0_data(addr_y_out0_data), .in0_valid(addr_y_out0_valid), .in0_ready(addr_y_out0_ready),
+        .in1_data(i_out0_data), .in1_valid(i_out0_valid), .in1_ready(i_out0_ready),
+        .out0_data(t4_out0_data), .out0_valid(t4_out0_valid), .out0_ready(t4_out0_ready)
+    );
+    muir_segbase #(.SEGMENT("y")) u_addr_y (
+        .clock(clock), .reset(reset),
+        .out0_data(addr_y_out0_data), .out0_valid(addr_y_out0_valid), .out0_ready(addr_y_out0_ready)
+    );
+    muir_databox #(.STORE(0), .WORDS(1), .WIDTH(32)) u_yi (
+        .clock(clock), .reset(reset),
+        .in0_data(t4_out0_data), .in0_valid(t4_out0_valid), .in0_ready(t4_out0_ready),
+        .out0_data(yi_out0_data), .out0_valid(yi_out0_valid), .out0_ready(yi_out0_ready)
+    );
+    muir_compute #(.OP("gep"), .WIDTH(64), .INS(2)) u_t5 (
+        .clock(clock), .reset(reset),
+        .in0_data(addr_y_out0_data), .in0_valid(addr_y_out0_valid), .in0_ready(addr_y_out0_ready),
+        .in1_data(i_out0_data), .in1_valid(i_out0_valid), .in1_ready(i_out0_ready),
+        .out0_data(t5_out0_data), .out0_valid(t5_out0_valid), .out0_ready(t5_out0_ready)
+    );
+    muir_compute #(.OP("fmul"), .WIDTH(32), .INS(2)) u_t6 (
+        .clock(clock), .reset(reset),
+        .in0_data(cf2_5_out0_data), .in0_valid(cf2_5_out0_valid), .in0_ready(cf2_5_out0_ready),
+        .in1_data(xi_out0_data), .in1_valid(xi_out0_valid), .in1_ready(xi_out0_ready),
+        .out0_data(t6_out0_data), .out0_valid(t6_out0_valid), .out0_ready(t6_out0_ready)
+    );
+    muir_const #(.FVALUE(2.5), .WIDTH(32)) u_cf2_5 (
+        .clock(clock), .reset(reset),
+        .out0_data(cf2_5_out0_data), .out0_valid(cf2_5_out0_valid), .out0_ready(cf2_5_out0_ready)
+    );
+    muir_compute #(.OP("fadd"), .WIDTH(32), .INS(2)) u_r (
+        .clock(clock), .reset(reset),
+        .in0_data(t6_out0_data), .in0_valid(t6_out0_valid), .in0_ready(t6_out0_ready),
+        .in1_data(yi_out0_data), .in1_valid(yi_out0_valid), .in1_ready(yi_out0_ready),
+        .out0_data(r_out0_data), .out0_valid(r_out0_valid), .out0_ready(r_out0_ready)
+    );
+    muir_databox #(.STORE(1), .WORDS(1), .WIDTH(32)) u_st11 (
+        .clock(clock), .reset(reset),
+        .in0_data(r_out0_data), .in0_valid(r_out0_valid), .in0_ready(r_out0_ready),
+        .in1_data(t5_out0_data), .in1_valid(t5_out0_valid), .in1_ready(t5_out0_ready),
+        .out0_data(st11_out0_data), .out0_valid(st11_out0_valid), .out0_ready(st11_out0_ready)
+    );
+endmodule
+
+module task_saxpy_i_header (
+    input  wire clock,
+    input  wire reset,
+    // <||> task interface
+    input  wire task_valid,
+    output wire task_ready,
+    output wire done_valid,
+    input  wire done_ready,
+    // <==> memory junction (R=2, W=1)
+    output wire [63:0] mem_req_addr,
+    output wire mem_req_valid,
+    input  wire mem_req_ready,
+    input  wire [511:0] mem_resp_data,
+    input  wire mem_resp_valid
+);
+    wire [31:0] loop_out0_data;
+    wire loop_out0_valid;
+    wire loop_out0_ready;
+    wire [31:0] c0_out0_data;
+    wire c0_out0_valid;
+    wire c0_out0_ready;
+    wire [31:0] c256_out0_data;
+    wire c256_out0_valid;
+    wire c256_out0_ready;
+    wire [31:0] c1_out0_data;
+    wire c1_out0_valid;
+    wire c1_out0_ready;
+    wire [31:0] call_saxpy_i_body_task_out0_data;
+    wire call_saxpy_i_body_task_out0_valid;
+    wire call_saxpy_i_body_task_out0_ready;
+
+    muir_loopctrl #(.CARRIED(0), .STAGES(5)) u_loop (
+        .clock(clock), .reset(reset),
+        .in0_data(c0_out0_data), .in0_valid(c0_out0_valid), .in0_ready(c0_out0_ready),
+        .in1_data(c256_out0_data), .in1_valid(c256_out0_valid), .in1_ready(c256_out0_ready),
+        .in2_data(c1_out0_data), .in2_valid(c1_out0_valid), .in2_ready(c1_out0_ready),
+        .out0_data(loop_out0_data), .out0_valid(loop_out0_valid), .out0_ready(loop_out0_ready)
+    );
+    muir_const #(.VALUE(0), .WIDTH(32)) u_c0 (
+        .clock(clock), .reset(reset),
+        .out0_data(c0_out0_data), .out0_valid(c0_out0_valid), .out0_ready(c0_out0_ready)
+    );
+    muir_const #(.VALUE(256), .WIDTH(32)) u_c256 (
+        .clock(clock), .reset(reset),
+        .out0_data(c256_out0_data), .out0_valid(c256_out0_valid), .out0_ready(c256_out0_ready)
+    );
+    muir_const #(.VALUE(1), .WIDTH(32)) u_c1 (
+        .clock(clock), .reset(reset),
+        .out0_data(c1_out0_data), .out0_valid(c1_out0_valid), .out0_ready(c1_out0_ready)
+    );
+    muir_dispatch #(.SPAWN(1), .QDEPTH(2), .TILES(2)) u_call_saxpy_i_body_task (
+        .clock(clock), .reset(reset),
+        .in0_data(loop_out0_data), .in0_valid(loop_out0_valid), .in0_ready(loop_out0_ready),
+        .out0_data(call_saxpy_i_body_task_out0_data), .out0_valid(call_saxpy_i_body_task_out0_valid), .out0_ready(call_saxpy_i_body_task_out0_ready)
+    );
+endmodule
+
+module task_saxpy (
+    input  wire clock,
+    input  wire reset,
+    // <||> task interface
+    input  wire task_valid,
+    output wire task_ready,
+    output wire done_valid,
+    input  wire done_ready,
+    // <==> memory junction (R=2, W=1)
+    output wire [63:0] mem_req_addr,
+    output wire mem_req_valid,
+    input  wire mem_req_ready,
+    input  wire [511:0] mem_resp_data,
+    input  wire mem_resp_valid
+);
+    wire [31:0] call_saxpy_i_header_out0_data;
+    wire call_saxpy_i_header_out0_valid;
+    wire call_saxpy_i_header_out0_ready;
+    wire [31:0] sync1_out0_data;
+    wire sync1_out0_valid;
+    wire sync1_out0_ready;
+
+    muir_dispatch #(.SPAWN(0), .QDEPTH(2), .TILES(1)) u_call_saxpy_i_header (
+        .clock(clock), .reset(reset),
+        .out0_data(call_saxpy_i_header_out0_data), .out0_valid(call_saxpy_i_header_out0_valid), .out0_ready(call_saxpy_i_header_out0_ready)
+    );
+    muir_sync u_sync1 (
+        .clock(clock), .reset(reset),
+        .in0_data(call_saxpy_i_header_out0_data), .in0_valid(call_saxpy_i_header_out0_valid), .in0_ready(call_saxpy_i_header_out0_ready),
+        .out0_data(sync1_out0_data), .out0_valid(sync1_out0_valid), .out0_ready(sync1_out0_ready)
+    );
+endmodule
+
+module accelerator_top (
+    input  wire clock,
+    input  wire reset,
+    output wire done,
+    // AXI master to DRAM
+    output wire [63:0] axi_araddr,
+    input  wire [511:0] axi_rdata
+);
+    muir_axi_port u_dram (.clock(clock), .reset(reset), .araddr(axi_araddr), .rdata(axi_rdata));
+    muir_cache #(.KB(64), .BANKS(1), .WAYS(4), .LINE(64)) u_l1 (.clock(clock), .reset(reset));
+    muir_scratchpad #(.KB(2), .BANKS(2), .PORTS(2), .WIDE(1)) u_spad_shared (.clock(clock), .reset(reset));
+    task_saxpy_i_body_task u_saxpy_i_body_task_t0 (.clock(clock), .reset(reset));
+    task_saxpy_i_body_task u_saxpy_i_body_task_t1 (.clock(clock), .reset(reset));
+    task_saxpy_i_header u_saxpy_i_header_t0 (.clock(clock), .reset(reset));
+    task_saxpy u_saxpy_t0 (.clock(clock), .reset(reset));
+    assign done = 1'b1; // Root sync raises done.
+endmodule

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muir_baselines.dir/arm_a9.cc.o"
+  "CMakeFiles/muir_baselines.dir/arm_a9.cc.o.d"
+  "CMakeFiles/muir_baselines.dir/hls_model.cc.o"
+  "CMakeFiles/muir_baselines.dir/hls_model.cc.o.d"
+  "libmuir_baselines.a"
+  "libmuir_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muir_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

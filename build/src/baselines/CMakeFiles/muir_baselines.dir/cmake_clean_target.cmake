@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmuir_baselines.a"
+)

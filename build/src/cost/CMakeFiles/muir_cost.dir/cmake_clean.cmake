@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muir_cost.dir/cost_model.cc.o"
+  "CMakeFiles/muir_cost.dir/cost_model.cc.o.d"
+  "libmuir_cost.a"
+  "libmuir_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muir_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muir_frontend.dir/lower.cc.o"
+  "CMakeFiles/muir_frontend.dir/lower.cc.o.d"
+  "libmuir_frontend.a"
+  "libmuir_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muir_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

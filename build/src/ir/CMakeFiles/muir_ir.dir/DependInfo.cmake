@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/analysis/cfg.cc" "src/ir/CMakeFiles/muir_ir.dir/analysis/cfg.cc.o" "gcc" "src/ir/CMakeFiles/muir_ir.dir/analysis/cfg.cc.o.d"
+  "/root/repo/src/ir/analysis/dominators.cc" "src/ir/CMakeFiles/muir_ir.dir/analysis/dominators.cc.o" "gcc" "src/ir/CMakeFiles/muir_ir.dir/analysis/dominators.cc.o.d"
+  "/root/repo/src/ir/analysis/loop_info.cc" "src/ir/CMakeFiles/muir_ir.dir/analysis/loop_info.cc.o" "gcc" "src/ir/CMakeFiles/muir_ir.dir/analysis/loop_info.cc.o.d"
+  "/root/repo/src/ir/analysis/memory_objects.cc" "src/ir/CMakeFiles/muir_ir.dir/analysis/memory_objects.cc.o" "gcc" "src/ir/CMakeFiles/muir_ir.dir/analysis/memory_objects.cc.o.d"
+  "/root/repo/src/ir/builder.cc" "src/ir/CMakeFiles/muir_ir.dir/builder.cc.o" "gcc" "src/ir/CMakeFiles/muir_ir.dir/builder.cc.o.d"
+  "/root/repo/src/ir/core.cc" "src/ir/CMakeFiles/muir_ir.dir/core.cc.o" "gcc" "src/ir/CMakeFiles/muir_ir.dir/core.cc.o.d"
+  "/root/repo/src/ir/instruction.cc" "src/ir/CMakeFiles/muir_ir.dir/instruction.cc.o" "gcc" "src/ir/CMakeFiles/muir_ir.dir/instruction.cc.o.d"
+  "/root/repo/src/ir/interp.cc" "src/ir/CMakeFiles/muir_ir.dir/interp.cc.o" "gcc" "src/ir/CMakeFiles/muir_ir.dir/interp.cc.o.d"
+  "/root/repo/src/ir/op_eval.cc" "src/ir/CMakeFiles/muir_ir.dir/op_eval.cc.o" "gcc" "src/ir/CMakeFiles/muir_ir.dir/op_eval.cc.o.d"
+  "/root/repo/src/ir/printer.cc" "src/ir/CMakeFiles/muir_ir.dir/printer.cc.o" "gcc" "src/ir/CMakeFiles/muir_ir.dir/printer.cc.o.d"
+  "/root/repo/src/ir/transforms/loop_unroll.cc" "src/ir/CMakeFiles/muir_ir.dir/transforms/loop_unroll.cc.o" "gcc" "src/ir/CMakeFiles/muir_ir.dir/transforms/loop_unroll.cc.o.d"
+  "/root/repo/src/ir/type.cc" "src/ir/CMakeFiles/muir_ir.dir/type.cc.o" "gcc" "src/ir/CMakeFiles/muir_ir.dir/type.cc.o.d"
+  "/root/repo/src/ir/value.cc" "src/ir/CMakeFiles/muir_ir.dir/value.cc.o" "gcc" "src/ir/CMakeFiles/muir_ir.dir/value.cc.o.d"
+  "/root/repo/src/ir/verifier.cc" "src/ir/CMakeFiles/muir_ir.dir/verifier.cc.o" "gcc" "src/ir/CMakeFiles/muir_ir.dir/verifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/muir_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muir_ir.dir/analysis/cfg.cc.o"
+  "CMakeFiles/muir_ir.dir/analysis/cfg.cc.o.d"
+  "CMakeFiles/muir_ir.dir/analysis/dominators.cc.o"
+  "CMakeFiles/muir_ir.dir/analysis/dominators.cc.o.d"
+  "CMakeFiles/muir_ir.dir/analysis/loop_info.cc.o"
+  "CMakeFiles/muir_ir.dir/analysis/loop_info.cc.o.d"
+  "CMakeFiles/muir_ir.dir/analysis/memory_objects.cc.o"
+  "CMakeFiles/muir_ir.dir/analysis/memory_objects.cc.o.d"
+  "CMakeFiles/muir_ir.dir/builder.cc.o"
+  "CMakeFiles/muir_ir.dir/builder.cc.o.d"
+  "CMakeFiles/muir_ir.dir/core.cc.o"
+  "CMakeFiles/muir_ir.dir/core.cc.o.d"
+  "CMakeFiles/muir_ir.dir/instruction.cc.o"
+  "CMakeFiles/muir_ir.dir/instruction.cc.o.d"
+  "CMakeFiles/muir_ir.dir/interp.cc.o"
+  "CMakeFiles/muir_ir.dir/interp.cc.o.d"
+  "CMakeFiles/muir_ir.dir/op_eval.cc.o"
+  "CMakeFiles/muir_ir.dir/op_eval.cc.o.d"
+  "CMakeFiles/muir_ir.dir/printer.cc.o"
+  "CMakeFiles/muir_ir.dir/printer.cc.o.d"
+  "CMakeFiles/muir_ir.dir/transforms/loop_unroll.cc.o"
+  "CMakeFiles/muir_ir.dir/transforms/loop_unroll.cc.o.d"
+  "CMakeFiles/muir_ir.dir/type.cc.o"
+  "CMakeFiles/muir_ir.dir/type.cc.o.d"
+  "CMakeFiles/muir_ir.dir/value.cc.o"
+  "CMakeFiles/muir_ir.dir/value.cc.o.d"
+  "CMakeFiles/muir_ir.dir/verifier.cc.o"
+  "CMakeFiles/muir_ir.dir/verifier.cc.o.d"
+  "libmuir_ir.a"
+  "libmuir_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muir_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

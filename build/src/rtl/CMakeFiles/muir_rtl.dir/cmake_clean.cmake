@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muir_rtl.dir/chisel.cc.o"
+  "CMakeFiles/muir_rtl.dir/chisel.cc.o.d"
+  "CMakeFiles/muir_rtl.dir/firrtl.cc.o"
+  "CMakeFiles/muir_rtl.dir/firrtl.cc.o.d"
+  "CMakeFiles/muir_rtl.dir/verilog.cc.o"
+  "CMakeFiles/muir_rtl.dir/verilog.cc.o.d"
+  "libmuir_rtl.a"
+  "libmuir_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muir_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/exec.cc" "src/sim/CMakeFiles/muir_sim.dir/exec.cc.o" "gcc" "src/sim/CMakeFiles/muir_sim.dir/exec.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/sim/CMakeFiles/muir_sim.dir/simulator.cc.o" "gcc" "src/sim/CMakeFiles/muir_sim.dir/simulator.cc.o.d"
+  "/root/repo/src/sim/timing.cc" "src/sim/CMakeFiles/muir_sim.dir/timing.cc.o" "gcc" "src/sim/CMakeFiles/muir_sim.dir/timing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/uir/CMakeFiles/muir_uir.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/muir_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/muir_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

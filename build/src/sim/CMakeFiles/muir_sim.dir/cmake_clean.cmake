@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muir_sim.dir/exec.cc.o"
+  "CMakeFiles/muir_sim.dir/exec.cc.o.d"
+  "CMakeFiles/muir_sim.dir/simulator.cc.o"
+  "CMakeFiles/muir_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/muir_sim.dir/timing.cc.o"
+  "CMakeFiles/muir_sim.dir/timing.cc.o.d"
+  "libmuir_sim.a"
+  "libmuir_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muir_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

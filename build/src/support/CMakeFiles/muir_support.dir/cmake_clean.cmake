@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muir_support.dir/logging.cc.o"
+  "CMakeFiles/muir_support.dir/logging.cc.o.d"
+  "CMakeFiles/muir_support.dir/stats.cc.o"
+  "CMakeFiles/muir_support.dir/stats.cc.o.d"
+  "CMakeFiles/muir_support.dir/strings.cc.o"
+  "CMakeFiles/muir_support.dir/strings.cc.o.d"
+  "CMakeFiles/muir_support.dir/table.cc.o"
+  "CMakeFiles/muir_support.dir/table.cc.o.d"
+  "libmuir_support.a"
+  "libmuir_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muir_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

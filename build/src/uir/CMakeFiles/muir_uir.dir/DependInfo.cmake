@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uir/analysis.cc" "src/uir/CMakeFiles/muir_uir.dir/analysis.cc.o" "gcc" "src/uir/CMakeFiles/muir_uir.dir/analysis.cc.o.d"
+  "/root/repo/src/uir/delay_model.cc" "src/uir/CMakeFiles/muir_uir.dir/delay_model.cc.o" "gcc" "src/uir/CMakeFiles/muir_uir.dir/delay_model.cc.o.d"
+  "/root/repo/src/uir/graph.cc" "src/uir/CMakeFiles/muir_uir.dir/graph.cc.o" "gcc" "src/uir/CMakeFiles/muir_uir.dir/graph.cc.o.d"
+  "/root/repo/src/uir/hwtype.cc" "src/uir/CMakeFiles/muir_uir.dir/hwtype.cc.o" "gcc" "src/uir/CMakeFiles/muir_uir.dir/hwtype.cc.o.d"
+  "/root/repo/src/uir/printer.cc" "src/uir/CMakeFiles/muir_uir.dir/printer.cc.o" "gcc" "src/uir/CMakeFiles/muir_uir.dir/printer.cc.o.d"
+  "/root/repo/src/uir/serialize.cc" "src/uir/CMakeFiles/muir_uir.dir/serialize.cc.o" "gcc" "src/uir/CMakeFiles/muir_uir.dir/serialize.cc.o.d"
+  "/root/repo/src/uir/verifier.cc" "src/uir/CMakeFiles/muir_uir.dir/verifier.cc.o" "gcc" "src/uir/CMakeFiles/muir_uir.dir/verifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/muir_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/muir_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muir_uir.dir/analysis.cc.o"
+  "CMakeFiles/muir_uir.dir/analysis.cc.o.d"
+  "CMakeFiles/muir_uir.dir/delay_model.cc.o"
+  "CMakeFiles/muir_uir.dir/delay_model.cc.o.d"
+  "CMakeFiles/muir_uir.dir/graph.cc.o"
+  "CMakeFiles/muir_uir.dir/graph.cc.o.d"
+  "CMakeFiles/muir_uir.dir/hwtype.cc.o"
+  "CMakeFiles/muir_uir.dir/hwtype.cc.o.d"
+  "CMakeFiles/muir_uir.dir/printer.cc.o"
+  "CMakeFiles/muir_uir.dir/printer.cc.o.d"
+  "CMakeFiles/muir_uir.dir/serialize.cc.o"
+  "CMakeFiles/muir_uir.dir/serialize.cc.o.d"
+  "CMakeFiles/muir_uir.dir/verifier.cc.o"
+  "CMakeFiles/muir_uir.dir/verifier.cc.o.d"
+  "libmuir_uir.a"
+  "libmuir_uir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muir_uir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uopt/banking.cc" "src/uopt/CMakeFiles/muir_uopt.dir/banking.cc.o" "gcc" "src/uopt/CMakeFiles/muir_uopt.dir/banking.cc.o.d"
+  "/root/repo/src/uopt/execution_tiling.cc" "src/uopt/CMakeFiles/muir_uopt.dir/execution_tiling.cc.o" "gcc" "src/uopt/CMakeFiles/muir_uopt.dir/execution_tiling.cc.o.d"
+  "/root/repo/src/uopt/memory_localization.cc" "src/uopt/CMakeFiles/muir_uopt.dir/memory_localization.cc.o" "gcc" "src/uopt/CMakeFiles/muir_uopt.dir/memory_localization.cc.o.d"
+  "/root/repo/src/uopt/op_fusion.cc" "src/uopt/CMakeFiles/muir_uopt.dir/op_fusion.cc.o" "gcc" "src/uopt/CMakeFiles/muir_uopt.dir/op_fusion.cc.o.d"
+  "/root/repo/src/uopt/pass.cc" "src/uopt/CMakeFiles/muir_uopt.dir/pass.cc.o" "gcc" "src/uopt/CMakeFiles/muir_uopt.dir/pass.cc.o.d"
+  "/root/repo/src/uopt/task_queuing.cc" "src/uopt/CMakeFiles/muir_uopt.dir/task_queuing.cc.o" "gcc" "src/uopt/CMakeFiles/muir_uopt.dir/task_queuing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/uir/CMakeFiles/muir_uir.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/muir_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/muir_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

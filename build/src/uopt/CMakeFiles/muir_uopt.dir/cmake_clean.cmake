@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muir_uopt.dir/banking.cc.o"
+  "CMakeFiles/muir_uopt.dir/banking.cc.o.d"
+  "CMakeFiles/muir_uopt.dir/execution_tiling.cc.o"
+  "CMakeFiles/muir_uopt.dir/execution_tiling.cc.o.d"
+  "CMakeFiles/muir_uopt.dir/memory_localization.cc.o"
+  "CMakeFiles/muir_uopt.dir/memory_localization.cc.o.d"
+  "CMakeFiles/muir_uopt.dir/op_fusion.cc.o"
+  "CMakeFiles/muir_uopt.dir/op_fusion.cc.o.d"
+  "CMakeFiles/muir_uopt.dir/pass.cc.o"
+  "CMakeFiles/muir_uopt.dir/pass.cc.o.d"
+  "CMakeFiles/muir_uopt.dir/task_queuing.cc.o"
+  "CMakeFiles/muir_uopt.dir/task_queuing.cc.o.d"
+  "libmuir_uopt.a"
+  "libmuir_uopt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muir_uopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/cilk.cc" "src/workloads/CMakeFiles/muir_workloads.dir/cilk.cc.o" "gcc" "src/workloads/CMakeFiles/muir_workloads.dir/cilk.cc.o.d"
+  "/root/repo/src/workloads/driver.cc" "src/workloads/CMakeFiles/muir_workloads.dir/driver.cc.o" "gcc" "src/workloads/CMakeFiles/muir_workloads.dir/driver.cc.o.d"
+  "/root/repo/src/workloads/polybench.cc" "src/workloads/CMakeFiles/muir_workloads.dir/polybench.cc.o" "gcc" "src/workloads/CMakeFiles/muir_workloads.dir/polybench.cc.o.d"
+  "/root/repo/src/workloads/tensor.cc" "src/workloads/CMakeFiles/muir_workloads.dir/tensor.cc.o" "gcc" "src/workloads/CMakeFiles/muir_workloads.dir/tensor.cc.o.d"
+  "/root/repo/src/workloads/tensorflow.cc" "src/workloads/CMakeFiles/muir_workloads.dir/tensorflow.cc.o" "gcc" "src/workloads/CMakeFiles/muir_workloads.dir/tensorflow.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/workloads/CMakeFiles/muir_workloads.dir/workload.cc.o" "gcc" "src/workloads/CMakeFiles/muir_workloads.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/frontend/CMakeFiles/muir_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/muir_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/uir/CMakeFiles/muir_uir.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/muir_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/muir_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

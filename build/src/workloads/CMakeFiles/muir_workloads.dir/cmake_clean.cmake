@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muir_workloads.dir/cilk.cc.o"
+  "CMakeFiles/muir_workloads.dir/cilk.cc.o.d"
+  "CMakeFiles/muir_workloads.dir/driver.cc.o"
+  "CMakeFiles/muir_workloads.dir/driver.cc.o.d"
+  "CMakeFiles/muir_workloads.dir/polybench.cc.o"
+  "CMakeFiles/muir_workloads.dir/polybench.cc.o.d"
+  "CMakeFiles/muir_workloads.dir/tensor.cc.o"
+  "CMakeFiles/muir_workloads.dir/tensor.cc.o.d"
+  "CMakeFiles/muir_workloads.dir/tensorflow.cc.o"
+  "CMakeFiles/muir_workloads.dir/tensorflow.cc.o.d"
+  "CMakeFiles/muir_workloads.dir/workload.cc.o"
+  "CMakeFiles/muir_workloads.dir/workload.cc.o.d"
+  "libmuir_workloads.a"
+  "libmuir_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muir_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

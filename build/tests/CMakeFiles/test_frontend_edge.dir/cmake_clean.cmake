@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_frontend_edge.dir/test_frontend_edge.cc.o"
+  "CMakeFiles/test_frontend_edge.dir/test_frontend_edge.cc.o.d"
+  "test_frontend_edge"
+  "test_frontend_edge.pdb"
+  "test_frontend_edge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_frontend_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

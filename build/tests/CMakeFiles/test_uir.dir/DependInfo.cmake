@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_uir.cc" "tests/CMakeFiles/test_uir.dir/test_uir.cc.o" "gcc" "tests/CMakeFiles/test_uir.dir/test_uir.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/muir_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/uopt/CMakeFiles/muir_uopt.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/muir_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/muir_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/muir_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/muir_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/muir_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/uir/CMakeFiles/muir_uir.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/muir_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/muir_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uir.dir/test_uir.cc.o"
+  "CMakeFiles/test_uir.dir/test_uir.cc.o.d"
+  "test_uir"
+  "test_uir.pdb"
+  "test_uir[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uopt.dir/test_uopt.cc.o"
+  "CMakeFiles/test_uopt.dir/test_uopt.cc.o.d"
+  "test_uopt"
+  "test_uopt.pdb"
+  "test_uopt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muir-diff.dir/muir_diff.cc.o"
+  "CMakeFiles/muir-diff.dir/muir_diff.cc.o.d"
+  "muir-diff"
+  "muir-diff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muir-diff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

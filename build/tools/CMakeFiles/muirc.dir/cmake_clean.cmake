@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muirc.dir/muirc.cc.o"
+  "CMakeFiles/muirc.dir/muirc.cc.o.d"
+  "muirc"
+  "muirc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muirc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

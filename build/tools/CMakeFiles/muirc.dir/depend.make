@@ -1,0 +1,2 @@
+# Empty dependencies file for muirc.
+# This may be replaced when dependencies are built.
