@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Dynamic memory-conflict observer: the simulator-side ground truth
+ * for μlint's static race check (R001).
+ *
+ * The executor records every dynamic memory access and every
+ * dependence that orders events — data edges, spawn/sync edges, queue
+ * backpressure — plus, separately, the RAW/WAW/WAR edges it adds just
+ * to keep conflicting accesses in program order (DynEvent::memDeps).
+ * Real hardware provides no such ordering for free: two overlapping
+ * accesses (at least one a store) whose only ordering is a memory
+ * edge are a data race the microarchitecture may resolve either way.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/ddg.hh"
+
+namespace muir::sim
+{
+
+/** One observed racy pair of dynamic memory accesses. */
+struct MemConflict
+{
+    /** Event ids, first < second in record order. */
+    uint64_t first = 0;
+    uint64_t second = 0;
+    /** Static nodes behind the two accesses. */
+    const uir::Node *firstNode = nullptr;
+    const uir::Node *secondNode = nullptr;
+    /** First overlapping word address. */
+    uint64_t addr = 0;
+};
+
+/**
+ * Scan a recorded execution for overlapping accesses (>= 1 store)
+ * unordered by any non-memory dependence.
+ *
+ * @param ddg           The execution record (UirExecutor::ddg()).
+ * @param max_conflicts Stop after this many findings.
+ */
+std::vector<MemConflict> findConflicts(const Ddg &ddg,
+                                       size_t max_conflicts = 16);
+
+} // namespace muir::sim

@@ -52,6 +52,14 @@ struct DynEvent
     uint32_t calleeInv = ~uint32_t(0);
     /** Dependencies: earlier event ids. */
     std::vector<uint64_t> deps;
+    /**
+     * The subset of deps that exist only to order conflicting memory
+     * accesses (RAW/WAW/WAR). The conflict observer computes
+     * happens-before over deps minus memDeps: two overlapping
+     * accesses ordered by nothing but a memory edge are a dynamic
+     * race — the hardware provides no such ordering for free.
+     */
+    std::vector<uint64_t> memDeps;
 };
 
 /** The whole execution record. */

@@ -401,12 +401,20 @@ UirExecutor::evalNode(Ctx &ctx, const Node &node)
         }
         uint64_t addr = valueOf(ctx, node.input(0)).asPtr();
         unsigned words = node.accessWords();
+        // Memory-ordering (RAW) edges are recorded separately from the
+        // data deps already in deps: the conflict observer needs to
+        // know which orderings only exist because of the memory
+        // system. An id that is already a data dep stays a data dep.
+        std::vector<uint64_t> mem_deps;
         if (record_) {
             for (unsigned w = 0; w < words; ++w) {
                 auto it = lastStore_.find((addr & ~uint64_t(3)) + w * 4);
-                if (it != lastStore_.end())
-                    deps.push_back(it->second);
+                if (it != lastStore_.end() &&
+                    std::find(deps.begin(), deps.end(), it->second) ==
+                        deps.end())
+                    mem_deps.push_back(it->second);
             }
+            deps.insert(deps.end(), mem_deps.begin(), mem_deps.end());
         }
         RuntimeValue v;
         const ir::Type &t = node.irType();
@@ -432,6 +440,7 @@ UirExecutor::evalNode(Ctx &ctx, const Node &node)
             for (uint64_t d : deps)
                 if (d != kNoEvent)
                     ev.deps.push_back(d);
+            ev.memDeps = std::move(mem_deps);
             uint64_t id = ddg_.addEvent(std::move(ev));
             ctx.evs[node.id()] = id;
             for (unsigned w = 0; w < words; ++w)
@@ -448,18 +457,27 @@ UirExecutor::evalNode(Ctx &ctx, const Node &node)
         RuntimeValue value = valueOf(ctx, node.input(0));
         uint64_t addr = valueOf(ctx, node.input(1)).asPtr();
         unsigned words = node.accessWords();
+        std::vector<uint64_t> mem_deps;
         if (record_) {
+            auto note = [&](uint64_t d) {
+                if (std::find(deps.begin(), deps.end(), d) ==
+                        deps.end() &&
+                    std::find(mem_deps.begin(), mem_deps.end(), d) ==
+                        mem_deps.end())
+                    mem_deps.push_back(d);
+            };
             for (unsigned w = 0; w < words; ++w) {
                 uint64_t word = (addr & ~uint64_t(3)) + w * 4;
                 auto sit = lastStore_.find(word);
                 if (sit != lastStore_.end())
-                    deps.push_back(sit->second); // WAW
+                    note(sit->second); // WAW
                 auto rit = readersSince_.find(word);
                 if (rit != readersSince_.end()) {
                     for (uint64_t r : rit->second)
-                        deps.push_back(r); // WAR
+                        note(r); // WAR
                 }
             }
+            deps.insert(deps.end(), mem_deps.begin(), mem_deps.end());
         }
         const ir::Type &t = node.input(0).node->outputType(
             node.input(0).out);
@@ -483,6 +501,7 @@ UirExecutor::evalNode(Ctx &ctx, const Node &node)
                     std::find(ev.deps.begin(), ev.deps.end(), d) ==
                         ev.deps.end())
                     ev.deps.push_back(d);
+            ev.memDeps = std::move(mem_deps);
             uint64_t id = ddg_.addEvent(std::move(ev));
             ctx.evs[node.id()] = id;
             ctx.tail.push_back(id);

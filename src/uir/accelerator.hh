@@ -60,6 +60,13 @@ class Accelerator
      * the baseline). Exactly one structure may list a given space.
      */
     Structure *structureForSpace(unsigned space) const;
+    /**
+     * Non-panicking variant for diagnostics: nullptr when nothing
+     * serves the space (and no space-0 default exists), the first
+     * match when the space is doubly owned — the verifier and μlint
+     * report those conditions instead of asserting on them.
+     */
+    Structure *findStructureForSpace(unsigned space) const;
     /** @} */
 
     /** @name Whole-graph statistics (Table 4) @{ */

@@ -333,6 +333,17 @@ Task::memOps() const
 std::vector<Node *>
 Task::topoOrder() const
 {
+    std::vector<Node *> order;
+    muir_assert(topoOrderInto(order),
+                "task %s dataflow has a combinational cycle "
+                "(%zu of %zu ordered)",
+                name_.c_str(), order.size(), nodes_.size());
+    return order;
+}
+
+bool
+Task::topoOrderInto(std::vector<Node *> &order) const
+{
     // Kahn's algorithm with a min-id priority queue. Loop back edges
     // (the carried-next inputs of LoopControl) are excluded from the
     // dependence count. Taking the smallest ready id preserves node
@@ -359,8 +370,8 @@ Task::topoOrder() const
         if (deps == 0)
             ready.push(n.get());
     }
-    std::vector<Node *> order;
-    order.reserve(nodes_.size());
+    order.reserve(order.size() + nodes_.size());
+    size_t ordered_before = order.size();
     while (!ready.empty()) {
         Node *n = ready.top();
         ready.pop();
@@ -393,11 +404,7 @@ Task::topoOrder() const
                 ready.push(user);
         }
     }
-    muir_assert(order.size() == nodes_.size(),
-                "task %s dataflow has a combinational cycle "
-                "(%zu of %zu ordered)",
-                name_.c_str(), order.size(), nodes_.size());
-    return order;
+    return order.size() - ordered_before == nodes_.size();
 }
 
 std::vector<Node *>
@@ -549,6 +556,21 @@ Accelerator::structureForSpace(unsigned space) const
     muir_assert(fallback != nullptr,
                 "no structure serves space %u and no default (space-0) "
                 "structure exists", space);
+    return fallback;
+}
+
+Structure *
+Accelerator::findStructureForSpace(unsigned space) const
+{
+    Structure *fallback = nullptr;
+    for (const auto &s : structures_) {
+        if (s->kind() == StructureKind::Dram)
+            continue;
+        if (s->serves(space))
+            return s.get();
+        if (s->serves(0))
+            fallback = s.get();
+    }
     return fallback;
 }
 

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * X001 dead.node — hardware that computes values nobody observes.
+ *
+ * A μIR node earns its function unit by (transitively) feeding an
+ * effect: a Store, a LiveOut, a child-task dispatch, a sync, or the
+ * loop control. Everything else elaborates to gates that burn area
+ * and power for no architectural reason — usually the residue of an
+ * earlier transformation. Interface nodes (LiveIn/LiveOut) are part
+ * of the task's latency-insensitive contract and are exempt; an
+ * unused LiveIn is reported as a Note, not a Warning.
+ */
+#include <set>
+#include <vector>
+
+#include "uir/lint/lint.hh"
+
+namespace muir::uir::lint
+{
+
+namespace
+{
+
+bool
+isEffect(NodeKind kind)
+{
+    switch (kind) {
+      case NodeKind::Store:
+      case NodeKind::LiveOut:
+      case NodeKind::ChildCall:
+      case NodeKind::SyncNode:
+      case NodeKind::LoopControl:
+        return true;
+      default:
+        return false;
+    }
+}
+
+class DeadNodeCheck : public LintCheck
+{
+  public:
+    const char *id() const override { return "X001"; }
+    const char *name() const override { return "dead.node"; }
+    const char *description() const override
+    {
+        return "nodes whose outputs reach no store/live-out/control";
+    }
+
+    void run(const Accelerator &accel,
+             std::vector<Diagnostic> &out) const override
+    {
+        for (const auto &t : accel.tasks())
+            runTask(*t, out);
+    }
+
+  private:
+    static void runTask(const Task &task, std::vector<Diagnostic> &out)
+    {
+        // Backward reachability from effects over inputs + guards.
+        std::set<const Node *> reached;
+        std::vector<const Node *> stack;
+        for (const auto &n : task.nodes()) {
+            if (isEffect(n->kind())) {
+                reached.insert(n.get());
+                stack.push_back(n.get());
+            }
+        }
+        while (!stack.empty()) {
+            const Node *n = stack.back();
+            stack.pop_back();
+            auto visit = [&](const Node *p) {
+                if (p != nullptr && reached.insert(p).second)
+                    stack.push_back(p);
+            };
+            for (const auto &ref : n->inputs())
+                visit(ref.node);
+            if (n->guard().valid())
+                visit(n->guard().node);
+        }
+
+        for (const auto &n : task.nodes()) {
+            if (reached.count(n.get()))
+                continue;
+            Diagnostic d;
+            d.check = "X001";
+            d.task = &task;
+            d.node = n.get();
+            if (n->kind() == NodeKind::LiveIn) {
+                d.severity = Severity::Note;
+                d.message = "live-in feeds no effect; the argument is "
+                            "transferred but never used";
+                d.fix = "drop the live-in from the task interface";
+            } else {
+                d.severity = Severity::Warning;
+                d.message = "node output reaches no store, live-out, "
+                            "child call, or control node";
+                d.fix = "remove the dead node";
+            }
+            out.push_back(std::move(d));
+        }
+    }
+};
+
+} // namespace
+
+std::unique_ptr<LintCheck>
+makeDeadNodeCheck()
+{
+    return std::make_unique<DeadNodeCheck>();
+}
+
+} // namespace muir::uir::lint

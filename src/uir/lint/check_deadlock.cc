@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Spawn-graph deadlock and liveness checks.
+ *
+ *   D001 deadlock.callcycle  — a cycle of awaited (non-spawn) child
+ *        calls: every tile of every task in the cycle can end up
+ *        waiting on a deeper recursive instance, and the queue window
+ *        (queueDepth x tiles) bounds how deep the hardware can nest
+ *        before dispatch stalls forever.
+ *   D002 liveness.unjoined   — a spawn whose completion no SyncNode
+ *        ever joins, in this task or any ancestor: its side effects
+ *        are unordered with the rest of the program and accelerator
+ *        completion is undefined.
+ *   D003 deadlock.spawncycle — a call cycle containing a spawn edge:
+ *        unbounded fan-out into a finite task queue.
+ */
+#include <algorithm>
+#include <set>
+
+#include "support/strings.hh"
+#include "uir/lint/lint.hh"
+
+namespace muir::uir::lint
+{
+
+namespace
+{
+
+class DeadlockCheck : public LintCheck
+{
+  public:
+    const char *id() const override { return "D001"; }
+    const char *name() const override { return "deadlock.spawn"; }
+    const char *description() const override
+    {
+        return "task-call cycles, unjoined spawns, spawn recursion";
+    }
+
+    void run(const Accelerator &accel,
+             std::vector<Diagnostic> &out) const override
+    {
+        findCycles(accel, out);
+        if (accel.root() != nullptr) {
+            std::set<const Task *> active;
+            const Node *leak = nullptr;
+            if (hasUnjoinedSpawn(*accel.root(), active, leak) &&
+                leak != nullptr) {
+                Diagnostic d;
+                d.severity = Severity::Warning;
+                d.check = "D002";
+                d.task = leak->parent();
+                d.node = leak;
+                d.message = fmt("spawn of task %s is never joined by a "
+                                "sync on any path to completion",
+                                leak->callee()->name().c_str());
+                d.fix = "insert sync";
+                out.push_back(std::move(d));
+            }
+        }
+    }
+
+  private:
+    /** DFS over the task-call graph; report each cycle once. */
+    static void findCycles(const Accelerator &accel,
+                           std::vector<Diagnostic> &out)
+    {
+        std::set<std::set<const Task *>> seen_cycles;
+        for (const auto &t : accel.tasks()) {
+            std::vector<const Task *> stack;
+            dfsCycle(t.get(), stack, seen_cycles, out);
+        }
+    }
+
+    static void dfsCycle(const Task *task,
+                         std::vector<const Task *> &stack,
+                         std::set<std::set<const Task *>> &seen,
+                         std::vector<Diagnostic> &out)
+    {
+        auto on_stack =
+            std::find(stack.begin(), stack.end(), task);
+        if (on_stack != stack.end()) {
+            std::vector<const Task *> cycle(on_stack, stack.end());
+            std::set<const Task *> key(cycle.begin(), cycle.end());
+            if (!seen.insert(key).second)
+                return;
+            // Does the cycle contain a spawn edge?
+            bool spawned = false;
+            for (size_t i = 0; i < cycle.size(); ++i) {
+                const Task *from = cycle[i];
+                const Task *to = cycle[(i + 1) % cycle.size()];
+                for (const Node *call : from->childCalls())
+                    if (call->callee() == to && call->isSpawn())
+                        spawned = true;
+            }
+            std::vector<std::string> names;
+            for (const Task *t : cycle)
+                names.push_back(t->name());
+            Diagnostic d;
+            d.task = cycle.front();
+            if (spawned) {
+                d.severity = Severity::Warning;
+                d.check = "D003";
+                d.message = fmt("self-recursive spawn chain %s: "
+                                "unbounded fan-out into a task queue "
+                                "of depth %u",
+                                join(names, " -> ").c_str(),
+                                cycle.front()->queueDepth());
+                d.fix = fmt("queue:%u or convert the recursion to "
+                            "iteration",
+                            2 * std::max(1u,
+                                         cycle.front()->queueDepth()));
+            } else {
+                d.severity = Severity::Warning;
+                d.check = "D001";
+                d.message = fmt(
+                    "task-call cycle %s: recursion deeper than the "
+                    "queue window (%u) deadlocks every tile",
+                    join(names, " -> ").c_str(),
+                    cycle.front()->queueDepth() *
+                        std::max(1u, cycle.front()->numTiles()));
+                d.fix = "bound the recursion or raise queue depth";
+            }
+            out.push_back(std::move(d));
+            return;
+        }
+        stack.push_back(task);
+        std::set<const Task *> visited_callees;
+        for (const Task *callee : task->childTasks())
+            if (visited_callees.insert(callee).second)
+                dfsCycle(callee, stack, seen, out);
+        stack.pop_back();
+    }
+
+    /**
+     * Walk side-effecting nodes in program (id) order, mirroring the
+     * executor's outstanding-spawn semantics: spawns accumulate, a
+     * sync joins everything outstanding, and a called child's unjoined
+     * spawns continue past the call into the caller.
+     * @return true if spawns are still outstanding at task end; leak
+     *         names a representative spawn node.
+     */
+    static bool hasUnjoinedSpawn(const Task &task,
+                                 std::set<const Task *> &active,
+                                 const Node *&leak)
+    {
+        if (!active.insert(&task).second)
+            return false;
+        std::vector<const Node *> sites;
+        for (const auto &n : task.nodes())
+            if (n->kind() == NodeKind::ChildCall ||
+                n->kind() == NodeKind::SyncNode)
+                sites.push_back(n.get());
+        std::sort(sites.begin(), sites.end(),
+                  [](const Node *a, const Node *b) {
+                      return a->id() < b->id();
+                  });
+        bool outstanding = false;
+        const Node *local_leak = nullptr;
+        for (const Node *site : sites) {
+            if (site->kind() == NodeKind::SyncNode) {
+                outstanding = false;
+                local_leak = nullptr;
+            } else if (site->callee() != nullptr) {
+                if (site->isSpawn()) {
+                    outstanding = true;
+                    local_leak = site;
+                } else if (hasUnjoinedSpawn(*site->callee(), active,
+                                            leak)) {
+                    outstanding = true;
+                    if (local_leak == nullptr)
+                        local_leak = leak;
+                }
+            }
+        }
+        active.erase(&task);
+        if (outstanding && local_leak != nullptr)
+            leak = local_leak;
+        return outstanding;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<LintCheck>
+makeDeadlockCheck()
+{
+    return std::make_unique<DeadlockCheck>();
+}
+
+} // namespace muir::uir::lint

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * P001 port.pressure — structural hazards on memory structures.
+ *
+ * Each task's junction multiplexes its memory ops onto the structure
+ * serving their space (§3.4), so the same-cycle demand a task can
+ * present is bounded by its junction ports, multiplied by its
+ * execution tiles (Pass 2). A structure offers banks() x
+ * portsPerBank() concurrent ports (Pass 4). When aggregate demand
+ * overwhelms supply the accelerator serializes on bank conflicts —
+ * exactly the hazard Figure 16's cache-banking sweep measures — so
+ * the check suggests the banking factor that restores balance.
+ */
+#include <algorithm>
+
+#include "support/strings.hh"
+#include "uir/lint/lint.hh"
+
+namespace muir::uir::lint
+{
+
+namespace
+{
+
+/** Demand may exceed supply by this factor before we warn: junction
+ *  arbitration already absorbs small overcommit without stalling the
+ *  pipeline (the baseline 2R+1W junction against a 1-port cache). */
+constexpr unsigned kSlack = 4;
+
+unsigned
+nextPow2(unsigned v)
+{
+    unsigned p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+class PortPressureCheck : public LintCheck
+{
+  public:
+    const char *id() const override { return "P001"; }
+    const char *name() const override { return "port.pressure"; }
+    const char *description() const override
+    {
+        return "same-cycle accessors vs banks x ports per structure";
+    }
+
+    void run(const Accelerator &accel,
+             std::vector<Diagnostic> &out) const override
+    {
+        for (const auto &s : accel.structures()) {
+            if (s->kind() == StructureKind::Dram)
+                continue; // DRAM bandwidth is the cost model's domain.
+            // Tasks in a pipeline hit their memory phases at
+            // different times, so the structure sees the *peak*
+            // task's same-cycle demand, not the sum across tasks —
+            // only tiling replicates accessors within one cycle.
+            unsigned demand = 0;
+            for (const auto &t : accel.tasks()) {
+                unsigned loads = 0, stores = 0;
+                for (const Node *m : t->memOps()) {
+                    if (accel.findStructureForSpace(m->memSpace()) !=
+                        s.get())
+                        continue;
+                    if (m->kind() == NodeKind::Load)
+                        ++loads;
+                    else
+                        ++stores;
+                }
+                if (loads + stores == 0)
+                    continue;
+                unsigned tiles = std::max(1u, t->numTiles());
+                demand = std::max(
+                    demand,
+                    tiles *
+                        (std::min(loads, t->junctionReadPorts()) +
+                         std::min(stores, t->junctionWritePorts())));
+            }
+            unsigned ports = std::max(1u, s->portsPerBank());
+            unsigned supply = std::max(1u, s->banks()) * ports;
+            if (demand <= supply * kSlack)
+                continue;
+            Diagnostic d;
+            d.severity = Severity::Warning;
+            d.check = "P001";
+            d.structure = s.get();
+            d.message = fmt(
+                "%u same-cycle-capable accessors contend for %u ports "
+                "(%u banks x %u/bank); accesses will serialize on "
+                "bank conflicts",
+                demand, supply, std::max(1u, s->banks()), ports);
+            d.fix = fmt("bank:%u",
+                        nextPow2((demand + ports * kSlack - 1) /
+                                 (ports * kSlack)));
+            out.push_back(std::move(d));
+        }
+    }
+};
+
+} // namespace
+
+std::unique_ptr<LintCheck>
+makePortPressureCheck()
+{
+    return std::make_unique<PortPressureCheck>();
+}
+
+} // namespace muir::uir::lint

@@ -1,0 +1,414 @@
+/**
+ * @file
+ * R001 race.mem — static memory race detection.
+ *
+ * μIR's spawn interface (§3.5) makes task-level parallelism explicit:
+ * a ChildCall with isSpawn() dispatches its callee asynchronously and
+ * only a SyncNode joins the outstanding children. Node ids record
+ * program order for side-effecting nodes (see Task::executionOrder),
+ * so a single in-order walk over each task's effectful nodes models
+ * which spawned subtrees are concurrently live.
+ *
+ * Two memory accesses race when they are concurrently live, touch the
+ * same memory space with a possibly-overlapping address, and at least
+ * one is a Store. Address disambiguation is deliberately cheap:
+ *
+ *  - accesses whose address chains root at different global arrays
+ *    are disjoint;
+ *  - for the same spawn site re-fired across loop iterations, accesses
+ *    whose addresses are tainted by a per-iteration value (the loop
+ *    control's outputs, or a live-in bound to one at the spawn site)
+ *    are assumed iteration-private — the standard cilk_for contract
+ *    that parallel iterations index disjoint elements.
+ *
+ * Everything else is reported as a Warning with fix "insert sync".
+ */
+#include <algorithm>
+#include <array>
+#include <set>
+
+#include "support/strings.hh"
+#include "uir/lint/lint.hh"
+
+namespace muir::uir::lint
+{
+
+namespace
+{
+
+/** Sentinel for "address base could not be resolved". */
+const ir::GlobalArray *const kUnknownBase =
+    reinterpret_cast<const ir::GlobalArray *>(~uintptr_t(0));
+
+/** One static memory access inside a (possibly nested) subtree. */
+struct Access
+{
+    const Node *node = nullptr;
+    const Task *owner = nullptr;
+    bool store = false;
+    unsigned space = 0;
+    /** Resolved global base, kUnknownBase, or nullptr (no base). */
+    const ir::GlobalArray *base = kUnknownBase;
+    /** Address depends on a per-spawn-distinct value. */
+    bool distinct = false;
+};
+
+/** The memory effects of one task subtree, from a call site's view. */
+struct Footprint
+{
+    /** Effects ordered with the caller (complete before returning). */
+    std::vector<Access> ordered;
+    /** Effects of spawns not joined inside the subtree. */
+    std::vector<Access> outstanding;
+
+    std::vector<Access> all() const
+    {
+        std::vector<Access> v = ordered;
+        v.insert(v.end(), outstanding.begin(), outstanding.end());
+        return v;
+    }
+};
+
+/** Per-call-site facts about one actual argument. */
+struct ArgInfo
+{
+    bool distinct = false;
+    const ir::GlobalArray *base = kUnknownBase;
+};
+
+bool
+basesMayAlias(const Access &a, const Access &b)
+{
+    if (a.base == kUnknownBase || b.base == kUnknownBase)
+        return true;
+    return a.base == b.base;
+}
+
+class RaceCheck : public LintCheck
+{
+  public:
+    const char *id() const override { return "R001"; }
+    const char *name() const override { return "race.mem"; }
+    const char *description() const override
+    {
+        return "memory races between concurrently live spawned "
+               "subtrees";
+    }
+
+    void run(const Accelerator &accel,
+             std::vector<Diagnostic> &out) const override
+    {
+        State st{accel, out, {}, {}};
+        if (accel.root() != nullptr)
+            footprint(st, *accel.root(), {});
+    }
+
+  private:
+    struct State
+    {
+        const Accelerator &accel;
+        std::vector<Diagnostic> &out;
+        /** Tasks on the current recursion stack (cycle guard; cycles
+         *  themselves are the deadlock check's business). */
+        std::set<const Task *> active;
+        /** Reported (nodeA, nodeB) pairs, normalized by ids. */
+        std::set<std::array<unsigned, 4>> reported;
+    };
+
+    /**
+     * Nodes whose value depends on a per-spawn-distinct seed: the
+     * given live-ins plus the task's own loop control outputs. Two
+     * forward passes approximate a fixpoint across loop back edges.
+     */
+    static std::set<const Node *>
+    taintedNodes(const Task &task, const std::set<unsigned> &live_ins)
+    {
+        std::set<const Node *> tainted;
+        for (const Node *li : task.liveIns())
+            if (live_ins.count(li->liveIndex()))
+                tainted.insert(li);
+        if (task.loopControl() != nullptr)
+            tainted.insert(task.loopControl());
+        auto order = task.topoOrder();
+        for (int pass = 0; pass < 2; ++pass) {
+            for (const Node *n : order) {
+                if (tainted.count(n))
+                    continue;
+                for (const auto &ref : n->inputs()) {
+                    if (tainted.count(ref.node)) {
+                        tainted.insert(n);
+                        break;
+                    }
+                }
+            }
+        }
+        return tainted;
+    }
+
+    /**
+     * Root global of an address expression: follow data inputs
+     * upward; a unique GlobalAddr ancestor resolves the base, a
+     * LiveIn defers to the call site's knowledge, anything opaque
+     * (loads, call results) makes the base unknown.
+     */
+    static const ir::GlobalArray *
+    traceBase(const Node *addr,
+              const std::vector<ArgInfo> &live_in_info)
+    {
+        std::set<const ir::GlobalArray *> bases;
+        bool unknown = false;
+        std::set<const Node *> seen;
+        std::vector<const Node *> stack{addr};
+        while (!stack.empty()) {
+            const Node *n = stack.back();
+            stack.pop_back();
+            if (!seen.insert(n).second)
+                continue;
+            switch (n->kind()) {
+              case NodeKind::GlobalAddr:
+                bases.insert(n->global());
+                break;
+              case NodeKind::ConstNode:
+                break;
+              case NodeKind::LiveIn:
+                if (n->liveIndex() < live_in_info.size()) {
+                    const ir::GlobalArray *b =
+                        live_in_info[n->liveIndex()].base;
+                    if (b == kUnknownBase) {
+                        // Non-pointer args carry no base; only treat
+                        // pointer-typed live-ins as opaque.
+                        if (n->irType().isPtr())
+                            unknown = true;
+                    } else if (b != nullptr) {
+                        bases.insert(b);
+                    }
+                } else if (n->irType().isPtr()) {
+                    unknown = true;
+                }
+                break;
+              case NodeKind::Load:
+              case NodeKind::ChildCall:
+              case NodeKind::LoopControl:
+                // Pointers materialized through memory, children, or
+                // loop-carried slots are opaque — but integer indexes
+                // routinely flow through these, so only a pointer
+                // result poisons the base.
+                if (n->irType().isPtr())
+                    unknown = true;
+                break;
+              default:
+                for (const auto &ref : n->inputs())
+                    stack.push_back(ref.node);
+                break;
+            }
+        }
+        if (unknown || bases.size() > 1)
+            return kUnknownBase;
+        if (bases.size() == 1)
+            return *bases.begin();
+        return nullptr; // Pure offset (e.g. a constant address).
+    }
+
+    /** ArgInfo of every input of a call node, from the caller's view. */
+    static std::vector<ArgInfo>
+    argInfo(const Node &call, const std::set<const Node *> &tainted,
+            const std::vector<ArgInfo> &caller_live_ins)
+    {
+        std::vector<ArgInfo> info(call.numInputs());
+        for (unsigned i = 0; i < call.numInputs(); ++i) {
+            const Node *producer = call.input(i).node;
+            info[i].distinct = tainted.count(producer) > 0;
+            info[i].base = traceBase(producer, caller_live_ins);
+        }
+        return info;
+    }
+
+    void reportPair(State &st, const Access &a, const Access &b,
+                    const char *how) const
+    {
+        bool a_first =
+            a.owner->id() < b.owner->id() ||
+            (a.owner->id() == b.owner->id() &&
+             a.node->id() <= b.node->id());
+        const Access &first = a_first ? a : b;
+        const Access &second = a_first ? b : a;
+        std::array<unsigned, 4> key{first.owner->id(), first.node->id(),
+                                    second.owner->id(),
+                                    second.node->id()};
+        if (!st.reported.insert(key).second)
+            return;
+        Diagnostic d;
+        d.severity = Severity::Warning;
+        d.check = "R001";
+        d.task = first.owner;
+        d.node = first.node;
+        d.message = fmt(
+            "%s %s (task %s) may race with %s %s (task %s) on space %u "
+            "%s; no dominating sync",
+            first.store ? "store" : "load", first.node->name().c_str(),
+            first.owner->name().c_str(),
+            second.store ? "store" : "load",
+            second.node->name().c_str(), second.owner->name().c_str(),
+            first.space, how);
+        d.fix = "insert sync";
+        st.out.push_back(std::move(d));
+    }
+
+    /** Conflicts between two distinct concurrently-live subtrees. */
+    void crossConflicts(State &st, const std::vector<Access> &a,
+                        const std::vector<Access> &b) const
+    {
+        for (const Access &x : a)
+            for (const Access &y : b)
+                if ((x.store || y.store) && x.space == y.space &&
+                    basesMayAlias(x, y))
+                    reportPair(st, x, y, "across sibling spawns");
+    }
+
+    /** Conflicts of one spawn site with itself across iterations. */
+    void selfConflicts(State &st, const std::vector<Access> &group,
+                       bool trust_distinct) const
+    {
+        for (size_t i = 0; i < group.size(); ++i) {
+            for (size_t j = i; j < group.size(); ++j) {
+                const Access &x = group[i], &y = group[j];
+                if (!(x.store || y.store) || x.space != y.space ||
+                    !basesMayAlias(x, y))
+                    continue;
+                if (trust_distinct && x.distinct && y.distinct)
+                    continue; // Iteration-private indexing.
+                reportPair(st, x, y, "across loop iterations");
+            }
+        }
+    }
+
+    /**
+     * Compute the subtree footprint of task, reporting conflicts found
+     * inside it. live_in_info describes the actuals at the call site.
+     */
+    Footprint footprint(State &st, const Task &task,
+                        const std::vector<ArgInfo> &live_in_info) const
+    {
+        Footprint fp;
+        if (!st.active.insert(&task).second)
+            return fp; // Recursive cycle; deadlock check reports it.
+
+        std::set<unsigned> tainted_live_ins;
+        for (unsigned i = 0; i < live_in_info.size(); ++i)
+            if (live_in_info[i].distinct)
+                tainted_live_ins.insert(i);
+        auto tainted = taintedNodes(task, tainted_live_ins);
+
+        // Side-effecting nodes in program (id) order.
+        std::vector<const Node *> sites;
+        unsigned last_sync_id = 0;
+        bool has_sync = false;
+        for (const auto &n : task.nodes()) {
+            switch (n->kind()) {
+              case NodeKind::Load:
+              case NodeKind::Store:
+              case NodeKind::ChildCall:
+                sites.push_back(n.get());
+                break;
+              case NodeKind::SyncNode:
+                sites.push_back(n.get());
+                has_sync = true;
+                last_sync_id = std::max(last_sync_id, n->id());
+                break;
+              default:
+                break;
+            }
+        }
+        std::sort(sites.begin(), sites.end(),
+                  [](const Node *a, const Node *b) {
+                      return a->id() < b->id();
+                  });
+
+        std::vector<std::vector<Access>> outstanding;
+        for (const Node *site : sites) {
+            switch (site->kind()) {
+              case NodeKind::SyncNode:
+                // Joins every spawn dispatched so far (§3.5; mirrors
+                // the executor's outstanding-set semantics).
+                for (auto &group : outstanding)
+                    fp.ordered.insert(fp.ordered.end(), group.begin(),
+                                      group.end());
+                outstanding.clear();
+                break;
+              case NodeKind::Load:
+              case NodeKind::Store: {
+                Access acc;
+                acc.node = site;
+                acc.owner = &task;
+                acc.store = site->kind() == NodeKind::Store;
+                acc.space = site->memSpace();
+                unsigned addr_slot = acc.store ? 1 : 0;
+                if (site->numInputs() > addr_slot)
+                    acc.base = traceBase(site->input(addr_slot).node,
+                                         live_in_info);
+                acc.distinct =
+                    site->numInputs() > addr_slot &&
+                    tainted.count(site->input(addr_slot).node) > 0;
+                for (const auto &group : outstanding)
+                    crossConflicts(st, group, {acc});
+                fp.ordered.push_back(acc);
+                break;
+              }
+              case NodeKind::ChildCall: {
+                if (site->callee() == nullptr)
+                    break;
+                auto info = argInfo(*site, tainted, live_in_info);
+                Footprint child =
+                    footprint(st, *site->callee(), info);
+                // A spawn re-fires per iteration of its spawning loop;
+                // without a later sync in this task, instances from
+                // different iterations are concurrently live.
+                bool self_concurrent =
+                    task.loopControl() != nullptr &&
+                    !(has_sync && last_sync_id > site->id());
+                if (site->isSpawn()) {
+                    std::vector<Access> group = child.all();
+                    for (const auto &g : outstanding)
+                        crossConflicts(st, g, group);
+                    if (self_concurrent)
+                        selfConflicts(st, group,
+                                      /*trust_distinct=*/true);
+                    outstanding.push_back(std::move(group));
+                } else {
+                    for (const auto &g : outstanding)
+                        crossConflicts(st, g, child.all());
+                    fp.ordered.insert(fp.ordered.end(),
+                                      child.ordered.begin(),
+                                      child.ordered.end());
+                    if (!child.outstanding.empty()) {
+                        if (self_concurrent)
+                            selfConflicts(st, child.outstanding,
+                                          /*trust_distinct=*/true);
+                        outstanding.push_back(
+                            std::move(child.outstanding));
+                    }
+                }
+                break;
+              }
+              default:
+                break;
+            }
+        }
+
+        for (auto &group : outstanding)
+            fp.outstanding.insert(fp.outstanding.end(), group.begin(),
+                                  group.end());
+        st.active.erase(&task);
+        return fp;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<LintCheck>
+makeRaceCheck()
+{
+    return std::make_unique<RaceCheck>();
+}
+
+} // namespace muir::uir::lint

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Structural μlint checks, folded in from/alongside the verifier:
+ *
+ *   G001 graph.malformed  — per-task structural violations (arity,
+ *                           cross-task edges, acyclicity), wrapping
+ *                           uir::verifyTasks.
+ *   U001 space.unserved   — a memory node addresses a space no
+ *                           structure serves.
+ *   U002 space.multiowner — two structures claim the same space.
+ *   W001 width.mismatch   — latency-insensitive interface widths
+ *                           disagree (child-call argument vs callee
+ *                           live-in, live-out input vs declared type).
+ */
+#include <map>
+
+#include "support/strings.hh"
+#include "uir/lint/lint.hh"
+#include "uir/verifier.hh"
+
+namespace muir::uir::lint
+{
+
+namespace
+{
+
+class StructuralCheck : public LintCheck
+{
+  public:
+    const char *id() const override { return "G001"; }
+    bool requiresValidGraph() const override { return false; }
+    const char *name() const override { return "graph.structural"; }
+    const char *description() const override
+    {
+        return "structural verifier: arity, edges, spaces, widths";
+    }
+
+    void run(const Accelerator &accel,
+             std::vector<Diagnostic> &out) const override
+    {
+        // G001: per-task structural violations keep their verifier
+        // message verbatim.
+        for (const std::string &msg : verifyTasks(accel)) {
+            Diagnostic d;
+            d.severity = Severity::Error;
+            d.check = "G001";
+            d.message = msg;
+            out.push_back(std::move(d));
+        }
+
+        checkSpaces(accel, out);
+        checkWidths(accel, out);
+    }
+
+  private:
+    static void checkSpaces(const Accelerator &accel,
+                            std::vector<Diagnostic> &out)
+    {
+        // U002: exactly one structure may claim each space.
+        std::map<unsigned, const Structure *> owner;
+        for (const auto &s : accel.structures()) {
+            for (unsigned space : s->spaces()) {
+                auto [it, inserted] = owner.emplace(space, s.get());
+                if (!inserted) {
+                    Diagnostic d;
+                    d.severity = Severity::Error;
+                    d.check = "U002";
+                    d.structure = s.get();
+                    d.message = fmt("space %u owned by both %s and %s",
+                                    space, it->second->name().c_str(),
+                                    s->name().c_str());
+                    d.fix = fmt("remove space %u from one structure",
+                                space);
+                    out.push_back(std::move(d));
+                }
+            }
+        }
+
+        // U001: every memory node's space must resolve to a structure.
+        for (const auto &t : accel.tasks()) {
+            for (const auto &n : t->nodes()) {
+                if (n->kind() != NodeKind::Load &&
+                    n->kind() != NodeKind::Store)
+                    continue;
+                if (accel.findStructureForSpace(n->memSpace()) !=
+                    nullptr)
+                    continue;
+                Diagnostic d;
+                d.severity = Severity::Error;
+                d.check = "U001";
+                d.task = t.get();
+                d.node = n.get();
+                d.message = fmt("memory space %u unserved by any "
+                                "structure", n->memSpace());
+                d.fix = fmt("add space %u to a scratchpad or cache",
+                            n->memSpace());
+                out.push_back(std::move(d));
+            }
+        }
+    }
+
+    static void checkWidths(const Accelerator &accel,
+                            std::vector<Diagnostic> &out)
+    {
+        for (const auto &t : accel.tasks()) {
+            for (const auto &n : t->nodes()) {
+                if (n->kind() == NodeKind::ChildCall &&
+                    n->callee() != nullptr) {
+                    const auto &formals = n->callee()->liveIns();
+                    unsigned limit = std::min<unsigned>(
+                        n->numInputs(), formals.size());
+                    for (unsigned i = 0; i < limit; ++i) {
+                        const Node::PortRef &ref = n->input(i);
+                        unsigned got = HwType::fromIr(
+                            ref.node->outputType(ref.out)).flitBits();
+                        unsigned want = formals[i]->hwType().flitBits();
+                        if (got == want)
+                            continue;
+                        Diagnostic d;
+                        d.severity = Severity::Error;
+                        d.check = "W001";
+                        d.task = t.get();
+                        d.node = n.get();
+                        d.message = fmt(
+                            "argument %u is %u bits but callee %s "
+                            "live-in %s is %u bits", i, got,
+                            n->callee()->name().c_str(),
+                            formals[i]->name().c_str(), want);
+                        d.fix = "insert a width cast or fix the "
+                                "live-in type";
+                        out.push_back(std::move(d));
+                    }
+                } else if (n->kind() == NodeKind::LiveOut &&
+                           n->numInputs() == 1) {
+                    const Node::PortRef &ref = n->input(0);
+                    unsigned got = HwType::fromIr(
+                        ref.node->outputType(ref.out)).flitBits();
+                    unsigned want = n->hwType().flitBits();
+                    if (got == want)
+                        continue;
+                    Diagnostic d;
+                    d.severity = Severity::Error;
+                    d.check = "W001";
+                    d.task = t.get();
+                    d.node = n.get();
+                    d.message = fmt("live-out declared %u bits but its "
+                                    "producer drives %u bits", want,
+                                    got);
+                    d.fix = "match the live-out type to its producer";
+                    out.push_back(std::move(d));
+                }
+            }
+        }
+    }
+};
+
+} // namespace
+
+std::unique_ptr<LintCheck>
+makeStructuralCheck()
+{
+    return std::make_unique<StructuralCheck>();
+}
+
+} // namespace muir::uir::lint

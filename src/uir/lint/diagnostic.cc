@@ -1,0 +1,115 @@
+#include "uir/lint/diagnostic.hh"
+
+#include <sstream>
+
+#include "support/strings.hh"
+#include "uir/accelerator.hh"
+
+namespace muir::uir::lint
+{
+
+const char *
+severityName(Severity severity)
+{
+    switch (severity) {
+      case Severity::Note: return "note";
+      case Severity::Warning: return "warning";
+      case Severity::Error: return "error";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** "task root, node st0, structure spad" (only the non-null loci). */
+std::string
+locus(const Diagnostic &d)
+{
+    std::vector<std::string> parts;
+    if (d.task != nullptr)
+        parts.push_back("task " + d.task->name());
+    if (d.node != nullptr)
+        parts.push_back("node " + d.node->name());
+    if (d.structure != nullptr)
+        parts.push_back("structure " + d.structure->name());
+    return join(parts, ", ");
+}
+
+/** Minimal JSON string escaping (quotes, backslashes, control chars). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += fmt("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+renderText(const std::vector<Diagnostic> &diags)
+{
+    std::ostringstream os;
+    for (const Diagnostic &d : diags) {
+        os << severityName(d.severity) << " [" << d.check << "]";
+        std::string where = locus(d);
+        if (!where.empty())
+            os << " " << where;
+        os << ": " << d.message;
+        if (!d.fix.empty())
+            os << " (fix: " << d.fix << ")";
+        os << "\n";
+    }
+    return os.str();
+}
+
+std::string
+renderJson(const std::vector<Diagnostic> &diags)
+{
+    std::ostringstream os;
+    os << "[\n";
+    for (size_t i = 0; i < diags.size(); ++i) {
+        const Diagnostic &d = diags[i];
+        os << "  {\"severity\": \"" << severityName(d.severity)
+           << "\", \"check\": \"" << jsonEscape(d.check) << "\"";
+        if (d.task != nullptr)
+            os << ", \"task\": \"" << jsonEscape(d.task->name()) << "\"";
+        if (d.node != nullptr)
+            os << ", \"node\": \"" << jsonEscape(d.node->name()) << "\"";
+        if (d.structure != nullptr)
+            os << ", \"structure\": \""
+               << jsonEscape(d.structure->name()) << "\"";
+        os << ", \"message\": \"" << jsonEscape(d.message) << "\"";
+        if (!d.fix.empty())
+            os << ", \"fix\": \"" << jsonEscape(d.fix) << "\"";
+        os << "}" << (i + 1 < diags.size() ? "," : "") << "\n";
+    }
+    os << "]\n";
+    return os.str();
+}
+
+unsigned
+countAtLeast(const std::vector<Diagnostic> &diags, Severity severity)
+{
+    unsigned n = 0;
+    for (const Diagnostic &d : diags)
+        if (d.severity >= severity)
+            ++n;
+    return n;
+}
+
+} // namespace muir::uir::lint

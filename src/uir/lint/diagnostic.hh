@@ -1,0 +1,68 @@
+/**
+ * @file
+ * μlint diagnostics: structured findings produced by static checks
+ * over a μIR accelerator graph. Each diagnostic carries a stable check
+ * id (see docs/lint.md for the catalog), a severity, the offending
+ * task/node/structure, and — where the fix is mechanical — a
+ * machine-actionable suggestion such as "bank:4" or "insert sync".
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace muir::uir
+{
+
+class Task;
+class Node;
+class Structure;
+
+namespace lint
+{
+
+/** How bad a finding is. Errors make the graph unfit to build. */
+enum class Severity
+{
+    /** Informational: worth knowing, never fails a build. */
+    Note,
+    /** Likely bug or performance hazard; fails under -Werror. */
+    Warning,
+    /** Definite violation of μIR semantics. */
+    Error,
+};
+
+/** @return printable severity name ("note" / "warning" / "error"). */
+const char *severityName(Severity severity);
+
+/** One finding. */
+struct Diagnostic
+{
+    Severity severity = Severity::Warning;
+    /** Stable check id, e.g. "R001" (docs/lint.md catalog). */
+    std::string check;
+    /** Human-readable explanation. */
+    std::string message;
+    /** Offending loci; any subset may be null. */
+    const Task *task = nullptr;
+    const Node *node = nullptr;
+    const Structure *structure = nullptr;
+    /** Suggested fix, e.g. "bank:4" or "insert sync"; may be empty. */
+    std::string fix;
+};
+
+/**
+ * Render one diagnostic per line:
+ *   error [U001] task root, node ld0: space 7 unserved (fix: ...)
+ */
+std::string renderText(const std::vector<Diagnostic> &diags);
+
+/** Render a JSON array of diagnostic objects (schema in docs/lint.md). */
+std::string renderJson(const std::vector<Diagnostic> &diags);
+
+/** Number of diagnostics at or above a severity. */
+unsigned countAtLeast(const std::vector<Diagnostic> &diags,
+                      Severity severity);
+
+} // namespace lint
+} // namespace muir::uir

@@ -1,0 +1,41 @@
+#include "uir/lint/lint.hh"
+
+namespace muir::uir::lint
+{
+
+Linter &
+Linter::add(std::unique_ptr<LintCheck> check)
+{
+    checks_.push_back(std::move(check));
+    return *this;
+}
+
+std::vector<Diagnostic>
+Linter::run(const Accelerator &accel) const
+{
+    std::vector<Diagnostic> diags;
+    for (const auto &check : checks_) {
+        // A graph that fails structural validation cannot be walked
+        // safely by the behavioural checks; report the errors found
+        // so far instead of crashing inside a later check.
+        if (check->requiresValidGraph() &&
+            countAtLeast(diags, Severity::Error) > 0)
+            continue;
+        check->run(accel, diags);
+    }
+    return diags;
+}
+
+Linter
+Linter::standard()
+{
+    Linter linter;
+    linter.add(makeStructuralCheck())
+        .add(makeRaceCheck())
+        .add(makeDeadlockCheck())
+        .add(makePortPressureCheck())
+        .add(makeDeadNodeCheck());
+    return linter;
+}
+
+} // namespace muir::uir::lint

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * μlint: a registry of static checks run over an Accelerator. Where
+ * the structural verifier (uir/verifier.hh) only answers "does this
+ * graph compose?", μlint finds accelerator bugs that otherwise only
+ * surface in simulation or silicon: data races between concurrently
+ * live spawned subtrees, spawn-graph deadlock/liveness hazards,
+ * oversubscribed memory ports, and dead hardware.
+ *
+ * Usage:
+ *   auto diags = lint::Linter::standard().run(accel);
+ *   std::puts(lint::renderText(diags).c_str());
+ */
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "uir/accelerator.hh"
+#include "uir/lint/diagnostic.hh"
+
+namespace muir::uir::lint
+{
+
+/** One registered static check. */
+class LintCheck
+{
+  public:
+    virtual ~LintCheck() = default;
+
+    /** Stable catalog id, e.g. "R001". Never reused or renumbered. */
+    virtual const char *id() const = 0;
+
+    /** Short slug, e.g. "race.mem". */
+    virtual const char *name() const = 0;
+
+    /** One-line description for --help / docs. */
+    virtual const char *description() const = 0;
+
+    /** Append findings for this accelerator to out. */
+    virtual void run(const Accelerator &accel,
+                     std::vector<Diagnostic> &out) const = 0;
+
+    /**
+     * Behavioural checks walk the graph assuming it composes (topo
+     * orders exist, call arities match); the Linter skips them when
+     * an earlier check reported an Error. The structural check
+     * overrides this to false so it always runs.
+     */
+    virtual bool requiresValidGraph() const { return true; }
+};
+
+/** @name Built-in check factories @{ */
+/** G001/U001/U002/W001: structural verifier + interface widths. */
+std::unique_ptr<LintCheck> makeStructuralCheck();
+/** R001: memory races between concurrently live spawned subtrees. */
+std::unique_ptr<LintCheck> makeRaceCheck();
+/** D001/D002/D003: call cycles, unjoined spawns, spawn recursion. */
+std::unique_ptr<LintCheck> makeDeadlockCheck();
+/** P001: structural hazards on under-banked memory structures. */
+std::unique_ptr<LintCheck> makePortPressureCheck();
+/** X001: nodes whose outputs reach no effect. */
+std::unique_ptr<LintCheck> makeDeadNodeCheck();
+/** @} */
+
+/** An ordered collection of checks. */
+class Linter
+{
+  public:
+    /** Append a check; returns *this for chaining. */
+    Linter &add(std::unique_ptr<LintCheck> check);
+
+    /** Run every check; diagnostics in check order. */
+    std::vector<Diagnostic> run(const Accelerator &accel) const;
+
+    const std::vector<std::unique_ptr<LintCheck>> &checks() const
+    {
+        return checks_;
+    }
+
+    /** All built-in checks, catalog order. */
+    static Linter standard();
+
+  private:
+    std::vector<std::unique_ptr<LintCheck>> checks_;
+};
+
+} // namespace muir::uir::lint

@@ -102,8 +102,16 @@ class Task
     std::vector<Node *> memOps() const;
 
     /** Nodes in a topological order (inputs before users). Loop-carried
-     *  back edges (into LoopControl next-slots) are ignored. */
+     *  back edges (into LoopControl next-slots) are ignored. Panics if
+     *  the forward dataflow has a cycle. */
     std::vector<Node *> topoOrder() const;
+
+    /**
+     * Non-panicking variant for diagnostics: appends the topological
+     * order to @p order and returns false (leaving the unorderable
+     * remainder out) when the forward dataflow has a cycle.
+     */
+    bool topoOrderInto(std::vector<Node *> &order) const;
 
     /**
      * A topological order in which side-effecting nodes (loads,

@@ -115,13 +115,6 @@ verifyTask(const Accelerator &accel, const Task &task,
             break;
         }
 
-        // Memory nodes must resolve to a structure.
-        if (n->kind() == NodeKind::Load || n->kind() == NodeKind::Store) {
-            Structure *s = accel.structureForSpace(n->memSpace());
-            if (s == nullptr)
-                err(fmt("memory node %s space %u unserved",
-                        n->name().c_str(), n->memSpace()));
-        }
     }
 
     if (live_in_seen != task.liveIns().size())
@@ -129,17 +122,12 @@ verifyTask(const Accelerator &accel, const Task &task,
     if (live_out_seen != task.liveOuts().size())
         err("live-out list out of sync with nodes");
 
-    // Acyclicity of the forward dataflow (topoOrder panics internally;
-    // surface as an error instead for the verifier).
-    std::set<const Node *> seen;
-    // A cheap check: every node reachable in topo order.
-    // topoOrder() muir_asserts on cycles, so only call it when the
-    // graph looks structurally sound so far.
+    // Acyclicity of the forward dataflow. topoOrderInto reports a
+    // cycle instead of panicking, but its edge bookkeeping reads node
+    // inputs by index, so only run it once arities checked out above.
     if (errors.empty()) {
-        auto order = task.topoOrder();
-        for (const Node *n : order)
-            seen.insert(n);
-        if (seen.size() != task.nodes().size())
+        std::vector<Node *> order;
+        if (!task.topoOrderInto(order))
             err("dataflow not a DAG after removing loop back edges");
     }
 }
@@ -147,13 +135,9 @@ verifyTask(const Accelerator &accel, const Task &task,
 } // namespace
 
 std::vector<std::string>
-verify(const Accelerator &accel)
+verifySpaces(const Accelerator &accel)
 {
     std::vector<std::string> errors;
-    if (accel.tasks().empty()) {
-        errors.push_back("accelerator has no tasks");
-        return errors;
-    }
     // Exactly one structure may claim each space.
     std::map<unsigned, std::string> space_owner;
     for (const auto &s : accel.structures()) {
@@ -165,8 +149,40 @@ verify(const Accelerator &accel)
                                      s->name().c_str()));
         }
     }
+    // Memory nodes must resolve to a structure.
+    for (const auto &t : accel.tasks()) {
+        for (const auto &n : t->nodes()) {
+            if (n->kind() != NodeKind::Load &&
+                n->kind() != NodeKind::Store)
+                continue;
+            if (accel.findStructureForSpace(n->memSpace()) == nullptr)
+                errors.push_back(fmt("task %s: memory node %s space %u "
+                                     "unserved", t->name().c_str(),
+                                     n->name().c_str(), n->memSpace()));
+        }
+    }
+    return errors;
+}
+
+std::vector<std::string>
+verifyTasks(const Accelerator &accel)
+{
+    std::vector<std::string> errors;
+    if (accel.tasks().empty()) {
+        errors.push_back("accelerator has no tasks");
+        return errors;
+    }
     for (const auto &t : accel.tasks())
         verifyTask(accel, *t, errors);
+    return errors;
+}
+
+std::vector<std::string>
+verify(const Accelerator &accel)
+{
+    std::vector<std::string> errors = verifySpaces(accel);
+    auto task_errors = verifyTasks(accel);
+    errors.insert(errors.end(), task_errors.begin(), task_errors.end());
     return errors;
 }
 

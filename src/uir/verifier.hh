@@ -17,6 +17,14 @@ namespace muir::uir
 /** Verify; returns human-readable violations (empty = well-formed). */
 std::vector<std::string> verify(const Accelerator &accel);
 
+/** Per-task structural checks only (arity, edges, acyclicity). The
+ *  space-ownership half lives in verifySpaces; μlint runs the two
+ *  halves as separate checks with structured diagnostics. */
+std::vector<std::string> verifyTasks(const Accelerator &accel);
+
+/** Space-ownership checks only (unserved / multiply-owned spaces). */
+std::vector<std::string> verifySpaces(const Accelerator &accel);
+
 /** Verify and panic on violation. */
 void verifyOrDie(const Accelerator &accel);
 

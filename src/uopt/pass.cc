@@ -2,7 +2,6 @@
 
 #include "support/logging.hh"
 #include "support/strings.hh"
-#include "uir/verifier.hh"
 
 namespace muir::uopt
 {
@@ -19,11 +18,18 @@ PassManager::run(uir::Accelerator &accel)
 {
     for (const auto &pass : passes_) {
         pass->run(accel);
-        auto errors = uir::verify(accel);
-        if (!errors.empty()) {
-            muir_panic("graph invalid after pass %s:\n  %s",
-                       pass->name().c_str(),
-                       join(errors, "\n  ").c_str());
+        if (lintEnabled_) {
+            lastDiagnostics_ =
+                uir::lint::Linter::standard().run(accel);
+            std::vector<uir::lint::Diagnostic> failing;
+            for (const auto &d : lastDiagnostics_)
+                if (d.severity >= failSeverity_)
+                    failing.push_back(d);
+            if (!failing.empty()) {
+                muir_panic("graph invalid after pass %s:\n%s",
+                           pass->name().c_str(),
+                           uir::lint::renderText(failing).c_str());
+            }
         }
         muir_inform("µopt: %s (%llu nodes, %llu edges changed)",
                     pass->name().c_str(),

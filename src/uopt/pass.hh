@@ -13,6 +13,7 @@
 
 #include "support/stats.hh"
 #include "uir/accelerator.hh"
+#include "uir/lint/lint.hh"
 
 namespace muir::uopt
 {
@@ -45,9 +46,12 @@ class Pass
 };
 
 /**
- * Runs a pass pipeline, verifying the graph after every pass — the
+ * Runs a pass pipeline, linting the graph after every pass — the
  * latency-insensitive composition guarantee (§1) means a verified
- * graph stays functionally correct under any pass order.
+ * graph stays functionally correct under any pass order. μlint's
+ * structural checks subsume the old panic-on-error verifier; its
+ * behavioural checks (races, deadlock, port pressure) surface as
+ * warnings that a caller may escalate via setFailSeverity.
  */
 class PassManager
 {
@@ -55,7 +59,10 @@ class PassManager
     /** Append a pass; returns it for configuration chaining. */
     Pass *add(std::unique_ptr<Pass> pass);
 
-    /** Run all passes in order. Panics if verification fails. */
+    /**
+     * Run all passes in order. Panics when the post-pass lint finds
+     * a diagnostic at or above the failure severity.
+     */
     void run(uir::Accelerator &accel);
 
     const std::vector<std::unique_ptr<Pass>> &passes() const
@@ -66,8 +73,26 @@ class PassManager
     /** Aggregate change stats across all passes. */
     StatSet totalChanges() const;
 
+    /** @name Post-pass lint policy @{ */
+    /** Skip the per-pass lint entirely (not recommended). */
+    void setLintEnabled(bool enabled) { lintEnabled_ = enabled; }
+    /** Severity that aborts the pipeline; default Error. */
+    void setFailSeverity(uir::lint::Severity severity)
+    {
+        failSeverity_ = severity;
+    }
+    /** Diagnostics from the most recent post-pass lint. */
+    const std::vector<uir::lint::Diagnostic> &lastDiagnostics() const
+    {
+        return lastDiagnostics_;
+    }
+    /** @} */
+
   private:
     std::vector<std::unique_ptr<Pass>> passes_;
+    bool lintEnabled_ = true;
+    uir::lint::Severity failSeverity_ = uir::lint::Severity::Error;
+    std::vector<uir::lint::Diagnostic> lastDiagnostics_;
 };
 
 } // namespace muir::uopt

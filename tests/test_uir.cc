@@ -189,6 +189,47 @@ TEST(Verifier, FlagsDoublyOwnedSpaces)
               std::string::npos);
 }
 
+TEST(Verifier, FlagsUnservedSpaces)
+{
+    // No structure at all serves the load's space (and there is no
+    // space-0 default to fall back to).
+    Accelerator accel{"nospace", nullptr};
+    Task *task = accel.addTask(TaskKind::Root, "root", nullptr);
+    accel.setRoot(task);
+    Node *addr = task->addConstInt(ir::Type::i32(), 0);
+    Node *ld = task->addLoad(ir::Type::i32(), 5, "ld");
+    ld->addInput(addr);
+    auto errors = verify(accel);
+    ASSERT_FALSE(errors.empty());
+    EXPECT_NE(join(errors, "\n").find("space 5 unserved"),
+              std::string::npos);
+}
+
+TEST(Verifier, FlagsCyclicDataflow)
+{
+    MicroGraph g;
+    Node *x = g.task->addCompute(ir::Op::Add, ir::Type::i32(), "x");
+    x->addInput(g.sum);
+    x->addInput(g.a);
+    g.sum->rewireInput(0, x, 0); // sum <-> x combinational cycle.
+    auto errors = verify(g.accel);
+    ASSERT_FALSE(errors.empty());
+    EXPECT_NE(join(errors, "\n").find("not a DAG"), std::string::npos);
+}
+
+TEST(Verifier, SplitEntryPointsPartitionTheChecks)
+{
+    // verifySpaces sees only space problems, verifyTasks only graph
+    // problems; verify() is their union.
+    MicroGraph g;
+    auto *s1 = g.accel.addStructure(StructureKind::Scratchpad, "s1");
+    s1->addSpace(0); // Doubly owned with l1.
+    auto space_errors = verifySpaces(g.accel);
+    ASSERT_EQ(space_errors.size(), 1u);
+    EXPECT_TRUE(verifyTasks(g.accel).empty());
+    EXPECT_EQ(verify(g.accel).size(), 1u);
+}
+
 TEST(DelayModel, HandshakeMakesEveryNodeAtLeastOneCycle)
 {
     MicroGraph g;

@@ -13,7 +13,9 @@
  * parameters — queue[:depth], tile[:n], localize[:maxkb], bank[:n],
  * fusion[:budget_x100], tensor.
  */
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -30,6 +32,7 @@
 #include "support/logging.hh"
 #include "support/strings.hh"
 #include "support/table.hh"
+#include "uir/lint/lint.hh"
 #include "uir/printer.hh"
 #include "uir/serialize.hh"
 #include "uopt/passes.hh"
@@ -52,6 +55,9 @@ usage()
         "  --passes <p1,p2,...>  µopt pipeline: queue[:depth] tile[:n]\n"
         "                        localize[:maxkb] bank[:n]\n"
         "                        fusion[:budget%%] tensor\n"
+        "  --lint                run µlint static checks on the graph\n"
+        "  --lint-json <file>    write µlint diagnostics as JSON\n"
+        "  --Werror              treat lint warnings as errors\n"
         "  --report              print cycles/synthesis report\n"
         "  --stats               print simulator activity counters\n"
         "  --emit-chisel <file>  write generated Chisel RTL\n"
@@ -66,12 +72,43 @@ usage()
         "  --quiet               suppress pass progress chatter\n");
 }
 
+/**
+ * Strict positive-integer parse: rejects junk, signs, empty strings,
+ * zero, and overflow instead of silently becoming a default.
+ */
+bool
+parsePositive(const std::string &text, unsigned &out)
+{
+    if (text.empty() || text[0] == '-' || text[0] == '+')
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    unsigned long v = std::strtoul(text.c_str(), &end, 10);
+    if (errno != 0 || end == text.c_str() || *end != '\0' || v == 0 ||
+        v > 1u << 20)
+        return false;
+    out = static_cast<unsigned>(v);
+    return true;
+}
+
 bool
 addPass(uopt::PassManager &pm, const std::string &spec)
 {
     auto parts = split(spec, ':');
     const std::string &name = parts[0];
-    long arg = parts.size() > 1 ? std::atol(parts[1].c_str()) : -1;
+    long arg = -1;
+    if (parts.size() > 1) {
+        unsigned v = 0;
+        if (parts.size() > 2 || !parsePositive(parts[1], v)) {
+            std::fprintf(stderr,
+                         "muirc: pass '%s': '%s' is not a positive "
+                         "integer\n",
+                         name.c_str(),
+                         spec.substr(name.size() + 1).c_str());
+            return false;
+        }
+        arg = static_cast<long>(v);
+    }
     if (name == "queue") {
         pm.add(std::make_unique<uopt::TaskQueuingPass>(
             arg > 0 ? unsigned(arg) : 8));
@@ -115,8 +152,10 @@ main(int argc, char **argv)
 {
     std::string workload, passes, emit_chisel, emit_dot, emit_uir;
     std::string emit_verilog, save_graph, load_graph, trace_path;
+    std::string lint_json;
     unsigned unroll = 1;
     bool report = false, stats = false, firrtl_stats = false;
+    bool lint = false, werror = false;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -133,7 +172,20 @@ main(int argc, char **argv)
         } else if (arg == "--passes") {
             passes = next();
         } else if (arg == "--unroll") {
-            unroll = std::atoi(next());
+            const char *v = next();
+            if (!parsePositive(v, unroll)) {
+                std::fprintf(stderr,
+                             "muirc: --unroll '%s' is not a positive "
+                             "integer\n", v);
+                return 2;
+            }
+        } else if (arg == "--lint") {
+            lint = true;
+        } else if (arg == "--lint-json") {
+            lint_json = next();
+            lint = true;
+        } else if (arg == "--Werror") {
+            werror = true;
         } else if (arg == "--emit-chisel") {
             emit_chisel = next();
         } else if (arg == "--emit-verilog") {
@@ -211,6 +263,22 @@ main(int argc, char **argv)
             if (!addPass(pm, spec))
                 return 2;
         pm.run(*accel);
+    }
+
+    if (lint) {
+        auto diags = uir::lint::Linter::standard().run(*accel);
+        if (!lint_json.empty() &&
+            !writeFile(lint_json, uir::lint::renderJson(diags)))
+            return 1;
+        if (!diags.empty())
+            std::fputs(uir::lint::renderText(diags).c_str(), stderr);
+        unsigned errors = uir::lint::countAtLeast(
+            diags, werror ? uir::lint::Severity::Warning
+                          : uir::lint::Severity::Error);
+        std::fprintf(stderr, "muirc: lint: %zu diagnostic(s), %u "
+                     "blocking\n", diags.size(), errors);
+        if (errors > 0)
+            return 1;
     }
 
     if (!trace_path.empty()) {
