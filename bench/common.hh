@@ -7,11 +7,15 @@
  */
 #pragma once
 
+#include <fstream>
 #include <functional>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "cost/cost_model.hh"
+#include "support/json.hh"
 #include "support/logging.hh"
 #include "support/strings.hh"
 #include "support/table.hh"
@@ -73,6 +77,73 @@ ratio(double v)
 struct QuietLogs
 {
     QuietLogs() { setVerbose(false); }
+};
+
+/**
+ * Machine-readable companion to the printed figure tables: collects
+ * design points and writes them as BENCH_<figure>.json in the working
+ * directory, so plots and regression diffs don't have to scrape the
+ * ASCII output.
+ */
+class BenchJson
+{
+  public:
+    explicit BenchJson(std::string figure) : figure_(std::move(figure))
+    {
+    }
+
+    /** Record one design point under a figure-local config label. */
+    void add(const std::string &config, const Design &d)
+    {
+        rows_.push_back({config, d.workload.name, d.run.cycles,
+                         d.run.firings, d.synth.fpgaMhz, d.timeUs(),
+                         d.run.stats.toJson()});
+    }
+
+    /** Write BENCH_<figure>.json; returns the path written. */
+    std::string write() const
+    {
+        std::ostringstream os;
+        JsonWriter w(os);
+        w.beginObject();
+        w.field("figure", figure_);
+        w.beginArray("rows");
+        for (const auto &r : rows_) {
+            w.beginObject();
+            w.field("config", r.config);
+            w.field("workload", r.workload);
+            w.field("cycles", r.cycles);
+            w.field("firings", r.firings);
+            w.field("fpga_mhz", r.fpgaMhz);
+            w.field("time_us", r.timeUs);
+            w.rawField("stats", r.statsJson);
+            w.end();
+        }
+        w.end();
+        w.end();
+        os << "\n";
+        std::string path = "BENCH_" + figure_ + ".json";
+        std::ofstream out(path);
+        if (!out)
+            muir_fatal("bench: cannot write %s", path.c_str());
+        out << os.str();
+        return path;
+    }
+
+  private:
+    struct Row
+    {
+        std::string config;
+        std::string workload;
+        uint64_t cycles;
+        uint64_t firings;
+        double fpgaMhz;
+        double timeUs;
+        std::string statsJson;
+    };
+
+    std::string figure_;
+    std::vector<Row> rows_;
 };
 
 } // namespace muir::bench

@@ -16,6 +16,7 @@ main()
     QuietLogs quiet;
     AsciiTable table({"Optimization", "Bench", "base cyc", "opt cyc",
                       "speedup", "paper"});
+    BenchJson json("fig01_summary");
 
     // Op fusion on COVAR (on top of Pass 1, as in Figure 8's order).
     {
@@ -26,6 +27,8 @@ main()
             pm.add(std::make_unique<uopt::TaskQueuingPass>());
             pm.add(std::make_unique<uopt::OpFusionPass>());
         });
+        json.add("fusion.base", base);
+        json.add("fusion.opt", opt);
         table.addRow({"Op Fusion", "covar",
                       fmt("%llu", (unsigned long long)base.run.cycles),
                       fmt("%llu", (unsigned long long)opt.run.cycles),
@@ -42,6 +45,8 @@ main()
             pm.add(std::make_unique<uopt::TaskQueuingPass>());
             pm.add(std::make_unique<uopt::ExecutionTilingPass>(8));
         });
+        json.add("tiling.base", base);
+        json.add("tiling.opt", opt);
         table.addRow({"Task Tiling", "stencil",
                       fmt("%llu", (unsigned long long)base.run.cycles),
                       fmt("%llu", (unsigned long long)opt.run.cycles),
@@ -63,6 +68,8 @@ main()
             pm.add(std::make_unique<uopt::OpFusionPass>());
             pm.add(std::make_unique<uopt::TensorWideningPass>());
         });
+        json.add("tensor.base", scalar);
+        json.add("tensor.opt", tensor);
         table.addRow(
             {"Tensor Intrin.", "2mm[T]",
              fmt("%llu", (unsigned long long)scalar.run.cycles),
@@ -76,6 +83,8 @@ main()
         Design opt = makeDesign("spmv", [](uopt::PassManager &pm) {
             pm.add(std::make_unique<uopt::MemoryLocalizationPass>());
         });
+        json.add("locality.base", base);
+        json.add("locality.opt", opt);
         table.addRow({"Locality", "spmv",
                       fmt("%llu", (unsigned long long)base.run.cycles),
                       fmt("%llu", (unsigned long long)opt.run.cycles),
@@ -87,5 +96,6 @@ main()
                     .render("Figure 1 (plot): headline µopt speedups "
                             "on representative workloads")
                     .c_str());
+    std::printf("wrote %s\n", json.write().c_str());
     return 0;
 }

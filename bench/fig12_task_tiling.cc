@@ -16,11 +16,13 @@ main()
 {
     QuietLogs quiet;
     AsciiTable table({"Bench", "1T cyc", "2T", "4T", "8T"});
+    BenchJson json("fig12_task_tiling");
     for (const std::string name :
          {"stencil", "saxpy", "img_scale", "fib", "msort"}) {
         Design base = makeDesign(name, [](uopt::PassManager &pm) {
             pm.add(std::make_unique<uopt::TaskQueuingPass>());
         });
+        json.add("1T", base);
         std::vector<std::string> row{
             name, fmt("%llu", (unsigned long long)base.run.cycles)};
         for (unsigned tiles : {2u, 4u, 8u}) {
@@ -29,6 +31,7 @@ main()
                 pm.add(
                     std::make_unique<uopt::ExecutionTilingPass>(tiles));
             });
+            json.add(fmt("%uT", tiles), d);
             row.push_back(ratio(double(d.run.cycles) /
                                 double(base.run.cycles)));
         }
@@ -41,5 +44,6 @@ main()
                             "down to ~0.17 at 8T; SAXPY flattens "
                             "early)")
                     .c_str());
+    std::printf("wrote %s\n", json.write().c_str());
     return 0;
 }

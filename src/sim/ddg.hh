@@ -50,6 +50,13 @@ struct DynEvent
     bool isCompletion = false;
     /** For ChildCall dispatch events: the created invocation. */
     uint32_t calleeInv = ~uint32_t(0);
+    /**
+     * When dispatch stalled on a full task queue, the dep (also
+     * present in deps) that frees the queue slot — the completion of
+     * invocation seq - queueDepth·tiles. μprof uses it to attribute
+     * "queue full" wait cycles separately from operand waits.
+     */
+    uint64_t queueDep = kNoEvent;
     /** Dependencies: earlier event ids. */
     std::vector<uint64_t> deps;
     /**

@@ -540,8 +540,10 @@ UirExecutor::evalNode(Ctx &ctx, const Node &node)
                 uint64_t(std::max(1u, callee->queueDepth())) *
                 std::max(1u, callee->numTiles());
             uint64_t child_seq = done.size();
-            if (child_seq >= window)
+            if (child_seq >= window) {
                 deps.push_back(done[child_seq - window]);
+                ev.queueDep = done[child_seq - window];
+            }
             for (uint64_t d : deps)
                 if (d != kNoEvent &&
                     std::find(ev.deps.begin(), ev.deps.end(), d) ==

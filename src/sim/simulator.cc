@@ -5,15 +5,24 @@ namespace muir::sim
 
 SimResult
 simulate(const uir::Accelerator &accel, ir::MemoryImage &mem,
-         const std::vector<ir::RuntimeValue> &args)
+         const std::vector<ir::RuntimeValue> &args,
+         const SimOptions &options)
 {
     UirExecutor exec(accel, mem, /*record_ddg=*/true);
     SimResult result;
     result.outputs = exec.run(args);
     result.firings = exec.firings();
-    TimingResult timing = scheduleDdg(accel, exec.ddg());
+    if (options.profile)
+        result.profileData = std::make_shared<ProfileCollector>();
+    TimingResult timing =
+        scheduleDdg(accel, exec.ddg(),
+                    options.trace ? &result.trace : nullptr,
+                    result.profileData.get());
     result.cycles = timing.cycles;
     result.stats = std::move(timing.stats);
+    if (options.profile)
+        result.profile = std::make_shared<ProfileResult>(buildProfile(
+            accel, exec.ddg(), *result.profileData, result.cycles));
     return result;
 }
 

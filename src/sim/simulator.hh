@@ -7,11 +7,23 @@
  */
 #pragma once
 
+#include <memory>
+
 #include "sim/exec.hh"
+#include "sim/profile.hh"
 #include "sim/timing.hh"
 
 namespace muir::sim
 {
+
+/** What to collect beyond cycles/stats (all off by default). */
+struct SimOptions
+{
+    /** Build a full μprof ProfileResult (and keep the collector). */
+    bool profile = false;
+    /** Keep the per-event timeline (needed for trace export). */
+    bool trace = false;
+};
 
 /** Combined functional + timing result. */
 struct SimResult
@@ -24,6 +36,12 @@ struct SimResult
     uint64_t firings = 0;
     /** Dynamic events + contention counters. */
     StatSet stats;
+    /** μprof attribution (set when SimOptions::profile). */
+    std::shared_ptr<ProfileResult> profile;
+    /** Raw per-event costs (set when SimOptions::profile). */
+    std::shared_ptr<ProfileCollector> profileData;
+    /** Per-event timeline (set when SimOptions::trace). */
+    std::vector<TimingTraceRow> trace;
 };
 
 /**
@@ -31,7 +49,8 @@ struct SimResult
  * schedule the resulting DDG.
  */
 SimResult simulate(const uir::Accelerator &accel, ir::MemoryImage &mem,
-                   const std::vector<ir::RuntimeValue> &args = {});
+                   const std::vector<ir::RuntimeValue> &args = {},
+                   const SimOptions &options = {});
 
 /** Functional-only run (no DDG, no timing) — for fast golden checks. */
 std::vector<ir::RuntimeValue>

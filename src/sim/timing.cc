@@ -6,6 +6,7 @@
 #include <queue>
 #include <unordered_map>
 
+#include "sim/profile.hh"
 #include "support/logging.hh"
 #include "uir/delay_model.hh"
 
@@ -93,11 +94,14 @@ claimPort(std::vector<uint64_t> &ports, uint64_t ready, uint64_t busy)
 
 TimingResult
 scheduleDdg(const uir::Accelerator &accel, const Ddg &ddg,
-            std::vector<TimingTraceRow> *trace)
+            std::vector<TimingTraceRow> *trace,
+            ProfileCollector *prof)
 {
     TimingResult result;
     const auto &events = ddg.events();
     const auto &invocations = ddg.invocations();
+    if (prof)
+        prof->events.assign(events.size(), EventCost{});
 
     // Reverse adjacency so finish times propagate to dependents.
     std::vector<uint32_t> pending(events.size(), 0);
@@ -146,12 +150,55 @@ scheduleDdg(const uir::Accelerator &accel, const Ddg &ddg,
         if (pending[id] == 0)
             queue.emplace(0, id);
 
+    // Per-task scoped stat handles so the hot loop doesn't rebuild
+    // "task.<name>." prefixes on every event.
+    std::unordered_map<const uir::Task *, ScopedStats> taskStats;
+    auto statsFor = [&](const uir::Task *task) -> ScopedStats & {
+        auto it = taskStats.find(task);
+        if (it == taskStats.end())
+            it = taskStats
+                     .emplace(task,
+                              result.stats.scoped("task." +
+                                                  task->name() + "."))
+                     .first;
+        return it->second;
+    };
+
     uint64_t processed = 0;
     while (!queue.empty()) {
         auto [ready, id] = queue.top();
         queue.pop();
         const DynEvent &e = events[id];
         ++processed;
+
+        EventCost *cost = prof ? &prof->events[id] : nullptr;
+        if (cost) {
+            cost->ready = ready;
+            // Operand skew and queue gating against the deps' (already
+            // final) finish times; the queue-backpressure dep is kept
+            // out of the operand statistics.
+            uint64_t first = ~uint64_t(0);
+            uint64_t data_ready = 0;
+            uint64_t data_crit = kNoEvent;
+            unsigned data_deps = 0;
+            for (uint64_t d : e.deps) {
+                if (d == e.queueDep)
+                    continue;
+                ++data_deps;
+                uint64_t f = finish[d];
+                first = std::min(first, f);
+                if (f > data_ready) {
+                    data_ready = f;
+                    data_crit = d;
+                }
+            }
+            cost->dataCritDep = data_crit;
+            if (data_deps >= 2)
+                cost->operandWait = data_ready - first;
+            if (e.queueDep != kNoEvent &&
+                finish[e.queueDep] > data_ready)
+                cost->queueWait = finish[e.queueDep] - data_ready;
+        }
 
         uint64_t end_time;
         uint64_t started = ready;
@@ -169,6 +216,10 @@ scheduleDdg(const uir::Accelerator &accel, const Ddg &ddg,
             if (nf.size() < tiles)
                 nf.resize(tiles, 0);
             uint64_t start = std::max(ready, nf[tile]);
+            if (cost) {
+                cost->tile = tile;
+                cost->iiWait = start - ready;
+            }
 
             uint64_t latency = uir::nodeLatency(*node);
 
@@ -185,6 +236,8 @@ scheduleDdg(const uir::Accelerator &accel, const Ddg &ddg,
                 start = claimPort(e.isLoad ? j.readFree : j.writeFree,
                                   start, 1);
                 result.stats.inc("junction.wait_cycles", start - pre);
+                if (cost)
+                    cost->junctionWait = start - pre;
 
                 // Structure access.
                 uir::Structure *s =
@@ -204,6 +257,15 @@ scheduleDdg(const uir::Accelerator &accel, const Ddg &ddg,
                 start = claimPort(ss.bankPortFree[bank_idx], start,
                                   beats);
                 result.stats.inc("bank.wait_cycles", start - pre);
+                if (cost)
+                    cost->bankWait = start - pre;
+                if (prof) {
+                    auto &use = prof->structUse[s];
+                    ++use.accesses;
+                    use.busyBeats += beats;
+                    if (start > pre)
+                        ++use.conflicts;
+                }
 
                 uint64_t access = s->latency() + beats - 1;
                 if (ss.tags) {
@@ -225,6 +287,11 @@ scheduleDdg(const uir::Accelerator &accel, const Ddg &ddg,
                         uint64_t dram_start =
                             std::max(start + access, dramFree);
                         dramFree = dram_start + xfer;
+                        if (cost) {
+                            cost->dramWait =
+                                dram_start - (start + access);
+                            cost->missPenalty = s->missLatency();
+                        }
                         access = (dram_start - start) + s->missLatency();
                     }
                 } else {
@@ -239,13 +306,16 @@ scheduleDdg(const uir::Accelerator &accel, const Ddg &ddg,
             result.stats.inc("events");
             // Per-task stall attribution: time spent waiting on
             // structural resources after operands were ready.
+            ScopedStats &ts = statsFor(task);
             if (start > ready)
-                result.stats.inc("task." + task->name() +
-                                     ".stall_cycles",
-                                 start - ready);
-            result.stats.inc("task." + task->name() + ".events");
+                ts.inc("stall_cycles", start - ready);
+            ts.inc("events");
         }
 
+        if (cost) {
+            cost->start = started;
+            cost->finish = end_time;
+        }
         if (trace)
             trace->push_back(
                 {id, e.node, e.invocation, ready, started, end_time});
@@ -253,6 +323,8 @@ scheduleDdg(const uir::Accelerator &accel, const Ddg &ddg,
         result.cycles = std::max(result.cycles, end_time);
         for (uint32_t k = edge_start[id]; k < edge_start[id + 1]; ++k) {
             uint64_t dep_id = dependents[k];
+            if (prof && end_time > readyAt[dep_id])
+                prof->events[dep_id].critDep = id;
             readyAt[dep_id] = std::max(readyAt[dep_id], end_time);
             if (--pending[dep_id] == 0)
                 queue.emplace(readyAt[dep_id], dep_id);

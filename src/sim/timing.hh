@@ -16,6 +16,8 @@
 namespace muir::sim
 {
 
+struct ProfileCollector; // sim/profile.hh
+
 /** Timing results and activity counters. */
 struct TimingResult
 {
@@ -40,8 +42,14 @@ struct TimingTraceRow
  * Schedule every event of the DDG; returns total cycles + stats.
  * @param trace Optional: filled with one row per scheduled event, in
  *        processing order (by start time), for timeline inspection.
+ * @param profile Optional μprof collector (sim/profile.hh): when set,
+ *        the scheduler additionally records one EventCost per event
+ *        (stall attribution, critical deps, structure activity).
+ *        Profiling is observational only — it never changes the
+ *        schedule, so cycles/stats are bit-identical either way.
  */
 TimingResult scheduleDdg(const uir::Accelerator &accel, const Ddg &ddg,
-                         std::vector<TimingTraceRow> *trace = nullptr);
+                         std::vector<TimingTraceRow> *trace = nullptr,
+                         ProfileCollector *profile = nullptr);
 
 } // namespace muir::sim

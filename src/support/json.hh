@@ -1,0 +1,430 @@
+/**
+ * @file
+ * Minimal JSON support: a streaming writer with automatic comma and
+ * indentation management (used by the μprof report/trace emitters,
+ * μlint's JSON renderer replacement candidates, and the bench
+ * trajectory files) and a strict validator so tests can check that
+ * everything we emit actually parses — the repo deliberately has no
+ * external JSON dependency.
+ */
+#pragma once
+
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace muir
+{
+
+/** Escape a string for embedding inside JSON double quotes. */
+inline std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+/**
+ * A push-style JSON writer. Scopes (objects/arrays) nest via
+ * beginObject/beginArray ... end; commas and newlines are inserted
+ * automatically, so emitters never produce trailing-comma JSON.
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os, bool pretty = true)
+        : os_(os), pretty_(pretty)
+    {
+    }
+
+    /** @name Scopes @{ */
+    void beginObject() { open('{'); }
+    void beginObject(const std::string &key) { openKeyed(key, '{'); }
+    void beginArray() { open('['); }
+    void beginArray(const std::string &key) { openKeyed(key, '['); }
+
+    /** Close the innermost object or array. */
+    void
+    end()
+    {
+        char close = stack_.back().array ? ']' : '}';
+        bool had = stack_.back().count > 0;
+        stack_.pop_back();
+        if (pretty_ && had) {
+            os_ << '\n';
+            indent();
+        }
+        os_ << close;
+    }
+    /** @} */
+
+    /** @name Object fields @{ */
+    void field(const std::string &key, const std::string &v)
+    {
+        keyed(key);
+        string(v);
+    }
+    void field(const std::string &key, const char *v)
+    {
+        field(key, std::string(v));
+    }
+    void field(const std::string &key, uint64_t v)
+    {
+        keyed(key);
+        os_ << v;
+    }
+    void field(const std::string &key, int64_t v)
+    {
+        keyed(key);
+        os_ << v;
+    }
+    void field(const std::string &key, int v)
+    {
+        field(key, static_cast<int64_t>(v));
+    }
+    void field(const std::string &key, unsigned v)
+    {
+        field(key, static_cast<uint64_t>(v));
+    }
+    void field(const std::string &key, double v)
+    {
+        keyed(key);
+        number(v);
+    }
+    void field(const std::string &key, bool v)
+    {
+        keyed(key);
+        os_ << (v ? "true" : "false");
+    }
+    /** Splice an already-serialized JSON value under a key. */
+    void rawField(const std::string &key, const std::string &json)
+    {
+        keyed(key);
+        os_ << json;
+    }
+    /** @} */
+
+    /** @name Array elements @{ */
+    void value(const std::string &v)
+    {
+        element();
+        string(v);
+    }
+    void value(uint64_t v)
+    {
+        element();
+        os_ << v;
+    }
+    void value(int64_t v)
+    {
+        element();
+        os_ << v;
+    }
+    void value(double v)
+    {
+        element();
+        number(v);
+    }
+    /** @} */
+
+  private:
+    struct Scope
+    {
+        bool array = false;
+        unsigned count = 0;
+    };
+
+    void
+    indent()
+    {
+        for (size_t i = 0; i < stack_.size(); ++i)
+            os_ << "  ";
+    }
+
+    /** Start a new element in the current scope (comma/newline). */
+    void
+    element()
+    {
+        if (!stack_.empty()) {
+            if (stack_.back().count++ > 0)
+                os_ << ',';
+            if (pretty_) {
+                os_ << '\n';
+                indent();
+            }
+        }
+    }
+
+    void
+    keyed(const std::string &key)
+    {
+        element();
+        string(key);
+        os_ << (pretty_ ? ": " : ":");
+    }
+
+    void
+    open(char c)
+    {
+        element();
+        os_ << c;
+        stack_.push_back({c == '['});
+    }
+
+    void
+    openKeyed(const std::string &key, char c)
+    {
+        keyed(key);
+        os_ << c;
+        stack_.push_back({c == '['});
+    }
+
+    void string(const std::string &s) { os_ << '"' << jsonEscape(s) << '"'; }
+
+    /** JSON has no NaN/Inf; clamp to 0 rather than emit junk. */
+    void
+    number(double v)
+    {
+        if (!std::isfinite(v)) {
+            os_ << 0;
+            return;
+        }
+        char buf[40];
+        std::snprintf(buf, sizeof buf, "%.10g", v);
+        os_ << buf;
+    }
+
+    std::ostream &os_;
+    bool pretty_;
+    std::vector<Scope> stack_;
+};
+
+namespace detail
+{
+
+/** Recursive-descent JSON checker over [p, end). */
+class JsonChecker
+{
+  public:
+    JsonChecker(const char *p, const char *end) : p_(p), end_(end) {}
+
+    bool
+    parse(std::string *error)
+    {
+        bool ok = value() && (ws(), p_ == end_);
+        if (!ok && error)
+            *error = err_.empty() ? "trailing garbage" : err_;
+        return ok;
+    }
+
+  private:
+    bool
+    fail(const char *what)
+    {
+        if (err_.empty())
+            err_ = std::string(what) + " at offset " +
+                   std::to_string(static_cast<size_t>(p_ - begin_));
+        return false;
+    }
+
+    void
+    ws()
+    {
+        while (p_ < end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' ||
+                             *p_ == '\r'))
+            ++p_;
+    }
+
+    bool
+    literal(const char *lit)
+    {
+        size_t n = std::char_traits<char>::length(lit);
+        if (static_cast<size_t>(end_ - p_) < n ||
+            std::char_traits<char>::compare(p_, lit, n) != 0)
+            return fail("bad literal");
+        p_ += n;
+        return true;
+    }
+
+    bool
+    value()
+    {
+        ws();
+        if (p_ >= end_)
+            return fail("unexpected end");
+        switch (*p_) {
+          case '{': return object();
+          case '[': return array();
+          case '"': return string();
+          case 't': return literal("true");
+          case 'f': return literal("false");
+          case 'n': return literal("null");
+          default: return number();
+        }
+    }
+
+    bool
+    object()
+    {
+        ++p_; // '{'
+        ws();
+        if (p_ < end_ && *p_ == '}') {
+            ++p_;
+            return true;
+        }
+        while (true) {
+            ws();
+            if (p_ >= end_ || *p_ != '"')
+                return fail("expected object key");
+            if (!string())
+                return false;
+            ws();
+            if (p_ >= end_ || *p_ != ':')
+                return fail("expected ':'");
+            ++p_;
+            if (!value())
+                return false;
+            ws();
+            if (p_ < end_ && *p_ == ',') {
+                ++p_;
+                continue;
+            }
+            if (p_ < end_ && *p_ == '}') {
+                ++p_;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    bool
+    array()
+    {
+        ++p_; // '['
+        ws();
+        if (p_ < end_ && *p_ == ']') {
+            ++p_;
+            return true;
+        }
+        while (true) {
+            if (!value())
+                return false;
+            ws();
+            if (p_ < end_ && *p_ == ',') {
+                ++p_;
+                continue;
+            }
+            if (p_ < end_ && *p_ == ']') {
+                ++p_;
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    bool
+    string()
+    {
+        ++p_; // opening quote
+        while (p_ < end_) {
+            unsigned char c = *p_;
+            if (c == '"') {
+                ++p_;
+                return true;
+            }
+            if (c == '\\') {
+                ++p_;
+                if (p_ >= end_)
+                    return fail("bad escape");
+                char e = *p_;
+                if (e == 'u') {
+                    for (int k = 0; k < 4; ++k) {
+                        ++p_;
+                        if (p_ >= end_ || !std::isxdigit(
+                                              static_cast<unsigned char>(
+                                                  *p_)))
+                            return fail("bad \\u escape");
+                    }
+                } else if (!std::strchr("\"\\/bfnrt", e)) {
+                    return fail("bad escape");
+                }
+                ++p_;
+                continue;
+            }
+            if (c < 0x20)
+                return fail("raw control char in string");
+            ++p_;
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    number()
+    {
+        const char *start = p_;
+        if (p_ < end_ && *p_ == '-')
+            ++p_;
+        while (p_ < end_ && std::isdigit(static_cast<unsigned char>(*p_)))
+            ++p_;
+        if (p_ < end_ && *p_ == '.') {
+            ++p_;
+            while (p_ < end_ &&
+                   std::isdigit(static_cast<unsigned char>(*p_)))
+                ++p_;
+        }
+        if (p_ < end_ && (*p_ == 'e' || *p_ == 'E')) {
+            ++p_;
+            if (p_ < end_ && (*p_ == '+' || *p_ == '-'))
+                ++p_;
+            while (p_ < end_ &&
+                   std::isdigit(static_cast<unsigned char>(*p_)))
+                ++p_;
+        }
+        if (p_ == start || (p_ == start + 1 && *start == '-'))
+            return fail("bad number");
+        return true;
+    }
+
+    const char *p_;
+    const char *end_;
+    const char *begin_ = p_;
+    std::string err_;
+};
+
+} // namespace detail
+
+/** @return true when @p text is one complete, valid JSON document. */
+inline bool
+jsonValidate(const std::string &text, std::string *error = nullptr)
+{
+    detail::JsonChecker checker(text.data(), text.data() + text.size());
+    return checker.parse(error);
+}
+
+} // namespace muir

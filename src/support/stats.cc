@@ -2,8 +2,22 @@
 
 #include <sstream>
 
+#include "support/json.hh"
+
 namespace muir
 {
+
+void
+ScopedStats::inc(const std::string &name, uint64_t amount)
+{
+    set_->inc(prefix_ + name, amount);
+}
+
+void
+ScopedStats::set(const std::string &name, uint64_t value)
+{
+    set_->set(prefix_ + name, value);
+}
 
 void
 StatSet::inc(const std::string &name, uint64_t amount)
@@ -43,6 +57,18 @@ StatSet::dump() const
     std::ostringstream os;
     for (const auto &[name, value] : counters_)
         os << name << " = " << value << "\n";
+    return os.str();
+}
+
+std::string
+StatSet::toJson() const
+{
+    std::ostringstream os;
+    JsonWriter w(os, /*pretty=*/false);
+    w.beginObject();
+    for (const auto &[name, value] : counters_)
+        w.field(name, value);
+    w.end();
     return os.str();
 }
 

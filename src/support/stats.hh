@@ -13,6 +13,30 @@
 namespace muir
 {
 
+class StatSet;
+
+/**
+ * A prefix-bound view of a StatSet: `stats.scoped("task.t0.")` returns
+ * a handle whose inc/set prepend the prefix once, instead of every
+ * call site rebuilding `"task." + name + ".counter"` strings.
+ */
+class ScopedStats
+{
+  public:
+    ScopedStats(StatSet &set, std::string prefix)
+        : set_(&set), prefix_(std::move(prefix))
+    {
+    }
+
+    void inc(const std::string &name, uint64_t amount = 1);
+    void set(const std::string &name, uint64_t value);
+    const std::string &prefix() const { return prefix_; }
+
+  private:
+    StatSet *set_;
+    std::string prefix_;
+};
+
 /** A named bag of integer counters with formatted dumping. */
 class StatSet
 {
@@ -37,6 +61,18 @@ class StatSet
 
     /** Render as "name = value" lines. */
     std::string dump() const;
+
+    /**
+     * Render as one flat JSON object. Keys appear in sorted order (the
+     * backing map is ordered), so output is deterministic and diffable.
+     */
+    std::string toJson() const;
+
+    /** A view that prepends @p prefix to every counter name. */
+    ScopedStats scoped(std::string prefix)
+    {
+        return ScopedStats(*this, std::move(prefix));
+    }
 
   private:
     std::map<std::string, uint64_t> counters_;

@@ -82,4 +82,21 @@ padRight(const std::string &s, size_t width)
     return s + std::string(width - s.size(), ' ');
 }
 
+std::string
+csvQuote(const std::string &field)
+{
+    if (field.find_first_of(",\"\n\r") == std::string::npos)
+        return field;
+    std::string out;
+    out.reserve(field.size() + 2);
+    out += '"';
+    for (char c : field) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
 } // namespace muir

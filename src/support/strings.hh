@@ -57,4 +57,11 @@ bool startsWith(const std::string &text, const std::string &prefix);
 std::string padLeft(const std::string &s, size_t width);
 std::string padRight(const std::string &s, size_t width);
 
+/**
+ * Quote a CSV field per RFC 4180 when needed: fields containing
+ * commas, quotes, or newlines are wrapped in double quotes with
+ * embedded quotes doubled; anything else passes through unchanged.
+ */
+std::string csvQuote(const std::string &field);
+
 } // namespace muir

@@ -1,5 +1,7 @@
 #include "uopt/pass.hh"
 
+#include <chrono>
+
 #include "support/logging.hh"
 #include "support/strings.hh"
 
@@ -16,8 +18,29 @@ PassManager::add(std::unique_ptr<Pass> pass)
 void
 PassManager::run(uir::Accelerator &accel)
 {
+    records_.clear();
+    records_.reserve(passes_.size());
     for (const auto &pass : passes_) {
+        PassRecord record;
+        record.name = pass->name();
+        record.nodesBefore = accel.numNodes();
+        record.edgesBefore = accel.numEdges();
+        uint64_t nodes0 = pass->changes().get("nodes.changed");
+        uint64_t edges0 = pass->changes().get("edges.changed");
+        auto t0 = std::chrono::steady_clock::now();
         pass->run(accel);
+        auto t1 = std::chrono::steady_clock::now();
+        record.wallMs =
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        record.nodesAfter = accel.numNodes();
+        record.edgesAfter = accel.numEdges();
+        record.nodesChanged =
+            pass->changes().get("nodes.changed") - nodes0;
+        record.edgesChanged =
+            pass->changes().get("edges.changed") - edges0;
+        if (cycleProbe_)
+            record.cyclesAfter = cycleProbe_(accel);
+        records_.push_back(std::move(record));
         if (lintEnabled_) {
             lastDiagnostics_ =
                 uir::lint::Linter::standard().run(accel);

@@ -7,6 +7,7 @@
  */
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -17,6 +18,30 @@
 
 namespace muir::uopt
 {
+
+/** Sentinel for "no cycle probe installed". */
+inline constexpr uint64_t kNoCycles = ~uint64_t(0);
+
+/**
+ * What one pass did to the graph, recorded by PassManager for the
+ * μprof run report: wall time, graph size before/after (ΔNode/ΔEdge
+ * at the whole-graph level), the pass's own change counters, and —
+ * when a cycle probe is installed — simulated cycles after the pass,
+ * so a report can show which pass bought which speedup.
+ */
+struct PassRecord
+{
+    std::string name;
+    double wallMs = 0.0;
+    unsigned nodesBefore = 0;
+    unsigned nodesAfter = 0;
+    unsigned edgesBefore = 0;
+    unsigned edgesAfter = 0;
+    uint64_t nodesChanged = 0;
+    uint64_t edgesChanged = 0;
+    /** Cycles of a probe run after this pass (kNoCycles if unprobed). */
+    uint64_t cyclesAfter = kNoCycles;
+};
 
 /** Base class of all μopt passes. */
 class Pass
@@ -73,6 +98,21 @@ class PassManager
     /** Aggregate change stats across all passes. */
     StatSet totalChanges() const;
 
+    /** @name μprof pass instrumentation @{ */
+    /**
+     * Install a probe that simulates the accelerator and returns its
+     * cycle count; when set, run() invokes it after every pass and
+     * stores the result in PassRecord::cyclesAfter.
+     */
+    void setCycleProbe(
+        std::function<uint64_t(const uir::Accelerator &)> probe)
+    {
+        cycleProbe_ = std::move(probe);
+    }
+    /** One record per pass executed by the most recent run(). */
+    const std::vector<PassRecord> &records() const { return records_; }
+    /** @} */
+
     /** @name Post-pass lint policy @{ */
     /** Skip the per-pass lint entirely (not recommended). */
     void setLintEnabled(bool enabled) { lintEnabled_ = enabled; }
@@ -90,6 +130,8 @@ class PassManager
 
   private:
     std::vector<std::unique_ptr<Pass>> passes_;
+    std::vector<PassRecord> records_;
+    std::function<uint64_t(const uir::Accelerator &)> cycleProbe_;
     bool lintEnabled_ = true;
     uir::lint::Severity failSeverity_ = uir::lint::Severity::Error;
     std::vector<uir::lint::Diagnostic> lastDiagnostics_;

@@ -22,16 +22,23 @@ lowerBaseline(const Workload &w)
 }
 
 RunResult
-runOn(const Workload &w, const uir::Accelerator &accel)
+runOn(const Workload &w, const uir::Accelerator &accel,
+      const RunOptions &options)
 {
     ir::MemoryImage mem(*w.module);
     w.bind(mem);
-    sim::SimResult sim = sim::simulate(accel, mem);
+    sim::SimOptions sopts;
+    sopts.profile = options.profile;
+    sopts.trace = options.trace;
+    sim::SimResult sim = sim::simulate(accel, mem, {}, sopts);
     RunResult result;
     result.cycles = sim.cycles;
     result.firings = sim.firings;
     result.check = w.check(mem);
     result.stats = std::move(sim.stats);
+    result.profile = std::move(sim.profile);
+    result.profileData = std::move(sim.profileData);
+    result.trace = std::move(sim.trace);
     return result;
 }
 

@@ -31,9 +31,22 @@ struct RunResult
     /** Empty when outputs matched the golden reference. */
     std::string check;
     StatSet stats;
+    /** μprof results (set when RunOptions::profile). */
+    std::shared_ptr<sim::ProfileResult> profile;
+    std::shared_ptr<sim::ProfileCollector> profileData;
+    /** Per-event timeline (set when RunOptions::trace). */
+    std::vector<sim::TimingTraceRow> trace;
+};
+
+/** Optional collection switches for runOn. */
+struct RunOptions
+{
+    bool profile = false;
+    bool trace = false;
 };
 
 /** Bind inputs, simulate, and check outputs against the golden data. */
-RunResult runOn(const Workload &w, const uir::Accelerator &accel);
+RunResult runOn(const Workload &w, const uir::Accelerator &accel,
+                const RunOptions &options = {});
 
 } // namespace muir::workloads

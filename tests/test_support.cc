@@ -1,9 +1,13 @@
 /**
  * @file
- * Unit tests for the support library: formatting, tables, stats.
+ * Unit tests for the support library: formatting, tables, stats,
+ * JSON writing/validation, CSV quoting.
  */
 #include <gtest/gtest.h>
 
+#include <sstream>
+
+#include "support/json.hh"
 #include "support/stats.hh"
 #include "support/strings.hh"
 #include "support/table.hh"
@@ -88,6 +92,122 @@ TEST(Stats, Merge)
     a.merge(b);
     EXPECT_EQ(a.get("x"), 3u);
     EXPECT_EQ(a.get("y"), 5u);
+}
+
+TEST(Strings, CsvQuote)
+{
+    // Plain fields pass through unquoted.
+    EXPECT_EQ(csvQuote("plain"), "plain");
+    EXPECT_EQ(csvQuote(""), "");
+    // Separators, quotes, and newlines force RFC 4180 quoting.
+    EXPECT_EQ(csvQuote("a,b"), "\"a,b\"");
+    EXPECT_EQ(csvQuote("say \"hi\""), "\"say \"\"hi\"\"\"");
+    EXPECT_EQ(csvQuote("line1\nline2"), "\"line1\nline2\"");
+    EXPECT_EQ(csvQuote("cr\rhere"), "\"cr\rhere\"");
+}
+
+TEST(Stats, ToJsonIsValidAndDeterministic)
+{
+    StatSet s;
+    s.inc("b.second", 2);
+    s.inc("a.first", 1);
+    s.inc("c", 30);
+    std::string json = s.toJson();
+    std::string error;
+    EXPECT_TRUE(jsonValidate(json, &error)) << error;
+    // StatSet iterates in key order, so the JSON is byte-stable.
+    EXPECT_EQ(json, "{\"a.first\":1,\"b.second\":2,\"c\":30}");
+    EXPECT_EQ(StatSet().toJson(), "{}");
+}
+
+TEST(Stats, ScopedPrefixesKeys)
+{
+    StatSet s;
+    ScopedStats task = s.scoped("task.loop.");
+    task.inc("events");
+    task.inc("events", 2);
+    task.set("depth", 7);
+    EXPECT_EQ(s.get("task.loop.events"), 3u);
+    EXPECT_EQ(s.get("task.loop.depth"), 7u);
+    EXPECT_FALSE(s.has("events"));
+    EXPECT_EQ(task.prefix(), "task.loop.");
+}
+
+TEST(Json, WriterNestsScopesWithCommas)
+{
+    std::ostringstream os;
+    JsonWriter w(os, /*pretty=*/false);
+    w.beginObject();
+    w.field("name", "µprof");
+    w.field("count", uint64_t(3));
+    w.field("ratio", 0.5);
+    w.field("on", true);
+    w.beginArray("xs");
+    w.value(uint64_t(1));
+    w.value(uint64_t(2));
+    w.end();
+    w.beginObject("inner");
+    w.end();
+    w.rawField("raw", "[null]");
+    w.end();
+    std::string out = os.str();
+    EXPECT_EQ(out, "{\"name\":\"µprof\",\"count\":3,\"ratio\":0.5,"
+                   "\"on\":true,\"xs\":[1,2],\"inner\":{},"
+                   "\"raw\":[null]}");
+    std::string error;
+    EXPECT_TRUE(jsonValidate(out, &error)) << error;
+}
+
+TEST(Json, WriterEscapesStringsAndClampsNonFinite)
+{
+    std::ostringstream os;
+    JsonWriter w(os, /*pretty=*/false);
+    w.beginObject();
+    w.field("s", "quote\" slash\\ tab\t nl\n");
+    w.field("nan", std::nan(""));
+    w.end();
+    std::string out = os.str();
+    EXPECT_NE(out.find("quote\\\" slash\\\\ tab\\t nl\\n"),
+              std::string::npos);
+    EXPECT_NE(out.find("\"nan\":0"), std::string::npos);
+    EXPECT_TRUE(jsonValidate(out));
+}
+
+TEST(Json, PrettyWriterOutputValidates)
+{
+    std::ostringstream os;
+    JsonWriter w(os); // pretty
+    w.beginObject();
+    w.beginArray("rows");
+    w.beginObject();
+    w.field("k", uint64_t(1));
+    w.end();
+    w.end();
+    w.end();
+    std::string error;
+    EXPECT_TRUE(jsonValidate(os.str(), &error)) << error;
+    EXPECT_NE(os.str().find('\n'), std::string::npos);
+}
+
+TEST(Json, ValidateAcceptsWellFormedDocuments)
+{
+    for (const char *good :
+         {"{}", "[]", "null", "true", "-1.5e3", "\"s\"",
+          "{\"a\":[1,2,{\"b\":null}],\"c\":\"\\u00e9\"}",
+          " [ 1 , 2 ] "}) {
+        std::string error;
+        EXPECT_TRUE(jsonValidate(good, &error)) << good << ": " << error;
+    }
+}
+
+TEST(Json, ValidateRejectsMalformedDocuments)
+{
+    for (const char *bad :
+         {"", "{", "[1,]", "{\"a\":}", "{\"a\" 1}", "{a:1}", "tru",
+          "\"unterminated", "[1] extra", "{\"a\":1,}", "\"bad\\x\"",
+          "01a"}) {
+        EXPECT_FALSE(jsonValidate(bad)) << bad;
+    }
 }
 
 TEST(Table, RendersAlignedRows)

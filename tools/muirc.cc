@@ -24,7 +24,9 @@
 
 #include "cost/cost_model.hh"
 #include "sim/exec.hh"
+#include "sim/profile.hh"
 #include "sim/timing.hh"
+#include "support/json.hh"
 #include "ir/transforms/loop_unroll.hh"
 #include "rtl/chisel.hh"
 #include "rtl/firrtl.hh"
@@ -68,6 +70,12 @@ usage()
         "  --load-graph <file>   load a checkpointed graph instead of\n"
         "                        lowering (workload still supplies data)\n"
         "  --trace <file>        write a per-event timeline CSV\n"
+        "  --profile             µprof: print cycle/stall attribution\n"
+        "  --critical-path       µprof: print the ranked critical path\n"
+        "  --emit-trace-json <f> write a Chrome trace-event (Perfetto)\n"
+        "                        JSON timeline\n"
+        "  --report-json <file>  write the full run report as JSON\n"
+        "                        (graph, passes, cycles, stats, profile)\n"
         "  --emit-firrtl-stats   print circuit-level elaboration size\n"
         "  --quiet               suppress pass progress chatter\n");
 }
@@ -152,10 +160,11 @@ main(int argc, char **argv)
 {
     std::string workload, passes, emit_chisel, emit_dot, emit_uir;
     std::string emit_verilog, save_graph, load_graph, trace_path;
-    std::string lint_json;
+    std::string lint_json, trace_json, report_json;
     unsigned unroll = 1;
     bool report = false, stats = false, firrtl_stats = false;
     bool lint = false, werror = false;
+    bool profile = false, critical_path = false;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -200,6 +209,14 @@ main(int argc, char **argv)
             load_graph = next();
         } else if (arg == "--trace") {
             trace_path = next();
+        } else if (arg == "--profile") {
+            profile = true;
+        } else if (arg == "--critical-path") {
+            critical_path = true;
+        } else if (arg == "--emit-trace-json") {
+            trace_json = next();
+        } else if (arg == "--report-json") {
+            report_json = next();
         } else if (arg == "--report") {
             report = true;
         } else if (arg == "--stats") {
@@ -257,11 +274,27 @@ main(int argc, char **argv)
         accel = workloads::lowerBaseline(w);
     }
 
+    // µprof wiring: --critical-path/--emit-trace-json/--report-json all
+    // need the profile collector; the JSON timeline also needs the
+    // per-event rows.
+    bool want_profile = profile || critical_path || !trace_json.empty() ||
+                        !report_json.empty();
+    bool want_trace = !trace_path.empty() || !trace_json.empty();
+
+    uopt::PassManager pm;
+    uint64_t baseline_cycles = uopt::kNoCycles;
     if (!passes.empty()) {
-        uopt::PassManager pm;
         for (const auto &spec : split(passes, ','))
             if (!addPass(pm, spec))
                 return 2;
+        if (!report_json.empty()) {
+            // Probe cycles after every pass so the report can show
+            // which pass bought which speedup.
+            pm.setCycleProbe([&](const uir::Accelerator &a) {
+                return workloads::runOn(w, a).cycles;
+            });
+            baseline_cycles = workloads::runOn(w, *accel).cycles;
+        }
         pm.run(*accel);
     }
 
@@ -281,34 +314,85 @@ main(int argc, char **argv)
             return 1;
     }
 
+    workloads::RunOptions ropts;
+    ropts.profile = want_profile;
+    ropts.trace = want_trace;
+    auto run = workloads::runOn(w, *accel, ropts);
+    if (!run.check.empty()) {
+        std::fprintf(stderr, "muirc: FUNCTIONAL CHECK FAILED: %s\n",
+                     run.check.c_str());
+        return 1;
+    }
+
     if (!trace_path.empty()) {
-        // Trace run: drive the simulator directly so per-event rows
-        // are available.
-        ir::MemoryImage mem(*w.module);
-        w.bind(mem);
-        sim::UirExecutor exec(*accel, mem);
-        exec.run({});
-        std::vector<sim::TimingTraceRow> rows;
-        sim::scheduleDdg(*accel, exec.ddg(), &rows);
         std::ostringstream csv;
         csv << "event,node,task,kind,invocation,ready,start,finish\n";
-        for (const auto &r : rows) {
+        for (const auto &r : run.trace) {
             csv << r.event << ","
-                << (r.node ? r.node->name() : "<completion>") << ","
-                << (r.node ? r.node->parent()->name() : "") << ","
-                << (r.node ? uir::nodeKindName(r.node->kind()) : "done")
+                << csvQuote(r.node ? r.node->name() : "<completion>")
+                << ","
+                << csvQuote(r.node ? r.node->parent()->name() : "")
+                << ","
+                << csvQuote(r.node ? uir::nodeKindName(r.node->kind())
+                                   : "done")
                 << "," << r.invocation << "," << r.ready << ","
                 << r.start << "," << r.finish << "\n";
         }
         if (!writeFile(trace_path, csv.str()))
             return 1;
     }
-
-    auto run = workloads::runOn(w, *accel);
-    if (!run.check.empty()) {
-        std::fprintf(stderr, "muirc: FUNCTIONAL CHECK FAILED: %s\n",
-                     run.check.c_str());
+    if (!trace_json.empty() &&
+        !writeFile(trace_json,
+                   sim::chromeTraceJson(run.trace, *run.profileData)))
         return 1;
+    if (profile || critical_path)
+        std::printf("%s", sim::renderProfileText(*run.profile).c_str());
+    if (!report_json.empty()) {
+        auto synth = cost::synthesize(*accel);
+        std::ostringstream os;
+        JsonWriter jw(os);
+        jw.beginObject();
+        jw.field("workload", workload);
+        jw.field("passes_requested", passes);
+        jw.beginObject("graph");
+        jw.field("tasks", uint64_t(accel->tasks().size()));
+        jw.field("nodes", uint64_t(accel->numNodes()));
+        jw.field("edges", uint64_t(accel->numEdges()));
+        jw.end();
+        jw.beginArray("passes");
+        for (const auto &rec : pm.records()) {
+            jw.beginObject();
+            jw.field("name", rec.name);
+            jw.field("wall_ms", rec.wallMs);
+            jw.field("nodes_before", uint64_t(rec.nodesBefore));
+            jw.field("nodes_after", uint64_t(rec.nodesAfter));
+            jw.field("edges_before", uint64_t(rec.edgesBefore));
+            jw.field("edges_after", uint64_t(rec.edgesAfter));
+            jw.field("nodes_changed", rec.nodesChanged);
+            jw.field("edges_changed", rec.edgesChanged);
+            if (rec.cyclesAfter != uopt::kNoCycles)
+                jw.field("cycles_after", rec.cyclesAfter);
+            jw.end();
+        }
+        jw.end();
+        if (baseline_cycles != uopt::kNoCycles)
+            jw.field("baseline_cycles", baseline_cycles);
+        jw.field("cycles", run.cycles);
+        jw.field("firings", run.firings);
+        jw.beginObject("synthesis");
+        jw.field("fpga_mhz", synth.fpgaMhz);
+        jw.field("fpga_mw", synth.fpgaMw);
+        jw.field("alms", synth.alms);
+        jw.field("regs", synth.regs);
+        jw.field("dsps", uint64_t(synth.dsps));
+        jw.field("asic_ghz", synth.asicGhz);
+        jw.end();
+        jw.rawField("stats", run.stats.toJson());
+        jw.rawField("profile", sim::profileJson(*run.profile));
+        jw.end();
+        os << "\n";
+        if (!writeFile(report_json, os.str()))
+            return 1;
     }
 
     if (report) {
