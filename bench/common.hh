@@ -7,11 +7,16 @@
  */
 #pragma once
 
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
 #include <fstream>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cost/cost_model.hh"
@@ -38,12 +43,66 @@ struct Design
     double timeUs() const { return run.cycles / synth.fpgaMhz; }
 };
 
+/**
+ * Wall-clock watchdog for the bench binaries: a scheduler regression
+ * that deadlocks or livelocks a simulation would otherwise hang CI
+ * until the job-level timeout with no clue where it stuck. The guard
+ * thread aborts the process with a clear message instead. Budget in
+ * seconds via MUIR_BENCH_TIMEOUT_S (default 600, 0 disables).
+ */
+class WallClockGuard
+{
+  public:
+    WallClockGuard()
+    {
+        unsigned seconds = 600;
+        if (const char *env = std::getenv("MUIR_BENCH_TIMEOUT_S"))
+            seconds = unsigned(std::strtoul(env, nullptr, 10));
+        if (!seconds)
+            return;
+        watcher_ = std::thread([this, seconds] {
+            std::unique_lock<std::mutex> lock(mutex_);
+            if (done_cv_.wait_for(lock, std::chrono::seconds(seconds),
+                                  [this] { return done_; }))
+                return;
+            std::fprintf(stderr,
+                         "bench: wall-clock guard tripped after %us -- "
+                         "a simulation is hanging; run the workload "
+                         "under `muirc --max-cycles` for a watchdog "
+                         "diagnosis (see docs/resilience.md)\n",
+                         seconds);
+            std::fflush(stderr);
+            std::_Exit(3);
+        });
+    }
+
+    ~WallClockGuard()
+    {
+        if (!watcher_.joinable())
+            return;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            done_ = true;
+        }
+        done_cv_.notify_all();
+        watcher_.join();
+    }
+
+  private:
+    std::mutex mutex_;
+    std::condition_variable done_cv_;
+    bool done_ = false;
+    std::thread watcher_;
+};
+
 /** Build + lower + transform + simulate + synthesize one design. */
 inline Design
 makeDesign(const std::string &workload_name,
            const std::function<void(uopt::PassManager &)> &configure =
                {})
 {
+    // Armed once per process, on the first simulated design.
+    static WallClockGuard guard;
     Design d;
     d.workload = workloads::buildWorkload(workload_name);
     d.accel = workloads::lowerBaseline(d.workload);

@@ -72,12 +72,6 @@ RuntimeValue::asPtr() const
     return ptr;
 }
 
-namespace
-{
-/** Globals start above the null page so address 0 stays invalid. */
-constexpr uint64_t kHeapBase = 0x1000;
-} // namespace
-
 MemoryImage::MemoryImage(const Module &module)
 {
     uint64_t cursor = kHeapBase;

@@ -19,6 +19,10 @@
 namespace muir::ir
 {
 
+/** First valid data address: globals allocate upward from here, so
+ *  anything below is a null-page trap (used by the μfit bus guard). */
+inline constexpr uint64_t kHeapBase = 0x1000;
+
 /** A runtime value: integer, float, pointer (address), or tensor. */
 struct RuntimeValue
 {
@@ -73,6 +77,17 @@ class MemoryImage
     /** @} */
 
     uint64_t sizeBytes() const { return bytes_.size(); }
+
+    /** Raw backing store (μfit snapshots and golden comparison). */
+    const std::vector<uint8_t> &bytes() const { return bytes_; }
+
+    /** @return whether [addr, addr+bytes) is a valid data range. */
+    bool
+    inRange(uint64_t addr, unsigned bytes) const
+    {
+        return addr >= kHeapBase && addr + bytes >= addr &&
+               addr + bytes <= bytes_.size();
+    }
 
   private:
     void checkRange(uint64_t addr, unsigned bytes) const;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "ir/op_eval.hh"
+#include "sim/fault.hh"
 #include "support/logging.hh"
 
 namespace muir::sim
@@ -128,6 +129,8 @@ UirExecutor::InvocationResult
 UirExecutor::invoke(const Task &task, const std::vector<RuntimeValue> &args,
                     uint64_t dispatch_event)
 {
+    if (inj_)
+        inj_->checkDepth(depth_);
     muir_assert(++depth_ < 256, "task invocation depth exceeded");
     muir_assert(args.size() == task.liveIns().size(),
                 "task %s: %zu args for %zu live-ins", task.name().c_str(),
@@ -173,6 +176,8 @@ UirExecutor::invoke(const Task &task, const std::vector<RuntimeValue> &args,
         int64_t iv = valueOf(ctx, lc->input(0)).asInt();
         int64_t end = valueOf(ctx, lc->input(1)).asInt();
         int64_t step = valueOf(ctx, lc->input(2)).asInt();
+        if (inj_)
+            inj_->checkLoopStep(step, task.name());
         muir_assert(step > 0, "loop %s: non-positive step",
                     task.name().c_str());
 
@@ -208,6 +213,8 @@ UirExecutor::invoke(const Task &task, const std::vector<RuntimeValue> &args,
             lc_deps.push_back(prev_lc_event);
             uint64_t lc_event = emit(ctx, lc, std::move(lc_deps));
             ++firings_;
+            if (inj_)
+                inj_->checkFirings(firings_);
             seed_deps.clear();
 
             // Carried-value latches: value k becomes available when
@@ -334,6 +341,8 @@ void
 UirExecutor::evalNode(Ctx &ctx, const Node &node)
 {
     ++firings_;
+    if (inj_)
+        inj_->checkFirings(firings_);
     std::vector<uint64_t> deps;
     deps.reserve(node.numInputs() + 1);
     for (const auto &ref : node.inputs())
@@ -355,10 +364,19 @@ UirExecutor::evalNode(Ctx &ctx, const Node &node)
             operands.reserve(node.numInputs());
             for (const auto &ref : node.inputs())
                 operands.push_back(valueOf(ctx, ref));
+            if (inj_ &&
+                (node.op() == ir::Op::SDiv ||
+                 node.op() == ir::Op::SRem) &&
+                operands.size() > 1 &&
+                operands[1].kind == RuntimeValue::Kind::Int)
+                inj_->checkDivisor(operands[1].i);
             result = ir::applyPureOp(node.op(), operands, node.irType());
         }
         ctx.vals[node.id()] = {std::move(result)};
-        ctx.evs[node.id()] = emit(ctx, &node, std::move(deps));
+        uint64_t id = emit(ctx, &node, std::move(deps));
+        ctx.evs[node.id()] = id;
+        if (inj_)
+            inj_->corruptValue(id, ctx.vals[node.id()]);
         return;
       }
       case NodeKind::Fused: {
@@ -384,19 +402,31 @@ UirExecutor::evalNode(Ctx &ctx, const Node &node)
                 internal.push_back(RuntimeValue::makePtr(
                     base + static_cast<uint64_t>(index) * elem));
             } else {
+                if (inj_ &&
+                    (mop.op == ir::Op::SDiv ||
+                     mop.op == ir::Op::SRem) &&
+                    operands.size() > 1 &&
+                    operands[1].kind == RuntimeValue::Kind::Int)
+                    inj_->checkDivisor(operands[1].i);
                 internal.push_back(
                     ir::applyPureOp(mop.op, operands, mop.type));
             }
         }
         ctx.vals[node.id()] = {internal.back()};
-        ctx.evs[node.id()] = emit(ctx, &node, std::move(deps));
+        uint64_t id = emit(ctx, &node, std::move(deps));
+        ctx.evs[node.id()] = id;
+        if (inj_)
+            inj_->corruptValue(id, ctx.vals[node.id()]);
         return;
       }
       case NodeKind::Load: {
         if (!guardOn(ctx, node)) {
             // Predicated off: fire for flow control, poison the output.
             ctx.vals[node.id()] = {zeroOf(node.irType())};
-            ctx.evs[node.id()] = emit(ctx, &node, std::move(deps));
+            uint64_t id = emit(ctx, &node, std::move(deps));
+            ctx.evs[node.id()] = id;
+            if (inj_)
+                inj_->corruptValue(id, ctx.vals[node.id()]);
             return;
         }
         uint64_t addr = valueOf(ctx, node.input(0)).asPtr();
@@ -418,6 +448,12 @@ UirExecutor::evalNode(Ctx &ctx, const Node &node)
         }
         RuntimeValue v;
         const ir::Type &t = node.irType();
+        if (inj_) {
+            unsigned span = t.isTensor() ? t.tensorElems() * 4
+                            : t.isFloat() ? 4
+                                          : t.sizeBytes();
+            inj_->checkAccess(addr, span, mem_);
+        }
         if (t.isTensor()) {
             std::vector<float> data(t.tensorElems());
             for (unsigned k = 0; k < t.tensorElems(); ++k)
@@ -443,6 +479,8 @@ UirExecutor::evalNode(Ctx &ctx, const Node &node)
             ev.memDeps = std::move(mem_deps);
             uint64_t id = ddg_.addEvent(std::move(ev));
             ctx.evs[node.id()] = id;
+            if (inj_)
+                inj_->corruptValue(id, ctx.vals[node.id()]);
             for (unsigned w = 0; w < words; ++w)
                 readersSince_[(addr & ~uint64_t(3)) + w * 4].push_back(id);
         }
@@ -481,6 +519,14 @@ UirExecutor::evalNode(Ctx &ctx, const Node &node)
         }
         const ir::Type &t = node.input(0).node->outputType(
             node.input(0).out);
+        if (inj_) {
+            unsigned span =
+                value.kind == RuntimeValue::Kind::Tensor
+                    ? static_cast<unsigned>(value.tensor->size() * 4)
+                : value.kind == RuntimeValue::Kind::Float ? 4
+                                                          : t.sizeBytes();
+            inj_->checkAccess(addr, span, mem_);
+        }
         if (value.kind == RuntimeValue::Kind::Tensor) {
             for (size_t k = 0; k < value.tensor->size(); ++k)
                 mem_.storeFloat(addr + k * 4, (*value.tensor)[k]);

@@ -20,6 +20,8 @@
 namespace muir::sim
 {
 
+class FaultInjector; // sim/fault.hh
+
 /** Executes one accelerator over one memory image. */
 class UirExecutor
 {
@@ -40,6 +42,14 @@ class UirExecutor
 
     /** Dynamic node firings executed. */
     uint64_t firings() const { return firings_; }
+
+    /**
+     * Attach a μfit injector (sim/fault.hh). With nullptr (default)
+     * execution is bit-identical to today; with an injector attached,
+     * datapath values may be corrupted and runaway/trap guards become
+     * recoverable FaultAbort exceptions instead of process aborts.
+     */
+    void setInjector(FaultInjector *inj) { inj_ = inj; }
 
   private:
     struct InvocationResult
@@ -94,6 +104,7 @@ class UirExecutor
 
     const uir::Accelerator &accel_;
     ir::MemoryImage &mem_;
+    FaultInjector *inj_ = nullptr;
     bool record_;
     Ddg ddg_;
     uint64_t firings_ = 0;

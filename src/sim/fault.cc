@@ -1,0 +1,863 @@
+#include "sim/fault.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+
+#include "sim/simulator.hh"
+#include "support/json.hh"
+#include "support/logging.hh"
+#include "support/strings.hh"
+#include "uir/accelerator.hh"
+
+namespace muir::sim
+{
+
+using ir::RuntimeValue;
+
+// ------------------------------------------------------------- taxonomy
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::TokenDrop: return "tokendrop";
+      case FaultKind::TokenDup: return "tokendup";
+      case FaultKind::StuckValid: return "stuckvalid";
+      case FaultKind::DataFlip: return "dataflip";
+      case FaultKind::MemFlip: return "memflip";
+      case FaultKind::DramTimeout: return "dramtimeout";
+      case FaultKind::LostSpawn: return "lostspawn";
+      case FaultKind::LostSync: return "lostsync";
+      case FaultKind::Mix: return "mix";
+      case FaultKind::kCount: break;
+    }
+    return "?";
+}
+
+const char *
+outcomeName(Outcome outcome)
+{
+    switch (outcome) {
+      case Outcome::Masked: return "masked";
+      case Outcome::SDC: return "sdc";
+      case Outcome::Detected: return "detected";
+      case Outcome::Hang: return "hang";
+      case Outcome::kCount: break;
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** Strict decimal uint64 parse (rejects junk, signs, overflow). */
+bool
+parseU64(const std::string &s, uint64_t &out)
+{
+    if (s.empty())
+        return false;
+    uint64_t v = 0;
+    for (char c : s) {
+        if (c < '0' || c > '9')
+            return false;
+        if (v > (~uint64_t(0) - (c - '0')) / 10)
+            return false;
+        v = v * 10 + (c - '0');
+    }
+    out = v;
+    return true;
+}
+
+std::string
+validKindNames()
+{
+    std::string out;
+    for (unsigned k = 0; k < unsigned(FaultKind::kCount); ++k) {
+        if (k)
+            out += ", ";
+        out += faultKindName(static_cast<FaultKind>(k));
+    }
+    return out;
+}
+
+} // namespace
+
+bool
+parseFaultSpec(const std::string &text, FaultSpec &out, std::string *error)
+{
+    auto fail = [&](const std::string &msg) {
+        if (error)
+            *error = msg;
+        return false;
+    };
+    FaultSpec spec;
+    auto segs = split(text, ':');
+    if (segs.empty() || segs[0].empty())
+        return fail("empty fault spec");
+
+    std::string head = segs[0];
+    auto at = head.find('@');
+    std::string kind_s = head.substr(0, at);
+    bool found = false;
+    for (unsigned k = 0; k < unsigned(FaultKind::kCount); ++k) {
+        if (kind_s == faultKindName(static_cast<FaultKind>(k))) {
+            spec.kind = static_cast<FaultKind>(k);
+            found = true;
+            break;
+        }
+    }
+    if (!found)
+        return fail("unknown fault kind '" + kind_s +
+                    "' (valid: " + validKindNames() + ")");
+    if (at != std::string::npos &&
+        !parseU64(head.substr(at + 1), spec.site))
+        return fail("bad site '" + head.substr(at + 1) +
+                    "' (want a decimal number)");
+
+    for (size_t i = 1; i < segs.size(); ++i) {
+        auto eq = segs[i].find('=');
+        if (eq == std::string::npos)
+            return fail("bad option '" + segs[i] + "' (want key=value)");
+        std::string key = segs[i].substr(0, eq);
+        uint64_t v = 0;
+        if (!parseU64(segs[i].substr(eq + 1), v) || v > ~0u)
+            return fail("bad value in '" + segs[i] + "'");
+        if (key == "bit")
+            spec.bit = static_cast<unsigned>(v);
+        else if (key == "edge")
+            spec.edge = static_cast<unsigned>(v);
+        else if (key == "attempts")
+            spec.attempts = static_cast<unsigned>(v);
+        else
+            return fail("unknown option '" + key +
+                        "' (valid: bit, edge, attempts)");
+    }
+    out = spec;
+    return true;
+}
+
+std::string
+renderFaultSpec(const FaultSpec &spec)
+{
+    std::string out = faultKindName(spec.kind);
+    if (spec.site != FaultSpec::kAutoSite)
+        out += "@" + std::to_string(spec.site);
+    if (spec.bit != FaultSpec::kAuto)
+        out += ":bit=" + std::to_string(spec.bit);
+    if (spec.edge != FaultSpec::kAuto)
+        out += ":edge=" + std::to_string(spec.edge);
+    if (spec.attempts != FaultSpec::kAuto)
+        out += ":attempts=" + std::to_string(spec.attempts);
+    return out;
+}
+
+// ----------------------------------------------- functional-layer hooks
+
+void
+flipBit(RuntimeValue &value, unsigned bit)
+{
+    using Kind = RuntimeValue::Kind;
+    switch (value.kind) {
+      case Kind::Int:
+        value.i ^= int64_t(1) << (bit % 32);
+        break;
+      case Kind::Float: {
+        // Flip in the 32-bit float representation the datapath carries.
+        float f = static_cast<float>(value.f);
+        uint32_t u;
+        std::memcpy(&u, &f, 4);
+        u ^= 1u << (bit % 32);
+        std::memcpy(&f, &u, 4);
+        value.f = f;
+        break;
+      }
+      case Kind::Ptr:
+        // Low address bits only: wild upper-bit flips would make every
+        // pointer fault trivially detectable by the bus guard.
+        value.ptr ^= uint64_t(1) << (bit % 20);
+        break;
+      case Kind::Tensor: {
+        if (!value.tensor || value.tensor->empty())
+            return;
+        // Copy-on-write: the shared buffer may feed other consumers of
+        // the same golden value in an aliasing-free world.
+        auto copy =
+            std::make_shared<std::vector<float>>(*value.tensor);
+        size_t elem = (bit >> 5) % copy->size();
+        uint32_t u;
+        std::memcpy(&u, &(*copy)[elem], 4);
+        u ^= 1u << (bit % 32);
+        std::memcpy(&(*copy)[elem], &u, 4);
+        value.tensor = std::move(copy);
+        break;
+      }
+    }
+}
+
+void
+FaultInjector::checkAccess(uint64_t addr, unsigned bytes,
+                           const ir::MemoryImage &mem) const
+{
+    if (!mem.inRange(addr, bytes))
+        throw FaultAbort{Outcome::Detected,
+                         fmt("bus error: %u-byte access at 0x%llx outside"
+                             " the %llu-byte data image",
+                             bytes, static_cast<unsigned long long>(addr),
+                             static_cast<unsigned long long>(
+                                 mem.sizeBytes()))};
+}
+
+void
+FaultInjector::checkDivisor(int64_t divisor) const
+{
+    if (divisor == 0)
+        throw FaultAbort{Outcome::Detected, "divide trap: zero divisor"};
+}
+
+void
+FaultInjector::checkFirings(uint64_t firings) const
+{
+    if (maxFirings_ && firings > maxFirings_)
+        throw FaultAbort{
+            Outcome::Hang,
+            fmt("runaway execution: %llu firings exceed the %llu budget",
+                static_cast<unsigned long long>(firings),
+                static_cast<unsigned long long>(maxFirings_))};
+}
+
+void
+FaultInjector::checkDepth(unsigned depth) const
+{
+    // Below the executor's own hard limit of 256, so injected runs
+    // abort recoverably instead of tripping the assert.
+    if (depth >= 200)
+        throw FaultAbort{Outcome::Hang,
+                         "runaway recursion: invocation depth reached "
+                         "200"};
+}
+
+void
+FaultInjector::checkLoopStep(int64_t step, const std::string &task) const
+{
+    if (step <= 0)
+        throw FaultAbort{Outcome::Detected,
+                         fmt("corrupted loop step %lld in task %s",
+                             static_cast<long long>(step), task.c_str())};
+}
+
+// -------------------------------------------------------------- watchdog
+
+HangDiagnosis
+diagnoseHang(const Ddg &ddg, const std::vector<uint32_t> &pending,
+             const std::vector<char> &done, uint64_t processed,
+             uint64_t dropped_producer, uint64_t dropped_consumer)
+{
+    HangDiagnosis diag;
+    diag.hung = true;
+    diag.scheduled = processed;
+    diag.total = ddg.numEvents();
+    const auto &events = ddg.events();
+    const auto &invs = ddg.invocations();
+
+    auto taskOf = [&](uint64_t id) {
+        return invs[events[id].invocation].task->name();
+    };
+    auto nodeOf = [&](uint64_t id) -> std::string {
+        const DynEvent &e = events[id];
+        if (e.node)
+            return e.node->name();
+        return e.isCompletion ? "<completion>" : "<latch>";
+    };
+    auto edgeKind = [&](const DynEvent &e, uint64_t d) -> std::string {
+        if (d == e.queueDep)
+            return "queue";
+        if (std::find(e.memDeps.begin(), e.memDeps.end(), d) !=
+            e.memDeps.end())
+            return "memory";
+        if (e.isEntry)
+            return "spawn";
+        return "data";
+    };
+    auto blockedOn = [&](uint64_t id, uint64_t dep,
+                         bool starved) -> HangDiagnosis::BlockedEdge {
+        HangDiagnosis::BlockedEdge be;
+        be.event = id;
+        be.task = taskOf(id);
+        be.node = nodeOf(id);
+        be.waitingOn = dep;
+        be.tokenLost = starved;
+        if (dep != kNoEvent) {
+            be.depTask = taskOf(dep);
+            be.depNode = nodeOf(dep);
+            be.kind = edgeKind(events[id], dep);
+        }
+        return be;
+    };
+
+    constexpr size_t kMaxReported = 8;
+    // Starved events first: every dependency completed, yet a token is
+    // still missing — the signature of a lost token, and the root cause
+    // everything else transitively waits on.
+    for (uint64_t id = 0; id < events.size() &&
+                          diag.blocked.size() < kMaxReported;
+         ++id) {
+        if (done[id] || pending[id] == 0)
+            continue;
+        const DynEvent &e = events[id];
+        bool starved = true;
+        for (uint64_t d : e.deps)
+            if (!done[d]) {
+                starved = false;
+                break;
+            }
+        if (!starved)
+            continue;
+        uint64_t culprit = kNoEvent;
+        if (id == dropped_consumer)
+            culprit = dropped_producer;
+        else if (!e.deps.empty())
+            culprit = e.deps[0];
+        diag.blocked.push_back(blockedOn(id, culprit, true));
+    }
+    // Then a sample of transitively blocked waiters.
+    for (uint64_t id = 0; id < events.size() &&
+                          diag.blocked.size() < kMaxReported;
+         ++id) {
+        if (done[id] || pending[id] == 0)
+            continue;
+        const DynEvent &e = events[id];
+        uint64_t culprit = kNoEvent;
+        for (uint64_t d : e.deps)
+            if (!done[d]) {
+                culprit = d;
+                break;
+            }
+        if (culprit == kNoEvent)
+            continue; // Starved: already reported above.
+        diag.blocked.push_back(blockedOn(id, culprit, false));
+    }
+
+    // Wait chain: from the latest blocked event down to the root cause.
+    // The DDG is a DAG (deps always reference earlier events), so the
+    // walk terminates at a starved event — deadlock here is always
+    // starvation, never a circular wait.
+    uint64_t cur = kNoEvent;
+    for (uint64_t id = events.size(); id-- > 0;) {
+        if (!done[id] && pending[id] > 0) {
+            cur = id;
+            break;
+        }
+    }
+    while (cur != kNoEvent) {
+        if (std::find(diag.waitChain.begin(), diag.waitChain.end(),
+                      cur) != diag.waitChain.end()) {
+            diag.waitChainIsCycle = true;
+            break;
+        }
+        diag.waitChain.push_back(cur);
+        uint64_t next = kNoEvent;
+        for (uint64_t d : events[cur].deps)
+            if (!done[d]) {
+                next = d;
+                break;
+            }
+        cur = next;
+    }
+    return diag;
+}
+
+std::string
+HangDiagnosis::render() const
+{
+    std::ostringstream os;
+    if (budgetExceeded)
+        os << "watchdog: cycle budget exceeded (budget " << budget
+           << "): " << scheduled << " of " << total
+           << " events scheduled\n";
+    else
+        os << "watchdog: deadlock: ready queue drained with " << scheduled
+           << " of " << total << " events scheduled\n";
+    for (const auto &b : blocked) {
+        os << "  " << (b.tokenLost ? "starved" : "blocked") << ": task '"
+           << b.task << "' node '" << b.node << "' (event " << b.event
+           << ")";
+        if (b.waitingOn != kNoEvent) {
+            os << " waiting on " << b.kind << " edge from task '"
+               << b.depTask << "' node '" << b.depNode << "' (event "
+               << b.waitingOn << ")";
+            if (b.tokenLost)
+                os << " -- producer finished but the token never "
+                      "arrived";
+        }
+        os << "\n";
+    }
+    if (!waitChain.empty()) {
+        os << (waitChainIsCycle ? "  wait-for cycle: " : "  wait chain: ");
+        for (size_t i = 0; i < waitChain.size(); ++i) {
+            if (i)
+                os << " -> ";
+            os << "e" << waitChain[i];
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+// -------------------------------------------------------------- campaign
+
+namespace
+{
+
+/** Deterministic enumeration of injectable sites in the golden run. */
+struct SiteCatalog
+{
+    /** Any event with at least one input edge (TokenDrop). */
+    std::vector<uint64_t> edgeEvents;
+    /** Non-synthetic events with edges (TokenDup/StuckValid need a
+     *  tile). */
+    std::vector<uint64_t> nodeEdgeEvents;
+    /** Value-producing events (DataFlip). */
+    std::vector<uint64_t> valueEvents;
+    /** (entry event, edge ordinal of its dispatch dep) (LostSpawn). */
+    std::vector<std::pair<uint64_t, unsigned>> spawnEdges;
+    /** Sync events with edges (LostSync). */
+    std::vector<uint64_t> syncEvents;
+    uint64_t memBase = 0;
+    uint64_t memWords = 0;
+    /** DRAM misses in the golden run (DramTimeout ordinals). */
+    uint64_t dramMisses = 0;
+};
+
+SiteCatalog
+buildCatalog(const Ddg &ddg, const ir::MemoryImage &mem,
+             const StatSet &golden_stats)
+{
+    SiteCatalog sites;
+    const auto &events = ddg.events();
+    for (uint64_t id = 0; id < events.size(); ++id) {
+        const DynEvent &e = events[id];
+        if (e.deps.empty())
+            continue;
+        sites.edgeEvents.push_back(id);
+        if (e.node)
+            sites.nodeEdgeEvents.push_back(id);
+        if (e.node) {
+            switch (e.node->kind()) {
+              case uir::NodeKind::Compute:
+              case uir::NodeKind::Fused:
+              case uir::NodeKind::Load:
+                sites.valueEvents.push_back(id);
+                break;
+              case uir::NodeKind::SyncNode:
+                sites.syncEvents.push_back(id);
+                break;
+              default:
+                break;
+            }
+        }
+        if (e.isEntry) {
+            for (unsigned k = 0; k < e.deps.size(); ++k) {
+                const DynEvent &p = events[e.deps[k]];
+                if (p.node &&
+                    p.node->kind() == uir::NodeKind::ChildCall) {
+                    sites.spawnEdges.emplace_back(id, k);
+                    break;
+                }
+            }
+        }
+    }
+    sites.memBase = ir::kHeapBase;
+    sites.memWords = (mem.sizeBytes() - ir::kHeapBase) / 4;
+    sites.dramMisses = golden_stats.get("cache.misses");
+    return sites;
+}
+
+bool
+resolvePlan(const FaultSpec &spec, const SiteCatalog &sites,
+            const Ddg &ddg, SplitMix64 &rng, FaultPlan &plan,
+            std::string &error)
+{
+    const auto &events = ddg.events();
+    FaultKind kind = spec.kind;
+    if (kind == FaultKind::Mix) {
+        std::vector<FaultKind> avail;
+        if (!sites.edgeEvents.empty())
+            avail.push_back(FaultKind::TokenDrop);
+        if (!sites.nodeEdgeEvents.empty()) {
+            avail.push_back(FaultKind::TokenDup);
+            avail.push_back(FaultKind::StuckValid);
+        }
+        if (!sites.valueEvents.empty())
+            avail.push_back(FaultKind::DataFlip);
+        if (sites.memWords)
+            avail.push_back(FaultKind::MemFlip);
+        if (sites.dramMisses)
+            avail.push_back(FaultKind::DramTimeout);
+        if (!sites.spawnEdges.empty())
+            avail.push_back(FaultKind::LostSpawn);
+        if (!sites.syncEvents.empty())
+            avail.push_back(FaultKind::LostSync);
+        if (avail.empty()) {
+            error = "design exposes no injectable sites";
+            return false;
+        }
+        kind = avail[rng.below(avail.size())];
+    }
+
+    plan = FaultPlan{};
+    plan.kind = kind;
+    auto pickEvent = [&](const std::vector<uint64_t> &pool,
+                         const char *what) {
+        if (spec.site != FaultSpec::kAutoSite) {
+            if (spec.site >= events.size()) {
+                error = fmt("site %llu out of range (%zu events)",
+                            static_cast<unsigned long long>(spec.site),
+                            events.size());
+                return false;
+            }
+            plan.event = spec.site;
+            return true;
+        }
+        if (pool.empty()) {
+            error = std::string("design has no ") + what + " sites";
+            return false;
+        }
+        plan.event = pool[rng.below(pool.size())];
+        return true;
+    };
+    auto pickEdge = [&]() {
+        const auto &deps = events[plan.event].deps;
+        if (deps.empty()) {
+            error = "target event has no input edges";
+            return false;
+        }
+        plan.edge = spec.edge != FaultSpec::kAuto
+                        ? spec.edge
+                        : static_cast<unsigned>(rng.below(deps.size()));
+        if (plan.edge >= deps.size()) {
+            error = fmt("edge %u out of range (%zu edges)", plan.edge,
+                        deps.size());
+            return false;
+        }
+        plan.producer = deps[plan.edge];
+        return true;
+    };
+
+    switch (kind) {
+      case FaultKind::TokenDrop:
+        return pickEvent(sites.edgeEvents, "handshake-edge") &&
+               pickEdge();
+      case FaultKind::TokenDup:
+      case FaultKind::StuckValid:
+        return pickEvent(sites.nodeEdgeEvents, "handshake-edge") &&
+               pickEdge();
+      case FaultKind::DataFlip:
+        if (!pickEvent(sites.valueEvents, "datapath-value"))
+            return false;
+        plan.bit = spec.bit != FaultSpec::kAuto
+                       ? spec.bit
+                       : static_cast<unsigned>(rng.below(256));
+        return true;
+      case FaultKind::MemFlip: {
+        if (!sites.memWords) {
+            error = "memory image has no data words";
+            return false;
+        }
+        uint64_t word = spec.site != FaultSpec::kAutoSite
+                            ? spec.site
+                            : rng.below(sites.memWords);
+        if (word >= sites.memWords) {
+            error = fmt("word %llu out of range (%llu words)",
+                        static_cast<unsigned long long>(word),
+                        static_cast<unsigned long long>(sites.memWords));
+            return false;
+        }
+        plan.addr = sites.memBase + word * 4;
+        plan.bit = spec.bit != FaultSpec::kAuto
+                       ? spec.bit % 32
+                       : static_cast<unsigned>(rng.below(32));
+        return true;
+      }
+      case FaultKind::DramTimeout:
+        if (!sites.dramMisses) {
+            error = "design has no DRAM misses to time out";
+            return false;
+        }
+        plan.missOrdinal = spec.site != FaultSpec::kAutoSite
+                               ? spec.site
+                               : rng.below(sites.dramMisses);
+        plan.attempts = spec.attempts != FaultSpec::kAuto
+                            ? spec.attempts
+                            : static_cast<unsigned>(1 + rng.below(6));
+        return true;
+      case FaultKind::LostSpawn: {
+        if (spec.site != FaultSpec::kAutoSite)
+            return pickEvent({}, "spawn-dispatch") && pickEdge();
+        if (sites.spawnEdges.empty()) {
+            error = "design has no spawn edges (no child tasks)";
+            return false;
+        }
+        auto [ev, k] = sites.spawnEdges[rng.below(
+            sites.spawnEdges.size())];
+        plan.event = ev;
+        plan.edge = k;
+        plan.producer = events[ev].deps[k];
+        return true;
+      }
+      case FaultKind::LostSync: {
+        if (!pickEvent(sites.syncEvents, "sync"))
+            return false;
+        const auto &deps = events[plan.event].deps;
+        if (deps.empty()) {
+            error = "target sync has no input edges";
+            return false;
+        }
+        if (spec.edge != FaultSpec::kAuto) {
+            plan.edge = spec.edge;
+        } else {
+            // Prefer completion-token edges: those are the spawn
+            // completions the sync exists to collect.
+            std::vector<unsigned> cands;
+            for (unsigned k = 0; k < deps.size(); ++k)
+                if (events[deps[k]].isCompletion)
+                    cands.push_back(k);
+            plan.edge = cands.empty()
+                            ? static_cast<unsigned>(
+                                  rng.below(deps.size()))
+                            : cands[rng.below(cands.size())];
+        }
+        if (plan.edge >= deps.size()) {
+            error = fmt("edge %u out of range (%zu edges)", plan.edge,
+                        deps.size());
+            return false;
+        }
+        plan.producer = deps[plan.edge];
+        return true;
+      }
+      case FaultKind::Mix:
+      case FaultKind::kCount:
+        break;
+    }
+    error = "unresolvable fault kind";
+    return false;
+}
+
+bool
+sameValue(const RuntimeValue &a, const RuntimeValue &b)
+{
+    using Kind = RuntimeValue::Kind;
+    if (a.kind != b.kind)
+        return false;
+    switch (a.kind) {
+      case Kind::Int:
+        return a.i == b.i;
+      case Kind::Float:
+        return std::memcmp(&a.f, &b.f, sizeof a.f) == 0;
+      case Kind::Ptr:
+        return a.ptr == b.ptr;
+      case Kind::Tensor:
+        if (!a.tensor || !b.tensor)
+            return a.tensor == b.tensor;
+        if (a.tensor->size() != b.tensor->size())
+            return false;
+        return std::memcmp(a.tensor->data(), b.tensor->data(),
+                           a.tensor->size() * sizeof(float)) == 0;
+    }
+    return false;
+}
+
+/** Byte-exact compare, ignoring [skip_addr, skip_addr + skip_len). */
+bool
+sameMemory(const std::vector<uint8_t> &a, const std::vector<uint8_t> &b,
+           uint64_t skip_addr, unsigned skip_len)
+{
+    if (a.size() != b.size())
+        return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+        if (a[i] == b[i])
+            continue;
+        if (i >= skip_addr && i < skip_addr + skip_len)
+            continue;
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+std::string
+CampaignResult::toJson(const std::string &label,
+                       const std::string &spec_text, unsigned runs,
+                       uint64_t seed) const
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("schema", "muir.resilience.campaign.v1");
+    w.field("workload", label);
+    w.field("spec", spec_text);
+    w.field("runs", static_cast<uint64_t>(runs));
+    w.field("seed", seed);
+    w.beginObject("golden");
+    w.field("cycles", goldenCycles);
+    w.field("firings", goldenFirings);
+    w.end();
+    w.beginObject("watchdog");
+    w.field("max_cycles", maxCycles);
+    w.end();
+    w.beginObject("histogram");
+    for (size_t o = 0; o < kNumOutcomes; ++o)
+        w.field(outcomeName(static_cast<Outcome>(o)), histogram[o]);
+    w.end();
+    w.beginArray("by_kind");
+    for (size_t k = 0; k < static_cast<size_t>(FaultKind::kCount); ++k) {
+        uint64_t total = 0;
+        for (uint64_t n : byKind[k])
+            total += n;
+        if (!total)
+            continue;
+        w.beginObject();
+        w.field("kind", faultKindName(static_cast<FaultKind>(k)));
+        for (size_t o = 0; o < kNumOutcomes; ++o)
+            w.field(outcomeName(static_cast<Outcome>(o)), byKind[k][o]);
+        w.end();
+    }
+    w.end();
+    w.beginArray("injections");
+    for (size_t i = 0; i < records.size(); ++i) {
+        const InjectionRecord &r = records[i];
+        w.beginObject();
+        w.field("run", static_cast<uint64_t>(i));
+        w.field("kind", faultKindName(r.plan.kind));
+        if (r.plan.event != kNoEvent) {
+            w.field("event", r.plan.event);
+            w.field("edge", static_cast<uint64_t>(r.plan.edge));
+        }
+        if (r.plan.kind == FaultKind::MemFlip)
+            w.field("addr", r.plan.addr);
+        if (r.plan.kind == FaultKind::DataFlip ||
+            r.plan.kind == FaultKind::MemFlip)
+            w.field("bit", static_cast<uint64_t>(r.plan.bit));
+        if (r.plan.kind == FaultKind::DramTimeout) {
+            w.field("miss", r.plan.missOrdinal);
+            w.field("attempts", static_cast<uint64_t>(r.plan.attempts));
+        }
+        w.field("outcome", outcomeName(r.outcome));
+        w.field("cycles", r.cycles);
+        if (!r.detail.empty())
+            w.field("detail", r.detail);
+        w.end();
+    }
+    w.end();
+    w.end();
+    os << "\n";
+    return os.str();
+}
+
+CampaignResult
+runCampaign(const uir::Accelerator &accel, const ir::Module &module,
+            const std::function<void(ir::MemoryImage &)> &bind,
+            const CampaignSpec &spec,
+            const std::vector<ir::RuntimeValue> &args)
+{
+    CampaignResult out;
+
+    // ---- Fault-free golden run, watchdog armed: a lint-clean graph
+    // must never hang without a fault (cross-validation of μlint's
+    // static D-checks). ----
+    ir::MemoryImage golden_mem(module);
+    if (bind)
+        bind(golden_mem);
+    UirExecutor exec(accel, golden_mem, /*record_ddg=*/true);
+    std::vector<RuntimeValue> golden_outs = exec.run(args);
+    FaultHarness golden_harness;
+    golden_harness.watchdog.enabled = true;
+    golden_harness.watchdog.maxCycles = spec.maxCycles;
+    TimingResult golden = scheduleDdg(accel, exec.ddg(), nullptr, nullptr,
+                                      &golden_harness);
+    if (golden_harness.verdict.hang.tripped()) {
+        out.error = "golden (fault-free) run tripped the watchdog:\n" +
+                    golden_harness.verdict.hang.render();
+        return out;
+    }
+    out.goldenCycles = golden.cycles;
+    out.goldenFirings = exec.firings();
+    out.maxCycles =
+        spec.maxCycles ? spec.maxCycles : golden.cycles * 8 + 4096;
+    uint64_t max_firings = exec.firings() * 8 + 65536;
+    SiteCatalog sites = buildCatalog(exec.ddg(), golden_mem,
+                                     golden.stats);
+
+    const std::string spec_text = renderFaultSpec(spec.fault);
+    out.records.reserve(spec.runs);
+    for (unsigned i = 0; i < spec.runs; ++i) {
+        // Per-run deterministic stream: (seed, i) fully decides the
+        // site, so re-running a campaign reproduces every injection.
+        SplitMix64 rng(spec.seed * 0x9E3779B97F4A7C15ull +
+                       uint64_t(i) * 2654435761ull + 1);
+        FaultPlan plan;
+        std::string site_error;
+        if (!resolvePlan(spec.fault, sites, exec.ddg(), rng, plan,
+                         site_error)) {
+            out.error =
+                "cannot inject '" + spec_text + "': " + site_error;
+            return out;
+        }
+
+        ir::MemoryImage mem(module);
+        if (bind)
+            bind(mem);
+        if (plan.kind == FaultKind::MemFlip) {
+            int64_t word = mem.loadInt(plan.addr, 4);
+            mem.storeInt(plan.addr, 4,
+                         word ^ (int64_t(1) << plan.bit));
+        }
+
+        SimOptions sopts;
+        sopts.fault = &plan;
+        sopts.watchdog = true;
+        sopts.maxCycles = out.maxCycles;
+        sopts.maxFirings = max_firings;
+        SimResult r = simulate(accel, mem, args, sopts);
+
+        InjectionRecord rec;
+        rec.plan = plan;
+        rec.cycles = r.cycles;
+        if (r.aborted) {
+            rec.outcome = r.abortOutcome;
+            rec.detail = r.abortDetail;
+        } else if (r.verdict.hang.tripped()) {
+            rec.outcome = Outcome::Hang;
+            rec.detail = r.verdict.hang.render();
+        } else if (r.verdict.detected) {
+            rec.outcome = Outcome::Detected;
+            rec.detail = r.verdict.detector;
+        } else {
+            bool outs_ok = r.outputs.size() == golden_outs.size();
+            for (size_t k = 0; outs_ok && k < golden_outs.size(); ++k)
+                outs_ok = sameValue(r.outputs[k], golden_outs[k]);
+            // The injected word itself is excluded for MemFlip: only
+            // propagation beyond the flipped cell is corruption.
+            unsigned skip = plan.kind == FaultKind::MemFlip ? 4 : 0;
+            bool mem_ok = sameMemory(golden_mem.bytes(), mem.bytes(),
+                                     plan.addr, skip);
+            if (outs_ok && mem_ok) {
+                rec.outcome = Outcome::Masked;
+            } else {
+                rec.outcome = Outcome::SDC;
+                rec.detail = outs_ok
+                                 ? "final memory differs from golden"
+                                 : "live-out values differ from golden";
+            }
+        }
+        ++out.histogram[static_cast<size_t>(rec.outcome)];
+        ++out.byKind[static_cast<size_t>(plan.kind)]
+                    [static_cast<size_t>(rec.outcome)];
+        out.records.push_back(std::move(rec));
+    }
+    out.ok = true;
+    return out;
+}
+
+} // namespace muir::sim

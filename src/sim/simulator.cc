@@ -10,14 +10,39 @@ simulate(const uir::Accelerator &accel, ir::MemoryImage &mem,
 {
     UirExecutor exec(accel, mem, /*record_ddg=*/true);
     SimResult result;
-    result.outputs = exec.run(args);
+    std::unique_ptr<FaultInjector> inj;
+    if (options.fault) {
+        inj = std::make_unique<FaultInjector>(*options.fault,
+                                              options.maxFirings);
+        exec.setInjector(inj.get());
+    }
+    try {
+        result.outputs = exec.run(args);
+    } catch (const FaultAbort &abort) {
+        // Only μfit guards throw, and only with an injector attached:
+        // the fault-free path cannot take this branch.
+        result.aborted = true;
+        result.abortOutcome = abort.outcome;
+        result.abortDetail = abort.detail;
+        result.firings = exec.firings();
+        return result;
+    }
     result.firings = exec.firings();
     if (options.profile)
         result.profileData = std::make_shared<ProfileCollector>();
+    FaultHarness harness;
+    bool use_harness = options.fault || options.watchdog;
+    if (use_harness) {
+        harness.plan = options.fault;
+        harness.watchdog.enabled = options.watchdog;
+        harness.watchdog.maxCycles = options.maxCycles;
+    }
     TimingResult timing =
         scheduleDdg(accel, exec.ddg(),
                     options.trace ? &result.trace : nullptr,
-                    result.profileData.get());
+                    result.profileData.get(),
+                    use_harness ? &harness : nullptr);
+    result.verdict = std::move(harness.verdict);
     result.cycles = timing.cycles;
     result.stats = std::move(timing.stats);
     if (options.profile)

@@ -10,6 +10,7 @@
 #include <memory>
 
 #include "sim/exec.hh"
+#include "sim/fault.hh"
 #include "sim/profile.hh"
 #include "sim/timing.hh"
 
@@ -23,6 +24,14 @@ struct SimOptions
     bool profile = false;
     /** Keep the per-event timeline (needed for trace export). */
     bool trace = false;
+    /** μfit fault plan to inject (nullptr = bit-identical baseline). */
+    const FaultPlan *fault = nullptr;
+    /** Arm the dynamic hang watchdog (cycle budget + drain detection). */
+    bool watchdog = false;
+    /** Watchdog cycle budget (0 = drain detection only). */
+    uint64_t maxCycles = 0;
+    /** Functional firing budget for runaway detection (0 = none). */
+    uint64_t maxFirings = 0;
 };
 
 /** Combined functional + timing result. */
@@ -42,6 +51,14 @@ struct SimResult
     std::shared_ptr<ProfileCollector> profileData;
     /** Per-event timeline (set when SimOptions::trace). */
     std::vector<TimingTraceRow> trace;
+    /** μfit verdict (watchdog diagnosis, detector hits). */
+    FaultVerdict verdict;
+    /** Functional execution aborted via a μfit guard (FaultAbort). */
+    bool aborted = false;
+    /** Pre-classified outcome of the abort (Detected or Hang). */
+    Outcome abortOutcome = Outcome::Detected;
+    /** Human-readable abort reason. */
+    std::string abortDetail;
 };
 
 /**

@@ -6,6 +6,7 @@
 #include <queue>
 #include <unordered_map>
 
+#include "sim/fault.hh"
 #include "sim/profile.hh"
 #include "support/logging.hh"
 #include "uir/delay_model.hh"
@@ -95,7 +96,7 @@ claimPort(std::vector<uint64_t> &ports, uint64_t ready, uint64_t busy)
 TimingResult
 scheduleDdg(const uir::Accelerator &accel, const Ddg &ddg,
             std::vector<TimingTraceRow> *trace,
-            ProfileCollector *prof)
+            ProfileCollector *prof, FaultHarness *fault)
 {
     TimingResult result;
     const auto &events = ddg.events();
@@ -126,6 +127,44 @@ scheduleDdg(const uir::Accelerator &accel, const Ddg &ddg,
 
     std::vector<uint64_t> finish(events.size(), 0);
     std::vector<uint64_t> readyAt(events.size(), 0);
+
+    // --- μfit: fault plan decode + watchdog bookkeeping. Everything in
+    // this block is dead when fault == nullptr, keeping the no-harness
+    // schedule bit-identical (the μprof observational-guard contract).
+    const FaultPlan *plan = fault ? fault->plan : nullptr;
+    bool drop_edge = false;   // skip one token on the planned edge
+    bool stuck_valid = false; // pre-assert the planned edge's token
+    bool dup_token = false;   // consumer double-claims an issue slot
+    bool edge_skipped = false;
+    bool stuck_fired = false;
+    uint64_t stuck_start = 0;
+    uint64_t miss_ordinal = 0;
+    bool budget_tripped = false;
+    std::vector<char> done;
+    if (fault) {
+        done.assign(events.size(), 0);
+        if (plan && plan->event != kNoEvent) {
+            switch (plan->kind) {
+              case FaultKind::TokenDrop:
+              case FaultKind::LostSpawn:
+              case FaultKind::LostSync:
+                drop_edge = true;
+                break;
+              case FaultKind::StuckValid:
+                stuck_valid = true;
+                // The consumer sees its token before the producer raised
+                // valid: satisfy the edge at time zero and skip the real
+                // arrival below.
+                --pending[plan->event];
+                break;
+              case FaultKind::TokenDup:
+                dup_token = true;
+                break;
+              default:
+                break;
+            }
+        }
+    }
 
     // Structural resource state.
     std::unordered_map<const uir::Structure *, StructState> structs;
@@ -168,6 +207,12 @@ scheduleDdg(const uir::Accelerator &accel, const Ddg &ddg,
     while (!queue.empty()) {
         auto [ready, id] = queue.top();
         queue.pop();
+        if (fault && fault->watchdog.enabled &&
+            fault->watchdog.maxCycles &&
+            ready > fault->watchdog.maxCycles) {
+            budget_tripped = true;
+            break;
+        }
         const DynEvent &e = events[id];
         ++processed;
 
@@ -293,6 +338,20 @@ scheduleDdg(const uir::Accelerator &accel, const Ddg &ddg,
                             cost->missPenalty = s->missLatency();
                         }
                         access = (dram_start - start) + s->missLatency();
+                        if (plan && plan->kind == FaultKind::DramTimeout &&
+                            miss_ordinal++ == plan->missOrdinal) {
+                            // The DRAM port times out; the controller
+                            // retries with exponential backoff.
+                            uint64_t window = s->missLatency() + 32;
+                            uint64_t backoff = 0;
+                            for (unsigned r = 0; r < plan->attempts; ++r)
+                                backoff += window << r;
+                            access += backoff;
+                            result.stats.inc("fault.dram_retries",
+                                             plan->attempts);
+                            result.stats.inc("fault.dram_retry_cycles",
+                                             backoff);
+                        }
                     }
                 } else {
                     result.stats.inc("scratchpad.accesses");
@@ -301,6 +360,17 @@ scheduleDdg(const uir::Accelerator &accel, const Ddg &ddg,
             }
 
             nf[tile] = start + uir::nodeInitiationInterval(*node);
+            if (dup_token && id == plan->event) {
+                // A duplicated token makes the consumer fire twice: the
+                // ghost firing claims a second initiation slot on the
+                // same tile.
+                nf[tile] += uir::nodeInitiationInterval(*node);
+                result.stats.inc("fault.duplicate_token");
+            }
+            if (stuck_valid && id == plan->event) {
+                stuck_fired = true;
+                stuck_start = start;
+            }
             end_time = start + latency;
             started = start;
             result.stats.inc("events");
@@ -320,9 +390,21 @@ scheduleDdg(const uir::Accelerator &accel, const Ddg &ddg,
             trace->push_back(
                 {id, e.node, e.invocation, ready, started, end_time});
         finish[id] = end_time;
+        if (fault)
+            done[id] = 1;
         result.cycles = std::max(result.cycles, end_time);
         for (uint32_t k = edge_start[id]; k < edge_start[id + 1]; ++k) {
             uint64_t dep_id = dependents[k];
+            if ((drop_edge || stuck_valid) && !edge_skipped &&
+                id == plan->producer && dep_id == plan->event) {
+                // The token on this ready/valid edge is lost (drop) or
+                // was already consumed at time zero (stuck-valid): the
+                // producer's notification never arrives.
+                edge_skipped = true;
+                if (drop_edge)
+                    result.stats.inc("fault.dropped_tokens");
+                continue;
+            }
             if (prof && end_time > readyAt[dep_id])
                 prof->events[dep_id].critDep = id;
             readyAt[dep_id] = std::max(readyAt[dep_id], end_time);
@@ -330,10 +412,45 @@ scheduleDdg(const uir::Accelerator &accel, const Ddg &ddg,
                 queue.emplace(readyAt[dep_id], dep_id);
         }
     }
-    muir_assert(processed == events.size(),
-                "timing: %llu of %zu events scheduled",
-                static_cast<unsigned long long>(processed),
-                events.size());
+    if (fault) {
+        // Dynamic watchdog: the queue draining with events still
+        // unscheduled is token starvation — the dynamic analogue of the
+        // deadlocks μlint's D-checks rule out statically.
+        if (budget_tripped) {
+            HangDiagnosis &diag = fault->verdict.hang;
+            diag.budgetExceeded = true;
+            diag.scheduled = processed;
+            diag.total = events.size();
+            diag.budget = fault->watchdog.maxCycles;
+        } else if (processed < events.size()) {
+            fault->verdict.hang = diagnoseHang(
+                ddg, pending, done, processed,
+                (drop_edge || stuck_valid) ? plan->producer : kNoEvent,
+                (drop_edge || stuck_valid) ? plan->event : kNoEvent);
+        } else if (stuck_valid && stuck_fired &&
+                   stuck_start < finish[plan->producer]) {
+            // The consumer observed the token before the producer
+            // finished raising valid: a causality violation a handshake
+            // checker would flag, even though the run completed.
+            fault->verdict.detected = true;
+            fault->verdict.detector = "handshake-causality";
+        } else if (dup_token && plan->event != kNoEvent) {
+            fault->verdict.detected = true;
+            fault->verdict.detector = "token-conservation";
+        }
+        if (!fault->verdict.detected && plan &&
+            plan->kind == FaultKind::DramTimeout &&
+            plan->attempts > kMaxDramRetries &&
+            result.stats.get("fault.dram_retries")) {
+            fault->verdict.detected = true;
+            fault->verdict.detector = "dram-timeout";
+        }
+    } else {
+        muir_assert(processed == events.size(),
+                    "timing: %llu of %zu events scheduled",
+                    static_cast<unsigned long long>(processed),
+                    events.size());
+    }
     result.stats.set("invocations", invocations.size());
     return result;
 }

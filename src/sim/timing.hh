@@ -17,6 +17,7 @@ namespace muir::sim
 {
 
 struct ProfileCollector; // sim/profile.hh
+struct FaultHarness;     // sim/fault.hh
 
 /** Timing results and activity counters. */
 struct TimingResult
@@ -47,9 +48,16 @@ struct TimingTraceRow
  *        (stall attribution, critical deps, structure activity).
  *        Profiling is observational only — it never changes the
  *        schedule, so cycles/stats are bit-identical either way.
+ * @param fault Optional μfit harness (sim/fault.hh): carries the fault
+ *        plan to enact on handshake/memory timing and the watchdog
+ *        options; on a trip or a token-starvation drain the verdict is
+ *        written back into the harness. With fault == nullptr the
+ *        schedule is bit-identical to today (same observational-guard
+ *        contract as μprof).
  */
 TimingResult scheduleDdg(const uir::Accelerator &accel, const Ddg &ddg,
                          std::vector<TimingTraceRow> *trace = nullptr,
-                         ProfileCollector *profile = nullptr);
+                         ProfileCollector *profile = nullptr,
+                         FaultHarness *fault = nullptr);
 
 } // namespace muir::sim

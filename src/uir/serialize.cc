@@ -1,7 +1,9 @@
 #include "uir/serialize.hh"
 
+#include <cstdlib>
 #include <map>
 #include <sstream>
+#include <tuple>
 #include <vector>
 
 #include "support/logging.hh"
@@ -34,39 +36,101 @@ typeStr(const ir::Type &t)
     return "void";
 }
 
+/** Recoverable parse problem; caught by deserializeOrError. */
+struct ParseError
+{
+    unsigned line;
+    std::string msg;
+};
+
+/** Strict decimal signed parse — atoi-with-junk is a silent zero. */
+int64_t
+parseInt(const std::string &s, const char *what, unsigned lineno)
+{
+    if (s.empty())
+        throw ParseError{lineno, fmt("empty %s", what)};
+    size_t i = s[0] == '-' ? 1 : 0;
+    if (i == s.size())
+        throw ParseError{lineno, fmt("bad %s '%s'", what, s.c_str())};
+    int64_t v = 0;
+    for (; i < s.size(); ++i) {
+        if (s[i] < '0' || s[i] > '9')
+            throw ParseError{lineno,
+                             fmt("bad %s '%s'", what, s.c_str())};
+        v = v * 10 + (s[i] - '0');
+        if (v < 0)
+            throw ParseError{lineno,
+                             fmt("%s '%s' overflows", what, s.c_str())};
+    }
+    return s[0] == '-' ? -v : v;
+}
+
+unsigned
+parseUnsigned(const std::string &s, const char *what, unsigned lineno)
+{
+    int64_t v = parseInt(s, what, lineno);
+    if (v < 0 || v > int64_t(~0u))
+        throw ParseError{lineno,
+                         fmt("%s '%s' out of range", what, s.c_str())};
+    return static_cast<unsigned>(v);
+}
+
+double
+parseDouble(const std::string &s, const char *what, unsigned lineno)
+{
+    if (s.empty())
+        throw ParseError{lineno, fmt("empty %s", what)};
+    char *end = nullptr;
+    double v = std::strtod(s.c_str(), &end);
+    if (end != s.c_str() + s.size())
+        throw ParseError{lineno, fmt("bad %s '%s'", what, s.c_str())};
+    return v;
+}
+
 ir::Type
-parseType(const std::string &s)
+parseType(const std::string &s, unsigned lineno)
 {
     if (s == "void")
         return ir::Type::voidTy();
     if (s == "f32")
         return ir::Type::f32();
-    if (s[0] == 'i')
-        return ir::Type::intTy(std::atoi(s.c_str() + 1));
+    if (!s.empty() && s[0] == 'i')
+        return ir::Type::intTy(
+            parseUnsigned(s.substr(1), "int width", lineno));
     if (startsWith(s, "ptr:"))
-        return ir::Type::ptrTo(parseType(s.substr(4)));
+        return ir::Type::ptrTo(parseType(s.substr(4), lineno));
     if (startsWith(s, "t:")) {
         unsigned r = 0, c = 0;
         char f = 'f';
-        if (std::sscanf(s.c_str(), "t:%ux%ux%c", &r, &c, &f) != 3)
-            muir_fatal("bad tensor type '%s'", s.c_str());
+        if (std::sscanf(s.c_str(), "t:%ux%ux%c", &r, &c, &f) != 3 ||
+            (f != 'f' && f != 'i') || !r || !c)
+            throw ParseError{lineno,
+                             fmt("bad tensor type '%s'", s.c_str())};
         return ir::Type::tensor(r, c, f == 'f');
     }
-    muir_fatal("bad type '%s'", s.c_str());
+    throw ParseError{lineno, fmt("bad type '%s'", s.c_str())};
 }
 
 // ------------------------------------------------------- key=value lines
 
 /** Split "key=value" tokens of one line (values cannot hold spaces). */
 std::map<std::string, std::string>
-fields(const std::vector<std::string> &tokens, size_t from)
+fields(const std::vector<std::string> &tokens, size_t from,
+       unsigned lineno)
 {
     std::map<std::string, std::string> out;
     for (size_t i = from; i < tokens.size(); ++i) {
         auto eq = tokens[i].find('=');
-        if (eq == std::string::npos)
-            continue;
-        out[tokens[i].substr(0, eq)] = tokens[i].substr(eq + 1);
+        if (eq == std::string::npos || eq == 0)
+            throw ParseError{lineno, fmt("bad token '%s' (want "
+                                         "key=value)",
+                                         tokens[i].c_str())};
+        if (!out.emplace(tokens[i].substr(0, eq),
+                         tokens[i].substr(eq + 1))
+                 .second)
+            throw ParseError{lineno,
+                             fmt("duplicate key '%s'",
+                                 tokens[i].substr(0, eq).c_str())};
     }
     return out;
 }
@@ -84,11 +148,11 @@ tokenize(const std::string &line)
 
 const std::string &
 need(const std::map<std::string, std::string> &kv, const char *key,
-     const std::string &line)
+     unsigned lineno)
 {
     auto it = kv.find(key);
     if (it == kv.end())
-        muir_fatal("serialize: missing '%s' in: %s", key, line.c_str());
+        throw ParseError{lineno, fmt("missing required key '%s'", key)};
     return it->second;
 }
 
@@ -201,11 +265,17 @@ serialize(const Accelerator &accel)
     return os.str();
 }
 
+namespace
+{
+
+/** The parser proper; throws ParseError on malformed input. */
 std::unique_ptr<Accelerator>
-deserialize(const std::string &text, const ir::Module *source)
+parseGraph(const std::string &text, const ir::Module *source)
 {
     std::unique_ptr<Accelerator> accel;
     Task *body_task = nullptr;
+    unsigned lineno = 0;
+    bool root_set = false;
     std::map<const Task *, std::map<unsigned, Node *>> node_by_id;
     // Deferred edges: (task, consumer, slot-or-guard, producer id, out).
     struct Edge
@@ -215,15 +285,17 @@ deserialize(const std::string &text, const ir::Module *source)
         bool is_guard;
         unsigned producer_id;
         unsigned out;
+        unsigned lineno;
     };
     std::vector<Edge> edges;
     // Parent tasks may be declared after their children (the front end
     // creates children first); resolve at the end.
-    std::vector<std::pair<Task *, std::string>> parent_fixups;
+    std::vector<std::tuple<Task *, std::string, unsigned>> parent_fixups;
 
     std::istringstream is(text);
     std::string line;
     while (std::getline(is, line)) {
+        ++lineno;
         if (line.empty() || line[0] == '#')
             continue;
         auto tokens = tokenize(line);
@@ -232,132 +304,183 @@ deserialize(const std::string &text, const ir::Module *source)
         const std::string &head = tokens[0];
 
         if (head == "accelerator") {
-            muir_assert(tokens.size() >= 2, "bad accelerator line");
+            if (tokens.size() < 2)
+                throw ParseError{lineno, "accelerator needs a name"};
+            if (accel)
+                throw ParseError{lineno, "duplicate accelerator line"};
             accel = std::make_unique<Accelerator>(tokens[1], source);
         } else if (head == "structure") {
-            muir_assert(accel && tokens.size() >= 2, "structure before "
-                        "accelerator");
-            auto kv = fields(tokens, 2);
-            const std::string &kind_s = need(kv, "kind", line);
-            StructureKind kind = StructureKind::Scratchpad;
-            if (kind_s == "cache")
+            if (!accel)
+                throw ParseError{lineno, "structure before accelerator"};
+            if (tokens.size() < 2)
+                throw ParseError{lineno, "structure needs a name"};
+            if (accel->structureByName(tokens[1]))
+                throw ParseError{lineno, fmt("duplicate structure '%s'",
+                                             tokens[1].c_str())};
+            auto kv = fields(tokens, 2, lineno);
+            const std::string &kind_s = need(kv, "kind", lineno);
+            StructureKind kind;
+            if (kind_s == "scratchpad")
+                kind = StructureKind::Scratchpad;
+            else if (kind_s == "cache")
                 kind = StructureKind::Cache;
             else if (kind_s == "dram")
                 kind = StructureKind::Dram;
+            else
+                throw ParseError{lineno,
+                                 fmt("unknown structure kind '%s'",
+                                     kind_s.c_str())};
             Structure *s = accel->addStructure(kind, tokens[1]);
-            s->setBanks(std::atoi(need(kv, "banks", line).c_str()));
-            s->setPortsPerBank(
-                std::atoi(need(kv, "ports", line).c_str()));
-            s->setWideWords(std::atoi(need(kv, "wide", line).c_str()));
-            s->setLatency(std::atoi(need(kv, "lat", line).c_str()));
-            s->setSizeKb(std::atoi(need(kv, "size", line).c_str()));
-            s->setWays(std::atoi(need(kv, "ways", line).c_str()));
-            s->setLineBytes(std::atoi(need(kv, "line", line).c_str()));
-            s->setMissLatency(std::atoi(need(kv, "miss", line).c_str()));
-            s->setBytesPerCycle(std::atof(need(kv, "bpc", line).c_str()));
+            unsigned banks =
+                parseUnsigned(need(kv, "banks", lineno), "banks", lineno);
+            unsigned ports =
+                parseUnsigned(need(kv, "ports", lineno), "ports", lineno);
+            unsigned wide =
+                parseUnsigned(need(kv, "wide", lineno), "wide", lineno);
+            if (!banks || !ports || !wide)
+                throw ParseError{lineno, "banks/ports/wide must be >= 1"};
+            s->setBanks(banks);
+            s->setPortsPerBank(ports);
+            s->setWideWords(wide);
+            s->setLatency(
+                parseUnsigned(need(kv, "lat", lineno), "lat", lineno));
+            s->setSizeKb(
+                parseUnsigned(need(kv, "size", lineno), "size", lineno));
+            s->setWays(
+                parseUnsigned(need(kv, "ways", lineno), "ways", lineno));
+            s->setLineBytes(
+                parseUnsigned(need(kv, "line", lineno), "line", lineno));
+            s->setMissLatency(
+                parseUnsigned(need(kv, "miss", lineno), "miss", lineno));
+            s->setBytesPerCycle(
+                parseDouble(need(kv, "bpc", lineno), "bpc", lineno));
             if (kv.count("spaces"))
                 for (const auto &sp : split(kv["spaces"], ','))
-                    s->addSpace(std::atoi(sp.c_str()));
+                    s->addSpace(parseUnsigned(sp, "space id", lineno));
         } else if (head == "task") {
-            muir_assert(accel && tokens.size() >= 2, "task before "
-                        "accelerator");
-            auto kv = fields(tokens, 2);
-            const std::string &kind_s = need(kv, "kind", line);
-            TaskKind kind = TaskKind::Root;
-            if (kind_s == "loop")
+            if (!accel)
+                throw ParseError{lineno, "task before accelerator"};
+            if (tokens.size() < 2)
+                throw ParseError{lineno, "task needs a name"};
+            if (accel->taskByName(tokens[1]))
+                throw ParseError{lineno, fmt("duplicate task '%s'",
+                                             tokens[1].c_str())};
+            auto kv = fields(tokens, 2, lineno);
+            const std::string &kind_s = need(kv, "kind", lineno);
+            TaskKind kind;
+            if (kind_s == "root")
+                kind = TaskKind::Root;
+            else if (kind_s == "loop")
                 kind = TaskKind::Loop;
             else if (kind_s == "spawn")
                 kind = TaskKind::Spawn;
             else if (kind_s == "func")
                 kind = TaskKind::Func;
+            else
+                throw ParseError{lineno, fmt("unknown task kind '%s'",
+                                             kind_s.c_str())};
             Task *t = accel->addTask(kind, tokens[1], nullptr);
             if (kv.count("parent"))
-                parent_fixups.emplace_back(t, kv["parent"]);
-            t->setNumTiles(std::atoi(need(kv, "tiles", line).c_str()));
-            t->setQueueDepth(std::atoi(need(kv, "queue", line).c_str()));
-            t->setDecoupled(need(kv, "decoupled", line) == "1");
-            t->setJunctionPorts(std::atoi(need(kv, "jr", line).c_str()),
-                                std::atoi(need(kv, "jw", line).c_str()));
+                parent_fixups.emplace_back(t, kv["parent"], lineno);
+            t->setNumTiles(parseUnsigned(need(kv, "tiles", lineno),
+                                         "tiles", lineno));
+            t->setQueueDepth(parseUnsigned(need(kv, "queue", lineno),
+                                           "queue", lineno));
+            t->setDecoupled(need(kv, "decoupled", lineno) == "1");
+            t->setJunctionPorts(
+                parseUnsigned(need(kv, "jr", lineno), "jr", lineno),
+                parseUnsigned(need(kv, "jw", lineno), "jw", lineno));
         } else if (head == "body") {
-            muir_assert(accel && tokens.size() >= 2, "bad body line");
+            if (!accel || tokens.size() < 2)
+                throw ParseError{lineno, "bad body line"};
+            if (body_task)
+                throw ParseError{lineno, "body inside another body "
+                                         "(missing 'end')"};
             body_task = accel->taskByName(tokens[1]);
-            muir_assert(body_task != nullptr, "body for unknown task %s",
-                        tokens[1].c_str());
+            if (!body_task)
+                throw ParseError{lineno, fmt("body for unknown task "
+                                             "'%s'",
+                                             tokens[1].c_str())};
         } else if (head == "node") {
-            muir_assert(body_task != nullptr, "node outside body");
-            muir_assert(tokens.size() >= 2, "bad node line");
-            unsigned orig_id = std::atoi(tokens[1].c_str());
-            auto kv = fields(tokens, 2);
-            const std::string &kind_s = need(kv, "kind", line);
-            const std::string &name = need(kv, "name", line);
-            ir::Type type = parseType(need(kv, "type", line));
+            if (!body_task)
+                throw ParseError{lineno, "node outside body"};
+            if (tokens.size() < 2)
+                throw ParseError{lineno, "node needs an id"};
+            unsigned orig_id =
+                parseUnsigned(tokens[1], "node id", lineno);
+            if (node_by_id[body_task].count(orig_id))
+                throw ParseError{lineno,
+                                 fmt("duplicate node id %u in task %s",
+                                     orig_id,
+                                     body_task->name().c_str())};
+            auto kv = fields(tokens, 2, lineno);
+            const std::string &kind_s = need(kv, "kind", lineno);
+            const std::string &name = need(kv, "name", lineno);
+            ir::Type type = parseType(need(kv, "type", lineno), lineno);
+
+            // An op name resolver shared by compute and fused nodes.
+            auto parseOp = [&](const std::string &op_s) {
+                for (int o = 0; o <= int(ir::Op::TRelu); ++o)
+                    if (op_s == ir::opName(static_cast<ir::Op>(o)))
+                        return static_cast<ir::Op>(o);
+                throw ParseError{lineno,
+                                 fmt("unknown op '%s'", op_s.c_str())};
+            };
 
             Node *n = nullptr;
             if (kind_s == "compute") {
-                // Resolve the opcode by name.
-                ir::Op op = ir::Op::Add;
-                bool found = false;
-                for (int o = 0; o <= int(ir::Op::TRelu); ++o) {
-                    if (need(kv, "op", line) ==
-                        ir::opName(static_cast<ir::Op>(o))) {
-                        op = static_cast<ir::Op>(o);
-                        found = true;
-                        break;
-                    }
-                }
-                muir_assert(found, "unknown op '%s'",
-                            need(kv, "op", line).c_str());
-                n = body_task->addCompute(op, type, name);
+                n = body_task->addCompute(parseOp(need(kv, "op", lineno)),
+                                          type, name);
             } else if (kind_s == "fused") {
                 n = body_task->addNode(NodeKind::Fused, name);
                 n->setIrType(type);
                 for (const auto &uop_s :
-                     split(need(kv, "uops", line), '|')) {
+                     split(need(kv, "uops", lineno), '|')) {
                     auto parts = split(uop_s, '~');
-                    muir_assert(parts.size() == 3, "bad uop '%s'",
-                                uop_s.c_str());
+                    if (parts.size() != 3)
+                        throw ParseError{lineno, fmt("bad uop '%s'",
+                                                     uop_s.c_str())};
                     Node::MicroOp mop;
-                    bool found = false;
-                    for (int o = 0; o <= int(ir::Op::TRelu); ++o) {
-                        if (parts[0] ==
-                            ir::opName(static_cast<ir::Op>(o))) {
-                            mop.op = static_cast<ir::Op>(o);
-                            found = true;
-                            break;
-                        }
-                    }
-                    muir_assert(found, "unknown uop '%s'",
-                                parts[0].c_str());
-                    mop.type = parseType(parts[1]);
+                    mop.op = parseOp(parts[0]);
+                    mop.type = parseType(parts[1], lineno);
                     if (!parts[2].empty())
                         for (const auto &src : split(parts[2], '.'))
-                            mop.srcs.push_back(std::atoi(src.c_str()));
+                            mop.srcs.push_back(static_cast<int>(
+                                parseInt(src, "uop src", lineno)));
                     n->microOps().push_back(std::move(mop));
                 }
             } else if (kind_s == "const") {
                 if (kv.count("fval"))
-                    n = body_task->addConstFp(std::atof(
-                        kv["fval"].c_str()));
+                    n = body_task->addConstFp(parseDouble(
+                        kv["fval"], "fval", lineno));
                 else
                     n = body_task->addConstInt(
-                        type, std::atoll(need(kv, "ival", line).c_str()));
+                        type,
+                        parseInt(need(kv, "ival", lineno), "ival",
+                                 lineno));
                 n->setName(name);
             } else if (kind_s == "globaladdr") {
-                muir_assert(source != nullptr,
-                            "globaladdr needs a source module");
-                const ir::GlobalArray *g =
-                    source->global(need(kv, "global", line));
-                muir_assert(g != nullptr, "unknown global '%s'",
-                            need(kv, "global", line).c_str());
+                if (!source)
+                    throw ParseError{lineno,
+                                     "globaladdr needs a source module"};
+                const std::string &g_name = need(kv, "global", lineno);
+                const ir::GlobalArray *g = source->global(g_name);
+                if (!g)
+                    throw ParseError{lineno, fmt("unknown global '%s'",
+                                                 g_name.c_str())};
                 n = body_task->addGlobalAddr(g);
                 n->setName(name);
             } else if (kind_s == "load") {
                 n = body_task->addLoad(
-                    type, std::atoi(need(kv, "space", line).c_str()),
+                    type,
+                    parseUnsigned(need(kv, "space", lineno), "space",
+                                  lineno),
                     name);
             } else if (kind_s == "store") {
                 n = body_task->addStore(
-                    std::atoi(need(kv, "space", line).c_str()), name);
+                    parseUnsigned(need(kv, "space", lineno), "space",
+                                  lineno),
+                    name);
             } else if (kind_s == "livein") {
                 n = body_task->addLiveIn(type, name);
             } else if (kind_s == "liveout") {
@@ -365,60 +488,78 @@ deserialize(const std::string &text, const ir::Module *source)
             } else if (kind_s == "loopctrl") {
                 n = body_task->addNode(NodeKind::LoopControl, name);
                 n->setIrType(type);
-                n->setNumCarried(
-                    std::atoi(need(kv, "carried", line).c_str()));
-                n->setCtrlStages(
-                    std::atoi(need(kv, "stages", line).c_str()));
+                n->setNumCarried(parseUnsigned(
+                    need(kv, "carried", lineno), "carried", lineno));
+                n->setCtrlStages(parseUnsigned(
+                    need(kv, "stages", lineno), "stages", lineno));
             } else if (kind_s == "childcall") {
-                Task *callee =
-                    accel->taskByName(need(kv, "callee", line));
-                muir_assert(callee != nullptr, "unknown callee '%s'",
-                            need(kv, "callee", line).c_str());
+                const std::string &callee_name =
+                    need(kv, "callee", lineno);
+                Task *callee = accel->taskByName(callee_name);
+                if (!callee)
+                    throw ParseError{lineno, fmt("unknown callee '%s'",
+                                                 callee_name.c_str())};
                 n = body_task->addChildCall(
-                    callee, need(kv, "spawn", line) == "1", name);
+                    callee, need(kv, "spawn", lineno) == "1", name);
             } else if (kind_s == "sync") {
                 n = body_task->addNode(NodeKind::SyncNode, name);
                 n->setIrType(type);
             } else {
-                muir_fatal("unknown node kind '%s'", kind_s.c_str());
+                throw ParseError{lineno, fmt("unknown node kind '%s'",
+                                             kind_s.c_str())};
             }
             node_by_id[body_task][orig_id] = n;
 
-            if (kv.count("in")) {
-                for (const auto &ref_s : split(kv["in"], ',')) {
-                    auto rc = split(ref_s, ':');
-                    muir_assert(rc.size() == 2, "bad input ref '%s'",
-                                ref_s.c_str());
-                    edges.push_back({body_task, n, false,
-                                     unsigned(std::atoi(rc[0].c_str())),
-                                     unsigned(std::atoi(rc[1].c_str()))});
-                }
-            }
-            if (kv.count("guard")) {
-                auto rc = split(kv["guard"], ':');
-                muir_assert(rc.size() == 2, "bad guard ref");
-                edges.push_back({body_task, n, true,
-                                 unsigned(std::atoi(rc[0].c_str())),
-                                 unsigned(std::atoi(rc[1].c_str()))});
-            }
+            auto parseRef = [&](const std::string &ref_s, bool guard) {
+                auto rc = split(ref_s, ':');
+                if (rc.size() != 2)
+                    throw ParseError{lineno,
+                                     fmt("bad %s ref '%s' (want "
+                                         "id:out)",
+                                         guard ? "guard" : "input",
+                                         ref_s.c_str())};
+                edges.push_back(
+                    {body_task, n, guard,
+                     parseUnsigned(rc[0], "node ref", lineno),
+                     parseUnsigned(rc[1], "output index", lineno),
+                     lineno});
+            };
+            if (kv.count("in"))
+                for (const auto &ref_s : split(kv["in"], ','))
+                    parseRef(ref_s, false);
+            if (kv.count("guard"))
+                parseRef(kv["guard"], true);
         } else if (head == "end") {
+            if (!body_task)
+                throw ParseError{lineno, "'end' outside a body"};
             body_task = nullptr;
         } else if (head == "root") {
-            muir_assert(accel && tokens.size() >= 2, "bad root line");
+            if (!accel || tokens.size() < 2)
+                throw ParseError{lineno, "bad root line"};
             Task *root = accel->taskByName(tokens[1]);
-            muir_assert(root != nullptr, "unknown root '%s'",
-                        tokens[1].c_str());
+            if (!root)
+                throw ParseError{lineno, fmt("unknown root '%s'",
+                                             tokens[1].c_str())};
             accel->setRoot(root);
+            root_set = true;
         } else {
-            muir_fatal("serialize: unknown directive '%s'", head.c_str());
+            throw ParseError{lineno, fmt("unknown directive '%s'",
+                                         head.c_str())};
         }
     }
-    muir_assert(accel != nullptr, "no accelerator in input");
+    if (!accel)
+        throw ParseError{0, "no accelerator in input"};
+    if (body_task)
+        throw ParseError{lineno, fmt("body of task '%s' never ended",
+                                     body_task->name().c_str())};
+    if (!root_set)
+        throw ParseError{0, "no root directive"};
 
-    for (auto &[task, parent_name] : parent_fixups) {
+    for (auto &[task, parent_name, fix_line] : parent_fixups) {
         Task *parent = accel->taskByName(parent_name);
-        muir_assert(parent != nullptr, "unknown parent task '%s'",
-                    parent_name.c_str());
+        if (!parent)
+            throw ParseError{fix_line, fmt("unknown parent task '%s'",
+                                           parent_name.c_str())};
         task->setParentTask(parent);
     }
 
@@ -427,14 +568,41 @@ deserialize(const std::string &text, const ir::Module *source)
     for (const Edge &e : edges) {
         auto &ids = node_by_id[e.task];
         auto it = ids.find(e.producer_id);
-        muir_assert(it != ids.end(), "dangling node ref %u in task %s",
-                    e.producer_id, e.task->name().c_str());
+        if (it == ids.end())
+            throw ParseError{e.lineno,
+                             fmt("dangling node ref %u in task %s",
+                                 e.producer_id, e.task->name().c_str())};
         if (e.is_guard)
             e.consumer->setGuard(it->second, e.out);
         else
             e.consumer->addInput(it->second, e.out);
     }
     return accel;
+}
+
+} // namespace
+
+DeserializeResult
+deserializeOrError(const std::string &text, const ir::Module *source)
+{
+    DeserializeResult result;
+    try {
+        result.accel = parseGraph(text, source);
+    } catch (const ParseError &pe) {
+        result.error = pe.msg;
+        result.line = pe.line;
+    }
+    return result;
+}
+
+std::unique_ptr<Accelerator>
+deserialize(const std::string &text, const ir::Module *source)
+{
+    DeserializeResult result = deserializeOrError(text, source);
+    if (!result.ok())
+        muir_fatal("deserialize: line %u: %s", result.line,
+                   result.error.c_str());
+    return std::move(result.accel);
 }
 
 } // namespace muir::uir

@@ -33,9 +33,33 @@ namespace muir::uir
 /** Serialize the whole graph to the textual format. */
 std::string serialize(const Accelerator &accel);
 
+/** Outcome of a recoverable deserialization attempt. */
+struct DeserializeResult
+{
+    /** The parsed graph; null when parsing failed. */
+    std::unique_ptr<Accelerator> accel;
+    /** Human-readable problem description (empty on success). */
+    std::string error;
+    /** 1-based input line of the problem (0 = whole-input problem). */
+    unsigned line = 0;
+
+    bool ok() const { return accel != nullptr; }
+};
+
+/**
+ * Parse a serialized graph, reporting malformed input as an error +
+ * line number instead of aborting — callers (muirc, services) print
+ * the diagnostic and carry on. Global-array references resolve
+ * against source (which must outlive the result).
+ */
+DeserializeResult deserializeOrError(const std::string &text,
+                                     const ir::Module *source);
+
 /**
  * Parse a serialized graph. Global-array references resolve against
- * source (which must outlive the result). Fatal on malformed input.
+ * source (which must outlive the result). Fatal on malformed input —
+ * the orDie convenience over deserializeOrError for tests/tools that
+ * want the old abort behavior.
  */
 std::unique_ptr<Accelerator> deserialize(const std::string &text,
                                          const ir::Module *source);

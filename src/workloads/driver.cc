@@ -30,11 +30,14 @@ runOn(const Workload &w, const uir::Accelerator &accel,
     sim::SimOptions sopts;
     sopts.profile = options.profile;
     sopts.trace = options.trace;
+    sopts.watchdog = options.watchdog;
+    sopts.maxCycles = options.maxCycles;
     sim::SimResult sim = sim::simulate(accel, mem, {}, sopts);
     RunResult result;
     result.cycles = sim.cycles;
     result.firings = sim.firings;
     result.check = w.check(mem);
+    result.verdict = std::move(sim.verdict);
     result.stats = std::move(sim.stats);
     result.profile = std::move(sim.profile);
     result.profileData = std::move(sim.profileData);

@@ -36,6 +36,8 @@ struct RunResult
     std::shared_ptr<sim::ProfileCollector> profileData;
     /** Per-event timeline (set when RunOptions::trace). */
     std::vector<sim::TimingTraceRow> trace;
+    /** μfit verdict (set when RunOptions::watchdog). */
+    sim::FaultVerdict verdict;
 };
 
 /** Optional collection switches for runOn. */
@@ -43,6 +45,10 @@ struct RunOptions
 {
     bool profile = false;
     bool trace = false;
+    /** Arm the μfit hang watchdog (see RunResult::verdict). */
+    bool watchdog = false;
+    /** Watchdog cycle budget (0 = drain detection only). */
+    uint64_t maxCycles = 0;
 };
 
 /** Bind inputs, simulate, and check outputs against the golden data. */

@@ -1,0 +1,400 @@
+/**
+ * @file
+ * μfit tests: spec parsing, bit flips, the bit-identical-when-disabled
+ * contract across every baseline workload, watchdog behaviour on
+ * hand-built token-loss deadlocks, per-kind outcome guarantees, and
+ * campaign determinism + JSON schema validity.
+ */
+#include <gtest/gtest.h>
+
+#include "sim/fault.hh"
+#include "sim/simulator.hh"
+#include "support/json.hh"
+#include "workloads/driver.hh"
+
+namespace muir::sim
+{
+
+namespace
+{
+
+/** Lower a workload's baseline and run one campaign against it. */
+CampaignResult
+campaignOn(const std::string &name, const std::string &spec_text,
+           unsigned runs, uint64_t seed)
+{
+    workloads::Workload w = workloads::buildWorkload(name);
+    auto accel = workloads::lowerBaseline(w);
+    CampaignSpec spec;
+    std::string error;
+    EXPECT_TRUE(parseFaultSpec(spec_text, spec.fault, &error)) << error;
+    spec.runs = runs;
+    spec.seed = seed;
+    return runCampaign(*accel, *w.module,
+                       [&](ir::MemoryImage &m) { w.bind(m); }, spec);
+}
+
+uint64_t
+countOf(const CampaignResult &r, Outcome o)
+{
+    return r.histogram[static_cast<size_t>(o)];
+}
+
+} // namespace
+
+// ---------------------------------------------------------- spec parsing
+
+TEST(FaultSpec, ParsesKindsAndOptions)
+{
+    FaultSpec spec;
+    std::string error;
+    ASSERT_TRUE(parseFaultSpec("tokendrop", spec, &error)) << error;
+    EXPECT_EQ(spec.kind, FaultKind::TokenDrop);
+    EXPECT_EQ(spec.site, FaultSpec::kAutoSite);
+
+    ASSERT_TRUE(parseFaultSpec("dataflip@17:bit=5", spec, &error));
+    EXPECT_EQ(spec.kind, FaultKind::DataFlip);
+    EXPECT_EQ(spec.site, 17u);
+    EXPECT_EQ(spec.bit, 5u);
+
+    ASSERT_TRUE(parseFaultSpec("dramtimeout:attempts=6", spec, &error));
+    EXPECT_EQ(spec.kind, FaultKind::DramTimeout);
+    EXPECT_EQ(spec.attempts, 6u);
+
+    ASSERT_TRUE(parseFaultSpec("stuckvalid:edge=1", spec, &error));
+    EXPECT_EQ(spec.edge, 1u);
+
+    ASSERT_TRUE(parseFaultSpec("mix", spec, &error));
+    EXPECT_EQ(spec.kind, FaultKind::Mix);
+}
+
+TEST(FaultSpec, RejectsJunkWithHelpfulError)
+{
+    FaultSpec spec;
+    std::string error;
+    EXPECT_FALSE(parseFaultSpec("nosuchfault", spec, &error));
+    // The diagnostic lists the valid kinds.
+    EXPECT_NE(error.find("tokendrop"), std::string::npos) << error;
+    EXPECT_NE(error.find("memflip"), std::string::npos) << error;
+
+    EXPECT_FALSE(parseFaultSpec("dataflip:bogus=1", spec, &error));
+    EXPECT_FALSE(parseFaultSpec("dataflip:bit=notanumber", spec, &error));
+    EXPECT_FALSE(parseFaultSpec("", spec, &error));
+    EXPECT_FALSE(parseFaultSpec("dataflip@", spec, &error));
+}
+
+TEST(FaultSpec, RoundTripsThroughRender)
+{
+    FaultSpec spec;
+    std::string error;
+    ASSERT_TRUE(
+        parseFaultSpec("memflip@42:bit=31", spec, &error));
+    FaultSpec again;
+    ASSERT_TRUE(parseFaultSpec(renderFaultSpec(spec), again, &error));
+    EXPECT_EQ(again.kind, spec.kind);
+    EXPECT_EQ(again.site, spec.site);
+    EXPECT_EQ(again.bit, spec.bit);
+}
+
+// --------------------------------------------------------------- flipBit
+
+TEST(FlipBit, PreservesKindAndFlipsOnce)
+{
+    ir::RuntimeValue v = ir::RuntimeValue::makeInt(12);
+    flipBit(v, 3);
+    EXPECT_EQ(v.kind, ir::RuntimeValue::Kind::Int);
+    EXPECT_EQ(v.i, 12 ^ 8);
+    flipBit(v, 3);
+    EXPECT_EQ(v.i, 12);
+
+    ir::RuntimeValue f = ir::RuntimeValue::makeFloat(1.0);
+    flipBit(f, 0);
+    EXPECT_EQ(f.kind, ir::RuntimeValue::Kind::Float);
+    EXPECT_NE(f.f, 1.0);
+    flipBit(f, 0);
+    EXPECT_EQ(f.f, 1.0);
+
+    ir::RuntimeValue p = ir::RuntimeValue::makePtr(0x1000);
+    flipBit(p, 2);
+    EXPECT_EQ(p.kind, ir::RuntimeValue::Kind::Ptr);
+    EXPECT_EQ(p.ptr, 0x1000u ^ 4u);
+}
+
+TEST(FlipBit, TensorCopiesBeforeCorrupting)
+{
+    ir::RuntimeValue t =
+        ir::RuntimeValue::makeTensor(2, 2, {1.f, 2.f, 3.f, 4.f});
+    ir::RuntimeValue alias = t; // shares the tensor buffer
+    flipBit(t, 0);
+    ASSERT_TRUE(t.tensor && alias.tensor);
+    // Copy-on-write: the alias must keep the pristine data.
+    EXPECT_EQ((*alias.tensor)[0], 1.f);
+    EXPECT_NE((*t.tensor)[0], 1.f);
+}
+
+// ------------------------------------------------ bit-identity contract
+
+/**
+ * The μprof-style guard: arming the watchdog (harness present, no
+ * plan) must not change cycles, stats, firings, outputs, or final
+ * memory on any baseline workload — and must never trip fault-free.
+ */
+TEST(FaultGuard, WatchdogArmedIsBitIdenticalOnAllBaselines)
+{
+    for (const std::string &name : workloads::workloadNames()) {
+        workloads::Workload w = workloads::buildWorkload(name);
+        auto accel = workloads::lowerBaseline(w);
+
+        ir::MemoryImage plain_mem(*w.module);
+        w.bind(plain_mem);
+        SimResult plain = simulate(*accel, plain_mem);
+
+        ir::MemoryImage armed_mem(*w.module);
+        w.bind(armed_mem);
+        SimOptions opts;
+        opts.watchdog = true;
+        SimResult armed = simulate(*accel, armed_mem, {}, opts);
+
+        EXPECT_EQ(plain.cycles, armed.cycles) << name;
+        EXPECT_EQ(plain.firings, armed.firings) << name;
+        EXPECT_EQ(plain.stats.dump(), armed.stats.dump()) << name;
+        EXPECT_EQ(plain_mem.bytes(), armed_mem.bytes()) << name;
+        EXPECT_FALSE(armed.verdict.hang.tripped())
+            << name << ": " << armed.verdict.hang.render();
+        EXPECT_FALSE(armed.verdict.detected) << name;
+    }
+}
+
+// -------------------------------------------------------------- watchdog
+
+TEST(Watchdog, TripsOnPinnedTokenLossWithNamedDiagnosis)
+{
+    // Golden run to pick a concrete mid-graph edge to drop.
+    workloads::Workload w = workloads::buildWorkload("saxpy");
+    auto accel = workloads::lowerBaseline(w);
+    CampaignSpec spec;
+    std::string error;
+    ASSERT_TRUE(parseFaultSpec("tokendrop", spec.fault, &error));
+    spec.runs = 1;
+    spec.seed = 7;
+    CampaignResult r = runCampaign(
+        *accel, *w.module, [&](ir::MemoryImage &m) { w.bind(m); }, spec);
+    ASSERT_TRUE(r.ok) << r.error;
+    ASSERT_EQ(r.records.size(), 1u);
+    EXPECT_EQ(r.records[0].outcome, Outcome::Hang);
+
+    // Replay the same plan directly and inspect the diagnosis.
+    ir::MemoryImage mem(*w.module);
+    w.bind(mem);
+    SimOptions opts;
+    opts.fault = &r.records[0].plan;
+    opts.watchdog = true;
+    opts.maxCycles = r.maxCycles;
+    SimResult sim = simulate(*accel, mem, {}, opts);
+    const HangDiagnosis &diag = sim.verdict.hang;
+    ASSERT_TRUE(diag.tripped());
+    EXPECT_TRUE(diag.hung);
+    ASSERT_FALSE(diag.blocked.empty());
+    // The root cause names the blocked task, node, and dropped edge.
+    const HangDiagnosis::BlockedEdge &root = diag.blocked.front();
+    EXPECT_EQ(root.event, r.records[0].plan.event);
+    EXPECT_TRUE(root.tokenLost);
+    EXPECT_FALSE(root.task.empty());
+    EXPECT_FALSE(root.node.empty());
+    EXPECT_FALSE(root.kind.empty());
+    std::string text = diag.render();
+    EXPECT_NE(text.find("starved"), std::string::npos) << text;
+    EXPECT_NE(text.find(root.task), std::string::npos) << text;
+    EXPECT_NE(text.find("never arrived"), std::string::npos) << text;
+}
+
+TEST(Watchdog, CycleBudgetTripsAsBudgetExceeded)
+{
+    workloads::Workload w = workloads::buildWorkload("saxpy");
+    auto accel = workloads::lowerBaseline(w);
+    ir::MemoryImage mem(*w.module);
+    w.bind(mem);
+    SimOptions opts;
+    opts.watchdog = true;
+    opts.maxCycles = 1; // far below any real schedule
+    SimResult sim = simulate(*accel, mem, {}, opts);
+    EXPECT_TRUE(sim.verdict.hang.budgetExceeded);
+    EXPECT_TRUE(sim.verdict.hang.tripped());
+    EXPECT_NE(sim.verdict.hang.render().find("budget"),
+              std::string::npos);
+}
+
+TEST(Watchdog, GenerousBudgetDoesNotTrip)
+{
+    workloads::Workload w = workloads::buildWorkload("fib");
+    auto accel = workloads::lowerBaseline(w);
+    workloads::RunOptions opts;
+    opts.watchdog = true;
+    opts.maxCycles = 1ull << 40;
+    workloads::RunResult run = workloads::runOn(w, *accel, opts);
+    EXPECT_TRUE(run.check.empty()) << run.check;
+    EXPECT_FALSE(run.verdict.hang.tripped());
+}
+
+// ----------------------------------------------------- outcome semantics
+
+TEST(Campaign, TokenDropAlwaysHangs)
+{
+    CampaignResult r = campaignOn("saxpy", "tokendrop", 8, 3);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(countOf(r, Outcome::Hang), 8u);
+    for (const InjectionRecord &rec : r.records)
+        EXPECT_NE(rec.detail.find("watchdog"), std::string::npos)
+            << rec.detail;
+}
+
+TEST(Campaign, TokenDupTripsConservationChecker)
+{
+    CampaignResult r = campaignOn("saxpy", "tokendup", 8, 3);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(countOf(r, Outcome::Detected), 8u);
+    for (const InjectionRecord &rec : r.records)
+        EXPECT_EQ(rec.detail, "token-conservation");
+}
+
+TEST(Campaign, StuckValidNeverHangsOrCorrupts)
+{
+    // Firing early can violate causality (Detected) or be harmless
+    // (Masked) — but the consumer still gets its value, so no SDC and
+    // no deadlock.
+    CampaignResult r = campaignOn("saxpy", "stuckvalid", 12, 5);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(countOf(r, Outcome::SDC), 0u);
+    EXPECT_EQ(countOf(r, Outcome::Hang), 0u);
+    EXPECT_EQ(countOf(r, Outcome::Masked) + countOf(r, Outcome::Detected),
+              12u);
+}
+
+TEST(Campaign, LostSpawnHangsTaskParallelWorkload)
+{
+    CampaignResult r = campaignOn("fib", "lostspawn", 4, 2);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(countOf(r, Outcome::Hang), 4u);
+}
+
+TEST(Campaign, DramTimeoutRetryBudgetSplitsOutcome)
+{
+    // gemm misses in the L1, so DRAM timeouts have sites to hit.
+    // Within the retry budget the backoff only costs cycles (Masked);
+    // past it the port checker raises a Detected timeout.
+    CampaignResult over = campaignOn("gemm", "dramtimeout:attempts=6", 3, 9);
+    ASSERT_TRUE(over.ok) << over.error;
+    EXPECT_EQ(countOf(over, Outcome::Detected), 3u);
+    for (const InjectionRecord &rec : over.records)
+        EXPECT_EQ(rec.detail, "dram-timeout");
+
+    CampaignResult under =
+        campaignOn("gemm", "dramtimeout:attempts=1", 3, 9);
+    ASSERT_TRUE(under.ok) << under.error;
+    EXPECT_EQ(countOf(under, Outcome::Masked), 3u);
+    // Retries are latency, not corruption: never SDC.
+    EXPECT_EQ(countOf(under, Outcome::SDC), 0u);
+}
+
+TEST(Campaign, DataFlipProducesSdc)
+{
+    CampaignResult r = campaignOn("saxpy", "dataflip", 12, 4);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(countOf(r, Outcome::Hang), 0u);
+    // Flipping a live value must corrupt at least one run silently.
+    EXPECT_GT(countOf(r, Outcome::SDC), 0u);
+}
+
+TEST(Campaign, MemFlipOnOutputWordIsSilent)
+{
+    CampaignResult r = campaignOn("saxpy", "memflip", 10, 6);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(countOf(r, Outcome::Hang), 0u);
+    uint64_t total = 0;
+    for (uint64_t c : r.histogram)
+        total += c;
+    EXPECT_EQ(total, 10u);
+}
+
+// --------------------------------------------------------------- campaign
+
+TEST(Campaign, DeterministicAcrossRuns)
+{
+    CampaignResult a = campaignOn("saxpy", "mix", 10, 11);
+    CampaignResult b = campaignOn("saxpy", "mix", 10, 11);
+    ASSERT_TRUE(a.ok && b.ok) << a.error << b.error;
+    EXPECT_EQ(a.histogram, b.histogram);
+    ASSERT_EQ(a.records.size(), b.records.size());
+    for (size_t i = 0; i < a.records.size(); ++i) {
+        EXPECT_EQ(a.records[i].outcome, b.records[i].outcome) << i;
+        EXPECT_EQ(a.records[i].cycles, b.records[i].cycles) << i;
+        EXPECT_EQ(a.records[i].plan.event, b.records[i].plan.event) << i;
+        EXPECT_EQ(a.records[i].detail, b.records[i].detail) << i;
+    }
+    EXPECT_EQ(a.toJson("saxpy", "mix", 10, 11),
+              b.toJson("saxpy", "mix", 10, 11));
+
+    // A different seed resolves different sites.
+    CampaignResult c = campaignOn("saxpy", "mix", 10, 12);
+    ASSERT_TRUE(c.ok);
+    bool any_differs = false;
+    for (size_t i = 0; i < c.records.size(); ++i)
+        any_differs |= c.records[i].plan.event != a.records[i].plan.event ||
+                       c.records[i].plan.kind != a.records[i].plan.kind;
+    EXPECT_TRUE(any_differs);
+}
+
+TEST(Campaign, HistogramSumsToRunsAndKindsAreConsistent)
+{
+    CampaignResult r = campaignOn("gemm", "mix", 15, 21);
+    ASSERT_TRUE(r.ok) << r.error;
+    uint64_t total = 0;
+    for (uint64_t c : r.histogram)
+        total += c;
+    EXPECT_EQ(total, 15u);
+    EXPECT_EQ(r.records.size(), 15u);
+    // by-kind rows partition the histogram.
+    std::array<uint64_t, kNumOutcomes> from_kinds{};
+    for (const auto &row : r.byKind)
+        for (size_t o = 0; o < kNumOutcomes; ++o)
+            from_kinds[o] += row[o];
+    EXPECT_EQ(from_kinds, r.histogram);
+}
+
+TEST(Campaign, JsonValidatesAndCarriesSchema)
+{
+    CampaignResult r = campaignOn("fib", "mix", 6, 13);
+    ASSERT_TRUE(r.ok) << r.error;
+    std::string json = r.toJson("fib", "mix", 6, 13);
+    std::string error;
+    EXPECT_TRUE(jsonValidate(json, &error)) << error;
+    EXPECT_NE(json.find("muir.resilience.campaign.v1"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"histogram\""), std::string::npos);
+    EXPECT_NE(json.find("\"injections\""), std::string::npos);
+}
+
+TEST(Campaign, PinnedSiteIsHonored)
+{
+    // Pin a site; every record must target that event.
+    workloads::Workload w = workloads::buildWorkload("saxpy");
+    auto accel = workloads::lowerBaseline(w);
+    // First resolve any auto site to learn a valid event id.
+    CampaignResult probe = campaignOn("saxpy", "tokendrop", 1, 1);
+    ASSERT_TRUE(probe.ok) << probe.error;
+    uint64_t event = probe.records[0].plan.event;
+
+    CampaignSpec spec;
+    std::string error;
+    ASSERT_TRUE(parseFaultSpec(
+        "tokendrop@" + std::to_string(event), spec.fault, &error));
+    spec.runs = 3;
+    spec.seed = 99;
+    CampaignResult r = runCampaign(
+        *accel, *w.module, [&](ir::MemoryImage &m) { w.bind(m); }, spec);
+    ASSERT_TRUE(r.ok) << r.error;
+    for (const InjectionRecord &rec : r.records)
+        EXPECT_EQ(rec.plan.event, event);
+}
+
+} // namespace muir::sim

@@ -119,6 +119,152 @@ TEST(Serialize, TextContainsStableDirectives)
     EXPECT_NE(text.find("root saxpy"), std::string::npos);
 }
 
+// ------------------------------------------------- recoverable errors
+
+TEST(SerializeErrors, EmptyInputReportsNoAccelerator)
+{
+    DeserializeResult r = deserializeOrError("", nullptr);
+    EXPECT_FALSE(r.ok());
+    EXPECT_NE(r.error.find("no accelerator"), std::string::npos)
+        << r.error;
+}
+
+TEST(SerializeErrors, ReportsLineNumbers)
+{
+    // Line 3 carries the malformed token.
+    std::string bad = "accelerator x\n"
+                      "task t kind=root tiles=1 queue=1 decoupled=0 "
+                      "jr=1 jw=1\n"
+                      "task u kind=leaf tiles=banana queue=1 decoupled=0 "
+                      "jr=1 jw=1\n"
+                      "root t\n";
+    DeserializeResult r = deserializeOrError(bad, nullptr);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.line, 3u) << r.error;
+}
+
+TEST(SerializeErrors, RejectsDuplicateTaskName)
+{
+    std::string bad = "accelerator x\n"
+                      "task t kind=root tiles=1 queue=1 decoupled=0 "
+                      "jr=1 jw=1\n"
+                      "task t kind=leaf tiles=1 queue=1 decoupled=0 "
+                      "jr=1 jw=1\n"
+                      "root t\n";
+    DeserializeResult r = deserializeOrError(bad, nullptr);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.line, 3u) << r.error;
+    EXPECT_NE(r.error.find("duplicate"), std::string::npos) << r.error;
+}
+
+TEST(SerializeErrors, RejectsUnendedBodyAndMissingRoot)
+{
+    std::string unended = "accelerator x\n"
+                          "task t kind=root tiles=1 queue=1 decoupled=0 "
+                          "jr=1 jw=1\n"
+                          "body t\n";
+    DeserializeResult r = deserializeOrError(unended, nullptr);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error.find("never ended"), std::string::npos) << r.error;
+
+    std::string rootless = "accelerator x\n"
+                           "task t kind=root tiles=1 queue=1 decoupled=0 "
+                           "jr=1 jw=1\n";
+    r = deserializeOrError(rootless, nullptr);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error.find("root"), std::string::npos) << r.error;
+}
+
+TEST(SerializeErrors, RecoverableDanglingReference)
+{
+    std::string bad = "accelerator x\n"
+                      "task t kind=root tiles=1 queue=1 decoupled=0 "
+                      "jr=1 jw=1\n"
+                      "body t\n"
+                      "  node 0 name=a kind=compute type=i32 op=add "
+                      "in=99:0,99:0\n"
+                      "end\nroot t\n";
+    DeserializeResult r = deserializeOrError(bad, nullptr);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error.find("dangling"), std::string::npos) << r.error;
+    EXPECT_EQ(r.line, 4u) << r.error;
+}
+
+/**
+ * Mutation corpus: corrupt a real serialized graph one line at a time
+ * — truncation, key mangling, dangling refs, duplicated lines, junk
+ * numbers — and require deserializeOrError to survive every variant
+ * (report an error or parse something; never crash). Run under the
+ * sanitizer job this doubles as a leak/UB probe of the parser.
+ */
+TEST(SerializeErrors, MutationCorpusNeverCrashes)
+{
+    for (const char *name : {"saxpy", "fib", "conv_t"}) {
+        Workload w = buildWorkload(name);
+        auto accel = lowerBaseline(w);
+        std::string text = serialize(*accel);
+        std::vector<std::string> lines = split(text, '\n');
+
+        auto mutate = [&](size_t victim,
+                          const std::function<void(std::string &)> &fn) {
+            std::string mutated;
+            for (size_t i = 0; i < lines.size(); ++i) {
+                std::string line = lines[i];
+                if (i == victim)
+                    fn(line);
+                mutated += line;
+                mutated += '\n';
+            }
+            DeserializeResult r =
+                deserializeOrError(mutated, w.module.get());
+            // Internal consistency: accel XOR error, line set on error.
+            if (r.ok()) {
+                EXPECT_TRUE(r.error.empty());
+            } else {
+                EXPECT_FALSE(r.error.empty());
+            }
+        };
+
+        for (size_t i = 0; i < lines.size(); ++i) {
+            if (lines[i].empty())
+                continue;
+            // Truncate mid-line.
+            mutate(i, [](std::string &l) { l = l.substr(0, l.size() / 2); });
+            // Mangle the first key separator.
+            mutate(i, [](std::string &l) {
+                size_t eq = l.find('=');
+                if (eq != std::string::npos)
+                    l[eq] = '~';
+            });
+            // Dangling reference.
+            mutate(i, [](std::string &l) {
+                size_t in = l.find("in=");
+                if (in != std::string::npos)
+                    l = l.substr(0, in) + "in=zzzdangling:0";
+            });
+            // Junk number in the first value.
+            mutate(i, [](std::string &l) {
+                size_t eq = l.find('=');
+                if (eq != std::string::npos)
+                    l = l.substr(0, eq + 1) + "0x!!" +
+                        l.substr(std::min(l.size(), eq + 3));
+            });
+            // Duplicate the line (duplicate names/ids/directives).
+            mutate(i, [&](std::string &l) { l = l + "\n" + lines[i]; });
+            // Drop the line entirely.
+            mutate(i, [](std::string &l) { l.clear(); });
+        }
+
+        // Guaranteed-malformed spot checks on this graph's own text.
+        DeserializeResult r =
+            deserializeOrError(text + "frobnicate y\n", w.module.get());
+        EXPECT_FALSE(r.ok());
+        EXPECT_NE(r.error.find("unknown directive"), std::string::npos);
+        r = deserializeOrError(text + text, w.module.get());
+        EXPECT_FALSE(r.ok()) << "duplicate accelerator must not parse";
+    }
+}
+
 TEST(SerializeDeathTest, RejectsDanglingReferences)
 {
     std::string bad = "accelerator x\n"

@@ -13,6 +13,7 @@
  * parameters — queue[:depth], tile[:n], localize[:maxkb], bank[:n],
  * fusion[:budget_x100], tensor.
  */
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -76,6 +77,18 @@ usage()
         "                        JSON timeline\n"
         "  --report-json <file>  write the full run report as JSON\n"
         "                        (graph, passes, cycles, stats, profile)\n"
+        "  --inject <spec>       µfit: inject faults; spec is\n"
+        "                        kind[@site][:bit=N][:edge=N]\n"
+        "                        [:attempts=N] with kind one of\n"
+        "                        tokendrop tokendup stuckvalid dataflip\n"
+        "                        memflip dramtimeout lostspawn lostsync\n"
+        "                        mix\n"
+        "  --campaign <N>        µfit: run N seeded injections and\n"
+        "                        print the outcome histogram\n"
+        "  --seed <S>            µfit: campaign seed (default 1)\n"
+        "  --campaign-json <f>   µfit: write the campaign results JSON\n"
+        "  --max-cycles <N>      arm the hang watchdog with a cycle\n"
+        "                        budget (also bounds campaign runs)\n"
         "  --emit-firrtl-stats   print circuit-level elaboration size\n"
         "  --quiet               suppress pass progress chatter\n");
 }
@@ -135,9 +148,27 @@ addPass(uopt::PassManager &pm, const std::string &spec)
     } else if (name == "tensor") {
         pm.add(std::make_unique<uopt::TensorWideningPass>());
     } else {
-        std::fprintf(stderr, "muirc: unknown pass '%s'\n", name.c_str());
+        std::fprintf(stderr,
+                     "muirc: unknown pass '%s' (valid: queue, tile, "
+                     "localize, bank, fusion, tensor)\n",
+                     name.c_str());
         return false;
     }
+    return true;
+}
+
+/** Strict uint64 parse for seeds/budgets (no 1<<20 cap). */
+bool
+parseU64Arg(const std::string &text, uint64_t &out)
+{
+    if (text.empty() || text[0] == '-' || text[0] == '+')
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+    if (errno != 0 || end == text.c_str() || *end != '\0')
+        return false;
+    out = v;
     return true;
 }
 
@@ -161,10 +192,13 @@ main(int argc, char **argv)
     std::string workload, passes, emit_chisel, emit_dot, emit_uir;
     std::string emit_verilog, save_graph, load_graph, trace_path;
     std::string lint_json, trace_json, report_json;
-    unsigned unroll = 1;
+    std::string inject_spec, campaign_json;
+    unsigned unroll = 1, campaign_runs = 0;
+    uint64_t campaign_seed = 1, max_cycles = 0;
     bool report = false, stats = false, firrtl_stats = false;
     bool lint = false, werror = false;
     bool profile = false, critical_path = false;
+    bool watchdog = false;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -217,6 +251,35 @@ main(int argc, char **argv)
             trace_json = next();
         } else if (arg == "--report-json") {
             report_json = next();
+        } else if (arg == "--inject") {
+            inject_spec = next();
+        } else if (arg == "--campaign") {
+            const char *v = next();
+            if (!parsePositive(v, campaign_runs)) {
+                std::fprintf(stderr,
+                             "muirc: --campaign '%s' is not a positive "
+                             "integer\n", v);
+                return 2;
+            }
+        } else if (arg == "--seed") {
+            const char *v = next();
+            if (!parseU64Arg(v, campaign_seed)) {
+                std::fprintf(stderr,
+                             "muirc: --seed '%s' is not an unsigned "
+                             "integer\n", v);
+                return 2;
+            }
+        } else if (arg == "--campaign-json") {
+            campaign_json = next();
+        } else if (arg == "--max-cycles") {
+            const char *v = next();
+            if (!parseU64Arg(v, max_cycles) || max_cycles == 0) {
+                std::fprintf(stderr,
+                             "muirc: --max-cycles '%s' is not a "
+                             "positive integer\n", v);
+                return 2;
+            }
+            watchdog = true;
         } else if (arg == "--report") {
             report = true;
         } else if (arg == "--stats") {
@@ -251,6 +314,16 @@ main(int argc, char **argv)
         return 2;
     }
 
+    // Validate the workload name up front so a typo gets a one-line
+    // diagnostic with the valid choices instead of a fatal abort.
+    auto names = workloads::workloadNames();
+    if (std::find(names.begin(), names.end(), workload) == names.end()) {
+        std::fprintf(stderr,
+                     "muirc: unknown workload '%s' (valid: %s)\n",
+                     workload.c_str(), join(names, ", ").c_str());
+        return 2;
+    }
+
     auto w = workloads::buildWorkload(workload);
     if (unroll > 1) {
         ir::UnrollOptions uopts;
@@ -263,13 +336,19 @@ main(int argc, char **argv)
     if (!load_graph.empty()) {
         std::ifstream in(load_graph);
         if (!in) {
-            std::fprintf(stderr, "muirc: cannot read %s\n",
+            std::fprintf(stderr, "muirc: cannot read input file '%s'\n",
                          load_graph.c_str());
-            return 1;
+            return 2;
         }
         std::stringstream buf;
         buf << in.rdbuf();
-        accel = uir::deserialize(buf.str(), w.module.get());
+        auto parsed = uir::deserializeOrError(buf.str(), w.module.get());
+        if (!parsed.ok()) {
+            std::fprintf(stderr, "muirc: %s:%u: %s\n", load_graph.c_str(),
+                         parsed.line, parsed.error.c_str());
+            return 1;
+        }
+        accel = std::move(parsed.accel);
     } else {
         accel = workloads::lowerBaseline(w);
     }
@@ -317,11 +396,60 @@ main(int argc, char **argv)
     workloads::RunOptions ropts;
     ropts.profile = want_profile;
     ropts.trace = want_trace;
+    ropts.watchdog = watchdog;
+    ropts.maxCycles = max_cycles;
     auto run = workloads::runOn(w, *accel, ropts);
+    if (watchdog && run.verdict.hang.tripped()) {
+        std::fprintf(stderr, "muirc: %s",
+                     run.verdict.hang.render().c_str());
+        return 1;
+    }
     if (!run.check.empty()) {
         std::fprintf(stderr, "muirc: FUNCTIONAL CHECK FAILED: %s\n",
                      run.check.c_str());
         return 1;
+    }
+
+    // µfit campaign: N seeded injections classified against the golden
+    // run, reported as an outcome histogram (+ optional JSON).
+    if (!inject_spec.empty()) {
+        sim::CampaignSpec cspec;
+        std::string spec_error;
+        if (!sim::parseFaultSpec(inject_spec, cspec.fault, &spec_error)) {
+            std::fprintf(stderr, "muirc: --inject: %s\n",
+                         spec_error.c_str());
+            return 2;
+        }
+        cspec.runs = campaign_runs ? campaign_runs : 1;
+        cspec.seed = campaign_seed;
+        cspec.maxCycles = max_cycles;
+        auto campaign = sim::runCampaign(
+            *accel, *w.module,
+            [&](ir::MemoryImage &m) { w.bind(m); }, cspec);
+        if (!campaign.ok) {
+            std::fprintf(stderr, "muirc: campaign: %s\n",
+                         campaign.error.c_str());
+            return 1;
+        }
+        AsciiTable t({"outcome", "runs", "share"});
+        for (size_t o = 0; o < sim::kNumOutcomes; ++o)
+            t.addRow({sim::outcomeName(static_cast<sim::Outcome>(o)),
+                      fmt("%llu", (unsigned long long)
+                                      campaign.histogram[o]),
+                      fmt("%.1f%%", 100.0 * campaign.histogram[o] /
+                                        cspec.runs)});
+        std::printf("%s",
+                    t.render(fmt("µfit campaign: %s, %u runs, seed %llu",
+                                 inject_spec.c_str(), cspec.runs,
+                                 (unsigned long long)cspec.seed)
+                                 .c_str())
+                        .c_str());
+        if (!campaign_json.empty() &&
+            !writeFile(campaign_json,
+                       campaign.toJson(workload, inject_spec, cspec.runs,
+                                       cspec.seed)))
+            return 1;
+        return 0;
     }
 
     if (!trace_path.empty()) {
