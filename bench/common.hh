@@ -17,6 +17,7 @@
 #include <sstream>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "cost/cost_model.hh"
@@ -154,9 +155,30 @@ class BenchJson
     /** Record one design point under a figure-local config label. */
     void add(const std::string &config, const Design &d)
     {
-        rows_.push_back({config, d.workload.name, d.run.cycles,
-                         d.run.firings, d.synth.fpgaMhz, d.timeUs(),
-                         d.run.stats.toJson()});
+        Row r;
+        r.config = config;
+        r.workload = d.workload.name;
+        r.cycles = d.run.cycles;
+        r.firings = d.run.firings;
+        r.fpgaMhz = d.synth.fpgaMhz;
+        r.timeUs = d.timeUs();
+        r.statsJson = d.run.stats.toJson();
+        rows_.push_back(std::move(r));
+    }
+
+    /**
+     * Record a row that isn't a simulated design point — comparison
+     * baselines (HLS/ARM models) and counted deltas (Table 4's
+     * node/edge counts). Values land under a "metrics" object.
+     */
+    void add(const std::string &config, const std::string &workload,
+             const std::vector<std::pair<std::string, double>> &metrics)
+    {
+        Row r;
+        r.config = config;
+        r.workload = workload;
+        r.metrics = metrics;
+        rows_.push_back(std::move(r));
     }
 
     /** Write BENCH_<figure>.json; returns the path written. */
@@ -171,11 +193,18 @@ class BenchJson
             w.beginObject();
             w.field("config", r.config);
             w.field("workload", r.workload);
-            w.field("cycles", r.cycles);
-            w.field("firings", r.firings);
-            w.field("fpga_mhz", r.fpgaMhz);
-            w.field("time_us", r.timeUs);
-            w.rawField("stats", r.statsJson);
+            if (r.metrics.empty()) {
+                w.field("cycles", r.cycles);
+                w.field("firings", r.firings);
+                w.field("fpga_mhz", r.fpgaMhz);
+                w.field("time_us", r.timeUs);
+                w.rawField("stats", r.statsJson);
+            } else {
+                w.beginObject("metrics");
+                for (const auto &[key, v] : r.metrics)
+                    w.field(key, v);
+                w.end();
+            }
             w.end();
         }
         w.end();
@@ -194,11 +223,13 @@ class BenchJson
     {
         std::string config;
         std::string workload;
-        uint64_t cycles;
-        uint64_t firings;
-        double fpgaMhz;
-        double timeUs;
+        uint64_t cycles = 0;
+        uint64_t firings = 0;
+        double fpgaMhz = 0.0;
+        double timeUs = 0.0;
         std::string statsJson;
+        /** Non-empty marks a metrics row (ordered, as emitted). */
+        std::vector<std::pair<std::string, double>> metrics;
     };
 
     std::string figure_;

@@ -25,6 +25,7 @@ main()
 
     AsciiTable table({"Bench", "uIR cyc", "uIR MHz", "HLS cyc",
                       "HLS MHz", "uIR/HLS time", "winner"});
+    BenchJson json("fig09_vs_hls");
     for (const auto &name : benches) {
         Design d = makeDesign(name);
         baselines::HlsOptions opts;
@@ -34,6 +35,12 @@ main()
             d.workload.floatInputs, d.workload.intInputs,
             d.synth.fpgaMhz, opts);
         double norm = d.timeUs() / hls.timeUs();
+        json.add("uir", d);
+        json.add("hls", name,
+                 {{"cycles", double(hls.cycles)},
+                  {"mhz", hls.mhz},
+                  {"time_us", hls.timeUs()},
+                  {"uir_time_norm", norm}});
         table.addRow({name, fmt("%llu",
                                 (unsigned long long)d.run.cycles),
                       fmt("%.0f", d.synth.fpgaMhz),
@@ -47,5 +54,6 @@ main()
                             "exe, HLS = 1; < 1 µIR wins — paper: µIR "
                             "wins except where HLS streams)")
                     .c_str());
+    std::printf("wrote %s\n", json.write().c_str());
     return 0;
 }

@@ -15,6 +15,7 @@ main()
     QuietLogs quiet;
     AsciiTable table({"Bench", "base cyc", "fused cyc", "norm exe",
                       "chains", "ops fused"});
+    BenchJson json("fig11_op_fusion");
     // Pass 1 (task queuing) always precedes fusion in the paper's
     // pipeline (Figure 8); both sides get it so the delta isolates
     // Pass 5.
@@ -36,6 +37,11 @@ main()
             chains = pass.changes().get("chains.fused");
             ops = pass.changes().get("ops.fused");
         }
+        json.add("queue", base);
+        json.add("queue+fusion", fused);
+        json.add("fusion_counters", name,
+                 {{"chains_fused", double(chains)},
+                  {"ops_fused", double(ops)}});
         table.addRow({name,
                       fmt("%llu", (unsigned long long)base.run.cycles),
                       fmt("%llu", (unsigned long long)fused.run.cycles),
@@ -50,5 +56,6 @@ main()
                             "(baseline = 1, lower is better — paper: "
                             "0.6-0.85)")
                     .c_str());
+    std::printf("wrote %s\n", json.write().c_str());
     return 0;
 }

@@ -30,6 +30,7 @@ main()
 
     AsciiTable table({"Bench", "scalar cyc", "tensor cyc", "norm exe",
                       "speedup"});
+    BenchJson json("fig15_tensor_ops");
     // Both sides are already queued, localized, and fused (passes
     // 1/3/5), so the delta isolates the tensor function units.
     for (const Pair &p : pairs) {
@@ -46,6 +47,8 @@ main()
         });
         double norm =
             double(tensor.run.cycles) / double(scalar.run.cycles);
+        json.add("scalar", scalar);
+        json.add("tensor", tensor);
         table.addRow({p.label,
                       fmt("%llu", (unsigned long long)scalar.run.cycles),
                       fmt("%llu", (unsigned long long)tensor.run.cycles),
@@ -57,5 +60,6 @@ main()
                             "scalar twins (normalized exe, scalar = 1 "
                             "— paper: 0.125-0.25)")
                     .c_str());
+    std::printf("wrote %s\n", json.write().c_str());
     return 0;
 }

@@ -16,6 +16,7 @@ main()
 {
     QuietLogs quiet;
     AsciiTable table({"Bench", "1B cyc", "2B", "4B", "4B misses"});
+    BenchJson json("fig16_cache_banking");
     // Banking is measured on the pipelined design (passes 1+5
     // applied): only a fast iteration rate generates enough parallel
     // accesses for bank-level parallelism to matter.
@@ -26,6 +27,7 @@ main()
     for (const std::string name :
          {"gemm", "fft", "2mm", "3mm", "saxpy", "conv"}) {
         Design base = makeDesign(name, piped);
+        json.add("1B", base);
         std::vector<std::string> row{
             name, fmt("%llu", (unsigned long long)base.run.cycles)};
         uint64_t misses4 = 0;
@@ -36,6 +38,7 @@ main()
                     banks, /*bank_scratchpads=*/false,
                     /*bank_caches=*/true));
             });
+            json.add(fmt("%uB", banks), d);
             row.push_back(
                 ratio(double(d.run.cycles) / double(base.run.cycles)));
             if (banks == 4)
@@ -50,5 +53,6 @@ main()
                             "(normalized exe, 1 bank = 1 — paper: "
                             "GEMM/FFT gain, 2MM/3MM flat)")
                     .c_str());
+    std::printf("wrote %s\n", json.write().c_str());
     return 0;
 }

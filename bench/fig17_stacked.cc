@@ -22,6 +22,7 @@ main()
 
     AsciiTable table({"Bench", "stack", "base cyc", "opt cyc",
                       "norm exe", "speedup"});
+    BenchJson json("fig17_stacked");
     auto runGroup = [&](const std::vector<std::string> &names,
                         bool is_cilk) {
         for (const auto &name : names) {
@@ -39,6 +40,9 @@ main()
             });
             double norm =
                 double(opt.run.cycles) / double(base.run.cycles);
+            json.add("baseline", base);
+            json.add(is_cilk ? "bank+fuse+tile" : "bank+local+fuse",
+                     opt);
             table.addRow(
                 {name, is_cilk ? "bank+fuse+tile" : "bank+local+fuse",
                  fmt("%llu", (unsigned long long)base.run.cycles),
@@ -55,5 +59,6 @@ main()
                             "(normalized exe, baseline = 1 — paper: "
                             "0.24-0.83)")
                     .c_str());
+    std::printf("wrote %s\n", json.write().c_str());
     return 0;
 }

@@ -23,6 +23,7 @@ main()
 
     AsciiTable table({"Bench", "accel cyc", "MHz", "accel us", "ARM cyc",
                       "ARM us", "speedup"});
+    BenchJson json("fig18_vs_arm");
     for (const auto &name : benches) {
         bool tensor = name == "2mm_t" || name == "conv_t";
         bool cilk = name == "img_scale";
@@ -40,6 +41,11 @@ main()
             *d.workload.module, d.workload.kernel,
             d.workload.floatInputs, d.workload.intInputs);
         double speedup = arm.timeUs() / d.timeUs();
+        json.add("accel", d);
+        json.add("arm_a9", name,
+                 {{"cycles", double(arm.cycles)},
+                  {"time_us", arm.timeUs()},
+                  {"accel_speedup", speedup}});
         table.addRow({name,
                       fmt("%llu", (unsigned long long)d.run.cycles),
                       fmt("%.0f", d.synth.fpgaMhz),
@@ -53,5 +59,6 @@ main()
                             "(speedup > 1 means µIR wins — paper: "
                             "2-17x, tensor kernels highest)")
                     .c_str());
+    std::printf("wrote %s\n", json.write().c_str());
     return 0;
 }

@@ -15,9 +15,20 @@ main()
     QuietLogs quiet;
     AsciiTable table({"Bench", "Suite", "MHz", "mW", "ALMs", "Reg.",
                       "DSP", "area", "asic mW", "GHz"});
+    BenchJson json("table2_baseline_synthesis");
     std::string last_suite;
     for (const auto &name : workloads::workloadNames()) {
         Design d = makeDesign(name);
+        json.add("baseline", d);
+        json.add("synthesis", name,
+                 {{"fpga_mhz", d.synth.fpgaMhz},
+                  {"fpga_mw", d.synth.fpgaMw},
+                  {"alms", d.synth.alms},
+                  {"regs", d.synth.regs},
+                  {"dsps", double(d.synth.dsps)},
+                  {"asic_kum2", d.synth.asicKum2},
+                  {"asic_mw", d.synth.asicMw},
+                  {"asic_ghz", d.synth.asicGhz}});
         std::string suite =
             workloads::suiteName(d.workload.suite);
         if (!last_suite.empty() && suite != last_suite)
@@ -44,5 +55,6 @@ main()
                                   " — paper shape: 200-500MHz FPGA, "
                                   "1.66-2.5GHz ASIC, Cilk lowest MHz")
                           .c_str());
+    std::printf("wrote %s\n", json.write().c_str());
     return 0;
 }

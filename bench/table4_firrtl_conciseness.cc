@@ -54,10 +54,20 @@ main()
                       "FIRRTL dN", "FIRRTL dE"});
     AsciiTable sizes({"Bench", "uIR nodes", "FIRRTL nodes",
                       "FIRRTL/uIR"});
+    BenchJson json("table4_firrtl_conciseness");
+    auto record = [&](const std::string &name,
+                      const std::string &transform, const Delta &d) {
+        json.add(transform, name,
+                 {{"uir_nodes_changed", double(d.uirNodes)},
+                  {"uir_edges_changed", double(d.uirEdges)},
+                  {"firrtl_nodes_changed", double(d.firNodes)},
+                  {"firrtl_edges_changed", double(d.firEdges)}});
+    };
     for (const std::string name : {"saxpy", "stencil", "img_scale"}) {
         Delta tile = measure(name, [](uopt::PassManager &pm) {
             return pm.add(std::make_unique<uopt::ExecutionTilingPass>(2));
         });
+        record(name, "exec_tile_2", tile);
         table.addRow({name, "Exec tile 1->2",
                       fmt("%llu", (unsigned long long)tile.uirNodes),
                       fmt("%llu", (unsigned long long)tile.uirEdges),
@@ -67,6 +77,7 @@ main()
             return pm.add(
                 std::make_unique<uopt::MemoryLocalizationPass>());
         });
+        record(name, "add_srams", sram);
         table.addRow({name, "Add SRAMs",
                       fmt("%llu", (unsigned long long)sram.uirNodes),
                       fmt("%llu", (unsigned long long)sram.uirEdges),
@@ -75,6 +86,7 @@ main()
         Delta fuse = measure(name, [](uopt::PassManager &pm) {
             return pm.add(std::make_unique<uopt::OpFusionPass>());
         });
+        record(name, "fused_op", fuse);
         table.addRow({name, "Fused operation",
                       fmt("%llu", (unsigned long long)fuse.uirNodes),
                       fmt("%llu", (unsigned long long)fuse.uirEdges),
@@ -85,6 +97,11 @@ main()
         auto w = workloads::buildWorkload(name);
         auto accel = workloads::lowerBaseline(w);
         rtl::FirrtlCircuit fir = rtl::lowerToFirrtl(*accel);
+        json.add("graph_sizes", name,
+                 {{"uir_nodes", double(accel->numNodes())},
+                  {"firrtl_nodes", double(fir.numNodes())},
+                  {"ratio", double(fir.numNodes()) /
+                                accel->numNodes()}});
         sizes.addRow({name, fmt("%u", accel->numNodes()),
                       fmt("%u", fir.numNodes()),
                       ratio(double(fir.numNodes()) /
@@ -99,5 +116,6 @@ main()
                           .render("Table 4 (right): total graph sizes "
                                   "(paper ratio: 8.4-12.4x)")
                           .c_str());
+    std::printf("wrote %s\n", json.write().c_str());
     return 0;
 }

@@ -1,0 +1,249 @@
+#include "gate/bench_gate.hh"
+
+#include <map>
+#include <sstream>
+
+#include "support/json.hh"
+#include "support/strings.hh"
+#include "support/table.hh"
+#include "uopt/pipeline.hh"
+#include "workloads/driver.hh"
+#include "workloads/workload.hh"
+
+namespace muir::gate
+{
+
+namespace
+{
+
+constexpr const char *kSchema = "muir.bench_gate.v1";
+
+std::string
+cellKey(const std::string &workload, const std::string &config)
+{
+    return workload + "/" + config;
+}
+
+/** The standard pipeline Figure 17's stacked results use per suite. */
+std::string
+standardPasses(const workloads::Workload &w)
+{
+    if (w.suite == workloads::Suite::Cilk)
+        return "queue,tile:4,bank:4,fusion";
+    if (w.usesTensor)
+        return "queue,localize,fusion,tensor";
+    return "queue,localize,bank:4,fusion";
+}
+
+/** Build, transform, perturb, and simulate one cell. */
+uint64_t
+measureCell(const GateConfig &config, const Perturbation &perturb,
+            std::string *error)
+{
+    auto w = workloads::buildWorkload(config.workload);
+    auto accel = workloads::lowerBaseline(w);
+    if (!config.passes.empty()) {
+        uopt::PassManager pm;
+        std::string pipe_error;
+        if (!uopt::buildPipeline(pm, config.passes, &pipe_error)) {
+            *error = config.workload + ": " + pipe_error;
+            return 0;
+        }
+        pm.run(*accel);
+    }
+    if (!perturb.structure.empty()) {
+        // Absent structures are fine: the perturbation names one
+        // structure but scratchpad/cache splits vary per suite, so it
+        // lands on the designs that actually have it.
+        if (uir::Structure *s =
+                accel->structureByName(perturb.structure))
+            s->setLatency(s->latency() + perturb.extraLatency);
+    }
+    auto run = workloads::runOn(w, *accel);
+    if (!run.check.empty()) {
+        *error = config.workload + " (" + config.config +
+                 "): functional check failed: " + run.check;
+        return 0;
+    }
+    return run.cycles;
+}
+
+} // namespace
+
+std::vector<GateConfig>
+standardConfigs()
+{
+    std::vector<GateConfig> configs;
+    for (const auto &name : workloads::workloadNames()) {
+        auto w = workloads::buildWorkload(name);
+        configs.push_back({name, "baseline", ""});
+        configs.push_back({name, "standard", standardPasses(w)});
+    }
+    return configs;
+}
+
+std::vector<GateRow>
+measureGate(const GateOptions &opts)
+{
+    std::vector<GateRow> rows;
+    for (const auto &config : standardConfigs()) {
+        if (!opts.only.empty() && config.workload != opts.only)
+            continue;
+        GateRow row;
+        row.config = config;
+        std::string error;
+        row.actual = measureCell(config, opts.perturb, &error);
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+std::string
+goldensJson(const std::vector<GateRow> &rows)
+{
+    std::ostringstream os;
+    JsonWriter jw(os);
+    jw.beginObject();
+    jw.field("schema", kSchema);
+    jw.beginArray("entries");
+    for (const auto &row : rows) {
+        jw.beginObject();
+        jw.field("workload", row.config.workload);
+        jw.field("config", row.config.config);
+        jw.field("passes", row.config.passes);
+        jw.field("cycles", row.actual);
+        jw.end();
+    }
+    jw.end();
+    jw.end();
+    os << "\n";
+    return os.str();
+}
+
+GateResult
+runGate(const std::string &goldens_json, const GateOptions &opts)
+{
+    GateResult result;
+    JsonValue goldens;
+    std::string parse_error;
+    if (!jsonParse(goldens_json, &goldens, &parse_error)) {
+        result.error = "goldens: " + parse_error;
+        return result;
+    }
+    const JsonValue *schema = goldens.get("schema");
+    if (schema == nullptr || schema->asString() != kSchema) {
+        result.error = std::string("goldens: expected schema ") +
+                       kSchema;
+        return result;
+    }
+    const JsonValue *entries = goldens.get("entries");
+    if (entries == nullptr || !entries->isArray()) {
+        result.error = "goldens: missing entries array";
+        return result;
+    }
+    std::map<std::string, uint64_t> expected;
+    for (const auto &e : entries->items) {
+        const JsonValue *wl = e.get("workload");
+        const JsonValue *config = e.get("config");
+        const JsonValue *cycles = e.get("cycles");
+        if (wl == nullptr || config == nullptr || cycles == nullptr) {
+            result.error = "goldens: entry missing "
+                           "workload/config/cycles";
+            return result;
+        }
+        expected[cellKey(wl->asString(), config->asString())] =
+            cycles->asU64();
+    }
+
+    result.rows = measureGate(opts);
+    std::map<std::string, bool> visited;
+    bool all_pass = true;
+    for (auto &row : result.rows) {
+        std::string key =
+            cellKey(row.config.workload, row.config.config);
+        auto it = expected.find(key);
+        if (it != expected.end()) {
+            row.haveGolden = true;
+            row.expected = it->second;
+            visited[key] = true;
+        }
+        all_pass = all_pass && row.pass();
+    }
+    // A full run must also exercise every golden: an entry nothing
+    // measures means the matrix and the goldens have drifted apart.
+    if (opts.only.empty())
+        for (const auto &[key, cycles] : expected)
+            if (!visited.count(key))
+                result.stale.push_back(key);
+    result.ok = all_pass && result.stale.empty();
+    return result;
+}
+
+std::string
+GateResult::renderTable() const
+{
+    std::ostringstream os;
+    if (!error.empty()) {
+        os << "bench gate: " << error << "\n";
+        return os.str();
+    }
+    AsciiTable t({"workload", "config", "golden", "actual", "delta"});
+    size_t failures = 0;
+    for (const auto &row : rows) {
+        if (row.pass())
+            continue;
+        ++failures;
+        t.addRow({row.config.workload, row.config.config,
+                  row.haveGolden
+                      ? fmt("%llu", (unsigned long long)row.expected)
+                      : "(missing)",
+                  fmt("%llu", (unsigned long long)row.actual),
+                  row.haveGolden
+                      ? fmt("%+lld", (long long)row.actual -
+                                         (long long)row.expected)
+                      : "n/a"});
+    }
+    if (failures > 0)
+        os << t.render("bench gate: cycle regressions vs goldens");
+    for (const auto &key : stale)
+        os << "bench gate: stale golden entry " << key
+           << " (no measured cell)\n";
+    os << fmt("bench gate: %zu config(s), %zu mismatch(es), %zu stale "
+              "golden(s) -- %s\n",
+              rows.size(), failures, stale.size(),
+              ok ? "PASS" : "FAIL");
+    return os.str();
+}
+
+std::string
+GateResult::toJson() const
+{
+    std::ostringstream os;
+    JsonWriter jw(os);
+    jw.beginObject();
+    jw.field("ok", ok);
+    if (!error.empty())
+        jw.field("error", error);
+    jw.beginArray("rows");
+    for (const auto &row : rows) {
+        jw.beginObject();
+        jw.field("workload", row.config.workload);
+        jw.field("config", row.config.config);
+        jw.field("passes", row.config.passes);
+        jw.field("golden_present", row.haveGolden);
+        jw.field("golden", row.expected);
+        jw.field("actual", row.actual);
+        jw.field("pass", row.pass());
+        jw.end();
+    }
+    jw.end();
+    jw.beginArray("stale");
+    for (const auto &key : stale)
+        jw.value(key);
+    jw.end();
+    jw.end();
+    os << "\n";
+    return os.str();
+}
+
+} // namespace muir::gate

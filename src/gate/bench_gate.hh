@@ -1,0 +1,103 @@
+/**
+ * @file
+ * μscope bench gate — the perf-regression observatory's CI tripwire.
+ * Replays every built-in workload under two deterministic configs
+ * (the untransformed baseline and the suite's standard μopt pipeline)
+ * and compares achieved cycle counts exactly against a committed
+ * goldens file, so any scheduler / pass / cost-model change that moves
+ * performance shows up as a named, quantified delta instead of
+ * silently drifting. The simulator is deterministic, so exact compare
+ * is the right contract: every mismatch is a real behavior change.
+ *
+ * The library form exists so tests can drive the gate in-process
+ * (including injecting a deliberate latency regression and asserting
+ * the gate names the offending workloads); tools/muir_bench_gate.cc
+ * is the thin CLI used by CI.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace muir::gate
+{
+
+/** One (workload, pipeline) cell of the gate matrix. */
+struct GateConfig
+{
+    std::string workload;
+    /** Config label: "baseline" or "standard". */
+    std::string config;
+    /** μopt pipeline spec (uopt::buildPipeline syntax; "" = none). */
+    std::string passes;
+};
+
+/**
+ * The full gate matrix: for each built-in workload, the baseline plus
+ * the suite-appropriate standard pipeline (Cilk programs tile their
+ * spawned tasks, tensor workloads widen their datapaths, everything
+ * else localizes + banks).
+ */
+std::vector<GateConfig> standardConfigs();
+
+/** Deliberate latency regression, for proving the gate trips. */
+struct Perturbation
+{
+    /** Structure name to slow down ("" = none). */
+    std::string structure;
+    /** Extra cycles added to its access latency. */
+    unsigned extraLatency = 0;
+};
+
+/** Optional knobs for one gate run. */
+struct GateOptions
+{
+    /** Restrict to one workload ("" = all). */
+    std::string only;
+    Perturbation perturb;
+};
+
+/** One measured cell, with its golden expectation when present. */
+struct GateRow
+{
+    GateConfig config;
+    uint64_t expected = 0;
+    uint64_t actual = 0;
+    /** False when the goldens file has no entry for this cell. */
+    bool haveGolden = false;
+
+    bool pass() const { return haveGolden && expected == actual; }
+};
+
+/** Outcome of one gate run. */
+struct GateResult
+{
+    /** True when every cell matched and no goldens went stale. */
+    bool ok = false;
+    /** Non-empty on input errors (unreadable/invalid goldens). */
+    std::string error;
+    std::vector<GateRow> rows;
+    /** Golden keys that no measured cell exercised (stale entries). */
+    std::vector<std::string> stale;
+
+    /** Mismatch rows as a readable delta table plus a verdict line. */
+    std::string renderTable() const;
+    /** Machine-readable form of the same result. */
+    std::string toJson() const;
+};
+
+/**
+ * Measure the gate matrix and compare against @p goldens_json (the
+ * committed bench/goldens/cycles.json text). Never throws: input
+ * problems come back in GateResult::error.
+ */
+GateResult runGate(const std::string &goldens_json,
+                   const GateOptions &opts = {});
+
+/** Measure the matrix without comparing (the --update path). */
+std::vector<GateRow> measureGate(const GateOptions &opts = {});
+
+/** Serialize measured rows as a goldens file (schema v1). */
+std::string goldensJson(const std::vector<GateRow> &rows);
+
+} // namespace muir::gate

@@ -4,6 +4,8 @@
 #include <bit>
 #include <sstream>
 
+#include "sim/timeline.hh"
+
 #include "support/json.hh"
 #include "support/logging.hh"
 #include "support/strings.hh"
@@ -403,7 +405,8 @@ profileJson(const ProfileResult &profile)
 
 std::string
 chromeTraceJson(const std::vector<TimingTraceRow> &rows,
-                const ProfileCollector &collector)
+                const ProfileCollector &collector,
+                const Timeline *timeline)
 {
     std::ostringstream os;
     JsonWriter w(os, /*pretty=*/false);
@@ -421,28 +424,38 @@ chromeTraceJson(const std::vector<TimingTraceRow> &rows,
     w.end();
     w.end();
 
-    std::map<std::pair<const uir::Task *, uint32_t>, int> tids;
+    // Assign track ids by (task name, tile) — never by pointer or by
+    // first appearance — and emit every thread-name record before any
+    // slice, so the byte stream is identical run to run.
+    std::map<std::pair<std::string, uint32_t>, int> tids;
+    for (const TimingTraceRow &row : rows) {
+        if (!row.node)
+            continue; // synthetic completion marker
+        const EventCost &c = collector.events.at(row.event);
+        tids.emplace(
+            std::make_pair(row.node->parent()->name(), c.tile), 0);
+    }
+    int next_tid = 0;
+    for (auto &[key, tid] : tids) {
+        tid = ++next_tid;
+        w.beginObject();
+        w.field("name", "thread_name");
+        w.field("ph", "M");
+        w.field("pid", 1);
+        w.field("tid", tid);
+        w.beginObject("args");
+        w.field("name",
+                fmt("%s/tile%u", key.first.c_str(), key.second));
+        w.end();
+        w.end();
+    }
+
     for (const TimingTraceRow &row : rows) {
         if (!row.node)
             continue; // synthetic completion marker
         const EventCost &c = collector.events.at(row.event);
         const uir::Task *task = row.node->parent();
-        auto [it, fresh] = tids.emplace(
-            std::make_pair(task, c.tile),
-            static_cast<int>(tids.size()) + 1);
-        int tid = it->second;
-        if (fresh) {
-            w.beginObject();
-            w.field("name", "thread_name");
-            w.field("ph", "M");
-            w.field("pid", 1);
-            w.field("tid", tid);
-            w.beginObject("args");
-            w.field("name",
-                    fmt("%s/tile%u", task->name().c_str(), c.tile));
-            w.end();
-            w.end();
-        }
+        int tid = tids.at({task->name(), c.tile});
         w.beginObject();
         w.field("name", row.node->name());
         w.field("cat", uir::nodeKindName(row.node->kind()));
@@ -470,6 +483,8 @@ chromeTraceJson(const std::vector<TimingTraceRow> &rows,
         w.end();
         w.end();
     }
+    if (timeline)
+        writeTimelineCounterTracks(w, *timeline);
     w.end();
     w.end();
     return os.str();

@@ -109,6 +109,25 @@ struct EventCost
     uint64_t dataCritDep = kNoEvent;
     /** Execution tile the event issued on. */
     uint32_t tile = 0;
+
+    /**
+     * @name Time-resolved memory activity (μscope)
+     * Loads/stores additionally record where their structure/DRAM
+     * occupancy landed on the clock, so the timeline sampler can bin
+     * port beats and DRAM bytes per window without re-simulating.
+     * @{
+     */
+    /** Structure the access hit (nullptr for pure compute events). */
+    const uir::Structure *structure = nullptr;
+    /** Bank-port beats the access occupied, starting at start. */
+    uint32_t beats = 0;
+    /** Cycle the DRAM line refill began (cache misses only). */
+    uint64_t dramStart = 0;
+    /** Cycles the refill occupied the DRAM port (0 = no refill). */
+    uint64_t dramXfer = 0;
+    /** Bytes the refill moved (the structure's line size). */
+    uint32_t dramBytes = 0;
+    /** @} */
 };
 
 /**
@@ -215,13 +234,21 @@ std::string renderProfileText(const ProfileResult &profile,
 /** Serialize the profile as one JSON object. */
 std::string profileJson(const ProfileResult &profile);
 
+struct Timeline; // sim/timeline.hh
+
 /**
  * Chrome trace-event JSON ("traceEvents" array format): one complete
  * "X" event per scheduled node firing on a (task, tile) track, with
  * thread-name metadata. ts/dur are in cycles (load into
- * ui.perfetto.dev; 1 cycle displays as 1 µs).
+ * ui.perfetto.dev; 1 cycle displays as 1 µs). Output is byte-stable
+ * across runs: tracks are assigned and emitted in (task-name, tile)
+ * order, all metadata ahead of the slice events, so two traces of the
+ * same design diff cleanly. With @p timeline set, the μscope counter
+ * tracks (stall mix, DRAM bandwidth, utilization, occupancy) are
+ * appended after the slices.
  */
 std::string chromeTraceJson(const std::vector<TimingTraceRow> &rows,
-                            const ProfileCollector &collector);
+                            const ProfileCollector &collector,
+                            const Timeline *timeline = nullptr);
 
 } // namespace muir::sim

@@ -28,7 +28,7 @@ simulate(const uir::Accelerator &accel, ir::MemoryImage &mem,
         return result;
     }
     result.firings = exec.firings();
-    if (options.profile)
+    if (options.profile || options.timeline)
         result.profileData = std::make_shared<ProfileCollector>();
     FaultHarness harness;
     bool use_harness = options.fault || options.watchdog;
@@ -48,6 +48,10 @@ simulate(const uir::Accelerator &accel, ir::MemoryImage &mem,
     if (options.profile)
         result.profile = std::make_shared<ProfileResult>(buildProfile(
             accel, exec.ddg(), *result.profileData, result.cycles));
+    if (options.timeline)
+        result.timeline = std::make_shared<Timeline>(buildTimeline(
+            accel, exec.ddg(), *result.profileData, result.cycles,
+            options.timelineWindows));
     return result;
 }
 

@@ -12,6 +12,7 @@
 #include "sim/exec.hh"
 #include "sim/fault.hh"
 #include "sim/profile.hh"
+#include "sim/timeline.hh"
 #include "sim/timing.hh"
 
 namespace muir::sim
@@ -24,6 +25,10 @@ struct SimOptions
     bool profile = false;
     /** Keep the per-event timeline (needed for trace export). */
     bool trace = false;
+    /** Build the μscope windowed timeline (implies a collector). */
+    bool timeline = false;
+    /** Timeline window-count target (0 = auto ≈ 256). */
+    unsigned timelineWindows = 0;
     /** μfit fault plan to inject (nullptr = bit-identical baseline). */
     const FaultPlan *fault = nullptr;
     /** Arm the dynamic hang watchdog (cycle budget + drain detection). */
@@ -47,8 +52,10 @@ struct SimResult
     StatSet stats;
     /** μprof attribution (set when SimOptions::profile). */
     std::shared_ptr<ProfileResult> profile;
-    /** Raw per-event costs (set when SimOptions::profile). */
+    /** Raw per-event costs (set when profile or timeline). */
     std::shared_ptr<ProfileCollector> profileData;
+    /** μscope windowed telemetry (set when SimOptions::timeline). */
+    std::shared_ptr<Timeline> timeline;
     /** Per-event timeline (set when SimOptions::trace). */
     std::vector<TimingTraceRow> trace;
     /** μfit verdict (watchdog diagnosis, detector hits). */

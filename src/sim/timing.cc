@@ -302,8 +302,11 @@ scheduleDdg(const uir::Accelerator &accel, const Ddg &ddg,
                 start = claimPort(ss.bankPortFree[bank_idx], start,
                                   beats);
                 result.stats.inc("bank.wait_cycles", start - pre);
-                if (cost)
+                if (cost) {
                     cost->bankWait = start - pre;
+                    cost->structure = s;
+                    cost->beats = beats;
+                }
                 if (prof) {
                     auto &use = prof->structUse[s];
                     ++use.accesses;
@@ -336,6 +339,9 @@ scheduleDdg(const uir::Accelerator &accel, const Ddg &ddg,
                             cost->dramWait =
                                 dram_start - (start + access);
                             cost->missPenalty = s->missLatency();
+                            cost->dramStart = dram_start;
+                            cost->dramXfer = xfer;
+                            cost->dramBytes = s->lineBytes();
                         }
                         access = (dram_start - start) + s->missLatency();
                         if (plan && plan->kind == FaultKind::DramTimeout &&

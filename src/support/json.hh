@@ -3,9 +3,11 @@
  * Minimal JSON support: a streaming writer with automatic comma and
  * indentation management (used by the μprof report/trace emitters,
  * μlint's JSON renderer replacement candidates, and the bench
- * trajectory files) and a strict validator so tests can check that
- * everything we emit actually parses — the repo deliberately has no
- * external JSON dependency.
+ * trajectory files), a strict validator so tests can check that
+ * everything we emit actually parses, and a small document parser
+ * (JsonValue) so μscope tooling — muir-diff's run-report mode and the
+ * bench regression gate — can read the JSON we write back in. The
+ * repo deliberately has no external JSON dependency.
  */
 #pragma once
 
@@ -13,10 +15,13 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <ostream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace muir
@@ -425,6 +430,320 @@ jsonValidate(const std::string &text, std::string *error = nullptr)
 {
     detail::JsonChecker checker(text.data(), text.data() + text.size());
     return checker.parse(error);
+}
+
+/**
+ * A parsed JSON document node. Objects keep their members in source
+ * order (lookups are linear — our documents are small); numbers keep
+ * their lexeme so integer counters survive round-trips exactly.
+ */
+class JsonValue
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    /** Number lexeme (Kind::Number) or string payload (Kind::String). */
+    std::string text;
+    std::vector<JsonValue> items;
+    std::vector<std::pair<std::string, JsonValue>> members;
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const JsonValue *
+    get(const std::string &key) const
+    {
+        if (kind != Kind::Object)
+            return nullptr;
+        for (const auto &[k, v] : members)
+            if (k == key)
+                return &v;
+        return nullptr;
+    }
+
+    /** Nested lookup: get("profile")->get("cycles") without null checks. */
+    const JsonValue *
+    get(const std::string &key, const std::string &key2) const
+    {
+        const JsonValue *v = get(key);
+        return v ? v->get(key2) : nullptr;
+    }
+
+    uint64_t
+    asU64(uint64_t fallback = 0) const
+    {
+        if (kind != Kind::Number)
+            return fallback;
+        return std::strtoull(text.c_str(), nullptr, 10);
+    }
+
+    double
+    asDouble(double fallback = 0.0) const
+    {
+        if (kind != Kind::Number)
+            return fallback;
+        return std::strtod(text.c_str(), nullptr);
+    }
+
+    const std::string &
+    asString() const
+    {
+        static const std::string empty;
+        return kind == Kind::String ? text : empty;
+    }
+};
+
+namespace detail
+{
+
+/** Recursive-descent parser building a JsonValue tree. */
+class JsonParser
+{
+  public:
+    JsonParser(const char *p, const char *end) : p_(p), end_(end) {}
+
+    bool
+    parse(JsonValue *out, std::string *error)
+    {
+        bool ok = value(*out) && (ws(), p_ == end_);
+        if (!ok && error)
+            *error = err_.empty() ? "trailing garbage" : err_;
+        return ok;
+    }
+
+  private:
+    bool
+    fail(const char *what)
+    {
+        if (err_.empty())
+            err_ = std::string(what) + " at offset " +
+                   std::to_string(static_cast<size_t>(p_ - begin_));
+        return false;
+    }
+
+    void
+    ws()
+    {
+        while (p_ < end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' ||
+                             *p_ == '\r'))
+            ++p_;
+    }
+
+    bool
+    literal(const char *lit)
+    {
+        size_t n = std::char_traits<char>::length(lit);
+        if (static_cast<size_t>(end_ - p_) < n ||
+            std::char_traits<char>::compare(p_, lit, n) != 0)
+            return fail("bad literal");
+        p_ += n;
+        return true;
+    }
+
+    bool
+    value(JsonValue &out)
+    {
+        ws();
+        if (p_ >= end_)
+            return fail("unexpected end");
+        switch (*p_) {
+          case '{': return object(out);
+          case '[': return array(out);
+          case '"':
+            out.kind = JsonValue::Kind::String;
+            return string(out.text);
+          case 't':
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = true;
+            return literal("true");
+          case 'f':
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = false;
+            return literal("false");
+          case 'n':
+            out.kind = JsonValue::Kind::Null;
+            return literal("null");
+          default: return number(out);
+        }
+    }
+
+    bool
+    object(JsonValue &out)
+    {
+        out.kind = JsonValue::Kind::Object;
+        ++p_; // '{'
+        ws();
+        if (p_ < end_ && *p_ == '}') {
+            ++p_;
+            return true;
+        }
+        while (true) {
+            ws();
+            if (p_ >= end_ || *p_ != '"')
+                return fail("expected object key");
+            std::string key;
+            if (!string(key))
+                return false;
+            ws();
+            if (p_ >= end_ || *p_ != ':')
+                return fail("expected ':'");
+            ++p_;
+            out.members.emplace_back(std::move(key), JsonValue{});
+            if (!value(out.members.back().second))
+                return false;
+            ws();
+            if (p_ < end_ && *p_ == ',') {
+                ++p_;
+                continue;
+            }
+            if (p_ < end_ && *p_ == '}') {
+                ++p_;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    bool
+    array(JsonValue &out)
+    {
+        out.kind = JsonValue::Kind::Array;
+        ++p_; // '['
+        ws();
+        if (p_ < end_ && *p_ == ']') {
+            ++p_;
+            return true;
+        }
+        while (true) {
+            out.items.emplace_back();
+            if (!value(out.items.back()))
+                return false;
+            ws();
+            if (p_ < end_ && *p_ == ',') {
+                ++p_;
+                continue;
+            }
+            if (p_ < end_ && *p_ == ']') {
+                ++p_;
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    bool
+    string(std::string &out)
+    {
+        ++p_; // opening quote
+        while (p_ < end_) {
+            unsigned char c = *p_;
+            if (c == '"') {
+                ++p_;
+                return true;
+            }
+            if (c == '\\') {
+                ++p_;
+                if (p_ >= end_)
+                    return fail("bad escape");
+                char e = *p_;
+                switch (e) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  case 'n': out += '\n'; break;
+                  case 'r': out += '\r'; break;
+                  case 't': out += '\t'; break;
+                  case 'u': {
+                    unsigned code = 0;
+                    for (int k = 0; k < 4; ++k) {
+                        ++p_;
+                        if (p_ >= end_ ||
+                            !std::isxdigit(
+                                static_cast<unsigned char>(*p_)))
+                            return fail("bad \\u escape");
+                        code = code * 16 +
+                               (std::isdigit(
+                                    static_cast<unsigned char>(*p_))
+                                    ? unsigned(*p_ - '0')
+                                    : unsigned(
+                                          std::tolower(*p_) - 'a') +
+                                          10);
+                    }
+                    // Our emitters only \u-escape control chars; keep
+                    // anything beyond Latin-1 as '?' rather than grow
+                    // a UTF-8 encoder for data we never produce.
+                    out += code < 0x100 ? static_cast<char>(code) : '?';
+                    break;
+                  }
+                  default: return fail("bad escape");
+                }
+                ++p_;
+                continue;
+            }
+            if (c < 0x20)
+                return fail("raw control char in string");
+            out += static_cast<char>(c);
+            ++p_;
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    number(JsonValue &out)
+    {
+        const char *start = p_;
+        if (p_ < end_ && *p_ == '-')
+            ++p_;
+        while (p_ < end_ && std::isdigit(static_cast<unsigned char>(*p_)))
+            ++p_;
+        if (p_ < end_ && *p_ == '.') {
+            ++p_;
+            while (p_ < end_ &&
+                   std::isdigit(static_cast<unsigned char>(*p_)))
+                ++p_;
+        }
+        if (p_ < end_ && (*p_ == 'e' || *p_ == 'E')) {
+            ++p_;
+            if (p_ < end_ && (*p_ == '+' || *p_ == '-'))
+                ++p_;
+            while (p_ < end_ &&
+                   std::isdigit(static_cast<unsigned char>(*p_)))
+                ++p_;
+        }
+        if (p_ == start || (p_ == start + 1 && *start == '-'))
+            return fail("bad number");
+        out.kind = JsonValue::Kind::Number;
+        out.text.assign(start, p_);
+        return true;
+    }
+
+    const char *p_;
+    const char *end_;
+    const char *begin_ = p_;
+    std::string err_;
+};
+
+} // namespace detail
+
+/**
+ * Parse one complete JSON document into @p out.
+ * @return false (with @p error set) on malformed input.
+ */
+inline bool
+jsonParse(const std::string &text, JsonValue *out,
+          std::string *error = nullptr)
+{
+    *out = JsonValue{};
+    detail::JsonParser parser(text.data(), text.data() + text.size());
+    return parser.parse(out, error);
 }
 
 } // namespace muir

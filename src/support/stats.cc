@@ -1,5 +1,6 @@
 #include "support/stats.hh"
 
+#include <cmath>
 #include <sstream>
 
 #include "support/json.hh"
@@ -58,6 +59,50 @@ StatSet::dump() const
     for (const auto &[name, value] : counters_)
         os << name << " = " << value << "\n";
     return os.str();
+}
+
+uint64_t
+histogramPercentile(const std::map<uint64_t, uint64_t> &hist,
+                    double pct)
+{
+    uint64_t total = 0;
+    for (const auto &[value, count] : hist)
+        total += count;
+    if (total == 0)
+        return 0;
+    if (pct > 100.0)
+        pct = 100.0;
+    // Nearest-rank: the k-th smallest observation, k = ceil(p/100 · n),
+    // with k at least 1 so p→0 degenerates to the minimum.
+    uint64_t rank = static_cast<uint64_t>(
+        std::ceil(pct / 100.0 * static_cast<double>(total)));
+    if (rank < 1)
+        rank = 1;
+    uint64_t seen = 0;
+    for (const auto &[value, count] : hist) {
+        seen += count;
+        if (seen >= rank)
+            return value;
+    }
+    return hist.rbegin()->first;
+}
+
+uint64_t
+histogramP50(const std::map<uint64_t, uint64_t> &hist)
+{
+    return histogramPercentile(hist, 50.0);
+}
+
+uint64_t
+histogramP95(const std::map<uint64_t, uint64_t> &hist)
+{
+    return histogramPercentile(hist, 95.0);
+}
+
+uint64_t
+histogramP99(const std::map<uint64_t, uint64_t> &hist)
+{
+    return histogramPercentile(hist, 99.0);
 }
 
 std::string

@@ -78,4 +78,28 @@ class StatSet
     std::map<std::string, uint64_t> counters_;
 };
 
+/**
+ * @name Histogram percentiles
+ * The profiler and timeline keep distributions as value → count maps
+ * (queue depths, per-window counter levels). These helpers answer
+ * "what level is the p-th percentile observation at" without
+ * materializing the expanded sample vector.
+ * @{
+ */
+
+/**
+ * The smallest key whose cumulative count reaches @p pct percent of
+ * the total (nearest-rank percentile). @p pct is clamped to (0, 100];
+ * an empty histogram yields 0.
+ */
+uint64_t histogramPercentile(const std::map<uint64_t, uint64_t> &hist,
+                             double pct);
+
+/** Shorthands for the summary columns the timeline tables print. */
+uint64_t histogramP50(const std::map<uint64_t, uint64_t> &hist);
+uint64_t histogramP95(const std::map<uint64_t, uint64_t> &hist);
+uint64_t histogramP99(const std::map<uint64_t, uint64_t> &hist);
+
+/** @} */
+
 } // namespace muir

@@ -66,20 +66,32 @@ startsWith(const std::string &text, const std::string &prefix)
            std::memcmp(text.data(), prefix.data(), prefix.size()) == 0;
 }
 
+size_t
+displayWidth(const std::string &s)
+{
+    size_t width = 0;
+    for (unsigned char c : s)
+        if ((c & 0xC0) != 0x80)
+            ++width;
+    return width;
+}
+
 std::string
 padLeft(const std::string &s, size_t width)
 {
-    if (s.size() >= width)
+    size_t have = displayWidth(s);
+    if (have >= width)
         return s;
-    return std::string(width - s.size(), ' ') + s;
+    return std::string(width - have, ' ') + s;
 }
 
 std::string
 padRight(const std::string &s, size_t width)
 {
-    if (s.size() >= width)
+    size_t have = displayWidth(s);
+    if (have >= width)
         return s;
-    return s + std::string(width - s.size(), ' ');
+    return s + std::string(width - have, ' ');
 }
 
 std::string

@@ -53,6 +53,13 @@ std::string replaceAll(std::string text, const std::string &from,
 /** @return true if text starts with prefix. */
 bool startsWith(const std::string &text, const std::string &prefix);
 
+/**
+ * Terminal column count of a UTF-8 string: code points, not bytes
+ * (continuation bytes are free), so µscope's sparkline glyphs align
+ * in tables. Identical to size() for pure-ASCII text.
+ */
+size_t displayWidth(const std::string &s);
+
 /** Left-pad or right-pad to a column width (for ASCII tables). */
 std::string padLeft(const std::string &s, size_t width);
 std::string padRight(const std::string &s, size_t width);

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Textual pass-pipeline specs: the `queue:4,tile:2,fusion` syntax
+ * muirc always accepted, factored out so every driver that replays a
+ * pipeline — muirc, the μscope bench gate, future tools — parses the
+ * same language and stays in sync with the pass catalog. Specs are
+ * comma-separated pass names with an optional `:<arg>` parameter:
+ *
+ *   queue[:depth] tile[:n] localize[:maxkb] bank[:n]
+ *   fusion[:budget_x100] tensor
+ */
+#pragma once
+
+#include <string>
+
+#include "uopt/passes.hh"
+
+namespace muir::uopt
+{
+
+/**
+ * Append the passes of @p spec to @p pm. Arguments must be positive
+ * integers; unknown names, malformed args, and empty components are
+ * rejected.
+ * @return false with a one-line diagnostic in @p error (when set).
+ */
+bool buildPipeline(PassManager &pm, const std::string &spec,
+                   std::string *error = nullptr);
+
+} // namespace muir::uopt

@@ -30,6 +30,8 @@ runOn(const Workload &w, const uir::Accelerator &accel,
     sim::SimOptions sopts;
     sopts.profile = options.profile;
     sopts.trace = options.trace;
+    sopts.timeline = options.timeline;
+    sopts.timelineWindows = options.timelineWindows;
     sopts.watchdog = options.watchdog;
     sopts.maxCycles = options.maxCycles;
     sim::SimResult sim = sim::simulate(accel, mem, {}, sopts);
@@ -41,6 +43,7 @@ runOn(const Workload &w, const uir::Accelerator &accel,
     result.stats = std::move(sim.stats);
     result.profile = std::move(sim.profile);
     result.profileData = std::move(sim.profileData);
+    result.timeline = std::move(sim.timeline);
     result.trace = std::move(sim.trace);
     return result;
 }

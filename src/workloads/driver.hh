@@ -34,6 +34,8 @@ struct RunResult
     /** μprof results (set when RunOptions::profile). */
     std::shared_ptr<sim::ProfileResult> profile;
     std::shared_ptr<sim::ProfileCollector> profileData;
+    /** μscope windowed telemetry (set when RunOptions::timeline). */
+    std::shared_ptr<sim::Timeline> timeline;
     /** Per-event timeline (set when RunOptions::trace). */
     std::vector<sim::TimingTraceRow> trace;
     /** μfit verdict (set when RunOptions::watchdog). */
@@ -45,6 +47,10 @@ struct RunOptions
 {
     bool profile = false;
     bool trace = false;
+    /** Build the μscope windowed timeline. */
+    bool timeline = false;
+    /** Timeline window-count target (0 = auto ≈ 256). */
+    unsigned timelineWindows = 0;
     /** Arm the μfit hang watchdog (see RunResult::verdict). */
     bool watchdog = false;
     /** Watchdog cycle budget (0 = drain detection only). */

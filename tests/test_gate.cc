@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Bench-gate tests: the gate matrix covers every workload twice,
+ * fresh goldens gate green, an injected latency regression trips the
+ * gate and names the offending workloads, and malformed goldens are
+ * rejected as input errors rather than passes.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gate/bench_gate.hh"
+#include "support/json.hh"
+#include "workloads/workload.hh"
+
+namespace muir::gate
+{
+
+TEST(BenchGate, MatrixCoversEveryWorkloadTwice)
+{
+    auto configs = standardConfigs();
+    auto names = workloads::workloadNames();
+    EXPECT_EQ(configs.size(), names.size() * 2);
+    std::set<std::string> keys;
+    for (const auto &c : configs) {
+        EXPECT_TRUE(c.config == "baseline" || c.config == "standard")
+            << c.config;
+        EXPECT_EQ(c.passes.empty(), c.config == "baseline");
+        keys.insert(c.workload + "/" + c.config);
+    }
+    EXPECT_EQ(keys.size(), configs.size()) << "duplicate cells";
+}
+
+TEST(BenchGate, FreshGoldensGateGreen)
+{
+    GateOptions only_gemm;
+    only_gemm.only = "gemm";
+    auto rows = measureGate(only_gemm);
+    ASSERT_EQ(rows.size(), 2u);
+    for (const auto &row : rows)
+        EXPECT_GT(row.actual, 0u) << row.config.config;
+    GateResult result = runGate(goldensJson(rows), only_gemm);
+    EXPECT_TRUE(result.error.empty()) << result.error;
+    EXPECT_TRUE(result.ok) << result.renderTable();
+    std::string error;
+    EXPECT_TRUE(jsonValidate(result.toJson(), &error)) << error;
+}
+
+TEST(BenchGate, InjectedRegressionTripsAndNamesTheWorkload)
+{
+    GateOptions only_gemm;
+    only_gemm.only = "gemm";
+    auto goldens = goldensJson(measureGate(only_gemm));
+    // Slow the shared L1 by three cycles: cycle counts must move, the
+    // gate must fail, and the table must name the offender.
+    GateOptions perturbed = only_gemm;
+    perturbed.perturb.structure = "l1";
+    perturbed.perturb.extraLatency = 3;
+    GateResult result = runGate(goldens, perturbed);
+    EXPECT_TRUE(result.error.empty()) << result.error;
+    EXPECT_FALSE(result.ok);
+    bool named = false;
+    for (const auto &row : result.rows)
+        if (row.config.workload == "gemm" && !row.pass())
+            named = true;
+    EXPECT_TRUE(named);
+    EXPECT_NE(result.renderTable().find("gemm"), std::string::npos);
+    EXPECT_NE(result.renderTable().find("FAIL"), std::string::npos);
+}
+
+TEST(BenchGate, MalformedGoldensAreInputErrors)
+{
+    GateOptions only_gemm;
+    only_gemm.only = "gemm";
+    EXPECT_FALSE(runGate("not json at all", only_gemm).error.empty());
+    EXPECT_FALSE(
+        runGate("{\"schema\": \"wrong.v9\", \"entries\": []}", only_gemm)
+            .error.empty());
+    EXPECT_FALSE(
+        runGate("{\"schema\": \"muir.bench_gate.v1\"}", only_gemm)
+            .error.empty());
+}
+
+TEST(BenchGate, MissingGoldenEntryFails)
+{
+    GateOptions only_gemm;
+    only_gemm.only = "gemm";
+    GateResult result = runGate(
+        "{\"schema\": \"muir.bench_gate.v1\", \"entries\": []}",
+        only_gemm);
+    EXPECT_TRUE(result.error.empty()) << result.error;
+    EXPECT_FALSE(result.ok);
+    for (const auto &row : result.rows)
+        EXPECT_FALSE(row.haveGolden);
+    EXPECT_NE(result.renderTable().find("(missing)"),
+              std::string::npos);
+}
+
+} // namespace muir::gate

@@ -5,7 +5,9 @@
  */
 #include <gtest/gtest.h>
 
+#include <map>
 #include <sstream>
+#include <vector>
 
 #include "support/json.hh"
 #include "support/stats.hh"
@@ -208,6 +210,124 @@ TEST(Json, ValidateRejectsMalformedDocuments)
           "01a"}) {
         EXPECT_FALSE(jsonValidate(bad)) << bad;
     }
+}
+
+TEST(Stats, HistogramPercentilesNearestRank)
+{
+    // 1×10, 3×20, 6×30: p50 lands in the 30s, p10 in the 20s.
+    std::map<uint64_t, uint64_t> hist{{10, 1}, {20, 3}, {30, 6}};
+    EXPECT_EQ(histogramPercentile(hist, 10.0), 10u);
+    EXPECT_EQ(histogramPercentile(hist, 40.0), 20u);
+    EXPECT_EQ(histogramP50(hist), 30u);
+    EXPECT_EQ(histogramP95(hist), 30u);
+    EXPECT_EQ(histogramP99(hist), 30u);
+}
+
+TEST(Stats, HistogramPercentileEdgeCases)
+{
+    EXPECT_EQ(histogramPercentile({}, 50.0), 0u);
+    std::map<uint64_t, uint64_t> one{{7, 1}};
+    EXPECT_EQ(histogramPercentile(one, 0.0), 7u);
+    EXPECT_EQ(histogramPercentile(one, 100.0), 7u);
+    // Out-of-range percentiles clamp instead of walking off the end.
+    EXPECT_EQ(histogramPercentile(one, 250.0), 7u);
+    std::map<uint64_t, uint64_t> skew{{1, 99}, {1000, 1}};
+    EXPECT_EQ(histogramP50(skew), 1u);
+    EXPECT_EQ(histogramP99(skew), 1u);
+    EXPECT_EQ(histogramPercentile(skew, 100.0), 1000u);
+}
+
+TEST(Json, ParseRoundTripsWriterOutput)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("name", "µscope \"quoted\"");
+    w.field("cycles", uint64_t(18446744073709551615ull));
+    w.field("ratio", 0.25);
+    w.field("ok", true);
+    w.beginArray("list");
+    w.value(uint64_t(1));
+    w.value(uint64_t(2));
+    w.end();
+    w.beginObject("nested");
+    w.field("inner", int64_t(-5));
+    w.end();
+    w.end();
+    JsonValue v;
+    std::string error;
+    ASSERT_TRUE(jsonParse(os.str(), &v, &error)) << error;
+    ASSERT_TRUE(v.isObject());
+    EXPECT_EQ(v.get("name")->asString(), "µscope \"quoted\"");
+    // Exact u64 round-trip (the cycles fields the gate compares).
+    EXPECT_EQ(v.get("cycles")->asU64(), 18446744073709551615ull);
+    EXPECT_DOUBLE_EQ(v.get("ratio")->asDouble(), 0.25);
+    ASSERT_NE(v.get("list"), nullptr);
+    EXPECT_EQ(v.get("list")->items.size(), 2u);
+    EXPECT_EQ(v.get("nested", "inner")->asDouble(), -5.0);
+    // asString is typed: numbers fall back to empty, not the lexeme.
+    EXPECT_EQ(v.get("nested", "inner")->asString(), "");
+    EXPECT_EQ(v.get("no_such_key"), nullptr);
+}
+
+TEST(Json, ParsePreservesMemberOrderAndEscapes)
+{
+    JsonValue v;
+    std::string error;
+    ASSERT_TRUE(jsonParse("{\"b\": 1, \"a\": {\"x\": \"t\\nv\"}, "
+                          "\"c\": [null, false, 2.5e3]}",
+                          &v, &error))
+        << error;
+    ASSERT_EQ(v.members.size(), 3u);
+    EXPECT_EQ(v.members[0].first, "b");
+    EXPECT_EQ(v.members[1].first, "a");
+    EXPECT_EQ(v.get("a", "x")->asString(), "t\nv");
+    const JsonValue *list = v.get("c");
+    ASSERT_EQ(list->items.size(), 3u);
+    EXPECT_TRUE(list->items[0].isNull());
+    EXPECT_FALSE(list->items[1].boolean);
+    EXPECT_DOUBLE_EQ(list->items[2].asDouble(), 2500.0);
+}
+
+TEST(Json, ParseRejectsMalformedInput)
+{
+    JsonValue v;
+    std::string error;
+    EXPECT_FALSE(jsonParse("", &v, &error));
+    EXPECT_FALSE(jsonParse("{", &v, &error));
+    EXPECT_FALSE(jsonParse("{\"a\": }", &v, &error));
+    EXPECT_FALSE(jsonParse("[1, 2,]", &v, &error));
+    EXPECT_FALSE(jsonParse("{\"a\": 1} trailing", &v, &error));
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(Strings, DisplayWidthCountsCodePoints)
+{
+    EXPECT_EQ(displayWidth(""), 0u);
+    EXPECT_EQ(displayWidth("ascii"), 5u);
+    // Four sparkline blocks = 12 bytes but 4 columns.
+    EXPECT_EQ(displayWidth("▁▂▃█"), 4u);
+    EXPECT_EQ(padRight("▁▂", 4).size(), 8u);
+    EXPECT_EQ(displayWidth(padRight("▁▂", 4)), 4u);
+    EXPECT_EQ(padLeft("µ", 3), "  µ");
+}
+
+TEST(Table, PadsUnicodeCellsByDisplayWidth)
+{
+    AsciiTable t({"lane", "activity"});
+    t.addRow({"a", "▁▂▃▄▅▆▇█"});
+    t.addRow({"b", "ascii..."});
+    std::string out = t.render("");
+    // Both rows must render to the same terminal width.
+    std::vector<size_t> widths;
+    std::istringstream is(out);
+    std::string line;
+    while (std::getline(is, line))
+        if (!line.empty() && line[0] == '|')
+            widths.push_back(displayWidth(line));
+    ASSERT_GE(widths.size(), 3u);
+    for (size_t w : widths)
+        EXPECT_EQ(w, widths[0]);
 }
 
 TEST(Table, RendersAlignedRows)

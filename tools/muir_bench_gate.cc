@@ -1,0 +1,150 @@
+/**
+ * @file
+ * muir_bench_gate — CI perf gate over the bench goldens. Replays the
+ * full gate matrix (every built-in workload, baseline + standard
+ * pipeline) and exact-compares cycle counts against the committed
+ * goldens file.
+ *
+ *   muir_bench_gate --goldens bench/goldens/cycles.json
+ *   muir_bench_gate --goldens ... --update          # rewrite goldens
+ *   muir_bench_gate --goldens ... --only gemm
+ *   muir_bench_gate --goldens ... --perturb l1:3    # prove it trips
+ *
+ * Exit status: 0 all cells match, 1 regression (or stale golden),
+ * 2 usage/input error.
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "gate/bench_gate.hh"
+#include "support/logging.hh"
+#include "support/strings.hh"
+
+using namespace muir;
+
+namespace
+{
+
+void
+usage(FILE *out)
+{
+    std::fputs(
+        "usage: muir_bench_gate --goldens <cycles.json> [options]\n"
+        "  --update              measure and rewrite the goldens file\n"
+        "  --only <workload>     gate a single workload\n"
+        "  --perturb <s>:<n>     add n cycles to structure s's latency\n"
+        "                        (injects a regression; the gate must\n"
+        "                        trip)\n"
+        "  --json                machine-readable result\n"
+        "exit status: 0 pass, 1 regression, 2 usage/input error\n",
+        out);
+}
+
+bool
+parsePerturb(const std::string &spec, gate::Perturbation &out)
+{
+    size_t colon = spec.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 >= spec.size())
+        return false;
+    char *end = nullptr;
+    unsigned long extra = std::strtoul(spec.c_str() + colon + 1, &end,
+                                       10);
+    if (*end != '\0' || extra == 0 || extra > 1u << 20)
+        return false;
+    out.structure = spec.substr(0, colon);
+    out.extraLatency = static_cast<unsigned>(extra);
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    std::string goldens_path, only, perturb_spec;
+    bool update = false, json = false;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "muir_bench_gate: %s needs a "
+                                     "value\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--goldens") {
+            goldens_path = next();
+        } else if (arg == "--update") {
+            update = true;
+        } else if (arg == "--only") {
+            only = next();
+        } else if (arg == "--perturb") {
+            perturb_spec = next();
+        } else if (arg == "--json") {
+            json = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(stdout);
+            return 0;
+        } else {
+            std::fprintf(stderr, "muir_bench_gate: unknown option %s\n",
+                         arg.c_str());
+            usage(stderr);
+            return 2;
+        }
+    }
+    if (goldens_path.empty()) {
+        usage(stderr);
+        return 2;
+    }
+    gate::GateOptions opts;
+    opts.only = only;
+    if (!perturb_spec.empty() &&
+        !parsePerturb(perturb_spec, opts.perturb)) {
+        std::fprintf(stderr,
+                     "muir_bench_gate: --perturb wants "
+                     "<structure>:<extra-cycles>, got '%s'\n",
+                     perturb_spec.c_str());
+        return 2;
+    }
+
+    if (update) {
+        auto rows = gate::measureGate(opts);
+        std::ofstream out(goldens_path);
+        if (!out) {
+            std::fprintf(stderr, "muir_bench_gate: cannot write %s\n",
+                         goldens_path.c_str());
+            return 2;
+        }
+        out << gate::goldensJson(rows);
+        std::printf("muir_bench_gate: wrote %zu golden(s) to %s\n",
+                    rows.size(), goldens_path.c_str());
+        return 0;
+    }
+
+    std::ifstream in(goldens_path);
+    if (!in) {
+        std::fprintf(stderr, "muir_bench_gate: cannot read %s\n",
+                     goldens_path.c_str());
+        return 2;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    gate::GateResult result = gate::runGate(buf.str(), opts);
+    if (!result.error.empty()) {
+        std::fprintf(stderr, "muir_bench_gate: %s\n",
+                     result.error.c_str());
+        return 2;
+    }
+    if (json)
+        std::fputs(result.toJson().c_str(), stdout);
+    else
+        std::fputs(result.renderTable().c_str(), stdout);
+    return result.ok ? 0 : 1;
+}

@@ -38,7 +38,7 @@
 #include "uir/lint/lint.hh"
 #include "uir/printer.hh"
 #include "uir/serialize.hh"
-#include "uopt/passes.hh"
+#include "uopt/pipeline.hh"
 #include "workloads/driver.hh"
 #include "workloads/workload.hh"
 
@@ -73,6 +73,10 @@ usage()
         "  --trace <file>        write a per-event timeline CSV\n"
         "  --profile             µprof: print cycle/stall attribution\n"
         "  --critical-path       µprof: print the ranked critical path\n"
+        "  --timeline            µscope: print windowed telemetry\n"
+        "                        (utilization, DRAM, stall heatmap)\n"
+        "  --timeline-windows <n> timeline window-count target\n"
+        "                        (default auto, ~256)\n"
         "  --emit-trace-json <f> write a Chrome trace-event (Perfetto)\n"
         "                        JSON timeline\n"
         "  --report-json <file>  write the full run report as JSON\n"
@@ -109,51 +113,6 @@ parsePositive(const std::string &text, unsigned &out)
         v > 1u << 20)
         return false;
     out = static_cast<unsigned>(v);
-    return true;
-}
-
-bool
-addPass(uopt::PassManager &pm, const std::string &spec)
-{
-    auto parts = split(spec, ':');
-    const std::string &name = parts[0];
-    long arg = -1;
-    if (parts.size() > 1) {
-        unsigned v = 0;
-        if (parts.size() > 2 || !parsePositive(parts[1], v)) {
-            std::fprintf(stderr,
-                         "muirc: pass '%s': '%s' is not a positive "
-                         "integer\n",
-                         name.c_str(),
-                         spec.substr(name.size() + 1).c_str());
-            return false;
-        }
-        arg = static_cast<long>(v);
-    }
-    if (name == "queue") {
-        pm.add(std::make_unique<uopt::TaskQueuingPass>(
-            arg > 0 ? unsigned(arg) : 8));
-    } else if (name == "tile") {
-        pm.add(std::make_unique<uopt::ExecutionTilingPass>(
-            arg > 0 ? unsigned(arg) : 4));
-    } else if (name == "localize") {
-        pm.add(std::make_unique<uopt::MemoryLocalizationPass>(
-            arg > 0 ? unsigned(arg) : 16));
-    } else if (name == "bank") {
-        pm.add(std::make_unique<uopt::BankingPass>(
-            arg > 0 ? unsigned(arg) : 4));
-    } else if (name == "fusion") {
-        pm.add(std::make_unique<uopt::OpFusionPass>(
-            arg > 0 ? arg / 100.0 : 1.0));
-    } else if (name == "tensor") {
-        pm.add(std::make_unique<uopt::TensorWideningPass>());
-    } else {
-        std::fprintf(stderr,
-                     "muirc: unknown pass '%s' (valid: queue, tile, "
-                     "localize, bank, fusion, tensor)\n",
-                     name.c_str());
-        return false;
-    }
     return true;
 }
 
@@ -198,6 +157,8 @@ main(int argc, char **argv)
     bool report = false, stats = false, firrtl_stats = false;
     bool lint = false, werror = false;
     bool profile = false, critical_path = false;
+    bool timeline = false;
+    unsigned timeline_windows = 0;
     bool watchdog = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -247,6 +208,16 @@ main(int argc, char **argv)
             profile = true;
         } else if (arg == "--critical-path") {
             critical_path = true;
+        } else if (arg == "--timeline") {
+            timeline = true;
+        } else if (arg == "--timeline-windows") {
+            const char *v = next();
+            if (!parsePositive(v, timeline_windows)) {
+                std::fprintf(stderr,
+                             "muirc: --timeline-windows '%s' is not a "
+                             "positive integer\n", v);
+                return 2;
+            }
         } else if (arg == "--emit-trace-json") {
             trace_json = next();
         } else if (arg == "--report-json") {
@@ -359,13 +330,19 @@ main(int argc, char **argv)
     bool want_profile = profile || critical_path || !trace_json.empty() ||
                         !report_json.empty();
     bool want_trace = !trace_path.empty() || !trace_json.empty();
+    // µscope: the timeline rides along whenever a consumer exists —
+    // the terminal view, the trace counter tracks, or the report.
+    bool want_timeline = timeline || !trace_json.empty() ||
+                         !report_json.empty();
 
     uopt::PassManager pm;
     uint64_t baseline_cycles = uopt::kNoCycles;
     if (!passes.empty()) {
-        for (const auto &spec : split(passes, ','))
-            if (!addPass(pm, spec))
-                return 2;
+        std::string pipe_error;
+        if (!uopt::buildPipeline(pm, passes, &pipe_error)) {
+            std::fprintf(stderr, "muirc: %s\n", pipe_error.c_str());
+            return 2;
+        }
         if (!report_json.empty()) {
             // Probe cycles after every pass so the report can show
             // which pass bought which speedup.
@@ -396,6 +373,8 @@ main(int argc, char **argv)
     workloads::RunOptions ropts;
     ropts.profile = want_profile;
     ropts.trace = want_trace;
+    ropts.timeline = want_timeline;
+    ropts.timelineWindows = timeline_windows;
     ropts.watchdog = watchdog;
     ropts.maxCycles = max_cycles;
     auto run = workloads::runOn(w, *accel, ropts);
@@ -471,10 +450,13 @@ main(int argc, char **argv)
     }
     if (!trace_json.empty() &&
         !writeFile(trace_json,
-                   sim::chromeTraceJson(run.trace, *run.profileData)))
+                   sim::chromeTraceJson(run.trace, *run.profileData,
+                                        run.timeline.get())))
         return 1;
     if (profile || critical_path)
         std::printf("%s", sim::renderProfileText(*run.profile).c_str());
+    if (timeline)
+        std::printf("%s", sim::renderTimelineText(*run.timeline).c_str());
     if (!report_json.empty()) {
         auto synth = cost::synthesize(*accel);
         std::ostringstream os;
@@ -517,6 +499,7 @@ main(int argc, char **argv)
         jw.end();
         jw.rawField("stats", run.stats.toJson());
         jw.rawField("profile", sim::profileJson(*run.profile));
+        jw.rawField("timeline", sim::timelineJson(*run.timeline));
         jw.end();
         os << "\n";
         if (!writeFile(report_json, os.str()))
