@@ -47,34 +47,53 @@ struct Design
 /**
  * Wall-clock watchdog for the bench binaries: a scheduler regression
  * that deadlocks or livelocks a simulation would otherwise hang CI
- * until the job-level timeout with no clue where it stuck. The guard
- * thread aborts the process with a clear message instead. Budget in
- * seconds via MUIR_BENCH_TIMEOUT_S (default 600, 0 disables).
+ * until the job-level timeout with no clue where it stuck. The budget
+ * (MUIR_BENCH_TIMEOUT_S, default 600, 0 disables) applies to each
+ * individual run — a binary that simulates twelve designs gets twelve
+ * budgets, not one shared one, so a late row can't inherit a guard
+ * already mostly spent by its predecessors. When a run overruns, the
+ * watcher names it and exits, instead of the old whole-process timer's
+ * anonymous "something, somewhere, is slow".
+ *
+ * Scopes may be open on several threads at once (parallel campaigns);
+ * the registry is mutex-protected and the watcher polls it.
  */
 class WallClockGuard
 {
   public:
+    /** RAII registration of one named run against the budget. */
+    class RunScope
+    {
+      public:
+        explicit RunScope(std::string identity)
+        {
+            id_ = instance().beginRun(std::move(identity));
+        }
+        ~RunScope() { instance().endRun(id_); }
+        RunScope(const RunScope &) = delete;
+        RunScope &operator=(const RunScope &) = delete;
+
+      private:
+        uint64_t id_;
+    };
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    static WallClockGuard &instance()
+    {
+        static WallClockGuard guard;
+        return guard;
+    }
+
     WallClockGuard()
     {
-        unsigned seconds = 600;
+        seconds_ = 600;
         if (const char *env = std::getenv("MUIR_BENCH_TIMEOUT_S"))
-            seconds = unsigned(std::strtoul(env, nullptr, 10));
-        if (!seconds)
+            seconds_ = unsigned(std::strtoul(env, nullptr, 10));
+        if (!seconds_)
             return;
-        watcher_ = std::thread([this, seconds] {
-            std::unique_lock<std::mutex> lock(mutex_);
-            if (done_cv_.wait_for(lock, std::chrono::seconds(seconds),
-                                  [this] { return done_; }))
-                return;
-            std::fprintf(stderr,
-                         "bench: wall-clock guard tripped after %us -- "
-                         "a simulation is hanging; run the workload "
-                         "under `muirc --max-cycles` for a watchdog "
-                         "diagnosis (see docs/resilience.md)\n",
-                         seconds);
-            std::fflush(stderr);
-            std::_Exit(3);
-        });
+        watcher_ = std::thread([this] { watch(); });
     }
 
     ~WallClockGuard()
@@ -89,10 +108,60 @@ class WallClockGuard
         watcher_.join();
     }
 
-  private:
+    uint64_t beginRun(std::string identity)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        uint64_t id = next_id_++;
+        active_.push_back({id, std::move(identity), Clock::now()});
+        return id;
+    }
+
+    void endRun(uint64_t id)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (auto it = active_.begin(); it != active_.end(); ++it) {
+            if (it->id == id) {
+                active_.erase(it);
+                return;
+            }
+        }
+    }
+
+    void watch()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        while (!done_) {
+            done_cv_.wait_for(lock, std::chrono::milliseconds(500));
+            Clock::time_point now = Clock::now();
+            for (const Run &run : active_) {
+                if (now - run.start < std::chrono::seconds(seconds_))
+                    continue;
+                std::fprintf(
+                    stderr,
+                    "bench: wall-clock guard tripped after %us in run "
+                    "'%s' -- that simulation is hanging; rerun it "
+                    "under `muirc --max-cycles` for a watchdog "
+                    "diagnosis (see docs/resilience.md)\n",
+                    seconds_, run.identity.c_str());
+                std::fflush(stderr);
+                std::_Exit(3);
+            }
+        }
+    }
+
+    struct Run
+    {
+        uint64_t id;
+        std::string identity;
+        Clock::time_point start;
+    };
+
     std::mutex mutex_;
     std::condition_variable done_cv_;
     bool done_ = false;
+    unsigned seconds_ = 0;
+    uint64_t next_id_ = 1;
+    std::vector<Run> active_;
     std::thread watcher_;
 };
 
@@ -102,8 +171,9 @@ makeDesign(const std::string &workload_name,
            const std::function<void(uopt::PassManager &)> &configure =
                {})
 {
-    // Armed once per process, on the first simulated design.
-    static WallClockGuard guard;
+    // Each design gets its own wall-clock budget, and an overrun is
+    // reported with the workload's name.
+    WallClockGuard::RunScope scope(workload_name);
     Design d;
     d.workload = workloads::buildWorkload(workload_name);
     d.accel = workloads::lowerBaseline(d.workload);

@@ -17,11 +17,28 @@ using namespace muir;
 using namespace muir::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     QuietLogs quiet;
     constexpr unsigned kRuns = 40;
     constexpr uint64_t kSeed = 11;
+    // 0 = resolveJobs (MUIR_JOBS, else hardware concurrency). The
+    // histogram is identical at any job count; --jobs only moves wall
+    // time.
+    unsigned jobs = 0;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--jobs" && i + 1 < argc) {
+            unsigned long n = std::strtoul(argv[++i], nullptr, 10);
+            if (n == 0 || n > 256)
+                muir_fatal("fig19_resilience: --jobs wants 1..256");
+            jobs = unsigned(n);
+        } else {
+            muir_fatal("fig19_resilience: unknown option %s (only "
+                       "--jobs <n>)",
+                       arg.c_str());
+        }
+    }
 
     AsciiTable table({"Bench", "golden cyc", "masked", "sdc", "detected",
                       "hang"});
@@ -34,6 +51,8 @@ main()
         spec.fault.kind = sim::FaultKind::Mix;
         spec.runs = kRuns;
         spec.seed = kSeed;
+        spec.jobs = jobs;
+        WallClockGuard::RunScope campaign_scope(name + " campaign");
         sim::CampaignResult r = sim::runCampaign(
             *d.accel, *d.workload.module,
             [&](ir::MemoryImage &m) { d.workload.bind(m); }, spec);

@@ -4,6 +4,8 @@
 #include <sstream>
 
 #include "support/json.hh"
+#include "support/parallel.hh"
+#include "support/rng.hh"
 #include "support/strings.hh"
 #include "support/table.hh"
 #include "uopt/pipeline.hh"
@@ -24,6 +26,12 @@ cellKey(const std::string &workload, const std::string &config)
     return workload + "/" + config;
 }
 
+std::string
+cellKey(const GateConfig &config)
+{
+    return cellKey(config.workload, config.config);
+}
+
 /** The standard pipeline Figure 17's stacked results use per suite. */
 std::string
 standardPasses(const workloads::Workload &w)
@@ -33,6 +41,48 @@ standardPasses(const workloads::Workload &w)
     if (w.usesTensor)
         return "queue,localize,fusion,tensor";
     return "queue,localize,bank:4,fusion";
+}
+
+/** Stable 64-bit key hash (FNV-1a) so seeded perturbation picks the
+ *  same site per cell on every platform. */
+uint64_t
+cellHash(const std::string &key)
+{
+    uint64_t h = 0xCBF29CE484222325ull;
+    for (char c : key)
+        h = (h ^ static_cast<unsigned char>(c)) * 0x100000001B3ull;
+    return h;
+}
+
+/** Apply a perturbation to one design (pinned or seeded form). */
+void
+applyPerturbation(uir::Accelerator &accel, const Perturbation &perturb,
+                  const std::string &cell_key)
+{
+    if (!perturb.structure.empty()) {
+        // Pinned form. Absent structures are fine: the perturbation
+        // names one structure but scratchpad/cache splits vary per
+        // suite, so it lands on the designs that actually have it.
+        if (uir::Structure *s =
+                accel.structureByName(perturb.structure))
+            s->setLatency(s->latency() + perturb.extraLatency);
+        return;
+    }
+    // Seeded form: SplitMix64 over (seed, cell) picks one non-DRAM
+    // structure and an extra latency in [1, 8] — deterministic per
+    // cell, independent of measurement order and job count.
+    SplitMix64 rng(perturb.seed ^ cellHash(cell_key));
+    std::vector<uir::Structure *> candidates;
+    for (const auto &s : accel.structures())
+        if (s->kind() != uir::StructureKind::Dram)
+            candidates.push_back(s.get());
+    if (candidates.empty())
+        return;
+    uir::Structure *s = candidates[rng.below(candidates.size())];
+    unsigned extra = perturb.extraLatency
+                         ? perturb.extraLatency
+                         : static_cast<unsigned>(1 + rng.below(8));
+    s->setLatency(s->latency() + extra);
 }
 
 /** Build, transform, perturb, and simulate one cell. */
@@ -51,14 +101,8 @@ measureCell(const GateConfig &config, const Perturbation &perturb,
         }
         pm.run(*accel);
     }
-    if (!perturb.structure.empty()) {
-        // Absent structures are fine: the perturbation names one
-        // structure but scratchpad/cache splits vary per suite, so it
-        // lands on the designs that actually have it.
-        if (uir::Structure *s =
-                accel->structureByName(perturb.structure))
-            s->setLatency(s->latency() + perturb.extraLatency);
-    }
+    if (perturb.active())
+        applyPerturbation(*accel, perturb, cellKey(config));
     auto run = workloads::runOn(w, *accel);
     if (!run.check.empty()) {
         *error = config.workload + " (" + config.config +
@@ -85,17 +129,23 @@ standardConfigs()
 std::vector<GateRow>
 measureGate(const GateOptions &opts)
 {
-    std::vector<GateRow> rows;
+    std::vector<GateConfig> configs;
     for (const auto &config : standardConfigs()) {
         if (!opts.only.empty() && config.workload != opts.only)
             continue;
-        GateRow row;
-        row.config = config;
-        std::string error;
-        row.actual = measureCell(config, opts.perturb, &error);
-        rows.push_back(row);
+        configs.push_back(config);
     }
-    return rows;
+    // Each cell builds its own workload, design, and memory image, so
+    // cells are independent; rows land in matrix order regardless of
+    // completion order.
+    return parallelMap<GateRow>(
+        configs.size(), opts.jobs, [&](size_t i) {
+            GateRow row;
+            row.config = configs[i];
+            std::string error;
+            row.actual = measureCell(configs[i], opts.perturb, &error);
+            return row;
+        });
 }
 
 std::string

@@ -40,13 +40,23 @@ struct GateConfig
  */
 std::vector<GateConfig> standardConfigs();
 
-/** Deliberate latency regression, for proving the gate trips. */
+/**
+ * Deliberate latency regression, for proving the gate trips. Two
+ * forms: a pinned (structure, extra-latency) pair, or a seeded random
+ * draw — SplitMix64 over (seed, cell key) picks one structure of each
+ * design and an extra latency in [1, 8], so "the gate must trip"
+ * tests don't have to hard-code structure names that vary per suite.
+ */
 struct Perturbation
 {
-    /** Structure name to slow down ("" = none). */
+    /** Structure name to slow down ("" = pick by seed). */
     std::string structure;
-    /** Extra cycles added to its access latency. */
+    /** Extra cycles added to its access latency (0 = pick by seed). */
     unsigned extraLatency = 0;
+    /** Nonzero enables the seeded form (used where not pinned). */
+    uint64_t seed = 0;
+
+    bool active() const { return !structure.empty() || seed != 0; }
 };
 
 /** Optional knobs for one gate run. */
@@ -55,6 +65,13 @@ struct GateOptions
     /** Restrict to one workload ("" = all). */
     std::string only;
     Perturbation perturb;
+    /**
+     * Concurrent cell measurements; 0 = resolveJobs (MUIR_JOBS, else
+     * hardware concurrency). Rows come back in matrix order, so the
+     * result — table, goldens, JSON — is byte-identical at any job
+     * count.
+     */
+    unsigned jobs = 0;
 };
 
 /** One measured cell, with its golden expectation when present. */

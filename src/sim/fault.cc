@@ -7,6 +7,7 @@
 #include "sim/simulator.hh"
 #include "support/json.hh"
 #include "support/logging.hh"
+#include "support/parallel.hh"
 #include "support/strings.hh"
 #include "uir/accelerator.hh"
 
@@ -774,8 +775,9 @@ runCampaign(const uir::Accelerator &accel, const ir::Module &module,
     FaultHarness golden_harness;
     golden_harness.watchdog.enabled = true;
     golden_harness.watchdog.maxCycles = spec.maxCycles;
-    TimingResult golden = scheduleDdg(accel, exec.ddg(), nullptr, nullptr,
-                                      &golden_harness);
+    RunContext golden_ctx;
+    golden_ctx.fault = &golden_harness;
+    TimingResult golden = scheduleDdg(accel, exec.ddg(), golden_ctx);
     if (golden_harness.verdict.hang.tripped()) {
         out.error = "golden (fault-free) run tripped the watchdog:\n" +
                     golden_harness.verdict.hang.render();
@@ -790,7 +792,14 @@ runCampaign(const uir::Accelerator &accel, const ir::Module &module,
                                      golden.stats);
 
     const std::string spec_text = renderFaultSpec(spec.fault);
-    out.records.reserve(spec.runs);
+
+    // Resolve every run's plan serially up front. Resolution is cheap
+    // (a few rng draws over the catalog) and keeping it out of the
+    // pool means the fan-out below touches only per-run state: runs
+    // behind a failed resolution never simulate, exactly as when the
+    // loop was serial, so output is identical at any job count.
+    std::vector<FaultPlan> plans;
+    unsigned resolved = spec.runs;
     for (unsigned i = 0; i < spec.runs; ++i) {
         // Per-run deterministic stream: (seed, i) fully decides the
         // site, so re-running a campaign reproduces every injection.
@@ -802,9 +811,19 @@ runCampaign(const uir::Accelerator &accel, const ir::Module &module,
                          site_error)) {
             out.error =
                 "cannot inject '" + spec_text + "': " + site_error;
-            return out;
+            resolved = i;
+            break;
         }
+        plans.push_back(plan);
+    }
 
+    // Fan the injected runs across the pool. Everything shared here —
+    // accel, module, golden outputs/memory, the plans — is read-only;
+    // each run owns its MemoryImage, executor, and record slot, which
+    // is the whole re-entrancy contract of sim/run_context.hh.
+    std::vector<InjectionRecord> records(resolved);
+    parallelFor(resolved, spec.jobs, [&](size_t i) {
+        const FaultPlan &plan = plans[i];
         ir::MemoryImage mem(module);
         if (bind)
             bind(mem);
@@ -821,7 +840,7 @@ runCampaign(const uir::Accelerator &accel, const ir::Module &module,
         sopts.maxFirings = max_firings;
         SimResult r = simulate(accel, mem, args, sopts);
 
-        InjectionRecord rec;
+        InjectionRecord &rec = records[i];
         rec.plan = plan;
         rec.cycles = r.cycles;
         if (r.aborted) {
@@ -851,11 +870,18 @@ runCampaign(const uir::Accelerator &accel, const ir::Module &module,
                                  : "live-out values differ from golden";
             }
         }
+    });
+
+    // Aggregate in index order — histograms are sums, but keeping the
+    // record order canonical keeps the JSON canonical.
+    out.records = std::move(records);
+    for (const InjectionRecord &rec : out.records) {
         ++out.histogram[static_cast<size_t>(rec.outcome)];
-        ++out.byKind[static_cast<size_t>(plan.kind)]
+        ++out.byKind[static_cast<size_t>(rec.plan.kind)]
                     [static_cast<size_t>(rec.outcome)];
-        out.records.push_back(std::move(rec));
     }
+    if (resolved < spec.runs)
+        return out;
     out.ok = true;
     return out;
 }

@@ -42,6 +42,7 @@
 #include "ir/interp.hh"
 #include "sim/ddg.hh"
 #include "sim/timing.hh"
+#include "support/rng.hh"
 
 namespace muir::uir
 {
@@ -319,25 +320,9 @@ class FaultInjector
 
 // -------------------------------------------------------------- campaign
 
-/** Deterministic split-mix generator for site resolution. */
-struct SplitMix64
-{
-    uint64_t state;
-
-    explicit SplitMix64(uint64_t seed) : state(seed) {}
-
-    uint64_t
-    next()
-    {
-        uint64_t z = (state += 0x9E3779B97F4A7C15ull);
-        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
-        z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
-        return z ^ (z >> 31);
-    }
-
-    /** Uniform-ish draw in [0, n); 0 when n == 0. */
-    uint64_t below(uint64_t n) { return n ? next() % n : 0; }
-};
+// Site resolution draws from muir::SplitMix64 (support/rng.hh) — one
+// generator per run, seeded from (campaign seed, run index), which is
+// what makes the fan-out below safe to parallelize.
 
 /** One campaign: N seeded injections of a spec against one design. */
 struct CampaignSpec
@@ -347,6 +332,13 @@ struct CampaignSpec
     uint64_t seed = 1;
     /** Watchdog cycle budget; 0 = auto (8x golden + 4096). */
     uint64_t maxCycles = 0;
+    /**
+     * Concurrent simulations to fan the runs across; 0 (default) =
+     * resolveJobs (MUIR_JOBS, else hardware concurrency). Per-run
+     * seeding makes the histogram/records/JSON byte-identical at any
+     * job count.
+     */
+    unsigned jobs = 0;
 };
 
 /** One injected run's record. */
@@ -387,7 +379,14 @@ struct CampaignResult
  * a lint-clean graph must never hang fault-free), then spec.runs
  * seeded injections, each classified against the golden outputs and
  * final memory. @p bind writes the workload inputs into a fresh
- * memory image before every run.
+ * memory image before every run; it runs concurrently from up to
+ * spec.jobs threads and must therefore be re-entrant (the standard
+ * workload binders only read shared input data, which qualifies).
+ *
+ * The injected runs fan out across a worker pool (support/parallel.hh)
+ * but every plan is resolved serially up front from (seed, index), so
+ * the result — histogram, per-run records, JSON — is byte-identical
+ * at any job count, including jobs == 1.
  */
 CampaignResult
 runCampaign(const uir::Accelerator &accel, const ir::Module &module,

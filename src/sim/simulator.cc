@@ -37,11 +37,11 @@ simulate(const uir::Accelerator &accel, ir::MemoryImage &mem,
         harness.watchdog.enabled = options.watchdog;
         harness.watchdog.maxCycles = options.maxCycles;
     }
-    TimingResult timing =
-        scheduleDdg(accel, exec.ddg(),
-                    options.trace ? &result.trace : nullptr,
-                    result.profileData.get(),
-                    use_harness ? &harness : nullptr);
+    RunContext ctx;
+    ctx.hooks.trace = options.trace ? &result.trace : nullptr;
+    ctx.hooks.profile = result.profileData.get();
+    ctx.fault = use_harness ? &harness : nullptr;
+    TimingResult timing = scheduleDdg(accel, exec.ddg(), ctx);
     result.verdict = std::move(harness.verdict);
     result.cycles = timing.cycles;
     result.stats = std::move(timing.stats);

@@ -95,9 +95,11 @@ claimPort(std::vector<uint64_t> &ports, uint64_t ready, uint64_t busy)
 
 TimingResult
 scheduleDdg(const uir::Accelerator &accel, const Ddg &ddg,
-            std::vector<TimingTraceRow> *trace,
-            ProfileCollector *prof, FaultHarness *fault)
+            RunContext &ctx)
 {
+    std::vector<TimingTraceRow> *trace = ctx.hooks.trace;
+    ProfileCollector *prof = ctx.hooks.profile;
+    FaultHarness *fault = ctx.fault;
     TimingResult result;
     const auto &events = ddg.events();
     const auto &invocations = ddg.invocations();
@@ -285,7 +287,7 @@ scheduleDdg(const uir::Accelerator &accel, const Ddg &ddg,
                     cost->junctionWait = start - pre;
 
                 // Structure access.
-                uir::Structure *s =
+                const uir::Structure *s =
                     accel.structureForSpace(node->memSpace());
                 StructState &ss = structs.at(s);
                 unsigned wide = std::max(1u, s->wideWords());

@@ -11,13 +11,11 @@
 #pragma once
 
 #include "sim/ddg.hh"
+#include "sim/run_context.hh"
 #include "support/stats.hh"
 
 namespace muir::sim
 {
-
-struct ProfileCollector; // sim/profile.hh
-struct FaultHarness;     // sim/fault.hh
 
 /** Timing results and activity counters. */
 struct TimingResult
@@ -41,23 +39,26 @@ struct TimingTraceRow
 
 /**
  * Schedule every event of the DDG; returns total cycles + stats.
- * @param trace Optional: filled with one row per scheduled event, in
- *        processing order (by start time), for timeline inspection.
- * @param profile Optional μprof collector (sim/profile.hh): when set,
- *        the scheduler additionally records one EventCost per event
- *        (stall attribution, critical deps, structure activity).
- *        Profiling is observational only — it never changes the
- *        schedule, so cycles/stats are bit-identical either way.
- * @param fault Optional μfit harness (sim/fault.hh): carries the fault
- *        plan to enact on handshake/memory timing and the watchdog
- *        options; on a trip or a token-starvation drain the verdict is
- *        written back into the harness. With fault == nullptr the
- *        schedule is bit-identical to today (same observational-guard
- *        contract as μprof).
+ *
+ * Re-entrant and thread-safe under the RunContext contract
+ * (sim/run_context.hh): @p accel and @p ddg are read-only here and
+ * may be shared across any number of concurrent calls; @p ctx (and
+ * every hook it points to) must be private to this call. All local
+ * scheduling state — resource free-lists, cache tags, ready queue —
+ * lives on this call's stack.
+ *
+ * A default RunContext is a plain run; see RunContext for the hook
+ * semantics and the bit-identical observational guarantee.
  */
 TimingResult scheduleDdg(const uir::Accelerator &accel, const Ddg &ddg,
-                         std::vector<TimingTraceRow> *trace = nullptr,
-                         ProfileCollector *profile = nullptr,
-                         FaultHarness *fault = nullptr);
+                         RunContext &ctx);
+
+/** Plain run: no hooks, no fault harness. */
+inline TimingResult
+scheduleDdg(const uir::Accelerator &accel, const Ddg &ddg)
+{
+    RunContext ctx;
+    return scheduleDdg(accel, ddg, ctx);
+}
 
 } // namespace muir::sim

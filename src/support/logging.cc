@@ -1,5 +1,6 @@
 #include "support/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
@@ -8,7 +9,10 @@ namespace muir
 
 namespace
 {
-bool verboseFlag = true;
+// Atomic so parallel campaign/gate workers can inform() while the
+// driver toggles verbosity, without a data race. Relaxed is enough:
+// the flag is a filter, not a synchronization point.
+std::atomic<bool> verboseFlag{true};
 } // namespace
 
 void
@@ -34,20 +38,20 @@ warnImpl(const std::string &msg)
 void
 informImpl(const std::string &msg)
 {
-    if (verboseFlag)
+    if (verboseFlag.load(std::memory_order_relaxed))
         std::fprintf(stderr, "info: %s\n", msg.c_str());
 }
 
 void
 setVerbose(bool verbose)
 {
-    verboseFlag = verbose;
+    verboseFlag.store(verbose, std::memory_order_relaxed);
 }
 
 bool
 verbose()
 {
-    return verboseFlag;
+    return verboseFlag.load(std::memory_order_relaxed);
 }
 
 } // namespace muir

@@ -1,0 +1,91 @@
+#include "support/parallel.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace muir
+{
+
+unsigned
+hardwareJobs()
+{
+    unsigned n = std::thread::hardware_concurrency();
+    return n ? n : 1;
+}
+
+unsigned
+resolveJobs(unsigned requested)
+{
+    unsigned jobs = requested;
+    if (!jobs) {
+        if (const char *env = std::getenv("MUIR_JOBS")) {
+            char *end = nullptr;
+            unsigned long v = std::strtoul(env, &end, 10);
+            if (end != env && *end == '\0' && v > 0)
+                jobs = static_cast<unsigned>(v);
+        }
+    }
+    if (!jobs)
+        jobs = hardwareJobs();
+    return jobs > 256 ? 256 : jobs;
+}
+
+void
+parallelFor(size_t n, unsigned jobs,
+            const std::function<void(size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    jobs = resolveJobs(jobs);
+    if (jobs > n)
+        jobs = static_cast<unsigned>(n);
+    if (jobs <= 1) {
+        // Inline serial path: no threads, no atomics — bit-identical
+        // to the pre-pool loops it replaced.
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    std::atomic<size_t> cursor{0};
+    // Earliest-index exception wins, matching what a serial loop that
+    // stopped at the throwing index would surface.
+    std::mutex error_mutex;
+    size_t error_index = ~size_t(0);
+    std::exception_ptr error;
+
+    auto worker = [&] {
+        for (;;) {
+            size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                return;
+            try {
+                fn(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (i < error_index) {
+                    error_index = i;
+                    error = std::current_exception();
+                }
+                // Let the pool drain instead of racing to cancel:
+                // items are independent, so finishing in-flight work
+                // is always safe.
+            }
+        }
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(jobs - 1);
+    for (unsigned t = 1; t < jobs; ++t)
+        threads.emplace_back(worker);
+    worker();
+    for (auto &t : threads)
+        t.join();
+    if (error)
+        std::rethrow_exception(error);
+}
+
+} // namespace muir

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * A small bounded worker pool for the fan-out shaped work this
+ * codebase is full of: N independent, deterministic simulations
+ * (μfit campaign runs, bench-gate cells, sweep points) whose results
+ * must come back in index order regardless of thread interleaving.
+ *
+ * The contract every consumer relies on:
+ *
+ *  - **Deterministic results.** `parallelFor(n, jobs, fn)` calls
+ *    `fn(i)` exactly once for every i in [0, n); each fn writes only
+ *    its own result slot, so the assembled output is byte-identical
+ *    at any job count (`--jobs 1` vs `--jobs 8` is a committed test
+ *    invariant, not an aspiration).
+ *  - **Bounded width.** At most `jobs` worker threads exist at once;
+ *    excess work items queue behind an atomic cursor. jobs == 0 or 1
+ *    (and n <= 1) run inline on the caller's thread with no thread
+ *    machinery at all, so the serial path stays bit-identical to the
+ *    pre-pool code.
+ *  - **Exception safety.** If any fn throws, the earliest-index
+ *    exception is rethrown on the caller's thread after all workers
+ *    drain; later items may or may not have run, exactly as if the
+ *    loop were serial and stopped at the throwing index.
+ *
+ * Job-count resolution (`resolveJobs`): an explicit request wins,
+ * else the MUIR_JOBS environment variable, else
+ * std::thread::hardware_concurrency().
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace muir
+{
+
+/** std::thread::hardware_concurrency(), never 0. */
+unsigned hardwareJobs();
+
+/**
+ * Resolve an effective job count: @p requested if nonzero, else
+ * MUIR_JOBS (when set to a positive integer), else the hardware
+ * concurrency. The result is clamped to [1, 256].
+ */
+unsigned resolveJobs(unsigned requested = 0);
+
+/**
+ * Run fn(0) .. fn(n-1), at most @p jobs at a time. Items are claimed
+ * in index order; completion order is unspecified, so fn must not
+ * depend on other items having run. Rethrows the earliest-index
+ * exception after all in-flight work drains. jobs == 0 means
+ * resolveJobs(0).
+ */
+void parallelFor(size_t n, unsigned jobs,
+                 const std::function<void(size_t)> &fn);
+
+/**
+ * Map [0, n) through @p fn into an index-ordered vector. Result
+ * ordering (and therefore any serialization of it) is independent of
+ * the job count.
+ */
+template <typename T>
+std::vector<T>
+parallelMap(size_t n, unsigned jobs,
+            const std::function<T(size_t)> &fn)
+{
+    std::vector<T> out(n);
+    parallelFor(n, jobs, [&](size_t i) { out[i] = fn(i); });
+    return out;
+}
+
+} // namespace muir

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Deterministic pseudo-random generation shared by every component
+ * that needs reproducible randomness (μfit site resolution, the bench
+ * gate's seeded perturbations). Exactly Vigna's SplitMix64, so the
+ * stream for a given seed is stable across platforms and releases —
+ * campaign JSON and perturbation choices are part of committed test
+ * expectations and must never drift.
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace muir
+{
+
+/**
+ * SplitMix64 (Vigna, 2015): 64 bits of state, one add + three
+ * xor-shift-multiply rounds per draw. Statistically solid for fault
+ * sampling and cheap enough to construct per run, which is how the
+ * callers get per-run determinism: a generator seeded from (seed, run
+ * index) yields the same stream no matter which thread replays the
+ * run or in what order.
+ *
+ * Thread-safety: next() mutates state, so one generator must not be
+ * shared across threads. Construct one per task instead — that is the
+ * intended idiom, not a workaround.
+ */
+struct SplitMix64
+{
+    uint64_t state;
+
+    explicit SplitMix64(uint64_t seed) : state(seed) {}
+
+    uint64_t
+    next()
+    {
+        uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform-ish draw in [0, n); 0 when n == 0. */
+    uint64_t below(uint64_t n) { return n ? next() % n : 0; }
+};
+
+} // namespace muir

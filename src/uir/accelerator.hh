@@ -16,7 +16,17 @@
 namespace muir::uir
 {
 
-/** The top-level μIR graph. */
+/**
+ * The top-level μIR graph.
+ *
+ * Const-correctness IS the concurrency contract here: every const
+ * method is genuinely read-only (no lazy caches, no mutation through
+ * const lookups — const overloads return const pointers), so a
+ * `const Accelerator &` may be shared across any number of concurrent
+ * simulation runs without locking. Mutation (passes, perturbations,
+ * deserialization) requires a non-const reference and must happen
+ * before fan-out.
+ */
 class Accelerator
 {
   public:
@@ -40,10 +50,12 @@ class Accelerator
     {
         return tasks_;
     }
-    Task *root() const;
+    Task *root();
+    const Task *root() const;
     /** Mark the root task (the front end creates children first). */
     void setRoot(Task *t) { root_ = t; }
-    Task *taskByName(const std::string &name) const;
+    Task *taskByName(const std::string &name);
+    const Task *taskByName(const std::string &name) const;
     /** @} */
 
     /** @name Hardware structures @{ */
@@ -53,20 +65,23 @@ class Accelerator
     {
         return structures_;
     }
-    Structure *structureByName(const std::string &name) const;
+    Structure *structureByName(const std::string &name);
+    const Structure *structureByName(const std::string &name) const;
     /**
      * The structure serving a memory space: the one explicitly listing
      * it, else the structure serving space 0 (the shared L1 cache in
      * the baseline). Exactly one structure may list a given space.
      */
-    Structure *structureForSpace(unsigned space) const;
+    Structure *structureForSpace(unsigned space);
+    const Structure *structureForSpace(unsigned space) const;
     /**
      * Non-panicking variant for diagnostics: nullptr when nothing
      * serves the space (and no space-0 default exists), the first
      * match when the space is doubly owned — the verifier and μlint
      * report those conditions instead of asserting on them.
      */
-    Structure *findStructureForSpace(unsigned space) const;
+    Structure *findStructureForSpace(unsigned space);
+    const Structure *findStructureForSpace(unsigned space) const;
     /** @} */
 
     /** @name Whole-graph statistics (Table 4) @{ */

@@ -12,6 +12,7 @@
 #include <map>
 #include <queue>
 #include <set>
+#include <utility>
 
 #include "support/logging.hh"
 #include "support/strings.hh"
@@ -488,7 +489,7 @@ Accelerator::addTask(TaskKind kind, std::string name, Task *parent)
     return t;
 }
 
-Task *
+const Task *
 Accelerator::root() const
 {
     if (root_ != nullptr)
@@ -499,12 +500,24 @@ Accelerator::root() const
 }
 
 Task *
+Accelerator::root()
+{
+    return const_cast<Task *>(std::as_const(*this).root());
+}
+
+const Task *
 Accelerator::taskByName(const std::string &name) const
 {
     for (const auto &t : tasks_)
         if (t->name() == name)
             return t.get();
     return nullptr;
+}
+
+Task *
+Accelerator::taskByName(const std::string &name)
+{
+    return const_cast<Task *>(std::as_const(*this).taskByName(name));
 }
 
 Structure *
@@ -525,7 +538,7 @@ Accelerator::removeStructure(Structure *s)
     structures_.erase(it);
 }
 
-Structure *
+const Structure *
 Accelerator::structureByName(const std::string &name) const
 {
     for (const auto &s : structures_)
@@ -535,10 +548,17 @@ Accelerator::structureByName(const std::string &name) const
 }
 
 Structure *
+Accelerator::structureByName(const std::string &name)
+{
+    return const_cast<Structure *>(
+        std::as_const(*this).structureByName(name));
+}
+
+const Structure *
 Accelerator::structureForSpace(unsigned space) const
 {
-    Structure *fallback = nullptr;
-    Structure *match = nullptr;
+    const Structure *fallback = nullptr;
+    const Structure *match = nullptr;
     for (const auto &s : structures_) {
         if (s->kind() == StructureKind::Dram)
             continue;
@@ -560,9 +580,16 @@ Accelerator::structureForSpace(unsigned space) const
 }
 
 Structure *
+Accelerator::structureForSpace(unsigned space)
+{
+    return const_cast<Structure *>(
+        std::as_const(*this).structureForSpace(space));
+}
+
+const Structure *
 Accelerator::findStructureForSpace(unsigned space) const
 {
-    Structure *fallback = nullptr;
+    const Structure *fallback = nullptr;
     for (const auto &s : structures_) {
         if (s->kind() == StructureKind::Dram)
             continue;
@@ -572,6 +599,13 @@ Accelerator::findStructureForSpace(unsigned space) const
             fallback = s.get();
     }
     return fallback;
+}
+
+Structure *
+Accelerator::findStructureForSpace(unsigned space)
+{
+    return const_cast<Structure *>(
+        std::as_const(*this).findStructureForSpace(space));
 }
 
 unsigned

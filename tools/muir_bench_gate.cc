@@ -38,6 +38,12 @@ usage(FILE *out)
         "  --perturb <s>:<n>     add n cycles to structure s's latency\n"
         "                        (injects a regression; the gate must\n"
         "                        trip)\n"
+        "  --perturb <seed>      seeded form: pick one structure and an\n"
+        "                        extra latency per cell via SplitMix64\n"
+        "  --jobs <n>            measure up to n cells concurrently\n"
+        "                        (default: MUIR_JOBS, else hardware\n"
+        "                        concurrency; output is identical at\n"
+        "                        any job count)\n"
         "  --json                machine-readable result\n"
         "exit status: 0 pass, 1 regression, 2 usage/input error\n",
         out);
@@ -47,8 +53,16 @@ bool
 parsePerturb(const std::string &spec, gate::Perturbation &out)
 {
     size_t colon = spec.rfind(':');
-    if (colon == std::string::npos || colon == 0 ||
-        colon + 1 >= spec.size())
+    if (colon == std::string::npos) {
+        // Seeded form: a bare integer. 0 is reserved for "inactive".
+        char *end = nullptr;
+        unsigned long long seed = std::strtoull(spec.c_str(), &end, 0);
+        if (end == spec.c_str() || *end != '\0' || seed == 0)
+            return false;
+        out.seed = seed;
+        return true;
+    }
+    if (colon == 0 || colon + 1 >= spec.size())
         return false;
     char *end = nullptr;
     unsigned long extra = std::strtoul(spec.c_str() + colon + 1, &end,
@@ -60,6 +74,20 @@ parsePerturb(const std::string &spec, gate::Perturbation &out)
     return true;
 }
 
+unsigned
+parseJobs(const char *text)
+{
+    char *end = nullptr;
+    unsigned long n = std::strtoul(text, &end, 10);
+    if (end == text || *end != '\0' || n == 0 || n > 256) {
+        std::fprintf(stderr, "muir_bench_gate: --jobs wants 1..256, "
+                             "got '%s'\n",
+                     text);
+        std::exit(2);
+    }
+    return static_cast<unsigned>(n);
+}
+
 } // namespace
 
 int
@@ -68,6 +96,7 @@ main(int argc, char **argv)
     setVerbose(false);
     std::string goldens_path, only, perturb_spec;
     bool update = false, json = false;
+    unsigned jobs = 0;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         auto next = [&]() -> const char * {
@@ -87,6 +116,8 @@ main(int argc, char **argv)
             only = next();
         } else if (arg == "--perturb") {
             perturb_spec = next();
+        } else if (arg == "--jobs") {
+            jobs = parseJobs(next());
         } else if (arg == "--json") {
             json = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -105,11 +136,13 @@ main(int argc, char **argv)
     }
     gate::GateOptions opts;
     opts.only = only;
+    opts.jobs = jobs;
     if (!perturb_spec.empty() &&
         !parsePerturb(perturb_spec, opts.perturb)) {
         std::fprintf(stderr,
                      "muir_bench_gate: --perturb wants "
-                     "<structure>:<extra-cycles>, got '%s'\n",
+                     "<structure>:<extra-cycles> or a nonzero seed, "
+                     "got '%s'\n",
                      perturb_spec.c_str());
         return 2;
     }

@@ -91,6 +91,10 @@ usage()
         "                        print the outcome histogram\n"
         "  --seed <S>            µfit: campaign seed (default 1)\n"
         "  --campaign-json <f>   µfit: write the campaign results JSON\n"
+        "  --jobs <N>            µfit: run campaign injections on up to\n"
+        "                        N threads (default: MUIR_JOBS, else\n"
+        "                        hardware concurrency; results are\n"
+        "                        identical at any job count)\n"
         "  --max-cycles <N>      arm the hang watchdog with a cycle\n"
         "                        budget (also bounds campaign runs)\n"
         "  --emit-firrtl-stats   print circuit-level elaboration size\n"
@@ -152,7 +156,7 @@ main(int argc, char **argv)
     std::string emit_verilog, save_graph, load_graph, trace_path;
     std::string lint_json, trace_json, report_json;
     std::string inject_spec, campaign_json;
-    unsigned unroll = 1, campaign_runs = 0;
+    unsigned unroll = 1, campaign_runs = 0, campaign_jobs = 0;
     uint64_t campaign_seed = 1, max_cycles = 0;
     bool report = false, stats = false, firrtl_stats = false;
     bool lint = false, werror = false;
@@ -242,6 +246,15 @@ main(int argc, char **argv)
             }
         } else if (arg == "--campaign-json") {
             campaign_json = next();
+        } else if (arg == "--jobs") {
+            const char *v = next();
+            if (!parsePositive(v, campaign_jobs) ||
+                campaign_jobs > 256) {
+                std::fprintf(stderr,
+                             "muirc: --jobs '%s' is not in 1..256\n",
+                             v);
+                return 2;
+            }
         } else if (arg == "--max-cycles") {
             const char *v = next();
             if (!parseU64Arg(v, max_cycles) || max_cycles == 0) {
@@ -401,6 +414,7 @@ main(int argc, char **argv)
         }
         cspec.runs = campaign_runs ? campaign_runs : 1;
         cspec.seed = campaign_seed;
+        cspec.jobs = campaign_jobs;
         cspec.maxCycles = max_cycles;
         auto campaign = sim::runCampaign(
             *accel, *w.module,
