@@ -1,0 +1,68 @@
+/**
+ * @file
+ * μbound tightness study: for every gate cell (each workload under
+ * the baseline and its suite's standard μopt pipeline), the static
+ * cycle lower bound next to the simulated cycle count. Soundness
+ * (static <= simulated) is enforced by ctest (test_static_bounds);
+ * this harness quantifies how *tight* the bound is — tightness is
+ * static/simulated, 100% meaning the analysis predicted the run
+ * exactly — and names each design's binding resource.
+ */
+#include "common.hh"
+
+#include "gate/bench_gate.hh"
+#include "uir/analysis/bound_report.hh"
+#include "uopt/pipeline.hh"
+
+using namespace muir;
+using namespace muir::bench;
+
+int
+main()
+{
+    QuietLogs quiet;
+    AsciiTable table({"Bench", "Config", "Static LB", "Simulated",
+                      "Tight", "Bottleneck"});
+    BenchJson json("static_vs_sim");
+    for (const gate::GateConfig &cell : gate::standardConfigs()) {
+        Design d = makeDesign(cell.workload,
+                              [&](uopt::PassManager &pm) {
+                                  if (cell.passes.empty())
+                                      return;
+                                  std::string error;
+                                  if (!uopt::buildPipeline(
+                                          pm, cell.passes, &error))
+                                      muir_panic("%s", error.c_str());
+                              });
+        uir::analysis::AnalysisManager am(*d.accel);
+        const uir::analysis::DesignBound &bound =
+            am.get<uir::analysis::BoundReportAnalysis>().design();
+        if (bound.cycleLb > d.run.cycles)
+            muir_panic("%s/%s: unsound bound %llu > %llu",
+                       cell.workload.c_str(), cell.config.c_str(),
+                       (unsigned long long)bound.cycleLb,
+                       (unsigned long long)d.run.cycles);
+        double tight =
+            d.run.cycles ? 100.0 * double(bound.cycleLb) /
+                               double(d.run.cycles)
+                         : 0.0;
+        json.add(cell.config, cell.workload,
+                 {{"cycles_static_lb", double(bound.cycleLb)},
+                  {"cycles_sim", double(d.run.cycles)},
+                  {"tightness_pct", tight}});
+        table.addRow({cell.workload, cell.config,
+                      fmt("%llu", (unsigned long long)bound.cycleLb),
+                      fmt("%llu", (unsigned long long)d.run.cycles),
+                      fmt("%.0f%%", tight),
+                      bound.bottleneckKind + " " +
+                          bound.bottleneckName});
+    }
+    std::printf("%s",
+                table
+                    .render("µbound static cycle bound vs simulation "
+                            "(sound: static <= simulated on every "
+                            "cell)")
+                    .c_str());
+    std::printf("wrote %s\n", json.write().c_str());
+    return 0;
+}

@@ -114,6 +114,13 @@ measureCell(const GateConfig &config, const Perturbation &perturb,
 
 } // namespace
 
+void
+perturbDesign(uir::Accelerator &accel, const Perturbation &perturb,
+              const std::string &cell_key)
+{
+    applyPerturbation(accel, perturb, cell_key);
+}
+
 std::vector<GateConfig>
 standardConfigs()
 {

@@ -19,6 +19,11 @@
 #include <string>
 #include <vector>
 
+namespace muir::uir
+{
+class Accelerator;
+}
+
 namespace muir::gate
 {
 
@@ -58,6 +63,14 @@ struct Perturbation
 
     bool active() const { return !structure.empty() || seed != 0; }
 };
+
+/**
+ * Apply @p perturb to one design exactly as a gate cell would —
+ * pinned or seeded by (seed, cell_key). Exposed so property tests can
+ * derive the same deterministic design variants the gate measures.
+ */
+void perturbDesign(uir::Accelerator &accel, const Perturbation &perturb,
+                   const std::string &cell_key);
 
 /** Optional knobs for one gate run. */
 struct GateOptions

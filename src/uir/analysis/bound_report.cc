@@ -1,0 +1,292 @@
+#include "uir/analysis/bound_report.hh"
+
+#include <algorithm>
+#include <ostream>
+
+#include "support/json.hh"
+#include "uir/analysis/footprint.hh"
+#include "uir/analysis/value_range.hh"
+
+namespace muir::uir::analysis
+{
+
+namespace
+{
+
+uint64_t
+satAdd(uint64_t a, uint64_t b)
+{
+    uint64_t out;
+    return __builtin_add_overflow(a, b, &out) ? UINT64_MAX : out;
+}
+
+uint64_t
+satMul(uint64_t a, uint64_t b)
+{
+    uint64_t out;
+    return __builtin_mul_overflow(a, b, &out) ? UINT64_MAX : out;
+}
+
+uint64_t
+ceilDiv(uint64_t n, uint64_t d)
+{
+    return d == 0 ? 0 : (n + d - 1) / d;
+}
+
+} // namespace
+
+std::unique_ptr<BoundReportAnalysis>
+BoundReportAnalysis::run(const Accelerator &accel, AnalysisManager &am)
+{
+    const ValueRangeAnalysis &vr = am.get<ValueRangeAnalysis>();
+    const FootprintAnalysis &fp = am.get<FootprintAnalysis>();
+    const IiBoundAnalysis &ii = am.get<IiBoundAnalysis>();
+
+    auto result = std::make_unique<BoundReportAnalysis>();
+    DesignBound &d = result->bound_;
+
+    // ---- Critical path: the root task's whole-run path bound. ----
+    const Task *root = accel.root();
+    if (root != nullptr) {
+        d.pathLb = ii.of(*root).pathLb;
+        d.cycleLb = d.pathLb;
+        d.bottleneckKind = "critical-path";
+        d.bottleneckName = root->name();
+    }
+
+    // ---- Bank-port capacity: every beat occupies one bank-port
+    // cycle exclusively, so cycles >= ceil(beats / (banks*ports)). ----
+    for (const auto &s : accel.structures()) {
+        if (s->kind() == StructureKind::Dram)
+            continue;
+        const StructureFootprint &sf = fp.of(*s);
+        DesignBound::StructBound sb;
+        sb.structure = s.get();
+        sb.beatsLb = sf.beatsLb;
+        sb.linesLb = sf.linesLb;
+        uint64_t ports = uint64_t(std::max(1u, s->banks())) *
+                         std::max(1u, s->portsPerBank());
+        sb.bankCycles = ceilDiv(sf.beatsLb, ports);
+        d.structures.push_back(sb);
+        if (sb.bankCycles > d.cycleLb) {
+            d.cycleLb = sb.bankCycles;
+            d.bottleneckKind = "bank-ports";
+            d.bottleneckName = s->name();
+        }
+    }
+
+    // ---- Junction capacity: each provably-executed memory access
+    // claims one cycle on its (task, tile) junction port. ----
+    for (const auto &task : accel.tasks()) {
+        uint64_t loads = 0, stores = 0;
+        for (const Node *n : task->memOps()) {
+            if (n->kind() == NodeKind::Load)
+                loads = satAdd(loads, vr.memAccessesLb(*n));
+            else
+                stores = satAdd(stores, vr.memAccessesLb(*n));
+        }
+        uint64_t tiles = std::max(1u, task->numTiles());
+        uint64_t jb = std::max(
+            ceilDiv(loads,
+                    tiles * std::max(1u, task->junctionReadPorts())),
+            ceilDiv(stores,
+                    tiles * std::max(1u, task->junctionWritePorts())));
+        d.junctions.push_back({task.get(), jb});
+        if (jb > d.cycleLb) {
+            d.cycleLb = jb;
+            d.bottleneckKind = "junction";
+            d.bottleneckName = task->name();
+        }
+    }
+
+    // ---- DRAM bandwidth: cold misses serialize on the DRAM port.
+    // Each distinct line must miss at least once (tags start empty);
+    // a straddling multi-word access can allocate two lines with one
+    // transfer, so halve the line bound when such accesses exist. ----
+    const Structure *dram = nullptr;
+    for (const auto &s : accel.structures())
+        if (s->kind() == StructureKind::Dram)
+            dram = s.get();
+    uint64_t dram_total = 0, dram_max_xfer = 0;
+    uint64_t dram_min_miss = UINT64_MAX;
+    std::string dram_name = dram ? dram->name() : "dram";
+    for (const auto &s : accel.structures()) {
+        if (s->kind() != StructureKind::Cache)
+            continue;
+        uint64_t lines = fp.of(*s).linesLb;
+        if (lines == 0)
+            continue;
+        bool wide_access = false;
+        for (const MemFact &f : fp.memFacts())
+            if (f.structure == s.get() && f.words > 1)
+                wide_access = true;
+        uint64_t misses = wide_access ? (lines + 1) / 2 : lines;
+        if (misses == 0)
+            continue;
+        double bpc = dram ? dram->bytesPerCycle() : s->bytesPerCycle();
+        uint64_t xfer = static_cast<uint64_t>(s->lineBytes() /
+                                              std::max(1.0, bpc));
+        dram_total = satAdd(dram_total, satMul(misses, xfer));
+        dram_max_xfer = std::max(dram_max_xfer, xfer);
+        dram_min_miss =
+            std::min<uint64_t>(dram_min_miss, s->missLatency());
+    }
+    if (dram_total > 0) {
+        // Last transfer starts no earlier than the accumulated DRAM
+        // busy time minus its own slot; its event then pays the miss
+        // latency on top.
+        d.dramLb = dram_total - dram_max_xfer +
+                   (dram_min_miss == UINT64_MAX ? 0 : dram_min_miss);
+        if (d.dramLb > d.cycleLb) {
+            d.cycleLb = d.dramLb;
+            d.bottleneckKind = "dram-bandwidth";
+            d.bottleneckName = dram_name;
+        }
+    }
+
+    return result;
+}
+
+const std::vector<std::string> &
+analysisSectionNames()
+{
+    static const std::vector<std::string> kSections = {
+        "bottleneck", "ii", "footprint", "all"};
+    return kSections;
+}
+
+void
+renderAnalysisText(AnalysisManager &am, const std::string &section,
+                   std::ostream &os)
+{
+    const Accelerator &accel = am.design();
+    const ValueRangeAnalysis &vr = am.get<ValueRangeAnalysis>();
+    const IiBoundAnalysis &ii = am.get<IiBoundAnalysis>();
+    const BoundReportAnalysis &br = am.get<BoundReportAnalysis>();
+    const DesignBound &d = br.design();
+    bool all = section == "all";
+
+    if (all || section == "bottleneck") {
+        os << "== bottleneck (" << accel.name() << ") ==\n";
+        os << "  cycle lower bound: " << d.cycleLb << "  binding: "
+           << d.bottleneckKind << " (" << d.bottleneckName << ")\n";
+        os << "  components: critical-path=" << d.pathLb
+           << " dram-bandwidth=" << d.dramLb << "\n";
+        for (const auto &sb : d.structures)
+            os << "    bank-ports " << sb.structure->name() << ": "
+               << sb.bankCycles << "\n";
+        for (const auto &tj : d.junctions)
+            if (tj.cycles > 0)
+                os << "    junction " << tj.task->name() << ": "
+                   << tj.cycles << "\n";
+    }
+    if (all || section == "ii") {
+        os << "== per-task throughput bounds ==\n";
+        for (const auto &task : accel.tasks()) {
+            const TaskBound &tb = ii.of(*task);
+            const TaskRangeFacts &tf = vr.of(*task);
+            os << "  " << task->name() << ": ii_lb=" << tb.iiLb
+               << " (" << tb.iiBinding << ")";
+            if (task->isLoop()) {
+                if (tf.tripExact)
+                    os << " trip=" << tf.trip;
+                else
+                    os << " trip=?";
+            }
+            os << " invocations_lb=" << tf.invocationsLb
+               << " span_lb=" << tb.spanLb << " path_lb=" << tb.pathLb
+               << "\n";
+            if (task->isLoop())
+                os << "    ii components: control=" << tb.iiControl
+                   << " recurrence=" << tb.iiRecurrence
+                   << " node=" << tb.iiNode
+                   << " junction=" << tb.iiJunction
+                   << " bank=" << tb.iiBank << " queue=" << tb.iiQueue
+                   << "\n";
+        }
+    }
+    if (all || section == "footprint") {
+        os << "== structure footprints ==\n";
+        for (const auto &sb : d.structures)
+            os << "  " << sb.structure->name() << " ("
+               << structureKindName(sb.structure->kind())
+               << "): beats_lb=" << sb.beatsLb
+               << " lines_lb=" << sb.linesLb
+               << " banks=" << sb.structure->banks() << "x"
+               << sb.structure->portsPerBank() << "\n";
+    }
+}
+
+void
+renderAnalysisJson(AnalysisManager &am, std::ostream &os)
+{
+    const Accelerator &accel = am.design();
+    const ValueRangeAnalysis &vr = am.get<ValueRangeAnalysis>();
+    const IiBoundAnalysis &ii = am.get<IiBoundAnalysis>();
+    const BoundReportAnalysis &br = am.get<BoundReportAnalysis>();
+    const DesignBound &d = br.design();
+
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("schema", "muir.static.v1");
+    w.field("design", accel.name());
+    w.field("cycle_lb", d.cycleLb);
+    w.beginObject("bottleneck");
+    w.field("kind", d.bottleneckKind);
+    w.field("name", d.bottleneckName);
+    w.end();
+    w.beginObject("components");
+    w.field("critical_path", d.pathLb);
+    w.field("dram_bandwidth", d.dramLb);
+    w.end();
+    w.beginArray("tasks");
+    for (const auto &task : accel.tasks()) {
+        const TaskBound &tb = ii.of(*task);
+        const TaskRangeFacts &tf = vr.of(*task);
+        w.beginObject();
+        w.field("name", task->name());
+        w.field("loop", task->isLoop());
+        w.field("trip_exact", tf.tripExact);
+        w.field("trip", tf.trip);
+        w.field("invocations_lb", tf.invocationsLb);
+        w.field("ii_lb", tb.iiLb);
+        w.field("ii_binding", tb.iiBinding);
+        w.beginObject("ii_components");
+        w.field("control", tb.iiControl);
+        w.field("recurrence", tb.iiRecurrence);
+        w.field("node", tb.iiNode);
+        w.field("junction", tb.iiJunction);
+        w.field("bank", tb.iiBank);
+        w.field("queue", tb.iiQueue);
+        w.end();
+        w.field("span_lb", tb.spanLb);
+        w.field("path_lb", tb.pathLb);
+        w.end();
+    }
+    w.end();
+    w.beginArray("structures");
+    for (const auto &sb : d.structures) {
+        w.beginObject();
+        w.field("name", sb.structure->name());
+        w.field("kind", structureKindName(sb.structure->kind()));
+        w.field("banks", sb.structure->banks());
+        w.field("ports_per_bank", sb.structure->portsPerBank());
+        w.field("beats_lb", sb.beatsLb);
+        w.field("lines_lb", sb.linesLb);
+        w.field("bank_bound_cycles", sb.bankCycles);
+        w.end();
+    }
+    w.end();
+    w.beginArray("junctions");
+    for (const auto &tj : d.junctions) {
+        w.beginObject();
+        w.field("task", tj.task->name());
+        w.field("bound_cycles", tj.cycles);
+        w.end();
+    }
+    w.end();
+    w.end();
+    os << "\n";
+}
+
+} // namespace muir::uir::analysis

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * μbound whole-design bottleneck report: composes the per-task II/
+ * span bounds (ii_bound.hh) with per-structure footprints
+ * (footprint.hh) into one sound lower bound on total simulated
+ * cycles, and names the binding structure or task. Rendered as text
+ * (`muirc --analyze`) and as the `muir.static.v1` JSON schema
+ * (`muirc --analyze-json`); field order is deterministic — tasks and
+ * structures appear in design container order.
+ */
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "uir/analysis/ii_bound.hh"
+#include "uir/analysis/manager.hh"
+
+namespace muir::uir::analysis
+{
+
+/** Whole-design throughput bound and its binding resource. */
+struct DesignBound
+{
+    /** Sound lower bound on total simulated cycles. */
+    uint64_t cycleLb = 0;
+    /** Binding resource kind: critical-path | bank-ports | junction |
+     *  dram-bandwidth. */
+    std::string bottleneckKind = "critical-path";
+    /** Name of the binding task or structure. */
+    std::string bottleneckName;
+
+    /** Component bounds feeding cycleLb. */
+    uint64_t pathLb = 0; ///< root task critical path
+    uint64_t dramLb = 0; ///< cold-miss DRAM transfer serialization
+
+    struct StructBound
+    {
+        const Structure *structure = nullptr;
+        uint64_t beatsLb = 0;
+        uint64_t linesLb = 0;
+        /** Cycles implied by serializing beatsLb on the bank ports. */
+        uint64_t bankCycles = 0;
+    };
+    /** One entry per non-DRAM structure, in design order. */
+    std::vector<StructBound> structures;
+
+    struct TaskJunction
+    {
+        const Task *task = nullptr;
+        /** Cycles implied by junction port pressure across all
+         *  invocations and tiles. */
+        uint64_t cycles = 0;
+    };
+    /** One entry per task, in design order. */
+    std::vector<TaskJunction> junctions;
+};
+
+class BoundReportAnalysis : public AnalysisResult
+{
+  public:
+    static constexpr const char *kId = "bound-report";
+
+    static std::unique_ptr<BoundReportAnalysis>
+    run(const Accelerator &accel, AnalysisManager &am);
+
+    const DesignBound &design() const { return bound_; }
+
+  private:
+    DesignBound bound_;
+};
+
+/** @name Report rendering (muirc --analyze / --analyze-json) @{ */
+
+/** Section names accepted by renderAnalysisText / --analyze-section. */
+const std::vector<std::string> &analysisSectionNames();
+
+/**
+ * Render the human-readable report. @p section is one of
+ * analysisSectionNames() ("all" prints everything).
+ */
+void renderAnalysisText(AnalysisManager &am, const std::string &section,
+                        std::ostream &os);
+
+/** Render the full muir.static.v1 JSON document. */
+void renderAnalysisJson(AnalysisManager &am, std::ostream &os);
+
+/** @} */
+
+} // namespace muir::uir::analysis

@@ -1,0 +1,168 @@
+#include "uir/analysis/footprint.hh"
+
+#include <algorithm>
+
+namespace muir::uir::analysis
+{
+
+namespace
+{
+
+uint64_t
+satAdd(uint64_t a, uint64_t b)
+{
+    uint64_t out;
+    return __builtin_add_overflow(a, b, &out) ? UINT64_MAX : out;
+}
+
+uint64_t
+satMul(uint64_t a, uint64_t b)
+{
+    uint64_t out;
+    return __builtin_mul_overflow(a, b, &out) ? UINT64_MAX : out;
+}
+
+/**
+ * Distinct lines touched by one invocation's affine access set
+ * {off + stride*k : k in [0, trip)}, minimized over all possible
+ * base alignments (the runtime base address is unknown).
+ */
+uint64_t
+singleInvocationLines(const MemFact &f, unsigned line_bytes)
+{
+    if (!f.affine || f.trip == 0 || line_bytes == 0)
+        return 0;
+    uint64_t stride =
+        f.stride < 0 ? uint64_t(-(f.stride + 1)) + 1 : uint64_t(f.stride);
+    if (stride == 0)
+        return 1;
+    if (stride >= line_bytes)
+        return f.trip; // Every step lands in a fresh line.
+    // Line index is monotone with steps of at most one; worst-case
+    // alignment still crosses floor(span / lineBytes) boundaries.
+    uint64_t span = satMul(stride, f.trip - 1);
+    return span / line_bytes + 1;
+}
+
+} // namespace
+
+std::unique_ptr<FootprintAnalysis>
+FootprintAnalysis::run(const Accelerator &accel, AnalysisManager &am)
+{
+    const ValueRangeAnalysis &vr = am.get<ValueRangeAnalysis>();
+    auto result = std::make_unique<FootprintAnalysis>();
+
+    for (const auto &task : accel.tasks()) {
+        const TaskRangeFacts &tf = vr.of(*task);
+        for (const Node *n : task->memOps()) {
+            MemFact f;
+            f.node = n;
+            f.guarded = n->guard().valid();
+            f.words = std::max(1u, n->accessWords());
+            f.structure = accel.findStructureForSpace(n->memSpace());
+            if (f.structure != nullptr) {
+                unsigned wide = std::max(1u, f.structure->wideWords());
+                f.beats = (f.words + wide - 1) / wide;
+            }
+            // Address operand: loads take (addr), stores (value, addr).
+            unsigned addr_slot =
+                n->kind() == NodeKind::Store ? 1 : 0;
+            if (addr_slot < n->numInputs()) {
+                const ValueRange &a = vr.of(*n->input(addr_slot).node,
+                                            n->input(addr_slot).out);
+                if (a.known && a.base != nullptr) {
+                    f.base = a.base;
+                    f.offsetKnown = true;
+                    f.lo = a.lo;
+                    f.hi = a.hi;
+                }
+                f.accessesLb = vr.memAccessesLb(*n);
+                if (a.affine && a.base != nullptr && task->isLoop() &&
+                    tf.tripExact && tf.trip > 0 &&
+                    tf.invocationsLb > 0 && !f.guarded) {
+                    f.affine = true;
+                    f.stride = a.stride;
+                    f.off = a.off;
+                    f.trip = tf.trip;
+                }
+            }
+            result->byNode_[n] = result->facts_.size();
+            result->facts_.push_back(f);
+        }
+    }
+
+    // ---- Per-structure aggregation. ----
+    // Distinct-line bounds: per base array take the strongest single-
+    // invocation bound; arrays are disjoint byte ranges, so when every
+    // counted array spans at least one line, any cache line overlaps
+    // at most two of them and summing over-counts by at most one line
+    // per additional array. Otherwise keep the per-array maximum.
+    std::map<const Structure *,
+             std::map<const ir::GlobalArray *, uint64_t>>
+        lines_by_array;
+    for (const MemFact &f : result->facts_) {
+        if (f.structure == nullptr)
+            continue;
+        StructureFootprint &sf = result->perStructure_[f.structure];
+        sf.beatsLb =
+            satAdd(sf.beatsLb, satMul(f.accessesLb, f.beats));
+        if (!f.guarded && f.node->parent() != nullptr) {
+            uint64_t &ib = result->iterBeats_[{f.node->parent(),
+                                               f.structure}];
+            ib = satAdd(ib, f.beats);
+        }
+        if (f.structure->kind() == StructureKind::Cache && f.affine &&
+            f.base != nullptr) {
+            uint64_t lines =
+                singleInvocationLines(f, f.structure->lineBytes());
+            uint64_t &best = lines_by_array[f.structure][f.base];
+            best = std::max(best, lines);
+        }
+    }
+    for (const auto &[s, by_array] : lines_by_array) {
+        uint64_t sum = 0;
+        uint64_t best = 0;
+        bool all_span_line = true;
+        uint64_t counted = 0;
+        for (const auto &[array, lines] : by_array) {
+            if (lines == 0)
+                continue;
+            ++counted;
+            sum = satAdd(sum, lines);
+            best = std::max(best, lines);
+            if (array->sizeBytes() < s->lineBytes())
+                all_span_line = false;
+        }
+        uint64_t lb = best;
+        if (all_span_line && counted > 1 && sum > counted - 1)
+            lb = std::max(lb, sum - (counted - 1));
+        result->perStructure_[s].linesLb = lb;
+    }
+
+    return result;
+}
+
+const MemFact *
+FootprintAnalysis::factOf(const Node &node) const
+{
+    auto it = byNode_.find(&node);
+    return it == byNode_.end() ? nullptr : &facts_[it->second];
+}
+
+const StructureFootprint &
+FootprintAnalysis::of(const Structure &s) const
+{
+    static const StructureFootprint kNone;
+    auto it = perStructure_.find(&s);
+    return it == perStructure_.end() ? kNone : it->second;
+}
+
+uint64_t
+FootprintAnalysis::iterationBeats(const Task &task,
+                                  const Structure &s) const
+{
+    auto it = iterBeats_.find({&task, &s});
+    return it == iterBeats_.end() ? 0 : it->second;
+}
+
+} // namespace muir::uir::analysis

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * μbound static memory-footprint analysis. For every Load/Store node
+ * it resolves the serving structure and combines the address range
+ * from value-range propagation with the node's access width into a
+ * MemFact; per structure it aggregates:
+ *   - beatsLb: total bank-port beats from provably-executed accesses
+ *     (a sound lower bound on dynamic beat demand — every access is
+ *     unguarded and its firing count is guaranteed);
+ *   - linesLb: for caches, a lower bound on distinct lines touched
+ *     (== a lower bound on cold misses, since tags start empty),
+ *     derived alignment-independently from affine per-invocation
+ *     access sets;
+ *   - per-(task, structure) beats of one loop iteration, feeding the
+ *     II bank-pressure component.
+ * The bank-conflict lint (A003) and bottleneck report consume the
+ * per-fact stride descriptors (address strides mod bank count).
+ */
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "uir/analysis/manager.hh"
+#include "uir/analysis/value_range.hh"
+#include "uir/structure.hh"
+#include "uir/task.hh"
+
+namespace muir::uir::analysis
+{
+
+/** Static facts about one memory node. */
+struct MemFact
+{
+    const Node *node = nullptr;
+    /** Serving structure (never DRAM; null when unresolvable). */
+    const Structure *structure = nullptr;
+    /** Base array of the address, when provenance is known. */
+    const ir::GlobalArray *base = nullptr;
+    /** Byte-offset interval of the first accessed word (valid when
+     *  base != null and the address range is known). */
+    bool offsetKnown = false;
+    int64_t lo = 0, hi = 0;
+    /** Words and bank-port beats per access on this structure. */
+    unsigned words = 1, beats = 1;
+    bool guarded = false;
+    /** Guaranteed dynamic accesses (0 when unprovable/guarded). */
+    uint64_t accessesLb = 0;
+    /** Within one invocation: offset == off + stride * k exactly for
+     *  iterations k in [0, trip); requires an exact trip count and a
+     *  guaranteed invocation. */
+    bool affine = false;
+    int64_t stride = 0, off = 0;
+    uint64_t trip = 0;
+};
+
+/** Aggregated demand on one structure. */
+struct StructureFootprint
+{
+    /** Total guaranteed beats (loads + stores). */
+    uint64_t beatsLb = 0;
+    /** Cache only: distinct-lines (== cold-miss) lower bound. */
+    uint64_t linesLb = 0;
+};
+
+class FootprintAnalysis : public AnalysisResult
+{
+  public:
+    static constexpr const char *kId = "footprint";
+
+    static std::unique_ptr<FootprintAnalysis>
+    run(const Accelerator &accel, AnalysisManager &am);
+
+    /** One fact per Load/Store node, in task/node id order. */
+    const std::vector<MemFact> &memFacts() const { return facts_; }
+
+    /** Fact for a specific memory node (null if not a mem node). */
+    const MemFact *factOf(const Node &node) const;
+
+    const StructureFootprint &of(const Structure &s) const;
+
+    /** Beats one loop iteration of `task` puts on `s` (unguarded
+     *  memory nodes only). */
+    uint64_t iterationBeats(const Task &task, const Structure &s) const;
+
+  private:
+    std::vector<MemFact> facts_;
+    std::map<const Node *, size_t> byNode_;
+    std::map<const Structure *, StructureFootprint> perStructure_;
+    std::map<std::pair<const Task *, const Structure *>, uint64_t>
+        iterBeats_;
+};
+
+} // namespace muir::uir::analysis

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * μbound per-task throughput bounds, provably sound against the
+ * discrete-event simulator (sim/timing.cc):
+ *
+ *   - iiLb: a lower bound on the steady-state initiation interval of
+ *     a loop task, measured per invocation as
+ *         span / (iterations - 1)        (iterations >= 2)
+ *     where span is the event span (max finish - min start) of the
+ *     invocation. It combines the loop-control recurrence
+ *     (ctrlStages), the longest carried-value chain (latch-to-next-
+ *     producer path), per-node initiation intervals, junction port
+ *     contention (loads/readPorts, stores/writePorts per iteration),
+ *     bank-port pressure (beats per iteration / bank ports), and —
+ *     when the trip count is exact and the callee has a single
+ *     caller — child-queue backpressure (callee span / queue window).
+ *
+ *   - spanLb: a lower bound on completion - dispatch of any
+ *     invocation; pathLb additionally holds from cycle 0, so
+ *     pathLb(root) <= total simulated cycles.
+ *
+ * Soundness contract (docs/analysis.md): every component is derived
+ * from a scheduling invariant of the simulator — event chains are
+ * additive (start >= max dep finish), per-static-node firings are
+ * initiation-limited per tile, junction and bank ports serve one
+ * beat per cycle, and predicated-off memory/call firings keep their
+ * transit latency but skip the access. Unknown quantities always
+ * degrade toward 0/1, never upward.
+ */
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "uir/analysis/manager.hh"
+#include "uir/task.hh"
+
+namespace muir::uir::analysis
+{
+
+/** Static throughput facts for one task. */
+struct TaskBound
+{
+    /** Sound II lower bound (loop tasks; 1 otherwise). */
+    uint64_t iiLb = 1;
+    /** Which component binds iiLb. */
+    std::string iiBinding = "trivial";
+    /** Individual II components (0 = not applicable). */
+    uint64_t iiControl = 0;
+    uint64_t iiRecurrence = 0;
+    uint64_t iiNode = 0;
+    uint64_t iiJunction = 0;
+    uint64_t iiBank = 0;
+    uint64_t iiQueue = 0;
+    /** Lower bound on completion - dispatch of one invocation. */
+    uint64_t spanLb = 0;
+    /** Lower bound on the latest event finish, counted from cycle 0
+     *  (== a whole-run cycle bound when applied to the root task). */
+    uint64_t pathLb = 0;
+};
+
+class IiBoundAnalysis : public AnalysisResult
+{
+  public:
+    static constexpr const char *kId = "ii-bound";
+
+    static std::unique_ptr<IiBoundAnalysis>
+    run(const Accelerator &accel, AnalysisManager &am);
+
+    const TaskBound &of(const Task &task) const;
+
+  private:
+    std::map<const Task *, TaskBound> perTask_;
+};
+
+} // namespace muir::uir::analysis

@@ -1,0 +1,34 @@
+#include "uir/analysis/manager.hh"
+
+#include <algorithm>
+
+namespace muir::uir::analysis
+{
+
+void
+AnalysisManager::invalidateAll()
+{
+    for (auto &[id, e] : entries_)
+        e.result.reset();
+}
+
+void
+AnalysisManager::preserveOnly(const std::vector<std::string> &preserved)
+{
+    if (std::find(preserved.begin(), preserved.end(), kPreserveAll) !=
+        preserved.end())
+        return;
+    for (auto &[id, e] : entries_)
+        if (std::find(preserved.begin(), preserved.end(), id) ==
+            preserved.end())
+            e.result.reset();
+}
+
+uint64_t
+AnalysisManager::computeCount(const std::string &id) const
+{
+    auto it = entries_.find(id);
+    return it == entries_.end() ? 0 : it->second.computes;
+}
+
+} // namespace muir::uir::analysis

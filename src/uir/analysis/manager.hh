@@ -1,0 +1,104 @@
+/**
+ * @file
+ * μbound's AnalysisManager: a cache of whole-accelerator static
+ * analysis results keyed by (design, analysis-id). Analyses are pure
+ * functions of the design; the manager computes each lazily on first
+ * request, hands out const references, and drops results when a
+ * transformation invalidates them (μopt's PassManager asks each pass
+ * which analyses it preserves and calls preserveOnly after the pass).
+ *
+ * An analysis result type T plugs in by deriving from AnalysisResult
+ * and providing:
+ *   static constexpr const char *kId;   // stable catalog id
+ *   static std::unique_ptr<T> run(const Accelerator &,
+ *                                 AnalysisManager &);
+ * run() may request other analyses through the manager (dependency
+ * cycles panic). Compute counts are observable so tests can prove
+ * that preserved results are reused and invalidated ones recomputed.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/logging.hh"
+#include "uir/accelerator.hh"
+
+namespace muir::uir::analysis
+{
+
+/** Base class of all cached analysis results. */
+class AnalysisResult
+{
+  public:
+    virtual ~AnalysisResult() = default;
+};
+
+/** Preserve-all sentinel accepted by preserveOnly. */
+inline constexpr const char *kPreserveAll = "*";
+
+class AnalysisManager
+{
+  public:
+    explicit AnalysisManager(const Accelerator &accel) : accel_(accel) {}
+
+    AnalysisManager(const AnalysisManager &) = delete;
+    AnalysisManager &operator=(const AnalysisManager &) = delete;
+
+    /** The design this manager's cache is keyed to. */
+    const Accelerator &design() const { return accel_; }
+
+    /** Cached result for T, computing it on first request. */
+    template <class T> const T &get()
+    {
+        // std::map node stability keeps `e` valid across the
+        // recursive get<U>() calls T::run may make.
+        Entry &e = entries_[T::kId];
+        if (e.result == nullptr) {
+            muir_assert(!e.computing,
+                        "analysis dependency cycle at '%s'", T::kId);
+            e.computing = true;
+            ++e.computes;
+            e.result = T::run(accel_, *this);
+            e.computing = false;
+            muir_assert(e.result != nullptr,
+                        "analysis '%s' returned no result", T::kId);
+        }
+        return static_cast<const T &>(*e.result);
+    }
+
+    /** True when T is currently cached (without computing it). */
+    template <class T> bool isCached() const
+    {
+        auto it = entries_.find(T::kId);
+        return it != entries_.end() && it->second.result != nullptr;
+    }
+
+    /** Drop every cached result. */
+    void invalidateAll();
+
+    /**
+     * Drop every cached result whose id is not listed in preserved.
+     * A single kPreserveAll ("*") entry keeps everything.
+     */
+    void preserveOnly(const std::vector<std::string> &preserved);
+
+    /** How many times the analysis with this id has been computed. */
+    uint64_t computeCount(const std::string &id) const;
+
+  private:
+    struct Entry
+    {
+        std::unique_ptr<AnalysisResult> result;
+        bool computing = false;
+        uint64_t computes = 0;
+    };
+
+    const Accelerator &accel_;
+    std::map<std::string, Entry> entries_;
+};
+
+} // namespace muir::uir::analysis

@@ -1,7 +1,6 @@
-#include "uir/analysis.hh"
+#include "uir/analysis/task_metrics.hh"
 
 #include <algorithm>
-#include <map>
 
 #include "uir/delay_model.hh"
 
@@ -32,19 +31,11 @@ pipelineDepthCycles(const Task &task)
     unsigned best = 1;
     for (const Node *n : task.topoOrder()) {
         unsigned in_depth = 0;
-        unsigned limit = n->numInputs();
-        if (n->kind() == NodeKind::LoopControl)
-            limit = 3 + n->numCarried(); // Forward edges only.
-        for (unsigned i = 0; i < limit; ++i) {
-            auto it = depth.find(n->input(i).node);
+        n->forEachForwardDep([&](const Node::PortRef &ref) {
+            auto it = depth.find(ref.node);
             if (it != depth.end())
                 in_depth = std::max(in_depth, it->second);
-        }
-        if (n->guard().valid()) {
-            auto it = depth.find(n->guard().node);
-            if (it != depth.end())
-                in_depth = std::max(in_depth, it->second);
-        }
+        });
         unsigned d = in_depth + effectiveLatency(*n);
         depth[n] = d;
         best = std::max(best, d);
@@ -86,5 +77,33 @@ recurrenceIiCycles(const Task &task)
     }
     return std::max(1u, ii);
 }
+
+namespace analysis
+{
+
+std::unique_ptr<TaskMetricsAnalysis>
+TaskMetricsAnalysis::run(const Accelerator &accel, AnalysisManager &)
+{
+    auto result = std::make_unique<TaskMetricsAnalysis>();
+    for (const auto &task : accel.tasks()) {
+        Metrics m;
+        m.pipelineDepth = pipelineDepthCycles(*task);
+        m.recurrenceIi = recurrenceIiCycles(*task);
+        result->perTask_[task.get()] = m;
+    }
+    return result;
+}
+
+const TaskMetricsAnalysis::Metrics &
+TaskMetricsAnalysis::of(const Task &task) const
+{
+    auto it = perTask_.find(&task);
+    muir_assert(it != perTask_.end(),
+                "task-metrics: task %s not in analyzed design",
+                task.name().c_str());
+    return it->second;
+}
+
+} // namespace analysis
 
 } // namespace muir::uir

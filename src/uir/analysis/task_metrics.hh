@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Per-task heuristic metrics over μIR task dataflows, used by μopt
+ * passes to make quantitative decisions: pipeline depth (critical
+ * path in cycles, using the shared delay model) and iteration-
+ * interval estimates from loop recurrences. §4 Pass 1 motivates
+ * this: "the tensor block has higher latency and we require more
+ * decoupling". TaskMetricsAnalysis caches both per task under the
+ * μbound AnalysisManager so passes and lint checks stop recomputing
+ * them (these two helpers were the framework's first clients).
+ */
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "uir/analysis/manager.hh"
+#include "uir/task.hh"
+
+namespace muir::uir
+{
+
+/**
+ * Critical-path latency of one invocation through the task's forward
+ * dataflow, in cycles (node latencies from the delay model; memory
+ * nodes counted at their transit latency plus a nominal access).
+ */
+unsigned pipelineDepthCycles(const Task &task);
+
+/**
+ * Lower bound on the task's iteration initiation interval: the loop
+ * control recurrence and the longest carried-value chain (for loop
+ * tasks); 1 for plain tasks.
+ */
+unsigned recurrenceIiCycles(const Task &task);
+
+namespace analysis
+{
+
+/** Cached pipeline-depth / recurrence-II metrics for every task. */
+class TaskMetricsAnalysis : public AnalysisResult
+{
+  public:
+    static constexpr const char *kId = "task-metrics";
+
+    struct Metrics
+    {
+        unsigned pipelineDepth = 1;
+        unsigned recurrenceIi = 1;
+    };
+
+    static std::unique_ptr<TaskMetricsAnalysis>
+    run(const Accelerator &accel, AnalysisManager &am);
+
+    const Metrics &of(const Task &task) const;
+
+  private:
+    std::map<const Task *, Metrics> perTask_;
+};
+
+} // namespace analysis
+
+} // namespace muir::uir

@@ -1,0 +1,556 @@
+#include "uir/analysis/value_range.hh"
+
+#include <algorithm>
+#include <set>
+
+namespace muir::uir::analysis
+{
+
+namespace
+{
+
+/** Saturating-checked arithmetic: false means "treat as unknown". */
+bool
+addOk(int64_t a, int64_t b, int64_t &out)
+{
+    return !__builtin_add_overflow(a, b, &out);
+}
+
+bool
+mulOk(int64_t a, int64_t b, int64_t &out)
+{
+    return !__builtin_mul_overflow(a, b, &out);
+}
+
+/** Interval [a.lo,a.hi] + [b.lo,b.hi]; unknown on overflow. */
+ValueRange
+addIntervals(const ValueRange &a, const ValueRange &b)
+{
+    ValueRange r;
+    if (!a.known || !b.known)
+        return r;
+    if (!addOk(a.lo, b.lo, r.lo) || !addOk(a.hi, b.hi, r.hi))
+        return ValueRange::unknown();
+    r.known = true;
+    r.exact = a.exact && b.exact;
+    if ((a.affine || a.exact) && (b.affine || b.exact)) {
+        int64_t stride;
+        int64_t off;
+        if (addOk(a.affine ? a.stride : 0, b.affine ? b.stride : 0,
+                  stride) &&
+            addOk(a.affine ? a.off : a.lo, b.affine ? b.off : b.lo,
+                  off) &&
+            (a.affine || b.affine)) {
+            r.affine = true;
+            r.stride = stride;
+            r.off = off;
+        }
+    }
+    return r;
+}
+
+ValueRange
+negate(const ValueRange &a)
+{
+    ValueRange r;
+    if (!a.known || a.lo == INT64_MIN || a.hi == INT64_MIN)
+        return r;
+    r.known = true;
+    r.lo = -a.hi;
+    r.hi = -a.lo;
+    r.exact = a.exact;
+    if (a.affine && a.stride != INT64_MIN && a.off != INT64_MIN) {
+        r.affine = true;
+        r.stride = -a.stride;
+        r.off = -a.off;
+    }
+    return r;
+}
+
+/** Interval × exact scalar (the only multiplication we track). */
+ValueRange
+mulByConst(const ValueRange &a, int64_t c)
+{
+    ValueRange r;
+    if (!a.known)
+        return r;
+    int64_t x, y;
+    if (!mulOk(a.lo, c, x) || !mulOk(a.hi, c, y))
+        return r;
+    r.known = true;
+    r.lo = std::min(x, y);
+    r.hi = std::max(x, y);
+    r.exact = a.exact;
+    if (a.affine) {
+        int64_t stride, off;
+        if (mulOk(a.stride, c, stride) && mulOk(a.off, c, off)) {
+            r.affine = true;
+            r.stride = stride;
+            r.off = off;
+        }
+    }
+    return r;
+}
+
+/** Exact integer evaluation mirroring ir::applyPureOp. */
+bool
+evalExact(ir::Op op, const std::vector<ValueRange> &ops, int64_t &out)
+{
+    for (const auto &o : ops)
+        if (!o.exact || o.base != nullptr)
+            return false;
+    auto a = [&] { return ops.at(0).lo; };
+    auto b = [&] { return ops.at(1).lo; };
+    switch (op) {
+      case ir::Op::Add: return addOk(a(), b(), out);
+      case ir::Op::Sub: return !__builtin_sub_overflow(a(), b(), &out);
+      case ir::Op::Mul: return mulOk(a(), b(), out);
+      case ir::Op::SDiv:
+        if (b() == 0 || (a() == INT64_MIN && b() == -1))
+            return false;
+        out = a() / b();
+        return true;
+      case ir::Op::SRem:
+        if (b() == 0 || (a() == INT64_MIN && b() == -1))
+            return false;
+        out = a() % b();
+        return true;
+      case ir::Op::And: out = a() & b(); return true;
+      case ir::Op::Or:  out = a() | b(); return true;
+      case ir::Op::Xor: out = a() ^ b(); return true;
+      case ir::Op::Shl:
+        out = static_cast<int64_t>(static_cast<uint64_t>(a())
+                                   << (b() & 63));
+        return true;
+      case ir::Op::LShr:
+        out = static_cast<int64_t>(static_cast<uint64_t>(a()) >>
+                                   (b() & 63));
+        return true;
+      case ir::Op::AShr: out = a() >> (b() & 63); return true;
+      case ir::Op::ICmpEq:  out = a() == b(); return true;
+      case ir::Op::ICmpNe:  out = a() != b(); return true;
+      case ir::Op::ICmpSlt: out = a() < b(); return true;
+      case ir::Op::ICmpSle: out = a() <= b(); return true;
+      case ir::Op::ICmpSgt: out = a() > b(); return true;
+      case ir::Op::ICmpSge: out = a() >= b(); return true;
+      case ir::Op::ZExt:
+      case ir::Op::SExt:
+        out = a();
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isCompare(ir::Op op)
+{
+    switch (op) {
+      case ir::Op::ICmpEq: case ir::Op::ICmpNe: case ir::Op::ICmpSlt:
+      case ir::Op::ICmpSle: case ir::Op::ICmpSgt: case ir::Op::ICmpSge:
+      case ir::Op::FCmpOeq: case ir::Op::FCmpOlt: case ir::Op::FCmpOle:
+      case ir::Op::FCmpOgt: case ir::Op::FCmpOge:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/**
+ * Transfer function for one pure op over already-computed operand
+ * ranges. `type` is the op's result type (GEP element sizing).
+ */
+ValueRange
+transferOp(ir::Op op, const std::vector<ValueRange> &ops,
+           const ir::Type &type)
+{
+    if (op == ir::Op::GEP) {
+        // base + index * elemBytes, offset tracked relative to the
+        // base array (runtime base addresses are unknown statically).
+        if (ops.size() < 2 || !ops[0].known || ops[0].base == nullptr ||
+            !type.isPtr())
+            return ValueRange::unknown();
+        int64_t elem = type.pointee().sizeBytes();
+        ValueRange scaled = mulByConst(ops[1], elem);
+        ValueRange r = addIntervals(ops[0], scaled);
+        r.base = ops[0].base;
+        return r;
+    }
+
+    int64_t exact;
+    if (evalExact(op, ops, exact))
+        return ValueRange::constant(exact);
+
+    switch (op) {
+      case ir::Op::Add:
+        if (ops[0].base != nullptr && ops[1].base != nullptr)
+            return ValueRange::unknown();
+        if (ops[0].base != nullptr || ops[1].base != nullptr) {
+            ValueRange r = addIntervals(ops[0], ops[1]);
+            r.base = ops[0].base != nullptr ? ops[0].base : ops[1].base;
+            return r;
+        }
+        return addIntervals(ops[0], ops[1]);
+      case ir::Op::Sub: {
+        if (ops[1].base != nullptr)
+            return ValueRange::unknown();
+        ValueRange r = addIntervals(ops[0], negate(ops[1]));
+        r.base = ops[0].base;
+        return r;
+      }
+      case ir::Op::Mul:
+        if (ops[0].base != nullptr || ops[1].base != nullptr)
+            return ValueRange::unknown();
+        if (ops[1].exact)
+            return mulByConst(ops[0], ops[1].lo);
+        if (ops[0].exact)
+            return mulByConst(ops[1], ops[0].lo);
+        return ValueRange::unknown();
+      case ir::Op::Shl:
+        if (ops[1].exact && ops[1].lo >= 0 && ops[1].lo < 62 &&
+            ops[0].base == nullptr)
+            return mulByConst(ops[0], int64_t(1) << ops[1].lo);
+        return ValueRange::unknown();
+      case ir::Op::SRem:
+        // x % r with r an exact positive modulus and x >= 0.
+        if (ops[1].exact && ops[1].lo > 0 && ops[0].known &&
+            ops[0].lo >= 0 && ops[0].base == nullptr) {
+            ValueRange r;
+            r.known = true;
+            r.lo = 0;
+            r.hi = std::min(ops[0].hi, ops[1].lo - 1);
+            return r;
+        }
+        return ValueRange::unknown();
+      case ir::Op::Select:
+        if (ops.size() == 3)
+            return ValueRange::join(ops[1], ops[2]);
+        return ValueRange::unknown();
+      case ir::Op::ZExt:
+      case ir::Op::SExt:
+        // Canonical runtime storage is a sign-extended int64; both
+        // casts are the identity on it (see ir/op_eval.cc).
+        return ops[0];
+      case ir::Op::Trunc: {
+        unsigned bits = type.bits();
+        if (bits >= 64)
+            return ops[0];
+        if (bits == 0 || !ops[0].known || ops[0].base != nullptr)
+            return ValueRange::unknown();
+        int64_t max = (int64_t(1) << (bits - 1)) - 1;
+        int64_t min = -max - 1;
+        if (ops[0].lo >= min && ops[0].hi <= max)
+            return ops[0]; // Representable: truncation is identity.
+        return ValueRange::unknown();
+      }
+      default:
+        if (isCompare(op)) {
+            ValueRange r;
+            r.known = true;
+            r.lo = 0;
+            r.hi = 1;
+            return r;
+        }
+        return ValueRange::unknown();
+    }
+}
+
+uint64_t
+satMul(uint64_t a, uint64_t b)
+{
+    uint64_t out;
+    if (__builtin_mul_overflow(a, b, &out))
+        return UINT64_MAX;
+    return out;
+}
+
+} // namespace
+
+ValueRange
+ValueRange::join(const ValueRange &a, const ValueRange &b)
+{
+    ValueRange r;
+    if (!a.known || !b.known || a.base != b.base)
+        return r;
+    r.known = true;
+    r.base = a.base;
+    r.lo = std::min(a.lo, b.lo);
+    r.hi = std::max(a.hi, b.hi);
+    r.exact = a.exact && b.exact && a.lo == b.lo;
+    if (a.affine && b.affine && a.stride == b.stride && a.off == b.off) {
+        r.affine = true;
+        r.stride = a.stride;
+        r.off = a.off;
+    }
+    return r;
+}
+
+std::unique_ptr<ValueRangeAnalysis>
+ValueRangeAnalysis::run(const Accelerator &accel, AnalysisManager &)
+{
+    auto result = std::make_unique<ValueRangeAnalysis>();
+    auto &ranges = result->ranges_;
+    auto &facts = result->taskFacts_;
+
+    static const ValueRange kUnknown;
+
+    auto rangeOf = [&](const Node::PortRef &ref) -> const ValueRange & {
+        auto it = ranges.find({ref.node, ref.out});
+        return it == ranges.end() ? kUnknown : it->second;
+    };
+
+    // ---- Call-graph order: callers before callees (Kahn). ----
+    // Recursive cliques cannot be ordered; their members run last
+    // with unknown live-ins, which keeps every interval sound.
+    std::vector<const Task *> order;
+    std::set<const Task *> processed;
+    {
+        std::map<const Task *, std::set<const Task *>> callers;
+        for (const auto &t : accel.tasks())
+            for (const Node *call : t->childCalls())
+                if (call->callee() != nullptr)
+                    callers[call->callee()].insert(t.get());
+        std::set<const Task *> remaining;
+        for (const auto &t : accel.tasks())
+            remaining.insert(t.get());
+        while (!remaining.empty()) {
+            const Task *next = nullptr;
+            for (const Task *t : remaining) {
+                bool ready = true;
+                for (const Task *c : callers[t])
+                    if (c != t && remaining.count(c))
+                        ready = false;
+                // Self-calls can never be "ready"; exclude them from
+                // the readiness test but not from live-in joins.
+                if (callers[t].count(t))
+                    ready = false;
+                if (ready && (next == nullptr || t->id() < next->id()))
+                    next = t;
+            }
+            if (next == nullptr) {
+                // Recursive clique: fall back to id order.
+                for (const Task *t : remaining)
+                    if (next == nullptr || t->id() < next->id())
+                        next = t;
+            }
+            order.push_back(next);
+            remaining.erase(next);
+        }
+    }
+
+    // Root is invoked exactly once by the driver.
+    if (accel.root() != nullptr)
+        facts[accel.root()].invocationsLb = 1;
+
+    for (const Task *task : order) {
+        TaskRangeFacts &tf = facts[task];
+
+        // ---- Live-in join over every call site. ----
+        std::vector<ValueRange> livein(task->liveIns().size());
+        bool any_site = false;
+        bool all_sites_processed = true;
+        for (const auto &caller : accel.tasks()) {
+            for (const Node *call : caller->childCalls()) {
+                if (call->callee() != task)
+                    continue;
+                if (!processed.count(caller.get())) {
+                    all_sites_processed = false;
+                    continue;
+                }
+                for (unsigned k = 0;
+                     k < livein.size() && k < call->numInputs(); ++k) {
+                    const ValueRange &arg = rangeOf(call->input(k));
+                    // Affinity is relative to the caller's loop; it
+                    // does not survive the call boundary.
+                    ValueRange flat = arg;
+                    flat.affine = false;
+                    flat.stride = flat.off = 0;
+                    livein[k] = any_site
+                                    ? ValueRange::join(livein[k], flat)
+                                    : flat;
+                }
+                any_site = true;
+            }
+        }
+        if (!any_site || !all_sites_processed)
+            for (auto &r : livein)
+                r = ValueRange::unknown();
+
+        // ---- Dataflow walk in topological order. ----
+        for (const Node *n : task->topoOrder()) {
+            switch (n->kind()) {
+              case NodeKind::LiveIn:
+                if (n->liveIndex() < livein.size())
+                    ranges[{n, 0}] = livein[n->liveIndex()];
+                break;
+              case NodeKind::ConstNode:
+                if (!n->constIsFloat())
+                    ranges[{n, 0}] =
+                        ValueRange::constant(n->constInt());
+                break;
+              case NodeKind::GlobalAddr: {
+                ValueRange r;
+                r.known = r.exact = true;
+                r.base = n->global();
+                ranges[{n, 0}] = r;
+                break;
+              }
+              case NodeKind::LoopControl: {
+                const ValueRange &begin = rangeOf(n->input(0));
+                const ValueRange &end = rangeOf(n->input(1));
+                const ValueRange &step = rangeOf(n->input(2));
+                ValueRange iv;
+                int64_t last_iv = 0;
+                if (begin.exact && end.exact && step.exact &&
+                    step.lo > 0) {
+                    tf.tripExact = true;
+                    tf.trip =
+                        end.lo > begin.lo
+                            ? (uint64_t(end.lo) - uint64_t(begin.lo) +
+                               uint64_t(step.lo) - 1) /
+                                  uint64_t(step.lo)
+                            : 0;
+                    int64_t span;
+                    if (tf.trip > 0 &&
+                        mulOk(int64_t(tf.trip - 1), step.lo, span) &&
+                        addOk(begin.lo, span, last_iv)) {
+                        iv.known = true;
+                        iv.lo = begin.lo;
+                        iv.hi = last_iv;
+                        iv.exact = tf.trip == 1;
+                        iv.affine = true;
+                        iv.off = begin.lo;
+                        iv.stride = step.lo;
+                    } else if (tf.trip == 0) {
+                        iv.known = true;
+                        iv.lo = iv.hi = begin.lo;
+                    }
+                } else if (begin.known && end.known &&
+                           end.hi > INT64_MIN) {
+                    // step > 0 is asserted at runtime, so the body
+                    // only ever observes begin <= iv < end.
+                    iv.known = true;
+                    iv.lo = begin.lo;
+                    iv.hi = std::max(begin.lo, end.hi - 1);
+                }
+                ranges[{n, 0}] = iv;
+                // Carried outputs stay unknown (no fixpoint).
+                break;
+              }
+              case NodeKind::Compute: {
+                std::vector<ValueRange> ops;
+                ops.reserve(n->numInputs());
+                for (const auto &ref : n->inputs())
+                    ops.push_back(rangeOf(ref));
+                ranges[{n, 0}] = transferOp(n->op(), ops, n->irType());
+                break;
+              }
+              case NodeKind::Fused: {
+                std::vector<ValueRange> ext;
+                ext.reserve(n->numInputs());
+                for (const auto &ref : n->inputs())
+                    ext.push_back(rangeOf(ref));
+                std::vector<ValueRange> internal;
+                internal.reserve(n->microOps().size());
+                for (const auto &mop : n->microOps()) {
+                    std::vector<ValueRange> ops;
+                    ops.reserve(mop.srcs.size());
+                    for (int src : mop.srcs)
+                        ops.push_back(src < 0 ? ext.at(-src - 1)
+                                              : internal.at(src));
+                    internal.push_back(
+                        transferOp(mop.op, ops, mop.type));
+                }
+                if (!internal.empty())
+                    ranges[{n, 0}] = internal.back();
+                break;
+              }
+              case NodeKind::LiveOut:
+                if (n->numInputs() > 0) {
+                    ValueRange flat = rangeOf(n->input(0));
+                    flat.affine = false;
+                    flat.stride = flat.off = 0;
+                    ranges[{n, 0}] = flat;
+                }
+                break;
+              case NodeKind::SyncNode:
+                ranges[{n, 0}] = ValueRange::constant(1);
+                break;
+              default:
+                // Load results, Store tokens and ChildCall outputs
+                // stay unknown.
+                break;
+            }
+        }
+
+        // ---- Invocation counting along processed call sites. ----
+        uint64_t body_rate =
+            task->isLoop() ? (tf.tripExact ? tf.trip : 0) : 1;
+        uint64_t site_firings = satMul(tf.invocationsLb, body_rate);
+        for (const Node *call : task->childCalls()) {
+            if (call->callee() == nullptr || call->guard().valid())
+                continue;
+            if (call->callee() == task ||
+                processed.count(call->callee()))
+                continue; // Back edge of a recursive clique.
+            facts[call->callee()].invocationsLb =
+                std::min(UINT64_MAX - site_firings,
+                         facts[call->callee()].invocationsLb) +
+                site_firings;
+        }
+
+        processed.insert(task);
+    }
+
+    return result;
+}
+
+const ValueRange &
+ValueRangeAnalysis::of(const Node &node, unsigned out) const
+{
+    static const ValueRange kUnknown;
+    auto it = ranges_.find({&node, out});
+    return it == ranges_.end() ? kUnknown : it->second;
+}
+
+const TaskRangeFacts &
+ValueRangeAnalysis::of(const Task &task) const
+{
+    static const TaskRangeFacts kNone;
+    auto it = taskFacts_.find(&task);
+    return it == taskFacts_.end() ? kNone : it->second;
+}
+
+uint64_t
+ValueRangeAnalysis::firingsLb(const Node &node) const
+{
+    const Task *task = node.parent();
+    if (task == nullptr)
+        return 0;
+    const TaskRangeFacts &tf = of(*task);
+    switch (node.kind()) {
+      case NodeKind::LiveIn:
+      case NodeKind::ConstNode:
+      case NodeKind::GlobalAddr:
+        return tf.invocationsLb; // Once per invocation.
+      default:
+        break;
+    }
+    if (!task->isLoop())
+        return tf.invocationsLb;
+    if (!tf.tripExact)
+        return 0;
+    return satMul(tf.invocationsLb, tf.trip);
+}
+
+uint64_t
+ValueRangeAnalysis::memAccessesLb(const Node &node) const
+{
+    if (node.kind() != NodeKind::Load && node.kind() != NodeKind::Store)
+        return 0;
+    if (node.guard().valid())
+        return 0; // Predicated-off firings skip the memory system.
+    return firingsLb(node);
+}
+
+} // namespace muir::uir::analysis

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * μbound value-range propagation over μIR task dataflows. For every
+ * node output the analysis derives an over-approximating interval of
+ * the values the output can take across all firings, plus two exact
+ * refinements used by the footprint and II analyses:
+ *   - pointer provenance: the global array an address is based on,
+ *     with the interval describing byte offsets from its base (the
+ *     runtime base address itself is unknown statically);
+ *   - affinity: value == off + stride * k exactly at iteration k of
+ *     the owning loop task, for every iteration of every invocation.
+ *
+ * Propagation is interprocedural: live-ins join the argument ranges
+ * of every call site (callers analyzed first in call-graph order;
+ * recursion degrades to unknown). Loop-carried values are unknown —
+ * soundness of the interval never depends on a fixpoint.
+ *
+ * The analysis also derives per-task iteration/invocation facts:
+ * exact trip counts when begin/end/step resolve to constants, and a
+ * guaranteed lower bound on how many times each task is invoked
+ * (guarded call sites and unknown trip counts contribute zero).
+ */
+#pragma once
+
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "uir/analysis/manager.hh"
+#include "uir/task.hh"
+
+namespace muir::uir::analysis
+{
+
+/** What is statically known about one node output. */
+struct ValueRange
+{
+    /** lo/hi hold a valid over-approximating interval. */
+    bool known = false;
+    /** Value interval; byte offsets from base for pointer values. */
+    int64_t lo = 0, hi = 0;
+    /** The value is lo (== hi) on every firing. */
+    bool exact = false;
+    /** Pointer provenance: non-null when the value is an address
+     *  into this global array. */
+    const ir::GlobalArray *base = nullptr;
+    /** value == off + stride * k exactly at iteration k of the
+     *  owning task's loop, within every invocation. */
+    bool affine = false;
+    int64_t stride = 0, off = 0;
+
+    static ValueRange unknown() { return {}; }
+    static ValueRange constant(int64_t v)
+    {
+        ValueRange r;
+        r.known = r.exact = true;
+        r.lo = r.hi = v;
+        return r;
+    }
+    /** Interval hull; exactness/affinity survive only when equal. */
+    static ValueRange join(const ValueRange &a, const ValueRange &b);
+};
+
+/** Per-task iteration and invocation facts. */
+struct TaskRangeFacts
+{
+    /** trip holds the exact iteration count of every invocation. */
+    bool tripExact = false;
+    uint64_t trip = 0;
+    /** Guaranteed number of invocations (lower bound; root is 1). */
+    uint64_t invocationsLb = 0;
+};
+
+class ValueRangeAnalysis : public AnalysisResult
+{
+  public:
+    static constexpr const char *kId = "value-range";
+
+    static std::unique_ptr<ValueRangeAnalysis>
+    run(const Accelerator &accel, AnalysisManager &am);
+
+    /** Range of output `out` of `node` (unknown() if untracked). */
+    const ValueRange &of(const Node &node, unsigned out = 0) const;
+
+    const TaskRangeFacts &of(const Task &task) const;
+
+    /**
+     * Guaranteed lower bound on dynamic firings of a body node:
+     * invocations × trip count for loop bodies (0 when the trip
+     * count is not exact).
+     */
+    uint64_t firingsLb(const Node &node) const;
+
+    /**
+     * Firings that reach the memory system: firingsLb for unguarded
+     * Load/Store nodes, 0 for guarded ones (predicated-off memory
+     * nodes fire for flow control but skip the access).
+     */
+    uint64_t memAccessesLb(const Node &node) const;
+
+  private:
+    std::map<std::pair<const Node *, unsigned>, ValueRange> ranges_;
+    std::map<const Task *, TaskRangeFacts> taskFacts_;
+};
+
+} // namespace muir::uir::analysis

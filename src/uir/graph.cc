@@ -111,6 +111,14 @@ Node::accessWords() const
 }
 
 unsigned
+Node::numForwardInputs() const
+{
+    if (kind_ == NodeKind::LoopControl)
+        return 3 + numCarried_; // begin/end/step + carried inits.
+    return inputs_.size();
+}
+
+unsigned
 Node::numOutputs() const
 {
     switch (kind_) {
@@ -353,12 +361,6 @@ Task::topoOrderInto(std::vector<Node *> &order) const
     // loop dispatches communicating through memory) still execute in
     // the order the program wrote them during functional replay.
     std::map<const Node *, unsigned> pending;
-    auto forwardInputs = [&](const Node *n) {
-        unsigned count = n->numInputs();
-        if (n->kind() == NodeKind::LoopControl)
-            count = 3 + n->numCarried(); // Exclude next-value slots.
-        return count + (n->guard().valid() ? 1 : 0);
-    };
     auto by_id_desc = [](const Node *a, const Node *b) {
         return a->id() > b->id();
     };
@@ -366,7 +368,7 @@ Task::topoOrderInto(std::vector<Node *> &order) const
                         decltype(by_id_desc)>
         ready(by_id_desc);
     for (const auto &n : nodes_) {
-        unsigned deps = forwardInputs(n.get());
+        unsigned deps = n->numForwardDeps();
         pending[n.get()] = deps;
         if (deps == 0)
             ready.push(n.get());
@@ -386,14 +388,10 @@ Task::topoOrderInto(std::vector<Node *> &order) const
         for (Node *user : unique_users) {
             // Does this edge count as a forward dependence for user?
             unsigned forward = 0;
-            unsigned limit = user->numInputs();
-            if (user->kind() == NodeKind::LoopControl)
-                limit = 3 + user->numCarried();
-            for (unsigned i = 0; i < limit; ++i)
-                if (user->input(i).node == n)
+            user->forEachForwardDep([&](const Node::PortRef &ref) {
+                if (ref.node == n)
                     ++forward;
-            if (user->guard().valid() && user->guard().node == n)
-                ++forward;
+            });
             if (forward == 0)
                 continue;
             auto it = pending.find(user);
@@ -418,12 +416,6 @@ Task::executionOrder() const
     order.reserve(nodes_.size());
     std::set<const Node *> visited;
 
-    auto forwardLimit = [](const Node *n) {
-        if (n->kind() == NodeKind::LoopControl)
-            return 3u + n->numCarried();
-        return n->numInputs();
-    };
-
     // Iterative DFS (graphs can be deep after long chains).
     auto visit = [&](Node *root) {
         if (visited.count(root))
@@ -435,8 +427,8 @@ Task::executionOrder() const
                 stack.pop_back();
                 continue;
             }
-            unsigned limit = forwardLimit(n);
-            unsigned total = limit + (n->guard().valid() ? 1 : 0);
+            unsigned limit = n->numForwardInputs();
+            unsigned total = n->numForwardDeps();
             if (next_dep < total) {
                 Node *dep = next_dep < limit
                                 ? n->input(next_dep).node

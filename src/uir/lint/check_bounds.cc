@@ -1,0 +1,241 @@
+/**
+ * @file
+ * A001/A002/A003 — μbound-powered checks. These are the lint clients
+ * of the static analysis framework (uir/analysis/): value ranges
+ * prove memory accesses out of bounds, task metrics size child
+ * queues, and affine address strides expose bank-conflict hotspots.
+ * All three only report what the analyses *prove* — unknown ranges
+ * and inexact trip counts silently pass, so the checks stay quiet on
+ * designs the analyses cannot see through.
+ */
+#include <algorithm>
+#include <numeric>
+
+#include "support/strings.hh"
+#include "uir/analysis/footprint.hh"
+#include "uir/analysis/task_metrics.hh"
+#include "uir/lint/lint.hh"
+
+namespace muir::uir::lint
+{
+
+namespace
+{
+
+/** Shared shape: delegate the plain entry point through a local,
+ *  single-use analysis cache. */
+class AnalysisCheck : public LintCheck
+{
+  public:
+    void run(const Accelerator &accel,
+             std::vector<Diagnostic> &out) const final
+    {
+        analysis::AnalysisManager local(accel);
+        runWith(accel, local, out);
+    }
+
+    void run(const Accelerator &accel, analysis::AnalysisManager *am,
+             std::vector<Diagnostic> &out) const final
+    {
+        if (am == nullptr) {
+            run(accel, out);
+            return;
+        }
+        runWith(accel, *am, out);
+    }
+
+  protected:
+    virtual void runWith(const Accelerator &accel,
+                         analysis::AnalysisManager &am,
+                         std::vector<Diagnostic> &out) const = 0;
+};
+
+/**
+ * A001 mem.oob — accesses whose every possible address falls outside
+ * the bounds of the global array it provably derives from. Over-
+ * approximate ranges mean "possibly out of bounds" stays silent; a
+ * finding here is a definite bug when the access executes.
+ */
+class MemBoundsCheck : public AnalysisCheck
+{
+  public:
+    const char *id() const override { return "A001"; }
+    const char *name() const override { return "mem.oob"; }
+    const char *description() const override
+    {
+        return "memory access provably outside its global array";
+    }
+
+  protected:
+    void runWith(const Accelerator &,
+                 analysis::AnalysisManager &am,
+                 std::vector<Diagnostic> &out) const override
+    {
+        const auto &fp = am.get<analysis::FootprintAnalysis>();
+        for (const analysis::MemFact &f : fp.memFacts()) {
+            if (!f.offsetKnown || f.base == nullptr || f.guarded)
+                continue;
+            uint64_t size = f.base->sizeBytes();
+            uint64_t bytes = uint64_t(f.words) * 4;
+            // Definitely OOB: the entire offset interval is negative,
+            // or even the smallest offset runs past the array end.
+            bool oob = f.hi < 0 ||
+                       (f.lo >= 0 && uint64_t(f.lo) + bytes > size);
+            if (!oob)
+                continue;
+            Diagnostic d;
+            d.severity = Severity::Warning;
+            d.check = "A001";
+            d.node = f.node;
+            d.task = f.node->parent();
+            d.message =
+                fmt("%s of %u word(s) at byte offset [%lld, %lld] is "
+                    "out of bounds for '%s' (%llu bytes)",
+                    f.node->kind() == NodeKind::Load ? "load" : "store",
+                    f.words, static_cast<long long>(f.lo),
+                    static_cast<long long>(f.hi),
+                    f.base->name().c_str(),
+                    static_cast<unsigned long long>(size));
+            out.push_back(std::move(d));
+        }
+    }
+};
+
+/**
+ * A002 queue.undersized — a decoupled child whose queue cannot cover
+ * its own pipeline latency at the parent's dispatch rate, so the
+ * parent will stall on a full queue while the child is merely deep.
+ * Mirrors TaskQueuingPass's auto-sizing model; Note severity because
+ * it is a throughput hint, not a correctness bug.
+ */
+class QueueSizeCheck : public AnalysisCheck
+{
+  public:
+    const char *id() const override { return "A002"; }
+    const char *name() const override { return "queue.undersized"; }
+    const char *description() const override
+    {
+        return "decoupled child queue below its latency-coverage depth";
+    }
+
+  protected:
+    void runWith(const Accelerator &accel,
+                 analysis::AnalysisManager &am,
+                 std::vector<Diagnostic> &out) const override
+    {
+        const auto &tm = am.get<analysis::TaskMetricsAnalysis>();
+        for (const auto &task : accel.tasks()) {
+            if (task->parentTask() == nullptr || !task->decoupled())
+                continue;
+            unsigned latency = tm.of(*task).pipelineDepth;
+            unsigned rate = std::max(
+                1u, tm.of(*task->parentTask()).recurrenceIi);
+            unsigned desired = std::clamp(latency / rate, 2u, 32u);
+            if (task->queueDepth() >= desired)
+                continue;
+            Diagnostic d;
+            d.severity = Severity::Note;
+            d.check = "A002";
+            d.task = task.get();
+            d.message = fmt(
+                "queue depth %u cannot cover %u cycles of child "
+                "latency at the parent's dispatch interval of %u",
+                task->queueDepth(), latency, rate);
+            d.fix = fmt("queue:%u", desired);
+            out.push_back(std::move(d));
+        }
+    }
+};
+
+/**
+ * A003 bank.conflict — an affine access stream whose stride keeps
+ * revisiting a strict subset of a structure's banks, serializing on
+ * bank ports while other banks idle. Fires only on structures that
+ * were actually banked (banks >= 2); suggests a coprime bank count.
+ */
+class BankConflictCheck : public AnalysisCheck
+{
+  public:
+    const char *id() const override { return "A003"; }
+    const char *name() const override { return "bank.conflict"; }
+    const char *description() const override
+    {
+        return "affine stride maps a bank subset; hotspot on banking";
+    }
+
+  protected:
+    void runWith(const Accelerator &,
+                 analysis::AnalysisManager &am,
+                 std::vector<Diagnostic> &out) const override
+    {
+        const auto &fp = am.get<analysis::FootprintAnalysis>();
+        for (const analysis::MemFact &f : fp.memFacts()) {
+            if (!f.affine || f.guarded || f.structure == nullptr ||
+                f.stride == 0)
+                continue;
+            const Structure *s = f.structure;
+            unsigned banks = s->banks();
+            if (banks < 2 || f.trip < banks)
+                continue;
+            // Bank selection granularity (sim/timing.cc): caches bank
+            // by line, scratchpads by wide word.
+            uint64_t unit =
+                s->kind() == StructureKind::Cache
+                    ? s->lineBytes()
+                    : uint64_t(4) * std::max(1u, s->wideWords());
+            uint64_t stride = f.stride < 0
+                                  ? uint64_t(-(f.stride + 1)) + 1
+                                  : uint64_t(f.stride);
+            if (unit == 0 || stride % unit != 0)
+                continue; // Sub-unit strides touch neighboring banks.
+            uint64_t units = stride / unit;
+            if (units == 0)
+                continue;
+            uint64_t g = std::gcd<uint64_t>(banks, units);
+            unsigned distinct = unsigned(banks / g);
+            if (distinct >= banks)
+                continue; // Stride cycles through every bank.
+            Diagnostic d;
+            d.severity = Severity::Warning;
+            d.check = "A003";
+            d.node = f.node;
+            d.task = f.node->parent();
+            d.structure = s;
+            d.message = fmt(
+                "stride-%llu access stream touches only %u of %u "
+                "banks on '%s'; conflicting accesses serialize",
+                static_cast<unsigned long long>(stride), distinct,
+                banks, s->name().c_str());
+            // A bank count coprime with the stride units spreads the
+            // stream across every bank.
+            for (unsigned n = banks + 1; n <= 4 * banks + 1; ++n)
+                if (std::gcd<uint64_t>(n, units) == 1) {
+                    d.fix = fmt("bank:%u", n);
+                    break;
+                }
+            out.push_back(std::move(d));
+        }
+    }
+};
+
+} // namespace
+
+std::unique_ptr<LintCheck>
+makeMemBoundsCheck()
+{
+    return std::make_unique<MemBoundsCheck>();
+}
+
+std::unique_ptr<LintCheck>
+makeQueueSizeCheck()
+{
+    return std::make_unique<QueueSizeCheck>();
+}
+
+std::unique_ptr<LintCheck>
+makeBankConflictCheck()
+{
+    return std::make_unique<BankConflictCheck>();
+}
+
+} // namespace muir::uir::lint

@@ -13,6 +13,13 @@ Linter::add(std::unique_ptr<LintCheck> check)
 std::vector<Diagnostic>
 Linter::run(const Accelerator &accel) const
 {
+    return run(accel, nullptr);
+}
+
+std::vector<Diagnostic>
+Linter::run(const Accelerator &accel,
+            analysis::AnalysisManager *am) const
+{
     std::vector<Diagnostic> diags;
     for (const auto &check : checks_) {
         // A graph that fails structural validation cannot be walked
@@ -21,7 +28,7 @@ Linter::run(const Accelerator &accel) const
         if (check->requiresValidGraph() &&
             countAtLeast(diags, Severity::Error) > 0)
             continue;
-        check->run(accel, diags);
+        check->run(accel, am, diags);
     }
     return diags;
 }
@@ -34,7 +41,10 @@ Linter::standard()
         .add(makeRaceCheck())
         .add(makeDeadlockCheck())
         .add(makePortPressureCheck())
-        .add(makeDeadNodeCheck());
+        .add(makeDeadNodeCheck())
+        .add(makeMemBoundsCheck())
+        .add(makeQueueSizeCheck())
+        .add(makeBankConflictCheck());
     return linter;
 }
 

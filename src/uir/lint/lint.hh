@@ -19,6 +19,11 @@
 #include "uir/accelerator.hh"
 #include "uir/lint/diagnostic.hh"
 
+namespace muir::uir::analysis
+{
+class AnalysisManager;
+}
+
 namespace muir::uir::lint
 {
 
@@ -42,6 +47,20 @@ class LintCheck
                      std::vector<Diagnostic> &out) const = 0;
 
     /**
+     * Analysis-aware variant: checks that consume μbound results
+     * (uir/analysis/) override this to reuse `am`'s cache. The
+     * default forwards to the plain overload. `am`, when non-null,
+     * is keyed to `accel`.
+     */
+    virtual void run(const Accelerator &accel,
+                     analysis::AnalysisManager *am,
+                     std::vector<Diagnostic> &out) const
+    {
+        (void)am;
+        run(accel, out);
+    }
+
+    /**
      * Behavioural checks walk the graph assuming it composes (topo
      * orders exist, call arities match); the Linter skips them when
      * an earlier check reported an Error. The structural check
@@ -61,6 +80,12 @@ std::unique_ptr<LintCheck> makeDeadlockCheck();
 std::unique_ptr<LintCheck> makePortPressureCheck();
 /** X001: nodes whose outputs reach no effect. */
 std::unique_ptr<LintCheck> makeDeadNodeCheck();
+/** A001: provably out-of-bounds memory accesses (value ranges). */
+std::unique_ptr<LintCheck> makeMemBoundsCheck();
+/** A002: statically-undersized child queues. */
+std::unique_ptr<LintCheck> makeQueueSizeCheck();
+/** A003: bank-conflict hotspots from affine access strides. */
+std::unique_ptr<LintCheck> makeBankConflictCheck();
 /** @} */
 
 /** An ordered collection of checks. */
@@ -72,6 +97,14 @@ class Linter
 
     /** Run every check; diagnostics in check order. */
     std::vector<Diagnostic> run(const Accelerator &accel) const;
+
+    /**
+     * Run every check against a shared analysis cache, so checks
+     * consuming μbound analyses reuse results already computed by
+     * passes or the `--analyze` report.
+     */
+    std::vector<Diagnostic> run(const Accelerator &accel,
+                                analysis::AnalysisManager *am) const;
 
     const std::vector<std::unique_ptr<LintCheck>> &checks() const
     {

@@ -164,6 +164,35 @@ class Node
     std::vector<MicroOp> &microOps() { return microOps_; }
     /** @} */
 
+    /** @name Forward-dataflow shape (shared by every graph walk) @{ */
+    /**
+     * Number of leading inputs that are forward dataflow dependences
+     * within one iteration: numInputs() for every kind except
+     * LoopControl, whose carried next-value slots
+     * [3+numCarried, 3+2*numCarried) are loop back edges.
+     */
+    unsigned numForwardInputs() const;
+    /** Forward dependence count including the guard edge. */
+    unsigned numForwardDeps() const
+    {
+        return numForwardInputs() + (guard_.valid() ? 1 : 0);
+    }
+    /**
+     * Invoke fn on every forward-dependence producer port: the first
+     * numForwardInputs() inputs, then the guard when present. This is
+     * the single definition of "forward edge" used by topological
+     * orders, critical-path walks, and the verifier.
+     */
+    template <class Fn> void forEachForwardDep(Fn &&fn) const
+    {
+        unsigned limit = numForwardInputs();
+        for (unsigned i = 0; i < limit; ++i)
+            fn(inputs_[i]);
+        if (guard_.valid())
+            fn(guard_);
+    }
+    /** @} */
+
     /** Number of output ports (LoopControl: 1 + carried; others 1). */
     unsigned numOutputs() const;
 

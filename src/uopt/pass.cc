@@ -20,6 +20,17 @@ PassManager::run(uir::Accelerator &accel)
 {
     records_.clear();
     records_.reserve(passes_.size());
+    std::unique_ptr<uir::analysis::AnalysisManager> local_am;
+    uir::analysis::AnalysisManager *am = analysisManager_;
+    if (am != nullptr) {
+        muir_assert(&am->design() == &accel,
+                    "pass manager: analysis cache keyed to a "
+                    "different design than the one being transformed");
+    } else {
+        local_am = std::make_unique<uir::analysis::AnalysisManager>(
+            accel);
+        am = local_am.get();
+    }
     for (const auto &pass : passes_) {
         PassRecord record;
         record.name = pass->name();
@@ -28,7 +39,10 @@ PassManager::run(uir::Accelerator &accel)
         uint64_t nodes0 = pass->changes().get("nodes.changed");
         uint64_t edges0 = pass->changes().get("edges.changed");
         auto t0 = std::chrono::steady_clock::now();
+        pass->setAnalysisContext(am);
         pass->run(accel);
+        pass->setAnalysisContext(nullptr);
+        am->preserveOnly(pass->preservedAnalyses());
         auto t1 = std::chrono::steady_clock::now();
         record.wallMs =
             std::chrono::duration<double, std::milli>(t1 - t0).count();
@@ -43,7 +57,7 @@ PassManager::run(uir::Accelerator &accel)
         records_.push_back(std::move(record));
         if (lintEnabled_) {
             lastDiagnostics_ =
-                uir::lint::Linter::standard().run(accel);
+                uir::lint::Linter::standard().run(accel, am);
             std::vector<uir::lint::Diagnostic> failing;
             for (const auto &d : lastDiagnostics_)
                 if (d.severity >= failSeverity_)

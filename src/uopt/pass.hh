@@ -14,6 +14,7 @@
 
 #include "support/stats.hh"
 #include "uir/accelerator.hh"
+#include "uir/analysis/manager.hh"
 #include "uir/lint/lint.hh"
 
 namespace muir::uopt
@@ -56,6 +57,29 @@ class Pass
     virtual void run(uir::Accelerator &accel) = 0;
 
     /**
+     * Analysis ids (uir/analysis/) this pass keeps valid: results the
+     * transformation provably does not change. PassManager drops
+     * everything else from its cache after the pass runs. Return a
+     * single uir::analysis::kPreserveAll entry for a pure analysis
+     * pass. Default: preserves nothing.
+     */
+    virtual std::vector<std::string> preservedAnalyses() const
+    {
+        return {};
+    }
+
+    /**
+     * The analysis cache for the design currently being transformed,
+     * installed by PassManager around run(); null when the pass runs
+     * standalone. Passes may consult it instead of recomputing
+     * analyses from scratch (e.g. task-queuing's auto depth).
+     */
+    void setAnalysisContext(uir::analysis::AnalysisManager *am)
+    {
+        am_ = am;
+    }
+
+    /**
      * Change counters recorded by the last run: at least
      * "nodes.changed" and "edges.changed" (Table 4's ΔNode/ΔEdge),
      * plus pass-specific counters.
@@ -68,6 +92,7 @@ class Pass
     void notedEdges(uint64_t n) { changes_.inc("edges.changed", n); }
 
     StatSet changes_;
+    uir::analysis::AnalysisManager *am_ = nullptr;
 };
 
 /**
@@ -113,6 +138,21 @@ class PassManager
     const std::vector<PassRecord> &records() const { return records_; }
     /** @} */
 
+    /** @name Analysis cache plumbing @{ */
+    /**
+     * Share an external analysis cache (keyed to the accelerator the
+     * pipeline will run on). run() then consults each pass's
+     * preservedAnalyses() and drops stale results from this manager
+     * after the pass, so callers holding the manager keep only valid
+     * results. Without one, run() maintains a private cache with the
+     * same invalidation discipline.
+     */
+    void setAnalysisManager(uir::analysis::AnalysisManager *am)
+    {
+        analysisManager_ = am;
+    }
+    /** @} */
+
     /** @name Post-pass lint policy @{ */
     /** Skip the per-pass lint entirely (not recommended). */
     void setLintEnabled(bool enabled) { lintEnabled_ = enabled; }
@@ -130,6 +170,7 @@ class PassManager
 
   private:
     std::vector<std::unique_ptr<Pass>> passes_;
+    uir::analysis::AnalysisManager *analysisManager_ = nullptr;
     std::vector<PassRecord> records_;
     std::function<uint64_t(const uir::Accelerator &)> cycleProbe_;
     bool lintEnabled_ = true;

@@ -37,6 +37,13 @@ class TaskQueuingPass : public Pass
     explicit TaskQueuingPass(unsigned depth = 8) : depth_(depth) {}
     std::string name() const override { return "task-queuing"; }
     void run(uir::Accelerator &accel) override;
+    /** Queue depths change backpressure, not dataflow: value ranges,
+     *  footprints and the latency metrics all survive; the II/bound
+     *  analyses consume queue windows and must recompute. */
+    std::vector<std::string> preservedAnalyses() const override
+    {
+        return {"task-metrics", "value-range", "footprint"};
+    }
 
   private:
     unsigned depth_;
@@ -53,6 +60,12 @@ class ExecutionTilingPass : public Pass
     }
     std::string name() const override { return "execution-tiling"; }
     void run(uir::Accelerator &accel) override;
+    /** Tile counts scale junction/queue capacity (II, bound report)
+     *  but leave the dataflow graph and memory demand untouched. */
+    std::vector<std::string> preservedAnalyses() const override
+    {
+        return {"task-metrics", "value-range", "footprint"};
+    }
 
   private:
     unsigned tiles_;
@@ -74,6 +87,12 @@ class MemoryLocalizationPass : public Pass
     }
     std::string name() const override { return "memory-localization"; }
     void run(uir::Accelerator &accel) override;
+    /** Moves spaces between structures: every structure-dependent
+     *  analysis (footprint, II, bounds) is stale; values are not. */
+    std::vector<std::string> preservedAnalyses() const override
+    {
+        return {"task-metrics", "value-range"};
+    }
 
   private:
     unsigned maxKb_;
@@ -91,6 +110,12 @@ class BankingPass : public Pass
     }
     std::string name() const override { return "banking"; }
     void run(uir::Accelerator &accel) override;
+    /** Bank counts change port capacity only; demand-side facts
+     *  (ranges, beats, lines) stay valid. */
+    std::vector<std::string> preservedAnalyses() const override
+    {
+        return {"task-metrics", "value-range", "footprint"};
+    }
 
   private:
     unsigned banks_;
@@ -131,6 +156,12 @@ class TensorWideningPass : public Pass
   public:
     std::string name() const override { return "tensor-widening"; }
     void run(uir::Accelerator &accel) override;
+    /** Widening reshapes structures and junction widths: beats and
+     *  timing change, but node values and latency metrics do not. */
+    std::vector<std::string> preservedAnalyses() const override
+    {
+        return {"task-metrics", "value-range"};
+    }
 };
 
 } // namespace muir::uopt

@@ -1,6 +1,6 @@
 #include <algorithm>
 
-#include "uir/analysis.hh"
+#include "uir/analysis/task_metrics.hh"
 #include "uopt/passes.hh"
 
 namespace muir::uopt
@@ -18,10 +18,20 @@ TaskQueuingPass::run(uir::Accelerator &accel)
             // Auto mode: cover the task's own latency at the parent's
             // best-case dispatch rate, so the parent never stalls on a
             // full queue while the child is merely deep, not slow.
-            unsigned latency = uir::pipelineDepthCycles(*task);
-            unsigned rate = std::max(
-                1u, uir::recurrenceIiCycles(*task->parentTask()));
-            depth = std::clamp(latency / rate, 2u, 32u);
+            // Inside a pipeline the metrics come from the shared
+            // analysis cache (this pass preserves them, so one
+            // computation serves every task and later passes).
+            unsigned latency, rate;
+            if (am_ != nullptr) {
+                const auto &tm =
+                    am_->get<uir::analysis::TaskMetricsAnalysis>();
+                latency = tm.of(*task).pipelineDepth;
+                rate = tm.of(*task->parentTask()).recurrenceIi;
+            } else {
+                latency = uir::pipelineDepthCycles(*task);
+                rate = uir::recurrenceIiCycles(*task->parentTask());
+            }
+            depth = std::clamp(latency / std::max(1u, rate), 2u, 32u);
             changes_.inc("queues.auto_sized");
         }
         if (task->decoupled() && task->queueDepth() >= depth)

@@ -1,0 +1,574 @@
+/**
+ * @file
+ * μbound unit tests: the AnalysisManager's cache contract (compute
+ * counts prove preserved results are reused and invalidated ones
+ * recomputed, including across a μopt pipeline), the value-range /
+ * footprint / II-bound analyses on known designs, the A001–A003 lint
+ * checks (fire on crafted bugs, silent on clean graphs), and the
+ * muir.static.v1 report renderers (valid, deterministic JSON).
+ */
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hh"
+#include "support/json.hh"
+#include "uir/analysis/bound_report.hh"
+#include "uir/analysis/footprint.hh"
+#include "uir/analysis/ii_bound.hh"
+#include "uir/analysis/task_metrics.hh"
+#include "uir/analysis/value_range.hh"
+#include "uir/lint/lint.hh"
+#include "uopt/pass.hh"
+#include "uopt/passes.hh"
+#include "workloads/driver.hh"
+
+namespace muir
+{
+
+using uir::Accelerator;
+using uir::Node;
+using uir::NodeKind;
+using uir::Structure;
+using uir::StructureKind;
+using uir::Task;
+using uir::TaskKind;
+using uir::analysis::AnalysisManager;
+using uir::analysis::BoundReportAnalysis;
+using uir::analysis::FootprintAnalysis;
+using uir::analysis::IiBoundAnalysis;
+using uir::analysis::TaskMetricsAnalysis;
+using uir::analysis::ValueRangeAnalysis;
+using uir::lint::Diagnostic;
+using uir::lint::Linter;
+using uir::lint::Severity;
+
+namespace
+{
+
+/** A lowered baseline plus the workload that owns its IR module. */
+struct Design
+{
+    workloads::Workload w;
+    std::unique_ptr<Accelerator> accel;
+
+    Accelerator &operator*() { return *accel; }
+    Accelerator *operator->() { return accel.get(); }
+};
+
+Design
+baseline(const std::string &name)
+{
+    Design d{workloads::buildWorkload(name), nullptr};
+    d.accel = workloads::lowerBaseline(d.w);
+    return d;
+}
+
+const Task *
+taskNamed(const Accelerator &accel, const std::string &name)
+{
+    for (const auto &t : accel.tasks())
+        if (t->name() == name)
+            return t.get();
+    return nullptr;
+}
+
+const Diagnostic *
+findCheck(const std::vector<Diagnostic> &diags, const std::string &id)
+{
+    for (const Diagnostic &d : diags)
+        if (d.check == id)
+            return &d;
+    return nullptr;
+}
+
+/** Run only the μbound lint checks (A001–A003). */
+std::vector<Diagnostic>
+lintBounds(const Accelerator &accel)
+{
+    Linter linter;
+    linter.add(uir::lint::makeMemBoundsCheck());
+    linter.add(uir::lint::makeQueueSizeCheck());
+    linter.add(uir::lint::makeBankConflictCheck());
+    AnalysisManager am(accel);
+    return linter.run(accel, &am);
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// AnalysisManager cache contract.
+
+TEST(AnalysisManager, ComputesLazilyAndCachesResults)
+{
+    auto accel = baseline("saxpy");
+    AnalysisManager am(*accel);
+
+    EXPECT_FALSE(am.isCached<ValueRangeAnalysis>());
+    EXPECT_EQ(am.computeCount(ValueRangeAnalysis::kId), 0u);
+
+    const ValueRangeAnalysis &first = am.get<ValueRangeAnalysis>();
+    const ValueRangeAnalysis &second = am.get<ValueRangeAnalysis>();
+    EXPECT_EQ(&first, &second);
+    EXPECT_TRUE(am.isCached<ValueRangeAnalysis>());
+    EXPECT_EQ(am.computeCount(ValueRangeAnalysis::kId), 1u);
+}
+
+TEST(AnalysisManager, PreserveOnlyDropsEverythingElse)
+{
+    auto accel = baseline("saxpy");
+    AnalysisManager am(*accel);
+    am.get<ValueRangeAnalysis>();
+    am.get<TaskMetricsAnalysis>();
+
+    am.preserveOnly({ValueRangeAnalysis::kId});
+    EXPECT_TRUE(am.isCached<ValueRangeAnalysis>());
+    EXPECT_FALSE(am.isCached<TaskMetricsAnalysis>());
+
+    // The preserve-all sentinel keeps the cache intact.
+    am.get<TaskMetricsAnalysis>();
+    am.preserveOnly({uir::analysis::kPreserveAll});
+    EXPECT_TRUE(am.isCached<ValueRangeAnalysis>());
+    EXPECT_TRUE(am.isCached<TaskMetricsAnalysis>());
+
+    am.preserveOnly({});
+    EXPECT_FALSE(am.isCached<ValueRangeAnalysis>());
+
+    am.get<ValueRangeAnalysis>();
+    EXPECT_EQ(am.computeCount(ValueRangeAnalysis::kId), 2u);
+}
+
+TEST(AnalysisManager, DependentAnalysesShareOneComputation)
+{
+    auto accel = baseline("gemm");
+    AnalysisManager am(*accel);
+    // bound-report pulls ii-bound, footprint and value-range; each
+    // must be computed exactly once for the whole tree.
+    am.get<BoundReportAnalysis>();
+    EXPECT_EQ(am.computeCount(BoundReportAnalysis::kId), 1u);
+    EXPECT_EQ(am.computeCount(IiBoundAnalysis::kId), 1u);
+    EXPECT_EQ(am.computeCount(FootprintAnalysis::kId), 1u);
+    EXPECT_EQ(am.computeCount(ValueRangeAnalysis::kId), 1u);
+    am.get<IiBoundAnalysis>();
+    am.get<FootprintAnalysis>();
+    EXPECT_EQ(am.computeCount(IiBoundAnalysis::kId), 1u);
+    EXPECT_EQ(am.computeCount(FootprintAnalysis::kId), 1u);
+}
+
+namespace
+{
+
+/** Two deliberately mutually-recursive analyses (cycle detection). */
+struct CycleB;
+struct CycleA : uir::analysis::AnalysisResult
+{
+    static constexpr const char *kId = "test-cycle-a";
+    static std::unique_ptr<CycleA> run(const Accelerator &,
+                                       AnalysisManager &am);
+};
+struct CycleB : uir::analysis::AnalysisResult
+{
+    static constexpr const char *kId = "test-cycle-b";
+    static std::unique_ptr<CycleB> run(const Accelerator &,
+                                       AnalysisManager &am)
+    {
+        am.get<CycleA>();
+        return std::make_unique<CycleB>();
+    }
+};
+std::unique_ptr<CycleA>
+CycleA::run(const Accelerator &, AnalysisManager &am)
+{
+    am.get<CycleB>();
+    return std::make_unique<CycleA>();
+}
+
+} // namespace
+
+TEST(AnalysisManagerDeath, DependencyCyclePanics)
+{
+    auto accel = baseline("saxpy");
+    AnalysisManager am(*accel);
+    EXPECT_DEATH(am.get<CycleA>(), "dependency cycle");
+}
+
+// ---------------------------------------------------------------------
+// Pass-driven invalidation: the acceptance criterion that caching is
+// observable — a preserved analysis is NOT recomputed across a pass,
+// an invalidated one IS.
+
+TEST(AnalysisManager, PassPipelinePreservesAndInvalidates)
+{
+    auto accel = baseline("gemm");
+    AnalysisManager am(*accel);
+
+    // Warm the cache before any transformation.
+    am.get<TaskMetricsAnalysis>();
+    am.get<IiBoundAnalysis>();
+    EXPECT_EQ(am.computeCount(TaskMetricsAnalysis::kId), 1u);
+    EXPECT_EQ(am.computeCount(IiBoundAnalysis::kId), 1u);
+
+    uopt::PassManager pm;
+    pm.setAnalysisManager(&am);
+    pm.add(std::make_unique<uopt::TaskQueuingPass>(0)); // auto depth
+    pm.run(*accel);
+
+    // TaskQueuingPass preserves task-metrics: its own auto-sizing and
+    // the post-pass lint both reused the warm result.
+    EXPECT_TRUE(am.isCached<TaskMetricsAnalysis>());
+    EXPECT_EQ(am.computeCount(TaskMetricsAnalysis::kId), 1u);
+
+    // Queue depths feed the II bound: it must have been dropped, and
+    // re-requesting it recomputes.
+    EXPECT_FALSE(am.isCached<IiBoundAnalysis>());
+    am.get<IiBoundAnalysis>();
+    EXPECT_EQ(am.computeCount(IiBoundAnalysis::kId), 2u);
+}
+
+TEST(AnalysisManager, PassManagerRejectsForeignCache)
+{
+    auto a = baseline("saxpy");
+    auto b = baseline("saxpy");
+    AnalysisManager am(*a);
+    uopt::PassManager pm;
+    pm.setAnalysisManager(&am);
+    pm.add(std::make_unique<uopt::TaskQueuingPass>(4));
+    EXPECT_DEATH(pm.run(*b), "different design");
+}
+
+// ---------------------------------------------------------------------
+// Value ranges and footprints on a known design.
+
+TEST(ValueRange, SaxpyLoopFactsAreExact)
+{
+    auto accel = baseline("saxpy");
+    AnalysisManager am(*accel);
+    const ValueRangeAnalysis &vr = am.get<ValueRangeAnalysis>();
+
+    const Task *header = taskNamed(*accel, "saxpy.i.header");
+    ASSERT_NE(header, nullptr);
+    ASSERT_TRUE(header->isLoop());
+    EXPECT_TRUE(vr.of(*header).tripExact);
+    EXPECT_EQ(vr.of(*header).trip, 256u);
+    EXPECT_EQ(vr.of(*header).invocationsLb, 1u);
+
+    // The loop-control induction variable is affine: 0 + 1*k.
+    const Node *lc = header->loopControl();
+    const uir::analysis::ValueRange &iv = vr.of(*lc, 0);
+    EXPECT_TRUE(iv.known);
+    EXPECT_TRUE(iv.affine);
+    EXPECT_EQ(iv.off, 0);
+    EXPECT_EQ(iv.stride, 1);
+    EXPECT_EQ(iv.lo, 0);
+    EXPECT_EQ(iv.hi, 255);
+
+    // The body fires once per iteration.
+    const Task *body = taskNamed(*accel, "saxpy.i.body.task");
+    ASSERT_NE(body, nullptr);
+    EXPECT_EQ(vr.of(*body).invocationsLb, 256u);
+}
+
+TEST(Footprint, SaxpyDemandLandsOnItsScratchpad)
+{
+    auto accel = baseline("saxpy");
+    AnalysisManager am(*accel);
+    const FootprintAnalysis &fp = am.get<FootprintAnalysis>();
+
+    // saxpy streams x[i], y[i] and writes z[i]: 3 accesses × 256
+    // iterations, one beat each, all against one structure.
+    uint64_t total = 0;
+    for (const auto &s : accel->structures())
+        total += fp.of(*s).beatsLb;
+    EXPECT_EQ(total, 3u * 256u);
+
+    // Every fact resolves its structure and its accessed array.
+    for (const auto &f : fp.memFacts()) {
+        EXPECT_NE(f.structure, nullptr);
+        EXPECT_GE(f.beats, 1u);
+    }
+}
+
+// ---------------------------------------------------------------------
+// II bounds on a known design.
+
+TEST(IiBound, SaxpyBaselineIsControlBound)
+{
+    auto accel = baseline("saxpy");
+    AnalysisManager am(*accel);
+    const IiBoundAnalysis &ii = am.get<IiBoundAnalysis>();
+
+    const Task *header = taskNamed(*accel, "saxpy.i.header");
+    ASSERT_NE(header, nullptr);
+    const uir::analysis::TaskBound &b = ii.of(*header);
+    // Baseline loop control takes 5 stages (Buffer→φ→i++→cmp→br).
+    EXPECT_EQ(b.iiControl, 5u);
+    EXPECT_EQ(b.iiLb, 5u);
+    EXPECT_EQ(b.iiBinding, "control");
+    // 256 exact iterations: the span covers (trip+1) control steps.
+    EXPECT_GE(b.spanLb, (256u + 1u) * 5u);
+    EXPECT_GE(b.pathLb, b.spanLb);
+}
+
+TEST(IiBound, FusionLowersTheControlComponent)
+{
+    auto accel = baseline("saxpy");
+    AnalysisManager am(*accel);
+    uint64_t before =
+        am.get<IiBoundAnalysis>()
+            .of(*taskNamed(*accel, "saxpy.i.header"))
+            .iiLb;
+
+    uopt::PassManager pm;
+    pm.setAnalysisManager(&am);
+    pm.add(std::make_unique<uopt::OpFusionPass>());
+    pm.run(*accel);
+
+    const uir::analysis::TaskBound &b =
+        am.get<IiBoundAnalysis>().of(*taskNamed(*accel,
+                                                "saxpy.i.header"));
+    EXPECT_EQ(b.iiControl, 2u);
+    EXPECT_LT(b.iiLb, before);
+}
+
+TEST(BoundReport, GemmBaselineBoundIsStructural)
+{
+    auto accel = baseline("gemm");
+    AnalysisManager am(*accel);
+    const uir::analysis::DesignBound &d =
+        am.get<BoundReportAnalysis>().design();
+    EXPECT_GT(d.cycleLb, 0u);
+    EXPECT_GE(d.cycleLb, d.pathLb);
+    EXPECT_FALSE(d.bottleneckName.empty());
+    // Every per-structure and per-task component is itself <= the
+    // composed bound.
+    for (const auto &s : d.structures)
+        EXPECT_LE(s.bankCycles, d.cycleLb);
+    for (const auto &j : d.junctions)
+        EXPECT_LE(j.cycles, d.cycleLb);
+}
+
+// ---------------------------------------------------------------------
+// Lint checks A001–A003.
+
+namespace
+{
+
+/** Root task doing one in-bounds load and one at a crafted offset. */
+struct OobGraph
+{
+    ir::Module m{"oobm"};
+    ir::GlobalArray *arr;
+    Accelerator accel;
+    Task *task;
+    Node *bad = nullptr;
+
+    explicit OobGraph(int64_t byte_off) : accel("oob", &m)
+    {
+        arr = m.addGlobal("a", ir::Type::i32(), 16); // 64 bytes
+        auto *spad =
+            accel.addStructure(StructureKind::Scratchpad, "spad");
+        spad->addSpace(arr->spaceId());
+        task = accel.addTask(TaskKind::Root, "root", nullptr);
+        accel.setRoot(task);
+        Node *ga = task->addGlobalAddr(arr);
+        Node *off = task->addConstInt(ir::Type::i64(), byte_off);
+        Node *addr =
+            task->addCompute(ir::Op::Add, ir::Type::i64(), "addr");
+        addr->addInput(ga);
+        addr->addInput(off);
+        bad = task->addLoad(ir::Type::i32(), arr->spaceId(), "ld");
+        bad->addInput(addr);
+        Node *out = task->addLiveOut(ir::Type::i32(), "out");
+        out->addInput(bad);
+    }
+};
+
+} // namespace
+
+TEST(LintBounds, DefiniteOutOfBoundsLoadIsA001)
+{
+    OobGraph g(400); // a[100] of a 16-element array.
+    auto diags = lintBounds(g.accel);
+    const Diagnostic *d = findCheck(diags, "A001");
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->severity, Severity::Warning);
+    EXPECT_EQ(d->node, g.bad);
+    EXPECT_NE(d->message.find("a"), std::string::npos);
+}
+
+TEST(LintBounds, InBoundsAndUnknownAccessesStaySilent)
+{
+    OobGraph ok(60); // Last valid word.
+    EXPECT_EQ(findCheck(lintBounds(ok.accel), "A001"), nullptr);
+
+    // Over-approximate (unknown) addresses must not fire: A001 only
+    // reports *provable* violations.
+    OobGraph unknown(0);
+    Node *li = unknown.task->addLiveIn(ir::Type::i64(), "i");
+    unknown.bad->rewireInput(0, li, 0);
+    EXPECT_EQ(findCheck(lintBounds(unknown.accel), "A001"), nullptr);
+}
+
+TEST(LintBounds, UndersizedQueueIsA002)
+{
+    auto accel = baseline("gemm");
+    // Decouple the innermost task behind a 1-deep queue: too shallow
+    // for any pipelined child.
+    Task *child = nullptr;
+    for (const auto &t : accel->tasks())
+        if (t->name() == "gemm.mm.k.header")
+            child = t.get();
+    ASSERT_NE(child, nullptr);
+    child->setDecoupled(true);
+    child->setQueueDepth(1);
+
+    auto diags = lintBounds(*accel);
+    const Diagnostic *d = findCheck(diags, "A002");
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->severity, Severity::Note);
+    EXPECT_EQ(d->task, child);
+    EXPECT_EQ(d->fix.rfind("queue:", 0), 0u);
+}
+
+namespace
+{
+
+/** A loop task streaming a strided affine pattern over banks. */
+struct StridedGraph
+{
+    ir::Module m{"stride"};
+    ir::GlobalArray *arr;
+    Accelerator accel;
+    Task *task;
+    Structure *spad;
+    Node *ld = nullptr;
+
+    /** stride in bytes; 16 exact iterations. */
+    explicit StridedGraph(int64_t stride_bytes, unsigned banks)
+        : accel("strided", &m)
+    {
+        arr = m.addGlobal("a", ir::Type::i32(), 1024);
+        spad = accel.addStructure(StructureKind::Scratchpad, "spad");
+        spad->addSpace(arr->spaceId());
+        spad->setBanks(banks);
+        task = accel.addTask(TaskKind::Root, "root", nullptr);
+        accel.setRoot(task);
+        Node *lc = task->addNode(NodeKind::LoopControl, "loop");
+        lc->setIrType(ir::Type::i64());
+        lc->setNumCarried(0);
+        lc->addInput(task->addConstInt(ir::Type::i64(), 0));
+        lc->addInput(task->addConstInt(ir::Type::i64(), 16));
+        lc->addInput(task->addConstInt(ir::Type::i64(), 1));
+        task->setLoopControl(lc);
+        Node *scale =
+            task->addConstInt(ir::Type::i64(), stride_bytes);
+        Node *mul =
+            task->addCompute(ir::Op::Mul, ir::Type::i64(), "mul");
+        mul->addInput(lc, 0);
+        mul->addInput(scale);
+        Node *addr =
+            task->addCompute(ir::Op::Add, ir::Type::i64(), "addr");
+        addr->addInput(task->addGlobalAddr(arr));
+        addr->addInput(mul);
+        ld = task->addLoad(ir::Type::i32(), arr->spaceId(), "ld");
+        ld->addInput(addr);
+        Node *out = task->addLiveOut(ir::Type::i32(), "out");
+        out->addInput(ld);
+    }
+};
+
+} // namespace
+
+TEST(LintBounds, PowerOfTwoStrideOverBanksIsA003)
+{
+    // Stride 32 words over 4 word-interleaved banks: every access
+    // lands on one bank.
+    StridedGraph g(128, 4);
+    auto diags = lintBounds(g.accel);
+    const Diagnostic *d = findCheck(diags, "A003");
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->severity, Severity::Warning);
+    EXPECT_EQ(d->node, g.ld);
+    EXPECT_EQ(d->structure, g.spad);
+    // The suggested bank count must be conflict-free for this stride.
+    EXPECT_EQ(d->fix, "bank:5");
+}
+
+TEST(LintBounds, CoprimeStrideOrSingleBankStaysSilent)
+{
+    StridedGraph coprime(12, 4); // 3 words: gcd(4,3)=1, all banks hit.
+    EXPECT_EQ(findCheck(lintBounds(coprime.accel), "A003"), nullptr);
+
+    StridedGraph single(128, 1); // One bank: nothing to spread.
+    EXPECT_EQ(findCheck(lintBounds(single.accel), "A003"), nullptr);
+}
+
+TEST(LintBounds, EveryBaselineIsCleanUnderWerror)
+{
+    for (const std::string &name : workloads::workloadNames()) {
+        auto accel = baseline(name);
+        for (const Diagnostic &d : lintBounds(*accel))
+            EXPECT_LT(d.severity, Severity::Warning)
+                << name << ": " << d.check << " " << d.message;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Report rendering.
+
+TEST(AnalysisReport, JsonIsValidAndDeterministic)
+{
+    auto accel = baseline("gemm");
+    AnalysisManager am(*accel);
+    std::ostringstream first;
+    uir::analysis::renderAnalysisJson(am, first);
+    std::ostringstream second;
+    uir::analysis::renderAnalysisJson(am, second);
+    EXPECT_EQ(first.str(), second.str());
+
+    std::string error;
+    ASSERT_TRUE(jsonValidate(first.str(), &error)) << error;
+    JsonValue doc;
+    ASSERT_TRUE(jsonParse(first.str(), &doc, &error)) << error;
+    ASSERT_NE(doc.get("schema"), nullptr);
+    EXPECT_EQ(doc.get("schema")->asString(), "muir.static.v1");
+    EXPECT_EQ(doc.get("design")->asString(), "gemm");
+    EXPECT_GT(doc.get("cycle_lb")->asU64(), 0u);
+    ASSERT_NE(doc.get("tasks"), nullptr);
+    EXPECT_FALSE(doc.get("tasks")->items.empty());
+}
+
+TEST(AnalysisReport, TextSectionsAreSelectable)
+{
+    auto accel = baseline("saxpy");
+    AnalysisManager am(*accel);
+    std::ostringstream all;
+    uir::analysis::renderAnalysisText(am, "all", all);
+    EXPECT_NE(all.str().find("bottleneck"), std::string::npos);
+    EXPECT_NE(all.str().find("throughput"), std::string::npos);
+    EXPECT_NE(all.str().find("footprint"), std::string::npos);
+
+    std::ostringstream ii;
+    uir::analysis::renderAnalysisText(am, "ii", ii);
+    EXPECT_EQ(ii.str().find("bottleneck"), std::string::npos);
+    EXPECT_NE(ii.str().find("ii_lb"), std::string::npos);
+}
+
+TEST(AnalysisReport, AnalysesDoNotPerturbSimulation)
+{
+    workloads::Workload w = workloads::buildWorkload("saxpy");
+    auto accel = workloads::lowerBaseline(w);
+    workloads::RunResult before = workloads::runOn(w, *accel);
+    {
+        AnalysisManager am(*accel);
+        am.get<BoundReportAnalysis>();
+        std::ostringstream os;
+        uir::analysis::renderAnalysisJson(am, os);
+    }
+    workloads::RunResult after = workloads::runOn(w, *accel);
+    EXPECT_EQ(before.cycles, after.cycles);
+    EXPECT_EQ(before.firings, after.firings);
+    EXPECT_TRUE(after.check.empty()) << after.check;
+}
+
+} // namespace muir

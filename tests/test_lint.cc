@@ -165,12 +165,15 @@ struct NopPass : uopt::Pass
 TEST(Lint, StandardLinterCoversTheCatalog)
 {
     Linter linter = Linter::standard();
-    ASSERT_EQ(linter.checks().size(), 5u);
+    ASSERT_EQ(linter.checks().size(), 8u);
     EXPECT_STREQ(linter.checks()[0]->id(), "G001");
     EXPECT_STREQ(linter.checks()[1]->id(), "R001");
     EXPECT_STREQ(linter.checks()[2]->id(), "D001");
     EXPECT_STREQ(linter.checks()[3]->id(), "P001");
     EXPECT_STREQ(linter.checks()[4]->id(), "X001");
+    EXPECT_STREQ(linter.checks()[5]->id(), "A001");
+    EXPECT_STREQ(linter.checks()[6]->id(), "A002");
+    EXPECT_STREQ(linter.checks()[7]->id(), "A003");
     for (const auto &c : linter.checks()) {
         EXPECT_NE(std::string(c->name()), "");
         EXPECT_NE(std::string(c->description()), "");

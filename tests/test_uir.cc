@@ -9,7 +9,7 @@
 #include "support/strings.hh"
 #include "uir/accelerator.hh"
 #include "uir/delay_model.hh"
-#include "uir/analysis.hh"
+#include "uir/analysis/task_metrics.hh"
 #include "uir/hwtype.hh"
 #include "uir/verifier.hh"
 

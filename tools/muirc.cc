@@ -35,6 +35,7 @@
 #include "support/logging.hh"
 #include "support/strings.hh"
 #include "support/table.hh"
+#include "uir/analysis/bound_report.hh"
 #include "uir/lint/lint.hh"
 #include "uir/printer.hh"
 #include "uir/serialize.hh"
@@ -60,7 +61,14 @@ usage()
         "                        fusion[:budget%%] tensor\n"
         "  --lint                run µlint static checks on the graph\n"
         "  --lint-json <file>    write µlint diagnostics as JSON\n"
-        "  --Werror              treat lint warnings as errors\n"
+        "  --analyze             µbound: print static throughput bounds\n"
+        "                        (per-task II, footprints, bottleneck)\n"
+        "                        and run the analysis-backed checks\n"
+        "  --analyze-json <file> write the µbound report as JSON\n"
+        "                        (muir.static.v1 schema)\n"
+        "  --analyze-section <s> limit --analyze output to one section:\n"
+        "                        bottleneck, ii, footprint, all\n"
+        "  --Werror              treat lint/analyze warnings as errors\n"
         "  --report              print cycles/synthesis report\n"
         "  --stats               print simulator activity counters\n"
         "  --emit-chisel <file>  write generated Chisel RTL\n"
@@ -98,7 +106,15 @@ usage()
         "  --max-cycles <N>      arm the hang watchdog with a cycle\n"
         "                        budget (also bounds campaign runs)\n"
         "  --emit-firrtl-stats   print circuit-level elaboration size\n"
-        "  --quiet               suppress pass progress chatter\n");
+        "  --quiet               suppress pass progress chatter\n"
+        "\n"
+        "exit codes:\n"
+        "  0  success\n"
+        "  1  runtime failure: functional check, lint/analyze finding\n"
+        "     at or above the blocking severity, watchdog, or an\n"
+        "     unwritable output file\n"
+        "  2  usage error: unknown option/workload, malformed value,\n"
+        "     or unreadable input file\n");
 }
 
 /**
@@ -155,11 +171,12 @@ main(int argc, char **argv)
     std::string workload, passes, emit_chisel, emit_dot, emit_uir;
     std::string emit_verilog, save_graph, load_graph, trace_path;
     std::string lint_json, trace_json, report_json;
+    std::string analyze_json, analyze_section = "all";
     std::string inject_spec, campaign_json;
     unsigned unroll = 1, campaign_runs = 0, campaign_jobs = 0;
     uint64_t campaign_seed = 1, max_cycles = 0;
     bool report = false, stats = false, firrtl_stats = false;
-    bool lint = false, werror = false;
+    bool lint = false, werror = false, analyze = false;
     bool profile = false, critical_path = false;
     bool timeline = false;
     unsigned timeline_windows = 0;
@@ -192,6 +209,24 @@ main(int argc, char **argv)
         } else if (arg == "--lint-json") {
             lint_json = next();
             lint = true;
+        } else if (arg == "--analyze") {
+            analyze = true;
+        } else if (arg == "--analyze-json") {
+            analyze_json = next();
+            analyze = true;
+        } else if (arg == "--analyze-section") {
+            analyze_section = next();
+            analyze = true;
+            const auto &sections = uir::analysis::analysisSectionNames();
+            if (std::find(sections.begin(), sections.end(),
+                          analyze_section) == sections.end()) {
+                std::fprintf(
+                    stderr,
+                    "muirc: unknown analyze section '%s' (valid: %s)\n",
+                    analyze_section.c_str(),
+                    join(sections, ", ").c_str());
+                return 2;
+            }
         } else if (arg == "--Werror") {
             werror = true;
         } else if (arg == "--emit-chisel") {
@@ -348,6 +383,11 @@ main(int argc, char **argv)
     bool want_timeline = timeline || !trace_json.empty() ||
                          !report_json.empty();
 
+    // One analysis cache for the whole invocation: the pass pipeline
+    // invalidates per its preserved sets, and --lint/--analyze reuse
+    // whatever survives.
+    uir::analysis::AnalysisManager am(*accel);
+
     uopt::PassManager pm;
     uint64_t baseline_cycles = uopt::kNoCycles;
     if (!passes.empty()) {
@@ -356,6 +396,7 @@ main(int argc, char **argv)
             std::fprintf(stderr, "muirc: %s\n", pipe_error.c_str());
             return 2;
         }
+        pm.setAnalysisManager(&am);
         if (!report_json.empty()) {
             // Probe cycles after every pass so the report can show
             // which pass bought which speedup.
@@ -367,8 +408,41 @@ main(int argc, char **argv)
         pm.run(*accel);
     }
 
+    if (analyze) {
+        std::ostringstream os;
+        uir::analysis::renderAnalysisText(am, analyze_section, os);
+        std::fputs(os.str().c_str(), stdout);
+        if (!analyze_json.empty()) {
+            std::ostringstream js;
+            uir::analysis::renderAnalysisJson(am, js);
+            if (!writeFile(analyze_json, js.str()))
+                return 1;
+        }
+        // Run the analysis-backed checks (A001..A003) unless --lint
+        // runs them anyway as part of the standard set.
+        if (!lint) {
+            uir::lint::Linter bounds;
+            bounds.add(uir::lint::makeMemBoundsCheck())
+                .add(uir::lint::makeQueueSizeCheck())
+                .add(uir::lint::makeBankConflictCheck());
+            auto diags = bounds.run(*accel, &am);
+            if (!diags.empty())
+                std::fputs(uir::lint::renderText(diags).c_str(),
+                           stderr);
+            unsigned blocking = uir::lint::countAtLeast(
+                diags, werror ? uir::lint::Severity::Warning
+                              : uir::lint::Severity::Error);
+            if (blocking > 0) {
+                std::fprintf(stderr,
+                             "muirc: analyze: %u blocking finding(s)\n",
+                             blocking);
+                return 1;
+            }
+        }
+    }
+
     if (lint) {
-        auto diags = uir::lint::Linter::standard().run(*accel);
+        auto diags = uir::lint::Linter::standard().run(*accel, &am);
         if (!lint_json.empty() &&
             !writeFile(lint_json, uir::lint::renderJson(diags)))
             return 1;
