@@ -1,11 +1,14 @@
 #include "gate/bench_gate.hh"
 
+#include <algorithm>
+#include <chrono>
 #include <map>
 #include <sstream>
 
 #include "support/json.hh"
 #include "support/parallel.hh"
 #include "support/rng.hh"
+#include "support/stats.hh"
 #include "support/strings.hh"
 #include "support/table.hh"
 #include "uopt/pipeline.hh"
@@ -19,6 +22,7 @@ namespace
 {
 
 constexpr const char *kSchema = "muir.bench_gate.v1";
+constexpr const char *kHostperfSchema = "muir.hostperf.gate.v1";
 
 std::string
 cellKey(const std::string &workload, const std::string &config)
@@ -85,11 +89,24 @@ applyPerturbation(uir::Accelerator &accel, const Perturbation &perturb,
     s->setLatency(s->latency() + extra);
 }
 
+/** One wall-clocked measurement of a cell. */
+struct CellSample
+{
+    uint64_t cycles = 0;
+    /** Full cell wall: build + passes + perturb + simulate. */
+    double wallMs = 0.0;
+    /** Simulate-phase wall only (the sim-cycles/sec denominator). */
+    double simMs = 0.0;
+};
+
 /** Build, transform, perturb, and simulate one cell. */
-uint64_t
+CellSample
 measureCell(const GateConfig &config, const Perturbation &perturb,
             std::string *error)
 {
+    using Clock = std::chrono::steady_clock;
+    CellSample sample;
+    Clock::time_point t0 = Clock::now();
     auto w = workloads::buildWorkload(config.workload);
     auto accel = workloads::lowerBaseline(w);
     if (!config.passes.empty()) {
@@ -97,19 +114,26 @@ measureCell(const GateConfig &config, const Perturbation &perturb,
         std::string pipe_error;
         if (!uopt::buildPipeline(pm, config.passes, &pipe_error)) {
             *error = config.workload + ": " + pipe_error;
-            return 0;
+            return sample;
         }
         pm.run(*accel);
     }
     if (perturb.active())
         applyPerturbation(*accel, perturb, cellKey(config));
+    Clock::time_point sim0 = Clock::now();
     auto run = workloads::runOn(w, *accel);
+    Clock::time_point t1 = Clock::now();
     if (!run.check.empty()) {
         *error = config.workload + " (" + config.config +
                  "): functional check failed: " + run.check;
-        return 0;
+        return sample;
     }
-    return run.cycles;
+    sample.cycles = run.cycles;
+    sample.wallMs =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    sample.simMs =
+        std::chrono::duration<double, std::milli>(t1 - sim0).count();
+    return sample;
 }
 
 } // namespace
@@ -142,6 +166,7 @@ measureGate(const GateOptions &opts)
             continue;
         configs.push_back(config);
     }
+    unsigned samples = std::min(9u, std::max(1u, opts.wallSamples));
     // Each cell builds its own workload, design, and memory image, so
     // cells are independent; rows land in matrix order regardless of
     // completion order.
@@ -150,7 +175,28 @@ measureGate(const GateOptions &opts)
             GateRow row;
             row.config = configs[i];
             std::string error;
-            row.actual = measureCell(configs[i], opts.perturb, &error);
+            // Cycles are deterministic, so resampling only serves the
+            // wall-clock columns: report the median wall (robust to
+            // one descheduled sample) and the spread across samples.
+            std::vector<double> walls, sims;
+            Welford spread;
+            for (unsigned s = 0; s < samples; ++s) {
+                CellSample m =
+                    measureCell(configs[i], opts.perturb, &error);
+                row.actual = m.cycles;
+                walls.push_back(m.wallMs);
+                sims.push_back(m.simMs);
+                spread.add(m.wallMs);
+            }
+            std::sort(walls.begin(), walls.end());
+            std::sort(sims.begin(), sims.end());
+            row.wallMs = walls[walls.size() / 2];
+            row.wallStddevMs = spread.stddev();
+            double sim_ms = sims[sims.size() / 2];
+            if (sim_ms > 0.0)
+                row.simCyclesPerSec =
+                    static_cast<double>(row.actual) /
+                    (sim_ms / 1000.0);
             return row;
         });
 }
@@ -169,6 +215,28 @@ goldensJson(const std::vector<GateRow> &rows)
         jw.field("config", row.config.config);
         jw.field("passes", row.config.passes);
         jw.field("cycles", row.actual);
+        jw.end();
+    }
+    jw.end();
+    jw.end();
+    os << "\n";
+    return os.str();
+}
+
+std::string
+hostperfGoldensJson(const std::vector<GateRow> &rows)
+{
+    std::ostringstream os;
+    JsonWriter jw(os);
+    jw.beginObject();
+    jw.field("schema", kHostperfSchema);
+    jw.beginArray("entries");
+    for (const auto &row : rows) {
+        jw.beginObject();
+        jw.field("workload", row.config.workload);
+        jw.field("config", row.config.config);
+        jw.field("wall_ms", row.wallMs);
+        jw.field("sim_cycles_per_sec", row.simCyclesPerSec);
         jw.end();
     }
     jw.end();
@@ -212,6 +280,44 @@ runGate(const std::string &goldens_json, const GateOptions &opts)
             cycles->asU64();
     }
 
+    // Optional μmeter wall-budget check: parse the committed hostperf
+    // goldens up front so a malformed file fails before measuring.
+    std::map<std::string, double> wall_goldens;
+    bool wall_check = opts.wallBudgetPct >= 0.0;
+    if (wall_check) {
+        JsonValue hostperf;
+        if (!jsonParse(opts.hostperfGoldens, &hostperf,
+                       &parse_error)) {
+            result.error = "hostperf goldens: " + parse_error;
+            return result;
+        }
+        const JsonValue *hp_schema = hostperf.get("schema");
+        if (hp_schema == nullptr ||
+            hp_schema->asString() != kHostperfSchema) {
+            result.error =
+                std::string("hostperf goldens: expected schema ") +
+                kHostperfSchema;
+            return result;
+        }
+        const JsonValue *hp_entries = hostperf.get("entries");
+        if (hp_entries == nullptr || !hp_entries->isArray()) {
+            result.error = "hostperf goldens: missing entries array";
+            return result;
+        }
+        for (const auto &e : hp_entries->items) {
+            const JsonValue *wl = e.get("workload");
+            const JsonValue *config = e.get("config");
+            const JsonValue *wall = e.get("wall_ms");
+            if (wl == nullptr || config == nullptr || wall == nullptr) {
+                result.error = "hostperf goldens: entry missing "
+                               "workload/config/wall_ms";
+                return result;
+            }
+            wall_goldens[cellKey(wl->asString(), config->asString())] =
+                wall->asDouble();
+        }
+    }
+
     result.rows = measureGate(opts);
     std::map<std::string, bool> visited;
     bool all_pass = true;
@@ -224,7 +330,21 @@ runGate(const std::string &goldens_json, const GateOptions &opts)
             row.expected = it->second;
             visited[key] = true;
         }
-        all_pass = all_pass && row.pass();
+        if (wall_check) {
+            auto wt = wall_goldens.find(key);
+            if (wt != wall_goldens.end()) {
+                row.haveWallGolden = true;
+                row.wallGoldenMs = wt->second;
+                // A cell without a wall golden is not a failure (the
+                // matrix can grow before the goldens do); only a
+                // measured median beyond golden * (1 + band) trips.
+                row.wallPass =
+                    row.wallMs <=
+                    row.wallGoldenMs *
+                        (1.0 + opts.wallBudgetPct / 100.0);
+            }
+        }
+        all_pass = all_pass && row.pass() && row.wallPass;
     }
     // A full run must also exercise every golden: an entry nothing
     // measures means the matrix and the goldens have drifted apart.
@@ -232,6 +352,8 @@ runGate(const std::string &goldens_json, const GateOptions &opts)
         for (const auto &[key, cycles] : expected)
             if (!visited.count(key))
                 result.stale.push_back(key);
+    result.wallChecked = wall_check;
+    result.wallBudgetPct = wall_check ? opts.wallBudgetPct : 0.0;
     result.ok = all_pass && result.stale.empty();
     return result;
 }
@@ -265,6 +387,32 @@ GateResult::renderTable() const
     for (const auto &key : stale)
         os << "bench gate: stale golden entry " << key
            << " (no measured cell)\n";
+    size_t wall_failures = 0;
+    if (wallChecked) {
+        AsciiTable wt({"workload", "config", "golden ms", "median ms",
+                       "stddev", "delta"});
+        for (const auto &row : rows) {
+            if (row.wallPass)
+                continue;
+            ++wall_failures;
+            wt.addRow({row.config.workload, row.config.config,
+                       fmt("%.2f", row.wallGoldenMs),
+                       fmt("%.2f", row.wallMs),
+                       fmt("%.2f", row.wallStddevMs),
+                       fmt("%+.1f%%",
+                           row.wallGoldenMs > 0.0
+                               ? 100.0 * (row.wallMs -
+                                          row.wallGoldenMs) /
+                                     row.wallGoldenMs
+                               : 0.0)});
+        }
+        if (wall_failures > 0)
+            os << wt.render(
+                fmt("bench gate: wall-clock over budget (+%.0f%%)",
+                    wallBudgetPct));
+        os << fmt("bench gate: wall budget +%.0f%%: %zu cell(s) over\n",
+                  wallBudgetPct, wall_failures);
+    }
     os << fmt("bench gate: %zu config(s), %zu mismatch(es), %zu stale "
               "golden(s) -- %s\n",
               rows.size(), failures, stale.size(),
@@ -273,7 +421,7 @@ GateResult::renderTable() const
 }
 
 std::string
-GateResult::toJson() const
+GateResult::toJson(bool includeHost) const
 {
     std::ostringstream os;
     JsonWriter jw(os);
@@ -281,6 +429,10 @@ GateResult::toJson() const
     jw.field("ok", ok);
     if (!error.empty())
         jw.field("error", error);
+    if (includeHost) {
+        jw.field("wall_checked", wallChecked);
+        jw.field("wall_budget_pct", wallBudgetPct);
+    }
     jw.beginArray("rows");
     for (const auto &row : rows) {
         jw.beginObject();
@@ -291,6 +443,16 @@ GateResult::toJson() const
         jw.field("golden", row.expected);
         jw.field("actual", row.actual);
         jw.field("pass", row.pass());
+        if (includeHost) {
+            jw.field("wall_ms", row.wallMs);
+            jw.field("sim_cycles_per_sec", row.simCyclesPerSec);
+            jw.field("wall_stddev_ms", row.wallStddevMs);
+            if (wallChecked) {
+                jw.field("wall_golden_present", row.haveWallGolden);
+                jw.field("wall_golden_ms", row.wallGoldenMs);
+                jw.field("wall_pass", row.wallPass);
+            }
+        }
         jw.end();
     }
     jw.end();

@@ -81,10 +81,27 @@ struct GateOptions
     /**
      * Concurrent cell measurements; 0 = resolveJobs (MUIR_JOBS, else
      * hardware concurrency). Rows come back in matrix order, so the
-     * result — table, goldens, JSON — is byte-identical at any job
-     * count.
+     * cycle result — table, goldens, JSON — is byte-identical at any
+     * job count (wall-clock fields vary, of course).
      */
     unsigned jobs = 0;
+    /**
+     * μmeter wall-clock regression band, as a percentage over the
+     * committed hostperf golden (e.g. 50 = tolerate up to +50%).
+     * Negative disables the check; cells still record wall_ms and
+     * sim_cycles_per_sec either way. Generous bands are the point:
+     * wall time is machine-dependent, so this is a trend tripwire,
+     * not an exact gate.
+     */
+    double wallBudgetPct = -1.0;
+    /** bench/goldens/hostperf.json text (when wallBudgetPct >= 0). */
+    std::string hostperfGoldens;
+    /**
+     * Wall-clock samples per cell (median is reported); clamped to
+     * [1, 9]. The CLI uses 3 for --wall-budget / --update-hostperf
+     * runs and 1 otherwise.
+     */
+    unsigned wallSamples = 1;
 };
 
 /** One measured cell, with its golden expectation when present. */
@@ -95,6 +112,19 @@ struct GateRow
     uint64_t actual = 0;
     /** False when the goldens file has no entry for this cell. */
     bool haveGolden = false;
+
+    /** @name μmeter host-side measurements (vary run to run) @{ */
+    /** Median wall-clock for the full cell (build + passes + sim). */
+    double wallMs = 0.0;
+    /** Simulated cycles per wall second, from the median sim time. */
+    double simCyclesPerSec = 0.0;
+    /** Sample stddev across the wall samples (0 for one sample). */
+    double wallStddevMs = 0.0;
+    /** Wall golden and verdict, when a wall-budget check ran. */
+    double wallGoldenMs = 0.0;
+    bool haveWallGolden = false;
+    bool wallPass = true;
+    /** @} */
 
     bool pass() const { return haveGolden && expected == actual; }
 };
@@ -109,11 +139,18 @@ struct GateResult
     std::vector<GateRow> rows;
     /** Golden keys that no measured cell exercised (stale entries). */
     std::vector<std::string> stale;
+    /** True when a --wall-budget check ran (and its band). */
+    bool wallChecked = false;
+    double wallBudgetPct = 0.0;
 
     /** Mismatch rows as a readable delta table plus a verdict line. */
     std::string renderTable() const;
-    /** Machine-readable form of the same result. */
-    std::string toJson() const;
+    /**
+     * Machine-readable form of the same result. Host-side fields
+     * (wall_ms, sim_cycles_per_sec, ...) vary run to run; tests that
+     * byte-compare two runs pass includeHost = false.
+     */
+    std::string toJson(bool includeHost = true) const;
 };
 
 /**
@@ -129,5 +166,13 @@ std::vector<GateRow> measureGate(const GateOptions &opts = {});
 
 /** Serialize measured rows as a goldens file (schema v1). */
 std::string goldensJson(const std::vector<GateRow> &rows);
+
+/**
+ * Serialize measured rows as a wall-clock goldens file (schema
+ * muir.hostperf.gate.v1, the committed bench/goldens/hostperf.json).
+ * Kept separate from the cycle goldens: cycles are exact and
+ * machine-independent, wall time is neither.
+ */
+std::string hostperfGoldensJson(const std::vector<GateRow> &rows);
 
 } // namespace muir::gate

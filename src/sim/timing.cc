@@ -1,6 +1,7 @@
 #include "sim/timing.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 #include <memory>
 #include <queue>
@@ -9,6 +10,7 @@
 #include "sim/fault.hh"
 #include "sim/profile.hh"
 #include "support/logging.hh"
+#include "support/metrics.hh"
 #include "uir/delay_model.hh"
 
 namespace muir::sim
@@ -91,6 +93,43 @@ claimPort(std::vector<uint64_t> &ports, uint64_t ready, uint64_t busy)
     return start;
 }
 
+/**
+ * μmeter per-run scratch for the scheduler self-profile. Everything
+ * accumulates locally and is flushed to the sink once per run, so the
+ * hot loop never takes a registry lock. The skip-ahead analysis
+ * tracks the *dispatch frontier* — the latest cycle any node fired —
+ * and attributes every span the frontier jumps over (cycles a tick
+ * scheduler would burn with nothing to dispatch) to what the next
+ * firing was waiting on: an outstanding DRAM fill, queue
+ * backpressure, its tile's initiation interval, port arbitration, or
+ * plain compute latency on the critical path. Firings are processed
+ * in ready order while the frontier tracks start times, so a gap can
+ * occasionally straddle an out-of-order dispatch; the totals are an
+ * estimate (reported as such), not an exact tick census.
+ */
+struct MeterState
+{
+    std::chrono::steady_clock::time_point t0;
+    /** Last-arriving dependency per event (μprof's critDep, kept
+     *  separately so profiling stays optional). */
+    std::vector<uint64_t> critDep;
+    /** 1 when the event's access went out to DRAM. */
+    std::vector<char> dramTouched;
+    metrics::HistogramData queueDepth;
+    metrics::HistogramData gapRuns[metrics::kNumIdleClasses];
+    uint64_t idleCycles[metrics::kNumIdleClasses] = {};
+    /** Latest dispatch cycle seen (cycle 0 assumed occupied). */
+    uint64_t frontier = 0;
+    uint64_t firings = 0;
+
+    void
+    recordGap(metrics::IdleClass c, uint64_t run)
+    {
+        idleCycles[static_cast<unsigned>(c)] += run;
+        gapRuns[static_cast<unsigned>(c)].observe(run);
+    }
+};
+
 } // namespace
 
 TimingResult
@@ -105,6 +144,19 @@ scheduleDdg(const uir::Accelerator &accel, const Ddg &ddg,
     const auto &invocations = ddg.invocations();
     if (prof)
         prof->events.assign(events.size(), EventCost{});
+
+    // μmeter self-profiling. With no sink installed, mstate stays
+    // null, no clock is read, and the schedule is bit-identical to
+    // the unmetered one — the same observational-guard contract the
+    // trace and profile hooks honor.
+    metrics::Registry *meter = metrics::sink();
+    std::unique_ptr<MeterState> mstate;
+    if (meter) {
+        mstate = std::make_unique<MeterState>();
+        mstate->t0 = std::chrono::steady_clock::now();
+        mstate->critDep.assign(events.size(), kNoEvent);
+        mstate->dramTouched.assign(events.size(), 0);
+    }
 
     // Reverse adjacency so finish times propagate to dependents.
     std::vector<uint32_t> pending(events.size(), 0);
@@ -217,6 +269,8 @@ scheduleDdg(const uir::Accelerator &accel, const Ddg &ddg,
         }
         const DynEvent &e = events[id];
         ++processed;
+        if (mstate)
+            mstate->queueDepth.observe(queue.size() + 1);
 
         EventCost *cost = prof ? &prof->events[id] : nullptr;
         if (cost) {
@@ -263,6 +317,7 @@ scheduleDdg(const uir::Accelerator &accel, const Ddg &ddg,
             if (nf.size() < tiles)
                 nf.resize(tiles, 0);
             uint64_t start = std::max(ready, nf[tile]);
+            uint64_t ii_start = start;
             if (cost) {
                 cost->tile = tile;
                 cost->iiWait = start - ready;
@@ -330,6 +385,8 @@ scheduleDdg(const uir::Accelerator &accel, const Ddg &ddg,
                         result.stats.inc("cache.hits");
                     } else {
                         result.stats.inc("cache.misses");
+                        if (mstate)
+                            mstate->dramTouched[id] = 1;
                         double bpc = dram ? dram->bytesPerCycle()
                                           : s->bytesPerCycle();
                         uint64_t xfer = static_cast<uint64_t>(
@@ -388,6 +445,39 @@ scheduleDdg(const uir::Accelerator &accel, const Ddg &ddg,
             if (start > ready)
                 ts.inc("stall_cycles", start - ready);
             ts.inc("events");
+
+            // Skip-ahead accounting: dispatch-idle cycles between the
+            // frontier and this firing, split at the ready / II /
+            // port-claim boundaries. `frontier + 1` because the
+            // frontier cycle itself dispatched something.
+            if (mstate) {
+                ++mstate->firings;
+                uint64_t base = mstate->frontier + 1;
+                if (ready > base) {
+                    metrics::IdleClass cls = metrics::IdleClass::Other;
+                    uint64_t dep = mstate->critDep[id];
+                    if (dep != kNoEvent) {
+                        if (e.queueDep != kNoEvent &&
+                            dep == e.queueDep)
+                            cls = metrics::IdleClass::QueueDrain;
+                        else if (mstate->dramTouched[dep])
+                            cls = metrics::IdleClass::DramReturn;
+                    }
+                    mstate->recordGap(cls, ready - base);
+                    base = ready;
+                }
+                if (start > base) {
+                    uint64_t ii_end = std::max(base, ii_start);
+                    if (ii_end > base)
+                        mstate->recordGap(metrics::IdleClass::TileII,
+                                          ii_end - base);
+                    if (start > ii_end)
+                        mstate->recordGap(metrics::IdleClass::Port,
+                                          start - ii_end);
+                }
+                if (start > mstate->frontier)
+                    mstate->frontier = start;
+            }
         }
 
         if (cost) {
@@ -415,6 +505,8 @@ scheduleDdg(const uir::Accelerator &accel, const Ddg &ddg,
             }
             if (prof && end_time > readyAt[dep_id])
                 prof->events[dep_id].critDep = id;
+            if (mstate && end_time > readyAt[dep_id])
+                mstate->critDep[dep_id] = id;
             readyAt[dep_id] = std::max(readyAt[dep_id], end_time);
             if (--pending[dep_id] == 0)
                 queue.emplace(readyAt[dep_id], dep_id);
@@ -460,6 +552,34 @@ scheduleDdg(const uir::Accelerator &accel, const Ddg &ddg,
                     events.size());
     }
     result.stats.set("invocations", invocations.size());
+
+    // Flush the μmeter scratch: one registry transaction per run.
+    if (meter) {
+        std::chrono::duration<double, std::milli> wall =
+            std::chrono::steady_clock::now() - mstate->t0;
+        meter->timerAdd("sim.schedule", wall.count());
+        meter->add("sim.runs");
+        meter->add("sim.events", processed);
+        meter->add("sim.firings", mstate->firings);
+        meter->add("sim.cycles", result.cycles);
+        meter->add("sim.invocations", invocations.size());
+        meter->gaugeMax("sim.ready_queue_peak",
+                        mstate->queueDepth.maxValue);
+        meter->mergeHistogram("sim.ready_queue_depth",
+                              mstate->queueDepth);
+        uint64_t idle_total = 0;
+        for (unsigned c = 0; c < metrics::kNumIdleClasses; ++c) {
+            std::string name = std::string("sim.idle.") +
+                               metrics::idleClassName(
+                                   static_cast<metrics::IdleClass>(c));
+            idle_total += mstate->idleCycles[c];
+            if (mstate->idleCycles[c])
+                meter->add(name + ".cycles", mstate->idleCycles[c]);
+            meter->mergeHistogram(name + ".run_length",
+                                  mstate->gapRuns[c]);
+        }
+        meter->add("sim.idle.total_cycles", idle_total);
+    }
     return result;
 }
 

@@ -1,10 +1,14 @@
 #include "support/parallel.hh"
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <exception>
 #include <mutex>
+#include <string>
 #include <thread>
+
+#include "support/metrics.hh"
 
 namespace muir
 {
@@ -57,11 +61,39 @@ parallelFor(size_t n, unsigned jobs,
     size_t error_index = ~size_t(0);
     std::exception_ptr error;
 
-    auto worker = [&] {
+    // μmeter pool telemetry: per-worker busy/idle split plus the
+    // work-claim latency distribution. The sink is bound once, before
+    // the threads spawn; with no sink every clock read is skipped and
+    // the loop below is the pre-μmeter loop plus one null test.
+    metrics::Registry *meter = metrics::sink();
+    if (meter) {
+        meter->add("pool.spawns");
+        meter->gaugeMax("pool.workers", jobs);
+    }
+
+    auto worker = [&](unsigned widx) {
+        using Clock = std::chrono::steady_clock;
+        metrics::HistogramData claim;
+        uint64_t items = 0;
+        double busy_us = 0.0;
+        Clock::time_point entered;
+        if (meter)
+            entered = Clock::now();
         for (;;) {
+            Clock::time_point before_claim;
+            if (meter)
+                before_claim = Clock::now();
             size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+            Clock::time_point after_claim;
+            if (meter) {
+                after_claim = Clock::now();
+                claim.observe(static_cast<uint64_t>(
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        after_claim - before_claim)
+                        .count()));
+            }
             if (i >= n)
-                return;
+                break;
             try {
                 fn(i);
             } catch (...) {
@@ -74,14 +106,40 @@ parallelFor(size_t n, unsigned jobs,
                 // items are independent, so finishing in-flight work
                 // is always safe.
             }
+            if (meter) {
+                ++items;
+                std::chrono::duration<double, std::micro> d =
+                    Clock::now() - after_claim;
+                busy_us += d.count();
+            }
+        }
+        if (meter) {
+            std::chrono::duration<double, std::micro> wall =
+                Clock::now() - entered;
+            double idle_us = wall.count() > busy_us
+                                 ? wall.count() - busy_us
+                                 : 0.0;
+            meter->add("pool.items", items);
+            meter->add("pool.busy_us",
+                       static_cast<uint64_t>(busy_us));
+            meter->add("pool.idle_us",
+                       static_cast<uint64_t>(idle_us));
+            std::string prefix =
+                "pool.worker." + std::to_string(widx) + ".";
+            meter->add(prefix + "items", items);
+            meter->add(prefix + "busy_us",
+                       static_cast<uint64_t>(busy_us));
+            meter->add(prefix + "idle_us",
+                       static_cast<uint64_t>(idle_us));
+            meter->mergeHistogram("pool.claim_ns", claim);
         }
     };
 
     std::vector<std::thread> threads;
     threads.reserve(jobs - 1);
     for (unsigned t = 1; t < jobs; ++t)
-        threads.emplace_back(worker);
-    worker();
+        threads.emplace_back(worker, t);
+    worker(0);
     for (auto &t : threads)
         t.join();
     if (error)

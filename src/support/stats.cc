@@ -61,6 +61,47 @@ StatSet::dump() const
     return os.str();
 }
 
+void
+Welford::add(double value)
+{
+    ++count_;
+    double delta = value - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (value - mean_);
+}
+
+void
+Welford::merge(const Welford &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    double n_a = static_cast<double>(count_);
+    double n_b = static_cast<double>(other.count_);
+    double delta = other.mean_ - mean_;
+    uint64_t total = count_ + other.count_;
+    mean_ += delta * n_b / (n_a + n_b);
+    m2_ += other.m2_ + delta * delta * n_a * n_b / (n_a + n_b);
+    count_ = total;
+}
+
+double
+Welford::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+Welford::stddev() const
+{
+    return std::sqrt(variance());
+}
+
 uint64_t
 histogramPercentile(const std::map<uint64_t, uint64_t> &hist,
                     double pct)

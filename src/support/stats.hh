@@ -79,6 +79,41 @@ class StatSet
 };
 
 /**
+ * Streaming mean/variance accumulator (Welford's algorithm). One pass,
+ * O(1) state, numerically stable — suitable for long host-side timing
+ * streams where a naive sum-of-squares would lose precision. Two
+ * accumulators combine exactly with merge() (Chan's parallel update),
+ * which is what lets the metrics registry keep per-thread moments and
+ * still report a global stddev at snapshot time.
+ */
+class Welford
+{
+  public:
+    /** Fold one observation into the running moments. */
+    void add(double value);
+
+    /** Combine another accumulator into this one. */
+    void merge(const Welford &other);
+
+    uint64_t count() const { return count_; }
+
+    /** Arithmetic mean; 0 when empty. */
+    double mean() const { return count_ ? mean_ : 0.0; }
+
+    /** Unbiased sample variance; 0 with fewer than two samples. */
+    double variance() const;
+
+    /** Sample standard deviation; 0 with fewer than two samples. */
+    double stddev() const;
+
+  private:
+    uint64_t count_ = 0;
+    double mean_ = 0.0;
+    /** Sum of squared deviations from the running mean (M2). */
+    double m2_ = 0.0;
+};
+
+/**
  * @name Histogram percentiles
  * The profiler and timeline keep distributions as value → count maps
  * (queue depths, per-window counter levels). These helpers answer

@@ -96,4 +96,96 @@ TEST(BenchGate, MissingGoldenEntryFails)
               std::string::npos);
 }
 
+TEST(BenchGateWall, SelfMeasuredGoldensPassAGenerousBand)
+{
+    GateOptions only_gemm;
+    only_gemm.only = "gemm";
+    only_gemm.wallSamples = 3;
+    auto rows = measureGate(only_gemm);
+    ASSERT_EQ(rows.size(), 2u);
+    for (const auto &row : rows) {
+        EXPECT_GT(row.wallMs, 0.0) << row.config.config;
+        EXPECT_GT(row.simCyclesPerSec, 0.0) << row.config.config;
+    }
+    std::string hostperf = hostperfGoldensJson(rows);
+    std::string error;
+    EXPECT_TRUE(jsonValidate(hostperf, &error)) << error;
+
+    // Gate the same cells against the goldens we just measured with a
+    // band wide enough that scheduler noise can never trip it.
+    GateOptions checked = only_gemm;
+    checked.wallBudgetPct = 10000.0;
+    checked.hostperfGoldens = hostperf;
+    GateResult result = runGate(goldensJson(rows), checked);
+    EXPECT_TRUE(result.error.empty()) << result.error;
+    EXPECT_TRUE(result.ok) << result.renderTable();
+    EXPECT_TRUE(result.wallChecked);
+    for (const auto &row : result.rows) {
+        EXPECT_TRUE(row.haveWallGolden) << row.config.config;
+        EXPECT_TRUE(row.wallPass) << row.config.config;
+    }
+    EXPECT_TRUE(jsonValidate(result.toJson(), &error)) << error;
+    EXPECT_NE(result.toJson().find("wall_ms"), std::string::npos);
+}
+
+TEST(BenchGateWall, ImpossiblyTightGoldensTripTheWallCheck)
+{
+    GateOptions only_gemm;
+    only_gemm.only = "gemm";
+    auto rows = measureGate(only_gemm);
+    // Hand-craft goldens claiming each cell used to take ~0 wall time;
+    // any real measurement blows a +1% band over that.
+    std::string tight =
+        "{\"schema\": \"muir.hostperf.gate.v1\", \"entries\": [";
+    for (size_t i = 0; i < rows.size(); ++i) {
+        if (i)
+            tight += ",";
+        tight += "{\"workload\": \"" + rows[i].config.workload +
+                 "\", \"config\": \"" + rows[i].config.config +
+                 "\", \"wall_ms\": 0.000001, "
+                 "\"sim_cycles_per_sec\": 1}";
+    }
+    tight += "]}";
+    GateOptions checked = only_gemm;
+    checked.wallBudgetPct = 1.0;
+    checked.hostperfGoldens = tight;
+    GateResult result = runGate(goldensJson(rows), checked);
+    EXPECT_TRUE(result.error.empty()) << result.error;
+    EXPECT_FALSE(result.ok);
+    bool tripped = false;
+    for (const auto &row : result.rows)
+        if (row.haveWallGolden && !row.wallPass)
+            tripped = true;
+    EXPECT_TRUE(tripped);
+    EXPECT_NE(result.renderTable().find("wall budget"),
+              std::string::npos);
+
+    // Cycles still match, so the cycle-only view of the same run is
+    // green: the wall check composes, it does not replace.
+    GateOptions uncheck = only_gemm;
+    GateResult plain = runGate(goldensJson(rows), uncheck);
+    EXPECT_TRUE(plain.ok) << plain.renderTable();
+}
+
+TEST(BenchGateWall, MalformedHostperfGoldensAreInputErrors)
+{
+    GateOptions opts;
+    opts.only = "gemm";
+    opts.wallBudgetPct = 50.0;
+    opts.hostperfGoldens = "not json";
+    auto rows = measureGate(opts);
+    EXPECT_FALSE(runGate(goldensJson(rows), opts).error.empty());
+    opts.hostperfGoldens = "{\"schema\": \"wrong.v9\", \"entries\": []}";
+    EXPECT_FALSE(runGate(goldensJson(rows), opts).error.empty());
+    // A missing wall entry is not a failure — wall goldens may trail
+    // the cycle goldens (new workloads land cycles first).
+    opts.hostperfGoldens =
+        "{\"schema\": \"muir.hostperf.gate.v1\", \"entries\": []}";
+    GateResult result = runGate(goldensJson(rows), opts);
+    EXPECT_TRUE(result.error.empty()) << result.error;
+    EXPECT_TRUE(result.ok) << result.renderTable();
+    for (const auto &row : result.rows)
+        EXPECT_FALSE(row.haveWallGolden);
+}
+
 } // namespace muir::gate

@@ -351,6 +351,52 @@ TEST(TableDeathTest, RowArityMismatch)
 // Reference outputs from Vigna's splitmix64.c (seed 0): the generator
 // seeds every µfit campaign and seeded gate perturbation, so drift
 // here silently reshuffles all of them.
+TEST(Welford, MeanAndStddevMatchClosedForm)
+{
+    Welford w;
+    EXPECT_EQ(w.count(), 0u);
+    EXPECT_DOUBLE_EQ(w.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(w.stddev(), 0.0);
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        w.add(v);
+    EXPECT_EQ(w.count(), 8u);
+    EXPECT_DOUBLE_EQ(w.mean(), 5.0);
+    // Sample variance of the classic example set: 32 / 7.
+    EXPECT_NEAR(w.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_NEAR(w.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Welford, SingleSampleHasZeroSpread)
+{
+    Welford w;
+    w.add(42.0);
+    EXPECT_EQ(w.count(), 1u);
+    EXPECT_DOUBLE_EQ(w.mean(), 42.0);
+    EXPECT_DOUBLE_EQ(w.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(w.stddev(), 0.0);
+}
+
+TEST(Welford, MergeMatchesSequentialAccumulation)
+{
+    // Chan's parallel merge must agree with one serial pass — that is
+    // exactly how µmeter's per-thread histogram moments combine.
+    Welford serial, left, right, empty;
+    for (int i = 0; i < 100; ++i) {
+        double v = double(i * i % 37) + 0.5;
+        serial.add(v);
+        (i < 33 ? left : right).add(v);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), serial.count());
+    EXPECT_NEAR(left.mean(), serial.mean(), 1e-9);
+    EXPECT_NEAR(left.stddev(), serial.stddev(), 1e-9);
+    // Merging an empty accumulator, either way, changes nothing.
+    left.merge(empty);
+    EXPECT_EQ(left.count(), serial.count());
+    empty.merge(serial);
+    EXPECT_NEAR(empty.mean(), serial.mean(), 1e-12);
+}
+
 TEST(SplitMix64, MatchesReferenceVectors)
 {
     SplitMix64 rng(0);

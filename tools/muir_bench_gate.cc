@@ -45,6 +45,15 @@ usage(FILE *out)
         "                        concurrency; output is identical at\n"
         "                        any job count)\n"
         "  --json                machine-readable result\n"
+        "  --hostperf <file>     µmeter wall-clock goldens\n"
+        "                        (default bench/goldens/hostperf.json)\n"
+        "  --update-hostperf     measure (median of 3) and rewrite the\n"
+        "                        hostperf goldens file\n"
+        "  --wall-budget <pct>   also check each cell's median wall\n"
+        "                        time against the hostperf goldens,\n"
+        "                        tolerating +pct%% (generous bands\n"
+        "                        recommended: wall time is machine-\n"
+        "                        dependent)\n"
         "exit status: 0 pass, 1 regression, 2 usage/input error\n",
         out);
 }
@@ -74,6 +83,21 @@ parsePerturb(const std::string &spec, gate::Perturbation &out)
     return true;
 }
 
+double
+parseWallBudget(const char *text)
+{
+    char *end = nullptr;
+    double pct = std::strtod(text, &end);
+    if (end == text || *end != '\0' || !(pct > 0.0) || pct > 100000.0) {
+        std::fprintf(stderr,
+                     "muir_bench_gate: --wall-budget wants a positive "
+                     "percentage, got '%s'\n",
+                     text);
+        std::exit(2);
+    }
+    return pct;
+}
+
 unsigned
 parseJobs(const char *text)
 {
@@ -95,7 +119,9 @@ main(int argc, char **argv)
 {
     setVerbose(false);
     std::string goldens_path, only, perturb_spec;
-    bool update = false, json = false;
+    std::string hostperf_path = "bench/goldens/hostperf.json";
+    bool update = false, json = false, update_hostperf = false;
+    double wall_budget = -1.0;
     unsigned jobs = 0;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -120,6 +146,12 @@ main(int argc, char **argv)
             jobs = parseJobs(next());
         } else if (arg == "--json") {
             json = true;
+        } else if (arg == "--hostperf") {
+            hostperf_path = next();
+        } else if (arg == "--update-hostperf") {
+            update_hostperf = true;
+        } else if (arg == "--wall-budget") {
+            wall_budget = parseWallBudget(next());
         } else if (arg == "--help" || arg == "-h") {
             usage(stdout);
             return 0;
@@ -130,13 +162,18 @@ main(int argc, char **argv)
             return 2;
         }
     }
-    if (goldens_path.empty()) {
+    if (goldens_path.empty() && !update_hostperf) {
         usage(stderr);
         return 2;
     }
     gate::GateOptions opts;
     opts.only = only;
     opts.jobs = jobs;
+    // Median-of-3 wall sampling whenever wall time is the product;
+    // plain cycle gating keeps the single cheap sample.
+    if (update_hostperf || wall_budget >= 0.0)
+        opts.wallSamples = 3;
+    opts.wallBudgetPct = wall_budget;
     if (!perturb_spec.empty() &&
         !parsePerturb(perturb_spec, opts.perturb)) {
         std::fprintf(stderr,
@@ -145,6 +182,33 @@ main(int argc, char **argv)
                      "got '%s'\n",
                      perturb_spec.c_str());
         return 2;
+    }
+
+    if (update_hostperf) {
+        auto rows = gate::measureGate(opts);
+        std::ofstream out(hostperf_path);
+        if (!out) {
+            std::fprintf(stderr, "muir_bench_gate: cannot write %s\n",
+                         hostperf_path.c_str());
+            return 2;
+        }
+        out << gate::hostperfGoldensJson(rows);
+        std::printf("muir_bench_gate: wrote %zu hostperf golden(s) "
+                    "to %s\n",
+                    rows.size(), hostperf_path.c_str());
+        return 0;
+    }
+
+    if (wall_budget >= 0.0) {
+        std::ifstream in(hostperf_path);
+        if (!in) {
+            std::fprintf(stderr, "muir_bench_gate: cannot read %s\n",
+                         hostperf_path.c_str());
+            return 2;
+        }
+        std::stringstream buf;
+        buf << in.rdbuf();
+        opts.hostperfGoldens = buf.str();
     }
 
     if (update) {

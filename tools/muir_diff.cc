@@ -19,7 +19,9 @@
  * 2 on usage or input errors.
  */
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -304,9 +306,60 @@ taskCriticalCycles(const JsonValue &task)
     return total;
 }
 
+/**
+ * μmeter hostperf comparison. Host-side numbers are noisy, so unlike
+ * the cycle fields they diff inside a tolerance band: only a wall or
+ * throughput swing beyond ±tolerance flips the reports to DIFFER.
+ */
+struct HostPerfDelta
+{
+    /** Both reports carried a muir.hostperf.v1 section. */
+    bool present = false;
+    double wallBefore = 0.0, wallAfter = 0.0;
+    double epsBefore = 0.0, epsAfter = 0.0;
+    double cpsBefore = 0.0, cpsAfter = 0.0;
+    double wallDeltaPct = 0.0, epsDeltaPct = 0.0;
+    bool exceeded = false;
+};
+
+double
+deltaPct(double before, double after)
+{
+    return before > 0.0 ? 100.0 * (after - before) / before : 0.0;
+}
+
+HostPerfDelta
+diffHostPerf(const JsonValue &before, const JsonValue &after,
+             double tolerance_pct)
+{
+    HostPerfDelta d;
+    const JsonValue *hb = before.get("hostperf");
+    const JsonValue *ha = after.get("hostperf");
+    if (hb == nullptr || ha == nullptr)
+        return d; // older reports: skip leniently
+    d.present = true;
+    auto num = [](const JsonValue *h, const char *k1,
+                  const char *k2) -> double {
+        const JsonValue *v = h->get(k1, k2);
+        return v != nullptr ? v->asDouble() : 0.0;
+    };
+    d.wallBefore = num(hb, "phases", "total_ms");
+    d.wallAfter = num(ha, "phases", "total_ms");
+    d.epsBefore = num(hb, "sim", "events_per_sec");
+    d.epsAfter = num(ha, "sim", "events_per_sec");
+    d.cpsBefore = num(hb, "sim", "sim_cycles_per_wall_sec");
+    d.cpsAfter = num(ha, "sim", "sim_cycles_per_wall_sec");
+    d.wallDeltaPct = deltaPct(d.wallBefore, d.wallAfter);
+    d.epsDeltaPct = deltaPct(d.epsBefore, d.epsAfter);
+    d.exceeded = std::abs(d.wallDeltaPct) > tolerance_pct ||
+                 std::abs(d.epsDeltaPct) > tolerance_pct;
+    return d;
+}
+
 int
 diffReports(const std::string &before_path,
-            const std::string &after_path, bool json)
+            const std::string &after_path, bool json,
+            double wall_tolerance)
 {
     std::string before_text, after_text;
     if (!slurp(before_path, before_text) ||
@@ -383,6 +436,8 @@ diffReports(const std::string &before_path,
                   d.rawBefore != d.rawAfter;
     for (const auto &[name, bq] : task_cycles)
         differs = differs || bq.first != bq.second;
+    HostPerfDelta host = diffHostPerf(before, after, wall_tolerance);
+    differs = differs || host.exceeded;
 
     if (json) {
         std::ostringstream os;
@@ -427,6 +482,19 @@ diffReports(const std::string &before_path,
         };
         emitWaterfall("waterfall_before", waterfall_before);
         emitWaterfall("waterfall_after", waterfall_after);
+        jw.beginObject("hostperf");
+        jw.field("present", host.present);
+        jw.field("tolerance_pct", wall_tolerance);
+        jw.field("exceeded", host.exceeded);
+        jw.field("wall_ms_before", host.wallBefore);
+        jw.field("wall_ms_after", host.wallAfter);
+        jw.field("wall_delta_pct", host.wallDeltaPct);
+        jw.field("events_per_sec_before", host.epsBefore);
+        jw.field("events_per_sec_after", host.epsAfter);
+        jw.field("events_per_sec_delta_pct", host.epsDeltaPct);
+        jw.field("sim_cycles_per_wall_sec_before", host.cpsBefore);
+        jw.field("sim_cycles_per_wall_sec_after", host.cpsAfter);
+        jw.end();
         jw.end();
         os << "\n";
         std::fputs(os.str().c_str(), stdout);
@@ -483,6 +551,25 @@ diffReports(const std::string &before_path,
                    waterfall_before);
     printWaterfall("Pass speedup waterfall (after report)",
                    waterfall_after);
+
+    if (host.present) {
+        AsciiTable hp({"host metric", "before", "after", "delta"});
+        hp.addRow({"wall ms", fmt("%.1f", host.wallBefore),
+                   fmt("%.1f", host.wallAfter),
+                   fmt("%+.1f%%", host.wallDeltaPct)});
+        hp.addRow({"events/sec", fmt("%.0f", host.epsBefore),
+                   fmt("%.0f", host.epsAfter),
+                   fmt("%+.1f%%", host.epsDeltaPct)});
+        hp.addRow({"sim cycles/sec", fmt("%.0f", host.cpsBefore),
+                   fmt("%.0f", host.cpsAfter), ""});
+        std::printf("%s", hp.render(fmt("Host perf (µmeter), "
+                                        "tolerance ±%.0f%%",
+                                        wall_tolerance))
+                              .c_str());
+        if (host.exceeded)
+            std::printf("host perf drifted beyond the ±%.0f%% band\n",
+                        wall_tolerance);
+    }
     std::printf("reports %s\n", differs ? "DIFFER" : "are identical");
     return differs ? 1 : 0;
 }
@@ -493,7 +580,13 @@ usage(FILE *out)
     std::fputs("usage: muir-diff --workload <name> <before.uirx> "
                "<after.uirx> [--json]\n"
                "       muir-diff --report <before.json> <after.json> "
-               "[--json]\n"
+               "[--json] [--wall-tolerance <pct>]\n"
+               "  --wall-tolerance <pct>  band for the µmeter hostperf "
+               "section: wall-clock or\n"
+               "                          events/sec swings beyond "
+               "±pct%% count as a diff\n"
+               "                          (default 50; host numbers "
+               "are noisy)\n"
                "exit status: 0 identical, 1 differ, 2 usage/input "
                "error\n",
                out);
@@ -507,6 +600,7 @@ main(int argc, char **argv)
     setVerbose(false);
     std::string workload, before_path, after_path;
     bool report_mode = false, json = false;
+    double wall_tolerance = 50.0;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--workload" && i + 1 < argc) {
@@ -515,6 +609,18 @@ main(int argc, char **argv)
             report_mode = true;
         } else if (arg == "--json") {
             json = true;
+        } else if (arg == "--wall-tolerance" && i + 1 < argc) {
+            const char *text = argv[++i];
+            char *end = nullptr;
+            wall_tolerance = std::strtod(text, &end);
+            if (end == text || *end != '\0' ||
+                !(wall_tolerance > 0.0) || wall_tolerance > 100000.0) {
+                std::fprintf(stderr,
+                             "muir-diff: --wall-tolerance wants a "
+                             "positive percentage, got '%s'\n",
+                             text);
+                return 2;
+            }
         } else if (arg == "--help" || arg == "-h") {
             usage(stdout);
             return 0;
@@ -540,7 +646,8 @@ main(int argc, char **argv)
         usage(stderr);
         return 2;
     }
-    return report_mode ? diffReports(before_path, after_path, json)
+    return report_mode ? diffReports(before_path, after_path, json,
+                                     wall_tolerance)
                        : diffDesigns(workload, before_path, after_path,
                                      json);
 }

@@ -23,11 +23,14 @@
 #include <string>
 #include <vector>
 
+#include <chrono>
+
 #include "cost/cost_model.hh"
 #include "sim/exec.hh"
 #include "sim/profile.hh"
 #include "sim/timing.hh"
 #include "support/json.hh"
+#include "support/metrics.hh"
 #include "ir/transforms/loop_unroll.hh"
 #include "rtl/chisel.hh"
 #include "rtl/firrtl.hh"
@@ -89,6 +92,13 @@ usage()
         "                        JSON timeline\n"
         "  --report-json <file>  write the full run report as JSON\n"
         "                        (graph, passes, cycles, stats, profile)\n"
+        "  --host-metrics <s>    µmeter: print host-side performance\n"
+        "                        metrics — wall-clock phases, simulator\n"
+        "                        events/sec, skip-ahead opportunity;\n"
+        "                        section: all, phases, pool, sim\n"
+        "  --metrics-json <file> write host metrics as JSON\n"
+        "                        (muir.hostperf.v1 schema; also embedded\n"
+        "                        in --report-json)\n"
         "  --inject <spec>       µfit: inject faults; spec is\n"
         "                        kind[@site][:bit=N][:edge=N]\n"
         "                        [:attempts=N] with kind one of\n"
@@ -173,6 +183,8 @@ main(int argc, char **argv)
     std::string lint_json, trace_json, report_json;
     std::string analyze_json, analyze_section = "all";
     std::string inject_spec, campaign_json;
+    std::string metrics_json, host_metrics_section = "all";
+    bool host_metrics = false;
     unsigned unroll = 1, campaign_runs = 0, campaign_jobs = 0;
     uint64_t campaign_seed = 1, max_cycles = 0;
     bool report = false, stats = false, firrtl_stats = false;
@@ -261,6 +273,22 @@ main(int argc, char **argv)
             trace_json = next();
         } else if (arg == "--report-json") {
             report_json = next();
+        } else if (arg == "--host-metrics") {
+            host_metrics_section = next();
+            host_metrics = true;
+            const auto &sections = metrics::hostMetricsSectionNames();
+            if (std::find(sections.begin(), sections.end(),
+                          host_metrics_section) == sections.end()) {
+                std::fprintf(
+                    stderr,
+                    "muirc: unknown host-metrics section '%s' "
+                    "(valid: %s)\n",
+                    host_metrics_section.c_str(),
+                    join(sections, ", ").c_str());
+                return 2;
+            }
+        } else if (arg == "--metrics-json") {
+            metrics_json = next();
         } else if (arg == "--inject") {
             inject_spec = next();
         } else if (arg == "--campaign") {
@@ -343,6 +371,50 @@ main(int argc, char **argv)
         return 2;
     }
 
+    // µmeter: one registry for the whole invocation. Counters are
+    // aggregates over every simulation this run performs (including
+    // per-pass cycle probes and campaign injections); bench/host_perf
+    // is the per-workload clean-room measurement.
+    bool want_metrics = host_metrics || !metrics_json.empty() ||
+                        !report_json.empty();
+    metrics::Registry host_registry;
+    std::unique_ptr<metrics::ScopedSink> host_sink;
+    if (want_metrics)
+        host_sink =
+            std::make_unique<metrics::ScopedSink>(&host_registry);
+    auto phase_mark = std::chrono::steady_clock::now();
+    // Close the current phase segment into a named timer; segments
+    // not bracketed by notePhase (lint, analyze, emission) stay out
+    // of the three phase buckets by re-marking before the next one.
+    auto notePhase = [&](const char *name) {
+        auto now = std::chrono::steady_clock::now();
+        if (metrics::Registry *m = metrics::sink())
+            m->timerAdd(name,
+                        std::chrono::duration<double, std::milli>(
+                            now - phase_mark)
+                            .count());
+        phase_mark = now;
+    };
+    auto markPhase = [&] {
+        phase_mark = std::chrono::steady_clock::now();
+    };
+    auto emitMetrics = [&]() -> bool {
+        if (!want_metrics)
+            return true;
+        auto snapshot = host_registry.snapshot();
+        if (host_metrics)
+            std::printf("%s",
+                        metrics::renderHostMetricsText(
+                            snapshot, host_metrics_section)
+                            .c_str());
+        if (!metrics_json.empty() &&
+            !writeFile(metrics_json,
+                       metrics::hostPerfJson(snapshot, workload) +
+                           "\n"))
+            return false;
+        return true;
+    };
+
     auto w = workloads::buildWorkload(workload);
     if (unroll > 1) {
         ir::UnrollOptions uopts;
@@ -371,6 +443,7 @@ main(int argc, char **argv)
     } else {
         accel = workloads::lowerBaseline(w);
     }
+    notePhase("phase.compile");
 
     // µprof wiring: --critical-path/--emit-trace-json/--report-json all
     // need the profile collector; the JSON timeline also needs the
@@ -405,7 +478,9 @@ main(int argc, char **argv)
             });
             baseline_cycles = workloads::runOn(w, *accel).cycles;
         }
+        markPhase();
         pm.run(*accel);
+        notePhase("phase.optimize");
     }
 
     if (analyze) {
@@ -464,7 +539,9 @@ main(int argc, char **argv)
     ropts.timelineWindows = timeline_windows;
     ropts.watchdog = watchdog;
     ropts.maxCycles = max_cycles;
+    markPhase();
     auto run = workloads::runOn(w, *accel, ropts);
+    notePhase("phase.simulate");
     if (watchdog && run.verdict.hang.tripped()) {
         std::fprintf(stderr, "muirc: %s",
                      run.verdict.hang.render().c_str());
@@ -490,9 +567,11 @@ main(int argc, char **argv)
         cspec.seed = campaign_seed;
         cspec.jobs = campaign_jobs;
         cspec.maxCycles = max_cycles;
+        markPhase();
         auto campaign = sim::runCampaign(
             *accel, *w.module,
             [&](ir::MemoryImage &m) { w.bind(m); }, cspec);
+        notePhase("phase.simulate");
         if (!campaign.ok) {
             std::fprintf(stderr, "muirc: campaign: %s\n",
                          campaign.error.c_str());
@@ -516,7 +595,7 @@ main(int argc, char **argv)
                        campaign.toJson(workload, inject_spec, cspec.runs,
                                        cspec.seed)))
             return 1;
-        return 0;
+        return emitMetrics() ? 0 : 1;
     }
 
     if (!trace_path.empty()) {
@@ -588,6 +667,9 @@ main(int argc, char **argv)
         jw.rawField("stats", run.stats.toJson());
         jw.rawField("profile", sim::profileJson(*run.profile));
         jw.rawField("timeline", sim::timelineJson(*run.timeline));
+        jw.rawField("hostperf",
+                    metrics::hostPerfJson(host_registry.snapshot(),
+                                          workload));
         jw.end();
         os << "\n";
         if (!writeFile(report_json, os.str()))
@@ -615,6 +697,8 @@ main(int argc, char **argv)
     }
     if (stats)
         std::printf("%s", run.stats.dump().c_str());
+    if (!emitMetrics())
+        return 1;
     if (firrtl_stats) {
         auto circuit = rtl::lowerToFirrtl(*accel);
         std::printf("firrtl nodes = %u\nfirrtl edges = %u\n",
