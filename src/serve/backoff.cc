@@ -1,0 +1,35 @@
+#include "serve/backoff.hh"
+
+namespace muir::serve
+{
+
+uint64_t
+backoffDelayMs(const BackoffPolicy &policy, unsigned attempt,
+               SplitMix64 &rng)
+{
+    // Cap the shift first: base << attempt overflows past 63 bits.
+    uint64_t ceiling = policy.capMs;
+    if (attempt < 63) {
+        uint64_t scaled = policy.baseMs << attempt;
+        // Detect shift overflow by shifting back.
+        if (policy.baseMs == 0 || (scaled >> attempt) == policy.baseMs)
+            ceiling = scaled < policy.capMs ? scaled : policy.capMs;
+    }
+    // Full jitter: uniform in [0, ceiling]. Always consume one draw so
+    // the rng stream position depends only on the attempt count.
+    uint64_t draw = rng.below(ceiling + 1);
+    return draw;
+}
+
+std::vector<uint64_t>
+backoffSchedule(const BackoffPolicy &policy)
+{
+    std::vector<uint64_t> out;
+    SplitMix64 rng(policy.seed);
+    for (unsigned attempt = 0; attempt + 1 < policy.maxAttempts;
+         ++attempt)
+        out.push_back(backoffDelayMs(policy, attempt, rng));
+    return out;
+}
+
+} // namespace muir::serve

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Client retry/backoff policy: capped exponential backoff with full
+ * SplitMix64 jitter. A pure function of (policy, attempt, rng), so the
+ * schedule under a fixed seed is a committed test expectation — the
+ * determinism contract the rest of the repo holds its randomness to.
+ *
+ * What retries: SHED replies (the daemon said "later") and transport
+ * errors (the stream died mid-call). What never retries: ERROR and
+ * DEADLINE replies — the daemon answered; asking again with the same
+ * request cannot change the answer.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.hh"
+
+namespace muir::serve
+{
+
+/** Retry/backoff configuration. */
+struct BackoffPolicy
+{
+    /** Delay scale for attempt 0. */
+    uint64_t baseMs = 10;
+    /** Ceiling on the un-jittered delay. */
+    uint64_t capMs = 2000;
+    /** Total tries (first call + retries). */
+    unsigned maxAttempts = 5;
+    /** Jitter seed; same seed = same schedule. */
+    uint64_t seed = 1;
+};
+
+/**
+ * Delay before retry number @p attempt (0-based): full jitter over
+ * [0, min(capMs, baseMs << attempt)], i.e. AWS-style "full jitter".
+ * Draws exactly one value from @p rng.
+ */
+uint64_t backoffDelayMs(const BackoffPolicy &policy, unsigned attempt,
+                        SplitMix64 &rng);
+
+/**
+ * The whole schedule (maxAttempts - 1 delays) for @p policy under its
+ * own seed. Deterministic: same policy, same vector.
+ */
+std::vector<uint64_t> backoffSchedule(const BackoffPolicy &policy);
+
+} // namespace muir::serve

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * µserve compile-once design cache. Every RUN request names a
+ * (workload, pipeline, graph) triple; the cache compiles/verifies that
+ * triple exactly once — even when many clients race on it — and hands
+ * every replay the same immutable `const CompiledDesign`. Replays then
+ * fan out across the worker pool against the shared accelerator, which
+ * the PR-5 const-correctness work made a supported concurrent pattern.
+ *
+ * Failure is cached too: a graph that does not parse, lint, or accept
+ * its pipeline produces a CompiledDesign carrying the structured error,
+ * so a client hammering the daemon with the same broken design pays
+ * the compile cost once, not per request.
+ */
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "serve/protocol.hh"
+#include "uir/accelerator.hh"
+#include "workloads/workload.hh"
+
+namespace muir::serve
+{
+
+/** FNV-1a over a byte string (the cache key hash). */
+uint64_t fnv1a64(const std::string &bytes);
+
+/** Cache key of one RUN request: what the compiled design depends on. */
+uint64_t designKey(const RunRequest &req);
+
+/**
+ * One compiled design: the workload (inputs + golden outputs) plus the
+ * verified accelerator, or the structured error that stopped it.
+ * Immutable after construction; shared across concurrent replays.
+ */
+struct CompiledDesign
+{
+    workloads::Workload workload;
+    std::unique_ptr<uir::Accelerator> accel;
+    /** Set when compilation failed (accel stays null). */
+    ErrorReply error;
+
+    bool ok() const { return accel != nullptr; }
+};
+
+/** Bounded, thread-safe, compile-once design cache. */
+class DesignCache
+{
+  public:
+    explicit DesignCache(size_t max_entries = 64)
+        : maxEntries_(max_entries ? max_entries : 1)
+    {
+    }
+
+    /**
+     * Look up (compiling on miss) the design for @p req. Concurrent
+     * callers with the same key block on one compilation and share its
+     * result. Never throws; compile failures come back as a
+     * CompiledDesign with error set.
+     */
+    std::shared_ptr<const CompiledDesign> lookup(const RunRequest &req);
+
+    uint64_t hits() const;
+    uint64_t misses() const;
+    size_t size() const;
+
+  private:
+    struct Entry
+    {
+        std::mutex compileMutex;
+        std::shared_ptr<const CompiledDesign> design;
+    };
+
+    std::shared_ptr<const CompiledDesign>
+    compile(const RunRequest &req) const;
+
+    const size_t maxEntries_;
+    mutable std::mutex mutex_; ///< guards the map/FIFO/counters
+    std::map<uint64_t, std::shared_ptr<Entry>> entries_;
+    std::list<uint64_t> fifo_; ///< insertion order, for eviction
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+};
+
+} // namespace muir::serve

@@ -1,0 +1,108 @@
+#include "serve/chaos.hh"
+
+#include "serve/frame.hh"
+
+namespace muir::serve
+{
+
+const char *
+chaosOpName(ChaosOp op)
+{
+    switch (op) {
+      case ChaosOp::None:
+        return "none";
+      case ChaosOp::TruncateFrame:
+        return "truncate-frame";
+      case ChaosOp::CorruptMagic:
+        return "corrupt-magic";
+      case ChaosOp::CorruptLength:
+        return "corrupt-length";
+      case ChaosOp::OversizeLength:
+        return "oversize-length";
+      case ChaosOp::CorruptPayload:
+        return "corrupt-payload";
+      case ChaosOp::GarbageBytes:
+        return "garbage-bytes";
+      case ChaosOp::kCount:
+        break;
+    }
+    return "unknown";
+}
+
+namespace
+{
+
+void
+writeLen(std::string &bytes, uint32_t len)
+{
+    bytes[6] = char(len & 0xFF);
+    bytes[7] = char((len >> 8) & 0xFF);
+    bytes[8] = char((len >> 16) & 0xFF);
+    bytes[9] = char((len >> 24) & 0xFF);
+}
+
+} // namespace
+
+std::string
+applyChaos(const std::string &frame_bytes, ChaosOp op, SplitMix64 &rng)
+{
+    std::string out = frame_bytes;
+    switch (op) {
+      case ChaosOp::None:
+      case ChaosOp::kCount:
+        return out;
+      case ChaosOp::TruncateFrame:
+        // Any boundary, including 0 (nothing sent at all).
+        out.resize(rng.below(out.size()));
+        return out;
+      case ChaosOp::CorruptMagic:
+        if (!out.empty()) {
+            char bad = char(rng.next() & 0xFF);
+            if (uint8_t(bad) == kFrameMagic)
+                bad = char(~kFrameMagic);
+            out[0] = bad;
+        }
+        return out;
+      case ChaosOp::CorruptLength:
+        if (out.size() >= kFrameHeaderBytes) {
+            // A wrong-but-capped length desynchronizes the stream
+            // without tripping the TooLarge gate.
+            writeLen(out, uint32_t(rng.below(kMaxPayloadBytes)));
+        }
+        return out;
+      case ChaosOp::OversizeLength:
+        if (out.size() >= kFrameHeaderBytes) {
+            uint32_t over = kMaxPayloadBytes + 1 +
+                            uint32_t(rng.below(1u << 20));
+            writeLen(out, over);
+        }
+        return out;
+      case ChaosOp::CorruptPayload:
+        if (out.size() > kFrameHeaderBytes) {
+            size_t idx = kFrameHeaderBytes +
+                         rng.below(out.size() - kFrameHeaderBytes);
+            out[idx] = char(out[idx] ^ char(1u << rng.below(8)));
+        }
+        return out;
+      case ChaosOp::GarbageBytes: {
+        size_t n = 1 + rng.below(64);
+        out.assign(n, '\0');
+        for (size_t i = 0; i < n; ++i)
+            out[i] = char(rng.next() & 0xFF);
+        return out;
+      }
+    }
+    return out;
+}
+
+ChaosOp
+pickChaosOp(unsigned chaos_pct, SplitMix64 &rng)
+{
+    if (chaos_pct == 0 || rng.below(100) >= chaos_pct)
+        return ChaosOp::None;
+    // Skip None (0): draw among the real mutations.
+    uint64_t n = uint64_t(ChaosOp::kCount) - 1;
+    return static_cast<ChaosOp>(1 + rng.below(n));
+}
+
+} // namespace muir::serve

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Seeded chaos layer for adversarial validation of µserve: byte-level
+ * mutations of encoded frames (truncation, corrupted magic/length/
+ * payload, oversized declared lengths, raw garbage) that the storm
+ * driver and tests aim at the daemon. All draws come from a caller-
+ * owned SplitMix64, so a storm with a given seed replays exactly.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/rng.hh"
+
+namespace muir::serve
+{
+
+/** One way to break a wire frame. */
+enum class ChaosOp : unsigned
+{
+    None,          ///< pass through untouched
+    TruncateFrame, ///< cut the frame at a random byte boundary
+    CorruptMagic,  ///< overwrite the magic byte
+    CorruptLength, ///< flip bits in the declared length (stays <= cap)
+    OversizeLength,///< declare a length beyond kMaxPayloadBytes
+    CorruptPayload,///< flip one payload byte (framing stays intact)
+    GarbageBytes,  ///< replace the frame with random bytes
+    kCount,
+};
+
+/** Stable lowercase name, e.g. "truncate-frame". */
+const char *chaosOpName(ChaosOp op);
+
+/**
+ * Apply @p op to encoded frame bytes. Deterministic given the rng
+ * state; returns the mutated bytes (possibly empty for truncation).
+ */
+std::string applyChaos(const std::string &frame_bytes, ChaosOp op,
+                       SplitMix64 &rng);
+
+/** Draw a chaos op: None with probability (1 - chaos_pct/100). */
+ChaosOp pickChaosOp(unsigned chaos_pct, SplitMix64 &rng);
+
+} // namespace muir::serve

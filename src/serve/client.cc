@@ -1,0 +1,130 @@
+#include "serve/client.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <unistd.h>
+
+#include "support/strings.hh"
+
+namespace muir::serve
+{
+
+bool
+FdChannel::send(const std::string &bytes, std::string *error)
+{
+    size_t off = 0;
+    while (off < bytes.size()) {
+        ssize_t n =
+            ::write(writeFd_, bytes.data() + off, bytes.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (error)
+                *error = fmt("write: %s", std::strerror(errno));
+            return false;
+        }
+        off += size_t(n);
+    }
+    return true;
+}
+
+bool
+FdChannel::recv(Frame &out, std::string *error)
+{
+    for (;;) {
+        std::string decode_error;
+        DecodeStatus status = decoder_.next(out, &decode_error);
+        if (status == DecodeStatus::Ready)
+            return true;
+        if (status != DecodeStatus::NeedMore) {
+            if (error)
+                *error = decode_error;
+            return false;
+        }
+        char buf[4096];
+        ssize_t n = ::read(readFd_, buf, sizeof(buf));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (error)
+                *error = fmt("read: %s", std::strerror(errno));
+            return false;
+        }
+        if (n == 0) {
+            if (error)
+                *error = "connection closed by peer";
+            return false;
+        }
+        decoder_.feed(buf, size_t(n));
+    }
+}
+
+Client::Client(Channel &channel, ClientOptions options)
+    : channel_(channel), options_(std::move(options)),
+      rng_(options_.backoff.seed)
+{
+}
+
+CallOutcome
+Client::call(FrameKind kind, const std::string &payload)
+{
+    CallOutcome outcome;
+    unsigned max_attempts =
+        options_.backoff.maxAttempts ? options_.backoff.maxAttempts : 1;
+    for (unsigned attempt = 0; attempt < max_attempts; ++attempt) {
+        uint32_t tag = nextTag_++;
+        ++outcome.attempts;
+
+        std::string send_error;
+        bool sent =
+            channel_.send(encodeFrame(kind, tag, payload), &send_error);
+        std::string recv_error;
+        Frame reply;
+        bool received =
+            sent && channel_.recv(reply, &recv_error);
+
+        uint64_t delay_floor = 0;
+        if (received) {
+            outcome.transportOk = true;
+            outcome.reply = reply;
+            outcome.error.clear();
+            if (reply.kindEnum() != FrameKind::Shed)
+                return outcome; // OK / ERROR / DEADLINE / etc: final
+            // SHED: the daemon asked us to come back later. Honor its
+            // retry_after_ms as a floor under the jittered backoff.
+            ShedReply shed;
+            if (parseShedReply(reply.payload, shed))
+                delay_floor = shed.retryAfterMs;
+        } else {
+            outcome.transportOk = false;
+            outcome.error = sent ? recv_error : send_error;
+            std::string reset_error;
+            if (!channel_.reset(&reset_error))
+                return outcome; // dead channel and no way back
+        }
+
+        if (attempt + 1 >= max_attempts)
+            return outcome; // retries exhausted; last reply stands
+        uint64_t delay =
+            backoffDelayMs(options_.backoff, attempt, rng_);
+        delay = std::max(delay, delay_floor);
+        delaysTaken_.push_back(delay);
+        if (options_.sleeper)
+            options_.sleeper(delay);
+        else if (delay)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(delay));
+    }
+    return outcome;
+}
+
+CallOutcome
+Client::run(const RunRequest &request)
+{
+    return call(FrameKind::Run, renderRunRequest(request));
+}
+
+} // namespace muir::serve

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * µserve client library: a frame-level call abstraction over any byte
+ * channel (unix socket, stdio pipe, in-process loopback) with the
+ * retry policy of serve/backoff.hh baked in. The sleeper is injected
+ * so tests assert the exact retry schedule without real waiting.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/backoff.hh"
+#include "serve/frame.hh"
+#include "serve/protocol.hh"
+
+namespace muir::serve
+{
+
+/**
+ * A bidirectional byte channel. send() writes one encoded frame's
+ * bytes; recv() blocks for the next reply frame. reset() tries to
+ * re-establish a broken channel (false = cannot — give up).
+ */
+class Channel
+{
+  public:
+    virtual ~Channel() = default;
+    virtual bool send(const std::string &bytes, std::string *error) = 0;
+    virtual bool recv(Frame &out, std::string *error) = 0;
+    virtual bool reset(std::string *error)
+    {
+        (void)error;
+        return false;
+    }
+};
+
+/** A Channel over a pair of POSIX file descriptors (pipe / socket). */
+class FdChannel : public Channel
+{
+  public:
+    /** Does not take ownership of the fds. */
+    FdChannel(int read_fd, int write_fd)
+        : readFd_(read_fd), writeFd_(write_fd)
+    {
+    }
+
+    bool send(const std::string &bytes, std::string *error) override;
+    bool recv(Frame &out, std::string *error) override;
+
+  private:
+    int readFd_;
+    int writeFd_;
+    FrameDecoder decoder_;
+};
+
+/** Client knobs. */
+struct ClientOptions
+{
+    BackoffPolicy backoff;
+    /** Injected delay hook (tests record instead of sleeping). */
+    std::function<void(uint64_t ms)> sleeper;
+};
+
+/** Outcome of one logical call (after retries). */
+struct CallOutcome
+{
+    /** A reply frame arrived (whatever its kind). */
+    bool transportOk = false;
+    Frame reply;
+    /** Total frames sent (1 = no retries). */
+    unsigned attempts = 0;
+    /** Transport diagnostic when !transportOk. */
+    std::string error;
+
+    bool ok() const
+    {
+        return transportOk &&
+               reply.kindEnum() == FrameKind::Ok;
+    }
+};
+
+/**
+ * The retrying caller. SHED replies and transport failures retry with
+ * capped exponential backoff + full jitter (honoring the shed reply's
+ * retry_after_ms as a floor); ERROR and DEADLINE replies never retry —
+ * the daemon answered, and the same request would get the same answer.
+ */
+class Client
+{
+  public:
+    Client(Channel &channel, ClientOptions options = {});
+
+    /** One logical request; retries per policy. */
+    CallOutcome call(FrameKind kind, const std::string &payload);
+
+    /** Convenience: render + call a RUN request. */
+    CallOutcome run(const RunRequest &request);
+
+    /** Delays actually taken (ms), for tests and reporting. */
+    const std::vector<uint64_t> &delaysTaken() const
+    {
+        return delaysTaken_;
+    }
+
+  private:
+    Channel &channel_;
+    ClientOptions options_;
+    SplitMix64 rng_;
+    uint32_t nextTag_ = 1;
+    std::vector<uint64_t> delaysTaken_;
+};
+
+} // namespace muir::serve

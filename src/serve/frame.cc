@@ -1,0 +1,176 @@
+#include "serve/frame.hh"
+
+#include "support/strings.hh"
+
+namespace muir::serve
+{
+
+const char *
+frameKindName(FrameKind kind)
+{
+    switch (kind) {
+      case FrameKind::Run:
+        return "RUN";
+      case FrameKind::Stats:
+        return "STATS_REQ";
+      case FrameKind::Ping:
+        return "PING";
+      case FrameKind::Shutdown:
+        return "SHUTDOWN";
+      case FrameKind::Ok:
+        return "OK";
+      case FrameKind::Error:
+        return "ERROR";
+      case FrameKind::Shed:
+        return "SHED";
+      case FrameKind::Deadline:
+        return "DEADLINE";
+      case FrameKind::StatsReply:
+        return "STATS";
+      case FrameKind::Pong:
+        return "PONG";
+      case FrameKind::Bye:
+        return "BYE";
+    }
+    return "UNKNOWN";
+}
+
+bool
+frameKindKnown(uint8_t kind)
+{
+    switch (static_cast<FrameKind>(kind)) {
+      case FrameKind::Run:
+      case FrameKind::Stats:
+      case FrameKind::Ping:
+      case FrameKind::Shutdown:
+      case FrameKind::Ok:
+      case FrameKind::Error:
+      case FrameKind::Shed:
+      case FrameKind::Deadline:
+      case FrameKind::StatsReply:
+      case FrameKind::Pong:
+      case FrameKind::Bye:
+        return true;
+    }
+    return false;
+}
+
+bool
+frameKindFromName(const std::string &name, FrameKind &out)
+{
+    for (uint8_t k = 0; k < 0xFF; ++k) {
+        if (!frameKindKnown(k))
+            continue;
+        if (name == frameKindName(static_cast<FrameKind>(k))) {
+            out = static_cast<FrameKind>(k);
+            return true;
+        }
+    }
+    return false;
+}
+
+namespace
+{
+
+void
+putU32(std::string &out, uint32_t v)
+{
+    out.push_back(char(v & 0xFF));
+    out.push_back(char((v >> 8) & 0xFF));
+    out.push_back(char((v >> 16) & 0xFF));
+    out.push_back(char((v >> 24) & 0xFF));
+}
+
+uint32_t
+getU32(const char *p)
+{
+    const unsigned char *u = reinterpret_cast<const unsigned char *>(p);
+    return uint32_t(u[0]) | (uint32_t(u[1]) << 8) |
+           (uint32_t(u[2]) << 16) | (uint32_t(u[3]) << 24);
+}
+
+} // namespace
+
+std::string
+encodeFrame(const Frame &frame)
+{
+    std::string out;
+    out.reserve(kFrameHeaderBytes + frame.payload.size());
+    out.push_back(char(kFrameMagic));
+    out.push_back(char(frame.kind));
+    putU32(out, frame.tag);
+    putU32(out, uint32_t(frame.payload.size()));
+    out += frame.payload;
+    return out;
+}
+
+std::string
+encodeFrame(FrameKind kind, uint32_t tag, const std::string &payload)
+{
+    Frame f;
+    f.kind = static_cast<uint8_t>(kind);
+    f.tag = tag;
+    f.payload = payload;
+    return encodeFrame(f);
+}
+
+void
+FrameDecoder::feed(const char *data, size_t n)
+{
+    if (poisoned_)
+        return; // the stream is already condemned; drop the bytes
+    // Compact the consumed prefix before it grows unbounded on
+    // long-lived connections.
+    if (pos_ > 0 && (pos_ >= buf_.size() || pos_ > (1u << 16))) {
+        buf_.erase(0, pos_);
+        pos_ = 0;
+    }
+    buf_.append(data, n);
+}
+
+DecodeStatus
+FrameDecoder::next(Frame &out, std::string *error)
+{
+    if (poisoned_) {
+        if (error)
+            *error = poison_error_;
+        return poison_status_;
+    }
+    size_t avail = buf_.size() - pos_;
+    if (avail < 1)
+        return DecodeStatus::NeedMore;
+    unsigned char magic = (unsigned char)buf_[pos_];
+    if (magic != kFrameMagic) {
+        poisoned_ = true;
+        poison_status_ = DecodeStatus::BadMagic;
+        poison_error_ = fmt("bad frame magic 0x%02x (want 0x%02x); "
+                            "stream desynchronized",
+                            magic, kFrameMagic);
+        if (error)
+            *error = poison_error_;
+        return DecodeStatus::BadMagic;
+    }
+    if (avail < kFrameHeaderBytes)
+        return DecodeStatus::NeedMore;
+    uint32_t len = getU32(buf_.data() + pos_ + 6);
+    if (len > kMaxPayloadBytes) {
+        poisoned_ = true;
+        poison_status_ = DecodeStatus::TooLarge;
+        poison_error_ =
+            fmt("declared payload length %u exceeds the %u-byte cap; "
+                "stream cannot resynchronize",
+                len, kMaxPayloadBytes);
+        if (error)
+            *error = poison_error_;
+        return DecodeStatus::TooLarge;
+    }
+    if (avail < kFrameHeaderBytes + len)
+        return DecodeStatus::NeedMore;
+    out.kind = uint8_t(buf_[pos_ + 1]);
+    out.tag = getU32(buf_.data() + pos_ + 2);
+    out.payload.assign(buf_, pos_ + kFrameHeaderBytes, len);
+    pos_ += kFrameHeaderBytes + len;
+    return DecodeStatus::Ready;
+}
+
+} // namespace muir::serve

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * µserve wire framing: a length-prefixed binary frame codec shared by
+ * the daemon, the client library, and the chaos/storm harnesses.
+ *
+ * Frame layout (all integers little-endian):
+ *
+ *   offset  size  field
+ *   0       1     magic (0xB5 — 'µ' in Latin-1)
+ *   1       1     kind  (FrameKind; replies have the high bit set)
+ *   2       4     tag   (client-chosen; replies echo it)
+ *   6       4     payload length
+ *   10      len   payload bytes
+ *
+ * The decoder is written for hostile peers: it never trusts a declared
+ * length beyond kMaxPayloadBytes, never reads past the buffered bytes,
+ * and classifies every failure so the server can decide between a
+ * recoverable structured ERROR reply (unknown kind — the length is
+ * still trustworthy, so the stream resynchronizes) and tearing the
+ * connection down (bad magic / oversized length — the stream cannot be
+ * trusted again). Truncated frames at any byte boundary simply report
+ * NeedMore; feeding the remaining bytes completes them.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace muir::serve
+{
+
+/** First byte of every well-formed frame. */
+constexpr uint8_t kFrameMagic = 0xB5;
+
+/** Header bytes before the payload (magic, kind, tag, length). */
+constexpr size_t kFrameHeaderBytes = 10;
+
+/**
+ * Hard cap on a declared payload length. A frame claiming more is
+ * unrecoverable (the declared length cannot be used to resynchronize)
+ * and poisons the connection.
+ */
+constexpr uint32_t kMaxPayloadBytes = 16u << 20;
+
+/** Request/reply discriminator. Replies set the high bit. */
+enum class FrameKind : uint8_t
+{
+    // Requests (client -> daemon).
+    Run = 0x01,      ///< compile-once + simulate; payload = run spec
+    Stats = 0x02,    ///< health/metrics probe
+    Ping = 0x03,     ///< liveness probe
+    Shutdown = 0x04, ///< request a graceful drain
+
+    // Replies (daemon -> client).
+    Ok = 0x81,         ///< canonical run result (byte-stable)
+    Error = 0x82,      ///< structured, recoverable request error
+    Shed = 0x83,       ///< load shed / quota; payload carries retry hint
+    Deadline = 0x84,   ///< deadline/cycle-budget cancellation
+    StatsReply = 0x85, ///< serve metrics snapshot JSON
+    Pong = 0x86,       ///< ping answer
+    Bye = 0x87,        ///< shutdown acknowledged; daemon is draining
+};
+
+/** Stable uppercase name ("OK", "SHED", ...) for logs and scripts. */
+const char *frameKindName(FrameKind kind);
+
+/** @return whether @p kind is a value this protocol version defines. */
+bool frameKindKnown(uint8_t kind);
+
+/** Parse a frameKindName back; @return false on unknown names. */
+bool frameKindFromName(const std::string &name, FrameKind &out);
+
+/** One decoded frame. kind stays raw so unknown kinds can surface. */
+struct Frame
+{
+    uint8_t kind = 0;
+    uint32_t tag = 0;
+    std::string payload;
+
+    FrameKind kindEnum() const { return static_cast<FrameKind>(kind); }
+};
+
+/** Encode one frame to wire bytes. */
+std::string encodeFrame(const Frame &frame);
+std::string encodeFrame(FrameKind kind, uint32_t tag,
+                        const std::string &payload);
+
+/** Outcome of one FrameDecoder::next() call. */
+enum class DecodeStatus
+{
+    NeedMore, ///< no complete frame buffered yet
+    Ready,    ///< a frame was produced (kind may still be unknown)
+    BadMagic, ///< stream desynchronized — connection must close
+    TooLarge, ///< declared length beyond kMaxPayloadBytes — must close
+};
+
+/**
+ * Incremental decoder over a byte stream. feed() buffers bytes;
+ * next() extracts complete frames. BadMagic/TooLarge poison the
+ * decoder: every later next() repeats the error, mirroring the fact
+ * that the byte stream itself can no longer be trusted.
+ */
+class FrameDecoder
+{
+  public:
+    /** Append raw bytes from the peer. */
+    void feed(const char *data, size_t n);
+    void feed(const std::string &bytes)
+    {
+        feed(bytes.data(), bytes.size());
+    }
+
+    /**
+     * Try to extract the next frame. On Ready, @p out holds the frame.
+     * On BadMagic/TooLarge, @p error (when non-null) gets a one-line
+     * description and the decoder stays poisoned.
+     */
+    DecodeStatus next(Frame &out, std::string *error = nullptr);
+
+    /** @return whether the decoder hit an unrecoverable stream error. */
+    bool poisoned() const { return poisoned_; }
+
+    /** Bytes buffered but not yet consumed by complete frames. */
+    size_t buffered() const { return buf_.size() - pos_; }
+
+  private:
+    std::string buf_;
+    size_t pos_ = 0;
+    bool poisoned_ = false;
+    DecodeStatus poison_status_ = DecodeStatus::NeedMore;
+    std::string poison_error_;
+};
+
+} // namespace muir::serve

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * µserve request/reply payloads: the text that rides inside the binary
+ * frames of serve/frame.hh. Payloads stay line-oriented and human-
+ * readable so the --stdio scripts in tests/serve/ and the muir_client
+ * CLI can be written and inspected by hand.
+ *
+ * RUN request payload:
+ *
+ *   run workload=<name> [passes=<spec>] [max_cycles=<n>]
+ *       [deadline_ms=<n>] [work_delay_ms=<n>]
+ *   <serialized µIR graph, optional — empty means "the baseline
+ *    lowering of the workload">
+ *
+ * OK reply payload (the byte-equivalence anchor: identical bytes to a
+ * direct in-process run of the same design at any job count):
+ *
+ *   cycles=<n>
+ *   firings=<n>
+ *   check=ok
+ *   <StatSet::dump() lines>
+ *
+ * ERROR reply payload:   `error code=<code> line=<n>\n<message>`
+ * SHED reply payload:    `shed reason=<reason> retry_after_ms=<n>`
+ * DEADLINE reply payload:`deadline reason=<reason>\n<diagnosis>`
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "workloads/driver.hh"
+
+namespace muir::serve
+{
+
+/**
+ * @name Error codes
+ * The closed vocabulary of ERROR reply codes. A bad client can trigger
+ * any of these; none of them may crash or wedge the daemon.
+ * @{
+ */
+inline constexpr const char *kErrBadFrame = "bad-frame";
+inline constexpr const char *kErrBadRequest = "bad-request";
+inline constexpr const char *kErrUnknownWorkload = "unknown-workload";
+inline constexpr const char *kErrParse = "parse";
+inline constexpr const char *kErrTooLarge = "input-too-large";
+inline constexpr const char *kErrPipeline = "pass-pipeline";
+inline constexpr const char *kErrLint = "lint";
+inline constexpr const char *kErrCheckFailed = "check-failed";
+inline constexpr const char *kErrInternal = "internal";
+/** @} */
+
+/** One parsed RUN request. */
+struct RunRequest
+{
+    std::string workload;
+    /** µopt pipeline spec ("" = run the baseline as-is). */
+    std::string passes;
+    /** Per-request cycle budget (0 = server default). */
+    uint64_t maxCycles = 0;
+    /** Wall-clock deadline in ms (0 = no deadline). */
+    uint64_t deadlineMs = 0;
+    /**
+     * Test/chaos hook: artificial per-run service delay. The server
+     * honors it only when ServerOptions::allowWorkDelay is set.
+     */
+    uint64_t workDelayMs = 0;
+    /** Serialized graph ("" = baseline lowering of the workload). */
+    std::string graph;
+};
+
+/** Render a RUN request to its wire payload. */
+std::string renderRunRequest(const RunRequest &req);
+
+/**
+ * Parse a RUN request payload. @return false with a one-line
+ * diagnostic in @p error on malformed input (unknown keys, non-numeric
+ * values, missing workload=...).
+ */
+bool parseRunRequest(const std::string &payload, RunRequest &out,
+                     std::string *error);
+
+/** A structured, recoverable request error. */
+struct ErrorReply
+{
+    /** One of the kErr* codes above. */
+    std::string code = kErrInternal;
+    /** 1-based input line for parse errors (0 = not line-scoped). */
+    unsigned line = 0;
+    std::string message;
+};
+
+std::string renderErrorReply(const ErrorReply &reply);
+bool parseErrorReply(const std::string &payload, ErrorReply &out);
+
+/** A load-shed refusal with a retry hint. */
+struct ShedReply
+{
+    /** "queue", "quota", or "drain". */
+    std::string reason;
+    uint64_t retryAfterMs = 0;
+};
+
+std::string renderShedReply(const ShedReply &reply);
+bool parseShedReply(const std::string &payload, ShedReply &out);
+
+/** A deadline/cycle-budget cancellation. */
+struct DeadlineReply
+{
+    /** "admission", "queue-wait", "cycle-budget", "expired", "drain". */
+    std::string reason;
+    /** Watchdog root-cause dump or a one-line explanation. */
+    std::string detail;
+};
+
+std::string renderDeadlineReply(const DeadlineReply &reply);
+bool parseDeadlineReply(const std::string &payload, DeadlineReply &out);
+
+/**
+ * The canonical OK payload for one run result. This is the byte-
+ * equivalence contract: the daemon produces exactly these bytes, and
+ * so does a direct workloads::runOn call rendered through the same
+ * function — guarded by test at jobs=1 and jobs=8.
+ */
+std::string canonicalResult(const workloads::RunResult &result);
+
+} // namespace muir::serve

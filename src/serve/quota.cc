@@ -1,0 +1,66 @@
+#include "serve/quota.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace muir::serve
+{
+
+void
+TokenBucket::refill(double now_sec)
+{
+    if (!primed_) {
+        primed_ = true;
+        lastSec_ = now_sec;
+        return;
+    }
+    if (now_sec <= lastSec_)
+        return; // time never flows backwards for the bucket
+    tokens_ = std::min(burst_, tokens_ + (now_sec - lastSec_) * rate_);
+    lastSec_ = now_sec;
+}
+
+bool
+TokenBucket::tryAcquire(double now_sec)
+{
+    refill(now_sec);
+    if (tokens_ < 1.0)
+        return false;
+    tokens_ -= 1.0;
+    return true;
+}
+
+double
+TokenBucket::secondsUntilAvailable(double now_sec) const
+{
+    TokenBucket probe = *this;
+    probe.refill(now_sec);
+    if (probe.tokens_ >= 1.0)
+        return 0.0;
+    return (1.0 - probe.tokens_) / rate_;
+}
+
+bool
+QuotaTable::tryAcquire(const std::string &client, double now_sec)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = buckets_.find(client);
+    if (it == buckets_.end())
+        it = buckets_.emplace(client, TokenBucket(rate_, burst_)).first;
+    return it->second.tryAcquire(now_sec);
+}
+
+uint64_t
+QuotaTable::retryAfterMs(const std::string &client,
+                         double now_sec) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = buckets_.find(client);
+    double sec = 1.0 / rate_;
+    if (it != buckets_.end())
+        sec = it->second.secondsUntilAvailable(now_sec);
+    uint64_t ms = uint64_t(std::ceil(sec * 1000.0));
+    return std::max<uint64_t>(ms, 1);
+}
+
+} // namespace muir::serve

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Per-client token-bucket quotas for µserve admission control. Time is
+ * an explicit parameter (seconds on any monotonic axis) rather than a
+ * clock read, so the policy is a pure function of its inputs and the
+ * tests exercise refill/burst behavior deterministically.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace muir::serve
+{
+
+/** A classic token bucket: `rate` tokens/sec, capacity `burst`. */
+class TokenBucket
+{
+  public:
+    TokenBucket(double rate_per_sec, double burst)
+        : rate_(rate_per_sec > 0 ? rate_per_sec : 1.0),
+          burst_(burst > 0 ? burst : 1.0), tokens_(burst_)
+    {
+    }
+
+    /** Take one token at time @p now_sec; false = over quota. */
+    bool tryAcquire(double now_sec);
+
+    /**
+     * Seconds until one token will be available at @p now_sec (0 when
+     * one already is) — the SHED retry-after hint.
+     */
+    double secondsUntilAvailable(double now_sec) const;
+
+    double tokens() const { return tokens_; }
+
+  private:
+    void refill(double now_sec);
+
+    double rate_;
+    double burst_;
+    double tokens_;
+    double lastSec_ = 0.0;
+    bool primed_ = false;
+};
+
+/** Thread-safe per-client bucket map (buckets created on first use). */
+class QuotaTable
+{
+  public:
+    QuotaTable(double rate_per_sec, double burst)
+        : rate_(rate_per_sec), burst_(burst)
+    {
+    }
+
+    /** Take one token for @p client at @p now_sec. */
+    bool tryAcquire(const std::string &client, double now_sec);
+
+    /** Retry-after hint for @p client, in milliseconds (>= 1). */
+    uint64_t retryAfterMs(const std::string &client,
+                          double now_sec) const;
+
+  private:
+    const double rate_;
+    const double burst_;
+    mutable std::mutex mutex_;
+    mutable std::map<std::string, TokenBucket> buckets_;
+};
+
+} // namespace muir::serve

@@ -8,6 +8,7 @@
 #include <string>
 #include <thread>
 
+#include "support/logging.hh"
 #include "support/metrics.hh"
 
 namespace muir
@@ -20,16 +21,54 @@ hardwareJobs()
     return n ? n : 1;
 }
 
+namespace
+{
+
+/**
+ * Strict MUIR_JOBS parse, matching the muirc flag convention: decimal
+ * digits only (no signs, spaces, hex, or trailing junk), value in
+ * [1, 256]. Anything else is a configuration error, not a request.
+ */
+bool
+parseJobsEnv(const char *text, unsigned &out)
+{
+    if (!*text)
+        return false;
+    unsigned long v = 0;
+    for (const char *p = text; *p; ++p) {
+        if (*p < '0' || *p > '9')
+            return false;
+        v = v * 10 + unsigned(*p - '0');
+        if (v > 256)
+            return false;
+    }
+    if (v == 0)
+        return false;
+    out = static_cast<unsigned>(v);
+    return true;
+}
+
+} // namespace
+
 unsigned
 resolveJobs(unsigned requested)
 {
     unsigned jobs = requested;
     if (!jobs) {
         if (const char *env = std::getenv("MUIR_JOBS")) {
-            char *end = nullptr;
-            unsigned long v = std::strtoul(env, &end, 10);
-            if (end != env && *end == '\0' && v > 0)
-                jobs = static_cast<unsigned>(v);
+            if (!parseJobsEnv(env, jobs)) {
+                // Junk or out-of-range deserves a diagnostic and a
+                // predictable fallback, not silent misbehavior. Warn
+                // once per process: resolveJobs runs on every fan-out
+                // and a campaign would otherwise repeat it thousands
+                // of times.
+                static std::atomic<bool> warned{false};
+                if (!warned.exchange(true))
+                    muir_warn("MUIR_JOBS='%s' is not an integer in "
+                              "1..256; using hardware concurrency (%u)",
+                              env, hardwareJobs());
+                jobs = 0;
+            }
         }
     }
     if (!jobs)

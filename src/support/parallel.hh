@@ -24,7 +24,10 @@
  *
  * Job-count resolution (`resolveJobs`): an explicit request wins,
  * else the MUIR_JOBS environment variable, else
- * std::thread::hardware_concurrency().
+ * std::thread::hardware_concurrency(). MUIR_JOBS is parsed strictly
+ * (decimal digits, value in [1, 256]); junk or out-of-range values get
+ * a one-line warning and fall back to the hardware concurrency rather
+ * than silently misbehaving.
  */
 #pragma once
 
@@ -40,8 +43,9 @@ unsigned hardwareJobs();
 
 /**
  * Resolve an effective job count: @p requested if nonzero, else
- * MUIR_JOBS (when set to a positive integer), else the hardware
- * concurrency. The result is clamped to [1, 256].
+ * MUIR_JOBS (when set to a strict decimal integer in [1, 256]; junk
+ * or out-of-range values warn once and are ignored), else the
+ * hardware concurrency. The result is clamped to [1, 256].
  */
 unsigned resolveJobs(unsigned requested = 0);
 

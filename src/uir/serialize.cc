@@ -272,10 +272,15 @@ namespace
 std::unique_ptr<Accelerator>
 parseGraph(const std::string &text, const ir::Module *source)
 {
+    if (text.size() > kMaxSerializedBytes)
+        throw ParseError{0, fmt("input too large: %zu bytes "
+                                "(cap %zu)",
+                                text.size(), kMaxSerializedBytes)};
     std::unique_ptr<Accelerator> accel;
     Task *body_task = nullptr;
     unsigned lineno = 0;
     bool root_set = false;
+    unsigned total_nodes = 0;
     std::map<const Task *, std::map<unsigned, Node *>> node_by_id;
     // Deferred edges: (task, consumer, slot-or-guard, producer id, out).
     struct Edge
@@ -296,6 +301,11 @@ parseGraph(const std::string &text, const ir::Module *source)
     std::string line;
     while (std::getline(is, line)) {
         ++lineno;
+        if (line.size() > kMaxSerializedLineBytes)
+            throw ParseError{lineno,
+                             fmt("input too large: line is %zu bytes "
+                                 "(cap %zu)",
+                                 line.size(), kMaxSerializedLineBytes)};
         if (line.empty() || line[0] == '#')
             continue;
         auto tokens = tokenize(line);
@@ -317,6 +327,11 @@ parseGraph(const std::string &text, const ir::Module *source)
             if (accel->structureByName(tokens[1]))
                 throw ParseError{lineno, fmt("duplicate structure '%s'",
                                              tokens[1].c_str())};
+            if (accel->structures().size() >= kMaxSerializedStructures)
+                throw ParseError{lineno,
+                                 fmt("input too large: more than %u "
+                                     "structures",
+                                     kMaxSerializedStructures)};
             auto kv = fields(tokens, 2, lineno);
             const std::string &kind_s = need(kv, "kind", lineno);
             StructureKind kind;
@@ -365,6 +380,11 @@ parseGraph(const std::string &text, const ir::Module *source)
             if (accel->taskByName(tokens[1]))
                 throw ParseError{lineno, fmt("duplicate task '%s'",
                                              tokens[1].c_str())};
+            if (accel->tasks().size() >= kMaxSerializedTasks)
+                throw ParseError{lineno,
+                                 fmt("input too large: more than %u "
+                                     "tasks",
+                                     kMaxSerializedTasks)};
             auto kv = fields(tokens, 2, lineno);
             const std::string &kind_s = need(kv, "kind", lineno);
             TaskKind kind;
@@ -406,6 +426,11 @@ parseGraph(const std::string &text, const ir::Module *source)
                 throw ParseError{lineno, "node outside body"};
             if (tokens.size() < 2)
                 throw ParseError{lineno, "node needs an id"};
+            if (++total_nodes > kMaxSerializedNodes)
+                throw ParseError{lineno,
+                                 fmt("input too large: more than %u "
+                                     "nodes",
+                                     kMaxSerializedNodes)};
             unsigned orig_id =
                 parseUnsigned(tokens[1], "node id", lineno);
             if (node_by_id[body_task].count(orig_id))
@@ -518,6 +543,11 @@ parseGraph(const std::string &text, const ir::Module *source)
                                          "id:out)",
                                          guard ? "guard" : "input",
                                          ref_s.c_str())};
+                if (edges.size() >= kMaxSerializedEdges)
+                    throw ParseError{lineno,
+                                     fmt("input too large: more than "
+                                         "%u edges",
+                                         kMaxSerializedEdges)};
                 edges.push_back(
                     {body_task, n, guard,
                      parseUnsigned(rc[0], "node ref", lineno),

@@ -30,6 +30,25 @@
 namespace muir::uir
 {
 
+/**
+ * @name Parser resource caps
+ * deserializeOrError is exposed to untrusted input (checkpoints from
+ * disk, µserve request payloads), so the parser bounds every dimension
+ * an adversarial input could blow up: total bytes, single-line length,
+ * and entity counts. Exceeding a cap is a recoverable "input too
+ * large" error — never an OOM or a crash. The caps are far above any
+ * real design (baseline graphs are hundreds of nodes) while keeping
+ * the worst-case parse cost small and predictable.
+ * @{
+ */
+constexpr size_t kMaxSerializedBytes = 16u << 20;     ///< whole input
+constexpr size_t kMaxSerializedLineBytes = 64u << 10; ///< one line
+constexpr unsigned kMaxSerializedNodes = 1u << 16;    ///< across tasks
+constexpr unsigned kMaxSerializedEdges = 1u << 18;    ///< in= + guards
+constexpr unsigned kMaxSerializedTasks = 1u << 12;
+constexpr unsigned kMaxSerializedStructures = 1u << 12;
+/** @} */
+
 /** Serialize the whole graph to the textual format. */
 std::string serialize(const Accelerator &accel);
 

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# µserve SIGTERM drain smoke: signal the daemon while it has in-flight
+# and queued work. It must stop accepting, resolve everything already
+# admitted within the drain budget, flush a final stats snapshot, and
+# exit 0.
+#
+# usage: drain_test.sh <muir-serve> <muir-client> <script-dir>
+set -u
+
+SERVE=$1
+CLIENT=$2
+SRCDIR=$3
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+fail() {
+    echo "drain_test: $1" >&2
+    [ -f "$TMP/log" ] && sed 's/^/  serve: /' "$TMP/log" >&2
+    [ -f "$TMP/decoded" ] && sed 's/^/  reply: /' "$TMP/decoded" >&2
+    exit 1
+}
+
+"$CLIENT" --encode "$SRCDIR/drain.script" > "$TMP/frames" \
+    || fail "encode failed"
+
+# A fifo keeps stdin open past the signal, so the exit is provably the
+# SIGTERM drain path and not the stdin-EOF path.
+mkfifo "$TMP/in"
+"$SERVE" --stdio --allow-work-delay --drain-budget-ms 10000 \
+    --stats-json "$TMP/stats.json" \
+    < "$TMP/in" > "$TMP/replies" 2> "$TMP/log" &
+pid=$!
+exec 3> "$TMP/in"
+cat "$TMP/frames" >&3
+
+# Let the first slow run get in flight, then signal mid-traffic.
+sleep 0.3
+kill -TERM "$pid"
+wait "$pid"
+rc=$?
+exec 3>&-
+[ "$rc" -eq 0 ] || fail "daemon exited $rc after SIGTERM, want 0"
+
+"$CLIENT" --decode < "$TMP/replies" > "$TMP/decoded" \
+    || fail "decode failed (unexpected ERROR reply?)"
+# Every admitted request resolved: all three runs answered OK.
+[ "$(grep -c " OK cycles=" "$TMP/decoded")" -eq 3 ] \
+    || fail "want all 3 runs answered before exit"
+grep -q '"muir.serve.v1"' "$TMP/stats.json" \
+    || fail "final stats snapshot not flushed"
+
+echo "drain_test: ok"

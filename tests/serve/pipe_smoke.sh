@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# µserve stdio pipe smoke: encode a mixed request script, run it
+# through the daemon with no networking, decode the replies, and
+# assert the exact reply kinds plus a clean (exit 0) daemon shutdown.
+#
+# usage: pipe_smoke.sh <muir-serve> <muir-client> <script-dir>
+set -u
+
+SERVE=$1
+CLIENT=$2
+SRCDIR=$3
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+fail() {
+    echo "pipe_smoke: $1" >&2
+    [ -f "$TMP/log" ] && sed 's/^/  serve: /' "$TMP/log" >&2
+    [ -f "$TMP/decoded" ] && sed 's/^/  reply: /' "$TMP/decoded" >&2
+    exit 1
+}
+
+"$CLIENT" --encode "$SRCDIR/mixed.script" > "$TMP/frames" \
+    || fail "encode failed"
+
+"$SERVE" --stdio --stats-json "$TMP/stats.json" \
+    < "$TMP/frames" > "$TMP/replies" 2> "$TMP/log"
+rc=$?
+[ "$rc" -eq 0 ] || fail "daemon exited $rc, want 0 (graceful drain)"
+
+"$CLIENT" --decode < "$TMP/replies" > "$TMP/decoded"
+drc=$?
+# The script deliberately includes one hostile request, so decode's
+# "saw an ERROR reply" exit code must be exactly 1.
+[ "$drc" -eq 1 ] || fail "decode exited $drc, want 1 (one ERROR reply)"
+
+grep -q "^1 PONG hello$" "$TMP/decoded" || fail "missing PONG"
+[ "$(grep -c " OK cycles=" "$TMP/decoded")" -eq 3 ] \
+    || fail "want exactly 3 OK replies"
+grep -q " ERROR error code=unknown-workload" "$TMP/decoded" \
+    || fail "missing unknown-workload ERROR"
+grep -q " DEADLINE deadline reason=cycle-budget" "$TMP/decoded" \
+    || fail "missing cycle-budget DEADLINE"
+grep -q ' STATS {"muir.serve.v1"' "$TMP/decoded" \
+    || fail "missing STATS reply"
+grep -q " BYE" "$TMP/decoded" || fail "missing BYE"
+
+# Identical designs hit the compile-once cache: 2 fib runs = 1 miss +
+# 1 hit, visible in the final flushed snapshot.
+grep -q '"muir.serve.v1"' "$TMP/stats.json" \
+    || fail "final stats snapshot not flushed"
+grep -q '"cache_hits":1' "$TMP/stats.json" \
+    || fail "expected exactly one design-cache hit"
+
+echo "pipe_smoke: ok"

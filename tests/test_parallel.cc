@@ -66,19 +66,48 @@ TEST(ResolveJobs, ReadsEnvWhenUnrequested)
     EXPECT_EQ(resolveJobs(0), 7u);
 }
 
-TEST(ResolveJobs, IgnoresJunkEnv)
+TEST(ResolveJobs, JunkEnvWarnsAndFallsBackToHardware)
 {
-    ScopedJobsEnv env("banana");
-    EXPECT_GE(resolveJobs(0), 1u);
-    ScopedJobsEnv zero("0");
-    EXPECT_GE(resolveJobs(0), 1u);
+    // Strict parse: anything that is not a plain decimal integer in
+    // [1, 256] is a configuration error — warn (once) and use the
+    // hardware concurrency, never a silently mangled value.
+    for (const char *junk :
+         {"banana", "12abc", "abc12", " 8", "8 ", "+8", "-8", "0x10",
+          "1e3", "8,8", ""}) {
+        ScopedJobsEnv env(junk);
+        EXPECT_EQ(resolveJobs(0), hardwareJobs())
+            << "MUIR_JOBS='" << junk << "'";
+    }
 }
 
-TEST(ResolveJobs, ClampsTo256)
+TEST(ResolveJobs, ZeroEnvFallsBackToHardware)
+{
+    ScopedJobsEnv zero("0");
+    EXPECT_EQ(resolveJobs(0), hardwareJobs());
+}
+
+TEST(ResolveJobs, HugeEnvFallsBackToHardware)
+{
+    // Out of range (> 256) and overflowing values alike fall back.
+    for (const char *huge :
+         {"257", "100000", "4294967296", "99999999999999999999"}) {
+        ScopedJobsEnv env(huge);
+        EXPECT_EQ(resolveJobs(0), hardwareJobs())
+            << "MUIR_JOBS='" << huge << "'";
+    }
+}
+
+TEST(ResolveJobs, EnvBoundaryValuesAreAccepted)
+{
+    ScopedJobsEnv one("1");
+    EXPECT_EQ(resolveJobs(0), 1u);
+    ScopedJobsEnv max("256");
+    EXPECT_EQ(resolveJobs(0), 256u);
+}
+
+TEST(ResolveJobs, ClampsExplicitRequestTo256)
 {
     EXPECT_EQ(resolveJobs(100000), 256u);
-    ScopedJobsEnv env("100000");
-    EXPECT_EQ(resolveJobs(0), 256u);
 }
 
 TEST(ResolveJobs, DefaultsToHardwareConcurrency)

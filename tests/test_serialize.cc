@@ -284,4 +284,129 @@ TEST(SerializeDeathTest, RejectsUnknownDirective)
                  "unknown directive");
 }
 
+// ------------------------------------------------- pathological inputs
+//
+// The parser is exposed to untrusted bytes (checkpoints, µserve
+// payloads), so every resource dimension is capped with a recoverable
+// "input too large" error — no OOM, no panic. Under the ASan/UBSan job
+// these double as leak probes of the reject paths.
+
+namespace
+{
+
+/** Expect a recoverable "input too large" error (never a crash). */
+void
+expectTooLarge(const std::string &text, const char *what)
+{
+    DeserializeResult r = deserializeOrError(text, nullptr);
+    ASSERT_FALSE(r.ok()) << what;
+    EXPECT_NE(r.error.find("input too large"), std::string::npos)
+        << what << ": " << r.error;
+}
+
+} // namespace
+
+TEST(SerializeLimits, RejectsOversizedInput)
+{
+    // One byte past the whole-input cap, assembled from comment lines
+    // so the parser would otherwise accept it.
+    std::string chunk(4096, 'x');
+    chunk[0] = '#';
+    chunk[1] = ' ';
+    chunk.back() = '\n';
+    std::string text = "accelerator x\n";
+    while (text.size() <= kMaxSerializedBytes)
+        text += chunk;
+    expectTooLarge(text, "oversized input");
+}
+
+TEST(SerializeLimits, RejectsOversizedLine)
+{
+    std::string text = "accelerator x\n# ";
+    text.append(kMaxSerializedLineBytes + 1, 'a');
+    text += "\n";
+    expectTooLarge(text, "oversized line");
+
+    // Oversized payload smuggled into a value, not a comment.
+    std::string field = "accelerator x\ntask ";
+    field.append(kMaxSerializedLineBytes + 1, 't');
+    field += " kind=root\n";
+    expectTooLarge(field, "oversized token line");
+}
+
+TEST(SerializeLimits, RejectsTooManyNodes)
+{
+    std::string text =
+        "accelerator x\n"
+        "task t kind=root tiles=1 queue=1 decoupled=0 jr=1 jw=1\n"
+        "body t\n";
+    for (unsigned i = 0; i <= kMaxSerializedNodes; ++i)
+        text += fmt("  node %u name=c%u kind=const type=i32 ival=0\n",
+                    i, i);
+    text += "end\nroot t\n";
+    expectTooLarge(text, "node flood");
+}
+
+TEST(SerializeLimits, RejectsTooManyEdges)
+{
+    // Each node line carries thousands of (deferred) input refs; the
+    // edge cap must trip during parsing, before resolution.
+    std::string refs = "0:0";
+    for (unsigned i = 1; i < 6000; ++i)
+        refs += ",0:0";
+    std::string text =
+        "accelerator x\n"
+        "task t kind=root tiles=1 queue=1 decoupled=0 jr=1 jw=1\n"
+        "body t\n"
+        "  node 0 name=c0 kind=const type=i32 ival=0\n";
+    unsigned node = 1;
+    for (unsigned edges = 0; edges <= kMaxSerializedEdges;
+         edges += 6000, ++node)
+        text += fmt("  node %u name=s%u kind=sync type=void in=%s\n",
+                    node, node, refs.c_str());
+    text += "end\nroot t\n";
+    expectTooLarge(text, "edge flood");
+}
+
+TEST(SerializeLimits, RejectsTooManyTasksAndStructures)
+{
+    std::string tasks = "accelerator x\n";
+    for (unsigned i = 0; i <= kMaxSerializedTasks; ++i)
+        tasks += fmt("task t%u kind=loop tiles=1 queue=1 decoupled=0 "
+                     "jr=1 jw=1\n",
+                     i);
+    expectTooLarge(tasks, "task flood");
+
+    std::string structures = "accelerator x\n";
+    for (unsigned i = 0; i <= kMaxSerializedStructures; ++i)
+        structures += fmt("structure s%u kind=cache banks=1 ports=1 "
+                          "wide=1 lat=1 size=1 ways=1 line=64 miss=1 "
+                          "bpc=1\n",
+                          i);
+    expectTooLarge(structures, "structure flood");
+}
+
+TEST(SerializeLimits, DegenerateInputsStayRecoverable)
+{
+    // Degenerate shapes that historically crash naive line parsers:
+    // only NULs, only newlines, a header cut mid-token, binary noise.
+    std::string nuls(1024, '\0');
+    EXPECT_FALSE(deserializeOrError(nuls, nullptr).ok());
+    std::string newlines(4096, '\n');
+    EXPECT_FALSE(deserializeOrError(newlines, nullptr).ok());
+    EXPECT_FALSE(deserializeOrError("acceler", nullptr).ok());
+    std::string noise;
+    for (unsigned i = 0; i < 2048; ++i)
+        noise += char(i * 131 + 17);
+    EXPECT_FALSE(deserializeOrError(noise, nullptr).ok());
+    // A graph at the caps' healthy side still parses.
+    std::string small =
+        "accelerator x\n"
+        "task t kind=root tiles=1 queue=1 decoupled=0 jr=1 jw=1\n"
+        "body t\n"
+        "  node 0 name=c kind=const type=i32 ival=0\n"
+        "end\nroot t\n";
+    EXPECT_TRUE(deserializeOrError(small, nullptr).ok());
+}
+
 } // namespace muir::uir

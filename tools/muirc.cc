@@ -114,17 +114,23 @@ usage()
         "                        hardware concurrency; results are\n"
         "                        identical at any job count)\n"
         "  --max-cycles <N>      arm the hang watchdog with a cycle\n"
-        "                        budget (also bounds campaign runs)\n"
+        "                        budget on every run (plain simulations\n"
+        "                        included): a run past the budget exits\n"
+        "                        3 with the watchdog's root-cause dump\n"
+        "                        instead of running unbounded; also\n"
+        "                        bounds campaign runs\n"
         "  --emit-firrtl-stats   print circuit-level elaboration size\n"
         "  --quiet               suppress pass progress chatter\n"
         "\n"
         "exit codes:\n"
         "  0  success\n"
         "  1  runtime failure: functional check, lint/analyze finding\n"
-        "     at or above the blocking severity, watchdog, or an\n"
-        "     unwritable output file\n"
+        "     at or above the blocking severity, or an unwritable\n"
+        "     output file\n"
         "  2  usage error: unknown option/workload, malformed value,\n"
-        "     or unreadable input file\n");
+        "     or unreadable input file\n"
+        "  3  watchdog: the --max-cycles budget was exceeded or the\n"
+        "     deadlock watchdog tripped (root-cause dump on stderr)\n");
 }
 
 /**
@@ -543,9 +549,12 @@ main(int argc, char **argv)
     auto run = workloads::runOn(w, *accel, ropts);
     notePhase("phase.simulate");
     if (watchdog && run.verdict.hang.tripped()) {
+        // Distinct exit code: a budget/deadlock trip is neither a
+        // functional failure (1) nor a usage error (2) — callers
+        // (µserve, CI scripts) key retry/deadline policy off it.
         std::fprintf(stderr, "muirc: %s",
                      run.verdict.hang.render().c_str());
-        return 1;
+        return 3;
     }
     if (!run.check.empty()) {
         std::fprintf(stderr, "muirc: FUNCTIONAL CHECK FAILED: %s\n",
