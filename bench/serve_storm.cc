@@ -127,6 +127,12 @@ main(int argc, char **argv)
     options.quotaRate = 400.0;
     options.quotaBurst = 100.0;
     options.allowWorkDelay = true;
+    // µtrace at half rate, seeded from the storm seed: the audit
+    // below proves every resolved request took exactly one
+    // sampled-or-dropped decision and no interesting trace was lost.
+    options.traceSampleRate = 0.5;
+    options.traceSeed = seed;
+    options.traceRingCapacity = 64;
     Server server(options);
     metrics::ScopedSink sink(&server.registry());
 
@@ -337,6 +343,34 @@ main(int argc, char **argv)
     }
     std::sort(latencies_us.begin(), latencies_us.end());
 
+    // µtrace audit: after the drain the tracer is idle, so the
+    // decision ledger must balance — every started trace resolved to
+    // exactly one retained-or-dropped decision — and the always-
+    // retain rule must have kept every ERROR/SHED/DEADLINE trace.
+    const trace::Tracer &tracer = server.tracer();
+    uint64_t traces_started = tracer.started();
+    uint64_t traces_retained = tracer.retained();
+    uint64_t traces_dropped = tracer.dropped();
+    if (traces_started != traces_retained + traces_dropped)
+        muir_fatal("storm: trace ledger out of balance: "
+                   "%llu started != %llu retained + %llu dropped",
+                   (unsigned long long)traces_started,
+                   (unsigned long long)traces_retained,
+                   (unsigned long long)traces_dropped);
+    for (const char *outcome :
+         {trace::kOutcomeError, trace::kOutcomeShed,
+          trace::kOutcomeDeadline})
+        if (tracer.droppedFor(outcome) != 0)
+            muir_fatal("storm: %llu %s trace(s) dropped -- the "
+                       "always-retain rule leaked",
+                       (unsigned long long)tracer.droppedFor(outcome),
+                       outcome);
+    if (traces_retained == 0 || traces_dropped == 0)
+        muir_fatal("storm: rate-0.5 sampling must both retain and "
+                   "drop (retained=%llu dropped=%llu)",
+                   (unsigned long long)traces_retained,
+                   (unsigned long long)traces_dropped);
+
     double throughput =
         sending_done > 0 ? double(answered) / wall_sec : 0.0;
     AsciiTable table({"metric", "value"});
@@ -350,6 +384,12 @@ main(int argc, char **argv)
     table.addRow({"control_replies", fmt("%u", other)});
     table.addRow({"chaos_frames", fmt("%u", chaos_frames.load())});
     table.addRow({"byte_equiv_checked", fmt("%u", byte_equiv_checked)});
+    table.addRow({"traces_started",
+                  fmt("%llu", (unsigned long long)traces_started)});
+    table.addRow({"traces_retained",
+                  fmt("%llu", (unsigned long long)traces_retained)});
+    table.addRow({"traces_dropped",
+                  fmt("%llu", (unsigned long long)traces_dropped)});
     table.addRow({"wall_ms", fmt("%.1f", wall_sec * 1000.0)});
     table.addRow({"throughput_rps", fmt("%.1f", throughput)});
     table.addRow(
@@ -386,6 +426,12 @@ main(int argc, char **argv)
     w.end();
     w.field("chaos_frames", double(chaos_frames.load()));
     w.field("byte_equiv_checked", double(byte_equiv_checked));
+    w.beginObject("trace");
+    w.field("started", double(traces_started));
+    w.field("retained", double(traces_retained));
+    w.field("dropped", double(traces_dropped));
+    w.field("evicted", double(tracer.evicted()));
+    w.end();
     w.field("crashes", 0.0);
     w.field("wall_ms", wall_sec * 1000.0);
     w.field("throughput_rps", throughput);

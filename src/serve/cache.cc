@@ -38,8 +38,32 @@ designKey(const RunRequest &req)
     return fnv1a64(material);
 }
 
+namespace
+{
+
+/** Null-safe RAII span over a raw ActiveTrace pointer. */
+struct RawSpan
+{
+    trace::ActiveTrace *t;
+    uint64_t id = 0;
+    RawSpan(trace::ActiveTrace *t, const char *name, uint64_t parent)
+        : t(t)
+    {
+        if (t)
+            id = t->begin(name, parent);
+    }
+    ~RawSpan()
+    {
+        if (t)
+            t->end(id);
+    }
+};
+
+} // namespace
+
 std::shared_ptr<const CompiledDesign>
-DesignCache::compile(const RunRequest &req) const
+DesignCache::compile(const RunRequest &req, trace::ActiveTrace *t,
+                     uint64_t parent) const
 {
     auto design = std::make_shared<CompiledDesign>();
     auto fail = [&](const std::string &code, unsigned line,
@@ -61,20 +85,25 @@ DesignCache::compile(const RunRequest &req) const
     design->workload = workloads::buildWorkload(req.workload);
 
     if (req.graph.empty()) {
+        RawSpan span(t, "compile.lower", parent);
         design->accel = workloads::lowerBaseline(design->workload);
     } else {
-        auto parsed = uir::deserializeOrError(
-            req.graph, design->workload.module.get());
-        if (!parsed.ok()) {
-            bool too_large =
-                parsed.error.find("input too large") != std::string::npos;
-            return fail(too_large ? kErrTooLarge : kErrParse,
-                        parsed.line, parsed.error);
+        {
+            RawSpan span(t, "compile.parse", parent);
+            auto parsed = uir::deserializeOrError(
+                req.graph, design->workload.module.get());
+            if (!parsed.ok()) {
+                bool too_large = parsed.error.find("input too large") !=
+                                 std::string::npos;
+                return fail(too_large ? kErrTooLarge : kErrParse,
+                            parsed.line, parsed.error);
+            }
+            design->accel = std::move(parsed.accel);
         }
-        design->accel = std::move(parsed.accel);
         // A hostile graph can parse yet still violate invariants the
         // passes and scheduler assume; the standard lint gate turns
         // that into a structured reply instead of a downstream panic.
+        RawSpan span(t, "compile.lint", parent);
         auto diags = uir::lint::Linter::standard().run(*design->accel);
         if (uir::lint::countAtLeast(diags,
                                     uir::lint::Severity::Error) > 0)
@@ -82,6 +111,7 @@ DesignCache::compile(const RunRequest &req) const
     }
 
     if (!req.passes.empty()) {
+        RawSpan span(t, "compile.optimize", parent);
         uopt::PassManager pm;
         std::string perr;
         if (!uopt::buildPipeline(pm, req.passes, &perr))
@@ -92,10 +122,12 @@ DesignCache::compile(const RunRequest &req) const
 }
 
 std::shared_ptr<const CompiledDesign>
-DesignCache::lookup(const RunRequest &req)
+DesignCache::lookup(const RunRequest &req, trace::ActiveTrace *t,
+                    uint64_t parent)
 {
     uint64_t key = designKey(req);
     std::shared_ptr<Entry> entry;
+    bool fresh = false;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         auto it = entries_.find(key);
@@ -104,6 +136,7 @@ DesignCache::lookup(const RunRequest &req)
             entry = it->second;
         } else {
             ++misses_;
+            fresh = true;
             entry = std::make_shared<Entry>();
             entries_.emplace(key, entry);
             fifo_.push_back(key);
@@ -117,8 +150,13 @@ DesignCache::lookup(const RunRequest &req)
     // entry mutex; the loser finds the design already built. Requests
     // for different keys compile concurrently.
     std::lock_guard<std::mutex> compile_lock(entry->compileMutex);
+    // The race loser asked for a compile but found it done: that is a
+    // hit from the trace's point of view (no compile work charged).
+    if (t)
+        t->attr(parent, "cache",
+                fresh && !entry->design ? "miss" : "hit");
     if (!entry->design)
-        entry->design = compile(req);
+        entry->design = compile(req, t, parent);
     return entry->design;
 }
 

@@ -22,6 +22,7 @@
 #include <string>
 
 #include "serve/protocol.hh"
+#include "support/trace.hh"
 #include "uir/accelerator.hh"
 #include "workloads/workload.hh"
 
@@ -63,8 +64,16 @@ class DesignCache
      * callers with the same key block on one compilation and share its
      * result. Never throws; compile failures come back as a
      * CompiledDesign with error set.
+     *
+     * When @p t is non-null, the "compile" span @p parent gets a
+     * cache=hit|miss attribute, and an actual compilation records
+     * compile.lower / compile.parse / compile.lint /
+     * compile.optimize child spans under it. Tracing adds no
+     * locking and no work when @p t is null.
      */
-    std::shared_ptr<const CompiledDesign> lookup(const RunRequest &req);
+    std::shared_ptr<const CompiledDesign>
+    lookup(const RunRequest &req, trace::ActiveTrace *t = nullptr,
+           uint64_t parent = 0);
 
     uint64_t hits() const;
     uint64_t misses() const;
@@ -78,7 +87,8 @@ class DesignCache
     };
 
     std::shared_ptr<const CompiledDesign>
-    compile(const RunRequest &req) const;
+    compile(const RunRequest &req, trace::ActiveTrace *t,
+            uint64_t parent) const;
 
     const size_t maxEntries_;
     mutable std::mutex mutex_; ///< guards the map/FIFO/counters

@@ -17,6 +17,8 @@ frameKindName(FrameKind kind)
         return "PING";
       case FrameKind::Shutdown:
         return "SHUTDOWN";
+      case FrameKind::Trace:
+        return "TRACE_REQ";
       case FrameKind::Ok:
         return "OK";
       case FrameKind::Error:
@@ -31,6 +33,8 @@ frameKindName(FrameKind kind)
         return "PONG";
       case FrameKind::Bye:
         return "BYE";
+      case FrameKind::TraceReply:
+        return "TRACE";
     }
     return "UNKNOWN";
 }
@@ -43,6 +47,7 @@ frameKindKnown(uint8_t kind)
       case FrameKind::Stats:
       case FrameKind::Ping:
       case FrameKind::Shutdown:
+      case FrameKind::Trace:
       case FrameKind::Ok:
       case FrameKind::Error:
       case FrameKind::Shed:
@@ -50,6 +55,7 @@ frameKindKnown(uint8_t kind)
       case FrameKind::StatsReply:
       case FrameKind::Pong:
       case FrameKind::Bye:
+      case FrameKind::TraceReply:
         return true;
     }
     return false;

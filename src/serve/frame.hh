@@ -50,6 +50,7 @@ enum class FrameKind : uint8_t
     Stats = 0x02,    ///< health/metrics probe
     Ping = 0x03,     ///< liveness probe
     Shutdown = 0x04, ///< request a graceful drain
+    Trace = 0x05,    ///< fetch retained request traces (μtrace)
 
     // Replies (daemon -> client).
     Ok = 0x81,         ///< canonical run result (byte-stable)
@@ -59,6 +60,7 @@ enum class FrameKind : uint8_t
     StatsReply = 0x85, ///< serve metrics snapshot JSON
     Pong = 0x86,       ///< ping answer
     Bye = 0x87,        ///< shutdown acknowledged; daemon is draining
+    TraceReply = 0x88, ///< `muir.trace.v1` JSON document
 };
 
 /** Stable uppercase name ("OK", "SHED", ...) for logs and scripts. */

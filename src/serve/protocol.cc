@@ -30,6 +30,37 @@ parseU64(const std::string &text, uint64_t &out)
     return true;
 }
 
+/**
+ * Trace-id parse: decimal, or 0x-prefixed hex so ids can be pasted
+ * straight out of a waterfall or `muir.trace.v1` document.
+ */
+bool
+parseTraceId(const std::string &text, uint64_t &out)
+{
+    if (text.size() > 2 && text[0] == '0' &&
+        (text[1] == 'x' || text[1] == 'X')) {
+        if (text.size() > 18)
+            return false;
+        uint64_t v = 0;
+        for (size_t i = 2; i < text.size(); ++i) {
+            char c = text[i];
+            uint64_t digit;
+            if (c >= '0' && c <= '9')
+                digit = uint64_t(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                digit = uint64_t(c - 'a') + 10;
+            else if (c >= 'A' && c <= 'F')
+                digit = uint64_t(c - 'A') + 10;
+            else
+                return false;
+            v = (v << 4) | digit;
+        }
+        out = v;
+        return true;
+    }
+    return parseU64(text, out);
+}
+
 /** First line of @p payload; @p rest gets everything after the '\n'. */
 std::string
 firstLine(const std::string &payload, std::string *rest = nullptr)
@@ -86,6 +117,8 @@ renderRunRequest(const RunRequest &req)
     if (req.workDelayMs)
         line += fmt(" work_delay_ms=%llu",
                     (unsigned long long)req.workDelayMs);
+    if (req.traceId)
+        line += fmt(" trace=%llu", (unsigned long long)req.traceId);
     line += "\n";
     return line + req.graph;
 }
@@ -126,6 +159,13 @@ parseRunRequest(const std::string &payload, RunRequest &out,
                     *error = "work_delay_ms must be a decimal integer";
                 return false;
             }
+        } else if (key == "trace") {
+            if (!parseTraceId(value, req.traceId) || !req.traceId) {
+                if (error)
+                    *error = "trace must be a nonzero decimal or "
+                             "0x-hex integer";
+                return false;
+            }
         } else {
             if (error)
                 *error = fmt("unknown run key '%s'", key.c_str());
@@ -138,6 +178,53 @@ parseRunRequest(const std::string &payload, RunRequest &out,
         return false;
     }
     out = std::move(req);
+    return true;
+}
+
+std::string
+renderTraceRequest(const TraceRequest &req)
+{
+    std::string line = "trace";
+    if (req.id)
+        line += fmt(" id=0x%016llx", (unsigned long long)req.id);
+    if (req.limit)
+        line += fmt(" limit=%llu", (unsigned long long)req.limit);
+    return line;
+}
+
+bool
+parseTraceRequest(const std::string &payload, TraceRequest &out,
+                  std::string *error)
+{
+    TraceRequest req;
+    std::vector<std::pair<std::string, std::string>> kvs;
+    if (!parseKvLine(firstLine(payload), "trace", kvs)) {
+        if (error)
+            *error = "first line must be "
+                     "'trace [id=<id>] [limit=<n>]'";
+        return false;
+    }
+    for (const auto &[key, value] : kvs) {
+        if (key == "id") {
+            if (!parseTraceId(value, req.id) || !req.id) {
+                if (error)
+                    *error = "id must be a nonzero decimal or 0x-hex "
+                             "integer";
+                return false;
+            }
+        } else if (key == "limit") {
+            if (!parseU64(value, req.limit)) {
+                if (error)
+                    *error = "limit must be a decimal integer";
+                return false;
+            }
+        } else {
+            if (error)
+                *error = fmt("unknown trace key '%s'", key.c_str());
+            return false;
+        }
+    }
+    out = req;
     return true;
 }
 

@@ -8,7 +8,7 @@
  * RUN request payload:
  *
  *   run workload=<name> [passes=<spec>] [max_cycles=<n>]
- *       [deadline_ms=<n>] [work_delay_ms=<n>]
+ *       [deadline_ms=<n>] [work_delay_ms=<n>] [trace=<id>]
  *   <serialized µIR graph, optional — empty means "the baseline
  *    lowering of the workload">
  *
@@ -66,6 +66,15 @@ struct RunRequest
      * honors it only when ServerOptions::allowWorkDelay is set.
      */
     uint64_t workDelayMs = 0;
+    /**
+     * Client-stamped μtrace id (`trace=<id>` on the RUN line; 0 =
+     * unstamped). A stamped request is always traced and retained,
+     * whatever the daemon's sample rate, so `muir-client --trace` can
+     * fetch its waterfall afterwards. Rendered only when nonzero —
+     * unstamped requests produce byte-identical payloads to before
+     * the key existed.
+     */
+    uint64_t traceId = 0;
     /** Serialized graph ("" = baseline lowering of the workload). */
     std::string graph;
 };
@@ -80,6 +89,22 @@ std::string renderRunRequest(const RunRequest &req);
  */
 bool parseRunRequest(const std::string &payload, RunRequest &out,
                      std::string *error);
+
+/**
+ * One parsed TRACE request: fetch retained traces from the daemon's
+ * μtrace ring. Payload: `trace [id=<hex-or-decimal>] [limit=<n>]`.
+ */
+struct TraceRequest
+{
+    /** Fetch only this trace id (0 = all retained traces). */
+    uint64_t id = 0;
+    /** Keep only the newest N traces (0 = all). */
+    uint64_t limit = 0;
+};
+
+std::string renderTraceRequest(const TraceRequest &req);
+bool parseTraceRequest(const std::string &payload, TraceRequest &out,
+                       std::string *error);
 
 /** A structured, recoverable request error. */
 struct ErrorReply

@@ -35,7 +35,12 @@ Server::Server(ServerOptions options)
     : options_(options), jobs_(resolveJobs(options.jobs)),
       epoch_(std::chrono::steady_clock::now()),
       cache_(options.cacheCapacity),
-      quota_(options.quotaRate, options.quotaBurst)
+      quota_(options.quotaRate, options.quotaBurst),
+      tracer_(trace::TracerOptions{options.traceSampleRate,
+                                   options.traceSeed,
+                                   options.traceSlowUs,
+                                   options.traceRingCapacity}),
+      log_(options.logger)
 {
     workers_.reserve(jobs_);
     for (unsigned i = 0; i < jobs_; ++i)
@@ -57,6 +62,16 @@ Server::serviceEstimateMs() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return serviceEmaMs_;
+}
+
+void
+Server::logEvent(slog::Level level, const char *event,
+                 uint64_t trace_id, uint64_t span_id,
+                 std::vector<std::pair<std::string, std::string>> attrs)
+{
+    if (log_)
+        log_->event(level, event, trace_id, span_id,
+                    std::move(attrs));
 }
 
 std::shared_ptr<Session>
@@ -109,6 +124,9 @@ Server::feed(const std::shared_ptr<Session> &session, const char *data,
         // and every other session carry on.
         metrics_.add("serve.bad_frames");
         session->dead_.store(true, std::memory_order_release);
+        logEvent(slog::Level::Error, "session.poisoned", 0, 0,
+                 {{"client", session->clientId()},
+                  {"error", decode_error}});
         sendError(session, 0,
                   ErrorReply{kErrBadFrame, 0, decode_error});
         return false;
@@ -139,10 +157,15 @@ Server::dispatchFrame(const std::shared_ptr<Session> &session,
       case FrameKind::Shutdown:
         beginDrain();
         shutdownRequested_.store(true, std::memory_order_release);
+        logEvent(slog::Level::Info, "shutdown.requested", 0, 0,
+                 {{"client", session->clientId()}});
         send(session, FrameKind::Bye, frame.tag, "");
         return;
       case FrameKind::Run:
         handleRun(session, frame);
+        return;
+      case FrameKind::Trace:
+        handleTrace(session, frame);
         return;
       default:
         // A client sent a reply kind. Recoverable nonsense.
@@ -159,10 +182,13 @@ Server::handleRun(const std::shared_ptr<Session> &session,
                   const Frame &frame)
 {
     metrics_.add("serve.accepted");
+    auto entry = std::chrono::steady_clock::now();
 
     // Admission control, cheapest checks first. Structural rejects
     // (size, syntax, unknown workload) come before quota/queue so a
     // client's junk never burns its own tokens or a queue slot.
+    // Size/syntax rejects stay untraced: a stamp inside an
+    // unparseable payload cannot be honored.
     if (frame.payload.size() > options_.maxRequestBytes) {
         sendError(session, frame.tag,
                   ErrorReply{kErrTooLarge, 0,
@@ -179,15 +205,51 @@ Server::handleRun(const std::shared_ptr<Session> &session,
                   ErrorReply{kErrBadRequest, 0, parse_error});
         return;
     }
+
+    // One trace per parsed request, anchored at dispatch entry so the
+    // size/parse work above lands inside it. Null when tracing is off
+    // and the client did not stamp — the no-overhead path.
+    std::shared_ptr<trace::ActiveTrace> t = tracer_.begin(
+        "run " + req.workload +
+            (req.passes.empty() ? std::string()
+                                : " passes=" + req.passes),
+        req.traceId, entry);
+    uint64_t trace_id = t ? t->traceId() : 0;
+    uint64_t parse_end = t ? t->nowUs() : 0;
+    uint64_t validate_end = 0;
+    uint64_t quota_end = 0;
+
+    // Close the trace on an admission reject: the "admission" stage
+    // covers the whole request, with the ladder steps as children.
+    auto reject = [&](const char *outcome, const char *reason) {
+        if (!t)
+            return;
+        uint64_t now = t->nowUs();
+        uint64_t adm = t->add("admission", 0, 0, now);
+        t->add("parse", adm, 0, parse_end);
+        if (validate_end)
+            t->add("validate", adm, parse_end, validate_end);
+        if (quota_end)
+            t->add("quota", adm, validate_end, quota_end);
+        t->attr(adm, "reject", reason);
+        tracer_.finish(t, outcome, now);
+    };
+
     const auto &names = workloads::workloadNames();
     if (std::find(names.begin(), names.end(), req.workload) ==
         names.end()) {
+        reject(trace::kOutcomeError, kErrUnknownWorkload);
+        logEvent(slog::Level::Warn, "request.error", trace_id, 0,
+                 {{"code", kErrUnknownWorkload},
+                  {"workload", req.workload}});
         sendError(session, frame.tag,
                   ErrorReply{kErrUnknownWorkload, 0,
                              fmt("unknown workload '%s'",
                                  req.workload.c_str())});
         return;
     }
+    if (t)
+        validate_end = t->nowUs();
 
     double now = nowSec();
     {
@@ -195,14 +257,25 @@ Server::handleRun(const std::shared_ptr<Session> &session,
         if (draining_ || stopping_) {
             metrics_.add("serve.shed");
             metrics_.add("serve.shed.drain");
+            reject(trace::kOutcomeShed, "drain");
+            logEvent(slog::Level::Warn, "request.shed", trace_id, 0,
+                     {{"reason", "drain"},
+                      {"workload", req.workload}});
             send(session, FrameKind::Shed, frame.tag,
                  renderShedReply({"drain", 0}));
             return;
         }
     }
-    if (!quota_.tryAcquire(session->clientId(), now)) {
+    bool quota_ok = quota_.tryAcquire(session->clientId(), now);
+    if (t)
+        quota_end = t->nowUs();
+    if (!quota_ok) {
         metrics_.add("serve.shed");
         metrics_.add("serve.shed.quota");
+        reject(trace::kOutcomeShed, "quota");
+        logEvent(slog::Level::Warn, "request.shed", trace_id, 0,
+                 {{"reason", "quota"},
+                  {"client", session->clientId()}});
         send(session, FrameKind::Shed, frame.tag,
              renderShedReply(
                  {"quota",
@@ -223,6 +296,10 @@ Server::handleRun(const std::shared_ptr<Session> &session,
         if (queue_.size() >= options_.queueCapacity) {
             metrics_.add("serve.shed");
             metrics_.add("serve.shed.queue");
+            reject(trace::kOutcomeShed, "queue");
+            logEvent(slog::Level::Warn, "request.shed", trace_id, 0,
+                     {{"reason", "queue"},
+                      {"workload", job.request.workload}});
             send(session, FrameKind::Shed, frame.tag,
                  renderShedReply({"queue", options_.retryAfterMs}));
             return;
@@ -234,6 +311,11 @@ Server::handleRun(const std::shared_ptr<Session> &session,
             double(job.request.deadlineMs) < serviceEmaMs_) {
             metrics_.add("serve.deadline");
             metrics_.add("serve.deadline.admission");
+            reject(trace::kOutcomeDeadline, "admission");
+            logEvent(slog::Level::Warn, "request.deadline", trace_id,
+                     0,
+                     {{"reason", "admission"},
+                      {"workload", job.request.workload}});
             send(session, FrameKind::Deadline, frame.tag,
                  renderDeadlineReply(
                      {"admission",
@@ -243,10 +325,36 @@ Server::handleRun(const std::shared_ptr<Session> &session,
                           serviceEmaMs_)}));
             return;
         }
+        if (t) {
+            // Admitted: seal the admission stage at this boundary so
+            // "queue-wait" can start exactly where it ended.
+            job.admitUs = t->nowUs();
+            uint64_t adm = t->add("admission", 0, 0, job.admitUs);
+            t->add("parse", adm, 0, parse_end);
+            t->add("validate", adm, parse_end, validate_end);
+            t->add("quota", adm, validate_end, quota_end);
+            job.trace = t;
+        }
         queue_.push_back(std::move(job));
         metrics_.gaugeMax("serve.queue_depth_peak", queue_.size());
     }
     workCv_.notify_one();
+}
+
+void
+Server::handleTrace(const std::shared_ptr<Session> &session,
+                    const Frame &frame)
+{
+    TraceRequest req;
+    std::string parse_error;
+    if (!parseTraceRequest(frame.payload, req, &parse_error)) {
+        sendError(session, frame.tag,
+                  ErrorReply{kErrBadRequest, 0, parse_error});
+        return;
+    }
+    auto traces = tracer_.recent(size_t(req.limit), req.id);
+    send(session, FrameKind::TraceReply, frame.tag,
+         trace::tracesJson(traces, &tracer_));
 }
 
 void
@@ -280,6 +388,24 @@ void
 Server::runJob(Job &&job)
 {
     double started = nowSec();
+    const std::shared_ptr<trace::ActiveTrace> &t = job.trace;
+    uint64_t trace_id = t ? t->traceId() : 0;
+    uint64_t claim_us = t ? t->nowUs() : 0;
+    if (t)
+        t->add("queue-wait", 0, job.admitUs, claim_us);
+
+    // The machine-greppable DEADLINE breakdown: stage durations from
+    // the same boundary stamps the stage spans use, so the line and
+    // the trace agree to the microsecond and sum to the total.
+    auto stageLine = [&](uint64_t compile_end, uint64_t run_end) {
+        return fmt("\ntrace id=0x%016llx admission_us=%llu "
+                   "queue_us=%llu compile_us=%llu run_us=%llu",
+                   (unsigned long long)trace_id,
+                   (unsigned long long)job.admitUs,
+                   (unsigned long long)(claim_us - job.admitUs),
+                   (unsigned long long)(compile_end - claim_us),
+                   (unsigned long long)(run_end - compile_end));
+    };
 
     bool cancel_queued;
     {
@@ -291,29 +417,55 @@ Server::runJob(Job &&job)
         // still resolves — as a deadline, never as silence.
         metrics_.add("serve.deadline");
         metrics_.add("serve.deadline.drain");
+        std::string detail = "daemon drained before the run started";
+        if (t)
+            detail += stageLine(claim_us, claim_us);
+        tracer_.finish(t, trace::kOutcomeDeadline, claim_us);
+        logEvent(slog::Level::Warn, "request.deadline", trace_id, 0,
+                 {{"reason", "drain"},
+                  {"workload", job.request.workload}});
         send(job.session, FrameKind::Deadline, job.tag,
-             renderDeadlineReply(
-                 {"drain", "daemon drained before the run started"}));
+             renderDeadlineReply({"drain", detail}));
         return;
     }
     if (job.deadlineSec > 0.0 && started >= job.deadlineSec) {
         metrics_.add("serve.deadline");
         metrics_.add("serve.deadline.queue-wait");
+        std::string detail =
+            fmt("deadline expired after %.1fms in the queue",
+                (started - job.admitSec) * 1000.0);
+        if (t)
+            detail += stageLine(claim_us, claim_us);
+        tracer_.finish(t, trace::kOutcomeDeadline, claim_us);
+        logEvent(slog::Level::Warn, "request.deadline", trace_id, 0,
+                 {{"reason", "queue-wait"},
+                  {"workload", job.request.workload}});
         send(job.session, FrameKind::Deadline, job.tag,
-             renderDeadlineReply(
-                 {"queue-wait",
-                  fmt("deadline expired after %.1fms in the queue",
-                      (started - job.admitSec) * 1000.0)}));
+             renderDeadlineReply({"queue-wait", detail}));
         return;
     }
 
     try {
-        auto design = cache_.lookup(job.request);
+        uint64_t compile_span =
+            t ? t->add("compile", 0, claim_us, claim_us) : 0;
+        auto design =
+            cache_.lookup(job.request, t.get(), compile_span);
+        uint64_t compile_us = t ? t->nowUs() : 0;
+        if (t)
+            t->close(compile_span, compile_us);
         if (!design->ok()) {
+            tracer_.finish(t, trace::kOutcomeError, compile_us);
+            logEvent(slog::Level::Warn, "request.error", trace_id, 0,
+                     {{"code", design->error.code},
+                      {"workload", job.request.workload}});
             sendError(job.session, job.tag, design->error);
             return;
         }
+
+        uint64_t run_span =
+            t ? t->add("run", 0, compile_us, compile_us) : 0;
         if (options_.allowWorkDelay && job.request.workDelayMs) {
+            trace::ScopedSpan delay_span(t, "work-delay", run_span);
             uint64_t delay =
                 std::min<uint64_t>(job.request.workDelayMs, 1000);
             std::this_thread::sleep_for(
@@ -327,10 +479,19 @@ Server::runJob(Job &&job)
                 ? std::min(job.request.maxCycles,
                            options_.defaultMaxCycles)
                 : options_.defaultMaxCycles;
+        uint64_t sim_span = t ? t->begin("simulate", run_span) : 0;
         workloads::RunResult result =
             workloads::runOn(design->workload, *design->accel, ro);
+        if (t) {
+            t->end(sim_span);
+            t->attr(sim_span, "cycles",
+                    fmt("%llu", (unsigned long long)result.cycles));
+        }
 
         double finished = nowSec();
+        uint64_t end_us = t ? t->nowUs() : 0;
+        if (t)
+            t->close(run_span, end_us);
         double service_ms = (finished - started) * 1000.0;
         {
             std::lock_guard<std::mutex> lock(mutex_);
@@ -348,12 +509,25 @@ Server::runJob(Job &&job)
             // reports why, instead of wedging a worker forever.
             metrics_.add("serve.deadline");
             metrics_.add("serve.deadline.cycle-budget");
+            std::string detail = result.verdict.hang.render();
+            if (t) {
+                t->attr(run_span, "watchdog", "tripped");
+                detail += stageLine(compile_us, end_us);
+            }
+            tracer_.finish(t, trace::kOutcomeDeadline, end_us);
+            logEvent(slog::Level::Warn, "request.deadline", trace_id,
+                     0,
+                     {{"reason", "cycle-budget"},
+                      {"workload", job.request.workload}});
             send(job.session, FrameKind::Deadline, job.tag,
-                 renderDeadlineReply(
-                     {"cycle-budget", result.verdict.hang.render()}));
+                 renderDeadlineReply({"cycle-budget", detail}));
             return;
         }
         if (!result.check.empty()) {
+            tracer_.finish(t, trace::kOutcomeError, end_us);
+            logEvent(slog::Level::Warn, "request.error", trace_id, 0,
+                     {{"code", kErrCheckFailed},
+                      {"workload", job.request.workload}});
             sendError(job.session, job.tag,
                       ErrorReply{kErrCheckFailed, 0, result.check});
             return;
@@ -361,20 +535,38 @@ Server::runJob(Job &&job)
         if (job.deadlineSec > 0.0 && finished >= job.deadlineSec) {
             metrics_.add("serve.deadline");
             metrics_.add("serve.deadline.expired");
+            std::string detail =
+                fmt("run finished %.1fms past the deadline",
+                    (finished - job.deadlineSec) * 1000.0);
+            if (t)
+                detail += stageLine(compile_us, end_us);
+            tracer_.finish(t, trace::kOutcomeDeadline, end_us);
+            logEvent(slog::Level::Warn, "request.deadline", trace_id,
+                     0,
+                     {{"reason", "expired"},
+                      {"workload", job.request.workload}});
             send(job.session, FrameKind::Deadline, job.tag,
-                 renderDeadlineReply(
-                     {"expired",
-                      fmt("run finished %.1fms past the deadline",
-                          (finished - job.deadlineSec) * 1000.0)}));
+                 renderDeadlineReply({"expired", detail}));
             return;
         }
         metrics_.add("serve.ok");
+        tracer_.finish(t, trace::kOutcomeOk, end_us);
+        logEvent(slog::Level::Info, "request.ok", trace_id, 0,
+                 {{"workload", job.request.workload},
+                  {"cycles",
+                   fmt("%llu", (unsigned long long)result.cycles)}});
         send(job.session, FrameKind::Ok, job.tag,
              canonicalResult(result));
     } catch (const std::exception &e) {
+        tracer_.finish(t, trace::kOutcomeError);
+        logEvent(slog::Level::Error, "request.error", trace_id, 0,
+                 {{"code", kErrInternal}, {"what", e.what()}});
         sendError(job.session, job.tag,
                   ErrorReply{kErrInternal, 0, e.what()});
     } catch (...) {
+        tracer_.finish(t, trace::kOutcomeError);
+        logEvent(slog::Level::Error, "request.error", trace_id, 0,
+                 {{"code", kErrInternal}});
         sendError(job.session, job.tag,
                   ErrorReply{kErrInternal, 0,
                              "unexpected exception during run"});
@@ -384,8 +576,14 @@ Server::runJob(Job &&job)
 void
 Server::beginDrain()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    draining_ = true;
+    bool was;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        was = draining_;
+        draining_ = true;
+    }
+    if (!was)
+        logEvent(slog::Level::Info, "drain.begin", 0, 0);
 }
 
 bool
@@ -412,6 +610,9 @@ Server::drain(uint64_t budget_ms)
         drainCv_.wait(lock,
                       [&] { return queue_.empty() && inFlight_ == 0; });
     }
+    lock.unlock();
+    logEvent(slog::Level::Info, "drain.end", 0, 0,
+             {{"clean", finished ? "true" : "false"}});
     return finished;
 }
 
@@ -487,6 +688,12 @@ Server::statsJson() const
                (unsigned long long)cache_.hits());
     out += fmt("\"cache_misses\":%llu,",
                (unsigned long long)cache_.misses());
+    out += fmt("\"trace\":{\"started\":%llu,\"retained\":%llu,"
+               "\"dropped\":%llu,\"evicted\":%llu},",
+               (unsigned long long)tracer_.started(),
+               (unsigned long long)tracer_.retained(),
+               (unsigned long long)tracer_.dropped(),
+               (unsigned long long)tracer_.evicted());
     out += "\"latency\":";
     out += latencyJson(snap.histogram("serve.latency_us"));
     out += "}}";

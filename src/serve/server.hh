@@ -41,6 +41,8 @@
 #include "serve/protocol.hh"
 #include "serve/quota.hh"
 #include "support/metrics.hh"
+#include "support/slog.hh"
+#include "support/trace.hh"
 #include "uir/serialize.hh"
 
 namespace muir::serve
@@ -67,6 +69,27 @@ struct ServerOptions
     bool allowWorkDelay = false;
     /** Design-cache capacity (compiled designs). */
     size_t cacheCapacity = 64;
+
+    /**
+     * @name μtrace (request-scoped tracing)
+     * Rate 0 disables tracing for unstamped requests entirely — the
+     * test-guarded invariant is that OK replies are then
+     * byte-identical to direct runs. Client-stamped requests
+     * (`trace=<id>`) are always traced, whatever the rate.
+     * @{
+     */
+    /** Head-sampling probability in [0, 1]. */
+    double traceSampleRate = 0.0;
+    /** Seed for sampling draws and generated trace ids. */
+    uint64_t traceSeed = 1;
+    /** Always retain traces slower than this (µs; 0 = rule off). */
+    uint64_t traceSlowUs = 0;
+    /** Retained-trace ring capacity. */
+    size_t traceRingCapacity = 256;
+    /** @} */
+
+    /** Structured NDJSON event log (null = logging off). Not owned. */
+    slog::Logger *logger = nullptr;
 };
 
 /**
@@ -151,6 +174,10 @@ class Server
     /** Deterministic-schema stats JSON (the STATS reply payload). */
     std::string statsJson() const;
 
+    /** The μtrace collector (TRACE replies, storm audits). */
+    trace::Tracer &tracer() { return tracer_; }
+    const trace::Tracer &tracer() const { return tracer_; }
+
     /** The serve.* metrics registry (counters/latency histogram).
      *  Installable as the process µmeter sink so the pool and sim
      *  instruments land in the same STATS snapshot. */
@@ -168,6 +195,10 @@ class Server
         /** Wall deadline (0 = none), on the server's monotonic axis. */
         double deadlineSec = 0.0;
         double admitSec = 0.0;
+        /** The request's trace (null = untraced). */
+        std::shared_ptr<trace::ActiveTrace> trace;
+        /** Admission-stage end boundary (µs on the trace's clock). */
+        uint64_t admitUs = 0;
     };
 
     void workerLoop();
@@ -176,6 +207,13 @@ class Server
                        const Frame &frame);
     void handleRun(const std::shared_ptr<Session> &session,
                    const Frame &frame);
+    void handleTrace(const std::shared_ptr<Session> &session,
+                     const Frame &frame);
+    /** Forward to the logger when one is configured. */
+    void logEvent(slog::Level level, const char *event,
+                  uint64_t trace_id, uint64_t span_id,
+                  std::vector<std::pair<std::string, std::string>>
+                      attrs = {});
     void send(const std::shared_ptr<Session> &session, FrameKind kind,
               uint32_t tag, const std::string &payload);
     void sendError(const std::shared_ptr<Session> &session,
@@ -191,6 +229,8 @@ class Server
     DesignCache cache_;
     QuotaTable quota_;
     metrics::Registry metrics_;
+    trace::Tracer tracer_;
+    slog::Logger *const log_; ///< null = structured logging off
 
     mutable std::mutex mutex_;
     std::condition_variable workCv_;  ///< workers wait for jobs

@@ -1,0 +1,130 @@
+#include "support/slog.hh"
+
+#include <chrono>
+
+#include "support/json.hh"
+#include "support/strings.hh"
+
+namespace muir::slog
+{
+
+const char *
+levelName(Level level)
+{
+    switch (level) {
+    case Level::Debug:
+        return "debug";
+    case Level::Info:
+        return "info";
+    case Level::Warn:
+        return "warn";
+    case Level::Error:
+        return "error";
+    }
+    return "info";
+}
+
+bool
+levelFromName(const std::string &name, Level *out)
+{
+    for (Level level : {Level::Debug, Level::Info, Level::Warn,
+                        Level::Error})
+        if (name == levelName(level)) {
+            if (out)
+                *out = level;
+            return true;
+        }
+    return false;
+}
+
+std::string
+renderNdjson(const Record &record, size_t max_value)
+{
+    std::string out = fmt("{\"ts_us\":%llu,\"level\":\"%s\","
+                          "\"event\":\"%s\"",
+                          (unsigned long long)record.unixUs,
+                          levelName(record.level),
+                          jsonEscape(record.event).c_str());
+    if (record.traceId)
+        out += fmt(",\"trace\":\"%016llx\"",
+                   (unsigned long long)record.traceId);
+    if (record.spanId)
+        out += fmt(",\"span\":%llu",
+                   (unsigned long long)record.spanId);
+    for (const auto &[key, value] : record.attrs) {
+        std::string v = value;
+        if (max_value && v.size() > max_value) {
+            v.resize(max_value);
+            v += "...";
+        }
+        out += fmt(",\"%s\":\"%s\"", jsonEscape(key).c_str(),
+                   jsonEscape(v).c_str());
+    }
+    out += "}";
+    return out;
+}
+
+Logger::Logger(LoggerOptions options, FILE *sink)
+    : options_(options), sink_(sink)
+{
+}
+
+void
+Logger::event(Level level, const std::string &name, uint64_t trace_id,
+              uint64_t span_id,
+              std::vector<std::pair<std::string, std::string>> attrs)
+{
+    if (!wants(level)) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++suppressed_;
+        return;
+    }
+    Record record;
+    record.unixUs = uint64_t(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+    record.level = level;
+    record.event = name;
+    record.traceId = trace_id;
+    record.spanId = span_id;
+    record.attrs = std::move(attrs);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++emitted_;
+    if (sink_) {
+        std::string line =
+            renderNdjson(record, options_.maxValueBytes);
+        fprintf(sink_, "%s\n", line.c_str());
+        fflush(sink_);
+    }
+    ring_.push_back(std::move(record));
+    while (ring_.size() > std::max<size_t>(options_.ringCapacity, 1))
+        ring_.pop_front();
+}
+
+std::vector<Record>
+Logger::recent(size_t limit) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<Record> out(ring_.begin(), ring_.end());
+    if (limit && out.size() > limit)
+        out.erase(out.begin(), out.end() - ptrdiff_t(limit));
+    return out;
+}
+
+uint64_t
+Logger::emitted() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return emitted_;
+}
+
+uint64_t
+Logger::suppressed() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return suppressed_;
+}
+
+} // namespace muir::slog

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * slog — structured NDJSON event logging for the serving stack.
+ * Each record is one JSON object on one line: wall-clock timestamp,
+ * level, event name, trace/span correlation ids, and a small attribute
+ * list — so `grep trace_id logfile | jq` reconstructs one request's
+ * story across threads, and the TRACE document and the log agree on
+ * ids. The logger is thread-safe, level-filtered at the call site,
+ * and keeps a bounded in-memory ring (newest-retained) alongside an
+ * optional FILE* sink, mirroring the μtrace ring discipline.
+ */
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace muir::slog
+{
+
+enum class Level { Debug = 0, Info = 1, Warn = 2, Error = 3 };
+
+/** "debug"/"info"/"warn"/"error". */
+const char *levelName(Level level);
+
+/** Parse a level name; @return false (and leaves @p out) on junk. */
+bool levelFromName(const std::string &name, Level *out);
+
+/** One structured event. */
+struct Record
+{
+    /** Wall clock, UNIX epoch microseconds. */
+    uint64_t unixUs = 0;
+    Level level = Level::Info;
+    /** Dotted event name, e.g. "request.deadline" or "drain.begin". */
+    std::string event;
+    /** Correlation ids (0 = not tied to a trace/span). */
+    uint64_t traceId = 0;
+    uint64_t spanId = 0;
+    std::vector<std::pair<std::string, std::string>> attrs;
+};
+
+/**
+ * Render one record as a single NDJSON line (no trailing newline):
+ * fixed keys ts_us/level/event first, then trace/span when nonzero
+ * (trace ids as 16-hex-digit strings, matching `muir.trace.v1`), then
+ * the attributes. Attribute values longer than @p max_value bytes are
+ * truncated with a "..." suffix so one hostile payload cannot bloat
+ * the log.
+ */
+std::string renderNdjson(const Record &record,
+                         size_t max_value = 256);
+
+/** Logger tuning knobs. */
+struct LoggerOptions
+{
+    Level minLevel = Level::Info;
+    /** In-memory ring capacity (oldest evicted first). */
+    size_t ringCapacity = 1024;
+    /** Attribute-value truncation threshold for rendered lines. */
+    size_t maxValueBytes = 256;
+};
+
+/**
+ * The event log: filters by level, renders NDJSON to an optional
+ * FILE* sink (flushed per record — logs must survive a crash), and
+ * keeps the bounded ring for the in-process view. Thread-safe.
+ */
+class Logger
+{
+  public:
+    explicit Logger(LoggerOptions options = {}, FILE *sink = nullptr);
+
+    /** A record at @p level would be kept (call-site fast path). */
+    bool wants(Level level) const
+    {
+        return level >= options_.minLevel;
+    }
+
+    /** Log one event. Below-threshold records count as suppressed. */
+    void event(Level level, const std::string &name, uint64_t trace_id,
+               uint64_t span_id,
+               std::vector<std::pair<std::string, std::string>> attrs =
+                   {});
+
+    /** Ring contents, oldest first (@p limit keeps the newest N). */
+    std::vector<Record> recent(size_t limit = 0) const;
+
+    uint64_t emitted() const;
+    uint64_t suppressed() const;
+
+  private:
+    const LoggerOptions options_;
+    FILE *const sink_;
+
+    mutable std::mutex mutex_;
+    std::deque<Record> ring_;
+    uint64_t emitted_ = 0;
+    uint64_t suppressed_ = 0;
+};
+
+} // namespace muir::slog

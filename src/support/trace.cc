@@ -1,0 +1,595 @@
+#include "support/trace.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/json.hh"
+#include "support/rng.hh"
+#include "support/strings.hh"
+
+namespace muir::trace
+{
+
+// ------------------------------------------------------------ TraceData
+
+uint64_t
+TraceData::stageUs(const std::string &stage) const
+{
+    for (const Span &span : spans)
+        if (span.parent == 0 && span.name == stage)
+            return span.durUs;
+    return 0;
+}
+
+// ----------------------------------------------------------- ActiveTrace
+
+ActiveTrace::ActiveTrace(uint64_t trace_id, std::string name,
+                         bool stamped,
+                         std::chrono::steady_clock::time_point epoch)
+    : epoch_(epoch)
+{
+    data_.traceId = trace_id;
+    data_.name = std::move(name);
+    data_.stamped = stamped;
+    data_.startUnixUs = uint64_t(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+}
+
+uint64_t
+ActiveTrace::nowUs() const
+{
+    return uint64_t(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+}
+
+void
+ActiveTrace::rename(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    data_.name = name;
+}
+
+uint64_t
+ActiveTrace::begin(const std::string &name, uint64_t parent)
+{
+    uint64_t start = nowUs();
+    std::lock_guard<std::mutex> lock(mutex_);
+    Span span;
+    span.id = nextSpanId_++;
+    span.parent = parent;
+    span.name = name;
+    span.startUs = start;
+    span.open = true;
+    data_.spans.push_back(std::move(span));
+    return data_.spans.back().id;
+}
+
+void
+ActiveTrace::end(uint64_t span_id)
+{
+    uint64_t now = nowUs();
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (Span &span : data_.spans)
+        if (span.id == span_id && span.open) {
+            span.durUs = now > span.startUs ? now - span.startUs : 0;
+            span.open = false;
+            return;
+        }
+}
+
+uint64_t
+ActiveTrace::add(const std::string &name, uint64_t parent,
+                 uint64_t start_us, uint64_t end_us)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Span span;
+    span.id = nextSpanId_++;
+    span.parent = parent;
+    span.name = name;
+    span.startUs = start_us;
+    span.durUs = end_us > start_us ? end_us - start_us : 0;
+    data_.spans.push_back(std::move(span));
+    return data_.spans.back().id;
+}
+
+void
+ActiveTrace::close(uint64_t span_id, uint64_t end_us)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (Span &span : data_.spans)
+        if (span.id == span_id) {
+            span.durUs =
+                end_us > span.startUs ? end_us - span.startUs : 0;
+            span.open = false;
+            return;
+        }
+}
+
+void
+ActiveTrace::attr(uint64_t span_id, const std::string &key,
+                  const std::string &value)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (Span &span : data_.spans)
+        if (span.id == span_id) {
+            span.attrs.emplace_back(key, value);
+            return;
+        }
+}
+
+// --------------------------------------------------------------- Tracer
+
+Tracer::Tracer(TracerOptions options) : options_(options) {}
+
+std::shared_ptr<ActiveTrace>
+Tracer::begin(const std::string &name, uint64_t stamped_id,
+              std::chrono::steady_clock::time_point epoch)
+{
+    bool stamped = stamped_id != 0;
+    if (!enabled() && !stamped)
+        return nullptr;
+
+    uint64_t decision_index;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        decision_index = decisionCounter_++;
+        ++started_;
+    }
+    // The draw stream is indexed by decision, not by thread or
+    // request identity: decision k under seed S is the same bit on
+    // every run, which is what makes sampling testable.
+    uint64_t draw = SplitMix64(options_.seed + decision_index).next();
+    bool head_sampled =
+        double(draw >> 11) * 0x1.0p-53 < options_.sampleRate;
+
+    uint64_t id = stamped
+                      ? stamped_id
+                      : (SplitMix64(options_.seed ^
+                                    0xB5B5B5B5B5B5B5B5ull)
+                             .next() ^
+                         SplitMix64(decision_index + 1).next()) |
+                            1;
+    auto t = std::shared_ptr<ActiveTrace>(
+        new ActiveTrace(id, name, stamped, epoch));
+    t->data_.headSampled = head_sampled;
+    return t;
+}
+
+void
+Tracer::finish(const std::shared_ptr<ActiveTrace> &t,
+               const std::string &outcome, uint64_t dur_us_override)
+{
+    if (!t || t->finished_.exchange(true))
+        return;
+    uint64_t now = dur_us_override ? dur_us_override : t->nowUs();
+
+    auto data = std::make_shared<TraceData>();
+    {
+        std::lock_guard<std::mutex> lock(t->mutex_);
+        *data = t->data_;
+    }
+    data->outcome = outcome;
+    data->durUs = now;
+    // Cancellation can leave spans open; close them at the end of the
+    // trace so exports never show an interval past the request.
+    for (Span &span : data->spans)
+        if (span.open)
+            span.durUs =
+                now > span.startUs ? now - span.startUs : 0;
+
+    const char *retain = nullptr;
+    if (data->stamped)
+        retain = kRetainStamped;
+    else if (outcome != kOutcomeOk)
+        retain = kRetainOutcome;
+    else if (options_.slowUs && data->durUs >= options_.slowUs)
+        retain = kRetainSlow;
+    else if (data->headSampled)
+        retain = kRetainSampled;
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!retain) {
+        ++dropped_;
+        ++droppedByOutcome_[outcome];
+        return;
+    }
+    data->retain = retain;
+    ++retained_;
+    ring_.push_back(std::move(data));
+    while (ring_.size() > std::max<size_t>(options_.ringCapacity, 1)) {
+        ring_.pop_front();
+        ++evicted_;
+    }
+}
+
+std::vector<std::shared_ptr<const TraceData>>
+Tracer::recent(size_t limit, uint64_t id) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::shared_ptr<const TraceData>> out;
+    for (const auto &data : ring_)
+        if (id == 0 || data->traceId == id)
+            out.push_back(data);
+    if (limit && out.size() > limit)
+        out.erase(out.begin(), out.end() - ptrdiff_t(limit));
+    return out;
+}
+
+uint64_t
+Tracer::started() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return started_;
+}
+
+uint64_t
+Tracer::retained() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return retained_;
+}
+
+uint64_t
+Tracer::dropped() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return dropped_;
+}
+
+uint64_t
+Tracer::evicted() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return evicted_;
+}
+
+uint64_t
+Tracer::droppedFor(const std::string &outcome) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = droppedByOutcome_.find(outcome);
+    return it == droppedByOutcome_.end() ? 0 : it->second;
+}
+
+// -------------------------------------------------------------- exports
+
+std::string
+tracesJson(const std::vector<std::shared_ptr<const TraceData>> &traces,
+           const Tracer *tracer)
+{
+    std::ostringstream os;
+    JsonWriter w(os, /*pretty=*/false);
+    w.beginObject();
+    w.beginObject("muir.trace.v1");
+    w.beginObject("counters");
+    w.field("started", tracer ? tracer->started() : uint64_t(0));
+    w.field("retained", tracer ? tracer->retained() : uint64_t(0));
+    w.field("dropped", tracer ? tracer->dropped() : uint64_t(0));
+    w.field("evicted", tracer ? tracer->evicted() : uint64_t(0));
+    w.end();
+    w.beginArray("traces");
+    for (const auto &t : traces) {
+        w.beginObject();
+        w.field("trace_id", fmt("%016llx",
+                                (unsigned long long)t->traceId));
+        w.field("name", t->name);
+        w.field("outcome", t->outcome);
+        w.field("retain", t->retain);
+        w.field("stamped", t->stamped);
+        w.field("head_sampled", t->headSampled);
+        w.field("start_unix_us", t->startUnixUs);
+        w.field("dur_us", t->durUs);
+        w.beginArray("spans");
+        for (const Span &span : t->spans) {
+            w.beginObject();
+            w.field("id", span.id);
+            w.field("parent", span.parent);
+            w.field("name", span.name);
+            w.field("start_us", span.startUs);
+            w.field("dur_us", span.durUs);
+            w.field("open", span.open);
+            w.beginObject("attrs");
+            for (const auto &[key, value] : span.attrs)
+                w.field(key, value);
+            w.end();
+            w.end();
+        }
+        w.end();
+        w.end();
+    }
+    w.end();
+    w.end();
+    w.end();
+    return os.str();
+}
+
+bool
+tracesFromJson(const std::string &json, std::vector<TraceData> &out,
+               std::string *error)
+{
+    JsonValue root;
+    std::string parse_error;
+    if (!jsonParse(json, &root, &parse_error)) {
+        if (error)
+            *error = "not JSON: " + parse_error;
+        return false;
+    }
+    const JsonValue *doc = root.get("muir.trace.v1");
+    if (!doc || !doc->isObject()) {
+        if (error)
+            *error = "missing muir.trace.v1 object";
+        return false;
+    }
+    const JsonValue *traces = doc->get("traces");
+    if (!traces || !traces->isArray()) {
+        if (error)
+            *error = "missing traces array";
+        return false;
+    }
+    std::vector<TraceData> result;
+    for (const JsonValue &item : traces->items) {
+        TraceData data;
+        const JsonValue *id = item.get("trace_id");
+        data.traceId = id ? std::strtoull(id->asString().c_str(),
+                                          nullptr, 16)
+                          : 0;
+        if (const JsonValue *v = item.get("name"))
+            data.name = v->asString();
+        if (const JsonValue *v = item.get("outcome"))
+            data.outcome = v->asString();
+        if (const JsonValue *v = item.get("retain"))
+            data.retain = v->asString();
+        if (const JsonValue *v = item.get("stamped"))
+            data.stamped = v->kind == JsonValue::Kind::Bool &&
+                           v->boolean;
+        if (const JsonValue *v = item.get("head_sampled"))
+            data.headSampled = v->kind == JsonValue::Kind::Bool &&
+                               v->boolean;
+        if (const JsonValue *v = item.get("start_unix_us"))
+            data.startUnixUs = v->asU64();
+        if (const JsonValue *v = item.get("dur_us"))
+            data.durUs = v->asU64();
+        if (const JsonValue *spans = item.get("spans");
+            spans && spans->isArray()) {
+            for (const JsonValue &sv : spans->items) {
+                Span span;
+                if (const JsonValue *v = sv.get("id"))
+                    span.id = v->asU64();
+                if (const JsonValue *v = sv.get("parent"))
+                    span.parent = v->asU64();
+                if (const JsonValue *v = sv.get("name"))
+                    span.name = v->asString();
+                if (const JsonValue *v = sv.get("start_us"))
+                    span.startUs = v->asU64();
+                if (const JsonValue *v = sv.get("dur_us"))
+                    span.durUs = v->asU64();
+                if (const JsonValue *v = sv.get("open"))
+                    span.open = v->kind == JsonValue::Kind::Bool &&
+                                v->boolean;
+                if (const JsonValue *attrs = sv.get("attrs");
+                    attrs && attrs->isObject())
+                    for (const auto &[key, value] : attrs->members)
+                        span.attrs.emplace_back(key,
+                                                value.asString());
+                data.spans.push_back(std::move(span));
+            }
+        }
+        result.push_back(std::move(data));
+    }
+    out = std::move(result);
+    return true;
+}
+
+namespace
+{
+
+/** One waterfall row: indent, name, timing columns, positioned bar. */
+void
+waterfallRow(std::ostringstream &os, const TraceData &trace,
+             const Span &span, unsigned depth, unsigned bar_width,
+             size_t name_col)
+{
+    std::string name(size_t(depth) * 2, ' ');
+    name += span.name;
+    std::string bar(bar_width, '.');
+    if (trace.durUs > 0) {
+        size_t lo = size_t(double(span.startUs) / double(trace.durUs) *
+                           bar_width);
+        size_t hi = size_t(double(span.startUs + span.durUs) /
+                           double(trace.durUs) * bar_width);
+        lo = std::min<size_t>(lo, bar_width - 1);
+        hi = std::min<size_t>(std::max(hi, lo + 1), bar_width);
+        for (size_t i = lo; i < hi; ++i)
+            bar[i] = '#';
+    }
+    std::string attrs;
+    for (const auto &[key, value] : span.attrs)
+        attrs += " " + key + "=" + value;
+    if (span.open)
+        attrs += " (open)";
+    os << fmt("  %s |%s| %9.3f %9.3f%s\n",
+              padRight(name, name_col).c_str(), bar.c_str(),
+              double(span.startUs) / 1000.0,
+              double(span.durUs) / 1000.0, attrs.c_str());
+}
+
+void
+waterfallChildren(std::ostringstream &os, const TraceData &trace,
+                  uint64_t parent, unsigned depth, unsigned bar_width,
+                  size_t name_col)
+{
+    for (const Span &span : trace.spans)
+        if (span.parent == parent) {
+            waterfallRow(os, trace, span, depth, bar_width, name_col);
+            waterfallChildren(os, trace, span.id, depth + 1, bar_width,
+                              name_col);
+        }
+}
+
+/** Depth of a span in the tree (root children = 0). */
+unsigned
+spanDepth(const TraceData &trace, const Span &span)
+{
+    unsigned depth = 0;
+    uint64_t parent = span.parent;
+    while (parent != 0) {
+        ++depth;
+        bool found = false;
+        for (const Span &other : trace.spans)
+            if (other.id == parent) {
+                parent = other.parent;
+                found = true;
+                break;
+            }
+        if (!found)
+            break;
+    }
+    return depth;
+}
+
+} // namespace
+
+std::string
+renderWaterfall(const TraceData &trace, unsigned bar_width)
+{
+    std::ostringstream os;
+    os << fmt("trace %016llx '%s' outcome=%s retain=%s total %.3f ms\n",
+              (unsigned long long)trace.traceId, trace.name.c_str(),
+              trace.outcome.empty() ? "-" : trace.outcome.c_str(),
+              trace.retain.empty() ? "-" : trace.retain.c_str(),
+              double(trace.durUs) / 1000.0);
+    size_t name_col = 4;
+    for (const Span &span : trace.spans)
+        name_col = std::max(name_col,
+                            span.name.size() +
+                                size_t(spanDepth(trace, span)) * 2);
+    os << fmt("  %s |%s| %9s %9s\n",
+              padRight("span", name_col).c_str(),
+              padRight("0 ms → total", bar_width).c_str(), "start",
+              "ms");
+    waterfallChildren(os, trace, 0, 0, bar_width, name_col);
+    return os.str();
+}
+
+namespace
+{
+
+/**
+ * Extract the inner text of the "traceEvents":[ ... ] array from an
+ * already-validated trace-event document (string-aware bracket scan).
+ */
+bool
+extractTraceEvents(const std::string &doc, std::string &inner)
+{
+    const std::string key = "\"traceEvents\":";
+    size_t at = doc.find(key);
+    if (at == std::string::npos)
+        return false;
+    size_t open = doc.find('[', at + key.size());
+    if (open == std::string::npos)
+        return false;
+    int depth = 0;
+    bool in_string = false;
+    for (size_t i = open; i < doc.size(); ++i) {
+        char c = doc[i];
+        if (in_string) {
+            if (c == '\\')
+                ++i;
+            else if (c == '"')
+                in_string = false;
+            continue;
+        }
+        if (c == '"')
+            in_string = true;
+        else if (c == '[' || c == '{')
+            ++depth;
+        else if (c == ']' || c == '}') {
+            --depth;
+            if (depth == 0) {
+                inner = doc.substr(open + 1, i - open - 1);
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+std::string
+perfettoJson(const std::vector<std::shared_ptr<const TraceData>> &traces,
+             const std::string &sim_trace_json, std::string *error)
+{
+    std::string sim_events;
+    if (!sim_trace_json.empty()) {
+        JsonValue probe;
+        std::string parse_error;
+        if (!jsonParse(sim_trace_json, &probe, &parse_error) ||
+            !extractTraceEvents(sim_trace_json, sim_events)) {
+            if (error)
+                *error = "sim trace is not a trace-event document: " +
+                         (parse_error.empty() ? "no traceEvents array"
+                                              : parse_error);
+            return "";
+        }
+    }
+
+    uint64_t base_us = 0;
+    for (const auto &t : traces)
+        if (base_us == 0 || (t->startUnixUs && t->startUnixUs < base_us))
+            base_us = t->startUnixUs;
+
+    // Host spans go on pid 0, one tid per trace, all metadata first —
+    // the same byte-stable discipline as chromeTraceJson.
+    std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,"
+           "\"args\":{\"name\":\"muir-serve host\"}}";
+    for (size_t i = 0; i < traces.size(); ++i)
+        out += fmt(",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,"
+                   "\"tid\":%zu,\"args\":{\"name\":\"trace %016llx "
+                   "%s\"}}",
+                   i + 1, (unsigned long long)traces[i]->traceId,
+                   jsonEscape(traces[i]->name).c_str());
+    for (size_t i = 0; i < traces.size(); ++i) {
+        const TraceData &t = *traces[i];
+        uint64_t offset =
+            t.startUnixUs >= base_us ? t.startUnixUs - base_us : 0;
+        out += fmt(",{\"name\":\"%s\",\"ph\":\"X\",\"pid\":0,"
+                   "\"tid\":%zu,\"ts\":%llu,\"dur\":%llu,"
+                   "\"args\":{\"outcome\":\"%s\",\"trace\":"
+                   "\"%016llx\"}}",
+                   jsonEscape(t.name).c_str(), i + 1,
+                   (unsigned long long)offset,
+                   (unsigned long long)t.durUs,
+                   jsonEscape(t.outcome).c_str(),
+                   (unsigned long long)t.traceId);
+        for (const Span &span : t.spans) {
+            out += fmt(",{\"name\":\"%s\",\"ph\":\"X\",\"pid\":0,"
+                       "\"tid\":%zu,\"ts\":%llu,\"dur\":%llu,"
+                       "\"args\":{",
+                       jsonEscape(span.name).c_str(), i + 1,
+                       (unsigned long long)(offset + span.startUs),
+                       (unsigned long long)span.durUs);
+            out += fmt("\"span\":%llu,\"parent\":%llu",
+                       (unsigned long long)span.id,
+                       (unsigned long long)span.parent);
+            for (const auto &[key, value] : span.attrs)
+                out += fmt(",\"%s\":\"%s\"",
+                           jsonEscape(key).c_str(),
+                           jsonEscape(value).c_str());
+            out += "}}";
+        }
+    }
+    if (!sim_events.empty()) {
+        out += ",";
+        out += sim_events;
+    }
+    out += "]}";
+    return out;
+}
+
+} // namespace muir::trace

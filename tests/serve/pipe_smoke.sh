@@ -22,7 +22,10 @@ fail() {
 "$CLIENT" --encode "$SRCDIR/mixed.script" > "$TMP/frames" \
     || fail "encode failed"
 
+# Tracing fully on and the NDJSON log active: neither may change a
+# single reply byte (the greps below are the same as before µtrace).
 "$SERVE" --stdio --stats-json "$TMP/stats.json" \
+    --trace-sample 1 --log-json "$TMP/events.ndjson" \
     < "$TMP/frames" > "$TMP/replies" 2> "$TMP/log"
 rc=$?
 [ "$rc" -eq 0 ] || fail "daemon exited $rc, want 0 (graceful drain)"
@@ -40,9 +43,18 @@ grep -q " ERROR error code=unknown-workload" "$TMP/decoded" \
     || fail "missing unknown-workload ERROR"
 grep -q " DEADLINE deadline reason=cycle-budget" "$TMP/decoded" \
     || fail "missing cycle-budget DEADLINE"
+grep -q ' TRACE {"muir.trace.v1"' "$TMP/decoded" \
+    || fail "missing muir.trace.v1 TRACE reply"
 grep -q ' STATS {"muir.serve.v1"' "$TMP/decoded" \
     || fail "missing STATS reply"
 grep -q " BYE" "$TMP/decoded" || fail "missing BYE"
+
+# The structured log saw the traffic: at least one OK with a trace
+# correlation id, and the ERROR the hostile request provoked.
+grep -q '"event":"request.ok".*"trace":"' "$TMP/events.ndjson" \
+    || fail "log missing a trace-correlated request.ok"
+grep -q '"event":"request.error"' "$TMP/events.ndjson" \
+    || fail "log missing the request.error event"
 
 # Identical designs hit the compile-once cache: 2 fib runs = 1 miss +
 # 1 hit, visible in the final flushed snapshot.

@@ -27,7 +27,9 @@
 #include "serve/protocol.hh"
 #include "serve/quota.hh"
 #include "serve/server.hh"
+#include "support/slog.hh"
 #include "support/strings.hh"
+#include "support/trace.hh"
 #include "uir/serialize.hh"
 #include "workloads/driver.hh"
 
@@ -233,6 +235,54 @@ TEST(ServeProtocol, ReplyPayloadsRoundTrip)
     ASSERT_TRUE(parseDeadlineReply(renderDeadlineReply(dl), dl2));
     EXPECT_EQ(dl2.reason, dl.reason);
     EXPECT_EQ(dl2.detail, dl.detail);
+}
+
+TEST(ServeProtocol, TraceStampRoundTripsAndStaysOffTheWireWhenUnset)
+{
+    RunRequest in;
+    in.workload = "fib";
+    // Unstamped requests render without the key at all — the rendered
+    // bytes are identical to a pre-µtrace client's.
+    EXPECT_EQ(renderRunRequest(in).find("trace="), std::string::npos);
+
+    in.traceId = 0xDEADBEEFCAFE;
+    std::string wire = renderRunRequest(in);
+    EXPECT_NE(wire.find("trace="), std::string::npos);
+    RunRequest out;
+    std::string error;
+    ASSERT_TRUE(parseRunRequest(wire, out, &error)) << error;
+    EXPECT_EQ(out.traceId, in.traceId);
+
+    // Hex stamps parse; zero and junk are rejected up front.
+    ASSERT_TRUE(
+        parseRunRequest("run workload=fib trace=0x2A", out, &error));
+    EXPECT_EQ(out.traceId, 0x2Au);
+    EXPECT_FALSE(
+        parseRunRequest("run workload=fib trace=0", out, &error));
+    EXPECT_FALSE(
+        parseRunRequest("run workload=fib trace=junk", out, &error));
+}
+
+TEST(ServeProtocol, TraceRequestRoundTripsAndRejectsJunk)
+{
+    TraceRequest in;
+    in.id = 0xABCD;
+    in.limit = 5;
+    TraceRequest out;
+    std::string error;
+    ASSERT_TRUE(parseTraceRequest(renderTraceRequest(in), out, &error))
+        << error;
+    EXPECT_EQ(out.id, in.id);
+    EXPECT_EQ(out.limit, in.limit);
+
+    ASSERT_TRUE(parseTraceRequest("trace", out, &error));
+    EXPECT_EQ(out.id, 0u);
+    EXPECT_EQ(out.limit, 0u);
+
+    EXPECT_FALSE(parseTraceRequest("", out, &error));
+    EXPECT_FALSE(parseTraceRequest("trace nosuch=1", out, &error));
+    EXPECT_FALSE(parseTraceRequest("trace id=0", out, &error));
+    EXPECT_FALSE(parseTraceRequest("trace limit=junk", out, &error));
 }
 
 // -------------------------------------------------------------- backoff
@@ -861,8 +911,191 @@ TEST(ServeServer, StatsReplyHasTheStableSchema)
     for (const char *key :
          {"muir.serve.v1", "queue_depth", "serve.accepted",
           "serve.shed.quota", "serve.deadline.cycle-budget",
-          "cache_hits", "latency", "p99_us"})
+          "cache_hits", "\"trace\":{\"started\"", "latency",
+          "p99_us"})
         EXPECT_NE(reply.payload.find(key), std::string::npos) << key;
+}
+
+// ------------------------------------------------------ µtrace in vivo
+
+TEST(ServeTrace, OkRepliesStayByteIdenticalWithTracingFullyOn)
+{
+    // The observational-guard contract from the other side: sampling
+    // every request, with a slow threshold and logging active, must
+    // not move a single reply byte.
+    std::string fib_direct = directCanonical("fib", "", 1000000000ull);
+
+    ServerOptions options;
+    options.jobs = 2;
+    options.traceSampleRate = 1.0;
+    options.traceSlowUs = 1;
+    slog::Logger logger;
+    options.logger = &logger;
+    Server server(options);
+    TestClient client;
+    client.attach(server, "traced");
+
+    RunRequest fib;
+    fib.workload = "fib";
+    for (uint32_t tag = 1; tag <= 4; ++tag)
+        ASSERT_TRUE(server.feed(
+            client.session,
+            encodeFrame(FrameKind::Run, tag, renderRunRequest(fib))));
+    ASSERT_TRUE(client.waitForReplies(4));
+    server.drain(10000);
+    server.stop();
+
+    for (size_t i = 0; i < 4; ++i) {
+        Frame reply = client.reply(i);
+        ASSERT_EQ(reply.kindEnum(), FrameKind::Ok) << reply.payload;
+        EXPECT_EQ(reply.payload, fib_direct);
+    }
+    EXPECT_EQ(server.tracer().started(), 4u);
+    EXPECT_EQ(server.tracer().retained(), 4u);
+    EXPECT_GE(logger.emitted(), 4u);
+}
+
+TEST(ServeTrace, TraceReplyCarriesTheFullRequestStory)
+{
+    // A stamped request is traced even at sample rate 0, and the
+    // TRACE document partitions its wall time across the stage chain.
+    Server server;
+    TestClient client;
+    client.attach(server, "c");
+
+    RunRequest req;
+    req.workload = "fib";
+    req.traceId = 0x5150;
+    ASSERT_TRUE(server.feed(
+        client.session,
+        encodeFrame(FrameKind::Run, 1, renderRunRequest(req))));
+    ASSERT_TRUE(client.waitForReplies(1));
+    ASSERT_EQ(client.reply(0).kindEnum(), FrameKind::Ok);
+
+    TraceRequest want;
+    want.id = 0x5150;
+    ASSERT_TRUE(server.feed(
+        client.session,
+        encodeFrame(FrameKind::Trace, 2, renderTraceRequest(want))));
+    ASSERT_TRUE(client.waitForReplies(2));
+    Frame reply = client.reply(1);
+    ASSERT_EQ(reply.kindEnum(), FrameKind::TraceReply);
+    EXPECT_NE(reply.payload.find("\"muir.trace.v1\""),
+              std::string::npos);
+
+    std::vector<trace::TraceData> traces;
+    std::string error;
+    ASSERT_TRUE(trace::tracesFromJson(reply.payload, traces, &error))
+        << error;
+    ASSERT_EQ(traces.size(), 1u);
+    const trace::TraceData &data = traces[0];
+    EXPECT_EQ(data.traceId, 0x5150u);
+    EXPECT_EQ(data.outcome, trace::kOutcomeOk);
+    EXPECT_EQ(data.retain, trace::kRetainStamped);
+    EXPECT_NE(data.name.find("fib"), std::string::npos);
+    // The stage chain partitions the request's wall time exactly.
+    EXPECT_EQ(data.stageUs("admission") + data.stageUs("queue-wait") +
+                  data.stageUs("compile") + data.stageUs("run"),
+              data.durUs);
+    // The cache verdict rides on the compile stage.
+    bool saw_cache_attr = false;
+    for (const trace::Span &span : data.spans)
+        for (const auto &[key, value] : span.attrs)
+            if (span.name == "compile" && key == "cache")
+                saw_cache_attr = value == "miss";
+    EXPECT_TRUE(saw_cache_attr);
+    server.drain(10000);
+}
+
+TEST(ServeTrace, DeadlineReplyPartitionsTheWallTime)
+{
+    // The headline acceptance case: a queue-wait DEADLINE tells the
+    // client exactly where the time went, stage by stage.
+    ServerOptions options;
+    options.jobs = 1;
+    options.queueCapacity = 4;
+    options.allowWorkDelay = true;
+    Server server(options);
+    TestClient client;
+    client.attach(server, "c");
+
+    RunRequest stall;
+    stall.workload = "fib";
+    stall.workDelayMs = 300;
+    ASSERT_TRUE(server.feed(
+        client.session,
+        encodeFrame(FrameKind::Run, 1, renderRunRequest(stall))));
+    for (int spin = 0; spin < 2000 && server.inFlight() == 0; ++spin)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    ASSERT_EQ(server.inFlight(), 1u);
+
+    RunRequest dated;
+    dated.workload = "fib";
+    dated.deadlineMs = 1;
+    dated.traceId = 0xD1;
+    ASSERT_TRUE(server.feed(
+        client.session,
+        encodeFrame(FrameKind::Run, 2, renderRunRequest(dated))));
+    ASSERT_TRUE(client.waitForReplies(2));
+    server.drain(10000);
+
+    Frame reply = client.reply(1);
+    ASSERT_EQ(reply.kindEnum(), FrameKind::Deadline);
+    DeadlineReply dl;
+    ASSERT_TRUE(parseDeadlineReply(reply.payload, dl));
+    EXPECT_EQ(dl.reason, "queue-wait");
+    EXPECT_NE(dl.detail.find("trace id=0x00000000000000d1"),
+              std::string::npos)
+        << dl.detail;
+    for (const char *stage : {"admission_us=", "queue_us=",
+                              "compile_us=", "run_us="})
+        EXPECT_NE(dl.detail.find(stage), std::string::npos)
+            << dl.detail;
+
+    // The trace the breakdown line was derived from is retained, and
+    // its stages sum to its total.
+    auto traces = server.tracer().recent(0, 0xD1);
+    ASSERT_EQ(traces.size(), 1u);
+    EXPECT_EQ(traces[0]->outcome, trace::kOutcomeDeadline);
+    EXPECT_EQ(traces[0]->stageUs("admission") +
+                  traces[0]->stageUs("queue-wait"),
+              traces[0]->durUs);
+    server.stop();
+}
+
+TEST(ServeTrace, BadTraceRequestGetsAStructuredError)
+{
+    Server server;
+    TestClient client;
+    client.attach(server, "c");
+    ASSERT_TRUE(server.feed(
+        client.session,
+        encodeFrame(FrameKind::Trace, 1, "trace nosuch=1")));
+    ASSERT_TRUE(client.waitForReplies(1));
+    Frame reply = client.reply(0);
+    ASSERT_EQ(reply.kindEnum(), FrameKind::Error);
+    ErrorReply err;
+    ASSERT_TRUE(parseErrorReply(reply.payload, err));
+    EXPECT_EQ(err.code, kErrBadRequest);
+}
+
+TEST(ServeTrace, UntracedRunsTakeNoDecisionAtAll)
+{
+    // Tracing off + unstamped: the tracer must never even start a
+    // trace — the no-overhead path the byte-identity guard rides on.
+    Server server;
+    TestClient client;
+    client.attach(server, "c");
+    RunRequest req;
+    req.workload = "fib";
+    ASSERT_TRUE(server.feed(
+        client.session,
+        encodeFrame(FrameKind::Run, 1, renderRunRequest(req))));
+    ASSERT_TRUE(client.waitForReplies(1));
+    ASSERT_EQ(client.reply(0).kindEnum(), FrameKind::Ok);
+    server.drain(10000);
+    EXPECT_EQ(server.tracer().started(), 0u);
+    EXPECT_EQ(server.tracer().recent().size(), 0u);
 }
 
 // The TSan job runs everything matching "Serve": this one is the

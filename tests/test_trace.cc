@@ -1,0 +1,422 @@
+/**
+ * @file
+ * μtrace/slog tests: the trace ring's eviction bound, deterministic
+ * seeded head-sampling, the always-retain rules (stamped, bad
+ * outcome, slow), exactly-once retained-or-dropped decisions, the
+ * `muir.trace.v1` JSON round trip, the waterfall renderer, the
+ * Perfetto export (including the μscope sim-trace splice), and the
+ * NDJSON structured logger. Suites are named Trace* so the TSan CI
+ * job picks them up alongside the Serve suites.
+ */
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/json.hh"
+#include "support/slog.hh"
+#include "support/trace.hh"
+
+using namespace muir;
+using namespace muir::trace;
+
+namespace
+{
+
+// ------------------------------------------------------------ sampling
+
+TEST(TraceSampling, RateZeroDisablesUnstampedTracing)
+{
+    Tracer tracer;
+    EXPECT_FALSE(tracer.enabled());
+    EXPECT_EQ(tracer.begin("run fib"), nullptr);
+    EXPECT_EQ(tracer.started(), 0u);
+    // finish on the null handle is a no-op, not a decision.
+    tracer.finish(nullptr, kOutcomeOk);
+    EXPECT_EQ(tracer.retained() + tracer.dropped(), 0u);
+}
+
+TEST(TraceSampling, StampedRequestsAreTracedEvenWhenDisabled)
+{
+    Tracer tracer;
+    auto t = tracer.begin("run fib", 0x2A);
+    ASSERT_NE(t, nullptr);
+    EXPECT_EQ(t->traceId(), 0x2Au);
+    EXPECT_TRUE(t->stamped());
+    tracer.finish(t, kOutcomeOk);
+    ASSERT_EQ(tracer.recent().size(), 1u);
+    EXPECT_EQ(tracer.recent()[0]->retain, kRetainStamped);
+}
+
+TEST(TraceSampling, DecisionsAreDeterministicUnderAFixedSeed)
+{
+    TracerOptions options;
+    options.sampleRate = 0.5;
+    options.seed = 7;
+    auto pattern = [&] {
+        Tracer tracer(options);
+        std::string bits;
+        for (int i = 0; i < 64; ++i) {
+            auto t = tracer.begin("run fib");
+            tracer.finish(t, kOutcomeOk);
+            bits += tracer.recent(0, t->traceId()).empty() ? '0'
+                                                           : '1';
+        }
+        return bits;
+    };
+    std::string first = pattern();
+    EXPECT_EQ(first, pattern());
+    // Rate 0.5 over 64 draws: both symbols must appear.
+    EXPECT_NE(first.find('0'), std::string::npos);
+    EXPECT_NE(first.find('1'), std::string::npos);
+}
+
+TEST(TraceSampling, GeneratedTraceIdsAreNonzeroAndDistinct)
+{
+    TracerOptions options;
+    options.sampleRate = 1.0;
+    Tracer tracer(options);
+    auto a = tracer.begin("a");
+    auto b = tracer.begin("b");
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    EXPECT_NE(a->traceId(), 0u);
+    EXPECT_NE(b->traceId(), 0u);
+    EXPECT_NE(a->traceId(), b->traceId());
+}
+
+// ----------------------------------------------------------- retention
+
+TEST(TraceRetention, BadOutcomesAreAlwaysRetained)
+{
+    TracerOptions options;
+    // Small enough that no head-sample draw ever says keep, yet
+    // nonzero so tracing is on — isolates the outcome rule.
+    options.sampleRate = 1e-18;
+    Tracer tracer(options);
+    for (const char *outcome :
+         {kOutcomeError, kOutcomeShed, kOutcomeDeadline}) {
+        auto t = tracer.begin("run fib");
+        ASSERT_NE(t, nullptr);
+        tracer.finish(t, outcome);
+    }
+    auto ok = tracer.begin("run fib");
+    tracer.finish(ok, kOutcomeOk);
+
+    EXPECT_EQ(tracer.retained(), 3u);
+    EXPECT_EQ(tracer.dropped(), 1u);
+    EXPECT_EQ(tracer.droppedFor(kOutcomeError), 0u);
+    EXPECT_EQ(tracer.droppedFor(kOutcomeShed), 0u);
+    EXPECT_EQ(tracer.droppedFor(kOutcomeDeadline), 0u);
+    EXPECT_EQ(tracer.droppedFor(kOutcomeOk), 1u);
+    for (const auto &data : tracer.recent())
+        EXPECT_EQ(data->retain, kRetainOutcome);
+}
+
+TEST(TraceRetention, SlowRequestsAreAlwaysRetained)
+{
+    TracerOptions options;
+    options.sampleRate = 1e-18;
+    options.slowUs = 50000;
+    Tracer tracer(options);
+
+    auto fast = tracer.begin("run fib");
+    tracer.finish(fast, kOutcomeOk, 10); // 10 µs: dropped
+    auto slow = tracer.begin("run fib");
+    tracer.finish(slow, kOutcomeOk, 60000); // 60 ms: retained
+
+    ASSERT_EQ(tracer.recent().size(), 1u);
+    EXPECT_EQ(tracer.recent()[0]->retain, kRetainSlow);
+    EXPECT_EQ(tracer.recent()[0]->durUs, 60000u);
+}
+
+TEST(TraceRetention, EveryFinishedTraceTakesExactlyOneDecision)
+{
+    TracerOptions options;
+    options.sampleRate = 0.5;
+    Tracer tracer(options);
+    for (int i = 0; i < 40; ++i) {
+        auto t = tracer.begin("run fib");
+        tracer.finish(t, i % 3 ? kOutcomeOk : kOutcomeError);
+        // A second finish (error-unwind paths) must not double-count.
+        tracer.finish(t, kOutcomeError);
+    }
+    EXPECT_EQ(tracer.started(), 40u);
+    EXPECT_EQ(tracer.retained() + tracer.dropped(), 40u);
+}
+
+TEST(TraceRing, OldestTracesAreEvictedWhenFull)
+{
+    TracerOptions options;
+    options.ringCapacity = 4;
+    Tracer tracer(options);
+    for (uint64_t id = 1; id <= 10; ++id) {
+        auto t = tracer.begin("run fib", id); // stamped: all retained
+        tracer.finish(t, kOutcomeOk);
+    }
+    EXPECT_EQ(tracer.retained(), 10u);
+    EXPECT_EQ(tracer.evicted(), 6u);
+    auto recent = tracer.recent();
+    ASSERT_EQ(recent.size(), 4u);
+    // Oldest first, and only the newest four survive.
+    for (size_t i = 0; i < 4; ++i)
+        EXPECT_EQ(recent[i]->traceId, 7 + i);
+    // The limit filter keeps the newest N of those.
+    auto last_two = tracer.recent(2);
+    ASSERT_EQ(last_two.size(), 2u);
+    EXPECT_EQ(last_two[0]->traceId, 9u);
+    EXPECT_EQ(last_two[1]->traceId, 10u);
+}
+
+// ---------------------------------------------------------------- spans
+
+TEST(TraceSpans, ExplicitBoundarySpansPartitionTheTotalExactly)
+{
+    Tracer tracer;
+    auto t = tracer.begin("run fib", 0x99);
+    ASSERT_NE(t, nullptr);
+    uint64_t adm = t->add("admission", 0, 0, 120);
+    t->add("parse", adm, 0, 80);
+    t->add("queue-wait", 0, 120, 500);
+    uint64_t comp = t->add("compile", 0, 500, 500);
+    t->close(comp, 2000);
+    t->add("run", 0, 2000, 9000);
+    tracer.finish(t, kOutcomeOk, 9000);
+
+    auto data = tracer.recent()[0];
+    EXPECT_EQ(data->durUs, 9000u);
+    EXPECT_EQ(data->stageUs("admission") + data->stageUs("queue-wait") +
+                  data->stageUs("compile") + data->stageUs("run"),
+              data->durUs);
+    EXPECT_EQ(data->stageUs("compile"), 1500u);
+    EXPECT_EQ(data->stageUs("no-such-stage"), 0u);
+}
+
+TEST(TraceSpans, OpenSpansAreClosedAtTheTraceEnd)
+{
+    Tracer tracer;
+    auto t = tracer.begin("run fib", 0x42);
+    uint64_t live = t->begin("simulate");
+    (void)live; // never ended: the cancellation path
+    tracer.finish(t, kOutcomeDeadline, 5000);
+    auto data = tracer.recent()[0];
+    ASSERT_EQ(data->spans.size(), 1u);
+    EXPECT_TRUE(data->spans[0].open);
+    EXPECT_LE(data->spans[0].startUs + data->spans[0].durUs, 5000u);
+}
+
+TEST(TraceSpans, ScopedSpanIsNullSafe)
+{
+    std::shared_ptr<ActiveTrace> null_trace;
+    ScopedSpan span(null_trace, "nothing");
+    span.attr("key", "value"); // must not crash
+    EXPECT_EQ(span.id(), 0u);
+}
+
+// ------------------------------------------------------------- exports
+
+TEST(TraceJson, DocumentRoundTrips)
+{
+    Tracer tracer;
+    auto t = tracer.begin("run fib passes=queue:4", 0xABCD);
+    uint64_t adm = t->add("admission", 0, 0, 100);
+    t->attr(adm, "reject", "quota");
+    tracer.finish(t, kOutcomeShed, 100);
+
+    std::string json = tracesJson(tracer.recent(), &tracer);
+    EXPECT_NE(json.find("\"muir.trace.v1\""), std::string::npos);
+    EXPECT_EQ(json.find('\n'), std::string::npos)
+        << "the TRACE payload must be a one-line document";
+
+    std::vector<TraceData> parsed;
+    std::string error;
+    ASSERT_TRUE(tracesFromJson(json, parsed, &error)) << error;
+    ASSERT_EQ(parsed.size(), 1u);
+    EXPECT_EQ(parsed[0].traceId, 0xABCDu);
+    EXPECT_EQ(parsed[0].name, "run fib passes=queue:4");
+    EXPECT_EQ(parsed[0].outcome, kOutcomeShed);
+    EXPECT_EQ(parsed[0].retain, kRetainStamped);
+    EXPECT_TRUE(parsed[0].stamped);
+    EXPECT_EQ(parsed[0].durUs, 100u);
+    ASSERT_EQ(parsed[0].spans.size(), 1u);
+    EXPECT_EQ(parsed[0].spans[0].name, "admission");
+    EXPECT_EQ(parsed[0].spans[0].durUs, 100u);
+    ASSERT_EQ(parsed[0].spans[0].attrs.size(), 1u);
+    EXPECT_EQ(parsed[0].spans[0].attrs[0].first, "reject");
+    EXPECT_EQ(parsed[0].spans[0].attrs[0].second, "quota");
+}
+
+TEST(TraceJson, RejectsNonDocuments)
+{
+    std::vector<TraceData> parsed;
+    std::string error;
+    EXPECT_FALSE(tracesFromJson("not json", parsed, &error));
+    EXPECT_FALSE(error.empty());
+    EXPECT_FALSE(tracesFromJson("{\"other\":{}}", parsed, &error));
+    EXPECT_FALSE(
+        tracesFromJson("{\"muir.trace.v1\":{}}", parsed, &error));
+}
+
+TEST(TraceWaterfall, RendersTheSpanTreeWithStageBars)
+{
+    TraceData data;
+    data.traceId = 0xFF;
+    data.name = "run fib";
+    data.outcome = kOutcomeDeadline;
+    data.retain = kRetainOutcome;
+    data.durUs = 4000;
+    Span adm;
+    adm.id = 1;
+    adm.name = "admission";
+    adm.startUs = 0;
+    adm.durUs = 1000;
+    Span parse;
+    parse.id = 2;
+    parse.parent = 1;
+    parse.name = "parse";
+    parse.startUs = 0;
+    parse.durUs = 400;
+    Span run;
+    run.id = 3;
+    run.name = "run";
+    run.startUs = 1000;
+    run.durUs = 3000;
+    run.attrs.emplace_back("watchdog", "tripped");
+    data.spans = {adm, parse, run};
+
+    std::string text = renderWaterfall(data, 16);
+    EXPECT_NE(text.find("trace 00000000000000ff 'run fib' "
+                        "outcome=DEADLINE retain=outcome"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("admission"), std::string::npos);
+    EXPECT_NE(text.find("  parse"), std::string::npos)
+        << "children indent under their parent";
+    EXPECT_NE(text.find("watchdog=tripped"), std::string::npos);
+    // The run span covers the last 3/4 of a 16-char axis.
+    EXPECT_NE(text.find("....############"), std::string::npos)
+        << text;
+}
+
+TEST(TracePerfetto, ExportsHostSpansAsTraceEvents)
+{
+    Tracer tracer;
+    auto t = tracer.begin("run fib", 0x77);
+    t->add("admission", 0, 0, 100);
+    tracer.finish(t, kOutcomeOk, 100);
+
+    std::string doc = perfettoJson(tracer.recent());
+    JsonValue root;
+    std::string error;
+    ASSERT_TRUE(jsonParse(doc, &root, &error)) << error;
+    const JsonValue *events = root.get("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_TRUE(events->isArray());
+    // process meta + thread meta + root X + admission X.
+    EXPECT_EQ(events->items.size(), 4u);
+    EXPECT_NE(doc.find("muir-serve host"), std::string::npos);
+    EXPECT_NE(doc.find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST(TracePerfetto, SplicesASimTraceDocument)
+{
+    Tracer tracer;
+    auto t = tracer.begin("run fib", 0x78);
+    tracer.finish(t, kOutcomeOk, 50);
+
+    std::string sim =
+        "{\"displayTimeUnit\":\"ms\",\"traceEvents\":["
+        "{\"name\":\"cycle[0,99]\",\"ph\":\"X\",\"pid\":1,"
+        "\"tid\":1,\"ts\":0,\"dur\":7}]}";
+    std::string error;
+    std::string doc = perfettoJson(tracer.recent(), sim, &error);
+    ASSERT_FALSE(doc.empty()) << error;
+    JsonValue root;
+    ASSERT_TRUE(jsonParse(doc, &root, &error)) << error;
+    EXPECT_NE(doc.find("cycle[0,99]"), std::string::npos)
+        << "sim events merged into the host document";
+
+    // A sim document without traceEvents is a diagnostic, not a doc.
+    EXPECT_EQ(perfettoJson(tracer.recent(), "{\"x\":1}", &error), "");
+    EXPECT_FALSE(error.empty());
+    EXPECT_EQ(perfettoJson(tracer.recent(), "junk", &error), "");
+}
+
+// ------------------------------------------------------ structured log
+
+TEST(TraceLog, RendersOneLineNdjsonWithCorrelationIds)
+{
+    slog::Record record;
+    record.unixUs = 12345;
+    record.level = slog::Level::Warn;
+    record.event = "request.deadline";
+    record.traceId = 0x2A;
+    record.spanId = 3;
+    record.attrs.emplace_back("reason", "queue-wait");
+    std::string line = slog::renderNdjson(record);
+    EXPECT_EQ(line.find('\n'), std::string::npos);
+    EXPECT_NE(line.find("\"ts_us\":12345"), std::string::npos);
+    EXPECT_NE(line.find("\"level\":\"warn\""), std::string::npos);
+    EXPECT_NE(line.find("\"event\":\"request.deadline\""),
+              std::string::npos);
+    EXPECT_NE(line.find("\"trace\":\"000000000000002a\""),
+              std::string::npos)
+        << "trace ids render exactly as in muir.trace.v1";
+    EXPECT_NE(line.find("\"span\":3"), std::string::npos);
+    EXPECT_NE(line.find("\"reason\":\"queue-wait\""),
+              std::string::npos);
+
+    JsonValue root;
+    std::string error;
+    EXPECT_TRUE(jsonParse(line, &root, &error)) << error;
+}
+
+TEST(TraceLog, TruncatesHostileAttributeValues)
+{
+    slog::Record record;
+    record.event = "request.error";
+    record.attrs.emplace_back("what", std::string(10000, 'x'));
+    std::string line = slog::renderNdjson(record, 64);
+    EXPECT_LT(line.size(), 300u);
+    EXPECT_NE(line.find("xxx..."), std::string::npos);
+}
+
+TEST(TraceLog, LevelFilterAndRingBound)
+{
+    slog::LoggerOptions options;
+    options.minLevel = slog::Level::Warn;
+    options.ringCapacity = 8;
+    slog::Logger logger(options);
+    for (int i = 0; i < 20; ++i) {
+        logger.event(slog::Level::Debug, "noise", 0, 0);
+        logger.event(slog::Level::Error, "problem", uint64_t(i + 1),
+                     0);
+    }
+    EXPECT_EQ(logger.emitted(), 20u);
+    EXPECT_EQ(logger.suppressed(), 20u);
+    auto recent = logger.recent();
+    ASSERT_EQ(recent.size(), 8u);
+    // Newest retained: traces 13..20.
+    EXPECT_EQ(recent.front().traceId, 13u);
+    EXPECT_EQ(recent.back().traceId, 20u);
+    for (const auto &record : recent)
+        EXPECT_EQ(record.event, "problem");
+}
+
+TEST(TraceLog, LevelNamesRoundTrip)
+{
+    for (slog::Level level :
+         {slog::Level::Debug, slog::Level::Info, slog::Level::Warn,
+          slog::Level::Error}) {
+        slog::Level parsed;
+        ASSERT_TRUE(
+            slog::levelFromName(slog::levelName(level), &parsed));
+        EXPECT_EQ(parsed, level);
+    }
+    slog::Level parsed;
+    EXPECT_FALSE(slog::levelFromName("verbose", &parsed));
+    EXPECT_FALSE(slog::levelFromName("", &parsed));
+}
+
+} // namespace

@@ -23,11 +23,16 @@
  *   ping [text]
  *   stats
  *   shutdown
+ *   trace [id=<id>] [limit=<n>]   (fetch the μtrace ring)
  *   raw <hex bytes>          (chaos: emit arbitrary bytes verbatim)
  *
- * Exit codes: 0 = final reply OK/PONG/STATS/BYE, 1 = ERROR reply,
- * 2 = usage error, 3 = transport failure, 4 = still SHED after
- * retries, 5 = DEADLINE reply.
+ * Connect mode accepts --trace on run requests: the client stamps a
+ * seed-derived trace id on the RUN line, fetches that trace after the
+ * reply, and renders it as an ASCII waterfall.
+ *
+ * Exit codes: 0 = final reply OK/PONG/STATS/BYE/TRACE, 1 = ERROR
+ * reply, 2 = usage error, 3 = transport failure, 4 = still SHED
+ * after retries, 5 = DEADLINE reply.
  */
 #include <cstdio>
 #include <cstring>
@@ -44,7 +49,9 @@
 #include "serve/frame.hh"
 #include "serve/protocol.hh"
 #include "support/logging.hh"
+#include "support/rng.hh"
 #include "support/strings.hh"
+#include "support/trace.hh"
 
 using namespace muir;
 
@@ -63,6 +70,11 @@ usage(FILE *out)
         "  run workload=<w> [passes=..] [max_cycles=..]\n"
         "      [deadline_ms=..] [graph=<file>]\n"
         "  ping [text] | stats | shutdown\n"
+        "  trace [id=<id>] [limit=<n>]\n"
+        "\n"
+        "tracing (connect mode, run requests)\n"
+        "  --trace           stamp a trace id on the run, fetch its\n"
+        "                    trace afterwards, render a waterfall\n"
         "\n"
         "retry policy (connect mode)\n"
         "  --retries <n>     total attempts (default 5)\n"
@@ -109,6 +121,18 @@ buildRequestFrame(const std::vector<std::string> &words, uint32_t tag,
                                     : serve::FrameKind::Shutdown;
         std::vector<std::string> rest(words.begin() + 1, words.end());
         bytes = serve::encodeFrame(kind, tag, join(rest, " "));
+        return true;
+    }
+    if (verb == "trace") {
+        std::string payload =
+            join(std::vector<std::string>(words.begin(), words.end()),
+                 " ");
+        // Validate locally, same as run lines.
+        serve::TraceRequest req;
+        if (!serve::parseTraceRequest(payload, req, error))
+            return false;
+        bytes = serve::encodeFrame(serve::FrameKind::Trace, tag,
+                                   payload);
         return true;
     }
     if (verb == "raw") {
@@ -243,10 +267,51 @@ decodeMode()
     return saw_error_reply ? 1 : 0;
 }
 
+/**
+ * Fetch the stamped trace over the live connection and render the
+ * waterfall. Failures are reported but never change the run's exit
+ * code — tracing is observability, not the request.
+ */
+void
+fetchAndRenderTrace(serve::Client &client, uint64_t trace_id)
+{
+    serve::TraceRequest treq;
+    treq.id = trace_id;
+    serve::CallOutcome outcome = client.call(
+        serve::FrameKind::Trace, serve::renderTraceRequest(treq));
+    if (!outcome.transportOk ||
+        outcome.reply.kindEnum() != serve::FrameKind::TraceReply) {
+        std::fprintf(stderr,
+                     "muir-client: trace fetch failed (%s)\n",
+                     outcome.transportOk ? "unexpected reply kind"
+                                         : outcome.error.c_str());
+        return;
+    }
+    std::vector<trace::TraceData> traces;
+    std::string error;
+    if (!trace::tracesFromJson(outcome.reply.payload, traces,
+                               &error)) {
+        std::fprintf(stderr, "muir-client: bad trace document: %s\n",
+                     error.c_str());
+        return;
+    }
+    bool found = false;
+    for (const trace::TraceData &t : traces)
+        if (t.traceId == trace_id) {
+            std::fputs(trace::renderWaterfall(t).c_str(), stdout);
+            found = true;
+        }
+    if (!found)
+        std::fprintf(stderr,
+                     "muir-client: trace %016llx not retained "
+                     "(ring evicted it?)\n",
+                     (unsigned long long)trace_id);
+}
+
 int
 connectMode(const std::string &socket_path,
             const serve::BackoffPolicy &policy,
-            const std::vector<std::string> &words)
+            const std::vector<std::string> &words, uint64_t trace_id)
 {
     int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (fd < 0) {
@@ -294,9 +359,9 @@ connectMode(const std::string &socket_path,
     serve::Client client(channel, copts);
     serve::CallOutcome outcome =
         client.call(request.kindEnum(), request.payload);
-    ::close(fd);
 
     if (!outcome.transportOk) {
+        ::close(fd);
         std::fprintf(stderr, "muir-client: transport: %s\n",
                      outcome.error.c_str());
         return 3;
@@ -306,6 +371,9 @@ connectMode(const std::string &socket_path,
             ? serve::frameKindName(outcome.reply.kindEnum())
             : "UNKNOWN";
     std::printf("%s\n%s\n", kind, outcome.reply.payload.c_str());
+    if (trace_id)
+        fetchAndRenderTrace(client, trace_id);
+    ::close(fd);
     switch (outcome.reply.kindEnum()) {
       case serve::FrameKind::Error:
         return 1;
@@ -325,6 +393,7 @@ main(int argc, char **argv)
 {
     std::string socket_path, encode_script;
     bool decode = false;
+    bool want_trace = false;
     serve::BackoffPolicy policy;
     std::vector<std::string> words;
 
@@ -356,6 +425,8 @@ main(int argc, char **argv)
             policy.capMs = uint64_t(std::atoll(next("--cap-ms")));
         } else if (arg == "--seed") {
             policy.seed = uint64_t(std::atoll(next("--seed")));
+        } else if (arg == "--trace") {
+            want_trace = true;
         } else if (startsWith(arg, "--")) {
             std::fprintf(stderr, "muir-client: unknown option '%s'\n",
                          arg.c_str());
@@ -375,6 +446,12 @@ main(int argc, char **argv)
         usage(stderr);
         return 2;
     }
+    if (want_trace && (socket_path.empty() || words.empty() ||
+                       words[0] != "run")) {
+        std::fprintf(stderr, "muir-client: --trace needs connect "
+                             "mode with a run request\n");
+        return 2;
+    }
     if (decode)
         return decodeMode();
     if (!encode_script.empty())
@@ -384,5 +461,25 @@ main(int argc, char **argv)
         usage(stderr);
         return 2;
     }
-    return connectMode(socket_path, policy, words);
+    uint64_t trace_id = 0;
+    if (want_trace) {
+        // Deterministic from --seed so smoke tests are reproducible;
+        // |1 keeps the id nonzero (0 means "unstamped" on the wire).
+        bool stamped = false;
+        for (const std::string &w : words)
+            if (startsWith(w, "trace=")) {
+                stamped = true;
+                serve::RunRequest probe;
+                std::string perr;
+                if (serve::parseRunRequest(
+                        "run workload=x " + w + "\n", probe, &perr))
+                    trace_id = probe.traceId;
+            }
+        if (!stamped) {
+            trace_id = SplitMix64(policy.seed).next() | 1;
+            words.push_back(
+                fmt("trace=%llu", (unsigned long long)trace_id));
+        }
+    }
+    return connectMode(socket_path, policy, words, trace_id);
 }

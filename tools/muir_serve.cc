@@ -18,6 +18,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -68,6 +69,17 @@ usage(FILE *out)
         "  --allow-work-delay     honor work_delay_ms (tests only)\n"
         "  --stats-json <file>    write the final stats snapshot here\n"
         "                         (default: stderr)\n"
+        "\n"
+        "observability (μtrace)\n"
+        "  --trace-sample <rate>  head-sample rate in [0,1]; 0 turns\n"
+        "                         tracing off for unstamped runs (0)\n"
+        "  --trace-seed <n>       sampling/trace-id seed (1)\n"
+        "  --slow-ms <n>          always retain traces slower than\n"
+        "                         this many ms (0 = rule off)\n"
+        "  --trace-ring <n>       retained-trace ring capacity (256)\n"
+        "  --log-json <file>      structured NDJSON event log\n"
+        "                         ('-' = stderr)\n"
+        "  --log-level <level>    debug|info|warn|error (info)\n"
         "  --help                 this text\n"
         "\n"
         "exit codes: 0 clean exit  1 runtime failure  2 usage error\n",
@@ -271,6 +283,8 @@ main(int argc, char **argv)
     bool stdio = false;
     std::string socket_path;
     std::string stats_path;
+    std::string log_path;
+    slog::Level log_level = slog::Level::Info;
     uint64_t drain_budget_ms = 5000;
     serve::ServerOptions options;
 
@@ -352,6 +366,49 @@ main(int argc, char **argv)
                 return 2;
             }
             options.cacheCapacity = size_t(v);
+        } else if (arg == "--trace-sample") {
+            const char *text = next("--trace-sample");
+            char *end = nullptr;
+            double rate = std::strtod(text, &end);
+            if (!end || *end != '\0' || !(rate >= 0.0) ||
+                !(rate <= 1.0)) {
+                std::fprintf(stderr, "muir-serve: --trace-sample "
+                                     "must be a rate in [0, 1]\n");
+                return 2;
+            }
+            options.traceSampleRate = rate;
+        } else if (arg == "--trace-seed") {
+            if (!parseU64Arg(next("--trace-seed"),
+                             options.traceSeed)) {
+                std::fprintf(stderr, "muir-serve: --trace-seed must "
+                                     "be an integer\n");
+                return 2;
+            }
+        } else if (arg == "--slow-ms") {
+            if (!parseU64Arg(next("--slow-ms"), v)) {
+                std::fprintf(stderr, "muir-serve: --slow-ms must be "
+                                     "an integer\n");
+                return 2;
+            }
+            options.traceSlowUs = v * 1000;
+        } else if (arg == "--trace-ring") {
+            if (!parseU64Arg(next("--trace-ring"), v) || v == 0) {
+                std::fprintf(stderr, "muir-serve: --trace-ring must "
+                                     "be a positive integer\n");
+                return 2;
+            }
+            options.traceRingCapacity = size_t(v);
+        } else if (arg == "--log-json") {
+            log_path = next("--log-json");
+        } else if (arg == "--log-level") {
+            const char *text = next("--log-level");
+            if (!slog::levelFromName(text, &log_level)) {
+                std::fprintf(stderr,
+                             "muir-serve: --log-level must be one of "
+                             "debug, info, warn, error (got '%s')\n",
+                             text);
+                return 2;
+            }
         } else {
             std::fprintf(stderr, "muir-serve: unknown option '%s'\n",
                          arg.c_str());
@@ -371,12 +428,33 @@ main(int argc, char **argv)
     std::signal(SIGINT, onSignal);
     std::signal(SIGPIPE, SIG_IGN);
 
+    // The logger must outlive the server (workers log from their
+    // threads until Server::stop returns).
+    std::unique_ptr<slog::Logger> logger;
+    FILE *log_sink = nullptr;
+    if (!log_path.empty()) {
+        log_sink = log_path == "-" ? stderr
+                                   : std::fopen(log_path.c_str(), "w");
+        if (!log_sink) {
+            std::fprintf(stderr, "muir-serve: cannot write '%s'\n",
+                         log_path.c_str());
+            return 1;
+        }
+        slog::LoggerOptions lo;
+        lo.minLevel = log_level;
+        logger = std::make_unique<slog::Logger>(lo, log_sink);
+        options.logger = logger.get();
+    }
+
     serve::Server server(options);
     // Route the simulator/pool µmeter instruments into the same
     // registry STATS reports, so a snapshot shows the whole picture.
     metrics::ScopedSink sink(&server.registry());
-    if (stdio)
-        return serveStdio(server, drain_budget_ms, stats_path);
-    return serveSocket(server, socket_path, drain_budget_ms,
-                       stats_path);
+    int rc = stdio ? serveStdio(server, drain_budget_ms, stats_path)
+                   : serveSocket(server, socket_path, drain_budget_ms,
+                                 stats_path);
+    server.stop(); // workers down before the logger/sink go away
+    if (log_sink && log_sink != stderr)
+        std::fclose(log_sink);
+    return rc;
 }
