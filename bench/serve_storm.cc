@@ -365,6 +365,18 @@ main(int argc, char **argv)
                        "always-retain rule leaked",
                        (unsigned long long)tracer.droppedFor(outcome),
                        outcome);
+    // Compile-once replay audit: each design key is recorded and
+    // frozen exactly once; every later OK run must replay the cached
+    // CompiledDdg. With hundreds of runs over a handful of keys, a
+    // zero reuse count means replays are silently rebuilding the
+    // index — the layout win would be gone with no test noticing.
+    uint64_t compiled_reuse = server.registry().snapshot().counter(
+        "serve.compiled_ddg.reuse");
+    if (compiled_reuse == 0)
+        muir_fatal("storm: %u OK replies but zero compiled-DDG "
+                   "reuses -- replays are rebuilding the replay index",
+                   ok);
+
     if (traces_retained == 0 || traces_dropped == 0)
         muir_fatal("storm: rate-0.5 sampling must both retain and "
                    "drop (retained=%llu dropped=%llu)",
@@ -384,6 +396,8 @@ main(int argc, char **argv)
     table.addRow({"control_replies", fmt("%u", other)});
     table.addRow({"chaos_frames", fmt("%u", chaos_frames.load())});
     table.addRow({"byte_equiv_checked", fmt("%u", byte_equiv_checked)});
+    table.addRow({"compiled_ddg_reuse",
+                  fmt("%llu", (unsigned long long)compiled_reuse)});
     table.addRow({"traces_started",
                   fmt("%llu", (unsigned long long)traces_started)});
     table.addRow({"traces_retained",
@@ -426,6 +440,7 @@ main(int argc, char **argv)
     w.end();
     w.field("chaos_frames", double(chaos_frames.load()));
     w.field("byte_equiv_checked", double(byte_equiv_checked));
+    w.field("compiled_ddg_reuse", double(compiled_reuse));
     w.beginObject("trace");
     w.field("started", double(traces_started));
     w.field("retained", double(traces_retained));

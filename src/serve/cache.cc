@@ -118,6 +118,23 @@ DesignCache::compile(const RunRequest &req, trace::ActiveTrace *t,
             return fail(kErrPipeline, 0, perr);
         pm.run(*design->accel);
     }
+
+    {
+        // One reference execution freezes the replay index the cached
+        // design hands every replay (sim/compiled_ddg.hh): execution
+        // is deterministic over the workload's fixed inputs, so the
+        // record is the same one every replay would produce.
+        RawSpan span(t, "compile.record", parent);
+        ir::MemoryImage mem(*design->workload.module);
+        design->workload.bind(mem);
+        sim::UirExecutor exec(*design->accel, mem,
+                              /*record_ddg=*/true);
+        exec.run({});
+        design->compiled = std::make_shared<const sim::CompiledDdg>(
+            sim::compileDdg(*design->accel,
+                            std::make_shared<const sim::Ddg>(
+                                exec.takeDdg())));
+    }
     return design;
 }
 

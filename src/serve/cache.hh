@@ -26,6 +26,11 @@
 #include "uir/accelerator.hh"
 #include "workloads/workload.hh"
 
+namespace muir::sim
+{
+struct CompiledDdg; // sim/compiled_ddg.hh
+}
+
 namespace muir::serve
 {
 
@@ -44,6 +49,15 @@ struct CompiledDesign
 {
     workloads::Workload workload;
     std::unique_ptr<uir::Accelerator> accel;
+    /**
+     * The design's replay index (sim/compiled_ddg.hh), recorded from
+     * one reference execution at compile time. Execution is
+     * deterministic, so every replay of this (design, inputs) pair
+     * records the same DDG; sharing the compiled freeze lets replays
+     * skip both the recording and the CSR rebuild. Immutable, like
+     * everything else here — any number of concurrent replays read it.
+     */
+    std::shared_ptr<const sim::CompiledDdg> compiled;
     /** Set when compilation failed (accel stays null). */
     ErrorReply error;
 

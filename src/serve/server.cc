@@ -479,6 +479,13 @@ Server::runJob(Job &&job)
                 ? std::min(job.request.maxCycles,
                            options_.defaultMaxCycles)
                 : options_.defaultMaxCycles;
+        if (design->compiled) {
+            // Compile-once replay: the cached design carries its
+            // frozen DDG, so this run skips the recording and the CSR
+            // rebuild (sim/compiled_ddg.hh reuse contract).
+            ro.compiled = design->compiled.get();
+            metrics_.add("serve.compiled_ddg.reuse");
+        }
         uint64_t sim_span = t ? t->begin("simulate", run_span) : 0;
         workloads::RunResult result =
             workloads::runOn(design->workload, *design->accel, ro);
@@ -688,6 +695,9 @@ Server::statsJson() const
                (unsigned long long)cache_.hits());
     out += fmt("\"cache_misses\":%llu,",
                (unsigned long long)cache_.misses());
+    out += fmt("\"compiled_ddg_reuse\":%llu,",
+               (unsigned long long)snap.counter(
+                   "serve.compiled_ddg.reuse"));
     out += fmt("\"trace\":{\"started\":%llu,\"retained\":%llu,"
                "\"dropped\":%llu,\"evicted\":%llu},",
                (unsigned long long)tracer_.started(),

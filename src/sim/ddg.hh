@@ -11,7 +11,7 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <unordered_map>
 #include <vector>
 
 #include "uir/accelerator.hh"
@@ -89,7 +89,8 @@ class Ddg
   private:
     std::vector<DynEvent> events_;
     std::vector<Invocation> invocations_;
-    std::map<const uir::Task *, uint64_t> seqCounters_;
+    /** Unordered: only ever point-queried, never iterated. */
+    std::unordered_map<const uir::Task *, uint64_t> seqCounters_;
 };
 
 } // namespace muir::sim

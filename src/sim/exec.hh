@@ -40,6 +40,11 @@ class UirExecutor
 
     const Ddg &ddg() const { return ddg_; }
 
+    /** Move the recorded DDG out (for retention past the executor's
+     *  lifetime, e.g. behind a shared CompiledDdg). The executor's
+     *  record is empty afterwards. */
+    Ddg takeDdg() { return std::move(ddg_); }
+
     /** Dynamic node firings executed. */
     uint64_t firings() const { return firings_; }
 

@@ -1,5 +1,7 @@
 #include "sim/simulator.hh"
 
+#include "support/logging.hh"
+
 namespace muir::sim
 {
 
@@ -8,7 +10,18 @@ simulate(const uir::Accelerator &accel, ir::MemoryImage &mem,
          const std::vector<ir::RuntimeValue> &args,
          const SimOptions &options)
 {
-    UirExecutor exec(accel, mem, /*record_ddg=*/true);
+    // A precompiled index replaces the recording; an injected fault
+    // changes what would be recorded, so the two cannot combine.
+    muir_assert(!(options.compiled && options.fault),
+                "simulate: a fault run cannot reuse a compiled DDG");
+    if (options.compiled) {
+        muir_assert(options.compiled->design == &accel,
+                    "simulate: compiled DDG belongs to another design");
+        muir_assert(options.compiled->source,
+                    "simulate: compiled DDG lost its source record");
+    }
+    const bool record = options.compiled == nullptr;
+    UirExecutor exec(accel, mem, /*record_ddg=*/record);
     SimResult result;
     std::unique_ptr<FaultInjector> inj;
     if (options.fault) {
@@ -41,16 +54,32 @@ simulate(const uir::Accelerator &accel, ir::MemoryImage &mem,
     ctx.hooks.trace = options.trace ? &result.trace : nullptr;
     ctx.hooks.profile = result.profileData.get();
     ctx.fault = use_harness ? &harness : nullptr;
-    TimingResult timing = scheduleDdg(accel, exec.ddg(), ctx);
+    TimingResult timing;
+    const Ddg *ddg = nullptr;
+    if (options.compiled) {
+        timing = scheduleDdg(*options.compiled, ctx);
+        ddg = options.compiled->source;
+    } else if (options.keepCompiled) {
+        // Freeze the record behind a shared index the caller can hand
+        // to later runs of the same (design, inputs) pair.
+        auto shared_ddg = std::make_shared<const Ddg>(exec.takeDdg());
+        result.compiled = std::make_shared<const CompiledDdg>(
+            compileDdg(accel, shared_ddg));
+        timing = scheduleDdg(*result.compiled, ctx);
+        ddg = shared_ddg.get();
+    } else {
+        timing = scheduleDdg(accel, exec.ddg(), ctx);
+        ddg = &exec.ddg();
+    }
     result.verdict = std::move(harness.verdict);
     result.cycles = timing.cycles;
     result.stats = std::move(timing.stats);
     if (options.profile)
         result.profile = std::make_shared<ProfileResult>(buildProfile(
-            accel, exec.ddg(), *result.profileData, result.cycles));
+            accel, *ddg, *result.profileData, result.cycles));
     if (options.timeline)
         result.timeline = std::make_shared<Timeline>(buildTimeline(
-            accel, exec.ddg(), *result.profileData, result.cycles,
+            accel, *ddg, *result.profileData, result.cycles,
             options.timelineWindows));
     return result;
 }

@@ -9,6 +9,7 @@
 
 #include <memory>
 
+#include "sim/compiled_ddg.hh"
 #include "sim/exec.hh"
 #include "sim/fault.hh"
 #include "sim/profile.hh"
@@ -37,6 +38,20 @@ struct SimOptions
     uint64_t maxCycles = 0;
     /** Functional firing budget for runaway detection (0 = none). */
     uint64_t maxFirings = 0;
+    /**
+     * Replay this precompiled index instead of recording a fresh DDG
+     * (sim/compiled_ddg.hh). Execution is deterministic, so replaying
+     * the same (design, inputs) pair records an identical DDG every
+     * time; handing the compiled one back skips both the recording
+     * and the compile. The functional run still happens (outputs /
+     * golden checks), just without the record. Must have been
+     * compiled from this accelerator with the source retained;
+     * incompatible with `fault` (an injected run changes the DDG).
+     */
+    const CompiledDdg *compiled = nullptr;
+    /** Compile the recorded DDG and return it in SimResult::compiled
+     *  for reuse by later runs. Ignored when `compiled` is set. */
+    bool keepCompiled = false;
 };
 
 /** Combined functional + timing result. */
@@ -66,6 +81,10 @@ struct SimResult
     Outcome abortOutcome = Outcome::Detected;
     /** Human-readable abort reason. */
     std::string abortDetail;
+    /** The replay index (set when SimOptions::keepCompiled): pass as
+     *  SimOptions::compiled to later runs of the same design+inputs.
+     *  Shared and immutable — safe across concurrent replays. */
+    std::shared_ptr<const CompiledDdg> compiled;
 };
 
 /**

@@ -2,16 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
-#include <map>
 #include <memory>
-#include <queue>
-#include <unordered_map>
+#include <vector>
 
+#include "sim/compiled_ddg.hh"
 #include "sim/fault.hh"
 #include "sim/profile.hh"
 #include "support/logging.hh"
 #include "support/metrics.hh"
-#include "uir/delay_model.hh"
 
 namespace muir::sim
 {
@@ -49,8 +47,6 @@ class CacheTags
         return false;
     }
 
-    unsigned lineBytes() const { return lineBytes_; }
-
   private:
     unsigned lineBytes_;
     unsigned ways_;
@@ -58,40 +54,129 @@ class CacheTags
     std::vector<std::vector<uint64_t>> tags_;
 };
 
-/** Per-structure arbitration and tag state. */
-struct StructState
-{
-    const uir::Structure *s = nullptr;
-    /** [bank][port] next-free cycle. */
-    std::vector<std::vector<uint64_t>> bankPortFree;
-    std::unique_ptr<CacheTags> tags;
-
-    explicit StructState(const uir::Structure &structure) : s(&structure)
-    {
-        bankPortFree.assign(structure.banks(),
-                            std::vector<uint64_t>(structure.portsPerBank(),
-                                                  0));
-        if (structure.kind() == uir::StructureKind::Cache)
-            tags = std::make_unique<CacheTags>(structure);
-    }
-};
-
-/** Junction port state for one (task, tile). */
-struct JunctionState
-{
-    std::vector<uint64_t> readFree;
-    std::vector<uint64_t> writeFree;
-};
-
-
+/**
+ * Claim the earliest-free port of a contiguous port-file range.
+ * Ties keep the lowest port index (hardware fixed-priority pick among
+ * idle ports), matching std::min_element over the old per-resource
+ * vectors bit for bit.
+ */
 uint64_t
-claimPort(std::vector<uint64_t> &ports, uint64_t ready, uint64_t busy)
+claimPort(uint64_t *ports, unsigned count, uint64_t ready, uint64_t busy)
 {
-    auto it = std::min_element(ports.begin(), ports.end());
-    uint64_t start = std::max(ready, *it);
-    *it = start + busy;
+    uint64_t *best = ports;
+    for (unsigned i = 1; i < count; ++i)
+        if (ports[i] < *best)
+            best = ports + i;
+    uint64_t start = std::max(ready, *best);
+    *best = start + busy;
     return start;
 }
+
+/**
+ * The ready queue: a monotone (radix/calendar) priority queue over
+ * (ready-cycle, event-id).
+ *
+ * Every key pushed is >= the key last popped — a dependent's ready
+ * time is the max of finish times of events at or after the current
+ * cycle — which is exactly the precondition a radix heap needs.
+ * Bucket b > 0 holds entries whose key first differs from the current
+ * minimum at bit b-1; bucket membership is an intrusive singly-linked
+ * list through a flat per-event `next_` array (an event is enqueued
+ * at most once, when its last dependency resolves), so a push is O(1)
+ * with no allocation. Entries at the current minimum key live in
+ * `now_`, a binary min-heap on event id, which reproduces the
+ * (ready, id) lexicographic pop order of the std::priority_queue this
+ * replaces — that order is the round-robin arbitration model and is
+ * part of the bit-exactness contract.
+ *
+ * When `now_` drains, advance() finds the lowest nonempty bucket —
+ * which provably contains the global minimum — scans it for the new
+ * minimum key, and redistributes: equal keys into `now_`, the rest
+ * into strictly lower buckets (keys sharing a bucket agree on all
+ * bits above it, so their XOR has a lower MSB). Each entry therefore
+ * migrates at most 64 times, amortized O(1) per operation.
+ */
+class ReadyQueue
+{
+  public:
+    ReadyQueue(const uint64_t *keys, uint32_t num_events)
+        : keys_(keys), next_(num_events, kNoId32)
+    {
+        std::fill(std::begin(head_), std::end(head_), kNoId32);
+    }
+
+    bool empty() const { return size_ == 0; }
+    size_t size() const { return size_; }
+
+    void
+    push(uint32_t id)
+    {
+        ++size_;
+        uint64_t key = keys_[id];
+        if (key == min_) {
+            now_.push_back(id);
+            std::push_heap(now_.begin(), now_.end(),
+                           std::greater<uint32_t>());
+            return;
+        }
+        unsigned b = 64 - __builtin_clzll(key ^ min_);
+        next_[id] = head_[b];
+        head_[b] = id;
+    }
+
+    /** Pop the (ready, id)-least entry; precondition: !empty(). */
+    uint32_t
+    pop()
+    {
+        if (now_.empty())
+            advance();
+        std::pop_heap(now_.begin(), now_.end(),
+                      std::greater<uint32_t>());
+        uint32_t id = now_.back();
+        now_.pop_back();
+        --size_;
+        return id;
+    }
+
+  private:
+    void
+    advance()
+    {
+        unsigned b = 1;
+        while (head_[b] == kNoId32)
+            ++b;
+        uint64_t new_min = ~uint64_t(0);
+        for (uint32_t id = head_[b]; id != kNoId32; id = next_[id])
+            new_min = std::min(new_min, keys_[id]);
+        min_ = new_min;
+        uint32_t id = head_[b];
+        head_[b] = kNoId32;
+        while (id != kNoId32) {
+            uint32_t next = next_[id];
+            uint64_t key = keys_[id];
+            if (key == new_min) {
+                now_.push_back(id);
+            } else {
+                unsigned nb = 64 - __builtin_clzll(key ^ new_min);
+                next_[id] = head_[nb];
+                head_[nb] = id;
+            }
+            id = next;
+        }
+        std::make_heap(now_.begin(), now_.end(),
+                       std::greater<uint32_t>());
+    }
+
+    /** Ready times, owned by the scheduler; an entry's key is frozen
+     *  by the time it is pushed (all producers have finished). */
+    const uint64_t *keys_;
+    uint64_t min_ = 0;
+    size_t size_ = 0;
+    std::vector<uint32_t> next_;
+    uint32_t head_[65];
+    /** Entries at the current minimum key, min-heap on id. */
+    std::vector<uint32_t> now_;
+};
 
 /**
  * μmeter per-run scratch for the scheduler self-profile. Everything
@@ -133,17 +218,15 @@ struct MeterState
 } // namespace
 
 TimingResult
-scheduleDdg(const uir::Accelerator &accel, const Ddg &ddg,
-            RunContext &ctx)
+scheduleDdg(const CompiledDdg &cd, RunContext &ctx)
 {
     std::vector<TimingTraceRow> *trace = ctx.hooks.trace;
     ProfileCollector *prof = ctx.hooks.profile;
     FaultHarness *fault = ctx.fault;
     TimingResult result;
-    const auto &events = ddg.events();
-    const auto &invocations = ddg.invocations();
+    const uint32_t n = cd.numEvents;
     if (prof)
-        prof->events.assign(events.size(), EventCost{});
+        prof->events.assign(n, EventCost{});
 
     // μmeter self-profiling. With no sink installed, mstate stays
     // null, no clock is read, and the schedule is bit-identical to
@@ -154,33 +237,17 @@ scheduleDdg(const uir::Accelerator &accel, const Ddg &ddg,
     if (meter) {
         mstate = std::make_unique<MeterState>();
         mstate->t0 = std::chrono::steady_clock::now();
-        mstate->critDep.assign(events.size(), kNoEvent);
-        mstate->dramTouched.assign(events.size(), 0);
+        mstate->critDep.assign(n, kNoEvent);
+        mstate->dramTouched.assign(n, 0);
     }
 
-    // Reverse adjacency so finish times propagate to dependents.
-    std::vector<uint32_t> pending(events.size(), 0);
-    std::vector<uint32_t> edge_start(events.size() + 1, 0);
-    for (const auto &e : events)
-        for (uint64_t d : e.deps)
-            ++edge_start[d + 1];
-    for (size_t i = 1; i < edge_start.size(); ++i)
-        edge_start[i] += edge_start[i - 1];
-    std::vector<uint64_t> dependents(edge_start.back());
-    {
-        std::vector<uint32_t> cursor(edge_start.begin(),
-                                     edge_start.end() - 1);
-        for (uint64_t id = 0; id < events.size(); ++id) {
-            for (uint64_t d : events[id].deps) {
-                muir_assert(d < id, "DDG dep not earlier than event");
-                dependents[cursor[d]++] = id;
-            }
-            pending[id] = events[id].deps.size();
-        }
-    }
+    // Per-run mutable state: flat, indexed by the compiled ids.
+    std::vector<uint32_t> pending(n, 0);
+    for (uint32_t id = 0; id < n; ++id)
+        pending[id] = cd.depStart[id + 1] - cd.depStart[id];
 
-    std::vector<uint64_t> finish(events.size(), 0);
-    std::vector<uint64_t> readyAt(events.size(), 0);
+    std::vector<uint64_t> finish(n, 0);
+    std::vector<uint64_t> readyAt(n, 0);
 
     // --- μfit: fault plan decode + watchdog bookkeeping. Everything in
     // this block is dead when fault == nullptr, keeping the no-harness
@@ -196,7 +263,7 @@ scheduleDdg(const uir::Accelerator &accel, const Ddg &ddg,
     bool budget_tripped = false;
     std::vector<char> done;
     if (fault) {
-        done.assign(events.size(), 0);
+        done.assign(n, 0);
         if (plan && plan->event != kNoEvent) {
             switch (plan->kind) {
               case FaultKind::TokenDrop:
@@ -220,57 +287,58 @@ scheduleDdg(const uir::Accelerator &accel, const Ddg &ddg,
         }
     }
 
-    // Structural resource state.
-    std::unordered_map<const uir::Structure *, StructState> structs;
-    for (const auto &s : accel.structures())
-        structs.emplace(s.get(), StructState(*s));
-    std::unordered_map<const uir::Node *, std::vector<uint64_t>> nodeFree;
-    std::map<std::pair<const uir::Task *, unsigned>, JunctionState>
-        junctions;
+    // Structural resource state: one flat next-free-cycle file for the
+    // in-order-initiation slots and one for every junction/bank port,
+    // laid out by compileDdg; cache tags per compiled structure.
+    std::vector<uint64_t> initFree(cd.initSlots, 0);
+    std::vector<uint64_t> portFree(cd.portSlots, 0);
+    std::vector<std::unique_ptr<CacheTags>> tags(cd.structs.size());
+    for (size_t i = 0; i < cd.structs.size(); ++i)
+        if (cd.structs[i].isCache)
+            tags[i] = std::make_unique<CacheTags>(*cd.structs[i].s);
     uint64_t dramFree = 0;
-    const uir::Structure *dram = nullptr;
-    for (const auto &s : accel.structures())
-        if (s->kind() == uir::StructureKind::Dram)
-            dram = s.get();
 
     // Discrete-event processing in (ready-time, id) order: resources
     // arbitrate between requests in the order they become ready, the
     // way hardware round-robin arbitration would.
-    using QEntry = std::pair<uint64_t, uint64_t>; // (ready, id)
-    std::priority_queue<QEntry, std::vector<QEntry>, std::greater<>>
-        queue;
-    for (uint64_t id = 0; id < events.size(); ++id)
+    ReadyQueue queue(readyAt.data(), n);
+    for (uint32_t id = 0; id < n; ++id)
         if (pending[id] == 0)
-            queue.emplace(0, id);
+            queue.push(id);
 
-    // Per-task scoped stat handles so the hot loop doesn't rebuild
-    // "task.<name>." prefixes on every event.
-    std::unordered_map<const uir::Task *, ScopedStats> taskStats;
-    auto statsFor = [&](const uir::Task *task) -> ScopedStats & {
-        auto it = taskStats.find(task);
-        if (it == taskStats.end())
-            it = taskStats
-                     .emplace(task,
-                              result.stats.scoped("task." +
-                                                  task->name() + "."))
-                     .first;
-        return it->second;
-    };
+    // Stat accumulation stays in flat locals; the StatSet (a sorted
+    // map, so insertion order never shows) is written once per run
+    // with the same key-presence semantics the per-event incs had.
+    uint64_t firings = 0;
+    uint64_t mem_events = 0;
+    uint64_t junction_wait = 0;
+    uint64_t bank_wait = 0;
+    uint64_t cache_hits = 0;
+    uint64_t cache_misses = 0;
+    uint64_t scratch_accesses = 0;
+    std::vector<uint64_t> taskEvents(cd.tasks.size(), 0);
+    std::vector<uint64_t> taskStall(cd.tasks.size(), 0);
+    std::vector<ProfileCollector::StructUse> structUse;
+    if (prof)
+        structUse.assign(cd.structs.size(),
+                         ProfileCollector::StructUse{});
 
     uint64_t processed = 0;
     while (!queue.empty()) {
-        auto [ready, id] = queue.top();
-        queue.pop();
+        uint32_t id = queue.pop();
+        uint64_t ready = readyAt[id];
         if (fault && fault->watchdog.enabled &&
             fault->watchdog.maxCycles &&
             ready > fault->watchdog.maxCycles) {
             budget_tripped = true;
             break;
         }
-        const DynEvent &e = events[id];
         ++processed;
         if (mstate)
             mstate->queueDepth.observe(queue.size() + 1);
+
+        const uint8_t fl = cd.flags[id];
+        const uint32_t qd = cd.queueDep[id];
 
         EventCost *cost = prof ? &prof->events[id] : nullptr;
         if (cost) {
@@ -282,8 +350,10 @@ scheduleDdg(const uir::Accelerator &accel, const Ddg &ddg,
             uint64_t data_ready = 0;
             uint64_t data_crit = kNoEvent;
             unsigned data_deps = 0;
-            for (uint64_t d : e.deps) {
-                if (d == e.queueDep)
+            for (uint32_t k = cd.depStart[id]; k < cd.depStart[id + 1];
+                 ++k) {
+                uint32_t d = cd.deps[k];
+                if (d == qd)
                     continue;
                 ++data_deps;
                 uint64_t f = finish[d];
@@ -296,118 +366,88 @@ scheduleDdg(const uir::Accelerator &accel, const Ddg &ddg,
             cost->dataCritDep = data_crit;
             if (data_deps >= 2)
                 cost->operandWait = data_ready - first;
-            if (e.queueDep != kNoEvent &&
-                finish[e.queueDep] > data_ready)
-                cost->queueWait = finish[e.queueDep] - data_ready;
+            if (qd != kNoId32 && finish[qd] > data_ready)
+                cost->queueWait = finish[qd] - data_ready;
         }
 
         uint64_t end_time;
         uint64_t started = ready;
-        if (e.isCompletion) {
+        if (fl & kEvCompletion) {
             end_time = ready;
         } else {
-            const uir::Node *node = e.node;
-            const uir::Task *task = node->parent();
-            unsigned tiles = std::max(1u, task->numTiles());
-            unsigned tile = static_cast<unsigned>(
-                invocations[e.invocation].seqInTask % tiles);
-
             // In-order initiation per static node per tile.
-            auto &nf = nodeFree[node];
-            if (nf.size() < tiles)
-                nf.resize(tiles, 0);
-            uint64_t start = std::max(ready, nf[tile]);
+            uint64_t &nf = initFree[cd.initSlot[id]];
+            uint64_t start = std::max(ready, nf);
             uint64_t ii_start = start;
             if (cost) {
-                cost->tile = tile;
+                cost->tile = cd.tile[id];
                 cost->iiWait = start - ready;
             }
 
-            uint64_t latency = uir::nodeLatency(*node);
+            uint64_t latency = cd.latency[id];
 
-            if (e.isLoad || e.isStore) {
+            if (fl & (kEvLoad | kEvStore)) {
                 // Junction arbitration (task-side R/W ports, §3.4).
-                JunctionState &j = junctions[{task, tile}];
-                if (j.readFree.empty()) {
-                    j.readFree.assign(
-                        std::max(1u, task->junctionReadPorts()), 0);
-                    j.writeFree.assign(
-                        std::max(1u, task->junctionWritePorts()), 0);
-                }
                 uint64_t pre = start;
-                start = claimPort(e.isLoad ? j.readFree : j.writeFree,
-                                  start, 1);
-                result.stats.inc("junction.wait_cycles", start - pre);
+                start = claimPort(&portFree[cd.junctionPortBase[id]],
+                                  cd.junctionPorts[id], start, 1);
+                ++mem_events;
+                junction_wait += start - pre;
                 if (cost)
                     cost->junctionWait = start - pre;
 
                 // Structure access.
-                const uir::Structure *s =
-                    accel.structureForSpace(node->memSpace());
-                StructState &ss = structs.at(s);
-                unsigned wide = std::max(1u, s->wideWords());
-                unsigned beats =
-                    (std::max<unsigned>(1, e.words) + wide - 1) / wide;
-                unsigned bank_idx;
-                if (s->kind() == uir::StructureKind::Cache)
-                    bank_idx = static_cast<unsigned>(
-                        (e.addr / s->lineBytes()) % s->banks());
-                else
-                    bank_idx = static_cast<unsigned>(
-                        (e.addr / 4 / wide) % s->banks());
+                const CompiledStruct &cs = cd.structs[cd.structOf[id]];
+                unsigned beats = cd.beats[id];
                 pre = start;
-                start = claimPort(ss.bankPortFree[bank_idx], start,
-                                  beats);
-                result.stats.inc("bank.wait_cycles", start - pre);
+                start = claimPort(&portFree[cd.bankPortBase[id]],
+                                  cs.portsPerBank, start, beats);
+                bank_wait += start - pre;
                 if (cost) {
                     cost->bankWait = start - pre;
-                    cost->structure = s;
+                    cost->structure = cs.s;
                     cost->beats = beats;
                 }
                 if (prof) {
-                    auto &use = prof->structUse[s];
+                    auto &use = structUse[cd.structOf[id]];
                     ++use.accesses;
                     use.busyBeats += beats;
                     if (start > pre)
                         ++use.conflicts;
                 }
 
-                uint64_t access = s->latency() + beats - 1;
-                if (ss.tags) {
-                    bool hit = ss.tags->access(e.addr);
+                uint64_t access = cs.latency + beats - 1;
+                CacheTags *tag = tags[cd.structOf[id]].get();
+                if (tag) {
+                    bool hit = tag->access(cd.addr[id]);
                     // Multi-word accesses may straddle a line.
-                    if (e.words > 1 &&
-                        (e.addr / s->lineBytes()) !=
-                            ((e.addr + e.words * 4 - 1) /
-                             s->lineBytes()))
-                        hit &= ss.tags->access(e.addr + e.words * 4 - 1);
+                    if (fl & kEvStraddle)
+                        hit &= tag->access(cd.addr[id] +
+                                           cd.words[id] * 4 - 1);
                     if (hit) {
-                        result.stats.inc("cache.hits");
+                        ++cache_hits;
                     } else {
-                        result.stats.inc("cache.misses");
+                        ++cache_misses;
                         if (mstate)
                             mstate->dramTouched[id] = 1;
-                        double bpc = dram ? dram->bytesPerCycle()
-                                          : s->bytesPerCycle();
-                        uint64_t xfer = static_cast<uint64_t>(
-                            s->lineBytes() / std::max(1.0, bpc));
+                        uint64_t xfer = cs.missXfer;
                         uint64_t dram_start =
                             std::max(start + access, dramFree);
                         dramFree = dram_start + xfer;
                         if (cost) {
                             cost->dramWait =
                                 dram_start - (start + access);
-                            cost->missPenalty = s->missLatency();
+                            cost->missPenalty = cs.missLatency;
                             cost->dramStart = dram_start;
                             cost->dramXfer = xfer;
-                            cost->dramBytes = s->lineBytes();
+                            cost->dramBytes = cs.lineBytes;
                         }
-                        access = (dram_start - start) + s->missLatency();
+                        access = (dram_start - start) + cs.missLatency;
                         if (plan && plan->kind == FaultKind::DramTimeout &&
                             miss_ordinal++ == plan->missOrdinal) {
                             // The DRAM port times out; the controller
                             // retries with exponential backoff.
-                            uint64_t window = s->missLatency() + 32;
+                            uint64_t window = cs.missLatency + 32;
                             uint64_t backoff = 0;
                             for (unsigned r = 0; r < plan->attempts; ++r)
                                 backoff += window << r;
@@ -419,17 +459,17 @@ scheduleDdg(const uir::Accelerator &accel, const Ddg &ddg,
                         }
                     }
                 } else {
-                    result.stats.inc("scratchpad.accesses");
+                    ++scratch_accesses;
                 }
                 latency += access;
             }
 
-            nf[tile] = start + uir::nodeInitiationInterval(*node);
+            nf = start + cd.initInterval[id];
             if (dup_token && id == plan->event) {
                 // A duplicated token makes the consumer fire twice: the
                 // ghost firing claims a second initiation slot on the
                 // same tile.
-                nf[tile] += uir::nodeInitiationInterval(*node);
+                nf += cd.initInterval[id];
                 result.stats.inc("fault.duplicate_token");
             }
             if (stuck_valid && id == plan->event) {
@@ -438,13 +478,12 @@ scheduleDdg(const uir::Accelerator &accel, const Ddg &ddg,
             }
             end_time = start + latency;
             started = start;
-            result.stats.inc("events");
+            ++firings;
             // Per-task stall attribution: time spent waiting on
             // structural resources after operands were ready.
-            ScopedStats &ts = statsFor(task);
+            ++taskEvents[cd.taskOf[id]];
             if (start > ready)
-                ts.inc("stall_cycles", start - ready);
-            ts.inc("events");
+                taskStall[cd.taskOf[id]] += start - ready;
 
             // Skip-ahead accounting: dispatch-idle cycles between the
             // frontier and this firing, split at the ready / II /
@@ -457,8 +496,7 @@ scheduleDdg(const uir::Accelerator &accel, const Ddg &ddg,
                     metrics::IdleClass cls = metrics::IdleClass::Other;
                     uint64_t dep = mstate->critDep[id];
                     if (dep != kNoEvent) {
-                        if (e.queueDep != kNoEvent &&
-                            dep == e.queueDep)
+                        if (qd != kNoId32 && dep == qd)
                             cls = metrics::IdleClass::QueueDrain;
                         else if (mstate->dramTouched[dep])
                             cls = metrics::IdleClass::DramReturn;
@@ -485,14 +523,19 @@ scheduleDdg(const uir::Accelerator &accel, const Ddg &ddg,
             cost->finish = end_time;
         }
         if (trace)
-            trace->push_back(
-                {id, e.node, e.invocation, ready, started, end_time});
+            trace->push_back({id,
+                              cd.nodeOf[id] == kNoId32
+                                  ? nullptr
+                                  : cd.nodes[cd.nodeOf[id]],
+                              cd.invocation[id], ready, started,
+                              end_time});
         finish[id] = end_time;
         if (fault)
             done[id] = 1;
         result.cycles = std::max(result.cycles, end_time);
-        for (uint32_t k = edge_start[id]; k < edge_start[id + 1]; ++k) {
-            uint64_t dep_id = dependents[k];
+        for (uint32_t k = cd.depdStart[id]; k < cd.depdStart[id + 1];
+             ++k) {
+            uint32_t dep_id = cd.dependents[k];
             if ((drop_edge || stuck_valid) && !edge_skipped &&
                 id == plan->producer && dep_id == plan->event) {
                 // The token on this ready/valid edge is lost (drop) or
@@ -509,9 +552,38 @@ scheduleDdg(const uir::Accelerator &accel, const Ddg &ddg,
                 mstate->critDep[dep_id] = id;
             readyAt[dep_id] = std::max(readyAt[dep_id], end_time);
             if (--pending[dep_id] == 0)
-                queue.emplace(readyAt[dep_id], dep_id);
+                queue.push(dep_id);
         }
     }
+
+    // Flush the per-run accumulators with the exact key-presence
+    // semantics of the per-event incs they replace: a key exists iff
+    // the event class occurred at least once (wait totals may be 0).
+    if (firings)
+        result.stats.inc("events", firings);
+    if (mem_events) {
+        result.stats.inc("junction.wait_cycles", junction_wait);
+        result.stats.inc("bank.wait_cycles", bank_wait);
+    }
+    if (cache_hits)
+        result.stats.inc("cache.hits", cache_hits);
+    if (cache_misses)
+        result.stats.inc("cache.misses", cache_misses);
+    if (scratch_accesses)
+        result.stats.inc("scratchpad.accesses", scratch_accesses);
+    for (size_t t = 0; t < cd.tasks.size(); ++t) {
+        if (taskStall[t])
+            result.stats.inc(cd.tasks[t].statPrefix + "stall_cycles",
+                             taskStall[t]);
+        if (taskEvents[t])
+            result.stats.inc(cd.tasks[t].statPrefix + "events",
+                             taskEvents[t]);
+    }
+    if (prof)
+        for (size_t i = 0; i < structUse.size(); ++i)
+            if (structUse[i].accesses)
+                prof->structUse[cd.structs[i].s] = structUse[i];
+
     if (fault) {
         // Dynamic watchdog: the queue draining with events still
         // unscheduled is token starvation — the dynamic analogue of the
@@ -520,11 +592,13 @@ scheduleDdg(const uir::Accelerator &accel, const Ddg &ddg,
             HangDiagnosis &diag = fault->verdict.hang;
             diag.budgetExceeded = true;
             diag.scheduled = processed;
-            diag.total = events.size();
+            diag.total = n;
             diag.budget = fault->watchdog.maxCycles;
-        } else if (processed < events.size()) {
+        } else if (processed < n) {
+            muir_assert(cd.source,
+                        "timing: hang diagnosis needs the source Ddg");
             fault->verdict.hang = diagnoseHang(
-                ddg, pending, done, processed,
+                *cd.source, pending, done, processed,
                 (drop_edge || stuck_valid) ? plan->producer : kNoEvent,
                 (drop_edge || stuck_valid) ? plan->event : kNoEvent);
         } else if (stuck_valid && stuck_fired &&
@@ -546,12 +620,12 @@ scheduleDdg(const uir::Accelerator &accel, const Ddg &ddg,
             fault->verdict.detector = "dram-timeout";
         }
     } else {
-        muir_assert(processed == events.size(),
-                    "timing: %llu of %zu events scheduled",
+        muir_assert(processed == n,
+                    "timing: %llu of %lu events scheduled",
                     static_cast<unsigned long long>(processed),
-                    events.size());
+                    static_cast<unsigned long>(n));
     }
-    result.stats.set("invocations", invocations.size());
+    result.stats.set("invocations", cd.numInvocations);
 
     // Flush the μmeter scratch: one registry transaction per run.
     if (meter) {
@@ -562,7 +636,7 @@ scheduleDdg(const uir::Accelerator &accel, const Ddg &ddg,
         meter->add("sim.events", processed);
         meter->add("sim.firings", mstate->firings);
         meter->add("sim.cycles", result.cycles);
-        meter->add("sim.invocations", invocations.size());
+        meter->add("sim.invocations", cd.numInvocations);
         meter->gaugeMax("sim.ready_queue_peak",
                         mstate->queueDepth.maxValue);
         meter->mergeHistogram("sim.ready_queue_depth",
@@ -581,6 +655,14 @@ scheduleDdg(const uir::Accelerator &accel, const Ddg &ddg,
         meter->add("sim.idle.total_cycles", idle_total);
     }
     return result;
+}
+
+TimingResult
+scheduleDdg(const uir::Accelerator &accel, const Ddg &ddg,
+            RunContext &ctx)
+{
+    CompiledDdg cd = compileDdg(accel, ddg);
+    return scheduleDdg(cd, ctx);
 }
 
 } // namespace muir::sim

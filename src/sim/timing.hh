@@ -17,6 +17,8 @@
 namespace muir::sim
 {
 
+struct CompiledDdg; // sim/compiled_ddg.hh
+
 /** Timing results and activity counters. */
 struct TimingResult
 {
@@ -59,6 +61,26 @@ scheduleDdg(const uir::Accelerator &accel, const Ddg &ddg)
 {
     RunContext ctx;
     return scheduleDdg(accel, ddg, ctx);
+}
+
+/**
+ * The scheduler core: replay a precompiled DDG (sim/compiled_ddg.hh).
+ * The (accel, ddg) overloads above are thin wrappers that compile and
+ * immediately replay; callers that replay the same record repeatedly
+ * (µserve, the perf gate, campaigns) compile once and come here.
+ *
+ * @p compiled is read-only: one instance may be shared by any number
+ * of concurrent calls (each with its own RunContext), the same
+ * contract as the shared Accelerator.
+ */
+TimingResult scheduleDdg(const CompiledDdg &compiled, RunContext &ctx);
+
+/** Plain compiled replay: no hooks, no fault harness. */
+inline TimingResult
+scheduleDdg(const CompiledDdg &compiled)
+{
+    RunContext ctx;
+    return scheduleDdg(compiled, ctx);
 }
 
 } // namespace muir::sim

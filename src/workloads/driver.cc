@@ -34,6 +34,8 @@ runOn(const Workload &w, const uir::Accelerator &accel,
     sopts.timelineWindows = options.timelineWindows;
     sopts.watchdog = options.watchdog;
     sopts.maxCycles = options.maxCycles;
+    sopts.compiled = options.compiled;
+    sopts.keepCompiled = options.keepCompiled;
     sim::SimResult sim = sim::simulate(accel, mem, {}, sopts);
     RunResult result;
     result.cycles = sim.cycles;
@@ -45,6 +47,7 @@ runOn(const Workload &w, const uir::Accelerator &accel,
     result.profileData = std::move(sim.profileData);
     result.timeline = std::move(sim.timeline);
     result.trace = std::move(sim.trace);
+    result.compiled = std::move(sim.compiled);
     return result;
 }
 

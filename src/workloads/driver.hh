@@ -40,6 +40,8 @@ struct RunResult
     std::vector<sim::TimingTraceRow> trace;
     /** μfit verdict (set when RunOptions::watchdog). */
     sim::FaultVerdict verdict;
+    /** Shared replay index (set when RunOptions::keepCompiled). */
+    std::shared_ptr<const sim::CompiledDdg> compiled;
 };
 
 /** Optional collection switches for runOn. */
@@ -55,6 +57,11 @@ struct RunOptions
     bool watchdog = false;
     /** Watchdog cycle budget (0 = drain detection only). */
     uint64_t maxCycles = 0;
+    /** Replay this shared index instead of re-recording the DDG
+     *  (sim/compiled_ddg.hh reuse contract). */
+    const sim::CompiledDdg *compiled = nullptr;
+    /** Compile the recorded DDG into RunResult::compiled for reuse. */
+    bool keepCompiled = false;
 };
 
 /** Bind inputs, simulate, and check outputs against the golden data. */
